@@ -1,0 +1,157 @@
+// Package mvpp is a materialized-view design toolkit for data warehouses,
+// implementing the MVPP (Multiple View Processing Plan) framework of
+// J. Yang, K. Karlapalem and Q. Li, "A Framework for Designing Materialized
+// Views in Data Warehousing Environment" (ICDCS 1997).
+//
+// Given the statistics of a set of base relations (with update
+// frequencies) and a set of frequently asked SPJ queries (with access
+// frequencies), the toolkit:
+//
+//  1. optimizes each query individually (join-order dynamic programming
+//     under a block-access cost model);
+//  2. merges the optimal plans into candidate MVPP DAGs, sharing common
+//     subexpressions, rotating the merge seed, and pushing common
+//     selections and projections down (the paper's Figure 4 algorithm);
+//  3. selects the set of intermediate results to materialize so that
+//     total cost — frequency-weighted query processing plus
+//     frequency-weighted view maintenance — is minimized (the paper's
+//     Figure 9 greedy heuristic, with an exhaustive-search option);
+//  4. reports the design: chosen views, per-query and per-view costs,
+//     ASCII and Graphviz renderings, and baseline comparisons.
+//
+// The minimal flow:
+//
+//	cat := mvpp.NewCatalog()
+//	_ = cat.AddTable("Division", []mvpp.Column{
+//	    {Name: "Did", Type: mvpp.Int}, {Name: "city", Type: mvpp.String},
+//	}, mvpp.TableStats{Rows: 5000, Blocks: 500, UpdateFrequency: 1,
+//	    DistinctValues: map[string]float64{"Did": 5000, "city": 50}})
+//	// ... more tables ...
+//	d := mvpp.NewDesigner(cat, mvpp.Options{})
+//	_ = d.AddQuery("Q1", `SELECT ... FROM ... WHERE ...`, 10)
+//	design, _ := d.Design()
+//	fmt.Println(design.Report())
+package mvpp
+
+import (
+	"fmt"
+
+	"github.com/warehousekit/mvpp/internal/algebra"
+	"github.com/warehousekit/mvpp/internal/catalog"
+	"github.com/warehousekit/mvpp/internal/sqlparse"
+)
+
+// Type is a column type.
+type Type int
+
+// Column types.
+const (
+	Int Type = iota + 1
+	Float
+	String
+	Date
+)
+
+func (t Type) internal() (algebra.Type, error) {
+	switch t {
+	case Int:
+		return algebra.TypeInt, nil
+	case Float:
+		return algebra.TypeFloat, nil
+	case String:
+		return algebra.TypeString, nil
+	case Date:
+		return algebra.TypeDate, nil
+	default:
+		return 0, fmt.Errorf("mvpp: unknown column type %d", int(t))
+	}
+}
+
+// Column declares one attribute of a table.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// TableStats carries the statistics the cost model needs for one table.
+type TableStats struct {
+	// Rows is the table cardinality.
+	Rows float64
+	// Blocks is the table's size in disk blocks.
+	Blocks float64
+	// UpdateFrequency is how many times per costing period the table is
+	// updated (the paper's fu).
+	UpdateFrequency float64
+	// DistinctValues maps column name to its number of distinct values,
+	// used for equality and join selectivities. Optional.
+	DistinctValues map[string]float64
+	// IntRanges maps column name to [min, max] bounds for range-predicate
+	// interpolation. Optional.
+	IntRanges map[string][2]int64
+}
+
+// Catalog holds table definitions and statistics.
+type Catalog struct {
+	inner *catalog.Catalog
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{inner: catalog.New()}
+}
+
+// AddTable registers a table with its schema and statistics.
+func (c *Catalog) AddTable(name string, cols []Column, stats TableStats) error {
+	if len(cols) == 0 {
+		return fmt.Errorf("mvpp: table %s has no columns", name)
+	}
+	acols := make([]algebra.Column, len(cols))
+	for i, col := range cols {
+		at, err := col.Type.internal()
+		if err != nil {
+			return fmt.Errorf("mvpp: table %s column %s: %w", name, col.Name, err)
+		}
+		acols[i] = algebra.Column{Relation: name, Name: col.Name, Type: at}
+	}
+	attrs := make(map[string]catalog.AttrStats)
+	for col, ndv := range stats.DistinctValues {
+		a := attrs[col]
+		a.DistinctValues = ndv
+		attrs[col] = a
+	}
+	for col, r := range stats.IntRanges {
+		a := attrs[col]
+		a.Min = algebra.IntVal(r[0])
+		a.Max = algebra.IntVal(r[1])
+		attrs[col] = a
+	}
+	return c.inner.AddRelation(&catalog.Relation{
+		Name:            name,
+		Schema:          algebra.NewSchema(acols...),
+		Rows:            stats.Rows,
+		Blocks:          stats.Blocks,
+		UpdateFrequency: stats.UpdateFrequency,
+		Attrs:           attrs,
+	})
+}
+
+// Tables returns the registered table names in registration order.
+func (c *Catalog) Tables() []string { return c.inner.Relations() }
+
+// PinSelectivity fixes the selectivity of a condition written in SQL (e.g.
+// `city = 'LA'`), resolved against the listed tables. Pinned values
+// override statistics-derived estimates.
+func (c *Catalog) PinSelectivity(cond string, s float64, tables ...string) error {
+	pred, err := sqlparse.ParseCondition(c.inner, tables, cond)
+	if err != nil {
+		return fmt.Errorf("mvpp: %w", err)
+	}
+	return c.inner.SetPredicateSelectivity(pred, s)
+}
+
+// PinJoinSize fixes the size of any join result covering exactly the given
+// tables (used by paper-faithful reproductions; most designs rely on
+// statistics instead).
+func (c *Catalog) PinJoinSize(tables []string, rows, blocks float64) error {
+	return c.inner.PinJoinSize(tables, catalog.JoinSize{Rows: rows, Blocks: blocks})
+}

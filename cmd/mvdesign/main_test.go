@@ -1,0 +1,110 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+// runCLI invokes run() with fresh flag state and the given arguments,
+// capturing stdout.
+func runCLI(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	oldArgs, oldFlags := os.Args, flag.CommandLine
+	oldStdout := os.Stdout
+	defer func() {
+		os.Args, flag.CommandLine = oldArgs, oldFlags
+		os.Stdout = oldStdout
+	}()
+	flag.CommandLine = flag.NewFlagSet("mvdesign", flag.ContinueOnError)
+	os.Args = append([]string{"mvdesign"}, args...)
+
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	code := run()
+	w.Close()
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	r.Close()
+	return string(buf[:n]), code
+}
+
+func TestCLIMissingFlags(t *testing.T) {
+	_, code := runCLI(t)
+	if code == 0 {
+		t.Error("missing flags accepted")
+	}
+}
+
+func TestCLIUnknownModel(t *testing.T) {
+	_, code := runCLI(t, "-catalog", "testdata/catalog.json", "-workload", "testdata/workload.json", "-model", "quantum")
+	if code == 0 {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestCLIMissingFile(t *testing.T) {
+	_, code := runCLI(t, "-catalog", "testdata/nope.json", "-workload", "testdata/workload.json")
+	if code == 0 {
+		t.Error("missing catalog file accepted")
+	}
+}
+
+func TestCLIReport(t *testing.T) {
+	out, code := runCLI(t, "-catalog", "testdata/catalog.json", "-workload", "testdata/workload.json", "-trace")
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	for _, want := range []string{"MATERIALIZED VIEW DESIGN", "recommended materialized views", "selection trace"} {
+		if !contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestCLIPaperSizes(t *testing.T) {
+	out, code := runCLI(t, "-catalog", "testdata/catalog.json", "-workload", "testdata/workload.json", "-paper-sizes", "-exhaustive")
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	if !contains(out, "predicted cost per period") {
+		t.Errorf("report missing cost section:\n%s", out)
+	}
+}
+
+func TestCLIDOT(t *testing.T) {
+	out, code := runCLI(t, "-catalog", "testdata/catalog.json", "-workload", "testdata/workload.json", "-dot")
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	if !contains(out, "digraph mvpp") {
+		t.Errorf("DOT output malformed:\n%s", out)
+	}
+}
+
+func TestCLIJSON(t *testing.T) {
+	out, code := runCLI(t, "-catalog", "testdata/catalog.json", "-workload", "testdata/workload.json", "-json")
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	if !contains(out, `"vertices"`) || !contains(out, `"materialized"`) {
+		t.Errorf("JSON output malformed:\n%s", out)
+	}
+}
+
+func TestCLISimulate(t *testing.T) {
+	out, code := runCLI(t, "-catalog", "testdata/catalog.json", "-workload", "testdata/workload.json",
+		"-simulate", "-sim-scale", "0.005")
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	if !contains(out, "engine simulation") || !contains(out, "speedup") {
+		t.Errorf("simulation section missing:\n%s", out)
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

@@ -1,0 +1,75 @@
+// Command mvstudy runs the analytical environment study (the paper's
+// future-work item): parameter sweeps over synthetic star-schema workloads
+// showing how the recommended materialization and its payoff react to
+// update rates, query skew, summary-query share, and workload size.
+//
+// Usage:
+//
+//	mvstudy [-dims N] [-queries N] [-seed N] [-sweep name]
+//
+// Sweeps: update, skew, mix, size (default: all).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/warehousekit/mvpp/internal/study"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		dims    = flag.Int("dims", 5, "star-schema dimension count")
+		queries = flag.Int("queries", 8, "workload size (non-size sweeps)")
+		seed    = flag.Int64("seed", 11, "workload generation seed")
+		sweep   = flag.String("sweep", "", "run only one sweep: update, skew, mix, size")
+	)
+	flag.Parse()
+
+	env := study.DefaultEnv()
+	env.Dims = *dims
+	env.Queries = *queries
+	env.Seed = *seed
+
+	type runner struct {
+		name string
+		fn   func() (study.Sweep, error)
+	}
+	runners := []runner{
+		{"update", func() (study.Sweep, error) {
+			return study.UpdateRateSweep(env, []float64{0.1, 0.5, 1, 5, 25, 125})
+		}},
+		{"skew", func() (study.Sweep, error) {
+			return study.SkewSweep(env, []float64{0, 0.5, 1, 2})
+		}},
+		{"mix", func() (study.Sweep, error) {
+			return study.MixSweep(env, []float64{0, 0.25, 0.5, 0.75, 1})
+		}},
+		{"size", func() (study.Sweep, error) {
+			return study.SizeSweep(env, []int{2, 4, 8, 12, 16})
+		}},
+	}
+	matched := false
+	for _, r := range runners {
+		if *sweep != "" && r.name != *sweep {
+			continue
+		}
+		matched = true
+		s, err := r.fn()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mvstudy:", err)
+			return 1
+		}
+		fmt.Println(study.Render(s))
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "mvstudy: unknown sweep %q (update, skew, mix, size)\n", *sweep)
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	oldArgs, oldFlags := os.Args, flag.CommandLine
+	oldStdout := os.Stdout
+	defer func() {
+		os.Args, flag.CommandLine = oldArgs, oldFlags
+		os.Stdout = oldStdout
+	}()
+	flag.CommandLine = flag.NewFlagSet("mvstudy", flag.ContinueOnError)
+	os.Args = append([]string{"mvstudy"}, args...)
+
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	code := run()
+	w.Close()
+	var out strings.Builder
+	buf := make([]byte, 1<<16)
+	for {
+		n, err := r.Read(buf)
+		out.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	r.Close()
+	return out.String(), code
+}
+
+func TestStudySingleSweep(t *testing.T) {
+	out, code := runCLI(t, "-sweep", "skew", "-queries", "4")
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	if !strings.Contains(out, "sweep: query skew") {
+		t.Errorf("output malformed:\n%s", out)
+	}
+	if strings.Contains(out, "update rate") {
+		t.Error("other sweeps ran despite -sweep")
+	}
+}
+
+func TestStudyUnknownSweep(t *testing.T) {
+	_, code := runCLI(t, "-sweep", "bogus")
+	if code == 0 {
+		t.Error("unknown sweep accepted")
+	}
+}

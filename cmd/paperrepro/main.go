@@ -1,0 +1,54 @@
+// Command paperrepro regenerates every table and figure of the paper's
+// evaluation (Yang, Karlapalem & Li, ICDCS 1997) and prints them to
+// stdout.
+//
+// Usage:
+//
+//	paperrepro            # print everything, paper order
+//	paperrepro -only fig3 # one artifact: table1, table2, fig2, fig3,
+//	                      # fig5, fig6, fig7-8, fig9
+//	paperrepro -list      # list artifact ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/warehousekit/mvpp/internal/repro"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	only := flag.String("only", "", "print only the artifact with this id")
+	list := flag.Bool("list", false, "list artifact ids and exit")
+	flag.Parse()
+
+	exps, err := repro.All()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperrepro:", err)
+		return 1
+	}
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return 0
+	}
+	found := false
+	for _, e := range exps {
+		if *only != "" && e.ID != *only {
+			continue
+		}
+		found = true
+		fmt.Printf("==== %s — %s ====\n\n%s\n", e.ID, e.Title, e.Text)
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "paperrepro: unknown artifact %q (try -list)\n", *only)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	oldArgs, oldFlags := os.Args, flag.CommandLine
+	oldStdout := os.Stdout
+	defer func() {
+		os.Args, flag.CommandLine = oldArgs, oldFlags
+		os.Stdout = oldStdout
+	}()
+	flag.CommandLine = flag.NewFlagSet("paperrepro", flag.ContinueOnError)
+	os.Args = append([]string{"paperrepro"}, args...)
+
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	code := run()
+	w.Close()
+	var out strings.Builder
+	buf := make([]byte, 1<<16)
+	for {
+		n, err := r.Read(buf)
+		out.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	r.Close()
+	return out.String(), code
+}
+
+func TestList(t *testing.T) {
+	out, code := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	for _, id := range []string{"table1", "table2", "fig2", "fig3", "fig5", "fig6", "fig7-8", "fig9"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list missing %s", id)
+		}
+	}
+}
+
+func TestOnly(t *testing.T) {
+	out, code := runCLI(t, "-only", "table2")
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	if !strings.Contains(out, "Table 2") || !strings.Contains(out, "tmp2, tmp4") {
+		t.Errorf("table2 output malformed:\n%s", out)
+	}
+	if strings.Contains(out, "Figure 5") {
+		t.Error("-only printed other artifacts")
+	}
+}
+
+func TestOnlyUnknown(t *testing.T) {
+	_, code := runCLI(t, "-only", "fig99")
+	if code == 0 {
+		t.Error("unknown artifact accepted")
+	}
+}
+
+func TestAllArtifacts(t *testing.T) {
+	out, code := runCLI(t)
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	for _, want := range []string{"==== table1", "==== fig9", "35.25k", "materialize"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("full output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package mvpp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/warehousekit/mvpp/internal/core"
+	"github.com/warehousekit/mvpp/internal/cost"
+	"github.com/warehousekit/mvpp/internal/viz"
+)
+
+// Design is the outcome of Designer.Design: a chosen MVPP and the set of
+// views to materialize.
+type Design struct {
+	mvpp       *core.MVPP
+	model      cost.Model
+	selection  *core.SelectionResult
+	candidates []*core.Candidate
+	queries    []Query
+	catalog    *Catalog
+}
+
+// View describes one recommended materialized view.
+type View struct {
+	// Name is the vertex name in the MVPP ("tmp2", "result1", ...).
+	Name string
+	// Operation is the view's top operation, human-readable.
+	Operation string
+	// Definition is the canonical relational-algebra definition.
+	Definition string
+	// Rows and Blocks are the estimated stored size.
+	Rows, Blocks float64
+	// MaintenanceCost is the frequency-weighted standalone refresh cost.
+	MaintenanceCost float64
+	// UsedBy lists the queries answered (fully or partly) from the view.
+	UsedBy []string
+}
+
+// Views returns the recommended materialized views, in MVPP order.
+func (d *Design) Views() []View {
+	var out []View
+	for _, v := range d.mvpp.Vertices {
+		if !d.selection.Materialized[v.ID] {
+			continue
+		}
+		out = append(out, View{
+			Name:            v.Name,
+			Operation:       v.Op.Label(),
+			Definition:      v.Op.Canonical(),
+			Rows:            v.Est.Rows,
+			Blocks:          v.Est.Blocks,
+			MaintenanceCost: d.selection.Costs.PerView[v.Name],
+			UsedBy:          d.mvpp.QueriesUsing(v),
+		})
+	}
+	return out
+}
+
+// CostSummary compares the design against the two extreme strategies.
+type CostSummary struct {
+	// QueryCost is the frequency-weighted query processing cost of the
+	// design.
+	QueryCost float64
+	// MaintenanceCost is the frequency-weighted view maintenance cost.
+	MaintenanceCost float64
+	// TotalCost = QueryCost + MaintenanceCost.
+	TotalCost float64
+	// AllVirtualTotal is the total with nothing materialized.
+	AllVirtualTotal float64
+	// AllMaterializedTotal is the total with every query result stored.
+	AllMaterializedTotal float64
+	// PerQuery breaks QueryCost down by query.
+	PerQuery map[string]float64
+}
+
+// Costs summarizes the design's predicted costs.
+func (d *Design) Costs() CostSummary {
+	virtual := d.mvpp.AllVirtual(d.model)
+	allMat := d.mvpp.AllQueriesMaterialized(d.model)
+	perQuery := make(map[string]float64, len(d.selection.Costs.PerQuery))
+	for q, c := range d.selection.Costs.PerQuery {
+		perQuery[q] = c
+	}
+	return CostSummary{
+		QueryCost:            d.selection.Costs.Query,
+		MaintenanceCost:      d.selection.Costs.Maintenance,
+		TotalCost:            d.selection.Costs.Total,
+		AllVirtualTotal:      virtual.Total,
+		AllMaterializedTotal: allMat.Total,
+		PerQuery:             perQuery,
+	}
+}
+
+// EvaluateStrategy prices an arbitrary set of vertex names (e.g. a DBA's
+// hand-picked alternative) under the design's MVPP and cost model.
+func (d *Design) EvaluateStrategy(viewNames []string) (query, maintenance, total float64, err error) {
+	c, err := d.mvpp.EvaluateNames(d.model, viewNames)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return c.Query, c.Maintenance, c.Total, nil
+}
+
+// VertexNames lists all materialization candidates (non-leaf vertices) of
+// the chosen MVPP, in topological order.
+func (d *Design) VertexNames() []string {
+	var out []string
+	for _, v := range d.mvpp.InnerVertices() {
+		out = append(out, v.Name)
+	}
+	return out
+}
+
+// Candidates reports how many distinct MVPPs were generated and evaluated.
+func (d *Design) Candidates() int { return len(d.candidates) }
+
+// ASCII renders the chosen MVPP with materialized vertices marked.
+func (d *Design) ASCII() string {
+	return viz.MVPPASCII(d.mvpp, d.selection.Materialized)
+}
+
+// DOT renders the chosen MVPP in Graphviz DOT.
+func (d *Design) DOT() string {
+	return viz.MVPPDOT(d.mvpp, d.selection.Materialized)
+}
+
+// Trace renders the selection heuristic's decision trace.
+func (d *Design) Trace() string {
+	return viz.TraceASCII(d.selection.Trace)
+}
+
+// ExplainQuery renders one query's plan inside the chosen MVPP, marking
+// shared vertices and the design's materialized views.
+func (d *Design) ExplainQuery(name string) (string, error) {
+	out, err := viz.QueryTreeASCII(d.mvpp, name, d.selection.Materialized)
+	if err != nil {
+		return "", fmt.Errorf("mvpp: %w", err)
+	}
+	return out, nil
+}
+
+// Report renders a complete human-readable design report.
+func (d *Design) Report() string {
+	var b strings.Builder
+	costs := d.Costs()
+
+	b.WriteString("MATERIALIZED VIEW DESIGN\n")
+	b.WriteString("========================\n\n")
+	b.WriteString(fmt.Sprintf("workload: %d queries, %d candidate MVPPs evaluated\n\n",
+		len(d.queries), len(d.candidates)))
+
+	views := d.Views()
+	if len(views) == 0 {
+		b.WriteString("recommendation: materialize nothing (all views virtual)\n\n")
+	} else {
+		b.WriteString("recommended materialized views:\n")
+		for _, v := range views {
+			b.WriteString(fmt.Sprintf("  %-10s %-40s ~%s rows, %s blocks; used by %s\n",
+				v.Name, v.Operation, viz.FormatCost(v.Rows), viz.FormatCost(v.Blocks),
+				strings.Join(v.UsedBy, ",")))
+		}
+		b.WriteString("\n")
+	}
+
+	b.WriteString("predicted cost per period (block accesses):\n")
+	b.WriteString(fmt.Sprintf("  query processing:   %s\n", viz.FormatCost(costs.QueryCost)))
+	b.WriteString(fmt.Sprintf("  view maintenance:   %s\n", viz.FormatCost(costs.MaintenanceCost)))
+	b.WriteString(fmt.Sprintf("  total:              %s\n", viz.FormatCost(costs.TotalCost)))
+	b.WriteString(fmt.Sprintf("  vs all-virtual:     %s (%.1f%% saved)\n",
+		viz.FormatCost(costs.AllVirtualTotal), saving(costs.AllVirtualTotal, costs.TotalCost)))
+	b.WriteString(fmt.Sprintf("  vs all-materialized:%s (%.1f%% saved)\n\n",
+		viz.FormatCost(costs.AllMaterializedTotal), saving(costs.AllMaterializedTotal, costs.TotalCost)))
+
+	b.WriteString("per-query cost (frequency-weighted):\n")
+	var qnames []string
+	for q := range costs.PerQuery {
+		qnames = append(qnames, q)
+	}
+	sort.Strings(qnames)
+	for _, q := range qnames {
+		b.WriteString(fmt.Sprintf("  %-8s %s\n", q, viz.FormatCost(costs.PerQuery[q])))
+	}
+	b.WriteString("\nMVPP (● = materialized):\n")
+	b.WriteString(d.ASCII())
+	return b.String()
+}
+
+func saving(baseline, actual float64) float64 {
+	if baseline <= 0 {
+		return 0
+	}
+	return 100 * (baseline - actual) / baseline
+}

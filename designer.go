@@ -1,0 +1,259 @@
+package mvpp
+
+import (
+	"fmt"
+
+	"github.com/warehousekit/mvpp/internal/core"
+	"github.com/warehousekit/mvpp/internal/cost"
+	"github.com/warehousekit/mvpp/internal/optimizer"
+	"github.com/warehousekit/mvpp/internal/sqlparse"
+)
+
+// ModelKind selects the cost model.
+type ModelKind int
+
+// Cost models.
+const (
+	// ModelPaperNLJ is the paper's model: half-scan linear-search
+	// selection, nested-loop join at blocks(outer)·blocks(inner) plus
+	// output. The default.
+	ModelPaperNLJ ModelKind = iota
+	// ModelBlockNLJ is the textbook block nested-loop model.
+	ModelBlockNLJ
+	// ModelHashJoin prices joins as Grace hash joins.
+	ModelHashJoin
+	// ModelSortMerge prices joins as sort-merge joins.
+	ModelSortMerge
+)
+
+func (k ModelKind) model() (cost.Model, error) {
+	switch k {
+	case ModelPaperNLJ:
+		return &cost.PaperModel{}, nil
+	case ModelBlockNLJ:
+		return &cost.BlockNLJModel{}, nil
+	case ModelHashJoin:
+		return &cost.HashJoinModel{}, nil
+	case ModelSortMerge:
+		return &cost.SortMergeModel{}, nil
+	default:
+		return nil, fmt.Errorf("mvpp: unknown cost model %d", int(k))
+	}
+}
+
+// Options configures the designer; the zero value follows the paper's
+// algorithms with statistics-derived sizes.
+type Options struct {
+	// Model selects the cost model (default ModelPaperNLJ).
+	Model ModelKind
+	// PaperSizes pins join-result sizes to the catalog's PinJoinSize
+	// entries, reproducing the paper's arithmetic.
+	PaperSizes bool
+	// Rotations limits how many merge-order rotations the MVPP generator
+	// tries; 0 means one rotation per query (the paper's full rotation).
+	Rotations int
+	// PushDisjunctions pushes disjunctive filters onto shared scans when
+	// queries restrict a relation differently.
+	PushDisjunctions bool
+	// PushProjections inserts column-pruning projections above scans.
+	PushProjections bool
+	// NoPushdown leaves all selections above the joins (diagnostic).
+	NoPushdown bool
+	// LeftDeepPlans restricts single-query optimization to left-deep join
+	// trees.
+	LeftDeepPlans bool
+	// Exhaustive selects the materialized set by exhaustive search instead
+	// of the Figure 9 heuristic (exponential; refused for large MVPPs).
+	Exhaustive bool
+	// DiscountedMaintenance improves the greedy heuristic's maintenance
+	// term: a candidate's refresh is priced given the views already chosen
+	// (the paper's formula always charges a full from-base recompute, which
+	// undervalues summary tables stacked on materialized joins).
+	DiscountedMaintenance bool
+	// IndexedViews prices selective filters over materialized views as
+	// index lookups instead of scans (§3.2's "we can establish a proper
+	// index on it afterwards").
+	IndexedViews bool
+	// Distribution places tables on remote sites; nil means co-located.
+	Distribution *Distribution
+}
+
+// Distribution describes a distributed warehouse: base tables live on
+// member sites and shipping one block to the warehouse costs
+// BlockTransferCost.
+type Distribution struct {
+	// SiteOf maps table name to site name; unlisted tables are co-located
+	// with the warehouse.
+	SiteOf map[string]string
+	// BlockTransferCost is the per-block shipping cost between any two
+	// distinct sites.
+	BlockTransferCost float64
+}
+
+// Query is one warehouse query with its access frequency.
+type Query struct {
+	Name      string
+	SQL       string
+	Frequency float64
+}
+
+// Designer accumulates a workload and produces a Design.
+type Designer struct {
+	cat     *Catalog
+	opts    Options
+	queries []Query
+}
+
+// NewDesigner creates a designer over the catalog.
+func NewDesigner(cat *Catalog, opts Options) *Designer {
+	return &Designer{cat: cat, opts: opts}
+}
+
+// AddQuery registers a query. The SQL is parsed and bound immediately so
+// errors surface at registration.
+func (d *Designer) AddQuery(name, sql string, frequency float64) error {
+	if frequency < 0 {
+		return fmt.Errorf("mvpp: query %s has negative frequency", name)
+	}
+	if _, err := sqlparse.BindQuery(d.cat.inner, name, sql); err != nil {
+		return fmt.Errorf("mvpp: %w", err)
+	}
+	for _, q := range d.queries {
+		if q.Name == name {
+			return fmt.Errorf("mvpp: duplicate query name %q", name)
+		}
+	}
+	d.queries = append(d.queries, Query{Name: name, SQL: sql, Frequency: frequency})
+	return nil
+}
+
+// Queries returns the registered workload.
+func (d *Designer) Queries() []Query {
+	out := make([]Query, len(d.queries))
+	copy(out, d.queries)
+	return out
+}
+
+// Design runs the full pipeline: per-query optimization, multiple-MVPP
+// generation, and view selection on every candidate; the best candidate
+// becomes the design.
+func (d *Designer) Design() (*Design, error) {
+	if len(d.queries) == 0 {
+		return nil, fmt.Errorf("mvpp: no queries registered")
+	}
+	model, err := d.opts.Model.model()
+	if err != nil {
+		return nil, err
+	}
+	estOpts := cost.DefaultOptions()
+	if d.opts.PaperSizes {
+		estOpts = cost.PaperOptions()
+	}
+	est := cost.NewEstimator(d.cat.inner, estOpts)
+	opt := optimizer.New(est, model, optimizer.Options{LeftDeepOnly: d.opts.LeftDeepPlans})
+
+	plans := make([]core.QueryPlan, len(d.queries))
+	for i, q := range d.queries {
+		bound, err := sqlparse.BindQuery(d.cat.inner, q.Name, q.SQL)
+		if err != nil {
+			return nil, fmt.Errorf("mvpp: %w", err)
+		}
+		plan, _, err := opt.Optimize(bound)
+		if err != nil {
+			return nil, fmt.Errorf("mvpp: %w", err)
+		}
+		plans[i] = core.QueryPlan{Name: q.Name, Freq: q.Frequency, Plan: plan}
+	}
+
+	cands, err := core.Generate(est, model, plans, core.GenOptions{
+		MaxRotations:     d.opts.Rotations,
+		PushDisjunctions: d.opts.PushDisjunctions,
+		PushProjections:  d.opts.PushProjections,
+		NoPushdown:       d.opts.NoPushdown,
+		Select:           core.SelectOptions{DiscountedMaintenance: d.opts.DiscountedMaintenance},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mvpp: %w", err)
+	}
+
+	// Apply the distribution (if any) to every candidate, then re-select on
+	// the final cost structure.
+	for _, c := range cands {
+		if d.opts.IndexedViews {
+			c.MVPP.SetIndexedViews(true)
+			// Re-select so the heuristic's evaluation sees indexed costs.
+			c.Selection = c.MVPP.SelectViews(model,
+				core.SelectOptions{DiscountedMaintenance: d.opts.DiscountedMaintenance})
+		}
+		if d.opts.Distribution != nil {
+			dist := core.Distribution{
+				SiteOf:    d.opts.Distribution.SiteOf,
+				Warehouse: "warehouse",
+				CostPerBlock: func(_, _ string) float64 {
+					return d.opts.Distribution.BlockTransferCost
+				},
+			}
+			if err := c.MVPP.ApplyDistribution(dist); err != nil {
+				return nil, fmt.Errorf("mvpp: %w", err)
+			}
+		}
+		if d.opts.Exhaustive {
+			opt, err := c.MVPP.ExhaustiveOptimal(model)
+			if err != nil {
+				return nil, fmt.Errorf("mvpp: %w", err)
+			}
+			c.Selection = &core.SelectionResult{
+				Materialized: opt.Materialized,
+				Costs:        opt.Costs,
+			}
+		} else if d.opts.Distribution != nil {
+			// Re-run the heuristic so its evaluation reflects transfer
+			// costs.
+			c.Selection = c.MVPP.SelectViews(model,
+				core.SelectOptions{DiscountedMaintenance: d.opts.DiscountedMaintenance})
+		}
+		safeguardSelection(c, model)
+	}
+
+	best := core.Best(cands)
+	return &Design{
+		mvpp:       best.MVPP,
+		model:      model,
+		selection:  best.Selection,
+		candidates: cands,
+		queries:    d.Queries(),
+		catalog:    d.cat,
+	}, nil
+}
+
+// safeguardSelection is an extension over the paper: the greedy Figure 9
+// heuristic can underperform the trivial extremes on skewed workloads
+// (e.g. materializing a huge shared unfiltered join), so the designer also
+// prices "materialize nothing" and "materialize every query result" and
+// keeps the cheapest. The selection trace records the substitution.
+func safeguardSelection(c *core.Candidate, model cost.Model) {
+	m := c.MVPP
+	type alt struct {
+		name string
+		mat  core.VertexSet
+	}
+	roots := make(core.VertexSet, len(m.Roots))
+	for _, r := range m.Roots {
+		roots[r.ID] = true
+	}
+	for _, a := range []alt{
+		{"all-virtual", core.VertexSet{}},
+		{"all-query-results", roots},
+	} {
+		costs := m.Evaluate(model, a.mat)
+		if costs.Total < c.Selection.Costs.Total {
+			c.Selection.Materialized = a.mat
+			c.Selection.Costs = costs
+			c.Selection.Trace = append(c.Selection.Trace, core.TraceStep{
+				Vertex: "(design)",
+				Action: core.ActionSafeguard,
+				Note:   "baseline strategy " + a.name + " beat the greedy choice",
+			})
+		}
+	}
+}

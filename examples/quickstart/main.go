@@ -1,0 +1,92 @@
+// Quickstart: design materialized views for the paper's running example —
+// five member-database relations, four warehouse queries — and print the
+// recommended design.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mvpp "github.com/warehousekit/mvpp"
+)
+
+func main() {
+	cat := mvpp.NewCatalog()
+
+	// Table 1 of the paper: relation sizes, block counts, update
+	// frequencies, and attribute statistics.
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	must(cat.AddTable("Product", []mvpp.Column{
+		{Name: "Pid", Type: mvpp.Int},
+		{Name: "name", Type: mvpp.String},
+		{Name: "Did", Type: mvpp.Int},
+	}, mvpp.TableStats{Rows: 30000, Blocks: 3000, UpdateFrequency: 1,
+		DistinctValues: map[string]float64{"Pid": 30000, "Did": 5000}}))
+
+	must(cat.AddTable("Division", []mvpp.Column{
+		{Name: "Did", Type: mvpp.Int},
+		{Name: "name", Type: mvpp.String},
+		{Name: "city", Type: mvpp.String},
+	}, mvpp.TableStats{Rows: 5000, Blocks: 500, UpdateFrequency: 1,
+		DistinctValues: map[string]float64{"Did": 5000, "city": 50}}))
+
+	must(cat.AddTable("Order", []mvpp.Column{
+		{Name: "Pid", Type: mvpp.Int},
+		{Name: "Cid", Type: mvpp.Int},
+		{Name: "quantity", Type: mvpp.Int},
+		{Name: "date", Type: mvpp.Date},
+	}, mvpp.TableStats{Rows: 50000, Blocks: 6000, UpdateFrequency: 1,
+		DistinctValues: map[string]float64{"Pid": 30000, "Cid": 20000},
+		IntRanges:      map[string][2]int64{"quantity": {1, 200}}}))
+
+	must(cat.AddTable("Customer", []mvpp.Column{
+		{Name: "Cid", Type: mvpp.Int},
+		{Name: "name", Type: mvpp.String},
+		{Name: "city", Type: mvpp.String},
+	}, mvpp.TableStats{Rows: 20000, Blocks: 2000, UpdateFrequency: 1,
+		DistinctValues: map[string]float64{"Cid": 20000, "city": 50}}))
+
+	must(cat.AddTable("Part", []mvpp.Column{
+		{Name: "Tid", Type: mvpp.Int},
+		{Name: "name", Type: mvpp.String},
+		{Name: "Pid", Type: mvpp.Int},
+		{Name: "supplier", Type: mvpp.String},
+	}, mvpp.TableStats{Rows: 80000, Blocks: 10000, UpdateFrequency: 1,
+		DistinctValues: map[string]float64{"Tid": 80000, "Pid": 30000}}))
+
+	// The paper pins these selectivities in Table 1.
+	must(cat.PinSelectivity(`city = 'LA'`, 0.02, "Division"))
+	must(cat.PinSelectivity(`date > 7/1/96`, 0.5, "Order"))
+	must(cat.PinSelectivity(`quantity > 100`, 0.5, "Order"))
+
+	// The four warehouse queries of §2 with their access frequencies.
+	d := mvpp.NewDesigner(cat, mvpp.Options{})
+	must(d.AddQuery("Q1",
+		`SELECT Product.name FROM Product, Division
+		 WHERE Division.city = 'LA' AND Product.Did = Division.Did`, 10))
+	must(d.AddQuery("Q2",
+		`SELECT Part.name FROM Product, Part, Division
+		 WHERE Division.city = 'LA' AND Product.Did = Division.Did AND Part.Pid = Product.Pid`, 0.5))
+	must(d.AddQuery("Q3",
+		`SELECT Customer.name, Product.name, quantity FROM Product, Division, Order, Customer
+		 WHERE Division.city = 'LA' AND Product.Did = Division.Did
+		   AND Product.Pid = Order.Pid AND Order.Cid = Customer.Cid AND date > 7/1/96`, 0.8))
+	must(d.AddQuery("Q4",
+		`SELECT Customer.city, date FROM Order, Customer
+		 WHERE quantity > 100 AND Order.Cid = Customer.Cid`, 5))
+
+	design, err := d.Design()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(design.Report())
+
+	fmt.Println("\nselection trace (the paper's Figure 9 heuristic):")
+	fmt.Print(design.Trace())
+}

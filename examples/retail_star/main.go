@@ -1,0 +1,136 @@
+// Retail star schema: a Sales fact table referencing Store, Item, Promo
+// and Day dimensions, with a ten-query reporting workload whose queries
+// overlap heavily — the situation the MVPP framework is built for.
+// The example designs the views, compares hand-picked strategies, and
+// emits Graphviz DOT for the chosen MVPP.
+//
+//	go run ./examples/retail_star
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mvpp "github.com/warehousekit/mvpp"
+)
+
+func buildCatalog() (*mvpp.Catalog, error) {
+	cat := mvpp.NewCatalog()
+	steps := []error{
+		cat.AddTable("Sales", []mvpp.Column{
+			{Name: "sid", Type: mvpp.Int},
+			{Name: "store_id", Type: mvpp.Int},
+			{Name: "item_id", Type: mvpp.Int},
+			{Name: "promo_id", Type: mvpp.Int},
+			{Name: "day_id", Type: mvpp.Int},
+			{Name: "amount", Type: mvpp.Int},
+		}, mvpp.TableStats{Rows: 2_000_000, Blocks: 250_000, UpdateFrequency: 1,
+			DistinctValues: map[string]float64{
+				"sid": 2_000_000, "store_id": 500, "item_id": 40_000,
+				"promo_id": 300, "day_id": 730,
+			},
+			IntRanges: map[string][2]int64{"amount": {1, 1000}}}),
+		cat.AddTable("Store", []mvpp.Column{
+			{Name: "store_id", Type: mvpp.Int},
+			{Name: "name", Type: mvpp.String},
+			{Name: "region", Type: mvpp.String},
+		}, mvpp.TableStats{Rows: 500, Blocks: 50, UpdateFrequency: 0.01,
+			DistinctValues: map[string]float64{"store_id": 500, "region": 10}}),
+		cat.AddTable("Item", []mvpp.Column{
+			{Name: "item_id", Type: mvpp.Int},
+			{Name: "name", Type: mvpp.String},
+			{Name: "category", Type: mvpp.String},
+		}, mvpp.TableStats{Rows: 40_000, Blocks: 4_000, UpdateFrequency: 0.1,
+			DistinctValues: map[string]float64{"item_id": 40_000, "category": 80}}),
+		cat.AddTable("Promo", []mvpp.Column{
+			{Name: "promo_id", Type: mvpp.Int},
+			{Name: "name", Type: mvpp.String},
+			{Name: "kind", Type: mvpp.String},
+		}, mvpp.TableStats{Rows: 300, Blocks: 30, UpdateFrequency: 0.05,
+			DistinctValues: map[string]float64{"promo_id": 300, "kind": 6}}),
+		cat.AddTable("Day", []mvpp.Column{
+			{Name: "day_id", Type: mvpp.Int},
+			{Name: "date", Type: mvpp.Date},
+			{Name: "quarter", Type: mvpp.String},
+		}, mvpp.TableStats{Rows: 730, Blocks: 40, UpdateFrequency: 0,
+			DistinctValues: map[string]float64{"day_id": 730, "quarter": 8}}),
+	}
+	for _, err := range steps {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cat, nil
+}
+
+func main() {
+	cat, err := buildCatalog()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Ten reporting queries. The region='West' sales slice and the
+	// category='Grocery' slice recur across them with different frequency
+	// weights.
+	queries := []struct {
+		name string
+		sql  string
+		freq float64
+	}{
+		{"west_sales", `SELECT Store.name, amount FROM Sales, Store
+			WHERE Store.region = 'West' AND Sales.store_id = Store.store_id`, 40},
+		{"west_by_item", `SELECT Item.name, amount FROM Sales, Store, Item
+			WHERE Store.region = 'West' AND Sales.store_id = Store.store_id
+			  AND Sales.item_id = Item.item_id`, 15},
+		{"west_grocery", `SELECT Store.name, Item.name, amount FROM Sales, Store, Item
+			WHERE Store.region = 'West' AND Item.category = 'Grocery'
+			  AND Sales.store_id = Store.store_id AND Sales.item_id = Item.item_id`, 12},
+		{"grocery_all", `SELECT Item.name, amount FROM Sales, Item
+			WHERE Item.category = 'Grocery' AND Sales.item_id = Item.item_id`, 10},
+		{"promo_flash", `SELECT Promo.name, amount FROM Sales, Promo
+			WHERE Promo.kind = 'Flash' AND Sales.promo_id = Promo.promo_id`, 8},
+		{"promo_by_store", `SELECT Store.name, Promo.name, amount FROM Sales, Store, Promo
+			WHERE Promo.kind = 'Flash' AND Sales.store_id = Store.store_id
+			  AND Sales.promo_id = Promo.promo_id`, 4},
+		{"q1_sales", `SELECT Day.quarter, amount FROM Sales, Day
+			WHERE Day.quarter = '2026Q1' AND Sales.day_id = Day.day_id`, 6},
+		{"q1_west", `SELECT Store.name, amount FROM Sales, Store, Day
+			WHERE Day.quarter = '2026Q1' AND Store.region = 'West'
+			  AND Sales.store_id = Store.store_id AND Sales.day_id = Day.day_id`, 5},
+		{"big_tickets", `SELECT Store.name, amount FROM Sales, Store
+			WHERE amount > 900 AND Sales.store_id = Store.store_id`, 3},
+		{"grocery_promo", `SELECT Item.name, Promo.name, amount FROM Sales, Item, Promo
+			WHERE Item.category = 'Grocery' AND Promo.kind = 'Flash'
+			  AND Sales.item_id = Item.item_id AND Sales.promo_id = Promo.promo_id`, 2},
+	}
+
+	d := mvpp.NewDesigner(cat, mvpp.Options{Rotations: 4})
+	for _, q := range queries {
+		if err := d.AddQuery(q.name, q.sql, q.freq); err != nil {
+			log.Fatalf("%s: %v", q.name, err)
+		}
+	}
+	design, err := d.Design()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(design.Report())
+
+	// Compare the recommendation against two hand-picked strategies a DBA
+	// might try.
+	fmt.Println("\nwhat-if strategies:")
+	for _, views := range [][]string{nil, design.VertexNames()[:1]} {
+		q, m, total, err := design.EvaluateStrategy(views)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := fmt.Sprintf("%v", views)
+		if views == nil {
+			label = "nothing materialized"
+		}
+		fmt.Printf("  %-28s query %.3g, maintenance %.3g, total %.3g\n", label, q, m, total)
+	}
+
+	fmt.Println("\nGraphviz DOT of the chosen MVPP (pipe into `dot -Tsvg`):")
+	fmt.Print(design.DOT())
+}

@@ -1,0 +1,107 @@
+package mvpp
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// ExportJSON is the machine-readable form of a design: the MVPP DAG with
+// its annotations, the chosen materialized set, and the cost summary.
+// It is stable output for downstream tooling (dashboards, CI checks on
+// predicted costs, diffing two designs).
+type ExportJSON struct {
+	Queries  []ExportQuery  `json:"queries"`
+	Vertices []ExportVertex `json:"vertices"`
+	Costs    ExportCosts    `json:"costs"`
+}
+
+// ExportQuery is one workload entry.
+type ExportQuery struct {
+	Name      string  `json:"name"`
+	SQL       string  `json:"sql"`
+	Frequency float64 `json:"frequency"`
+	// Cost is the query's frequency-weighted predicted cost under the
+	// design.
+	Cost float64 `json:"cost"`
+}
+
+// ExportVertex is one MVPP vertex.
+type ExportVertex struct {
+	Name      string   `json:"name"`
+	Operation string   `json:"operation"`
+	Kind      string   `json:"kind"` // "base", "intermediate", "query"
+	Inputs    []string `json:"inputs,omitempty"`
+	Queries   []string `json:"queries,omitempty"` // queries using the vertex
+	Rows      float64  `json:"rows"`
+	Blocks    float64  `json:"blocks"`
+	// ComputeCost is the paper's Ca(v); zero for base relations.
+	ComputeCost float64 `json:"computeCost"`
+	Weight      float64 `json:"weight"`
+	// Materialized marks the design's chosen views.
+	Materialized bool `json:"materialized"`
+}
+
+// ExportCosts is the design's §4.1 cost breakdown.
+type ExportCosts struct {
+	Query                float64 `json:"query"`
+	Maintenance          float64 `json:"maintenance"`
+	Total                float64 `json:"total"`
+	AllVirtualTotal      float64 `json:"allVirtualTotal"`
+	AllMaterializedTotal float64 `json:"allMaterializedTotal"`
+}
+
+// Export builds the machine-readable form of the design.
+func (d *Design) Export() *ExportJSON {
+	costs := d.Costs()
+	out := &ExportJSON{
+		Costs: ExportCosts{
+			Query:                costs.QueryCost,
+			Maintenance:          costs.MaintenanceCost,
+			Total:                costs.TotalCost,
+			AllVirtualTotal:      costs.AllVirtualTotal,
+			AllMaterializedTotal: costs.AllMaterializedTotal,
+		},
+	}
+	for _, q := range d.queries {
+		out.Queries = append(out.Queries, ExportQuery{
+			Name:      q.Name,
+			SQL:       q.SQL,
+			Frequency: q.Frequency,
+			Cost:      costs.PerQuery[q.Name],
+		})
+	}
+	for _, v := range d.mvpp.Vertices {
+		ev := ExportVertex{
+			Name:         v.Name,
+			Operation:    v.Op.Label(),
+			Rows:         v.Est.Rows,
+			Blocks:       v.Est.Blocks,
+			ComputeCost:  v.Ca,
+			Weight:       v.Weight,
+			Materialized: d.selection.Materialized[v.ID],
+		}
+		switch {
+		case v.IsLeaf():
+			ev.Kind = "base"
+		case v.IsRoot():
+			ev.Kind = "query"
+		default:
+			ev.Kind = "intermediate"
+		}
+		for _, in := range v.In {
+			ev.Inputs = append(ev.Inputs, in.Name)
+		}
+		if !v.IsLeaf() {
+			ev.Queries = d.mvpp.QueriesUsing(v)
+		}
+		out.Vertices = append(out.Vertices, ev)
+	}
+	return out
+}
+
+// WriteJSON writes the exported design as indented JSON.
+func (d *Design) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d.Export())
+}

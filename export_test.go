@@ -1,0 +1,67 @@
+package mvpp_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	mvpp "github.com/warehousekit/mvpp"
+)
+
+func TestExportJSON(t *testing.T) {
+	design, err := paperDesigner(t, mvpp.Options{}).Design()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := design.Export()
+	if len(exp.Queries) != 4 {
+		t.Fatalf("queries = %d", len(exp.Queries))
+	}
+	if exp.Costs.Total != exp.Costs.Query+exp.Costs.Maintenance {
+		t.Errorf("cost identity violated: %+v", exp.Costs)
+	}
+
+	kinds := map[string]int{}
+	materialized := 0
+	byName := map[string]mvpp.ExportVertex{}
+	for _, v := range exp.Vertices {
+		kinds[v.Kind]++
+		if v.Materialized {
+			materialized++
+		}
+		byName[v.Name] = v
+	}
+	if kinds["base"] != 5 {
+		t.Errorf("base vertices = %d, want 5", kinds["base"])
+	}
+	if kinds["query"] != 4 {
+		t.Errorf("query vertices = %d, want 4", kinds["query"])
+	}
+	if materialized != len(design.Views()) {
+		t.Errorf("materialized flags = %d, views = %d", materialized, len(design.Views()))
+	}
+	// Inputs reference existing vertex names.
+	for _, v := range exp.Vertices {
+		for _, in := range v.Inputs {
+			if _, ok := byName[in]; !ok {
+				t.Errorf("%s references unknown input %s", v.Name, in)
+			}
+		}
+		if v.Kind == "base" && (v.ComputeCost != 0 || len(v.Inputs) != 0) {
+			t.Errorf("base vertex %s has compute cost %v / inputs %v", v.Name, v.ComputeCost, v.Inputs)
+		}
+	}
+
+	// WriteJSON emits valid, decodable JSON.
+	var buf bytes.Buffer
+	if err := design.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var roundTrip mvpp.ExportJSON
+	if err := json.Unmarshal(buf.Bytes(), &roundTrip); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(roundTrip.Vertices) != len(exp.Vertices) {
+		t.Errorf("round trip lost vertices: %d vs %d", len(roundTrip.Vertices), len(exp.Vertices))
+	}
+}

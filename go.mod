@@ -1,0 +1,3 @@
+module github.com/warehousekit/mvpp
+
+go 1.22

@@ -1,0 +1,214 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+)
+
+func sumQuantity() Aggregation {
+	return Aggregation{Func: AggSum, Arg: Ref("Order", "quantity"), Alias: "total"}
+}
+
+func countAll() Aggregation {
+	return Aggregation{Func: AggCount, Alias: "n"}
+}
+
+func ordersAgg() *Aggregate {
+	return NewAggregate(
+		NewScan("Order", orderSchema()),
+		[]ColumnRef{Ref("Order", "Cid")},
+		[]Aggregation{sumQuantity(), countAll()},
+	)
+}
+
+func TestAggregateSchema(t *testing.T) {
+	g := ordersAgg()
+	s := g.Schema()
+	if s.Len() != 3 {
+		t.Fatalf("schema = %s", s)
+	}
+	if s.Columns[0].QualifiedName() != "Order.Cid" {
+		t.Errorf("group column = %s", s.Columns[0].QualifiedName())
+	}
+	if s.Columns[1].Name != "total" || s.Columns[1].Type != TypeInt {
+		t.Errorf("sum column = %+v", s.Columns[1])
+	}
+	if s.Columns[2].Name != "n" || s.Columns[2].Type != TypeInt {
+		t.Errorf("count column = %+v", s.Columns[2])
+	}
+}
+
+func TestAggregateSchemaAvgIsFloat(t *testing.T) {
+	g := NewAggregate(NewScan("Order", orderSchema()), nil,
+		[]Aggregation{{Func: AggAvg, Arg: Ref("Order", "quantity"), Alias: "avg_q"}})
+	if got := g.Schema().Columns[0].Type; got != TypeFloat {
+		t.Errorf("AVG type = %v, want float", got)
+	}
+}
+
+func TestAggregateValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		agg     *Aggregate
+		wantErr string
+	}{
+		{"valid", ordersAgg(), ""},
+		{"no functions", NewAggregate(NewScan("Order", orderSchema()), nil, nil), "no aggregation functions"},
+		{"missing alias", NewAggregate(NewScan("Order", orderSchema()), nil,
+			[]Aggregation{{Func: AggSum, Arg: Ref("Order", "quantity")}}), "no alias"},
+		{"duplicate alias", NewAggregate(NewScan("Order", orderSchema()), nil,
+			[]Aggregation{
+				{Func: AggSum, Arg: Ref("Order", "quantity"), Alias: "x"},
+				{Func: AggCount, Alias: "x"},
+			}), "duplicate aggregation alias"},
+		{"bad group column", NewAggregate(NewScan("Order", orderSchema()),
+			[]ColumnRef{Ref("Order", "ghost")},
+			[]Aggregation{countAll()}), "GROUP BY"},
+		{"bad arg column", NewAggregate(NewScan("Order", orderSchema()), nil,
+			[]Aggregation{{Func: AggSum, Arg: Ref("Order", "ghost"), Alias: "s"}}), "unknown column"},
+		{"sum without arg", NewAggregate(NewScan("Order", orderSchema()), nil,
+			[]Aggregation{{Func: AggSum, Alias: "s"}}), "requires an argument"},
+		{"sum over string", NewAggregate(NewScan("Customer", customerSchema()), nil,
+			[]Aggregation{{Func: AggSum, Arg: Ref("Customer", "name"), Alias: "s"}}), "non-numeric"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := Validate(tt.agg)
+			if tt.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Errorf("error = %v, want %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestAggregateMinMaxOverStringsAllowed(t *testing.T) {
+	g := NewAggregate(NewScan("Customer", customerSchema()), nil,
+		[]Aggregation{{Func: AggMin, Arg: Ref("Customer", "name"), Alias: "first"}})
+	if err := Validate(g); err != nil {
+		t.Errorf("MIN over string rejected: %v", err)
+	}
+}
+
+func TestAggregateKeysCanonical(t *testing.T) {
+	a := NewAggregate(NewScan("Order", orderSchema()),
+		[]ColumnRef{Ref("Order", "Cid"), Ref("Order", "Pid")},
+		[]Aggregation{sumQuantity(), countAll()})
+	b := NewAggregate(NewScan("Order", orderSchema()),
+		[]ColumnRef{Ref("Order", "Pid"), Ref("Order", "Cid")},
+		[]Aggregation{countAll(), sumQuantity()})
+	if StructuralKey(a) != StructuralKey(b) {
+		t.Error("group/agg order changed structural key")
+	}
+	if SemanticKey(a) != SemanticKey(b) {
+		t.Error("group/agg order changed semantic key")
+	}
+	c := NewAggregate(NewScan("Order", orderSchema()),
+		[]ColumnRef{Ref("Order", "Cid")},
+		[]Aggregation{sumQuantity(), countAll()})
+	if StructuralKey(a) == StructuralKey(c) {
+		t.Error("different group sets share a key")
+	}
+}
+
+func TestAggregateDecomposeCompose(t *testing.T) {
+	ord := NewScan("Order", orderSchema())
+	cust := NewScan("Customer", customerSchema())
+	join := NewJoin(ord, cust, []JoinCond{{Left: Ref("Order", "Cid"), Right: Ref("Customer", "Cid")}})
+	sel := NewSelect(join, Compare(ColOperand(Ref("Order", "quantity")), OpGt, LitOperand(IntVal(100))))
+	plan := NewAggregate(sel, []ColumnRef{Ref("Customer", "city")},
+		[]Aggregation{sumQuantity()})
+
+	d, err := Decompose(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TopAgg == nil {
+		t.Fatal("TopAgg not recorded")
+	}
+	if len(d.Selections) != 1 {
+		t.Errorf("selections = %v", d.Selections)
+	}
+	re := d.Compose()
+	if _, ok := re.(*Aggregate); !ok {
+		t.Fatalf("composed root = %T", re)
+	}
+	if err := Validate(re); err != nil {
+		t.Fatalf("composed plan invalid: %v", err)
+	}
+}
+
+func TestAggregateBelowRootRejected(t *testing.T) {
+	inner := ordersAgg()
+	plan := NewProject(inner, []ColumnRef{Ref("", "total")})
+	if _, err := Decompose(plan); err == nil || !strings.Contains(err.Error(), "below the plan root") {
+		t.Errorf("Decompose error = %v", err)
+	}
+}
+
+func TestAggregatePruneColumns(t *testing.T) {
+	ord := NewScan("Order", orderSchema())
+	cust := NewScan("Customer", customerSchema())
+	join := NewJoin(ord, cust, []JoinCond{{Left: Ref("Order", "Cid"), Right: Ref("Customer", "Cid")}})
+	plan := NewAggregate(join, []ColumnRef{Ref("Customer", "city")},
+		[]Aggregation{sumQuantity()})
+	pruned := Normalize(PruneColumns(plan, nil))
+	if err := Validate(pruned); err != nil {
+		t.Fatalf("pruned plan invalid: %v", err)
+	}
+	// The Customer side should shrink to {Cid, city}.
+	found := false
+	Walk(pruned, func(n Node) {
+		if p, ok := n.(*Project); ok {
+			leaves := Leaves(p)
+			if len(leaves) == 1 && leaves[0] == "Customer" && len(p.Cols) == 2 {
+				found = true
+			}
+		}
+	})
+	if !found {
+		t.Errorf("Customer side not pruned:\n%s", pruned.Canonical())
+	}
+}
+
+func TestAggregatePushDownSelectionsStopsAtAggregate(t *testing.T) {
+	g := ordersAgg()
+	outer := NewSelect(g, Compare(ColOperand(Ref("", "total")), OpGt, LitOperand(IntVal(10))))
+	down := PushDownSelections(outer)
+	s, ok := down.(*Select)
+	if !ok {
+		t.Fatalf("selection moved below aggregate: %T", down)
+	}
+	if _, ok := s.Input.(*Aggregate); !ok {
+		t.Fatalf("selection input = %T", s.Input)
+	}
+	if err := Validate(down); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+}
+
+func TestAggregateTransformClone(t *testing.T) {
+	g := ordersAgg()
+	cl := Clone(g)
+	if !Equal(g, cl) {
+		t.Error("clone differs")
+	}
+	cl.(*Aggregate).GroupBy[0] = Ref("Order", "Pid")
+	if Equal(g, cl) {
+		t.Error("clone aliases group slice")
+	}
+}
+
+func TestAggregateLabel(t *testing.T) {
+	l := ordersAgg().Label()
+	for _, want := range []string{"γ", "SUM(Order.quantity) AS total", "COUNT(*) AS n", "BY Order.Cid"} {
+		if !strings.Contains(l, want) {
+			t.Errorf("label %q missing %q", l, want)
+		}
+	}
+}

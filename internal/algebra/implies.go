@@ -1,0 +1,223 @@
+package algebra
+
+// Implies reports whether predicate p logically implies predicate q — every
+// row satisfying p also satisfies q. It is sound but deliberately
+// incomplete: a false result means "could not prove", not "does not imply".
+// The view-subsumption rewriter uses it to answer a query's selection from
+// a materialized view with a weaker filter (e.g. σ city='LA' is implied by
+// the Figure-8 style shared filter σ city='LA' ∨ city='SF').
+//
+// The decision procedure understands conjunctions of column-vs-literal
+// comparisons (interval reasoning per column), disjunctions on the right
+// (prove any disjunct), conjunctions on the right (prove every conjunct),
+// and canonical-form equality as a shortcut. Column-vs-column comparisons
+// and negations participate only via canonical equality.
+func Implies(p, q Predicate) bool {
+	if q == nil {
+		return true
+	}
+	if p == nil {
+		return false
+	}
+	if p.String() == q.String() {
+		return true
+	}
+	switch v := q.(type) {
+	case *And:
+		for _, sub := range v.Preds {
+			if !Implies(p, sub) {
+				return false
+			}
+		}
+		return true
+	case *Or:
+		// Sufficient: p proves one disjunct. Also handle the case where p
+		// is itself a disjunction: every disjunct of p must imply q.
+		if pd, ok := p.(*Or); ok {
+			for _, sub := range pd.Preds {
+				if !Implies(sub, q) {
+					return false
+				}
+			}
+			return true
+		}
+		for _, sub := range v.Preds {
+			if Implies(p, sub) {
+				return true
+			}
+		}
+		return false
+	case *Comparison:
+		return conjunctsImplyComparison(Conjuncts(p), v)
+	default:
+		return false
+	}
+}
+
+// bound is one side of a column's derived interval.
+type bound struct {
+	v      Value
+	strict bool // exclusive bound
+	set    bool
+}
+
+// colConstraint is the interval/equality knowledge about one column under a
+// conjunction.
+type colConstraint struct {
+	eq       *Value // pinned by an equality
+	lo, hi   bound
+	nonEmpty bool // at least one constraint seen
+}
+
+// conjunctsImplyComparison derives the constraint p places on the target
+// comparison's column and checks the comparison holds throughout.
+func conjunctsImplyComparison(conj []Predicate, target *Comparison) bool {
+	if !target.Left.IsColumn || target.Right.IsColumn {
+		// Only column-vs-literal targets are decided structurally; fall
+		// back to exact conjunct match.
+		for _, c := range conj {
+			if c.String() == target.String() {
+				return true
+			}
+		}
+		return false
+	}
+	col := target.Left.Col.String()
+	cc := colConstraint{}
+	for _, c := range conj {
+		cmp, ok := c.(*Comparison)
+		if !ok || !cmp.Left.IsColumn || cmp.Right.IsColumn {
+			continue
+		}
+		if cmp.Left.Col.String() != col {
+			continue
+		}
+		lit := cmp.Right.Lit
+		switch cmp.Op {
+		case OpEq:
+			v := lit
+			cc.eq = &v
+			cc.nonEmpty = true
+		case OpLt:
+			cc.tightenHi(lit, true)
+		case OpLe:
+			cc.tightenHi(lit, false)
+		case OpGt:
+			cc.tightenLo(lit, true)
+		case OpGe:
+			cc.tightenLo(lit, false)
+		}
+	}
+	if !cc.nonEmpty {
+		return false
+	}
+	lit := target.Right.Lit
+	if cc.eq != nil {
+		// Column pinned: evaluate the target on the pinned value.
+		c, err := cc.eq.Compare(lit)
+		if err != nil {
+			return false
+		}
+		return target.Op.holds(c)
+	}
+	switch target.Op {
+	case OpEq:
+		return false // an interval (not a point) cannot prove equality
+	case OpNotEq:
+		// Proven when the interval excludes the literal.
+		return cc.excludes(lit)
+	case OpLt:
+		return cc.hi.set && boundBelow(cc.hi, lit, true)
+	case OpLe:
+		return cc.hi.set && boundBelow(cc.hi, lit, false)
+	case OpGt:
+		return cc.lo.set && boundAbove(cc.lo, lit, true)
+	case OpGe:
+		return cc.lo.set && boundAbove(cc.lo, lit, false)
+	default:
+		return false
+	}
+}
+
+func (c *colConstraint) tightenHi(v Value, strict bool) {
+	c.nonEmpty = true
+	if !c.hi.set {
+		c.hi = bound{v: v, strict: strict, set: true}
+		return
+	}
+	cmp, err := v.Compare(c.hi.v)
+	if err != nil {
+		return
+	}
+	if cmp < 0 || (cmp == 0 && strict && !c.hi.strict) {
+		c.hi = bound{v: v, strict: strict, set: true}
+	}
+}
+
+func (c *colConstraint) tightenLo(v Value, strict bool) {
+	c.nonEmpty = true
+	if !c.lo.set {
+		c.lo = bound{v: v, strict: strict, set: true}
+		return
+	}
+	cmp, err := v.Compare(c.lo.v)
+	if err != nil {
+		return
+	}
+	if cmp > 0 || (cmp == 0 && strict && !c.lo.strict) {
+		c.lo = bound{v: v, strict: strict, set: true}
+	}
+}
+
+// excludes reports whether the interval provably excludes the value.
+func (c *colConstraint) excludes(v Value) bool {
+	if c.hi.set {
+		if cmp, err := v.Compare(c.hi.v); err == nil {
+			if cmp > 0 || (cmp == 0 && c.hi.strict) {
+				return true
+			}
+		}
+	}
+	if c.lo.set {
+		if cmp, err := v.Compare(c.lo.v); err == nil {
+			if cmp < 0 || (cmp == 0 && c.lo.strict) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// boundBelow: does "x ⊲ hi" guarantee "x < lit" (strictTarget) or
+// "x ≤ lit"?
+func boundBelow(hi bound, lit Value, strictTarget bool) bool {
+	cmp, err := hi.v.Compare(lit)
+	if err != nil {
+		return false
+	}
+	if cmp < 0 {
+		return true
+	}
+	if cmp > 0 {
+		return false
+	}
+	// hi == lit: x < hi proves both x < lit and x ≤ lit; x ≤ hi proves only
+	// x ≤ lit.
+	return hi.strict || !strictTarget
+}
+
+// boundAbove: does "x ⊳ lo" guarantee "x > lit" (strictTarget) or
+// "x ≥ lit"?
+func boundAbove(lo bound, lit Value, strictTarget bool) bool {
+	cmp, err := lo.v.Compare(lit)
+	if err != nil {
+		return false
+	}
+	if cmp > 0 {
+		return true
+	}
+	if cmp < 0 {
+		return false
+	}
+	return lo.strict || !strictTarget
+}

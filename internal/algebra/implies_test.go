@@ -1,0 +1,135 @@
+package algebra
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func cmpInt(col string, op CompareOp, v int64) *Comparison {
+	return Compare(ColOperand(Ref("R", col)), op, LitOperand(IntVal(v)))
+}
+
+func cmpStr(col string, op CompareOp, v string) *Comparison {
+	return Compare(ColOperand(Ref("R", col)), op, LitOperand(StringVal(v)))
+}
+
+func TestImpliesBasics(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q Predicate
+		want bool
+	}{
+		{"anything implies nil", cmpInt("x", OpEq, 1), nil, true},
+		{"nil implies nothing", nil, cmpInt("x", OpEq, 1), false},
+		{"self", cmpInt("x", OpGt, 5), cmpInt("x", OpGt, 5), true},
+		{"eq implies range", cmpInt("x", OpEq, 10), cmpInt("x", OpGt, 5), true},
+		{"eq implies le", cmpInt("x", OpEq, 10), cmpInt("x", OpLe, 10), true},
+		{"eq fails range", cmpInt("x", OpEq, 3), cmpInt("x", OpGt, 5), false},
+		{"eq implies noteq", cmpInt("x", OpEq, 10), cmpInt("x", OpNotEq, 3), true},
+		{"tighter gt", cmpInt("x", OpGt, 10), cmpInt("x", OpGt, 5), true},
+		{"looser gt fails", cmpInt("x", OpGt, 5), cmpInt("x", OpGt, 10), false},
+		{"gt implies ge same bound", cmpInt("x", OpGt, 5), cmpInt("x", OpGe, 5), true},
+		{"ge does not imply gt same bound", cmpInt("x", OpGe, 5), cmpInt("x", OpGt, 5), false},
+		{"lt implies le", cmpInt("x", OpLt, 5), cmpInt("x", OpLe, 5), true},
+		{"le fails lt", cmpInt("x", OpLe, 5), cmpInt("x", OpLt, 5), false},
+		{"interval excludes noteq", cmpInt("x", OpGt, 10), cmpInt("x", OpNotEq, 3), true},
+		{"interval cannot prove eq", cmpInt("x", OpGt, 10), cmpInt("x", OpEq, 11), false},
+		{"different columns fail", cmpInt("x", OpGt, 10), cmpInt("y", OpGt, 5), false},
+		{"string eq", cmpStr("city", OpEq, "LA"), cmpStr("city", OpNotEq, "SF"), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Implies(tt.p, tt.q); got != tt.want {
+				t.Errorf("Implies(%v, %v) = %v, want %v", tt.p, tt.q, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestImpliesConjunctionsAndDisjunctions(t *testing.T) {
+	la := cmpStr("city", OpEq, "LA")
+	sf := cmpStr("city", OpEq, "SF")
+	big := cmpInt("q", OpGt, 100)
+	huge := cmpInt("q", OpGt, 1000)
+
+	// p ⇒ each conjunct of q.
+	if !Implies(NewAnd(la, huge), NewAnd(la, big)) {
+		t.Error("conjunction strengthening failed")
+	}
+	if Implies(NewAnd(la, big), NewAnd(la, huge)) {
+		t.Error("weaker conjunction should not imply stronger")
+	}
+	// p ⇒ a ∨ b when p ⇒ a — the Figure-8 shared-filter case.
+	if !Implies(la, NewOr(la, sf)) {
+		t.Error("disjunct introduction failed")
+	}
+	if Implies(NewOr(la, sf), la) {
+		t.Error("disjunction should not imply one disjunct")
+	}
+	// (a ∨ b) ⇒ (a ∨ b ∨ c): every disjunct of p implies q.
+	re := cmpStr("city", OpEq, "Re")
+	if !Implies(NewOr(la, sf), NewOr(la, sf, re)) {
+		t.Error("disjunction widening failed")
+	}
+	// interval conjunction: 5 < x ≤ 7 ⇒ x > 4 and x < 10.
+	p := NewAnd(cmpInt("x", OpGt, 5), cmpInt("x", OpLe, 7))
+	if !Implies(p, cmpInt("x", OpGt, 4)) || !Implies(p, cmpInt("x", OpLt, 10)) {
+		t.Error("interval reasoning failed")
+	}
+	if Implies(p, cmpInt("x", OpGt, 6)) {
+		t.Error("x>5 should not prove x>6")
+	}
+}
+
+// Property: Implies is consistent with evaluation — whenever Implies(p, q)
+// holds, every integer satisfying p satisfies q.
+func TestImpliesSoundProperty(t *testing.T) {
+	schema := NewSchema(Column{Relation: "R", Name: "x", Type: TypeInt})
+	ops := []CompareOp{OpEq, OpNotEq, OpLt, OpLe, OpGt, OpGe}
+	f := func(op1Raw, op2Raw uint8, b1, b2 int8, sample int8) bool {
+		p := cmpInt("x", ops[int(op1Raw)%len(ops)], int64(b1))
+		q := cmpInt("x", ops[int(op2Raw)%len(ops)], int64(b2))
+		if !Implies(p, q) {
+			return true // nothing claimed
+		}
+		tup := &Tuple{Schema: schema, Values: []Value{IntVal(int64(sample))}}
+		pv, err1 := p.Eval(tup)
+		qv, err2 := q.Eval(tup)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return !pv || qv
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: soundness for conjunction pairs over two columns.
+func TestImpliesSoundConjunctionsProperty(t *testing.T) {
+	schema := NewSchema(
+		Column{Relation: "R", Name: "x", Type: TypeInt},
+		Column{Relation: "R", Name: "y", Type: TypeInt},
+	)
+	ops := []CompareOp{OpLt, OpLe, OpGt, OpGe, OpEq}
+	f := func(o1, o2, o3 uint8, b1, b2, b3 int8, sx, sy int8) bool {
+		p := NewAnd(
+			cmpInt("x", ops[int(o1)%len(ops)], int64(b1)),
+			cmpInt("y", ops[int(o2)%len(ops)], int64(b2)),
+		)
+		q := cmpInt("x", ops[int(o3)%len(ops)], int64(b3))
+		if !Implies(p, q) {
+			return true
+		}
+		tup := &Tuple{Schema: schema, Values: []Value{IntVal(int64(sx)), IntVal(int64(sy))}}
+		pv, err1 := p.Eval(tup)
+		qv, err2 := q.Eval(tup)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return !pv || qv
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,245 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+)
+
+// paperPlan builds Query 1 of the paper:
+//
+//	π Pd.name ( Product ⋈ σ city="LA"(Division) )
+func paperPlanQ1() Node {
+	div := NewScan("Division", divisionSchema())
+	pd := NewScan("Product", productSchema())
+	tmp1 := NewSelect(div, Eq(Ref("Division", "city"), StringVal("LA")))
+	tmp2 := NewJoin(pd, tmp1, []JoinCond{{Left: Ref("Product", "Did"), Right: Ref("Division", "Did")}})
+	return NewProject(tmp2, []ColumnRef{Ref("Product", "name")})
+}
+
+func TestScanBasics(t *testing.T) {
+	s := NewScan("Division", divisionSchema())
+	if s.Schema().Len() != 3 {
+		t.Errorf("schema width = %d", s.Schema().Len())
+	}
+	if len(s.Children()) != 0 {
+		t.Error("scan has children")
+	}
+	if s.Canonical() != "scan(Division)" {
+		t.Errorf("Canonical = %q", s.Canonical())
+	}
+	if s.Label() != "Division" {
+		t.Errorf("Label = %q", s.Label())
+	}
+}
+
+func TestSelectSchemaPassthrough(t *testing.T) {
+	div := NewScan("Division", divisionSchema())
+	sel := NewSelect(div, Eq(Ref("Division", "city"), StringVal("LA")))
+	if !sel.Schema().Equal(div.Schema()) {
+		t.Error("selection must not change schema")
+	}
+	if !strings.Contains(sel.Canonical(), `Division.city = "LA"`) {
+		t.Errorf("Canonical = %q", sel.Canonical())
+	}
+}
+
+func TestProjectSchema(t *testing.T) {
+	p := paperPlanQ1()
+	s := p.Schema()
+	if s.Len() != 1 || s.Columns[0].QualifiedName() != "Product.name" {
+		t.Errorf("schema = %s", s)
+	}
+}
+
+func TestJoinSchemaConcat(t *testing.T) {
+	pd := NewScan("Product", productSchema())
+	div := NewScan("Division", divisionSchema())
+	j := NewJoin(pd, div, []JoinCond{{Left: Ref("Product", "Did"), Right: Ref("Division", "Did")}})
+	if j.Schema().Len() != 6 {
+		t.Errorf("join width = %d", j.Schema().Len())
+	}
+	if got := len(j.Children()); got != 2 {
+		t.Errorf("children = %d", got)
+	}
+}
+
+func TestCanonicalJoinOrderSensitive(t *testing.T) {
+	pd := NewScan("Product", productSchema())
+	div := NewScan("Division", divisionSchema())
+	on := []JoinCond{{Left: Ref("Product", "Did"), Right: Ref("Division", "Did")}}
+	onRev := []JoinCond{{Left: Ref("Division", "Did"), Right: Ref("Product", "Did")}}
+	a := NewJoin(pd, div, on)
+	b := NewJoin(div, pd, onRev)
+	if a.Canonical() == b.Canonical() {
+		t.Error("Canonical should distinguish physical join order")
+	}
+	if SemanticKey(a) != SemanticKey(b) {
+		t.Errorf("SemanticKey should unify commuted joins:\n%s\n%s", SemanticKey(a), SemanticKey(b))
+	}
+}
+
+func TestSemanticKeyAssociativity(t *testing.T) {
+	pd := NewScan("Product", productSchema())
+	div := NewScan("Division", divisionSchema())
+	pt := NewScan("Part", NewSchema(
+		Column{Relation: "Part", Name: "Tid", Type: TypeInt},
+		Column{Relation: "Part", Name: "name", Type: TypeString},
+		Column{Relation: "Part", Name: "Pid", Type: TypeInt},
+	))
+	pdDiv := []JoinCond{{Left: Ref("Product", "Did"), Right: Ref("Division", "Did")}}
+	ptPd := []JoinCond{{Left: Ref("Part", "Pid"), Right: Ref("Product", "Pid")}}
+	// (Pd ⋈ Div) ⋈ Pt  vs  Pt ⋈ (Pd ⋈ Div)  vs  (Pt ⋈ Pd) ⋈ Div
+	a := NewJoin(NewJoin(pd, div, pdDiv), pt, []JoinCond{{Left: Ref("Product", "Pid"), Right: Ref("Part", "Pid")}})
+	b := NewJoin(pt, NewJoin(pd, div, pdDiv), ptPd)
+	c := NewJoin(NewJoin(pt, pd, ptPd), div, []JoinCond{{Left: Ref("Product", "Did"), Right: Ref("Division", "Did")}})
+	ka, kb, kc := SemanticKey(a), SemanticKey(b), SemanticKey(c)
+	if ka != kb || kb != kc {
+		t.Errorf("associativity not normalized:\n%s\n%s\n%s", ka, kb, kc)
+	}
+}
+
+func TestSemanticKeyStackedSelections(t *testing.T) {
+	div := NewScan("Division", divisionSchema())
+	la := Eq(Ref("Division", "city"), StringVal("LA"))
+	re := Eq(Ref("Division", "name"), StringVal("Re"))
+	a := NewSelect(NewSelect(div, la), re)
+	b := NewSelect(NewSelect(div, re), la)
+	c := NewSelect(div, NewAnd(la, re))
+	if SemanticKey(a) != SemanticKey(b) || SemanticKey(b) != SemanticKey(c) {
+		t.Errorf("selection stacking not normalized:\n%s\n%s\n%s", SemanticKey(a), SemanticKey(b), SemanticKey(c))
+	}
+}
+
+func TestSemanticKeyDistinguishesDifferentPredicates(t *testing.T) {
+	div := NewScan("Division", divisionSchema())
+	a := NewSelect(div, Eq(Ref("Division", "city"), StringVal("LA")))
+	b := NewSelect(div, Eq(Ref("Division", "city"), StringVal("SF")))
+	if SemanticKey(a) == SemanticKey(b) {
+		t.Error("different selections must have different keys")
+	}
+}
+
+func TestStructuralKeyCommutativeNotAssociative(t *testing.T) {
+	pd := NewScan("Product", productSchema())
+	div := NewScan("Division", divisionSchema())
+	pt := NewScan("Part", NewSchema(
+		Column{Relation: "Part", Name: "Tid", Type: TypeInt},
+		Column{Relation: "Part", Name: "Pid", Type: TypeInt},
+	))
+	pdDiv := []JoinCond{{Left: Ref("Product", "Did"), Right: Ref("Division", "Did")}}
+	// commuted two-way joins unify
+	a := NewJoin(pd, div, pdDiv)
+	b := NewJoin(div, pd, []JoinCond{{Left: Ref("Division", "Did"), Right: Ref("Product", "Did")}})
+	if StructuralKey(a) != StructuralKey(b) {
+		t.Errorf("commuted joins differ:\n%s\n%s", StructuralKey(a), StructuralKey(b))
+	}
+	// different groupings stay distinct
+	grouped := NewJoin(a, pt, []JoinCond{{Left: Ref("Product", "Pid"), Right: Ref("Part", "Pid")}})
+	regrouped := NewJoin(NewJoin(pd, pt, []JoinCond{{Left: Ref("Product", "Pid"), Right: Ref("Part", "Pid")}}), div,
+		[]JoinCond{{Left: Ref("Product", "Did"), Right: Ref("Division", "Did")}})
+	if StructuralKey(grouped) == StructuralKey(regrouped) {
+		t.Error("different join groupings must have different structural keys")
+	}
+	// while SemanticKey unifies them
+	if SemanticKey(grouped) != SemanticKey(regrouped) {
+		t.Error("SemanticKey should unify regroupings")
+	}
+}
+
+func TestStructuralKeySelections(t *testing.T) {
+	div := NewScan("Division", divisionSchema())
+	la := Eq(Ref("Division", "city"), StringVal("LA"))
+	re := Eq(Ref("Division", "name"), StringVal("Re"))
+	// Conjunct order within one selection is canonicalized...
+	a := NewSelect(div, NewAnd(la, re))
+	b := NewSelect(div, NewAnd(re, la))
+	if StructuralKey(a) != StructuralKey(b) {
+		t.Errorf("conjunct order changed key:\n%s\n%s", StructuralKey(a), StructuralKey(b))
+	}
+	// ...but stacking is structural: σre(σla(X)) keeps σla(X) shareable,
+	// unlike the merged σ(la∧re)(X).
+	stacked := NewSelect(NewSelect(div, la), re)
+	if StructuralKey(stacked) == StructuralKey(a) {
+		t.Error("stacked selection should differ from merged selection")
+	}
+}
+
+func TestLeaves(t *testing.T) {
+	p := paperPlanQ1()
+	got := Leaves(p)
+	if len(got) != 2 || got[0] != "Division" || got[1] != "Product" {
+		t.Errorf("Leaves = %v", got)
+	}
+}
+
+func TestWalkOrder(t *testing.T) {
+	var labels []string
+	Walk(paperPlanQ1(), func(n Node) { labels = append(labels, n.Label()) })
+	if len(labels) != 5 {
+		t.Fatalf("visited %d nodes: %v", len(labels), labels)
+	}
+	if !strings.HasPrefix(labels[0], "π") {
+		t.Errorf("pre-order should start at root, got %q", labels[0])
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	orig := paperPlanQ1()
+	cl := Clone(orig)
+	if !Equal(orig, cl) {
+		t.Fatal("clone not equal to original")
+	}
+	// mutate the clone's projection
+	cl.(*Project).Cols[0] = Ref("Product", "Pid")
+	if Equal(orig, cl) {
+		t.Error("mutating clone affected original (aliased slices)")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		node    Node
+		wantErr string
+	}{
+		{"valid plan", paperPlanQ1(), ""},
+		{"nil predicate", NewSelect(NewScan("Division", divisionSchema()), nil), "nil predicate"},
+		{"bad selection column", NewSelect(NewScan("Division", divisionSchema()), Eq(Ref("Order", "date"), IntVal(1))), "unknown column"},
+		{"empty projection", NewProject(NewScan("Division", divisionSchema()), nil), "no columns"},
+		{"bad projection column", NewProject(NewScan("Division", divisionSchema()), []ColumnRef{Ref("", "nope")}), "unknown column"},
+		{"cartesian join", NewJoin(NewScan("Division", divisionSchema()), NewScan("Product", productSchema()), nil), "no conditions"},
+		{"join cond wrong side", NewJoin(
+			NewScan("Division", divisionSchema()),
+			NewScan("Product", productSchema()),
+			[]JoinCond{{Left: Ref("Product", "Did"), Right: Ref("Division", "Did")}},
+		), "left side"},
+		{"empty scan name", NewScan("", divisionSchema()), "empty relation"},
+		{"scan without schema", &Scan{Relation: "X"}, "no schema"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := Validate(tt.node)
+			if tt.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("Validate succeeded, want error")
+			}
+			if !strings.Contains(err.Error(), tt.wantErr) {
+				t.Errorf("error %q does not contain %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestEqualNil(t *testing.T) {
+	if !Equal(nil, nil) {
+		t.Error("Equal(nil, nil) = false")
+	}
+	if Equal(nil, paperPlanQ1()) || Equal(paperPlanQ1(), nil) {
+		t.Error("nil vs non-nil should be unequal")
+	}
+}

@@ -1,0 +1,426 @@
+package algebra
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CompareOp is a comparison operator in a selection predicate.
+type CompareOp int
+
+// Comparison operators.
+const (
+	OpEq CompareOp = iota + 1
+	OpNotEq
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String returns the SQL spelling of the operator.
+func (op CompareOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNotEq:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	default:
+		return fmt.Sprintf("op(%d)", int(op))
+	}
+}
+
+// flip returns the operator with its operands exchanged (a < b ⇔ b > a).
+func (op CompareOp) flip() CompareOp {
+	switch op {
+	case OpLt:
+		return OpGt
+	case OpLe:
+		return OpGe
+	case OpGt:
+		return OpLt
+	case OpGe:
+		return OpLe
+	default:
+		return op
+	}
+}
+
+// holds applies the operator to a three-way comparison result.
+func (op CompareOp) holds(cmp int) bool {
+	switch op {
+	case OpEq:
+		return cmp == 0
+	case OpNotEq:
+		return cmp != 0
+	case OpLt:
+		return cmp < 0
+	case OpLe:
+		return cmp <= 0
+	case OpGt:
+		return cmp > 0
+	case OpGe:
+		return cmp >= 0
+	default:
+		return false
+	}
+}
+
+// Binding supplies column values during predicate evaluation.
+type Binding interface {
+	// ColumnValue resolves a reference to its value in the current row. The
+	// second result is false when the reference does not resolve.
+	ColumnValue(ref ColumnRef) (Value, bool)
+}
+
+// Predicate is a boolean condition over a single row (selection) or a pair
+// of rows presented as one concatenated binding (join). The canonical string
+// form returned by String is the identity used for common-subexpression
+// detection: two predicates are semantically merged when their canonical
+// forms match.
+type Predicate interface {
+	fmt.Stringer
+	// Columns returns every column referenced by the predicate, in canonical
+	// (sorted, deduplicated) order.
+	Columns() []ColumnRef
+	// Eval evaluates the predicate against a row binding.
+	Eval(b Binding) (bool, error)
+}
+
+// Operand is either a column reference or a literal value.
+type Operand struct {
+	IsColumn bool
+	Col      ColumnRef
+	Lit      Value
+}
+
+// ColOperand returns a column operand.
+func ColOperand(ref ColumnRef) Operand { return Operand{IsColumn: true, Col: ref} }
+
+// LitOperand returns a literal operand.
+func LitOperand(v Value) Operand { return Operand{Lit: v} }
+
+// String renders the operand canonically.
+func (o Operand) String() string {
+	if o.IsColumn {
+		return o.Col.String()
+	}
+	return o.Lit.String()
+}
+
+func (o Operand) eval(b Binding) (Value, error) {
+	if !o.IsColumn {
+		return o.Lit, nil
+	}
+	v, ok := b.ColumnValue(o.Col)
+	if !ok {
+		return Value{}, fmt.Errorf("algebra: unbound column %s", o.Col)
+	}
+	return v, nil
+}
+
+// Comparison is an atomic predicate "left op right".
+type Comparison struct {
+	Left  Operand
+	Op    CompareOp
+	Right Operand
+}
+
+var _ Predicate = (*Comparison)(nil)
+
+// Compare builds a column-vs-literal or column-vs-column comparison in a
+// canonical orientation: a literal on the left is flipped to the right, and
+// column-vs-column comparisons order the smaller column name first.
+func Compare(left Operand, op CompareOp, right Operand) *Comparison {
+	if !left.IsColumn && right.IsColumn {
+		left, right = right, left
+		op = op.flip()
+	}
+	if left.IsColumn && right.IsColumn && right.Col.String() < left.Col.String() {
+		left, right = right, left
+		op = op.flip()
+	}
+	return &Comparison{Left: left, Op: op, Right: right}
+}
+
+// Eq is shorthand for an equality comparison between a column and a literal.
+func Eq(ref ColumnRef, v Value) *Comparison {
+	return Compare(ColOperand(ref), OpEq, LitOperand(v))
+}
+
+// ColEq is shorthand for a column-equality (join) comparison.
+func ColEq(a, b ColumnRef) *Comparison {
+	return Compare(ColOperand(a), OpEq, ColOperand(b))
+}
+
+// String renders the comparison canonically, e.g. `Div.city = "LA"`.
+func (c *Comparison) String() string {
+	return c.Left.String() + " " + c.Op.String() + " " + c.Right.String()
+}
+
+// Columns implements Predicate.
+func (c *Comparison) Columns() []ColumnRef {
+	var out []ColumnRef
+	if c.Left.IsColumn {
+		out = append(out, c.Left.Col)
+	}
+	if c.Right.IsColumn {
+		out = append(out, c.Right.Col)
+	}
+	return canonicalRefs(out)
+}
+
+// Eval implements Predicate.
+func (c *Comparison) Eval(b Binding) (bool, error) {
+	lv, err := c.Left.eval(b)
+	if err != nil {
+		return false, err
+	}
+	rv, err := c.Right.eval(b)
+	if err != nil {
+		return false, err
+	}
+	cmp, err := lv.Compare(rv)
+	if err != nil {
+		return false, fmt.Errorf("algebra: evaluating %s: %w", c, err)
+	}
+	return c.Op.holds(cmp), nil
+}
+
+// And is a conjunction. Use NewAnd to obtain flattened, canonically ordered
+// conjunctions.
+type And struct {
+	Preds []Predicate
+}
+
+var _ Predicate = (*And)(nil)
+
+// NewAnd flattens nested conjunctions, deduplicates by canonical form, and
+// sorts the conjuncts. A single-element conjunction collapses to the element
+// itself; an empty conjunction returns nil (true).
+func NewAnd(preds ...Predicate) Predicate {
+	flat := flatten(preds, func(p Predicate) ([]Predicate, bool) {
+		a, ok := p.(*And)
+		if !ok {
+			return nil, false
+		}
+		return a.Preds, true
+	})
+	switch len(flat) {
+	case 0:
+		return nil
+	case 1:
+		return flat[0]
+	default:
+		return &And{Preds: flat}
+	}
+}
+
+// String renders "(a AND b AND c)".
+func (a *And) String() string { return joinPreds(a.Preds, " AND ") }
+
+// Columns implements Predicate.
+func (a *And) Columns() []ColumnRef { return unionColumns(a.Preds) }
+
+// Eval implements Predicate.
+func (a *And) Eval(b Binding) (bool, error) {
+	for _, p := range a.Preds {
+		ok, err := p.Eval(b)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Or is a disjunction. Use NewOr (or Disjoin) to obtain flattened,
+// canonically ordered disjunctions. Disjunctions arise in MVPP push-down:
+// when several queries share a scan, the pushed-down selection is the
+// disjunction of their individual selections (paper §4.2, step 5).
+type Or struct {
+	Preds []Predicate
+}
+
+var _ Predicate = (*Or)(nil)
+
+// NewOr flattens nested disjunctions, deduplicates, and sorts. A
+// single-element disjunction collapses to the element; empty returns nil.
+func NewOr(preds ...Predicate) Predicate {
+	flat := flatten(preds, func(p Predicate) ([]Predicate, bool) {
+		o, ok := p.(*Or)
+		if !ok {
+			return nil, false
+		}
+		return o.Preds, true
+	})
+	switch len(flat) {
+	case 0:
+		return nil
+	case 1:
+		return flat[0]
+	default:
+		return &Or{Preds: flat}
+	}
+}
+
+// Disjoin is NewOr over a slice, skipping nil predicates. A nil element
+// means "no restriction" for that query, so the disjunction is vacuously
+// true and Disjoin returns nil.
+func Disjoin(preds []Predicate) Predicate {
+	out := make([]Predicate, 0, len(preds))
+	for _, p := range preds {
+		if p == nil {
+			return nil
+		}
+		out = append(out, p)
+	}
+	return NewOr(out...)
+}
+
+// String renders "(a OR b)".
+func (o *Or) String() string { return joinPreds(o.Preds, " OR ") }
+
+// Columns implements Predicate.
+func (o *Or) Columns() []ColumnRef { return unionColumns(o.Preds) }
+
+// Eval implements Predicate.
+func (o *Or) Eval(b Binding) (bool, error) {
+	for _, p := range o.Preds {
+		ok, err := p.Eval(b)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Not negates a predicate.
+type Not struct {
+	Pred Predicate
+}
+
+var _ Predicate = (*Not)(nil)
+
+// NewNot builds a negation, collapsing double negation.
+func NewNot(p Predicate) Predicate {
+	if n, ok := p.(*Not); ok {
+		return n.Pred
+	}
+	return &Not{Pred: p}
+}
+
+// String renders "NOT (p)".
+func (n *Not) String() string { return "NOT (" + n.Pred.String() + ")" }
+
+// Columns implements Predicate.
+func (n *Not) Columns() []ColumnRef { return n.Pred.Columns() }
+
+// Eval implements Predicate.
+func (n *Not) Eval(b Binding) (bool, error) {
+	ok, err := n.Pred.Eval(b)
+	if err != nil {
+		return false, err
+	}
+	return !ok, nil
+}
+
+// PredEqual reports semantic equality of two predicates via their canonical
+// forms. Both nil means equal; one nil means unequal.
+func PredEqual(a, b Predicate) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return a.String() == b.String()
+}
+
+// Conjuncts splits a predicate into its top-level conjuncts. A nil predicate
+// yields an empty slice.
+func Conjuncts(p Predicate) []Predicate {
+	switch v := p.(type) {
+	case nil:
+		return nil
+	case *And:
+		out := make([]Predicate, len(v.Preds))
+		copy(out, v.Preds)
+		return out
+	default:
+		return []Predicate{p}
+	}
+}
+
+// flatten expands nested nodes of one connective, deduplicates by canonical
+// string, and sorts.
+func flatten(preds []Predicate, expand func(Predicate) ([]Predicate, bool)) []Predicate {
+	var flat []Predicate
+	var walk func(ps []Predicate)
+	walk = func(ps []Predicate) {
+		for _, p := range ps {
+			if p == nil {
+				continue
+			}
+			if sub, ok := expand(p); ok {
+				walk(sub)
+				continue
+			}
+			flat = append(flat, p)
+		}
+	}
+	walk(preds)
+	sort.Slice(flat, func(i, j int) bool { return flat[i].String() < flat[j].String() })
+	out := flat[:0]
+	var last string
+	for i, p := range flat {
+		s := p.String()
+		if i == 0 || s != last {
+			out = append(out, p)
+		}
+		last = s
+	}
+	return out
+}
+
+func joinPreds(preds []Predicate, sep string) string {
+	parts := make([]string, len(preds))
+	for i, p := range preds {
+		parts[i] = p.String()
+	}
+	return "(" + strings.Join(parts, sep) + ")"
+}
+
+func unionColumns(preds []Predicate) []ColumnRef {
+	var out []ColumnRef
+	for _, p := range preds {
+		out = append(out, p.Columns()...)
+	}
+	return canonicalRefs(out)
+}
+
+// canonicalRefs sorts and deduplicates column references.
+func canonicalRefs(refs []ColumnRef) []ColumnRef {
+	sort.Slice(refs, func(i, j int) bool { return refs[i].String() < refs[j].String() })
+	out := refs[:0]
+	var last string
+	for i, r := range refs {
+		s := r.String()
+		if i == 0 || s != last {
+			out = append(out, r)
+		}
+		last = s
+	}
+	return out
+}

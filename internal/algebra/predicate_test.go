@@ -1,0 +1,251 @@
+package algebra
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func laTuple(t *testing.T) *Tuple {
+	t.Helper()
+	tup, err := NewTuple(divisionSchema(), []Value{IntVal(1), StringVal("West"), StringVal("LA")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tup
+}
+
+func TestComparisonCanonicalOrientation(t *testing.T) {
+	// literal-on-left flips to literal-on-right
+	c := Compare(LitOperand(StringVal("LA")), OpEq, ColOperand(Ref("Division", "city")))
+	if got, want := c.String(), `Division.city = "LA"`; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	// "5 < col" flips to "col > 5"
+	c = Compare(LitOperand(IntVal(5)), OpLt, ColOperand(Ref("Order", "quantity")))
+	if got, want := c.String(), "Order.quantity > 5"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	// column-column orders lexicographically
+	a := ColEq(Ref("Product", "Did"), Ref("Division", "Did"))
+	b := ColEq(Ref("Division", "Did"), Ref("Product", "Did"))
+	if a.String() != b.String() {
+		t.Errorf("join predicate canonicalization differs: %q vs %q", a, b)
+	}
+}
+
+func TestComparisonEval(t *testing.T) {
+	div := laTuple(t)
+	tests := []struct {
+		name string
+		pred Predicate
+		want bool
+	}{
+		{"eq match", Eq(Ref("Division", "city"), StringVal("LA")), true},
+		{"eq mismatch", Eq(Ref("Division", "city"), StringVal("SF")), false},
+		{"noteq", Compare(ColOperand(Ref("Division", "city")), OpNotEq, LitOperand(StringVal("SF"))), true},
+		{"lt", Compare(ColOperand(Ref("Division", "Did")), OpLt, LitOperand(IntVal(2))), true},
+		{"le", Compare(ColOperand(Ref("Division", "Did")), OpLe, LitOperand(IntVal(1))), true},
+		{"gt false", Compare(ColOperand(Ref("Division", "Did")), OpGt, LitOperand(IntVal(1))), false},
+		{"ge", Compare(ColOperand(Ref("Division", "Did")), OpGe, LitOperand(IntVal(1))), true},
+		{"unqualified", Eq(Ref("", "city"), StringVal("LA")), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := tt.pred.Eval(div)
+			if err != nil {
+				t.Fatalf("Eval: %v", err)
+			}
+			if got != tt.want {
+				t.Errorf("Eval = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestComparisonEvalErrors(t *testing.T) {
+	div := laTuple(t)
+	if _, err := Eq(Ref("Order", "date"), IntVal(1)).Eval(div); err == nil {
+		t.Error("unbound column should error")
+	}
+	if _, err := Eq(Ref("Division", "city"), IntVal(1)).Eval(div); err == nil {
+		t.Error("string/int comparison should error")
+	}
+}
+
+func TestNewAndFlattening(t *testing.T) {
+	p1 := Eq(Ref("D", "city"), StringVal("LA"))
+	p2 := Eq(Ref("D", "name"), StringVal("Re"))
+	p3 := Eq(Ref("O", "q"), IntVal(1))
+	nested := NewAnd(p3, NewAnd(p1, p2))
+	a, ok := nested.(*And)
+	if !ok {
+		t.Fatalf("NewAnd = %T", nested)
+	}
+	if len(a.Preds) != 3 {
+		t.Fatalf("conjuncts = %d, want 3 (flattened)", len(a.Preds))
+	}
+	// canonical: sorted, so equal regardless of argument order
+	other := NewAnd(p1, NewAnd(p2, p3))
+	if nested.String() != other.String() {
+		t.Errorf("AND canonical differs: %q vs %q", nested, other)
+	}
+}
+
+func TestNewAndCollapse(t *testing.T) {
+	p := Eq(Ref("D", "city"), StringVal("LA"))
+	if got := NewAnd(p); got != Predicate(p) {
+		t.Errorf("single-element AND should collapse, got %v", got)
+	}
+	if got := NewAnd(); got != nil {
+		t.Errorf("empty AND should be nil, got %v", got)
+	}
+	if got := NewAnd(nil, p, nil); got != Predicate(p) {
+		t.Errorf("nil conjuncts should be skipped, got %v", got)
+	}
+	// duplicates deduplicate
+	dup := NewAnd(p, Eq(Ref("D", "city"), StringVal("LA")))
+	if dup != Predicate(p) {
+		if a, ok := dup.(*And); ok {
+			t.Errorf("duplicate conjuncts not deduplicated: %d", len(a.Preds))
+		}
+	}
+}
+
+func TestNewOrSemantics(t *testing.T) {
+	div := laTuple(t)
+	la := Eq(Ref("Division", "city"), StringVal("LA"))
+	sf := Eq(Ref("Division", "city"), StringVal("SF"))
+	or := NewOr(sf, la)
+	ok, err := or.Eval(div)
+	if err != nil || !ok {
+		t.Errorf("Eval(OR) = %v, %v", ok, err)
+	}
+	both := NewAnd(sf, la)
+	ok, err = both.Eval(div)
+	if err != nil || ok {
+		t.Errorf("Eval(AND) = %v, %v; want false", ok, err)
+	}
+}
+
+func TestDisjoin(t *testing.T) {
+	la := Eq(Ref("D", "city"), StringVal("LA"))
+	sf := Eq(Ref("D", "city"), StringVal("SF"))
+	d := Disjoin([]Predicate{la, sf})
+	if d == nil {
+		t.Fatal("Disjoin = nil")
+	}
+	if _, ok := d.(*Or); !ok {
+		t.Fatalf("Disjoin = %T", d)
+	}
+	// A nil element means one query has no restriction → whole disjunction
+	// is vacuous.
+	if got := Disjoin([]Predicate{la, nil, sf}); got != nil {
+		t.Errorf("Disjoin with nil member = %v, want nil", got)
+	}
+	if got := Disjoin([]Predicate{la}); !PredEqual(got, la) {
+		t.Errorf("Disjoin single = %v", got)
+	}
+}
+
+func TestNotEval(t *testing.T) {
+	div := laTuple(t)
+	n := NewNot(Eq(Ref("Division", "city"), StringVal("SF")))
+	ok, err := n.Eval(div)
+	if err != nil || !ok {
+		t.Errorf("Eval(NOT) = %v, %v", ok, err)
+	}
+	if got := NewNot(n); got.String() != `Division.city = "SF"` {
+		t.Errorf("double negation = %q", got)
+	}
+}
+
+func TestPredEqual(t *testing.T) {
+	la1 := Eq(Ref("D", "city"), StringVal("LA"))
+	la2 := Compare(LitOperand(StringVal("LA")), OpEq, ColOperand(Ref("D", "city")))
+	if !PredEqual(la1, la2) {
+		t.Error("canonically equal predicates reported unequal")
+	}
+	if !PredEqual(nil, nil) {
+		t.Error("nil == nil")
+	}
+	if PredEqual(la1, nil) || PredEqual(nil, la1) {
+		t.Error("nil != non-nil")
+	}
+}
+
+func TestConjuncts(t *testing.T) {
+	p1 := Eq(Ref("D", "city"), StringVal("LA"))
+	p2 := Eq(Ref("O", "q"), IntVal(1))
+	if got := Conjuncts(nil); len(got) != 0 {
+		t.Errorf("Conjuncts(nil) = %v", got)
+	}
+	if got := Conjuncts(p1); len(got) != 1 || got[0] != Predicate(p1) {
+		t.Errorf("Conjuncts(single) = %v", got)
+	}
+	if got := Conjuncts(NewAnd(p1, p2)); len(got) != 2 {
+		t.Errorf("Conjuncts(and) = %v", got)
+	}
+	// An OR is a single conjunct.
+	if got := Conjuncts(NewOr(p1, p2)); len(got) != 1 {
+		t.Errorf("Conjuncts(or) = %v", got)
+	}
+}
+
+func TestPredicateColumns(t *testing.T) {
+	p := NewAnd(
+		Eq(Ref("Division", "city"), StringVal("LA")),
+		ColEq(Ref("Product", "Did"), Ref("Division", "Did")),
+	)
+	cols := p.Columns()
+	want := []string{"Division.Did", "Division.city", "Product.Did"}
+	if len(cols) != len(want) {
+		t.Fatalf("Columns() = %v", cols)
+	}
+	for i, w := range want {
+		if cols[i].String() != w {
+			t.Errorf("Columns()[%d] = %s, want %s", i, cols[i], w)
+		}
+	}
+}
+
+// Property: De-Morgan-ish sanity — NOT(a AND b) evaluates as !(a&&b) on
+// random int tuples.
+func TestNotAndProperty(t *testing.T) {
+	schema := NewSchema(
+		Column{Relation: "R", Name: "x", Type: TypeInt},
+		Column{Relation: "R", Name: "y", Type: TypeInt},
+	)
+	f := func(x, y int64, bound int64) bool {
+		tup := &Tuple{Schema: schema, Values: []Value{IntVal(x), IntVal(y)}}
+		a := Compare(ColOperand(Ref("R", "x")), OpGt, LitOperand(IntVal(bound)))
+		b := Compare(ColOperand(Ref("R", "y")), OpLe, LitOperand(IntVal(bound)))
+		lhs, err := NewNot(NewAnd(a, b)).Eval(tup)
+		if err != nil {
+			return false
+		}
+		av, _ := a.Eval(tup)
+		bv, _ := b.Eval(tup)
+		return lhs == !(av && bv)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: flattened AND evaluation equals short-circuit conjunction of
+// members in any nesting arrangement.
+func TestAndNestingInvariance(t *testing.T) {
+	schema := NewSchema(Column{Relation: "R", Name: "x", Type: TypeInt})
+	f := func(x int64, b1, b2, b3 int64) bool {
+		tup := &Tuple{Schema: schema, Values: []Value{IntVal(x)}}
+		p1 := Compare(ColOperand(Ref("R", "x")), OpGt, LitOperand(IntVal(b1)))
+		p2 := Compare(ColOperand(Ref("R", "x")), OpLe, LitOperand(IntVal(b2)))
+		p3 := Compare(ColOperand(Ref("R", "x")), OpNotEq, LitOperand(IntVal(b3)))
+		l, err1 := NewAnd(NewAnd(p1, p2), p3).Eval(tup)
+		r, err2 := NewAnd(p1, NewAnd(p2, p3)).Eval(tup)
+		return err1 == nil && err2 == nil && l == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,130 @@
+package algebra
+
+import (
+	"testing"
+)
+
+// rewriteFixtures builds a handful of structurally diverse plans over the
+// test schemas for idempotence/stability properties.
+func rewriteFixtures() []Node {
+	div := NewScan("Division", divisionSchema())
+	pd := NewScan("Product", productSchema())
+	ord := NewScan("Order", orderSchema())
+	cust := NewScan("Customer", customerSchema())
+	la := Eq(Ref("Division", "city"), StringVal("LA"))
+	qty := Compare(ColOperand(Ref("Order", "quantity")), OpGt, LitOperand(IntVal(100)))
+	pdDiv := []JoinCond{{Left: Ref("Product", "Did"), Right: Ref("Division", "Did")}}
+	ordCust := []JoinCond{{Left: Ref("Order", "Cid"), Right: Ref("Customer", "Cid")}}
+
+	return []Node{
+		NewProject(NewJoin(pd, NewSelect(div, la), pdDiv), []ColumnRef{Ref("Product", "name")}),
+		NewSelect(NewJoin(ord, cust, ordCust), NewAnd(qty, Eq(Ref("Customer", "city"), StringVal("SF")))),
+		NewProject(
+			NewSelect(NewJoin(NewJoin(pd, div, pdDiv), NewSelect(ord, qty),
+				[]JoinCond{{Left: Ref("Product", "Pid"), Right: Ref("Order", "Pid")}}),
+				la),
+			[]ColumnRef{Ref("Product", "name"), Ref("Order", "date")}),
+		NewAggregate(NewJoin(ord, cust, ordCust),
+			[]ColumnRef{Ref("Customer", "city")},
+			[]Aggregation{{Func: AggSum, Arg: Ref("Order", "quantity"), Alias: "total"}}),
+		NewSelect(div, NewOr(la, Eq(Ref("Division", "city"), StringVal("SF")))),
+	}
+}
+
+// Property: Normalize is idempotent.
+func TestNormalizeIdempotent(t *testing.T) {
+	for i, plan := range rewriteFixtures() {
+		once := Normalize(Clone(plan))
+		twice := Normalize(Clone(once))
+		if once.Canonical() != twice.Canonical() {
+			t.Errorf("fixture %d: Normalize not idempotent:\n%s\n%s", i, once.Canonical(), twice.Canonical())
+		}
+	}
+}
+
+// Property: PushDownSelections is idempotent and preserves validity and
+// leaf sets.
+func TestPushDownSelectionsIdempotent(t *testing.T) {
+	for i, plan := range rewriteFixtures() {
+		once := PushDownSelections(Clone(plan))
+		twice := PushDownSelections(Clone(once))
+		if once.Canonical() != twice.Canonical() {
+			t.Errorf("fixture %d: push-down not idempotent", i)
+		}
+		if err := Validate(once); err != nil {
+			t.Errorf("fixture %d: invalid after push-down: %v", i, err)
+		}
+		if got, want := len(Leaves(once)), len(Leaves(plan)); got != want {
+			t.Errorf("fixture %d: leaves %d, want %d", i, got, want)
+		}
+	}
+}
+
+// Property: PruneColumns never widens any node's schema and keeps the plan
+// valid.
+func TestPruneColumnsShrinksOnly(t *testing.T) {
+	for i, plan := range rewriteFixtures() {
+		pruned := PruneColumns(Clone(plan), nil)
+		if err := Validate(pruned); err != nil {
+			t.Errorf("fixture %d: invalid after prune: %v", i, err)
+			continue
+		}
+		if pruned.Schema().Len() != plan.Schema().Len() {
+			t.Errorf("fixture %d: output schema changed: %d vs %d",
+				i, pruned.Schema().Len(), plan.Schema().Len())
+		}
+	}
+}
+
+// Property: keys are stable under Clone and across repeated computation.
+func TestKeysStableUnderClone(t *testing.T) {
+	for i, plan := range rewriteFixtures() {
+		cl := Clone(plan)
+		if StructuralKey(plan) != StructuralKey(cl) {
+			t.Errorf("fixture %d: structural key unstable under clone", i)
+		}
+		if SemanticKey(plan) != SemanticKey(cl) {
+			t.Errorf("fixture %d: semantic key unstable under clone", i)
+		}
+		if plan.Canonical() != cl.Canonical() {
+			t.Errorf("fixture %d: canonical unstable under clone", i)
+		}
+	}
+}
+
+// Property: StructuralKey refines SemanticKey — equal structural keys mean
+// equal semantic keys.
+func TestStructuralKeyRefinesSemanticKey(t *testing.T) {
+	fixtures := rewriteFixtures()
+	for i, a := range fixtures {
+		for j, b := range fixtures {
+			if StructuralKey(a) == StructuralKey(b) && SemanticKey(a) != SemanticKey(b) {
+				t.Errorf("fixtures %d/%d: structural keys equal but semantic keys differ", i, j)
+			}
+		}
+	}
+}
+
+// Property: Decompose→Compose→Decompose is stable (same selections, same
+// leaf set, same output).
+func TestDecomposeComposeStable(t *testing.T) {
+	for i, plan := range rewriteFixtures() {
+		d1, err := Decompose(Clone(plan))
+		if err != nil {
+			t.Fatalf("fixture %d: %v", i, err)
+		}
+		d2, err := Decompose(d1.Compose())
+		if err != nil {
+			t.Fatalf("fixture %d: recompose: %v", i, err)
+		}
+		if len(d1.Selections) != len(d2.Selections) {
+			t.Errorf("fixture %d: selections %d vs %d", i, len(d1.Selections), len(d2.Selections))
+		}
+		if SemanticKey(d1.JoinTree) != SemanticKey(d2.JoinTree) {
+			t.Errorf("fixture %d: join tree drifted", i)
+		}
+		if (d1.TopAgg == nil) != (d2.TopAgg == nil) {
+			t.Errorf("fixture %d: aggregation lost", i)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+)
+
+func orderSchema() *Schema {
+	return NewSchema(
+		Column{Relation: "Order", Name: "Pid", Type: TypeInt},
+		Column{Relation: "Order", Name: "Cid", Type: TypeInt},
+		Column{Relation: "Order", Name: "quantity", Type: TypeInt},
+		Column{Relation: "Order", Name: "date", Type: TypeDate},
+	)
+}
+
+func customerSchema() *Schema {
+	return NewSchema(
+		Column{Relation: "Customer", Name: "Cid", Type: TypeInt},
+		Column{Relation: "Customer", Name: "name", Type: TypeString},
+		Column{Relation: "Customer", Name: "city", Type: TypeString},
+	)
+}
+
+// q4Plan builds paper Query 4: π city,date ( σ quantity>100(Order) ⋈ Customer )
+func q4Plan() Node {
+	ord := NewScan("Order", orderSchema())
+	cust := NewScan("Customer", customerSchema())
+	sel := NewSelect(ord, Compare(ColOperand(Ref("Order", "quantity")), OpGt, LitOperand(IntVal(100))))
+	j := NewJoin(sel, cust, []JoinCond{{Left: Ref("Order", "Cid"), Right: Ref("Customer", "Cid")}})
+	return NewProject(j, []ColumnRef{Ref("Customer", "city"), Ref("Order", "date")})
+}
+
+func TestDecompose(t *testing.T) {
+	d, err := Decompose(q4Plan())
+	if err != nil {
+		t.Fatalf("Decompose: %v", err)
+	}
+	if len(d.Selections) != 1 || d.Selections[0].String() != "Order.quantity > 100" {
+		t.Errorf("Selections = %v", d.Selections)
+	}
+	if len(d.Output) != 2 {
+		t.Errorf("Output = %v", d.Output)
+	}
+	// join tree must contain only scans and joins
+	Walk(d.JoinTree, func(n Node) {
+		switch n.(type) {
+		case *Scan, *Join:
+		default:
+			t.Errorf("join tree contains %T", n)
+		}
+	})
+	if got := Leaves(d.JoinTree); len(got) != 2 {
+		t.Errorf("leaves = %v", got)
+	}
+}
+
+func TestDecomposeComposeEquivalentSemantics(t *testing.T) {
+	d, err := Decompose(q4Plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	composed := d.Compose()
+	// Composed form is select-on-top: project(select(join))
+	p, ok := composed.(*Project)
+	if !ok {
+		t.Fatalf("composed root = %T", composed)
+	}
+	if _, ok := p.Input.(*Select); !ok {
+		t.Fatalf("expected selection under projection, got %T", p.Input)
+	}
+	// Pushing back down must recover a plan with the selection on the scan.
+	down := Normalize(PushDownSelections(composed))
+	found := false
+	Walk(down, func(n Node) {
+		if s, ok := n.(*Select); ok {
+			if _, isScan := s.Input.(*Scan); isScan {
+				found = true
+			}
+		}
+	})
+	if !found {
+		t.Error("push-down did not place selection above scan")
+	}
+}
+
+func TestPushDownSelectionsSplitsAcrossJoin(t *testing.T) {
+	ord := NewScan("Order", orderSchema())
+	cust := NewScan("Customer", customerSchema())
+	j := NewJoin(ord, cust, []JoinCond{{Left: Ref("Order", "Cid"), Right: Ref("Customer", "Cid")}})
+	pred := NewAnd(
+		Compare(ColOperand(Ref("Order", "quantity")), OpGt, LitOperand(IntVal(100))),
+		Eq(Ref("Customer", "city"), StringVal("LA")),
+	)
+	down := PushDownSelections(NewSelect(j, pred))
+	root, ok := down.(*Join)
+	if !ok {
+		t.Fatalf("root after push-down = %T, want *Join", down)
+	}
+	for side, child := range map[string]Node{"left": root.Left, "right": root.Right} {
+		if _, ok := child.(*Select); !ok {
+			t.Errorf("%s child = %T, want selection above scan", side, child)
+		}
+	}
+}
+
+func TestPushDownSelectionsKeepsCrossPredicates(t *testing.T) {
+	ord := NewScan("Order", orderSchema())
+	cust := NewScan("Customer", customerSchema())
+	j := NewJoin(ord, cust, []JoinCond{{Left: Ref("Order", "Cid"), Right: Ref("Customer", "Cid")}})
+	// predicate spanning both sides cannot be pushed
+	cross := ColEq(Ref("Order", "Pid"), Ref("Customer", "Cid"))
+	down := PushDownSelections(NewSelect(j, cross))
+	s, ok := down.(*Select)
+	if !ok {
+		t.Fatalf("cross predicate moved: root = %T", down)
+	}
+	if _, ok := s.Input.(*Join); !ok {
+		t.Fatalf("selection should sit on join, got %T", s.Input)
+	}
+}
+
+func TestPushDownDisjunctionSingleRelation(t *testing.T) {
+	div := NewScan("Division", divisionSchema())
+	pd := NewScan("Product", productSchema())
+	j := NewJoin(pd, div, []JoinCond{{Left: Ref("Product", "Did"), Right: Ref("Division", "Did")}})
+	// (city=LA OR city=SF OR name=Re) — all on Division, as in Figure 8.
+	dis := NewOr(
+		Eq(Ref("Division", "city"), StringVal("LA")),
+		Eq(Ref("Division", "city"), StringVal("SF")),
+		Eq(Ref("Division", "name"), StringVal("Re")),
+	)
+	down := PushDownSelections(NewSelect(j, dis))
+	root, ok := down.(*Join)
+	if !ok {
+		t.Fatalf("root = %T", down)
+	}
+	sel, ok := root.Right.(*Select)
+	if !ok {
+		t.Fatalf("right child = %T, want selection on Division", root.Right)
+	}
+	if !strings.Contains(sel.Pred.String(), "OR") {
+		t.Errorf("pushed predicate = %s", sel.Pred)
+	}
+}
+
+func TestPruneColumns(t *testing.T) {
+	d, err := Decompose(q4Plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned := Normalize(PruneColumns(PushDownSelections(d.Compose()), nil))
+	if err := Validate(pruned); err != nil {
+		t.Fatalf("pruned plan invalid: %v", err)
+	}
+	// Above σ quantity>100(Order) we expect a projection keeping only
+	// {Cid (join), date (output)} — quantity is consumed by the selection.
+	var ordProj *Project
+	Walk(pruned, func(n Node) {
+		if p, ok := n.(*Project); ok {
+			if len(Leaves(p)) == 1 && Leaves(p)[0] == "Order" {
+				ordProj = p
+			}
+		}
+	})
+	if ordProj == nil {
+		t.Fatal("no projection above Order subtree")
+	}
+	if got := len(ordProj.Cols); got != 2 {
+		t.Errorf("Order-side projection keeps %d cols (%v), want 2", got, ordProj.Cols)
+	}
+	if _, ok := ordProj.Input.(*Select); !ok {
+		t.Errorf("projection should sit above the selection, got %T", ordProj.Input)
+	}
+}
+
+func TestPruneColumnsPreservesSemanticsOnFullRequirement(t *testing.T) {
+	scan := NewScan("Customer", customerSchema())
+	got := PruneColumns(scan, nil)
+	if !Equal(scan, got) {
+		t.Errorf("PruneColumns(scan, nil) rewrote the scan: %s", got.Canonical())
+	}
+}
+
+func TestNormalizeMergesStackedOps(t *testing.T) {
+	div := NewScan("Division", divisionSchema())
+	la := Eq(Ref("Division", "city"), StringVal("LA"))
+	re := Eq(Ref("Division", "name"), StringVal("Re"))
+	stacked := NewSelect(NewSelect(div, la), re)
+	n := Normalize(stacked)
+	s, ok := n.(*Select)
+	if !ok {
+		t.Fatalf("Normalize = %T", n)
+	}
+	if _, ok := s.Input.(*Scan); !ok {
+		t.Errorf("selections not merged: input is %T", s.Input)
+	}
+
+	pp := NewProject(NewProject(div, []ColumnRef{Ref("Division", "Did"), Ref("Division", "city")}), []ColumnRef{Ref("Division", "city")})
+	n = Normalize(pp)
+	p, ok := n.(*Project)
+	if !ok {
+		t.Fatalf("Normalize = %T", n)
+	}
+	if _, ok := p.Input.(*Scan); !ok {
+		t.Errorf("projections not collapsed: input is %T", p.Input)
+	}
+}
+
+func TestNormalizeDropsIdentityProjection(t *testing.T) {
+	div := NewScan("Division", divisionSchema())
+	idp := NewProject(div, []ColumnRef{
+		Ref("Division", "Did"), Ref("Division", "name"), Ref("Division", "city"),
+	})
+	if got := Normalize(idp); !Equal(got, div) {
+		t.Errorf("identity projection survived: %s", got.Canonical())
+	}
+	// Reordering projection is NOT identity.
+	reorder := NewProject(div, []ColumnRef{
+		Ref("Division", "city"), Ref("Division", "Did"), Ref("Division", "name"),
+	})
+	if got := Normalize(reorder); Equal(got, div) {
+		t.Error("reordering projection wrongly dropped")
+	}
+}
+
+func TestPushDownThenPruneRoundTripValid(t *testing.T) {
+	// Combined pipeline on the paper's Q4 keeps validity and semantics keys.
+	plan := q4Plan()
+	opt := Normalize(PruneColumns(PushDownSelections(plan), nil))
+	if err := Validate(opt); err != nil {
+		t.Fatalf("optimized plan invalid: %v", err)
+	}
+	if got, want := Leaves(opt), Leaves(plan); len(got) != len(want) {
+		t.Errorf("leaves changed: %v vs %v", got, want)
+	}
+}

@@ -1,0 +1,165 @@
+package algebra
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Column describes one attribute of a relation: the relation (or alias) it
+// belongs to, its name, and its type.
+type Column struct {
+	Relation string
+	Name     string
+	Type     Type
+}
+
+// QualifiedName returns "relation.name", or just the name when the column is
+// unqualified.
+func (c Column) QualifiedName() string {
+	if c.Relation == "" {
+		return c.Name
+	}
+	return c.Relation + "." + c.Name
+}
+
+// ColumnRef names a column, optionally qualified by relation. References are
+// resolved against a Schema.
+type ColumnRef struct {
+	Relation string
+	Name     string
+}
+
+// String returns the qualified form of the reference.
+func (r ColumnRef) String() string {
+	if r.Relation == "" {
+		return r.Name
+	}
+	return r.Relation + "." + r.Name
+}
+
+// Ref is a convenience constructor: Ref("Product", "Pid").
+func Ref(relation, name string) ColumnRef { return ColumnRef{Relation: relation, Name: name} }
+
+// Matches reports whether the reference resolves to the column: names must
+// match, and the relation must match unless the reference is unqualified.
+func (r ColumnRef) Matches(c Column) bool {
+	return r.Name == c.Name && (r.Relation == "" || r.Relation == c.Relation)
+}
+
+// Schema is an ordered list of columns. Schemas are immutable once built;
+// all transformations return new schemas.
+type Schema struct {
+	Columns []Column
+}
+
+// NewSchema builds a schema over the given columns, copying the slice.
+func NewSchema(cols ...Column) *Schema {
+	cp := make([]Column, len(cols))
+	copy(cp, cols)
+	return &Schema{Columns: cp}
+}
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.Columns) }
+
+// IndexOf resolves a reference to a column position, or -1 when absent. An
+// ambiguous unqualified reference (same name in two relations) resolves to
+// the first match, mirroring SQL engines that require qualification only on
+// actual ambiguity; Resolve reports ambiguity as an error.
+func (s *Schema) IndexOf(ref ColumnRef) int {
+	for i, c := range s.Columns {
+		if ref.Matches(c) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Resolve resolves a reference, failing when it is missing or ambiguous.
+func (s *Schema) Resolve(ref ColumnRef) (int, error) {
+	found := -1
+	for i, c := range s.Columns {
+		if !ref.Matches(c) {
+			continue
+		}
+		if found >= 0 {
+			return -1, fmt.Errorf("algebra: ambiguous column reference %s", ref)
+		}
+		found = i
+	}
+	if found < 0 {
+		return -1, fmt.Errorf("algebra: unknown column %s", ref)
+	}
+	return found, nil
+}
+
+// Has reports whether the reference resolves against the schema.
+func (s *Schema) Has(ref ColumnRef) bool { return s.IndexOf(ref) >= 0 }
+
+// Concat returns the schema of a join: this schema's columns followed by the
+// other's.
+func (s *Schema) Concat(o *Schema) *Schema {
+	out := make([]Column, 0, len(s.Columns)+len(o.Columns))
+	out = append(out, s.Columns...)
+	out = append(out, o.Columns...)
+	return &Schema{Columns: out}
+}
+
+// Project returns the schema restricted to the referenced columns, in
+// reference order.
+func (s *Schema) Project(refs []ColumnRef) (*Schema, error) {
+	out := make([]Column, 0, len(refs))
+	for _, r := range refs {
+		i, err := s.Resolve(r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s.Columns[i])
+	}
+	return &Schema{Columns: out}, nil
+}
+
+// Relations returns the sorted set of relation names appearing in the
+// schema.
+func (s *Schema) Relations() []string {
+	seen := make(map[string]bool, 4)
+	var out []string
+	for _, c := range s.Columns {
+		if c.Relation != "" && !seen[c.Relation] {
+			seen[c.Relation] = true
+			out = append(out, c.Relation)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the schema as "(rel.col type, ...)".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.QualifiedName())
+		b.WriteByte(' ')
+		b.WriteString(c.Type.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Equal reports structural equality of two schemas.
+func (s *Schema) Equal(o *Schema) bool {
+	if len(s.Columns) != len(o.Columns) {
+		return false
+	}
+	for i := range s.Columns {
+		if s.Columns[i] != o.Columns[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,138 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+)
+
+func productSchema() *Schema {
+	return NewSchema(
+		Column{Relation: "Product", Name: "Pid", Type: TypeInt},
+		Column{Relation: "Product", Name: "name", Type: TypeString},
+		Column{Relation: "Product", Name: "Did", Type: TypeInt},
+	)
+}
+
+func divisionSchema() *Schema {
+	return NewSchema(
+		Column{Relation: "Division", Name: "Did", Type: TypeInt},
+		Column{Relation: "Division", Name: "name", Type: TypeString},
+		Column{Relation: "Division", Name: "city", Type: TypeString},
+	)
+}
+
+func TestSchemaIndexOf(t *testing.T) {
+	s := productSchema()
+	tests := []struct {
+		ref  ColumnRef
+		want int
+	}{
+		{Ref("Product", "Pid"), 0},
+		{Ref("Product", "name"), 1},
+		{Ref("", "Did"), 2},
+		{Ref("Product", "missing"), -1},
+		{Ref("Division", "Pid"), -1},
+	}
+	for _, tt := range tests {
+		if got := s.IndexOf(tt.ref); got != tt.want {
+			t.Errorf("IndexOf(%s) = %d, want %d", tt.ref, got, tt.want)
+		}
+	}
+}
+
+func TestSchemaResolveAmbiguity(t *testing.T) {
+	joined := productSchema().Concat(divisionSchema())
+	// "name" appears in both Product and Division.
+	if _, err := joined.Resolve(Ref("", "name")); err == nil {
+		t.Error("unqualified ambiguous reference should fail to resolve")
+	}
+	i, err := joined.Resolve(Ref("Division", "name"))
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if joined.Columns[i].Relation != "Division" {
+		t.Errorf("resolved to %s", joined.Columns[i].QualifiedName())
+	}
+	if _, err := joined.Resolve(Ref("Order", "name")); err == nil {
+		t.Error("unknown relation should fail to resolve")
+	}
+}
+
+func TestSchemaConcat(t *testing.T) {
+	a, b := productSchema(), divisionSchema()
+	j := a.Concat(b)
+	if j.Len() != a.Len()+b.Len() {
+		t.Fatalf("joined width = %d", j.Len())
+	}
+	if j.Columns[0] != a.Columns[0] || j.Columns[a.Len()] != b.Columns[0] {
+		t.Error("concat order wrong")
+	}
+	// Concat must not alias the input slices.
+	j.Columns[0].Name = "mutated"
+	if a.Columns[0].Name == "mutated" {
+		t.Error("Concat aliases input schema")
+	}
+}
+
+func TestSchemaProject(t *testing.T) {
+	s := productSchema()
+	p, err := s.Project([]ColumnRef{Ref("Product", "name"), Ref("", "Pid")})
+	if err != nil {
+		t.Fatalf("Project: %v", err)
+	}
+	if p.Len() != 2 || p.Columns[0].Name != "name" || p.Columns[1].Name != "Pid" {
+		t.Errorf("projected schema = %s", p)
+	}
+	if _, err := s.Project([]ColumnRef{Ref("", "nope")}); err == nil {
+		t.Error("projecting a missing column should fail")
+	}
+}
+
+func TestSchemaRelations(t *testing.T) {
+	j := divisionSchema().Concat(productSchema())
+	rels := j.Relations()
+	if len(rels) != 2 || rels[0] != "Division" || rels[1] != "Product" {
+		t.Errorf("Relations() = %v", rels)
+	}
+}
+
+func TestSchemaStringAndEqual(t *testing.T) {
+	s := productSchema()
+	if !strings.Contains(s.String(), "Product.Pid int") {
+		t.Errorf("String() = %s", s)
+	}
+	if !s.Equal(productSchema()) {
+		t.Error("identical schemas should be Equal")
+	}
+	if s.Equal(divisionSchema()) {
+		t.Error("different schemas should not be Equal")
+	}
+	if s.Equal(NewSchema(s.Columns[:2]...)) {
+		t.Error("prefix schema should not be Equal")
+	}
+}
+
+func TestColumnRefMatches(t *testing.T) {
+	c := Column{Relation: "Order", Name: "date", Type: TypeDate}
+	if !Ref("Order", "date").Matches(c) {
+		t.Error("qualified match failed")
+	}
+	if !Ref("", "date").Matches(c) {
+		t.Error("unqualified match failed")
+	}
+	if Ref("Customer", "date").Matches(c) {
+		t.Error("wrong relation matched")
+	}
+	if Ref("Order", "quantity").Matches(c) {
+		t.Error("wrong name matched")
+	}
+}
+
+func TestColumnQualifiedName(t *testing.T) {
+	if got := (Column{Relation: "R", Name: "a"}).QualifiedName(); got != "R.a" {
+		t.Errorf("QualifiedName = %q", got)
+	}
+	if got := (Column{Name: "a"}).QualifiedName(); got != "a" {
+		t.Errorf("QualifiedName = %q", got)
+	}
+}

@@ -1,0 +1,115 @@
+package algebra
+
+import (
+	"sort"
+	"strings"
+)
+
+// SemanticKey returns an order-insensitive identity for the relation
+// computed by a plan subtree. Two subtrees with equal semantic keys compute
+// the same relation (up to column order), which is exactly the paper's
+// common-subexpression condition "S(u) = S(v) and R(u) = R(v)" (§3.1).
+//
+// Normalizations applied on top of Canonical:
+//   - join commutativity and associativity: a chain of joins flattens to the
+//     multiset of its non-join inputs plus the set of its conditions;
+//   - selection commutativity: stacked selections merge into one sorted
+//     conjunct set;
+//   - projection column order is ignored (as in Canonical).
+func SemanticKey(n Node) string {
+	switch v := n.(type) {
+	case *Scan:
+		return v.Canonical()
+	case *Select:
+		var preds []string
+		cur := Node(v)
+		for {
+			s, ok := cur.(*Select)
+			if !ok {
+				break
+			}
+			for _, c := range Conjuncts(s.Pred) {
+				preds = append(preds, c.String())
+			}
+			cur = s.Input
+		}
+		sort.Strings(preds)
+		preds = dedupeStrings(preds)
+		return "select[" + strings.Join(preds, " AND ") + "](" + SemanticKey(cur) + ")"
+	case *Project:
+		return "project[" + refsString(v.Cols, true) + "](" + SemanticKey(v.Input) + ")"
+	case *Join:
+		inputs, conds := flattenJoin(v)
+		sort.Strings(inputs)
+		sort.Strings(conds)
+		conds = dedupeStrings(conds)
+		return "join{" + strings.Join(conds, " AND ") + "}(" + strings.Join(inputs, ", ") + ")"
+	case *Aggregate:
+		return v.structuralKey(SemanticKey(v.Input))
+	default:
+		return n.Canonical()
+	}
+}
+
+// flattenJoin decomposes a join tree into the semantic keys of its non-join
+// inputs and the canonical strings of all its conditions.
+func flattenJoin(j *Join) (inputs, conds []string) {
+	for _, c := range j.On {
+		conds = append(conds, c.CanonicalString())
+	}
+	for _, child := range []Node{j.Left, j.Right} {
+		if cj, ok := child.(*Join); ok {
+			ci, cc := flattenJoin(cj)
+			inputs = append(inputs, ci...)
+			conds = append(conds, cc...)
+			continue
+		}
+		inputs = append(inputs, SemanticKey(child))
+	}
+	return inputs, conds
+}
+
+// StructuralKey returns a vertex identity for MVPP construction: like
+// SemanticKey it ignores join commutativity (A⋈B = B⋈A), conjunct order
+// within one selection, and projection column order — but unlike
+// SemanticKey it preserves join associativity/grouping and selection
+// stacking. (A⋈B)⋈C and A⋈(B⋈C) compute the same relation, yet they expose
+// different intermediate results for sharing, and the MVPP generation
+// algorithm explores exactly that choice; likewise σp(σs(X)) keeps σs(X) as
+// a distinct shareable vertex while σ(p∧s)(X) does not.
+func StructuralKey(n Node) string {
+	switch v := n.(type) {
+	case *Scan:
+		return v.Canonical()
+	case *Select:
+		var preds []string
+		for _, c := range Conjuncts(v.Pred) {
+			preds = append(preds, c.String())
+		}
+		sort.Strings(preds)
+		preds = dedupeStrings(preds)
+		return "select[" + strings.Join(preds, " AND ") + "](" + StructuralKey(v.Input) + ")"
+	case *Project:
+		return "project[" + refsString(v.Cols, true) + "](" + StructuralKey(v.Input) + ")"
+	case *Join:
+		l, r := StructuralKey(v.Left), StructuralKey(v.Right)
+		if r < l {
+			l, r = r, l
+		}
+		return "join[" + v.condString() + "](" + l + ", " + r + ")"
+	case *Aggregate:
+		return v.structuralKey(StructuralKey(v.Input))
+	default:
+		return n.Canonical()
+	}
+}
+
+func dedupeStrings(sorted []string) []string {
+	out := sorted[:0]
+	for i, s := range sorted {
+		if i == 0 || s != sorted[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

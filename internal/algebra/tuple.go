@@ -1,0 +1,69 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tuple is one row of a relation, paired with its schema so that predicates
+// can resolve column references against it. Tuples implement Binding.
+type Tuple struct {
+	Schema *Schema
+	Values []Value
+}
+
+var _ Binding = (*Tuple)(nil)
+
+// NewTuple pairs values with a schema. The value count must match the
+// schema width.
+func NewTuple(schema *Schema, values []Value) (*Tuple, error) {
+	if len(values) != schema.Len() {
+		return nil, fmt.Errorf("algebra: tuple has %d values for %d columns", len(values), schema.Len())
+	}
+	return &Tuple{Schema: schema, Values: values}, nil
+}
+
+// ColumnValue implements Binding.
+func (t *Tuple) ColumnValue(ref ColumnRef) (Value, bool) {
+	i := t.Schema.IndexOf(ref)
+	if i < 0 {
+		return Value{}, false
+	}
+	return t.Values[i], true
+}
+
+// Project returns a new tuple restricted to the referenced columns.
+func (t *Tuple) Project(refs []ColumnRef) (*Tuple, error) {
+	schema, err := t.Schema.Project(refs)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]Value, len(refs))
+	for i, r := range refs {
+		idx := t.Schema.IndexOf(r)
+		vals[i] = t.Values[idx]
+	}
+	return &Tuple{Schema: schema, Values: vals}, nil
+}
+
+// Concat returns the concatenation of two tuples (the join of one row from
+// each side).
+func (t *Tuple) Concat(o *Tuple) *Tuple {
+	vals := make([]Value, 0, len(t.Values)+len(o.Values))
+	vals = append(vals, t.Values...)
+	vals = append(vals, o.Values...)
+	return &Tuple{Schema: t.Schema.Concat(o.Schema), Values: vals}
+}
+
+// String renders the tuple as "(v1, v2, ...)".
+func (t *Tuple) String() string {
+	parts := make([]string, len(t.Values))
+	for i, v := range t.Values {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Key renders the tuple values as a comparable string key (used for
+// set-semantics deduplication and result comparison in tests).
+func (t *Tuple) Key() string { return t.String() }

@@ -1,0 +1,456 @@
+// Package catalog holds the statistics the materialized-view design
+// framework needs about base relations: cardinalities, block counts,
+// per-attribute distinct-value counts, update frequencies, and selectivity
+// overrides for specific predicates (the paper's Table 1 pins selectivities
+// such as s = 0.02 for `city = "LA"` directly, so the catalog supports both
+// derived and pinned selectivities).
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/warehousekit/mvpp/internal/algebra"
+)
+
+// AttrStats carries per-attribute statistics used for selectivity
+// estimation.
+type AttrStats struct {
+	// DistinctValues is the number of distinct values (NDV) of the
+	// attribute; 0 means unknown.
+	DistinctValues float64
+	// Min and Max bound the attribute's domain for range-selectivity
+	// interpolation; invalid values mean unknown.
+	Min, Max algebra.Value
+	// Histogram holds equi-depth bucket boundaries for numeric attributes:
+	// Histogram[i] is the upper bound of bucket i, each bucket holding
+	// 1/len(Histogram) of the rows. When present it refines range
+	// selectivities beyond min/max interpolation (skewed data). Optional.
+	Histogram []float64
+}
+
+// HistogramSelectivity estimates the fraction of rows with value ≤ bound
+// from the equi-depth histogram; ok is false when no histogram exists.
+func (a AttrStats) HistogramSelectivity(bound float64) (float64, bool) {
+	if len(a.Histogram) == 0 {
+		return 0, false
+	}
+	n := len(a.Histogram)
+	prev := bucketLow(a)
+	for i, hi := range a.Histogram {
+		if bound < hi {
+			frac := float64(i) / float64(n)
+			if hi > prev {
+				frac += (bound - prev) / (hi - prev) / float64(n)
+			}
+			if frac < 0 {
+				frac = 0
+			}
+			return frac, true
+		}
+		prev = hi
+	}
+	return 1, true
+}
+
+func bucketLow(a AttrStats) float64 {
+	if a.Min.IsValid() {
+		if f, ok := numeric(a.Min); ok {
+			return f
+		}
+	}
+	return a.Histogram[0]
+}
+
+// Relation describes one base relation of the member databases.
+type Relation struct {
+	Name   string
+	Schema *algebra.Schema
+	// Rows is the relation cardinality.
+	Rows float64
+	// Blocks is the number of disk blocks the relation occupies.
+	Blocks float64
+	// UpdateFrequency is the paper's fu: how many times the relation is
+	// updated per costing period.
+	UpdateFrequency float64
+	// Attrs maps attribute name to its statistics.
+	Attrs map[string]AttrStats
+}
+
+// RowWidth returns the fraction of a block one row occupies
+// (blocks per row). Zero-row relations report zero width.
+func (r *Relation) RowWidth() float64 {
+	if r.Rows <= 0 {
+		return 0
+	}
+	return r.Blocks / r.Rows
+}
+
+// Default selectivities used when no statistics or overrides apply. The
+// constants follow the classic System-R conventions.
+const (
+	DefaultEqSelectivity    = 0.1
+	DefaultRangeSelectivity = 1.0 / 3.0
+	DefaultNotEqSelectivity = 0.9
+)
+
+// JoinSize pins the size of a join result identified by the set of base
+// relations it covers, mirroring the paper's Table 1 rows such as
+// "Product ⋈ Division: 30k records, 5k blocks".
+type JoinSize struct {
+	Rows   float64
+	Blocks float64
+}
+
+// Catalog is the statistics store. The zero value is unusable; construct
+// with New. A Catalog is safe for concurrent reads after construction;
+// mutation methods are guarded for convenience during setup.
+type Catalog struct {
+	mu        sync.RWMutex
+	relations map[string]*Relation
+	order     []string
+	predSel   map[string]float64 // canonical predicate → selectivity
+	joinSel   map[string]float64 // canonical join condition → selectivity
+	joinSizes map[string]JoinSize
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		relations: make(map[string]*Relation),
+		predSel:   make(map[string]float64),
+		joinSel:   make(map[string]float64),
+		joinSizes: make(map[string]JoinSize),
+	}
+}
+
+// AddRelation registers a base relation. Re-adding a name replaces the
+// earlier definition.
+func (c *Catalog) AddRelation(rel *Relation) error {
+	if rel == nil || rel.Name == "" {
+		return fmt.Errorf("catalog: relation must have a name")
+	}
+	if rel.Schema == nil || rel.Schema.Len() == 0 {
+		return fmt.Errorf("catalog: relation %s has no schema", rel.Name)
+	}
+	if rel.Rows < 0 || rel.Blocks < 0 {
+		return fmt.Errorf("catalog: relation %s has negative size", rel.Name)
+	}
+	if rel.Attrs == nil {
+		rel.Attrs = make(map[string]AttrStats)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.relations[rel.Name]; !exists {
+		c.order = append(c.order, rel.Name)
+	}
+	c.relations[rel.Name] = rel
+	return nil
+}
+
+// Relation looks up a base relation by name.
+func (c *Catalog) Relation(name string) (*Relation, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	rel, ok := c.relations[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: unknown relation %q", name)
+	}
+	return rel, nil
+}
+
+// Relations returns the registered relation names in registration order.
+func (c *Catalog) Relations() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, len(c.order))
+	copy(out, c.order)
+	return out
+}
+
+// Schema returns the schema of a base relation.
+func (c *Catalog) Schema(name string) (*algebra.Schema, error) {
+	rel, err := c.Relation(name)
+	if err != nil {
+		return nil, err
+	}
+	return rel.Schema, nil
+}
+
+// Scan builds a scan node over a cataloged relation.
+func (c *Catalog) Scan(name string) (*algebra.Scan, error) {
+	rel, err := c.Relation(name)
+	if err != nil {
+		return nil, err
+	}
+	return algebra.NewScan(rel.Name, rel.Schema), nil
+}
+
+// SetPredicateSelectivity pins the selectivity of a specific predicate (by
+// canonical form), as the paper's Table 1 does for its selections.
+func (c *Catalog) SetPredicateSelectivity(p algebra.Predicate, s float64) error {
+	if p == nil {
+		return fmt.Errorf("catalog: nil predicate")
+	}
+	if s < 0 || s > 1 {
+		return fmt.Errorf("catalog: selectivity %v out of [0,1]", s)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.predSel[p.String()] = s
+	return nil
+}
+
+// SetJoinSelectivity pins the selectivity of a join condition (orientation
+// insensitive).
+func (c *Catalog) SetJoinSelectivity(left, right algebra.ColumnRef, s float64) error {
+	if s < 0 || s > 1 {
+		return fmt.Errorf("catalog: selectivity %v out of [0,1]", s)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.joinSel[condKey(left, right)] = s
+	return nil
+}
+
+// PinJoinSize pins the result size of any join covering exactly the given
+// set of base relations, regardless of join order (Table 1 mode).
+func (c *Catalog) PinJoinSize(relations []string, size JoinSize) error {
+	if len(relations) < 2 {
+		return fmt.Errorf("catalog: join size pin needs at least two relations")
+	}
+	if size.Rows < 0 || size.Blocks < 0 {
+		return fmt.Errorf("catalog: negative pinned size")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.joinSizes[leafSetKey(relations)] = size
+	return nil
+}
+
+// PinnedJoinSize looks up a pinned size for a leaf set; ok is false when no
+// pin exists.
+func (c *Catalog) PinnedJoinSize(relations []string) (JoinSize, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	sz, ok := c.joinSizes[leafSetKey(relations)]
+	return sz, ok
+}
+
+// UpdateFrequency returns fu for a base relation (0 when unknown).
+func (c *Catalog) UpdateFrequency(name string) float64 {
+	rel, err := c.Relation(name)
+	if err != nil {
+		return 0
+	}
+	return rel.UpdateFrequency
+}
+
+// PredicateSelectivity estimates the fraction of rows satisfying p.
+// Resolution order: exact canonical-form pin; structural estimate from
+// attribute statistics; System-R defaults.
+func (c *Catalog) PredicateSelectivity(p algebra.Predicate) float64 {
+	if p == nil {
+		return 1
+	}
+	c.mu.RLock()
+	pinned, ok := c.predSel[p.String()]
+	c.mu.RUnlock()
+	if ok {
+		return pinned
+	}
+	switch v := p.(type) {
+	case *algebra.Comparison:
+		return c.comparisonSelectivity(v)
+	case *algebra.And:
+		s := 1.0
+		for _, q := range v.Preds {
+			s *= c.PredicateSelectivity(q)
+		}
+		return s
+	case *algebra.Or:
+		miss := 1.0
+		for _, q := range v.Preds {
+			miss *= 1 - c.PredicateSelectivity(q)
+		}
+		return 1 - miss
+	case *algebra.Not:
+		return 1 - c.PredicateSelectivity(v.Pred)
+	default:
+		return DefaultRangeSelectivity
+	}
+}
+
+func (c *Catalog) comparisonSelectivity(cmp *algebra.Comparison) float64 {
+	// Column-vs-column comparisons inside selections behave like join
+	// predicates.
+	if cmp.Left.IsColumn && cmp.Right.IsColumn {
+		if cmp.Op == algebra.OpEq {
+			return c.JoinSelectivity(algebra.JoinCond{Left: cmp.Left.Col, Right: cmp.Right.Col})
+		}
+		return DefaultRangeSelectivity
+	}
+	if !cmp.Left.IsColumn {
+		return DefaultRangeSelectivity
+	}
+	stats, ok := c.attrStats(cmp.Left.Col)
+	switch cmp.Op {
+	case algebra.OpEq:
+		if ok && stats.DistinctValues > 0 {
+			return 1 / stats.DistinctValues
+		}
+		return DefaultEqSelectivity
+	case algebra.OpNotEq:
+		if ok && stats.DistinctValues > 0 {
+			return 1 - 1/stats.DistinctValues
+		}
+		return DefaultNotEqSelectivity
+	case algebra.OpLt, algebra.OpLe, algebra.OpGt, algebra.OpGe:
+		if ok {
+			if s, fromHist := histogramRange(stats, cmp.Op, cmp.Right.Lit); fromHist {
+				return s
+			}
+			if s, interpolated := rangeInterpolate(stats, cmp.Op, cmp.Right.Lit); interpolated {
+				return s
+			}
+		}
+		return DefaultRangeSelectivity
+	default:
+		return DefaultRangeSelectivity
+	}
+}
+
+// histogramRange estimates range selectivity from the attribute's
+// equi-depth histogram when one is present.
+func histogramRange(stats AttrStats, op algebra.CompareOp, lit algebra.Value) (float64, bool) {
+	vf, ok := numeric(lit)
+	if !ok {
+		return 0, false
+	}
+	le, ok := stats.HistogramSelectivity(vf)
+	if !ok {
+		return 0, false
+	}
+	switch op {
+	case algebra.OpLt, algebra.OpLe:
+		return le, true
+	case algebra.OpGt, algebra.OpGe:
+		return 1 - le, true
+	default:
+		return 0, false
+	}
+}
+
+// rangeInterpolate computes (v - min)/(max - min)-style selectivity when the
+// attribute has numeric bounds.
+func rangeInterpolate(stats AttrStats, op algebra.CompareOp, lit algebra.Value) (float64, bool) {
+	lo, hi := stats.Min, stats.Max
+	if !lo.IsValid() || !hi.IsValid() || !lit.IsValid() {
+		return 0, false
+	}
+	lof, ok1 := numeric(lo)
+	hif, ok2 := numeric(hi)
+	vf, ok3 := numeric(lit)
+	if !ok1 || !ok2 || !ok3 || hif <= lof {
+		return 0, false
+	}
+	frac := (vf - lof) / (hif - lof)
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	switch op {
+	case algebra.OpLt, algebra.OpLe:
+		return frac, true
+	case algebra.OpGt, algebra.OpGe:
+		return 1 - frac, true
+	default:
+		return 0, false
+	}
+}
+
+func numeric(v algebra.Value) (float64, bool) {
+	switch v.Kind {
+	case algebra.TypeInt, algebra.TypeDate:
+		return float64(v.Int), true
+	case algebra.TypeFloat:
+		return v.Float, true
+	default:
+		return 0, false
+	}
+}
+
+// JoinSelectivity estimates the selectivity of an equi-join condition:
+// pinned value if present, else 1/max(NDV(left), NDV(right)), else
+// 1/max(rows) of the owning relations.
+func (c *Catalog) JoinSelectivity(cond algebra.JoinCond) float64 {
+	c.mu.RLock()
+	pinned, ok := c.joinSel[condKey(cond.Left, cond.Right)]
+	c.mu.RUnlock()
+	if ok {
+		return pinned
+	}
+	best := 0.0
+	for _, ref := range []algebra.ColumnRef{cond.Left, cond.Right} {
+		if stats, ok := c.attrStats(ref); ok && stats.DistinctValues > best {
+			best = stats.DistinctValues
+		}
+	}
+	if best > 0 {
+		return 1 / best
+	}
+	for _, ref := range []algebra.ColumnRef{cond.Left, cond.Right} {
+		if rel, err := c.Relation(ref.Relation); err == nil && rel.Rows > best {
+			best = rel.Rows
+		}
+	}
+	if best > 0 {
+		return 1 / best
+	}
+	return DefaultEqSelectivity
+}
+
+// DistinctValues returns the distinct-value count of a (qualified) column,
+// or ok=false when unknown.
+func (c *Catalog) DistinctValues(ref algebra.ColumnRef) (float64, bool) {
+	stats, ok := c.attrStats(ref)
+	if !ok || stats.DistinctValues <= 0 {
+		return 0, false
+	}
+	return stats.DistinctValues, true
+}
+
+// attrStats resolves a column reference to its attribute statistics; the
+// reference must be qualified by a cataloged relation.
+func (c *Catalog) attrStats(ref algebra.ColumnRef) (AttrStats, bool) {
+	if ref.Relation == "" {
+		return AttrStats{}, false
+	}
+	rel, err := c.Relation(ref.Relation)
+	if err != nil {
+		return AttrStats{}, false
+	}
+	stats, ok := rel.Attrs[ref.Name]
+	return stats, ok
+}
+
+// condKey renders an orientation-insensitive key for a join condition.
+func condKey(a, b algebra.ColumnRef) string {
+	l, r := a.String(), b.String()
+	if r < l {
+		l, r = r, l
+	}
+	return l + "=" + r
+}
+
+// leafSetKey renders a canonical key for a set of relation names.
+func leafSetKey(relations []string) string {
+	cp := make([]string, len(relations))
+	copy(cp, relations)
+	sort.Strings(cp)
+	return strings.Join(cp, "⋈")
+}

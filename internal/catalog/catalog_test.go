@@ -1,0 +1,328 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/warehousekit/mvpp/internal/algebra"
+)
+
+func testCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	c := New()
+	div := &Relation{
+		Name: "Division",
+		Schema: algebra.NewSchema(
+			algebra.Column{Relation: "Division", Name: "Did", Type: algebra.TypeInt},
+			algebra.Column{Relation: "Division", Name: "name", Type: algebra.TypeString},
+			algebra.Column{Relation: "Division", Name: "city", Type: algebra.TypeString},
+		),
+		Rows:            5000,
+		Blocks:          500,
+		UpdateFrequency: 1,
+		Attrs: map[string]AttrStats{
+			"Did":  {DistinctValues: 5000},
+			"city": {DistinctValues: 50},
+		},
+	}
+	ord := &Relation{
+		Name: "Order",
+		Schema: algebra.NewSchema(
+			algebra.Column{Relation: "Order", Name: "Pid", Type: algebra.TypeInt},
+			algebra.Column{Relation: "Order", Name: "quantity", Type: algebra.TypeInt},
+		),
+		Rows:            50000,
+		Blocks:          6000,
+		UpdateFrequency: 2,
+		Attrs: map[string]AttrStats{
+			"quantity": {DistinctValues: 200, Min: algebra.IntVal(0), Max: algebra.IntVal(200)},
+		},
+	}
+	for _, r := range []*Relation{div, ord} {
+		if err := c.AddRelation(r); err != nil {
+			t.Fatalf("AddRelation(%s): %v", r.Name, err)
+		}
+	}
+	return c
+}
+
+func TestAddRelationValidation(t *testing.T) {
+	c := New()
+	if err := c.AddRelation(nil); err == nil {
+		t.Error("nil relation accepted")
+	}
+	if err := c.AddRelation(&Relation{Name: ""}); err == nil {
+		t.Error("unnamed relation accepted")
+	}
+	if err := c.AddRelation(&Relation{Name: "R"}); err == nil {
+		t.Error("schemaless relation accepted")
+	}
+	if err := c.AddRelation(&Relation{
+		Name:   "R",
+		Schema: algebra.NewSchema(algebra.Column{Relation: "R", Name: "x", Type: algebra.TypeInt}),
+		Rows:   -1,
+	}); err == nil {
+		t.Error("negative rows accepted")
+	}
+}
+
+func TestRelationLookupAndOrder(t *testing.T) {
+	c := testCatalog(t)
+	if _, err := c.Relation("Division"); err != nil {
+		t.Errorf("Relation: %v", err)
+	}
+	if _, err := c.Relation("Nope"); err == nil || !strings.Contains(err.Error(), "unknown relation") {
+		t.Errorf("missing relation error = %v", err)
+	}
+	names := c.Relations()
+	if len(names) != 2 || names[0] != "Division" || names[1] != "Order" {
+		t.Errorf("Relations() = %v", names)
+	}
+}
+
+func TestReAddReplacesWithoutDuplicatingOrder(t *testing.T) {
+	c := testCatalog(t)
+	div, _ := c.Relation("Division")
+	clone := *div
+	clone.Rows = 9999
+	if err := c.AddRelation(&clone); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := c.Relation("Division"); got.Rows != 9999 {
+		t.Errorf("replacement not applied: rows = %v", got.Rows)
+	}
+	if n := len(c.Relations()); n != 2 {
+		t.Errorf("order list grew to %d", n)
+	}
+}
+
+func TestScanConstruction(t *testing.T) {
+	c := testCatalog(t)
+	s, err := c.Scan("Division")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Relation != "Division" || s.Schema().Len() != 3 {
+		t.Errorf("scan = %v over %s", s.Relation, s.Schema())
+	}
+	if _, err := c.Scan("Nope"); err == nil {
+		t.Error("scan of unknown relation accepted")
+	}
+}
+
+func TestRowWidth(t *testing.T) {
+	c := testCatalog(t)
+	div, _ := c.Relation("Division")
+	if w := div.RowWidth(); w != 0.1 {
+		t.Errorf("RowWidth = %v, want 0.1", w)
+	}
+	empty := &Relation{Rows: 0, Blocks: 10}
+	if w := empty.RowWidth(); w != 0 {
+		t.Errorf("empty RowWidth = %v", w)
+	}
+}
+
+func TestPredicateSelectivityPinned(t *testing.T) {
+	c := testCatalog(t)
+	la := algebra.Eq(algebra.Ref("Division", "city"), algebra.StringVal("LA"))
+	if err := c.SetPredicateSelectivity(la, 0.02); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.PredicateSelectivity(la); got != 0.02 {
+		t.Errorf("pinned selectivity = %v", got)
+	}
+	// A canonically equal predicate constructed differently hits the pin.
+	flipped := algebra.Compare(
+		algebra.LitOperand(algebra.StringVal("LA")), algebra.OpEq,
+		algebra.ColOperand(algebra.Ref("Division", "city")))
+	if got := c.PredicateSelectivity(flipped); got != 0.02 {
+		t.Errorf("pin not canonical: %v", got)
+	}
+}
+
+func TestSetPredicateSelectivityValidation(t *testing.T) {
+	c := testCatalog(t)
+	if err := c.SetPredicateSelectivity(nil, 0.5); err == nil {
+		t.Error("nil predicate accepted")
+	}
+	la := algebra.Eq(algebra.Ref("Division", "city"), algebra.StringVal("LA"))
+	if err := c.SetPredicateSelectivity(la, 1.5); err == nil {
+		t.Error("selectivity > 1 accepted")
+	}
+	if err := c.SetPredicateSelectivity(la, -0.1); err == nil {
+		t.Error("negative selectivity accepted")
+	}
+}
+
+func TestPredicateSelectivityFromNDV(t *testing.T) {
+	c := testCatalog(t)
+	eq := algebra.Eq(algebra.Ref("Division", "city"), algebra.StringVal("SF"))
+	if got, want := c.PredicateSelectivity(eq), 1.0/50; got != want {
+		t.Errorf("eq selectivity = %v, want %v", got, want)
+	}
+	ne := algebra.Compare(
+		algebra.ColOperand(algebra.Ref("Division", "city")), algebra.OpNotEq,
+		algebra.LitOperand(algebra.StringVal("SF")))
+	if got, want := c.PredicateSelectivity(ne), 1-1.0/50; got != want {
+		t.Errorf("noteq selectivity = %v, want %v", got, want)
+	}
+	// No stats → defaults.
+	eqNoStats := algebra.Eq(algebra.Ref("Division", "name"), algebra.StringVal("Re"))
+	if got := c.PredicateSelectivity(eqNoStats); got != DefaultEqSelectivity {
+		t.Errorf("default eq selectivity = %v", got)
+	}
+}
+
+func TestRangeSelectivityInterpolation(t *testing.T) {
+	c := testCatalog(t)
+	gt := algebra.Compare(
+		algebra.ColOperand(algebra.Ref("Order", "quantity")), algebra.OpGt,
+		algebra.LitOperand(algebra.IntVal(100)))
+	if got := c.PredicateSelectivity(gt); got != 0.5 {
+		t.Errorf("quantity>100 selectivity = %v, want 0.5 (interpolated)", got)
+	}
+	lt := algebra.Compare(
+		algebra.ColOperand(algebra.Ref("Order", "quantity")), algebra.OpLt,
+		algebra.LitOperand(algebra.IntVal(50)))
+	if got := c.PredicateSelectivity(lt); got != 0.25 {
+		t.Errorf("quantity<50 selectivity = %v, want 0.25", got)
+	}
+	// Out-of-range literals clamp.
+	extreme := algebra.Compare(
+		algebra.ColOperand(algebra.Ref("Order", "quantity")), algebra.OpGt,
+		algebra.LitOperand(algebra.IntVal(1000)))
+	if got := c.PredicateSelectivity(extreme); got != 0 {
+		t.Errorf("clamped selectivity = %v, want 0", got)
+	}
+	// No bounds → default range selectivity.
+	noBounds := algebra.Compare(
+		algebra.ColOperand(algebra.Ref("Division", "city")), algebra.OpGt,
+		algebra.LitOperand(algebra.StringVal("A")))
+	if got := c.PredicateSelectivity(noBounds); got != DefaultRangeSelectivity {
+		t.Errorf("default range selectivity = %v", got)
+	}
+}
+
+func TestCompoundSelectivity(t *testing.T) {
+	c := testCatalog(t)
+	la := algebra.Eq(algebra.Ref("Division", "city"), algebra.StringVal("LA"))
+	sf := algebra.Eq(algebra.Ref("Division", "city"), algebra.StringVal("SF"))
+	if err := c.SetPredicateSelectivity(la, 0.02); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetPredicateSelectivity(sf, 0.04); err != nil {
+		t.Fatal(err)
+	}
+	and := algebra.NewAnd(la, sf)
+	if got, want := c.PredicateSelectivity(and), 0.02*0.04; !close(got, want) {
+		t.Errorf("AND selectivity = %v, want %v", got, want)
+	}
+	or := algebra.NewOr(la, sf)
+	if got, want := c.PredicateSelectivity(or), 1-(1-0.02)*(1-0.04); !close(got, want) {
+		t.Errorf("OR selectivity = %v, want %v", got, want)
+	}
+	not := algebra.NewNot(la)
+	if got, want := c.PredicateSelectivity(not), 0.98; !close(got, want) {
+		t.Errorf("NOT selectivity = %v, want %v", got, want)
+	}
+	if got := c.PredicateSelectivity(nil); got != 1 {
+		t.Errorf("nil predicate selectivity = %v, want 1", got)
+	}
+}
+
+func TestJoinSelectivity(t *testing.T) {
+	c := testCatalog(t)
+	cond := algebra.JoinCond{Left: algebra.Ref("Order", "Did"), Right: algebra.Ref("Division", "Did")}
+	// NDV(Division.Did) = 5000 → 1/5000.
+	if got, want := c.JoinSelectivity(cond), 1.0/5000; got != want {
+		t.Errorf("join selectivity = %v, want %v", got, want)
+	}
+	// Pin wins, orientation-insensitively.
+	if err := c.SetJoinSelectivity(algebra.Ref("Division", "Did"), algebra.Ref("Order", "Did"), 0.001); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.JoinSelectivity(cond); got != 0.001 {
+		t.Errorf("pinned join selectivity = %v", got)
+	}
+	// No stats anywhere → falls back to 1/max(rows).
+	noStats := algebra.JoinCond{Left: algebra.Ref("Order", "Pid"), Right: algebra.Ref("Division", "name")}
+	if got, want := c.JoinSelectivity(noStats), 1.0/50000; got != want {
+		t.Errorf("row-fallback join selectivity = %v, want %v", got, want)
+	}
+}
+
+func TestPinJoinSize(t *testing.T) {
+	c := testCatalog(t)
+	if err := c.PinJoinSize([]string{"Order"}, JoinSize{Rows: 1, Blocks: 1}); err == nil {
+		t.Error("single-relation pin accepted")
+	}
+	if err := c.PinJoinSize([]string{"Order", "Division"}, JoinSize{Rows: -1}); err == nil {
+		t.Error("negative pin accepted")
+	}
+	want := JoinSize{Rows: 25000, Blocks: 5000}
+	if err := c.PinJoinSize([]string{"Order", "Division"}, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.PinnedJoinSize([]string{"Division", "Order"}) // reversed order
+	if !ok || got != want {
+		t.Errorf("PinnedJoinSize = %v, %v", got, ok)
+	}
+	if _, ok := c.PinnedJoinSize([]string{"Division", "Customer"}); ok {
+		t.Error("unexpected pin hit")
+	}
+}
+
+func TestUpdateFrequency(t *testing.T) {
+	c := testCatalog(t)
+	if got := c.UpdateFrequency("Order"); got != 2 {
+		t.Errorf("fu(Order) = %v", got)
+	}
+	if got := c.UpdateFrequency("Nope"); got != 0 {
+		t.Errorf("fu(unknown) = %v", got)
+	}
+}
+
+// Property: AND of two predicates is never more selective than min of
+// the two (product rule keeps s in [0,1] and below both factors).
+func TestAndSelectivityBound(t *testing.T) {
+	c := testCatalog(t)
+	f := func(s1, s2 float64) bool {
+		// map random floats into [0,1]
+		s1 = clamp01(s1)
+		s2 = clamp01(s2)
+		p1 := algebra.Eq(algebra.Ref("Division", "city"), algebra.StringVal("A"))
+		p2 := algebra.Eq(algebra.Ref("Division", "name"), algebra.StringVal("B"))
+		if err := c.SetPredicateSelectivity(p1, s1); err != nil {
+			return false
+		}
+		if err := c.SetPredicateSelectivity(p2, s2); err != nil {
+			return false
+		}
+		and := c.PredicateSelectivity(algebra.NewAnd(p1, p2))
+		or := c.PredicateSelectivity(algebra.NewOr(p1, p2))
+		return and <= s1+1e-12 && and <= s2+1e-12 &&
+			or+1e-12 >= s1 && or+1e-12 >= s2 && or <= 1+1e-12 && and >= -1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x != x || x < 0 { // NaN or negative
+		return 0
+	}
+	if x > 1 {
+		return 1 / x
+	}
+	return x
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-12
+}

@@ -1,0 +1,106 @@
+package catalog
+
+import (
+	"math"
+	"testing"
+
+	"github.com/warehousekit/mvpp/internal/algebra"
+)
+
+func uniformHistogram() AttrStats {
+	// 10 equi-depth buckets over a uniform 1..200 domain.
+	hist := make([]float64, 10)
+	for i := range hist {
+		hist[i] = float64((i + 1) * 20)
+	}
+	return AttrStats{
+		DistinctValues: 200,
+		Min:            algebra.IntVal(1),
+		Max:            algebra.IntVal(200),
+		Histogram:      hist,
+	}
+}
+
+func skewedHistogram() AttrStats {
+	// 90% of rows below 10, the rest spread to 1000.
+	return AttrStats{
+		DistinctValues: 1000,
+		Min:            algebra.IntVal(0),
+		Max:            algebra.IntVal(1000),
+		Histogram:      []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 1000},
+	}
+}
+
+func TestHistogramSelectivityUniform(t *testing.T) {
+	stats := uniformHistogram()
+	tests := []struct {
+		bound float64
+		want  float64
+	}{
+		{0, 0},
+		{20, 0.1},
+		{100, 0.5},
+		{200, 1},
+		{500, 1},
+		{10, 0.05},
+	}
+	for _, tt := range tests {
+		got, ok := stats.HistogramSelectivity(tt.bound)
+		if !ok {
+			t.Fatalf("histogram missing for bound %v", tt.bound)
+		}
+		if math.Abs(got-tt.want) > 0.011 {
+			t.Errorf("P(v ≤ %v) = %v, want ≈ %v", tt.bound, got, tt.want)
+		}
+	}
+}
+
+func TestHistogramSelectivitySkewed(t *testing.T) {
+	stats := skewedHistogram()
+	// min/max interpolation would say P(v ≤ 9) ≈ 0.009; the histogram knows
+	// it is ≈ 0.9.
+	got, ok := stats.HistogramSelectivity(9)
+	if !ok {
+		t.Fatal("histogram missing")
+	}
+	if got < 0.85 || got > 0.95 {
+		t.Errorf("P(v ≤ 9) = %v, want ≈ 0.9", got)
+	}
+}
+
+func TestHistogramMissing(t *testing.T) {
+	var stats AttrStats
+	if _, ok := stats.HistogramSelectivity(5); ok {
+		t.Error("empty stats reported a histogram")
+	}
+}
+
+func TestHistogramDrivesRangePredicates(t *testing.T) {
+	c := New()
+	err := c.AddRelation(&Relation{
+		Name: "Events",
+		Schema: algebra.NewSchema(
+			algebra.Column{Relation: "Events", Name: "latency", Type: algebra.TypeInt},
+		),
+		Rows: 10000, Blocks: 1000,
+		Attrs: map[string]AttrStats{"latency": skewedHistogram()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt := algebra.Compare(
+		algebra.ColOperand(algebra.Ref("Events", "latency")), algebra.OpGt,
+		algebra.LitOperand(algebra.IntVal(9)))
+	got := c.PredicateSelectivity(gt)
+	// The tail above 9 holds ~10% of rows; min/max interpolation would have
+	// claimed ~99%.
+	if got < 0.05 || got > 0.15 {
+		t.Errorf("s(latency > 9) = %v, want ≈ 0.1 (histogram), not ≈ 0.99 (interpolation)", got)
+	}
+	lt := algebra.Compare(
+		algebra.ColOperand(algebra.Ref("Events", "latency")), algebra.OpLt,
+		algebra.LitOperand(algebra.IntVal(9)))
+	if got := c.PredicateSelectivity(lt); got < 0.8 {
+		t.Errorf("s(latency < 9) = %v, want ≈ 0.9", got)
+	}
+}

@@ -1,0 +1,188 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/warehousekit/mvpp/internal/algebra"
+	"github.com/warehousekit/mvpp/internal/core"
+	"github.com/warehousekit/mvpp/internal/cost"
+	"github.com/warehousekit/mvpp/internal/optimizer"
+	"github.com/warehousekit/mvpp/internal/paper"
+)
+
+// aggregateWorkload builds a mixed workload: two aggregate queries and one
+// SPJ query, all over the Order⋈Customer join.
+func aggregateWorkload(t *testing.T) (*cost.Estimator, []core.QueryPlan) {
+	t.Helper()
+	ex, err := paper.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := cost.NewEstimator(ex.Catalog, cost.DefaultOptions())
+	opt := optimizer.New(est, &cost.PaperModel{}, optimizer.Options{})
+
+	sqls := []struct {
+		name string
+		sql  string
+		freq float64
+	}{
+		{"citySales", `SELECT Customer.city, SUM(quantity) AS total FROM Order, Customer
+			WHERE Order.Cid = Customer.Cid GROUP BY Customer.city`, 20},
+		{"cityOrders", `SELECT Customer.city, COUNT(*) AS n FROM Order, Customer
+			WHERE Order.Cid = Customer.Cid GROUP BY Customer.city`, 10},
+		{"bigOrders", `SELECT Customer.name, quantity FROM Order, Customer
+			WHERE quantity > 100 AND Order.Cid = Customer.Cid`, 2},
+	}
+	var plans []core.QueryPlan
+	for _, s := range sqls {
+		q := bindQuery(t, ex, s.name, s.sql)
+		p, _, err := opt.Optimize(q)
+		if err != nil {
+			t.Fatalf("%s: %v", s.name, err)
+		}
+		plans = append(plans, core.QueryPlan{Name: s.name, Freq: s.freq, Plan: p})
+	}
+	return est, plans
+}
+
+func TestAggregateQueriesShareJoinInMVPP(t *testing.T) {
+	est, plans := aggregateWorkload(t)
+	model := &cost.PaperModel{}
+	cands, err := core.Generate(est, model, plans, core.GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := core.Best(cands)
+	if err := best.MVPP.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The Order⋈Customer join must be shared by at least the two aggregate
+	// queries.
+	sharedJoin := false
+	for _, v := range best.MVPP.InnerVertices() {
+		if _, ok := v.Op.(*algebra.Join); !ok {
+			continue
+		}
+		if len(best.MVPP.QueriesUsing(v)) >= 2 {
+			sharedJoin = true
+		}
+	}
+	if !sharedJoin {
+		t.Error("no shared join vertex across aggregate queries")
+	}
+	// Aggregate vertices appear as roots.
+	aggRoots := 0
+	for _, q := range []string{"citySales", "cityOrders"} {
+		if _, ok := best.MVPP.Roots[q].Op.(*algebra.Aggregate); ok {
+			aggRoots++
+		}
+	}
+	if aggRoots != 2 {
+		t.Errorf("aggregate roots = %d, want 2", aggRoots)
+	}
+}
+
+func TestAggregateSummaryMaterialization(t *testing.T) {
+	est, plans := aggregateWorkload(t)
+	model := &cost.PaperModel{}
+	cands, err := core.Generate(est, model, plans, core.GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := core.Best(cands)
+	res := best.Selection
+	if len(res.Materialized) == 0 {
+		t.Fatal("nothing materialized for a heavily-aggregating workload")
+	}
+	// The frequent aggregate results are tiny (≤50 city groups) and cheap
+	// to store — the design should beat all-virtual decisively.
+	virtual := best.MVPP.AllVirtual(model)
+	if res.Costs.Total > virtual.Total/2 {
+		t.Errorf("design %v not decisively below all-virtual %v", res.Costs.Total, virtual.Total)
+	}
+
+	// The paper's Cs charges candidates their full from-base recompute, so
+	// the greedy pass stops at the shared join. Both the exhaustive optimum
+	// and the discounted-maintenance extension go further and materialize a
+	// summary table.
+	hasSummary := func(mat core.VertexSet) bool {
+		for _, v := range best.MVPP.Vertices {
+			if !mat[v.ID] {
+				continue
+			}
+			if _, ok := v.Op.(*algebra.Aggregate); ok {
+				return true
+			}
+		}
+		return false
+	}
+	opt, err := best.MVPP.ExhaustiveOptimal(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasSummary(opt.Materialized) {
+		t.Errorf("exhaustive optimum has no summary table: %v", opt.Materialized.Names(best.MVPP))
+	}
+	disc := best.MVPP.SelectViews(model, core.SelectOptions{DiscountedMaintenance: true})
+	if !hasSummary(disc.Materialized) {
+		t.Errorf("discounted heuristic has no summary table: %v", disc.Materialized.Names(best.MVPP))
+	}
+	// The discounted extension must close (part of) the gap to optimal.
+	if disc.Costs.Total > res.Costs.Total+1e-6 {
+		t.Errorf("discounted heuristic %v worse than paper heuristic %v", disc.Costs.Total, res.Costs.Total)
+	}
+	if opt.Costs.Total > disc.Costs.Total+1e-6 {
+		t.Errorf("optimum %v worse than discounted heuristic %v", opt.Costs.Total, disc.Costs.Total)
+	}
+}
+
+func TestAggregateVertexCostsAnnotated(t *testing.T) {
+	est, plans := aggregateWorkload(t)
+	model := &cost.PaperModel{}
+	b := core.NewBuilder(est, model)
+	for _, p := range plans {
+		if err := b.AddQuery(p.Name, p.Freq, p.Plan); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range m.InnerVertices() {
+		if _, ok := v.Op.(*algebra.Aggregate); !ok {
+			continue
+		}
+		if v.Ca <= 0 || v.Est.Rows <= 0 {
+			t.Errorf("aggregate vertex %s: Ca=%v rows=%v", v.Name, v.Ca, v.Est.Rows)
+		}
+		if v.Est.Rows > 50 {
+			t.Errorf("aggregate vertex %s: %v groups, want ≤ 50 (city NDV)", v.Name, v.Est.Rows)
+		}
+	}
+}
+
+func TestAggregateLabelsInRendering(t *testing.T) {
+	est, plans := aggregateWorkload(t)
+	model := &cost.PaperModel{}
+	b := core.NewBuilder(est, model)
+	for _, p := range plans {
+		if err := b.AddQuery(p.Name, p.Freq, p.Plan); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range m.InnerVertices() {
+		if strings.Contains(v.Op.Label(), "γ") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no aggregation label in the MVPP")
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Distribution places base relations on member-database sites and prices
+// shipping their blocks to the warehouse site. This implements the paper's
+// §4.1 note: "in the distributed data warehouse environment, the cost C
+// should incorporate the costs of data transferring among different sites."
+//
+// The model: queries and views execute at the warehouse. Whenever a base
+// relation participates in computing a (virtual) query answer or refreshing
+// a materialized view, its blocks are shipped from its site once per
+// execution or refresh epoch; materialized views are stored at the
+// warehouse and incur no transfer at query time — which is exactly why
+// materialization pays off more in the distributed setting.
+type Distribution struct {
+	// SiteOf maps relation name to site name; relations absent from the map
+	// are co-located with the warehouse.
+	SiteOf map[string]string
+	// Warehouse is the warehouse's site name.
+	Warehouse string
+	// CostPerBlock prices shipping one block between two sites; it is never
+	// called with equal sites.
+	CostPerBlock func(from, to string) float64
+}
+
+// UniformDistribution builds a distribution where every listed relation
+// lives on its own site and shipping any block to the warehouse costs
+// perBlock.
+func UniformDistribution(relations []string, perBlock float64) Distribution {
+	siteOf := make(map[string]string, len(relations))
+	for _, r := range relations {
+		siteOf[r] = "site-" + r
+	}
+	return Distribution{
+		SiteOf:    siteOf,
+		Warehouse: "warehouse",
+		CostPerBlock: func(from, to string) float64 {
+			return perBlock
+		},
+	}
+}
+
+// ApplyDistribution annotates the MVPP with per-relation transfer costs.
+// Passing a zero-value Distribution clears the annotation.
+func (m *MVPP) ApplyDistribution(d Distribution) error {
+	if d.SiteOf == nil {
+		m.Transfer = nil
+		return nil
+	}
+	if d.CostPerBlock == nil {
+		return fmt.Errorf("core: distribution has no CostPerBlock function")
+	}
+	transfer := make(map[string]float64, len(m.Leaves))
+	for rel := range m.Leaves {
+		site, ok := d.SiteOf[rel]
+		if !ok || site == d.Warehouse {
+			continue
+		}
+		c := d.CostPerBlock(site, d.Warehouse)
+		if c < 0 {
+			return fmt.Errorf("core: negative transfer cost for %s", rel)
+		}
+		if c > 0 {
+			transfer[rel] = c
+		}
+	}
+	m.Transfer = transfer
+	return nil
+}
+
+// transferForLeaves prices shipping the given leaves' blocks once.
+func (m *MVPP) transferForLeaves(leaves map[int]bool) float64 {
+	if len(m.Transfer) == 0 || len(leaves) == 0 {
+		return 0
+	}
+	total := 0.0
+	for id := range leaves {
+		v := m.Vertices[id]
+		if tc, ok := m.Transfer[v.Relation]; ok {
+			total += tc * v.Est.Blocks
+		}
+	}
+	return total
+}
+
+// reachedLeaves returns the leaf vertices read when computing v with the
+// given materialized set (descent stops at materialized vertices, which are
+// stored locally at the warehouse).
+func (m *MVPP) reachedLeaves(v *Vertex, mat VertexSet) map[int]bool {
+	leaves := make(map[int]bool)
+	seen := make(map[int]bool)
+	var walk func(u *Vertex)
+	walk = func(u *Vertex) {
+		if seen[u.ID] {
+			return
+		}
+		seen[u.ID] = true
+		if u.IsLeaf() {
+			leaves[u.ID] = true
+			return
+		}
+		for _, in := range u.In {
+			if mat[in.ID] {
+				continue
+			}
+			walk(in)
+		}
+	}
+	if !mat[v.ID] {
+		walk(v)
+	}
+	return leaves
+}
+
+// TransferSites lists the relations with a non-zero transfer cost, sorted —
+// mainly for reports.
+func (m *MVPP) TransferSites() []string {
+	out := make([]string, 0, len(m.Transfer))
+	for rel := range m.Transfer {
+		out = append(out, rel)
+	}
+	sort.Strings(out)
+	return out
+}

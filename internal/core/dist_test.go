@@ -1,0 +1,137 @@
+package core_test
+
+import (
+	"testing"
+
+	"github.com/warehousekit/mvpp/internal/core"
+)
+
+func TestUniformDistribution(t *testing.T) {
+	d := core.UniformDistribution([]string{"Order", "Customer"}, 2)
+	if d.SiteOf["Order"] == d.Warehouse {
+		t.Error("relation placed at warehouse")
+	}
+	if got := d.CostPerBlock("a", "b"); got != 2 {
+		t.Errorf("CostPerBlock = %v", got)
+	}
+}
+
+func TestApplyDistribution(t *testing.T) {
+	m, _ := figure3(t)
+	if err := m.ApplyDistribution(core.UniformDistribution([]string{"Order"}, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Transfer) != 1 || m.Transfer["Order"] != 3 {
+		t.Errorf("Transfer = %v", m.Transfer)
+	}
+	if got := m.TransferSites(); len(got) != 1 || got[0] != "Order" {
+		t.Errorf("TransferSites = %v", got)
+	}
+	// Clearing.
+	if err := m.ApplyDistribution(core.Distribution{}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Transfer != nil {
+		t.Errorf("Transfer not cleared: %v", m.Transfer)
+	}
+	// Missing cost function.
+	if err := m.ApplyDistribution(core.Distribution{SiteOf: map[string]string{"Order": "s"}}); err == nil {
+		t.Error("distribution without CostPerBlock accepted")
+	}
+	// Negative cost.
+	bad := core.Distribution{
+		SiteOf:       map[string]string{"Order": "s"},
+		Warehouse:    "w",
+		CostPerBlock: func(_, _ string) float64 { return -1 },
+	}
+	if err := m.ApplyDistribution(bad); err == nil {
+		t.Error("negative transfer cost accepted")
+	}
+}
+
+func TestDistributionRaisesVirtualQueryCost(t *testing.T) {
+	m, model := figure3(t)
+	local := m.AllVirtual(model)
+
+	if err := m.ApplyDistribution(core.UniformDistribution(
+		[]string{"Product", "Division", "Order", "Customer", "Part"}, 1)); err != nil {
+		t.Fatal(err)
+	}
+	remote := m.AllVirtual(model)
+	if remote.Query <= local.Query {
+		t.Errorf("distributed virtual query cost %v not above local %v", remote.Query, local.Query)
+	}
+	// Q4 (fq=5) reads Order (6k) + Customer (2k) per execution: surcharge
+	// 5 × 8000.
+	wantQ4 := local.PerQuery["Q4"] + 5*8000
+	if got := remote.PerQuery["Q4"]; got != wantQ4 {
+		t.Errorf("Q4 distributed = %v, want %v", got, wantQ4)
+	}
+}
+
+func TestDistributionMakesMaterializationMoreAttractive(t *testing.T) {
+	m, model := figure3(t)
+	localVirtual := m.AllVirtual(model)
+	localDesign, err := m.EvaluateNames(model, []string{"tmp2", "tmp4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	localGain := localVirtual.Total - localDesign.Total
+
+	if err := m.ApplyDistribution(core.UniformDistribution(
+		[]string{"Product", "Division", "Order", "Customer", "Part"}, 5)); err != nil {
+		t.Fatal(err)
+	}
+	remoteVirtual := m.AllVirtual(model)
+	remoteDesign, err := m.EvaluateNames(model, []string{"tmp2", "tmp4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remoteGain := remoteVirtual.Total - remoteDesign.Total
+	if remoteGain <= localGain {
+		t.Errorf("distribution should increase the materialization gain: local %v, remote %v",
+			localGain, remoteGain)
+	}
+}
+
+func TestDistributionChargesMaintenanceTransferOncePerEpoch(t *testing.T) {
+	m, model := figure3(t)
+	base, err := m.EvaluateNames(model, []string{"tmp4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ApplyDistribution(core.UniformDistribution([]string{"Order", "Customer"}, 1)); err != nil {
+		t.Fatal(err)
+	}
+	dist, err := m.EvaluateNames(model, []string{"tmp4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Refreshing tmp4 ships Order (6k) + Customer (2k) once.
+	want := base.Maintenance + 8000
+	if dist.Maintenance != want {
+		t.Errorf("distributed maintenance = %v, want %v", dist.Maintenance, want)
+	}
+	// Queries Q3 also pays transfer for the virtual parts it still reads
+	// (Product, Division are co-located here, Order/Customer are behind
+	// tmp4 which is materialized → no transfer for Q3's tmp4 path).
+	if dist.PerQuery["Q4"] != base.PerQuery["Q4"] {
+		t.Errorf("Q4 reads materialized tmp4; transfer should not apply: %v vs %v",
+			dist.PerQuery["Q4"], base.PerQuery["Q4"])
+	}
+}
+
+func TestDistributedSelectionPrefersMoreMaterialization(t *testing.T) {
+	// Under heavy transfer costs the heuristic should still produce a
+	// design no worse than all-virtual, and its query cost must absorb the
+	// transfer savings.
+	m, model := figure3(t)
+	if err := m.ApplyDistribution(core.UniformDistribution(
+		[]string{"Product", "Division", "Order", "Customer", "Part"}, 10)); err != nil {
+		t.Fatal(err)
+	}
+	res := m.SelectViews(model, core.SelectOptions{})
+	if v := m.AllVirtual(model); res.Costs.Total > v.Total {
+		t.Errorf("distributed design %v worse than all-virtual %v", res.Costs.Total, v.Total)
+	}
+}

@@ -1,0 +1,277 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/warehousekit/mvpp/internal/algebra"
+	"github.com/warehousekit/mvpp/internal/cost"
+)
+
+// MaintenancePolicy selects how materialized views are refreshed.
+type MaintenancePolicy int
+
+// Maintenance policies.
+const (
+	// PolicyRecompute is the paper's policy: every refresh epoch recomputes
+	// the view from base relations (sharing sub-results within the epoch).
+	PolicyRecompute MaintenancePolicy = iota
+	// PolicyIncremental is an extension: each epoch propagates only the
+	// changed fraction of the base relations (DeltaFraction) through the
+	// view's plan and rewrites the stored view — a coarse model of
+	// delta-based incremental view maintenance.
+	PolicyIncremental
+)
+
+// SetMaintenancePolicy switches the refresh model used by Evaluate.
+// deltaFraction is the per-epoch changed fraction of each base relation
+// (only meaningful for PolicyIncremental; clamped to [0, 1]).
+func (m *MVPP) SetMaintenancePolicy(p MaintenancePolicy, deltaFraction float64) {
+	if deltaFraction < 0 {
+		deltaFraction = 0
+	}
+	if deltaFraction > 1 {
+		deltaFraction = 1
+	}
+	m.maintPolicy = p
+	m.deltaFraction = deltaFraction
+}
+
+// SetIndexedViews toggles §3.2's index argument: "while in our MVPP, if an
+// intermediate result is materialized, we can establish a proper index on
+// it afterwards". When enabled, a selection whose input is a materialized
+// view is priced as an index lookup — traversal (log2 of the stored blocks)
+// plus the matching fraction of the blocks — instead of a linear scan.
+func (m *MVPP) SetIndexedViews(on bool) { m.indexedViews = on }
+
+// VertexSet is a set of vertex IDs (a candidate materialization choice).
+type VertexSet map[int]bool
+
+// NewVertexSet builds a set from vertices.
+func NewVertexSet(vs ...*Vertex) VertexSet {
+	s := make(VertexSet, len(vs))
+	for _, v := range vs {
+		s[v.ID] = true
+	}
+	return s
+}
+
+// Clone copies the set.
+func (s VertexSet) Clone() VertexSet {
+	out := make(VertexSet, len(s))
+	for id, ok := range s {
+		if ok {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+// Names renders the set as sorted vertex names for reporting.
+func (s VertexSet) Names(m *MVPP) []string {
+	var out []string
+	for id, ok := range s {
+		if ok && id < len(m.Vertices) {
+			out = append(out, m.Vertices[id].Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Costs is the §4.1 cost breakdown of one materialization choice.
+type Costs struct {
+	// Query is Σ_i fq(qi)·C(mv→qi): total frequency-weighted query
+	// processing cost.
+	Query float64
+	// Maintenance is Σ_j fu·C(base→mvj): total frequency-weighted view
+	// maintenance cost, with recomputation streams shared between views
+	// refreshed in the same epoch.
+	Maintenance float64
+	// Total = Query + Maintenance.
+	Total float64
+	// PerQuery breaks Query down by query name (frequency-weighted).
+	PerQuery map[string]float64
+	// PerView gives each materialized view's standalone maintenance cost
+	// (frequency-weighted, without cross-view sharing); the sum can exceed
+	// Maintenance when views share recomputation.
+	PerView map[string]float64
+}
+
+// Evaluate prices a materialization choice on the MVPP.
+//
+// Query cost: a query rooted at a materialized vertex costs one read of the
+// stored result; otherwise the root's operation cost plus the (recursive)
+// compute cost of its non-materialized inputs — materialized inputs stream
+// for free beyond the operator's own input-reading cost, which CaSelf
+// already includes.
+//
+// Maintenance cost: views with the same maintenance frequency are refreshed
+// in the same epoch and share recomputation of common sub-results; other
+// materialized views are read, not recomputed. This is the accounting under
+// which the paper's Table 2 numbers are internally consistent (see
+// EXPERIMENTS.md).
+func (m *MVPP) Evaluate(model cost.Model, mat VertexSet) Costs {
+	c := Costs{
+		PerQuery: make(map[string]float64, len(m.Roots)),
+		PerView:  make(map[string]float64, len(mat)),
+	}
+
+	memo := make(map[int]float64, len(m.Vertices))
+	var compute func(v *Vertex) float64
+	compute = func(v *Vertex) float64 {
+		if v.IsLeaf() || mat[v.ID] {
+			return 0
+		}
+		if got, ok := memo[v.ID]; ok {
+			return got
+		}
+		total := m.opCost(v, mat)
+		for _, in := range v.In {
+			total += compute(in)
+		}
+		memo[v.ID] = total
+		return total
+	}
+
+	for _, q := range m.QueryOrder {
+		r := m.Roots[q]
+		var qc float64
+		if mat[r.ID] {
+			qc = model.ReadCost(r.Est)
+		} else {
+			qc = compute(r) + m.transferForLeaves(m.reachedLeaves(r, mat))
+		}
+		weighted := m.Fq[q] * qc
+		c.PerQuery[q] = weighted
+		c.Query += weighted
+	}
+
+	// Group materialized views by maintenance frequency; each group shares
+	// one recomputation pass per epoch.
+	groups := make(map[float64][]*Vertex)
+	for _, v := range m.Vertices {
+		if !mat[v.ID] || v.IsLeaf() {
+			continue
+		}
+		f := m.MaintenanceFrequency(v)
+		groups[f] = append(groups[f], v)
+		// Standalone per-view cost for reporting.
+		rc := v.CaSelf
+		for _, in := range v.In {
+			rc += compute(in)
+		}
+		c.PerView[v.Name] = f * rc
+	}
+	for f, views := range groups {
+		if m.maintPolicy == PolicyIncremental {
+			for _, v := range views {
+				// Propagate the changed fraction through the view's plan,
+				// then rewrite the stored view. Transfer applies to the
+				// shipped deltas only.
+				leaves := m.reachedLeaves(v, VertexSet{})
+				c.Maintenance += f * (m.deltaFraction*(v.Ca+m.transferForLeaves(leaves)) + v.Est.Blocks)
+			}
+			continue
+		}
+		epoch, leaves := m.sharedRecompute(views, mat)
+		c.Maintenance += f * (epoch + m.transferForLeaves(leaves))
+	}
+	c.Total = c.Query + c.Maintenance
+	return c
+}
+
+// opCost prices executing v's operation given the materialized set: with
+// indexed views enabled, a selection reading a materialized input becomes
+// an index lookup (tree traversal + matching blocks) instead of a scan.
+func (m *MVPP) opCost(v *Vertex, mat VertexSet) float64 {
+	if !m.indexedViews {
+		return v.CaSelf
+	}
+	if _, isSelect := v.Op.(*algebra.Select); !isSelect || len(v.In) != 1 || !mat[v.In[0].ID] {
+		return v.CaSelf
+	}
+	in := v.In[0].Est
+	traverse := 1.0
+	if in.Blocks > 1 {
+		traverse = math.Ceil(math.Log2(in.Blocks))
+	}
+	indexed := traverse + v.Est.Blocks
+	if indexed < v.CaSelf {
+		return indexed
+	}
+	return v.CaSelf
+}
+
+// sharedRecompute prices one refresh epoch for a group of views: every
+// vertex in the union of their recomputation DAGs executes once;
+// materialized vertices outside the group are read, not recomputed. The
+// second result is the set of leaf vertices the epoch reads (shipped once
+// each when the warehouse is distributed).
+func (m *MVPP) sharedRecompute(views []*Vertex, mat VertexSet) (float64, map[int]bool) {
+	inGroup := make(map[int]bool, len(views))
+	for _, v := range views {
+		inGroup[v.ID] = true
+	}
+	seen := make(map[int]bool)
+	leaves := make(map[int]bool)
+	total := 0.0
+	var acc func(v *Vertex)
+	acc = func(v *Vertex) {
+		if seen[v.ID] {
+			return
+		}
+		seen[v.ID] = true
+		if v.IsLeaf() {
+			leaves[v.ID] = true
+			return
+		}
+		total += v.CaSelf
+		for _, in := range v.In {
+			if mat[in.ID] && !inGroup[in.ID] {
+				continue // read the other materialized view
+			}
+			if mat[in.ID] && inGroup[in.ID] {
+				// Refreshed in this same epoch; its recomputation is
+				// accounted once via its own traversal below, after which
+				// this consumer reads it.
+				continue
+			}
+			acc(in)
+		}
+	}
+	for _, v := range views {
+		if seen[v.ID] {
+			continue
+		}
+		// The view itself is always recomputed, even though it is
+		// materialized.
+		seen[v.ID] = true
+		total += v.CaSelf
+		for _, in := range v.In {
+			if mat[in.ID] {
+				continue
+			}
+			acc(in)
+		}
+	}
+	return total, leaves
+}
+
+// EvaluateNames is Evaluate over vertex display names — convenient for
+// reproducing the paper's Table 2 strategies.
+func (m *MVPP) EvaluateNames(model cost.Model, names []string) (Costs, error) {
+	mat := make(VertexSet, len(names))
+	for _, n := range names {
+		v, err := m.VertexByName(n)
+		if err != nil {
+			return Costs{}, err
+		}
+		if v.IsLeaf() {
+			return Costs{}, fmt.Errorf("core: %s is a base relation, not a materialization candidate", n)
+		}
+		mat[v.ID] = true
+	}
+	return m.Evaluate(model, mat), nil
+}

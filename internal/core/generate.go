@@ -1,0 +1,441 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/warehousekit/mvpp/internal/algebra"
+	"github.com/warehousekit/mvpp/internal/cost"
+)
+
+// QueryPlan pairs a query with its individually optimal plan — the inputs
+// of the multiple-MVPP generation algorithm (paper Figure 4, step 1).
+type QueryPlan struct {
+	Name string
+	Freq float64
+	Plan algebra.Node
+}
+
+// GenOptions configures MVPP generation; the zero value follows the paper.
+type GenOptions struct {
+	// MaxRotations limits how many seed rotations are generated; 0 means
+	// all k (paper step 4.5 rotates each plan to the front once).
+	MaxRotations int
+	// PushDisjunctions additionally pushes the disjunction of the queries'
+	// differing leaf-local selections onto shared scans (paper step 5's
+	// general case). Each query still re-applies its own selection above
+	// the shared subplan, preserving semantics.
+	PushDisjunctions bool
+	// PushProjections inserts projections above leaves keeping the union of
+	// the attributes any query needs plus join attributes (paper step 6).
+	PushProjections bool
+	// NoPushdown skips steps 5–6 entirely, yielding MVPPs in the
+	// selections-above-joins form of the paper's Figure 7 — an ablation
+	// knob.
+	NoPushdown bool
+	// Select configures the view-selection heuristic run on each candidate.
+	Select SelectOptions
+}
+
+// Candidate is one generated MVPP with its heuristic materialization choice.
+type Candidate struct {
+	MVPP *MVPP
+	// Selection is the Figure 9 heuristic's result on this MVPP.
+	Selection *SelectionResult
+	// SeedOrder is the query merge order that produced the MVPP.
+	SeedOrder []string
+	// Signature identifies the MVPP's vertex structure; rotations that
+	// produce identical DAGs share a signature.
+	Signature string
+}
+
+// prepared is a query plan with its pushed-up decomposition and merge rank.
+type prepared struct {
+	QueryPlan
+	dec  *algebra.Decomposed
+	rank float64 // fq · Ca
+}
+
+// Generate runs the Figure 4 algorithm: normalize each optimal plan to a
+// join skeleton (push selections/projections up), order plans by descending
+// fq·Ca, merge them into a shared DAG seeded by each rotation of that order,
+// push common selections and projections back down, and return one evaluated
+// candidate per distinct resulting MVPP.
+func Generate(est *cost.Estimator, model cost.Model, plans []QueryPlan, opts GenOptions) ([]*Candidate, error) {
+	if len(plans) == 0 {
+		return nil, fmt.Errorf("core: no query plans to generate MVPPs from")
+	}
+	prep := make([]prepared, len(plans))
+	for i, qp := range plans {
+		if err := algebra.Validate(qp.Plan); err != nil {
+			return nil, fmt.Errorf("core: query %s: %w", qp.Name, err)
+		}
+		dec, err := algebra.Decompose(qp.Plan)
+		if err != nil {
+			return nil, fmt.Errorf("core: query %s: %w", qp.Name, err)
+		}
+		ca, err := est.PlanCost(model, qp.Plan)
+		if err != nil {
+			return nil, fmt.Errorf("core: query %s: %w", qp.Name, err)
+		}
+		prep[i] = prepared{QueryPlan: qp, dec: dec, rank: qp.Freq * ca}
+	}
+	// Step 3: descending fq·Ca.
+	sort.SliceStable(prep, func(i, j int) bool { return prep[i].rank > prep[j].rank })
+
+	k := len(prep)
+	rotations := k
+	if opts.MaxRotations > 0 && opts.MaxRotations < k {
+		rotations = opts.MaxRotations
+	}
+
+	// Rotations are independent; build and evaluate them in parallel. The
+	// estimator is concurrency-safe, the prepared decompositions are
+	// read-only, and each rotation builds its own plan trees.
+	results := make([]*Candidate, rotations)
+	errs := make([]error, rotations)
+	var wg sync.WaitGroup
+	for r := 0; r < rotations; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			order := make([]prepared, 0, k)
+			order = append(order, prep[r:]...)
+			order = append(order, prep[:r]...)
+			results[r], errs[r] = buildRotation(est, model, order, opts)
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Deterministic dedup in rotation order.
+	var out []*Candidate
+	seen := make(map[string]bool)
+	for _, c := range results {
+		if seen[c.Signature] {
+			continue
+		}
+		seen[c.Signature] = true
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// buildRotation produces one rotation's candidate: merge skeletons in
+// order (step 4), push selections/projections down and assemble plans
+// (steps 5–6), build and validate the DAG, run view selection.
+func buildRotation(est *cost.Estimator, model cost.Model, order []prepared, opts GenOptions) (*Candidate, error) {
+	k := len(order)
+	sm := newSkeletonMerger()
+	skeletons := make([]algebra.Node, k)
+	decs := make([]*algebra.Decomposed, k)
+	names := make([]string, k)
+	for i, p := range order {
+		skel, err := sm.merge(p.dec.JoinTree, treeJoinConds(p.dec.JoinTree))
+		if err != nil {
+			return nil, fmt.Errorf("core: query %s: %w", p.Name, err)
+		}
+		skeletons[i] = skel
+		decs[i] = p.dec
+		names[i] = p.Name
+	}
+
+	finals, err := assemblePlans(decs, skeletons, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	b := NewBuilder(est, model)
+	for i, p := range order {
+		if err := b.AddQuery(p.Name, p.Freq, finals[i]); err != nil {
+			return nil, err
+		}
+	}
+	m, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("core: generated MVPP invalid: %w", err)
+	}
+	sig := mvppSignature(m)
+	return &Candidate{
+		MVPP:      m,
+		Selection: m.SelectViews(model, opts.Select),
+		SeedOrder: names,
+		Signature: sig,
+	}, nil
+}
+
+// Best returns the candidate whose selected design has the lowest total
+// cost (paper: "compare the total cost of each MVPP, and select the one
+// with the lowest cost").
+func Best(cands []*Candidate) *Candidate {
+	var best *Candidate
+	for _, c := range cands {
+		if best == nil || c.Selection.Costs.Total < best.Selection.Costs.Total {
+			best = c
+		}
+	}
+	return best
+}
+
+// mvppSignature fingerprints the vertex structure of an MVPP.
+func mvppSignature(m *MVPP) string {
+	keys := make([]string, len(m.Vertices))
+	for i, v := range m.Vertices {
+		keys[i] = v.Key
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "\n")
+}
+
+// --- Step 4: merging join skeletons ------------------------------------
+
+// poolEntry is a reusable join pattern already present in the growing MVPP.
+type poolEntry struct {
+	node    algebra.Node
+	leafSet map[string]bool
+	conds   map[string]bool // canonical strings of internal join conditions
+	order   int             // insertion order, for deterministic tie-breaks
+}
+
+// treeJoinConds collects every join condition of a join tree.
+func treeJoinConds(n algebra.Node) []algebra.JoinCond {
+	var out []algebra.JoinCond
+	algebra.Walk(n, func(m algebra.Node) {
+		if j, ok := m.(*algebra.Join); ok {
+			out = append(out, j.On...)
+		}
+	})
+	return out
+}
+
+// skeletonMerger carries the pattern pool across plans (Figure 4 step 4:
+// each plan reuses the largest existing join patterns compatible with its
+// own conditions and contributes its new join nodes to the pool).
+type skeletonMerger struct {
+	pool   []*poolEntry
+	byKey  map[string]*poolEntry
+	leaves map[string]algebra.Node
+}
+
+func newSkeletonMerger() *skeletonMerger {
+	return &skeletonMerger{
+		byKey:  make(map[string]*poolEntry),
+		leaves: make(map[string]algebra.Node),
+	}
+}
+
+// condStrings collects the canonical join-condition strings of a skeleton.
+func condStrings(n algebra.Node) map[string]bool {
+	out := make(map[string]bool)
+	algebra.Walk(n, func(m algebra.Node) {
+		if j, ok := m.(*algebra.Join); ok {
+			for _, c := range j.On {
+				out[c.CanonicalString()] = true
+			}
+		}
+	})
+	return out
+}
+
+// condsWithin returns the subset of conds whose endpoint relations are both
+// inside the leaf set.
+func condsWithin(conds []algebra.JoinCond, leafSet map[string]bool) map[string]bool {
+	out := make(map[string]bool)
+	for _, c := range conds {
+		if leafSet[c.Left.Relation] && leafSet[c.Right.Relation] {
+			out[c.CanonicalString()] = true
+		}
+	}
+	return out
+}
+
+func setEqual(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// register interns every join subtree (and leaf) of a skeleton into the
+// pool.
+func (sm *skeletonMerger) register(n algebra.Node) {
+	switch v := n.(type) {
+	case *algebra.Scan:
+		if _, ok := sm.leaves[v.Relation]; !ok {
+			sm.leaves[v.Relation] = v
+		}
+	case *algebra.Join:
+		sm.register(v.Left)
+		sm.register(v.Right)
+		key := algebra.StructuralKey(v)
+		if _, ok := sm.byKey[key]; ok {
+			return
+		}
+		leafSet := make(map[string]bool)
+		for _, l := range algebra.Leaves(v) {
+			leafSet[l] = true
+		}
+		e := &poolEntry{node: v, leafSet: leafSet, conds: condStrings(v), order: len(sm.pool)}
+		sm.byKey[key] = e
+		sm.pool = append(sm.pool, e)
+	default:
+		for _, c := range n.Children() {
+			sm.register(c)
+		}
+	}
+}
+
+// merge incorporates one plan's join skeleton, reusing pooled patterns, and
+// returns the plan's (possibly rewritten) skeleton root.
+func (sm *skeletonMerger) merge(joinTree algebra.Node, joinConds []algebra.JoinCond) (algebra.Node, error) {
+	leaves := algebra.Leaves(joinTree)
+	if len(leaves) == 1 {
+		// Single-relation query: share the scan.
+		if l, ok := sm.leaves[leaves[0]]; ok {
+			return l, nil
+		}
+		sm.register(joinTree)
+		return joinTree, nil
+	}
+
+	remaining := make(map[string]bool, len(leaves))
+	for _, l := range leaves {
+		remaining[l] = true
+	}
+
+	// Step 4.3.1: choose maximal reusable patterns. A pooled pattern is
+	// compatible when its leaves are all unclaimed leaves of this plan and
+	// its internal conditions are exactly this plan's conditions restricted
+	// to those leaves.
+	entries := make([]*poolEntry, len(sm.pool))
+	copy(entries, sm.pool)
+	sort.SliceStable(entries, func(i, j int) bool {
+		if len(entries[i].leafSet) != len(entries[j].leafSet) {
+			return len(entries[i].leafSet) > len(entries[j].leafSet)
+		}
+		return entries[i].order < entries[j].order
+	})
+	var pieces []algebra.Node
+	for _, e := range entries {
+		ok := true
+		for l := range e.leafSet {
+			if !remaining[l] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if !setEqual(e.conds, condsWithin(joinConds, e.leafSet)) {
+			continue
+		}
+		pieces = append(pieces, e.node)
+		for l := range e.leafSet {
+			delete(remaining, l)
+		}
+	}
+	// Singleton leaves for whatever is left, shared with the pool.
+	leafOrder := leafPositions(joinTree)
+	for _, l := range leaves {
+		if !remaining[l] {
+			continue
+		}
+		scan := sm.leaves[l]
+		if scan == nil {
+			scan = findScan(joinTree, l)
+			sm.leaves[l] = scan
+		}
+		pieces = append(pieces, scan)
+	}
+
+	// Step 4.3.2: join the pieces, preserving the source plan's leaf order
+	// (pieces are ordered by their first leaf's position in the plan).
+	sort.SliceStable(pieces, func(i, j int) bool {
+		return firstLeafPos(pieces[i], leafOrder) < firstLeafPos(pieces[j], leafOrder)
+	})
+	acc := pieces[0]
+	pending := pieces[1:]
+	for len(pending) > 0 {
+		progressed := false
+		for i, p := range pending {
+			conds := connectingConds(acc, p, joinConds)
+			if len(conds) == 0 {
+				continue
+			}
+			acc = algebra.NewJoin(acc, p, conds)
+			pending = append(pending[:i], pending[i+1:]...)
+			progressed = true
+			break
+		}
+		if !progressed {
+			return nil, fmt.Errorf("core: join graph disconnected while merging skeleton")
+		}
+	}
+	sm.register(acc)
+	return acc, nil
+}
+
+// connectingConds returns the plan conditions linking the two pieces,
+// oriented left-side-first.
+func connectingConds(left, right algebra.Node, conds []algebra.JoinCond) []algebra.JoinCond {
+	ls, rs := left.Schema(), right.Schema()
+	var out []algebra.JoinCond
+	for _, c := range conds {
+		switch {
+		case ls.Has(c.Left) && rs.Has(c.Right):
+			out = append(out, c)
+		case ls.Has(c.Right) && rs.Has(c.Left):
+			out = append(out, algebra.JoinCond{Left: c.Right, Right: c.Left})
+		}
+	}
+	return out
+}
+
+// leafPositions maps each relation to its left-to-right position in the
+// join tree.
+func leafPositions(n algebra.Node) map[string]int {
+	pos := make(map[string]int)
+	algebra.Walk(n, func(m algebra.Node) {
+		if s, ok := m.(*algebra.Scan); ok {
+			if _, seen := pos[s.Relation]; !seen {
+				pos[s.Relation] = len(pos)
+			}
+		}
+	})
+	return pos
+}
+
+func firstLeafPos(n algebra.Node, pos map[string]int) int {
+	min := int(^uint(0) >> 1)
+	for _, l := range algebra.Leaves(n) {
+		if p, ok := pos[l]; ok && p < min {
+			min = p
+		}
+	}
+	return min
+}
+
+func findScan(n algebra.Node, relation string) algebra.Node {
+	var out algebra.Node
+	algebra.Walk(n, func(m algebra.Node) {
+		if s, ok := m.(*algebra.Scan); ok && s.Relation == relation && out == nil {
+			out = s
+		}
+	})
+	return out
+}

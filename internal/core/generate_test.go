@@ -1,0 +1,254 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/warehousekit/mvpp/internal/algebra"
+	"github.com/warehousekit/mvpp/internal/core"
+	"github.com/warehousekit/mvpp/internal/cost"
+	"github.com/warehousekit/mvpp/internal/optimizer"
+	"github.com/warehousekit/mvpp/internal/paper"
+)
+
+// paperQueryPlans optimizes the four paper queries individually.
+func paperQueryPlans(t *testing.T, estOpts cost.Options) (*cost.Estimator, []core.QueryPlan) {
+	t.Helper()
+	ex, err := paper.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := cost.NewEstimator(ex.Catalog, estOpts)
+	opt := optimizer.New(est, &cost.PaperModel{}, optimizer.Options{})
+	plans := make([]core.QueryPlan, len(ex.Queries))
+	for i, q := range ex.Queries {
+		p, _, err := opt.Optimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans[i] = core.QueryPlan{Name: q.Name, Freq: ex.Frequencies[q.Name], Plan: p}
+	}
+	return est, plans
+}
+
+func TestGenerateProducesCandidates(t *testing.T) {
+	est, plans := paperQueryPlans(t, cost.PaperOptions())
+	cands, err := core.Generate(est, &cost.PaperModel{}, plans, core.GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates generated")
+	}
+	if len(cands) > 4 {
+		t.Errorf("more candidates (%d) than rotations (4)", len(cands))
+	}
+	for _, c := range cands {
+		if err := c.MVPP.Validate(); err != nil {
+			t.Errorf("candidate %v invalid: %v", c.SeedOrder, err)
+		}
+		if len(c.MVPP.Roots) != 4 {
+			t.Errorf("candidate %v has %d roots", c.SeedOrder, len(c.MVPP.Roots))
+		}
+		if c.Selection == nil {
+			t.Errorf("candidate %v not evaluated", c.SeedOrder)
+		}
+	}
+	// Signatures are distinct by construction.
+	seen := map[string]bool{}
+	for _, c := range cands {
+		if seen[c.Signature] {
+			t.Error("duplicate candidate signature survived deduplication")
+		}
+		seen[c.Signature] = true
+	}
+}
+
+func TestGenerateSharesCommonSubexpressions(t *testing.T) {
+	est, plans := paperQueryPlans(t, cost.PaperOptions())
+	cands, err := core.Generate(est, &cost.PaperModel{}, plans, core.GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := core.Best(cands)
+	// Q1 and Q2 share the Product⋈σ(Division) pattern in every sensible
+	// merge: some non-leaf vertex must serve ≥ 2 queries.
+	sharedFound := false
+	for _, v := range best.MVPP.InnerVertices() {
+		if len(best.MVPP.QueriesUsing(v)) >= 2 {
+			sharedFound = true
+			break
+		}
+	}
+	if !sharedFound {
+		t.Error("no shared inner vertex in the best candidate")
+	}
+	// The pushed-down LA selection must sit directly above Division,
+	// shared by Q1, Q2, Q3.
+	for _, v := range best.MVPP.InnerVertices() {
+		if s, ok := v.Op.(*algebra.Select); ok {
+			if sc, ok := s.Input.(*algebra.Scan); ok && sc.Relation == "Division" {
+				if got := len(best.MVPP.QueriesUsing(v)); got != 3 {
+					t.Errorf("σ(Division) used by %d queries, want 3", got)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateBestIsNoWorseThanOthers(t *testing.T) {
+	est, plans := paperQueryPlans(t, cost.PaperOptions())
+	cands, err := core.Generate(est, &cost.PaperModel{}, plans, core.GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := core.Best(cands)
+	for _, c := range cands {
+		if best.Selection.Costs.Total > c.Selection.Costs.Total {
+			t.Errorf("Best returned %v, but %v is cheaper", best.Selection.Costs.Total, c.Selection.Costs.Total)
+		}
+	}
+}
+
+func TestGenerateRotationLimit(t *testing.T) {
+	est, plans := paperQueryPlans(t, cost.PaperOptions())
+	one, err := core.Generate(est, &cost.PaperModel{}, plans, core.GenOptions{MaxRotations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 {
+		t.Errorf("MaxRotations=1 produced %d candidates", len(one))
+	}
+	all, err := core.Generate(est, &cost.PaperModel{}, plans, core.GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < len(one) {
+		t.Errorf("full rotation produced fewer candidates (%d) than limited (%d)", len(all), len(one))
+	}
+}
+
+func TestGenerateNoPushdownKeepsSelectionsHigh(t *testing.T) {
+	est, plans := paperQueryPlans(t, cost.PaperOptions())
+	cands, err := core.Generate(est, &cost.PaperModel{}, plans, core.GenOptions{NoPushdown: true, MaxRotations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cands[0].MVPP
+	// Figure 7 form: no selection sits directly on a scan.
+	for _, v := range m.InnerVertices() {
+		if s, ok := v.Op.(*algebra.Select); ok {
+			if _, onScan := s.Input.(*algebra.Scan); onScan {
+				t.Errorf("selection %s sits on a scan despite NoPushdown", v.Name)
+			}
+		}
+	}
+}
+
+func TestGeneratePushDisjunctions(t *testing.T) {
+	// Give Q1 and Q2 different city predicates so the Division leaf gets a
+	// disjunctive filter (Figure 8's σ city="LA" ∨ city="SF" ∨ name="Re").
+	ex, err := paper.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := cost.NewEstimator(ex.Catalog, cost.PaperOptions())
+	opt := optimizer.New(est, &cost.PaperModel{}, optimizer.Options{})
+
+	sqls := map[string]string{
+		"QA": `SELECT Product.name FROM Product, Division WHERE Division.city = 'LA' AND Product.Did = Division.Did`,
+		"QB": `SELECT Product.name FROM Product, Division WHERE Division.city = 'SF' AND Product.Did = Division.Did`,
+	}
+	var plans []core.QueryPlan
+	for _, name := range []string{"QA", "QB"} {
+		q := bindQuery(t, ex, name, sqls[name])
+		p, _, err := opt.Optimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans = append(plans, core.QueryPlan{Name: name, Freq: 1, Plan: p})
+	}
+	cands, err := core.Generate(est, &cost.PaperModel{}, plans, core.GenOptions{PushDisjunctions: true, MaxRotations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cands[0].MVPP
+	foundDisjunction := false
+	for _, v := range m.InnerVertices() {
+		if s, ok := v.Op.(*algebra.Select); ok {
+			if _, onScan := s.Input.(*algebra.Scan); onScan && strings.Contains(s.Pred.String(), "OR") {
+				foundDisjunction = true
+				// Both queries must share the disjunctive leaf filter.
+				if got := len(m.QueriesUsing(v)); got != 2 {
+					t.Errorf("disjunctive filter used by %d queries, want 2", got)
+				}
+			}
+		}
+	}
+	if !foundDisjunction {
+		t.Error("no disjunctive leaf filter generated")
+	}
+}
+
+func TestGeneratePushProjections(t *testing.T) {
+	est, plans := paperQueryPlans(t, cost.DefaultOptions())
+	cands, err := core.Generate(est, &cost.PaperModel{}, plans, core.GenOptions{PushProjections: true, MaxRotations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cands[0].MVPP
+	// Some leaf should have a projection above it (directly or above its
+	// filter).
+	found := false
+	for _, v := range m.InnerVertices() {
+		if p, ok := v.Op.(*algebra.Project); ok {
+			switch p.Input.(type) {
+			case *algebra.Scan, *algebra.Select:
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no pushed-down projection found")
+	}
+}
+
+func TestGenerateEmptyInput(t *testing.T) {
+	ex, err := paper.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := cost.NewEstimator(ex.Catalog, cost.PaperOptions())
+	if _, err := core.Generate(est, &cost.PaperModel{}, nil, core.GenOptions{}); err == nil {
+		t.Error("empty plan list accepted")
+	}
+}
+
+// TestGenerateSemanticsPreserved: every generated candidate's per-query
+// plans must compute the same relation as the input plans (same semantic
+// key after full normalization is too strict across merge shapes, so we
+// check leaves and output schema).
+func TestGenerateSemanticsPreserved(t *testing.T) {
+	est, plans := paperQueryPlans(t, cost.PaperOptions())
+	byName := make(map[string]core.QueryPlan, len(plans))
+	for _, p := range plans {
+		byName[p.Name] = p
+	}
+	cands, err := core.Generate(est, &cost.PaperModel{}, plans, core.GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cands {
+		for name, root := range c.MVPP.Roots {
+			orig := byName[name]
+			gotLeaves := algebra.Leaves(root.Op)
+			wantLeaves := algebra.Leaves(orig.Plan)
+			if len(gotLeaves) != len(wantLeaves) {
+				t.Errorf("%s: leaves %v, want %v", name, gotLeaves, wantLeaves)
+			}
+			if !root.Op.Schema().Equal(orig.Plan.Schema()) {
+				t.Errorf("%s: output schema %s, want %s", name, root.Op.Schema(), orig.Plan.Schema())
+			}
+		}
+	}
+}

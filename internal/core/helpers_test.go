@@ -1,0 +1,18 @@
+package core_test
+
+import (
+	"testing"
+
+	"github.com/warehousekit/mvpp/internal/paper"
+	"github.com/warehousekit/mvpp/internal/sqlparse"
+)
+
+// bindQuery binds ad-hoc SQL against the paper catalog for tests.
+func bindQuery(t *testing.T, ex *paper.Example, name, sql string) *sqlparse.Query {
+	t.Helper()
+	q, err := sqlparse.BindQuery(ex.Catalog, name, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}

@@ -1,0 +1,458 @@
+// Package core implements the paper's primary contribution: the Multiple
+// View Processing Plan (MVPP) and the materialized-view design algorithms
+// built on it.
+//
+// An MVPP is a labeled DAG M = (V, A, R, Ca, Cm, fq, fu) — paper §3.1 —
+// whose leaf vertices are base relations annotated with update frequencies
+// fu, whose root vertices are warehouse queries annotated with access
+// frequencies fq, and whose inner vertices are relational operations.
+// Ca(v) is the cost of computing v's relation from base relations and Cm(v)
+// the cost of maintaining v if materialized.
+//
+// The package provides:
+//
+//   - Builder / MVPP: DAG construction by hash-consing plan subtrees on
+//     their structural keys, so common subexpressions across queries merge
+//     into shared vertices (§3.1 problem 1);
+//   - Generate: the multiple-MVPP generation algorithm of Figure 4
+//     (push-up, rotation merge on shared join patterns, push-down of common
+//     selections and projections);
+//   - SelectViews: the greedy view-selection heuristic of Figure 9, with a
+//     step-by-step trace, plus an exhaustive-search baseline;
+//   - Evaluate: the total-cost model Σ fq·C(query) + Σ fu·C(maintenance)
+//     of §4.1 for any candidate set of materialized views.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/warehousekit/mvpp/internal/algebra"
+	"github.com/warehousekit/mvpp/internal/cost"
+)
+
+// Vertex is one node of an MVPP.
+type Vertex struct {
+	// ID is the vertex's position in MVPP.Vertices (topological order:
+	// every vertex appears after its inputs).
+	ID int
+	// Op is the relational operation computing the vertex's relation R(v);
+	// a *algebra.Scan for leaves.
+	Op algebra.Node
+	// Key is the structural key of Op — the identity under which common
+	// subexpressions were merged.
+	Key string
+	// In lists the operand vertices (S(v)), in operand order.
+	In []*Vertex
+	// Out lists the consuming vertices (D(v)).
+	Out []*Vertex
+	// Queries lists the names of queries whose result this vertex is
+	// (non-empty only for roots).
+	Queries []string
+	// Relation is the base relation name (non-empty only for leaves).
+	Relation string
+	// Name is the display label assigned at build time: the relation name
+	// for leaves, "resultN" for query roots, "tmpN" for inner vertices.
+	Name string
+
+	// Est is the estimated size of R(v).
+	Est cost.Estimate
+	// CaSelf is the incremental cost of executing just this operation given
+	// its inputs.
+	CaSelf float64
+	// Ca is the cumulative cost of computing R(v) from base relations
+	// (each shared descendant counted once). Ca = 0 for leaves.
+	Ca float64
+	// Cm is the cost of maintaining the vertex if materialized, under
+	// recompute maintenance: Cm = Ca (§2: "re-computing is used whenever an
+	// update of involved base relation occurs").
+	Cm float64
+	// MaintFreq is how many times per period the vertex is recomputed if
+	// materialized (derived from the fu of the base relations below it).
+	MaintFreq float64
+	// Weight is the paper's w(v) ranking value.
+	Weight float64
+}
+
+// IsLeaf reports whether the vertex is a base relation.
+func (v *Vertex) IsLeaf() bool { return v.Relation != "" }
+
+// IsRoot reports whether the vertex is a query result.
+func (v *Vertex) IsRoot() bool { return len(v.Queries) > 0 }
+
+// Label returns a short human-readable description of the vertex.
+func (v *Vertex) Label() string {
+	if v.IsLeaf() {
+		return v.Relation
+	}
+	return v.Name + ": " + v.Op.Label()
+}
+
+// MVPP is the multiple view processing plan DAG.
+type MVPP struct {
+	// Vertices in topological order (inputs before consumers).
+	Vertices []*Vertex
+	// Roots maps query name to its root vertex.
+	Roots map[string]*Vertex
+	// Leaves maps base relation name to its leaf vertex.
+	Leaves map[string]*Vertex
+	// Fq maps query name to access frequency.
+	Fq map[string]float64
+	// Fu maps base relation name to update frequency.
+	Fu map[string]float64
+	// QueryOrder preserves the order queries were added in.
+	QueryOrder []string
+	// Transfer holds the per-block shipping cost of each base relation
+	// whose site differs from the warehouse (nil when co-located). Set via
+	// ApplyDistribution; used by Evaluate.
+	Transfer map[string]float64
+
+	// maintPolicy and deltaFraction configure refresh pricing; see
+	// SetMaintenancePolicy.
+	maintPolicy   MaintenancePolicy
+	deltaFraction float64
+	// indexedViews prices selections over materialized views as index
+	// lookups; see SetIndexedViews.
+	indexedViews bool
+}
+
+// Builder constructs an MVPP from per-query plans by hash-consing subtrees
+// on their structural keys.
+type Builder struct {
+	est    *cost.Estimator
+	model  cost.Model
+	byKey  map[string]*Vertex
+	order  []*Vertex
+	roots  map[string]*Vertex
+	leaves map[string]*Vertex
+	fq     map[string]float64
+	qorder []string
+	err    error
+}
+
+// NewBuilder returns a builder that annotates vertices using the estimator
+// and cost model.
+func NewBuilder(est *cost.Estimator, model cost.Model) *Builder {
+	return &Builder{
+		est:    est,
+		model:  model,
+		byKey:  make(map[string]*Vertex),
+		roots:  make(map[string]*Vertex),
+		leaves: make(map[string]*Vertex),
+		fq:     make(map[string]float64),
+	}
+}
+
+// AddQuery merges the plan for the named query into the DAG. Equal subtrees
+// (by structural key) from different queries become shared vertices.
+func (b *Builder) AddQuery(name string, freq float64, plan algebra.Node) error {
+	if b.err != nil {
+		return b.err
+	}
+	if name == "" {
+		return fmt.Errorf("core: query must have a name")
+	}
+	if _, dup := b.roots[name]; dup {
+		return fmt.Errorf("core: duplicate query name %q", name)
+	}
+	if freq < 0 {
+		return fmt.Errorf("core: query %s has negative frequency", name)
+	}
+	if err := algebra.Validate(plan); err != nil {
+		return fmt.Errorf("core: query %s: %w", name, err)
+	}
+	root := b.intern(plan)
+	if b.err != nil {
+		return b.err
+	}
+	root.Queries = append(root.Queries, name)
+	b.roots[name] = root
+	b.fq[name] = freq
+	b.qorder = append(b.qorder, name)
+	return nil
+}
+
+// intern returns the vertex for the subtree, creating it (and its operand
+// vertices) on first sight.
+func (b *Builder) intern(n algebra.Node) *Vertex {
+	key := algebra.StructuralKey(n)
+	if v, ok := b.byKey[key]; ok {
+		return v
+	}
+	var in []*Vertex
+	for _, child := range n.Children() {
+		cv := b.intern(child)
+		if b.err != nil {
+			return nil
+		}
+		in = append(in, cv)
+	}
+	est, err := b.est.Estimate(n)
+	if err != nil {
+		b.err = fmt.Errorf("core: %w", err)
+		return nil
+	}
+	caSelf, err := b.est.OpCost(b.model, n)
+	if err != nil {
+		b.err = fmt.Errorf("core: %w", err)
+		return nil
+	}
+	v := &Vertex{
+		Op:     n,
+		Key:    key,
+		In:     in,
+		Est:    est,
+		CaSelf: caSelf,
+	}
+	if s, ok := n.(*algebra.Scan); ok {
+		v.Relation = s.Relation
+		if prev, dup := b.leaves[s.Relation]; dup && prev != v {
+			// Two scans of one relation with different schemas would be a
+			// catalog inconsistency; structural keys make this impossible,
+			// but keep the invariant explicit.
+			b.err = fmt.Errorf("core: relation %s interned twice", s.Relation)
+			return nil
+		}
+		b.leaves[s.Relation] = v
+	}
+	for _, cv := range in {
+		cv.Out = append(cv.Out, v)
+	}
+	b.byKey[key] = v
+	b.order = append(b.order, v)
+	return v
+}
+
+// Build finalizes the DAG: assigns IDs and names, pulls update frequencies
+// from the catalog, and computes the cumulative-cost and weight annotations.
+func (b *Builder) Build() (*MVPP, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.roots) == 0 {
+		return nil, fmt.Errorf("core: MVPP has no queries")
+	}
+	m := &MVPP{
+		Vertices:   b.order,
+		Roots:      b.roots,
+		Leaves:     b.leaves,
+		Fq:         b.fq,
+		Fu:         make(map[string]float64, len(b.leaves)),
+		QueryOrder: b.qorder,
+	}
+	for rel := range b.leaves {
+		m.Fu[rel] = b.est.Catalog().UpdateFrequency(rel)
+	}
+	tmpN, resN := 0, 0
+	for i, v := range m.Vertices {
+		v.ID = i
+		switch {
+		case v.IsLeaf():
+			v.Name = v.Relation
+		case v.IsRoot():
+			resN++
+			v.Name = fmt.Sprintf("result%d", resN)
+		default:
+			tmpN++
+			v.Name = fmt.Sprintf("tmp%d", tmpN)
+		}
+	}
+	m.annotate()
+	return m, nil
+}
+
+// annotate computes Ca, Cm, MaintFreq and Weight for every vertex. Vertices
+// are already in topological order.
+func (m *MVPP) annotate() {
+	// Ca: cumulative cost, each shared descendant counted once.
+	for _, v := range m.Vertices {
+		if v.IsLeaf() {
+			v.Ca, v.Cm = 0, 0
+			continue
+		}
+		seen := make(map[int]bool)
+		total := 0.0
+		var acc func(u *Vertex)
+		acc = func(u *Vertex) {
+			if seen[u.ID] {
+				return
+			}
+			seen[u.ID] = true
+			total += u.CaSelf
+			for _, in := range u.In {
+				acc(in)
+			}
+		}
+		acc(v)
+		v.Ca = total
+		v.Cm = total // recompute maintenance
+	}
+	for _, v := range m.Vertices {
+		v.MaintFreq = m.MaintenanceFrequency(v)
+		v.Weight = m.WeightOf(v)
+	}
+}
+
+// MaintenanceFrequency returns how often per period a materialized v is
+// recomputed: the maximum update frequency among the base relations below
+// it (batch recompute per update epoch — the reading under which the
+// paper's own arithmetic is consistent; see EXPERIMENTS.md).
+func (m *MVPP) MaintenanceFrequency(v *Vertex) float64 {
+	max := 0.0
+	for _, rel := range m.BaseRelationsUnder(v) {
+		if f := m.Fu[rel]; f > max {
+			max = f
+		}
+	}
+	return max
+}
+
+// WeightOf computes the paper's ranking weight
+//
+//	w(v) = Σ_{q ∈ O_v} fq(q)·Ca(v) − fu(v)·Cm(v)
+//
+// where O_v is the set of queries using v and fu(v) is the vertex's
+// maintenance frequency.
+func (m *MVPP) WeightOf(v *Vertex) float64 {
+	if v.IsLeaf() {
+		return 0
+	}
+	saving := 0.0
+	for _, q := range m.QueriesUsing(v) {
+		saving += m.Fq[q] * v.Ca
+	}
+	return saving - m.MaintenanceFrequency(v)*v.Cm
+}
+
+// Ancestors returns D*{v}: every vertex reachable from v via out-edges.
+func (m *MVPP) Ancestors(v *Vertex) []*Vertex {
+	return m.reach(v, func(u *Vertex) []*Vertex { return u.Out })
+}
+
+// Descendants returns S*{v}: every vertex reachable from v via in-edges.
+func (m *MVPP) Descendants(v *Vertex) []*Vertex {
+	return m.reach(v, func(u *Vertex) []*Vertex { return u.In })
+}
+
+func (m *MVPP) reach(v *Vertex, next func(*Vertex) []*Vertex) []*Vertex {
+	seen := map[int]bool{v.ID: true}
+	var out []*Vertex
+	stack := append([]*Vertex(nil), next(v)...)
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[u.ID] {
+			continue
+		}
+		seen[u.ID] = true
+		out = append(out, u)
+		stack = append(stack, next(u)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// QueriesUsing returns O_v: the names of queries whose result depends on v
+// (including queries rooted at v itself), sorted.
+func (m *MVPP) QueriesUsing(v *Vertex) []string {
+	var out []string
+	out = append(out, v.Queries...)
+	for _, a := range m.Ancestors(v) {
+		out = append(out, a.Queries...)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BaseRelationsUnder returns I_v: the base relations v is computed from,
+// sorted. For a leaf this is the relation itself.
+func (m *MVPP) BaseRelationsUnder(v *Vertex) []string {
+	if v.IsLeaf() {
+		return []string{v.Relation}
+	}
+	var out []string
+	for _, d := range m.Descendants(v) {
+		if d.IsLeaf() {
+			out = append(out, d.Relation)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// VertexByName finds a vertex by its display name ("tmp2", "result1",
+// "Division", ...).
+func (m *MVPP) VertexByName(name string) (*Vertex, error) {
+	for _, v := range m.Vertices {
+		if v.Name == name {
+			return v, nil
+		}
+	}
+	return nil, fmt.Errorf("core: no vertex named %q", name)
+}
+
+// InnerVertices returns the non-leaf vertices (materialization candidates),
+// in topological order. Query roots are included: materializing a whole
+// query result is one of the paper's strategies.
+func (m *MVPP) InnerVertices() []*Vertex {
+	var out []*Vertex
+	for _, v := range m.Vertices {
+		if !v.IsLeaf() {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Validate checks DAG invariants: topological order, edge symmetry, roots
+// reachable, leaves are scans.
+func (m *MVPP) Validate() error {
+	pos := make(map[*Vertex]int, len(m.Vertices))
+	for i, v := range m.Vertices {
+		if v.ID != i {
+			return fmt.Errorf("core: vertex %s has ID %d at position %d", v.Name, v.ID, i)
+		}
+		pos[v] = i
+	}
+	for _, v := range m.Vertices {
+		for _, in := range v.In {
+			j, ok := pos[in]
+			if !ok {
+				return fmt.Errorf("core: vertex %s has foreign input", v.Name)
+			}
+			if j >= v.ID {
+				return fmt.Errorf("core: vertex %s input %s violates topological order", v.Name, in.Name)
+			}
+			if !containsVertex(in.Out, v) {
+				return fmt.Errorf("core: edge %s→%s missing reverse link", in.Name, v.Name)
+			}
+		}
+		for _, out := range v.Out {
+			if !containsVertex(out.In, v) {
+				return fmt.Errorf("core: edge %s→%s missing forward link", v.Name, out.Name)
+			}
+		}
+		if v.IsLeaf() {
+			if len(v.In) != 0 {
+				return fmt.Errorf("core: leaf %s has inputs", v.Name)
+			}
+		} else if len(v.In) == 0 {
+			return fmt.Errorf("core: inner vertex %s has no inputs", v.Name)
+		}
+	}
+	for q, r := range m.Roots {
+		if _, ok := pos[r]; !ok {
+			return fmt.Errorf("core: root of %s not in vertex list", q)
+		}
+	}
+	return nil
+}
+
+func containsVertex(vs []*Vertex, v *Vertex) bool {
+	for _, u := range vs {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}

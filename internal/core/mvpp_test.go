@@ -1,0 +1,310 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/warehousekit/mvpp/internal/algebra"
+	"github.com/warehousekit/mvpp/internal/core"
+	"github.com/warehousekit/mvpp/internal/cost"
+	"github.com/warehousekit/mvpp/internal/paper"
+)
+
+// figure3 builds the paper's Figure 3 MVPP in paper-mode estimation.
+func figure3(t *testing.T) (*core.MVPP, cost.Model) {
+	t.Helper()
+	ex, err := paper.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans, err := paper.Figure3Plans(ex.Catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := cost.NewEstimator(ex.Catalog, cost.PaperOptions())
+	model := &cost.PaperModel{}
+	b := core.NewBuilder(est, model)
+	for _, s := range plans {
+		if err := b.AddQuery(s.Name, s.Freq, s.Plan); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return m, model
+}
+
+func TestFigure3VertexNames(t *testing.T) {
+	m, _ := figure3(t)
+	// Adding queries in paper order reproduces the paper's vertex naming.
+	want := map[string]string{
+		"tmp1":    `σ Division.city = "LA"`,
+		"tmp2":    "⋈ Division.Did = Product.Did",
+		"tmp3":    "⋈ Part.Pid = Product.Pid",
+		"tmp4":    "⋈ Customer.Cid = Order.Cid",
+		"tmp5":    "σ Order.date > 1996-07-01",
+		"tmp6":    "⋈ Order.Pid = Product.Pid",
+		"tmp7":    "σ Order.quantity > 100",
+		"result1": "π Product.name",
+	}
+	for name, label := range want {
+		v, err := m.VertexByName(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if got := v.Op.Label(); got != label {
+			t.Errorf("%s label = %q, want %q", name, got, label)
+		}
+	}
+	if got := len(m.Vertices); got != 16 {
+		// 5 leaves + tmp1..tmp7 + result1..result4
+		t.Errorf("vertex count = %d, want 16", got)
+	}
+}
+
+func TestFigure3Sharing(t *testing.T) {
+	m, _ := figure3(t)
+	tests := []struct {
+		vertex  string
+		queries []string
+	}{
+		{"tmp1", []string{"Q1", "Q2", "Q3"}},
+		{"tmp2", []string{"Q1", "Q2", "Q3"}},
+		{"tmp3", []string{"Q2"}},
+		{"tmp4", []string{"Q3", "Q4"}},
+		{"tmp5", []string{"Q3"}},
+		{"tmp7", []string{"Q4"}},
+		{"Order", []string{"Q3", "Q4"}},
+		{"Division", []string{"Q1", "Q2", "Q3"}},
+	}
+	for _, tt := range tests {
+		v, err := m.VertexByName(tt.vertex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := m.QueriesUsing(v)
+		if len(got) != len(tt.queries) {
+			t.Errorf("%s: O_v = %v, want %v", tt.vertex, got, tt.queries)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.queries[i] {
+				t.Errorf("%s: O_v = %v, want %v", tt.vertex, got, tt.queries)
+				break
+			}
+		}
+	}
+}
+
+func TestFigure3BaseRelations(t *testing.T) {
+	m, _ := figure3(t)
+	v, err := m.VertexByName("tmp4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.BaseRelationsUnder(v)
+	if len(got) != 2 || got[0] != "Customer" || got[1] != "Order" {
+		t.Errorf("I(tmp4) = %v", got)
+	}
+	v, err = m.VertexByName("tmp6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.BaseRelationsUnder(v); len(got) != 4 {
+		t.Errorf("I(tmp6) = %v", got)
+	}
+	leaf, err := m.VertexByName("Order")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.BaseRelationsUnder(leaf); len(got) != 1 || got[0] != "Order" {
+		t.Errorf("I(Order) = %v", got)
+	}
+}
+
+// TestFigure3PaperCosts checks the headline cost annotations against the
+// paper's Figure 3 labels.
+func TestFigure3PaperCosts(t *testing.T) {
+	m, _ := figure3(t)
+	tests := []struct {
+		vertex string
+		ca     float64
+		within float64 // relative tolerance
+	}{
+		{"tmp1", 250, 0},           // paper: 0.25k
+		{"tmp2", 35250, 0},         // paper: 35.25k (0.25k + 3k·10 + 5k)
+		{"tmp4", 12.005e6, 0.005},  // paper: 12.035m
+		{"tmp3", 50.055e6, 0.001},  // paper labels tmp3 cumulatively at 50.06m
+		{"result2", 50.075e6, 0.1}, // paper: 50.082m Ca for Q2
+	}
+	for _, tt := range tests {
+		v, err := m.VertexByName(tt.vertex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tt.within == 0 {
+			if v.Ca != tt.ca {
+				t.Errorf("Ca(%s) = %v, want %v", tt.vertex, v.Ca, tt.ca)
+			}
+			continue
+		}
+		if rel := math.Abs(v.Ca-tt.ca) / tt.ca; rel > tt.within {
+			t.Errorf("Ca(%s) = %v, want %v within %.1f%%", tt.vertex, v.Ca, tt.ca, tt.within*100)
+		}
+	}
+}
+
+func TestLeafAnnotations(t *testing.T) {
+	m, _ := figure3(t)
+	for _, rel := range []string{"Product", "Division", "Order", "Customer", "Part"} {
+		v, err := m.VertexByName(rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.IsLeaf() || v.Ca != 0 || v.Cm != 0 {
+			t.Errorf("%s: leaf=%v Ca=%v Cm=%v", rel, v.IsLeaf(), v.Ca, v.Cm)
+		}
+		if m.Fu[rel] != 1 {
+			t.Errorf("fu(%s) = %v", rel, m.Fu[rel])
+		}
+	}
+}
+
+func TestFigure3Weights(t *testing.T) {
+	m, _ := figure3(t)
+	// w(tmp2) = (10 + 0.5 + 0.8)·35.25k − 1·35.25k = 363.075k — the exact
+	// value the paper's trace reports.
+	v, err := m.VertexByName("tmp2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v.Weight-363075) > 1e-6 {
+		t.Errorf("w(tmp2) = %v, want 363075", v.Weight)
+	}
+	// w(tmp4) = (0.8 + 5)·Ca − Ca = 4.8·12.005m
+	v, err = m.VertexByName("tmp4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v.Weight-4.8*12.005e6) > 1 {
+		t.Errorf("w(tmp4) = %v, want %v", v.Weight, 4.8*12.005e6)
+	}
+	// Leaves weigh nothing.
+	leaf, err := m.VertexByName("Order")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaf.Weight != 0 {
+		t.Errorf("w(Order) = %v", leaf.Weight)
+	}
+}
+
+func TestAncestorsDescendants(t *testing.T) {
+	m, _ := figure3(t)
+	tmp4, err := m.VertexByName("tmp4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	anc := m.Ancestors(tmp4)
+	// tmp5, tmp6, tmp7, result3, result4
+	if len(anc) != 5 {
+		names := make([]string, len(anc))
+		for i, a := range anc {
+			names[i] = a.Name
+		}
+		t.Errorf("ancestors(tmp4) = %v", names)
+	}
+	desc := m.Descendants(tmp4)
+	if len(desc) != 2 {
+		t.Errorf("descendants(tmp4) = %d", len(desc))
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	ex, err := paper.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := cost.NewEstimator(ex.Catalog, cost.PaperOptions())
+	model := &cost.PaperModel{}
+
+	b := core.NewBuilder(est, model)
+	if err := b.AddQuery("", 1, nil); err == nil {
+		t.Error("unnamed query accepted")
+	}
+
+	b = core.NewBuilder(est, model)
+	div, _ := ex.Catalog.Scan("Division")
+	plan := algebra.NewProject(div, []algebra.ColumnRef{algebra.Ref("Division", "name")})
+	if err := b.AddQuery("Q", 1, plan); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddQuery("Q", 1, plan); err == nil {
+		t.Error("duplicate query name accepted")
+	}
+	if err := b.AddQuery("Q2", -1, plan); err == nil {
+		t.Error("negative frequency accepted")
+	}
+	if err := b.AddQuery("Q3", 1, algebra.NewSelect(div, nil)); err == nil {
+		t.Error("invalid plan accepted")
+	}
+
+	empty := core.NewBuilder(est, model)
+	if _, err := empty.Build(); err == nil {
+		t.Error("empty MVPP accepted")
+	}
+}
+
+func TestIdenticalQueriesShareRoot(t *testing.T) {
+	ex, err := paper.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := cost.NewEstimator(ex.Catalog, cost.PaperOptions())
+	b := core.NewBuilder(est, &cost.PaperModel{})
+	div, _ := ex.Catalog.Scan("Division")
+	plan := algebra.NewProject(
+		algebra.NewSelect(div, algebra.Eq(algebra.Ref("Division", "city"), algebra.StringVal("LA"))),
+		[]algebra.ColumnRef{algebra.Ref("Division", "name")})
+	if err := b.AddQuery("A", 1, plan); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddQuery("B", 2, algebra.Clone(plan)); err != nil {
+		t.Fatal(err)
+	}
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Roots["A"] != m.Roots["B"] {
+		t.Error("identical queries should share their root vertex")
+	}
+	if got := m.QueriesUsing(m.Roots["A"]); len(got) != 2 {
+		t.Errorf("QueriesUsing(root) = %v", got)
+	}
+}
+
+func TestVertexByNameMissing(t *testing.T) {
+	m, _ := figure3(t)
+	if _, err := m.VertexByName("tmp99"); err == nil {
+		t.Error("missing vertex lookup succeeded")
+	}
+}
+
+func TestInnerVerticesExcludeLeaves(t *testing.T) {
+	m, _ := figure3(t)
+	for _, v := range m.InnerVertices() {
+		if v.IsLeaf() {
+			t.Errorf("leaf %s in InnerVertices", v.Name)
+		}
+	}
+	if got := len(m.InnerVertices()); got != 11 {
+		t.Errorf("inner vertices = %d, want 11 (tmp1..7 + 4 results)", got)
+	}
+}

@@ -1,0 +1,169 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/warehousekit/mvpp/internal/core"
+	"github.com/warehousekit/mvpp/internal/cost"
+	"github.com/warehousekit/mvpp/internal/optimizer"
+	"github.com/warehousekit/mvpp/internal/workload"
+)
+
+// randomSubset picks a vertex subset of the inner vertices from a bitmask.
+func randomSubset(m *core.MVPP, mask uint64) core.VertexSet {
+	set := make(core.VertexSet)
+	for i, v := range m.InnerVertices() {
+		if mask&(1<<uint(i%64)) != 0 && i < 64 {
+			set[v.ID] = true
+		}
+	}
+	return set
+}
+
+// Property: Total = Query + Maintenance for every subset; maintenance is
+// never negative; the empty set has zero maintenance.
+func TestEvaluateAccountingIdentity(t *testing.T) {
+	m, model := figure3(t)
+	f := func(mask uint64) bool {
+		c := m.Evaluate(model, randomSubset(m, mask))
+		if c.Maintenance < 0 || c.Query < 0 {
+			return false
+		}
+		return c.Total == c.Query+c.Maintenance
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: query cost is monotone — materializing more can only lower (or
+// keep) each query's cost.
+func TestEvaluateQueryMonotonicity(t *testing.T) {
+	m, model := figure3(t)
+	f := func(mask uint64, extraIdx uint8) bool {
+		base := randomSubset(m, mask)
+		inner := m.InnerVertices()
+		extra := inner[int(extraIdx)%len(inner)]
+		bigger := base.Clone()
+		bigger[extra.ID] = true
+
+		cBase := m.Evaluate(model, base)
+		cBig := m.Evaluate(model, bigger)
+		for q, qc := range cBig.PerQuery {
+			if qc > cBase.PerQuery[q]+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Evaluate is deterministic.
+func TestEvaluateDeterministic(t *testing.T) {
+	m, model := figure3(t)
+	f := func(mask uint64) bool {
+		set := randomSubset(m, mask)
+		a := m.Evaluate(model, set)
+		b := m.Evaluate(model, set)
+		return a.Total == b.Total && a.Query == b.Query && a.Maintenance == b.Maintenance
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the heuristic's reported costs equal an independent Evaluate of
+// its chosen set, under both selection variants.
+func TestSelectionCostsConsistent(t *testing.T) {
+	m, model := figure3(t)
+	for _, opts := range []core.SelectOptions{
+		{},
+		{NoBranchPruning: true},
+		{DiscountedMaintenance: true},
+	} {
+		res := m.SelectViews(model, opts)
+		check := m.Evaluate(model, res.Materialized)
+		if res.Costs.Total != check.Total {
+			t.Errorf("opts %+v: reported %v, evaluated %v", opts, res.Costs.Total, check.Total)
+		}
+	}
+}
+
+// Property: on random star workloads the whole pipeline maintains its
+// invariants — candidates valid, best no worse than any candidate, design
+// no worse than all-virtual.
+func TestPipelineInvariantsOnRandomWorkloads(t *testing.T) {
+	model := &cost.PaperModel{}
+	for seed := int64(1); seed <= 6; seed++ {
+		spec := workload.DefaultStar(4 + int(seed)%3)
+		cat, err := workload.Star(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(seed))
+		nq := 3 + r.Intn(5)
+		queries, err := workload.Queries(cat, spec, workload.DefaultQueries(spec), nq, seed*13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		freqs := workload.ZipfFrequencies(nq, 1, 10)
+		est := cost.NewEstimator(cat, cost.DefaultOptions())
+		opt := optimizer.New(est, model, optimizer.Options{})
+		plans := make([]core.QueryPlan, nq)
+		for i, q := range queries {
+			p, _, err := opt.Optimize(q)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, q.Name, err)
+			}
+			plans[i] = core.QueryPlan{Name: q.Name, Freq: freqs[i], Plan: p}
+		}
+		cands, err := core.Generate(est, model, plans, core.GenOptions{MaxRotations: 2})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		best := core.Best(cands)
+		for _, c := range cands {
+			if err := c.MVPP.Validate(); err != nil {
+				t.Errorf("seed %d: invalid candidate: %v", seed, err)
+			}
+			if best.Selection.Costs.Total > c.Selection.Costs.Total+1e-9 {
+				t.Errorf("seed %d: best not best", seed)
+			}
+			virtual := c.MVPP.AllVirtual(model)
+			if c.Selection.Costs.Total > virtual.Total+1e-9 {
+				t.Errorf("seed %d: selection %v worse than all-virtual %v",
+					seed, c.Selection.Costs.Total, virtual.Total)
+			}
+		}
+	}
+}
+
+// Property: weights agree with their definition for every vertex.
+func TestWeightDefinition(t *testing.T) {
+	m, _ := figure3(t)
+	for _, v := range m.InnerVertices() {
+		saving := 0.0
+		for _, q := range m.QueriesUsing(v) {
+			saving += m.Fq[q] * v.Ca
+		}
+		want := saving - m.MaintenanceFrequency(v)*v.Cm
+		if v.Weight != want {
+			t.Errorf("%s: weight %v, want %v", v.Name, v.Weight, want)
+		}
+	}
+}
+
+// Property: IncrementalGain with an empty set equals the weight.
+func TestIncrementalGainMatchesWeightOnEmptySet(t *testing.T) {
+	m, _ := figure3(t)
+	for _, v := range m.InnerVertices() {
+		if got := m.IncrementalGain(v, core.VertexSet{}); got != v.Weight {
+			t.Errorf("%s: Cs(∅) = %v, weight = %v", v.Name, got, v.Weight)
+		}
+	}
+}

@@ -1,0 +1,295 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/warehousekit/mvpp/internal/algebra"
+)
+
+// assemblePlans implements Figure 4 steps 5–6 plus final plan assembly.
+//
+// Step 5 (selections): for each base relation, the conjuncts that every
+// query using the relation applies identically are pushed onto the shared
+// scan; with PushDisjunctions, the disjunction of the queries' differing
+// leaf-local restrictions is additionally pushed (each query re-applies its
+// own restriction above, preserving semantics — the disjunctive filter
+// shrinks the shared intermediate results).
+//
+// Step 6 (projections): with PushProjections, a projection keeping the
+// union of the attributes any query needs — output attributes, join
+// attributes, and attributes of still-unpushed selections — is inserted
+// above each (possibly filtered) scan.
+//
+// The remaining per-query conjuncts are then placed as deep as possible
+// without crossing into a subtree shared with a query that lacks the
+// conjunct: a private filter wraps the highest shared vertex it would
+// otherwise have to enter. This is exactly the shape of the paper's
+// Figure 3, where σ date>7/1/96 (tmp5) sits above the shared
+// Order⋈Customer (tmp4) rather than on the Order scan.
+func assemblePlans(decs []*algebra.Decomposed, skeletons []algebra.Node, opts GenOptions) ([]algebra.Node, error) {
+	k := len(decs)
+
+	// Residual conjuncts per query, keyed for removal by canonical string.
+	residual := make([][]algebra.Predicate, k)
+	for i, d := range decs {
+		residual[i] = append(residual[i], d.Selections...)
+	}
+
+	if !opts.NoPushdown {
+		leafRepl := planLeafPushdown(decs, skeletons, residual, opts)
+		// Apply the same leaf replacement in every query's skeleton.
+		for i := range skeletons {
+			skeletons[i] = algebra.Transform(skeletons[i], func(n algebra.Node) algebra.Node {
+				if s, ok := n.(*algebra.Scan); ok {
+					if repl, ok := leafRepl[s.Relation]; ok {
+						return repl
+					}
+				}
+				return n
+			})
+		}
+	}
+
+	// Shared-vertex detection: a structural key used by two or more
+	// queries is a sharing boundary for private filters.
+	usage := make(map[string]int)
+	for _, skel := range skeletons {
+		seen := make(map[string]bool)
+		algebra.Walk(skel, func(n algebra.Node) {
+			seen[algebra.StructuralKey(n)] = true
+		})
+		for key := range seen {
+			usage[key]++
+		}
+	}
+	shared := make(map[string]bool, len(usage))
+	for key, n := range usage {
+		if n >= 2 {
+			shared[key] = true
+		}
+	}
+
+	out := make([]algebra.Node, k)
+	for i, d := range decs {
+		plan := skeletons[i]
+		if opts.NoPushdown {
+			// Figure 7 form: all selections in one block above the joins.
+			if pred := algebra.NewAnd(residual[i]...); pred != nil {
+				plan = algebra.NewSelect(plan, pred)
+			}
+		} else {
+			plan = placeResiduals(plan, residual[i], shared)
+		}
+		switch {
+		case d.TopAgg != nil:
+			plan = algebra.NewAggregate(plan, d.TopAgg.GroupBy, d.TopAgg.Aggs)
+		case d.Output != nil:
+			plan = algebra.NewProject(plan, d.Output)
+		}
+		if err := algebra.Validate(plan); err != nil {
+			return nil, fmt.Errorf("core: assembled plan invalid: %w", err)
+		}
+		out[i] = plan
+	}
+	return out, nil
+}
+
+// planLeafPushdown computes, per relation, the subplan replacing its scan,
+// and removes pushed conjuncts from the queries' residual lists (which it
+// mutates).
+func planLeafPushdown(decs []*algebra.Decomposed, skeletons []algebra.Node, residual [][]algebra.Predicate, opts GenOptions) map[string]algebra.Node {
+	// users[R] = query indexes whose skeleton reads R.
+	users := make(map[string][]int)
+	for i, skel := range skeletons {
+		for _, rel := range algebra.Leaves(skel) {
+			users[rel] = append(users[rel], i)
+		}
+	}
+	rels := make([]string, 0, len(users))
+	for rel := range users {
+		rels = append(rels, rel)
+	}
+	sort.Strings(rels)
+
+	leafRepl := make(map[string]algebra.Node, len(rels))
+	for _, rel := range rels {
+		scan := findScan(skeletons[users[rel][0]], rel)
+		schema := scan.Schema()
+
+		// Leaf-local conjuncts per user.
+		local := make(map[int][]algebra.Predicate)
+		for _, qi := range users[rel] {
+			for _, p := range residual[qi] {
+				if resolvesAll(schema, p) {
+					local[qi] = append(local[qi], p)
+				}
+			}
+		}
+
+		// Common part: conjuncts every user applies (by canonical form).
+		counts := make(map[string]int)
+		byKey := make(map[string]algebra.Predicate)
+		for _, qi := range users[rel] {
+			seen := make(map[string]bool)
+			for _, p := range local[qi] {
+				key := p.String()
+				if !seen[key] {
+					seen[key] = true
+					counts[key]++
+					byKey[key] = p
+				}
+			}
+		}
+		var common []algebra.Predicate
+		commonKeys := make(map[string]bool)
+		for key, n := range counts {
+			if n == len(users[rel]) {
+				common = append(common, byKey[key])
+				commonKeys[key] = true
+			}
+		}
+		sort.Slice(common, func(i, j int) bool { return common[i].String() < common[j].String() })
+
+		// Remove pushed conjuncts from residual lists.
+		for _, qi := range users[rel] {
+			var kept []algebra.Predicate
+			for _, p := range residual[qi] {
+				if resolvesAll(schema, p) && commonKeys[p.String()] {
+					continue
+				}
+				kept = append(kept, p)
+			}
+			residual[qi] = kept
+		}
+
+		pushed := algebra.NewAnd(common...)
+
+		// Disjunctive pushdown of the differing parts (step 5's general
+		// case). Sound only when every user restricts the relation; each
+		// user keeps its own restriction above.
+		if opts.PushDisjunctions && len(users[rel]) >= 2 {
+			var perUser []algebra.Predicate
+			all := true
+			for _, qi := range users[rel] {
+				var rest []algebra.Predicate
+				for _, p := range local[qi] {
+					if !commonKeys[p.String()] {
+						rest = append(rest, p)
+					}
+				}
+				if len(rest) == 0 {
+					all = false
+					break
+				}
+				perUser = append(perUser, algebra.NewAnd(rest...))
+			}
+			if all {
+				if dis := algebra.Disjoin(perUser); dis != nil {
+					pushed = algebra.NewAnd(pushed, dis)
+				}
+			}
+		}
+
+		var repl algebra.Node = scan
+		if pushed != nil {
+			repl = algebra.NewSelect(repl, pushed)
+		}
+
+		if opts.PushProjections {
+			need := neededColumns(rel, schema, users[rel], decs, skeletons, residual)
+			if len(need) > 0 && len(need) < schema.Len() {
+				repl = algebra.NewProject(repl, need)
+			}
+		}
+		if _, isScan := repl.(*algebra.Scan); !isScan {
+			leafRepl[rel] = repl
+		}
+	}
+	return leafRepl
+}
+
+// neededColumns computes the union over users of the attributes of rel they
+// still need above the leaf: output attributes, join attributes, and
+// attributes of unpushed selections (paper step 6).
+func neededColumns(rel string, schema *algebra.Schema, userIdx []int, decs []*algebra.Decomposed, skeletons []algebra.Node, residual [][]algebra.Predicate) []algebra.ColumnRef {
+	needed := make(map[int]bool)
+	addRef := func(ref algebra.ColumnRef) {
+		if i := schema.IndexOf(ref); i >= 0 && (ref.Relation == rel || ref.Relation == "") {
+			needed[i] = true
+		}
+	}
+	for _, qi := range userIdx {
+		for _, ref := range decs[qi].Output {
+			addRef(ref)
+		}
+		if decs[qi].TopAgg != nil {
+			for _, ref := range decs[qi].TopAgg.RequiredByAggregate() {
+				addRef(ref)
+			}
+		}
+		for _, c := range treeJoinConds(skeletons[qi]) {
+			addRef(c.Left)
+			addRef(c.Right)
+		}
+		for _, p := range residual[qi] {
+			for _, ref := range p.Columns() {
+				addRef(ref)
+			}
+		}
+	}
+	idx := make([]int, 0, len(needed))
+	for i := range needed {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	out := make([]algebra.ColumnRef, len(idx))
+	for i, j := range idx {
+		c := schema.Columns[j]
+		out[i] = algebra.ColumnRef{Relation: c.Relation, Name: c.Name}
+	}
+	return out
+}
+
+// placeResiduals sinks a query's remaining conjuncts as deep as possible,
+// wrapping (rather than entering) subtrees shared with other queries.
+func placeResiduals(node algebra.Node, preds []algebra.Predicate, shared map[string]bool) algebra.Node {
+	if len(preds) == 0 {
+		return node
+	}
+	if j, ok := node.(*algebra.Join); ok && !shared[algebra.StructuralKey(node)] {
+		ls, rs := j.Left.Schema(), j.Right.Schema()
+		var left, right, here []algebra.Predicate
+		for _, p := range preds {
+			switch {
+			case resolvesAll(ls, p):
+				left = append(left, p)
+			case resolvesAll(rs, p):
+				right = append(right, p)
+			default:
+				here = append(here, p)
+			}
+		}
+		n := algebra.Node(algebra.NewJoin(
+			placeResiduals(j.Left, left, shared),
+			placeResiduals(j.Right, right, shared),
+			j.On,
+		))
+		if pred := algebra.NewAnd(here...); pred != nil {
+			n = algebra.NewSelect(n, pred)
+		}
+		return n
+	}
+	return algebra.NewSelect(node, algebra.NewAnd(preds...))
+}
+
+// resolvesAll reports whether every column of the predicate resolves in the
+// schema.
+func resolvesAll(s *algebra.Schema, p algebra.Predicate) bool {
+	for _, ref := range p.Columns() {
+		if !s.Has(ref) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"github.com/warehousekit/mvpp/internal/cost"
+)
+
+// TraceAction records what the selection heuristic did with a vertex.
+type TraceAction string
+
+// Actions appearing in a selection trace.
+const (
+	ActionMaterialize  TraceAction = "materialize"   // Cs > 0, added to M
+	ActionReject       TraceAction = "reject"        // Cs ≤ 0
+	ActionPruneBranch  TraceAction = "prune-branch"  // removed with a rejected same-branch vertex
+	ActionDropCovered  TraceAction = "drop-covered"  // step 9: all consumers materialized
+	ActionSkipAncestor TraceAction = "skip-ancestor" // a materialized ancestor already covers it
+	ActionSafeguard    TraceAction = "safeguard"     // a baseline strategy replaced the greedy choice
+)
+
+// TraceStep is one decision of the Figure 9 heuristic.
+type TraceStep struct {
+	Vertex string
+	Weight float64
+	Cs     float64
+	Action TraceAction
+	Note   string
+}
+
+// SelectionResult is the outcome of the view-selection heuristic.
+type SelectionResult struct {
+	Materialized VertexSet
+	Costs        Costs
+	Trace        []TraceStep
+}
+
+// SelectOptions tunes the heuristic; the zero value is the paper algorithm.
+type SelectOptions struct {
+	// NoBranchPruning disables step 7 (removing same-branch successors of a
+	// rejected vertex) — an ablation knob; the search then considers every
+	// positive-weight vertex.
+	NoBranchPruning bool
+	// DiscountedMaintenance is an extension: the paper's Cs charges a
+	// candidate its full from-base recompute cost even when its inputs are
+	// already materialized, which makes the heuristic undervalue stacking a
+	// cheap summary on top of a materialized join. With this option the
+	// maintenance term is the recompute cost *given* the current M.
+	DiscountedMaintenance bool
+}
+
+// SelectViews runs the greedy heuristic of paper Figure 9 on the MVPP:
+// order candidate vertices by descending weight w(v); for each, compute the
+// incremental gain Cs of materializing it given what is already in M;
+// accept when Cs > 0; on rejection prune the not-yet-considered vertices on
+// the same branch; finally drop vertices all of whose consumers are
+// materialized.
+func (m *MVPP) SelectViews(model cost.Model, opts SelectOptions) *SelectionResult {
+	res := &SelectionResult{Materialized: make(VertexSet)}
+
+	// Step 2: LV = positive-weight candidates in descending weight order.
+	var lv []*Vertex
+	for _, v := range m.InnerVertices() {
+		if v.Weight > 0 {
+			lv = append(lv, v)
+		}
+	}
+	sort.SliceStable(lv, func(i, j int) bool { return lv[i].Weight > lv[j].Weight })
+
+	removed := make(map[int]bool)
+	for _, v := range lv {
+		if removed[v.ID] {
+			continue
+		}
+		// Skip-ancestor refinement (paper's tmp1-vs-tmp2 example: "since its
+		// parent tmp2 is already in M, tmp1 is ignored"): a vertex whose
+		// every consumer path is already covered by a materialized ancestor
+		// contributes nothing.
+		if anc := m.materializedAncestorCovers(v, res.Materialized); anc != nil {
+			res.Trace = append(res.Trace, TraceStep{
+				Vertex: v.Name, Weight: v.Weight, Action: ActionSkipAncestor,
+				Note: "covered by materialized " + anc.Name,
+			})
+			continue
+		}
+		cs := m.IncrementalGain(v, res.Materialized)
+		if opts.DiscountedMaintenance {
+			cs = m.incrementalGainDiscounted(v, res.Materialized)
+		}
+		if cs > 0 {
+			res.Materialized[v.ID] = true
+			res.Trace = append(res.Trace, TraceStep{Vertex: v.Name, Weight: v.Weight, Cs: cs, Action: ActionMaterialize})
+			continue
+		}
+		res.Trace = append(res.Trace, TraceStep{Vertex: v.Name, Weight: v.Weight, Cs: cs, Action: ActionReject})
+		if opts.NoBranchPruning {
+			continue
+		}
+		// Step 7: drop later vertices on the same branch.
+		sameBranch := make(map[int]bool)
+		for _, u := range m.Ancestors(v) {
+			sameBranch[u.ID] = true
+		}
+		for _, u := range m.Descendants(v) {
+			sameBranch[u.ID] = true
+		}
+		for _, u := range lv {
+			if u.Weight < v.Weight && sameBranch[u.ID] && !removed[u.ID] && !res.Materialized[u.ID] {
+				removed[u.ID] = true
+				res.Trace = append(res.Trace, TraceStep{
+					Vertex: u.Name, Weight: u.Weight, Action: ActionPruneBranch,
+					Note: "same branch as rejected " + v.Name,
+				})
+			}
+		}
+	}
+
+	// Step 9: ∀v ∈ M, if D(v) ⊆ M then v is never read at query time nor
+	// used for maintenance short-cuts — drop it.
+	for changed := true; changed; {
+		changed = false
+		for _, v := range m.Vertices {
+			if !res.Materialized[v.ID] || v.IsRoot() {
+				continue
+			}
+			all := len(v.Out) > 0
+			for _, out := range v.Out {
+				if !res.Materialized[out.ID] {
+					all = false
+					break
+				}
+			}
+			if all {
+				delete(res.Materialized, v.ID)
+				res.Trace = append(res.Trace, TraceStep{Vertex: v.Name, Action: ActionDropCovered,
+					Note: "all consumers materialized"})
+				changed = true
+			}
+		}
+	}
+
+	res.Costs = m.Evaluate(model, res.Materialized)
+	return res
+}
+
+// IncrementalGain computes the paper's Cs for vertex v given the current
+// materialized set M:
+//
+//	Cs = Σ_{q ∈ O_v} fq(q)·(Ca(v) − Σ_{u ∈ S_v ∩ M} Ca(u)) − fu(v)·Cm(v)
+//
+// i.e. the frequency-weighted saving of answering v's queries from a
+// materialized v rather than from its already-materialized descendants,
+// minus v's maintenance cost.
+func (m *MVPP) IncrementalGain(v *Vertex, mat VertexSet) float64 {
+	replicated := 0.0
+	for _, u := range m.Descendants(v) {
+		if mat[u.ID] {
+			replicated += u.Ca
+		}
+	}
+	saving := 0.0
+	for _, q := range m.QueriesUsing(v) {
+		saving += m.Fq[q] * (v.Ca - replicated)
+	}
+	return saving - m.MaintenanceFrequency(v)*v.Cm
+}
+
+// incrementalGainDiscounted is IncrementalGain with the maintenance term
+// priced as recomputation given the current materialized set (materialized
+// descendants are read, not recomputed).
+func (m *MVPP) incrementalGainDiscounted(v *Vertex, mat VertexSet) float64 {
+	replicated := 0.0
+	for _, u := range m.Descendants(v) {
+		if mat[u.ID] {
+			replicated += u.Ca
+		}
+	}
+	saving := 0.0
+	for _, q := range m.QueriesUsing(v) {
+		saving += m.Fq[q] * (v.Ca - replicated)
+	}
+	// Recompute cost of v with mat's members readable.
+	memo := make(map[int]float64)
+	var compute func(u *Vertex) float64
+	compute = func(u *Vertex) float64 {
+		if u.IsLeaf() || mat[u.ID] {
+			return 0
+		}
+		if c, ok := memo[u.ID]; ok {
+			return c
+		}
+		c := u.CaSelf
+		for _, in := range u.In {
+			c += compute(in)
+		}
+		memo[u.ID] = c
+		return c
+	}
+	rc := v.CaSelf
+	for _, in := range v.In {
+		rc += compute(in)
+	}
+	return saving - m.MaintenanceFrequency(v)*rc
+}
+
+// materializedAncestorCovers returns a materialized ancestor of v that is
+// used by every query using v (so materializing v adds nothing), or nil.
+func (m *MVPP) materializedAncestorCovers(v *Vertex, mat VertexSet) *Vertex {
+	queries := m.QueriesUsing(v)
+	for _, a := range m.Ancestors(v) {
+		if !mat[a.ID] {
+			continue
+		}
+		aq := make(map[string]bool)
+		for _, q := range m.QueriesUsing(a) {
+			aq[q] = true
+		}
+		all := true
+		for _, q := range queries {
+			if !aq[q] {
+				all = false
+				break
+			}
+		}
+		if all {
+			return a
+		}
+	}
+	return nil
+}
+
+// MaxExhaustiveCandidates bounds the exhaustive search (2^n subsets).
+const MaxExhaustiveCandidates = 22
+
+// ExhaustiveResult is the outcome of the brute-force search.
+type ExhaustiveResult struct {
+	Materialized VertexSet
+	Costs        Costs
+	Subsets      int // how many subsets were evaluated
+}
+
+// ExhaustiveOptimal evaluates every subset of the inner vertices and
+// returns a minimum-total-cost choice. It is exponential and refuses MVPPs
+// with more than MaxExhaustiveCandidates inner vertices; it exists as the
+// ground-truth baseline for the Figure 9 heuristic.
+func (m *MVPP) ExhaustiveOptimal(model cost.Model) (*ExhaustiveResult, error) {
+	cands := m.InnerVertices()
+	if len(cands) > MaxExhaustiveCandidates {
+		return nil, fmt.Errorf("core: %d candidates exceed the exhaustive-search bound %d",
+			len(cands), MaxExhaustiveCandidates)
+	}
+	best := &ExhaustiveResult{}
+	first := true
+	total := uint32(1) << uint(len(cands))
+	for mask := uint32(0); mask < total; mask++ {
+		mat := make(VertexSet, bits.OnesCount32(mask))
+		for i, v := range cands {
+			if mask&(1<<uint(i)) != 0 {
+				mat[v.ID] = true
+			}
+		}
+		c := m.Evaluate(model, mat)
+		if first || c.Total < best.Costs.Total {
+			best.Materialized = mat
+			best.Costs = c
+			first = false
+		}
+	}
+	best.Subsets = int(total)
+	return best, nil
+}
+
+// AllVirtual returns the empty choice (paper Table 2 row 1: only base
+// relations stored).
+func (m *MVPP) AllVirtual(model cost.Model) Costs {
+	return m.Evaluate(model, VertexSet{})
+}
+
+// AllQueriesMaterialized materializes every query root (Table 2 row 5).
+func (m *MVPP) AllQueriesMaterialized(model cost.Model) Costs {
+	mat := make(VertexSet, len(m.Roots))
+	for _, r := range m.Roots {
+		mat[r.ID] = true
+	}
+	return m.Evaluate(model, mat)
+}

@@ -1,0 +1,189 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/warehousekit/mvpp/internal/core"
+)
+
+func traceFor(res *core.SelectionResult, vertex string) (core.TraceStep, bool) {
+	for _, s := range res.Trace {
+		if s.Vertex == vertex {
+			return s, true
+		}
+	}
+	return core.TraceStep{}, false
+}
+
+// TestFigure9TraceOnPaperExample replays the paper's traced run of the
+// selection heuristic on the Figure 3 MVPP:
+//
+//	LV = <tmp4, result4, tmp7, tmp2, result1, tmp1>
+//	tmp4 accepted, result4 rejected, tmp7 pruned (same branch), tmp2
+//	accepted (Cs = 363.075k), tmp1 skipped (parent tmp2 materialized).
+func TestFigure9TraceOnPaperExample(t *testing.T) {
+	m, model := figure3(t)
+	res := m.SelectViews(model, core.SelectOptions{})
+
+	tmp4, ok := traceFor(res, "tmp4")
+	if !ok || tmp4.Action != core.ActionMaterialize {
+		t.Errorf("tmp4 trace = %+v, want materialize", tmp4)
+	}
+	// Cs(tmp4) = (0.8+5)·12.005m − 12.005m = 57.624m (paper: 57.744m with
+	// its rounded 12.03m).
+	if math.Abs(tmp4.Cs-57.624e6)/57.624e6 > 0.001 {
+		t.Errorf("Cs(tmp4) = %v, want ≈57.624m", tmp4.Cs)
+	}
+
+	r4, ok := traceFor(res, "result4")
+	if !ok || r4.Action != core.ActionReject {
+		t.Errorf("result4 trace = %+v, want reject", r4)
+	}
+	tmp7, ok := traceFor(res, "tmp7")
+	if !ok || tmp7.Action != core.ActionPruneBranch {
+		t.Errorf("tmp7 trace = %+v, want prune-branch (same branch as result4)", tmp7)
+	}
+
+	tmp2, ok := traceFor(res, "tmp2")
+	if !ok || tmp2.Action != core.ActionMaterialize {
+		t.Errorf("tmp2 trace = %+v, want materialize", tmp2)
+	}
+	// The paper's exact value: Cs(tmp2) = 363.075k.
+	if math.Abs(tmp2.Cs-363075) > 1e-6 {
+		t.Errorf("Cs(tmp2) = %v, want 363075", tmp2.Cs)
+	}
+
+	tmp1, ok := traceFor(res, "tmp1")
+	if !ok || tmp1.Action != core.ActionSkipAncestor {
+		t.Errorf("tmp1 trace = %+v, want skip-ancestor", tmp1)
+	}
+
+	// The chosen set contains the paper's {tmp2, tmp4}.
+	names := res.Materialized.Names(m)
+	has := map[string]bool{}
+	for _, n := range names {
+		has[n] = true
+	}
+	if !has["tmp2"] || !has["tmp4"] {
+		t.Errorf("materialized = %v, want ⊇ {tmp2, tmp4}", names)
+	}
+	if has["tmp1"] || has["tmp7"] {
+		t.Errorf("materialized = %v, must not contain tmp1 or tmp7", names)
+	}
+}
+
+// TestHeuristicBeatsExtremes: the heuristic's choice must cost no more than
+// the all-virtual and all-queries-materialized baselines.
+func TestHeuristicBeatsExtremes(t *testing.T) {
+	m, model := figure3(t)
+	res := m.SelectViews(model, core.SelectOptions{})
+	if v := m.AllVirtual(model); res.Costs.Total > v.Total {
+		t.Errorf("heuristic %v worse than all-virtual %v", res.Costs.Total, v.Total)
+	}
+	if q := m.AllQueriesMaterialized(model); res.Costs.Total > q.Total {
+		t.Errorf("heuristic %v worse than all-materialized %v", res.Costs.Total, q.Total)
+	}
+}
+
+// TestExhaustiveOptimalOnPaperExample: the exhaustive search must find a
+// design at least as good as the heuristic, and the heuristic should be
+// within a modest factor of optimal on the paper example.
+func TestExhaustiveOptimalOnPaperExample(t *testing.T) {
+	m, model := figure3(t)
+	res := m.SelectViews(model, core.SelectOptions{})
+	opt, err := m.ExhaustiveOptimal(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Costs.Total > res.Costs.Total+1e-6 {
+		t.Errorf("exhaustive %v worse than heuristic %v", opt.Costs.Total, res.Costs.Total)
+	}
+	if res.Costs.Total > 1.2*opt.Costs.Total {
+		t.Errorf("heuristic %v more than 20%% above optimal %v", res.Costs.Total, opt.Costs.Total)
+	}
+	if opt.Subsets != 1<<11 {
+		t.Errorf("subsets evaluated = %d, want 2^11", opt.Subsets)
+	}
+	// The optimal design on the paper example includes the two shared
+	// joins.
+	names := opt.Materialized.Names(m)
+	has := map[string]bool{}
+	for _, n := range names {
+		has[n] = true
+	}
+	if !has["tmp2"] || !has["tmp4"] {
+		t.Errorf("optimal = %v, want ⊇ {tmp2, tmp4}", names)
+	}
+}
+
+func TestIncrementalGainAccountsForMaterializedDescendants(t *testing.T) {
+	m, _ := figure3(t)
+	r4, err := m.VertexByName("result4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp4, err := m.VertexByName("tmp4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	without := m.IncrementalGain(r4, core.VertexSet{})
+	with := m.IncrementalGain(r4, core.NewVertexSet(tmp4))
+	if with >= without {
+		t.Errorf("gain with tmp4 materialized (%v) should drop below %v", with, without)
+	}
+	if with >= 0 {
+		t.Errorf("Cs(result4 | tmp4 ∈ M) = %v, want negative (paper rejects result4)", with)
+	}
+}
+
+func TestSelectOptionsNoBranchPruning(t *testing.T) {
+	m, model := figure3(t)
+	res := m.SelectViews(model, core.SelectOptions{NoBranchPruning: true})
+	// tmp7 is no longer pruned; it gets its own considered step.
+	step, ok := traceFor(res, "tmp7")
+	if !ok {
+		t.Fatal("tmp7 missing from trace")
+	}
+	if step.Action == core.ActionPruneBranch {
+		t.Errorf("tmp7 pruned despite NoBranchPruning")
+	}
+	// The result is still a valid design no worse than all-virtual.
+	if v := m.AllVirtual(model); res.Costs.Total > v.Total {
+		t.Errorf("no-pruning heuristic %v worse than all-virtual %v", res.Costs.Total, v.Total)
+	}
+}
+
+func TestStep9DropsFullyCoveredVertices(t *testing.T) {
+	// Build a tiny MVPP where an intermediate's only consumer is a
+	// materialized root: if the heuristic picks both, step 9 must drop the
+	// intermediate.
+	m, model := figure3(t)
+	res := m.SelectViews(model, core.SelectOptions{})
+	for _, v := range m.Vertices {
+		if !res.Materialized[v.ID] || v.IsRoot() {
+			continue
+		}
+		allOut := len(v.Out) > 0
+		for _, o := range v.Out {
+			if !res.Materialized[o.ID] {
+				allOut = false
+			}
+		}
+		if allOut {
+			t.Errorf("%s survives with every consumer materialized", v.Name)
+		}
+	}
+}
+
+func TestExhaustiveRefusesLargeMVPPs(t *testing.T) {
+	m, model := figure3(t)
+	if len(m.InnerVertices()) > core.MaxExhaustiveCandidates {
+		t.Skip("example too large")
+	}
+	// Construct the refusal case artificially by checking the guard
+	// directly: the paper example is small, so just assert the API shape.
+	if _, err := m.ExhaustiveOptimal(model); err != nil {
+		t.Fatalf("exhaustive failed on small MVPP: %v", err)
+	}
+}

@@ -1,0 +1,102 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"github.com/warehousekit/mvpp/internal/algebra"
+)
+
+func TestAggregateEstimate(t *testing.T) {
+	c := paperCatalog(t)
+	e := NewEstimator(c, DefaultOptions())
+	div, _ := c.Scan("Division")
+
+	// Grouping by city: 50 distinct values → 50 groups.
+	agg := algebra.NewAggregate(div,
+		[]algebra.ColumnRef{algebra.Ref("Division", "city")},
+		[]algebra.Aggregation{{Func: algebra.AggCount, Alias: "n"}})
+	est, err := e.Estimate(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Rows != 50 {
+		t.Errorf("groups = %v, want 50", est.Rows)
+	}
+	if est.Blocks <= 0 || est.Blocks >= 500 {
+		t.Errorf("aggregate blocks = %v, want small positive", est.Blocks)
+	}
+
+	// Global aggregate → 1 row.
+	global := algebra.NewAggregate(div, nil,
+		[]algebra.Aggregation{{Func: algebra.AggCount, Alias: "n"}})
+	est, err = e.Estimate(global)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Rows != 1 {
+		t.Errorf("global groups = %v, want 1", est.Rows)
+	}
+
+	// Grouping by a key caps at input cardinality.
+	byKey := algebra.NewAggregate(div,
+		[]algebra.ColumnRef{algebra.Ref("Division", "Did")},
+		[]algebra.Aggregation{{Func: algebra.AggCount, Alias: "n"}})
+	est, err = e.Estimate(byKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Rows != 5000 {
+		t.Errorf("key groups = %v, want 5000", est.Rows)
+	}
+}
+
+func TestAggregateEstimateUnknownNDV(t *testing.T) {
+	c := paperCatalog(t)
+	e := NewEstimator(c, DefaultOptions())
+	div, _ := c.Scan("Division")
+	// Division.name has no statistics in the mini-catalog → sqrt fallback,
+	// capped by input rows.
+	agg := algebra.NewAggregate(div,
+		[]algebra.ColumnRef{algebra.Ref("Division", "name")},
+		[]algebra.Aggregation{{Func: algebra.AggCount, Alias: "n"}})
+	est, err := e.Estimate(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Rows <= 1 || est.Rows > 5000 {
+		t.Errorf("fallback groups = %v", est.Rows)
+	}
+	if math.Abs(est.Rows-math.Sqrt(5001)) > 1 {
+		t.Errorf("fallback groups = %v, want ≈ √5001", est.Rows)
+	}
+}
+
+func TestAggregateOpCost(t *testing.T) {
+	c := paperCatalog(t)
+	e := NewEstimator(c, DefaultOptions())
+	div, _ := c.Scan("Division")
+	agg := algebra.NewAggregate(div,
+		[]algebra.ColumnRef{algebra.Ref("Division", "city")},
+		[]algebra.Aggregation{{Func: algebra.AggCount, Alias: "n"}})
+	got, err := e.OpCost(&PaperModel{}, agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Estimate(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 500 + out.Blocks // input scan + output write
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("AggregateCost = %v, want %v", got, want)
+	}
+	// Sort-merge model charges the sort.
+	sm, err := e.OpCost(&SortMergeModel{}, agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm <= got {
+		t.Errorf("sort-merge aggregate %v should exceed hash aggregate %v", sm, got)
+	}
+}

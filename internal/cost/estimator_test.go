@@ -1,0 +1,325 @@
+package cost
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/warehousekit/mvpp/internal/algebra"
+	"github.com/warehousekit/mvpp/internal/catalog"
+)
+
+// paperCatalog builds the Product/Division slice of the paper's Table 1.
+func paperCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	c := catalog.New()
+	rels := []*catalog.Relation{
+		{
+			Name: "Product",
+			Schema: algebra.NewSchema(
+				algebra.Column{Relation: "Product", Name: "Pid", Type: algebra.TypeInt},
+				algebra.Column{Relation: "Product", Name: "name", Type: algebra.TypeString},
+				algebra.Column{Relation: "Product", Name: "Did", Type: algebra.TypeInt},
+			),
+			Rows: 30000, Blocks: 3000, UpdateFrequency: 1,
+			Attrs: map[string]catalog.AttrStats{
+				"Pid": {DistinctValues: 30000},
+				"Did": {DistinctValues: 5000},
+			},
+		},
+		{
+			Name: "Division",
+			Schema: algebra.NewSchema(
+				algebra.Column{Relation: "Division", Name: "Did", Type: algebra.TypeInt},
+				algebra.Column{Relation: "Division", Name: "name", Type: algebra.TypeString},
+				algebra.Column{Relation: "Division", Name: "city", Type: algebra.TypeString},
+			),
+			Rows: 5000, Blocks: 500, UpdateFrequency: 1,
+			Attrs: map[string]catalog.AttrStats{
+				"Did":  {DistinctValues: 5000},
+				"city": {DistinctValues: 50},
+			},
+		},
+	}
+	for _, r := range rels {
+		if err := c.AddRelation(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	la := algebra.Eq(algebra.Ref("Division", "city"), algebra.StringVal("LA"))
+	if err := c.SetPredicateSelectivity(la, 0.02); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PinJoinSize([]string{"Product", "Division"}, catalog.JoinSize{Rows: 30000, Blocks: 5000}); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// tmp2Plan builds the paper's tmp2: Product ⋈ σ city="LA"(Division).
+func tmp2Plan(t *testing.T) algebra.Node {
+	t.Helper()
+	c := paperCatalog(t)
+	pd, err := c.Scan("Product")
+	if err != nil {
+		t.Fatal(err)
+	}
+	div, err := c.Scan("Division")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp1 := algebra.NewSelect(div, algebra.Eq(algebra.Ref("Division", "city"), algebra.StringVal("LA")))
+	return algebra.NewJoin(pd, tmp1, []algebra.JoinCond{
+		{Left: algebra.Ref("Product", "Did"), Right: algebra.Ref("Division", "Did")},
+	})
+}
+
+func TestScanEstimate(t *testing.T) {
+	c := paperCatalog(t)
+	e := NewEstimator(c, DefaultOptions())
+	scan, _ := c.Scan("Division")
+	est, err := e.Estimate(scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Rows != 5000 || est.Blocks != 500 || est.Width != 0.1 {
+		t.Errorf("Estimate = %+v", est)
+	}
+}
+
+func TestSelectEstimateAppliesSelectivity(t *testing.T) {
+	c := paperCatalog(t)
+	e := NewEstimator(c, DefaultOptions())
+	div, _ := c.Scan("Division")
+	sel := algebra.NewSelect(div, algebra.Eq(algebra.Ref("Division", "city"), algebra.StringVal("LA")))
+	est, err := e.Estimate(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Rows != 100 || est.Blocks != 10 {
+		t.Errorf("σLA(Division) = %+v, want 100 rows / 10 blocks", est)
+	}
+}
+
+func TestJoinEstimatePrincipled(t *testing.T) {
+	c := paperCatalog(t)
+	e := NewEstimator(c, DefaultOptions())
+	est, err := e.Estimate(tmp2Plan(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 30000 × 100 × (1/5000) = 600 rows; width 0.1 + 0.1 = 0.2 → 120 blocks.
+	if math.Abs(est.Rows-600) > 1e-9 || math.Abs(est.Blocks-120) > 1e-9 {
+		t.Errorf("principled tmp2 = %+v, want 600 rows / 120 blocks", est)
+	}
+}
+
+func TestJoinEstimatePinned(t *testing.T) {
+	c := paperCatalog(t)
+	e := NewEstimator(c, PaperOptions())
+	est, err := e.Estimate(tmp2Plan(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper mode pins the Product⋈Division size from Table 1 regardless of
+	// the selection below.
+	if est.Rows != 30000 || est.Blocks != 5000 {
+		t.Errorf("pinned tmp2 = %+v, want 30000 rows / 5000 blocks", est)
+	}
+}
+
+func TestProjectionShrink(t *testing.T) {
+	c := paperCatalog(t)
+	div, _ := c.Scan("Division")
+	proj := algebra.NewProject(div, []algebra.ColumnRef{algebra.Ref("Division", "Did")})
+
+	shrink := NewEstimator(c, DefaultOptions())
+	est, err := shrink.Estimate(proj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 500.0 / 3
+	if math.Abs(est.Blocks-want) > 1e-9 {
+		t.Errorf("shrinking projection blocks = %v, want %v", est.Blocks, want)
+	}
+
+	noShrink := NewEstimator(c, Options{ProjectionShrinks: false})
+	est, err = noShrink.Estimate(proj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Blocks != 500 {
+		t.Errorf("no-shrink projection blocks = %v, want 500", est.Blocks)
+	}
+}
+
+// TestPaperTmp2MaintenanceCost reproduces the paper's headline arithmetic:
+// building tmp2 from base relations costs 35.25k block accesses
+// (0.25k for σ city="LA"(Division) + 3k·10 + 5k for the join).
+func TestPaperTmp2MaintenanceCost(t *testing.T) {
+	c := paperCatalog(t)
+	e := NewEstimator(c, PaperOptions())
+	m := &PaperModel{}
+	got, err := e.PlanCost(m, tmp2Plan(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-35250) > 1e-6 {
+		t.Errorf("Ca(tmp2) = %v, want 35250 (paper: 35.25k)", got)
+	}
+}
+
+func TestOpCostPerOperator(t *testing.T) {
+	c := paperCatalog(t)
+	e := NewEstimator(c, PaperOptions())
+	m := &PaperModel{}
+	div, _ := c.Scan("Division")
+	pd, _ := c.Scan("Product")
+
+	scanCost, err := e.OpCost(m, div)
+	if err != nil || scanCost != 0 {
+		t.Errorf("scan OpCost = %v, %v; want 0 (Ca(leaf)=0)", scanCost, err)
+	}
+
+	sel := algebra.NewSelect(div, algebra.Eq(algebra.Ref("Division", "city"), algebra.StringVal("LA")))
+	selCost, err := e.OpCost(m, sel)
+	if err != nil || selCost != 250 {
+		t.Errorf("select OpCost = %v, %v; want 250 (half scan)", selCost, err)
+	}
+
+	proj := algebra.NewProject(pd, []algebra.ColumnRef{algebra.Ref("Product", "name")})
+	projCost, err := e.OpCost(m, proj)
+	if err != nil || projCost != 3000 {
+		t.Errorf("project OpCost = %v, %v; want 3000", projCost, err)
+	}
+}
+
+func TestFullScanSelectOption(t *testing.T) {
+	c := paperCatalog(t)
+	e := NewEstimator(c, PaperOptions())
+	m := &PaperModel{FullScanSelect: true}
+	div, _ := c.Scan("Division")
+	sel := algebra.NewSelect(div, algebra.Eq(algebra.Ref("Division", "city"), algebra.StringVal("LA")))
+	got, err := e.OpCost(m, sel)
+	if err != nil || got != 500 {
+		t.Errorf("full-scan select cost = %v, %v; want 500", got, err)
+	}
+}
+
+func TestEstimateUnknownRelation(t *testing.T) {
+	c := paperCatalog(t)
+	e := NewEstimator(c, DefaultOptions())
+	bad := algebra.NewScan("Ghost", algebra.NewSchema(
+		algebra.Column{Relation: "Ghost", Name: "x", Type: algebra.TypeInt}))
+	if _, err := e.Estimate(bad); err == nil || !strings.Contains(err.Error(), "unknown relation") {
+		t.Errorf("Estimate(ghost) error = %v", err)
+	}
+	if _, err := e.PlanCost(&PaperModel{}, bad); err == nil {
+		t.Error("PlanCost(ghost) should fail")
+	}
+}
+
+func TestMemoizationSharesAcrossEquivalentShapes(t *testing.T) {
+	c := paperCatalog(t)
+	e := NewEstimator(c, DefaultOptions())
+	a := tmp2Plan(t)
+	// Same semantics, commuted join order.
+	j := a.(*algebra.Join)
+	b := algebra.NewJoin(j.Right, j.Left, []algebra.JoinCond{
+		{Left: algebra.Ref("Division", "Did"), Right: algebra.Ref("Product", "Did")},
+	})
+	ea, err := e.Estimate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := e.Estimate(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ea != eb {
+		t.Errorf("commuted join estimated differently: %+v vs %+v", ea, eb)
+	}
+}
+
+func TestModelNames(t *testing.T) {
+	models := []Model{&PaperModel{}, &BlockNLJModel{}, &HashJoinModel{}, &SortMergeModel{}}
+	seen := map[string]bool{}
+	for _, m := range models {
+		name := m.Name()
+		if name == "" || seen[name] {
+			t.Errorf("model name %q empty or duplicated", name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestJoinModelOrdering(t *testing.T) {
+	// For large inputs, NLJ must dominate hash join which dominates nothing
+	// smaller than a single pass.
+	outer := Estimate{Rows: 1e5, Blocks: 1e4, Width: 0.1}
+	inner := Estimate{Rows: 1e5, Blocks: 1e4, Width: 0.1}
+	out := Estimate{Rows: 1e5, Blocks: 2e4, Width: 0.2}
+	nlj := (&PaperModel{}).JoinCost(outer, inner, out)
+	hash := (&HashJoinModel{}).JoinCost(outer, inner, out)
+	merge := (&SortMergeModel{}).JoinCost(outer, inner, out)
+	if !(nlj > merge && merge > hash) {
+		t.Errorf("cost ordering violated: nlj=%v merge=%v hash=%v", nlj, merge, hash)
+	}
+	if hash < outer.Blocks+inner.Blocks {
+		t.Errorf("hash join cheaper than reading its inputs: %v", hash)
+	}
+}
+
+// Property: selection cost and estimate are monotone in selectivity, and
+// estimates never go negative.
+func TestSelectEstimateMonotoneProperty(t *testing.T) {
+	c := paperCatalog(t)
+	div, _ := c.Scan("Division")
+	f := func(raw float64) bool {
+		s := raw
+		if s != s || s < 0 {
+			s = 0
+		}
+		if s > 1 {
+			s = 1 / s
+		}
+		pred := algebra.Eq(algebra.Ref("Division", "city"), algebra.StringVal("X"))
+		if err := c.SetPredicateSelectivity(pred, s); err != nil {
+			return false
+		}
+		e := NewEstimator(c, DefaultOptions()) // fresh memo per trial
+		est, err := e.Estimate(algebra.NewSelect(div, pred))
+		if err != nil {
+			return false
+		}
+		return est.Rows >= 0 && est.Blocks >= 0 && est.Rows <= 5000 && est.Blocks <= 500
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PlanCost is additive — the cost of a tree equals the sum of
+// OpCost over its nodes.
+func TestPlanCostAdditivity(t *testing.T) {
+	c := paperCatalog(t)
+	e := NewEstimator(c, PaperOptions())
+	m := &PaperModel{}
+	plan := algebra.NewProject(tmp2Plan(t), []algebra.ColumnRef{algebra.Ref("Product", "name")})
+	total, err := e.PlanCost(m, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	algebra.Walk(plan, func(n algebra.Node) {
+		opc, err := e.OpCost(m, n)
+		if err != nil {
+			t.Fatalf("OpCost: %v", err)
+		}
+		sum += opc
+	})
+	if math.Abs(total-sum) > 1e-9 {
+		t.Errorf("PlanCost = %v, Σ OpCost = %v", total, sum)
+	}
+}

@@ -1,0 +1,216 @@
+// Package datagen produces deterministic synthetic data for the engine:
+// the paper's five-relation member-database schema at any scale, plus a
+// generic column-generator toolkit for star schemas. All generation is
+// seeded, so tests and benchmarks are reproducible.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/warehousekit/mvpp/internal/algebra"
+	"github.com/warehousekit/mvpp/internal/engine"
+)
+
+// Gen produces the value of one column for row i.
+type Gen func(r *rand.Rand, i int) algebra.Value
+
+// Sequence yields start+i — a dense primary key.
+func Sequence(start int64) Gen {
+	return func(_ *rand.Rand, i int) algebra.Value { return algebra.IntVal(start + int64(i)) }
+}
+
+// IntRange yields uniform integers in [lo, hi].
+func IntRange(lo, hi int64) Gen {
+	return func(r *rand.Rand, _ int) algebra.Value {
+		return algebra.IntVal(lo + r.Int63n(hi-lo+1))
+	}
+}
+
+// ForeignKey yields uniform references into a dimension of the given size
+// (keys 0..size-1).
+func ForeignKey(size int64) Gen {
+	return func(r *rand.Rand, _ int) algebra.Value { return algebra.IntVal(r.Int63n(size)) }
+}
+
+// Choice yields one of the given strings uniformly.
+func Choice(options ...string) Gen {
+	return func(r *rand.Rand, _ int) algebra.Value {
+		return algebra.StringVal(options[r.Intn(len(options))])
+	}
+}
+
+// Label yields prefix plus the row number — unique readable strings.
+func Label(prefix string) Gen {
+	return func(_ *rand.Rand, i int) algebra.Value {
+		return algebra.StringVal(fmt.Sprintf("%s%d", prefix, i))
+	}
+}
+
+// DateRange yields uniform dates between two epoch days.
+func DateRange(loDay, hiDay int64) Gen {
+	return func(r *rand.Rand, _ int) algebra.Value {
+		return algebra.DateVal(loDay + r.Int63n(hiDay-loDay+1))
+	}
+}
+
+// Fill populates a table with n generated rows.
+func Fill(t *engine.Table, n int, seed int64, gens []Gen) error {
+	if len(gens) != t.Schema.Len() {
+		return fmt.Errorf("datagen: %d generators for %d columns of %s", len(gens), t.Schema.Len(), t.Name)
+	}
+	r := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		row := make([]algebra.Value, len(gens))
+		for c, g := range gens {
+			row[c] = g(r, i)
+		}
+		if err := t.Insert(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PaperScale holds the row counts of the paper's Table 1, scaled.
+type PaperScale struct {
+	Product, Division, Order, Customer, Part int
+}
+
+// ScaleRows derives row counts at a fraction of the paper's sizes (scale 1
+// = 30k products, 5k divisions, 50k orders, 20k customers, 80k parts).
+func ScaleRows(scale float64) PaperScale {
+	n := func(base float64) int {
+		v := int(base * scale)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	return PaperScale{
+		Product:  n(30000),
+		Division: n(5000),
+		Order:    n(50000),
+		Customer: n(20000),
+		Part:     n(80000),
+	}
+}
+
+// Cities used for Division.city and Customer.city; "LA" receives ~2% of
+// divisions, matching the paper's s = 0.02 (50 uniform cities).
+var cities = func() []string {
+	out := make([]string, 50)
+	out[0] = "LA"
+	out[1] = "SF"
+	for i := 2; i < 50; i++ {
+		out[i] = fmt.Sprintf("City%02d", i)
+	}
+	return out
+}()
+
+// July1_96 is the epoch day of the paper's date literal 7/1/96; order dates
+// are uniform over 1996, giving s ≈ 0.5 for date > 7/1/96.
+const (
+	day19960101 = 9496
+	day19961231 = 9861
+)
+
+// PaperDB builds and fills the paper's five relations at the given scale
+// into a fresh database. Quantities are uniform in [1, 200] (s = 0.5 for
+// quantity > 100) and dates uniform over 1996 (s ≈ 0.5 for date > 7/1/96).
+func PaperDB(blockRows int, scale float64, seed int64) (*engine.DB, error) {
+	db := engine.NewDB(blockRows)
+	rows := ScaleRows(scale)
+
+	specs := []struct {
+		name string
+		cols []algebra.Column
+		n    int
+		gens []Gen
+	}{
+		{
+			name: "Product",
+			cols: []algebra.Column{
+				{Relation: "Product", Name: "Pid", Type: algebra.TypeInt},
+				{Relation: "Product", Name: "name", Type: algebra.TypeString},
+				{Relation: "Product", Name: "Did", Type: algebra.TypeInt},
+			},
+			n: rows.Product,
+			gens: []Gen{
+				Sequence(0),
+				Label("product-"),
+				ForeignKey(int64(rows.Division)),
+			},
+		},
+		{
+			name: "Division",
+			cols: []algebra.Column{
+				{Relation: "Division", Name: "Did", Type: algebra.TypeInt},
+				{Relation: "Division", Name: "name", Type: algebra.TypeString},
+				{Relation: "Division", Name: "city", Type: algebra.TypeString},
+			},
+			n: rows.Division,
+			gens: []Gen{
+				Sequence(0),
+				Label("division-"),
+				Choice(cities...),
+			},
+		},
+		{
+			name: "Order",
+			cols: []algebra.Column{
+				{Relation: "Order", Name: "Pid", Type: algebra.TypeInt},
+				{Relation: "Order", Name: "Cid", Type: algebra.TypeInt},
+				{Relation: "Order", Name: "quantity", Type: algebra.TypeInt},
+				{Relation: "Order", Name: "date", Type: algebra.TypeDate},
+			},
+			n: rows.Order,
+			gens: []Gen{
+				ForeignKey(int64(rows.Product)),
+				ForeignKey(int64(rows.Customer)),
+				IntRange(1, 200),
+				DateRange(day19960101, day19961231),
+			},
+		},
+		{
+			name: "Customer",
+			cols: []algebra.Column{
+				{Relation: "Customer", Name: "Cid", Type: algebra.TypeInt},
+				{Relation: "Customer", Name: "name", Type: algebra.TypeString},
+				{Relation: "Customer", Name: "city", Type: algebra.TypeString},
+			},
+			n: rows.Customer,
+			gens: []Gen{
+				Sequence(0),
+				Label("customer-"),
+				Choice(cities...),
+			},
+		},
+		{
+			name: "Part",
+			cols: []algebra.Column{
+				{Relation: "Part", Name: "Tid", Type: algebra.TypeInt},
+				{Relation: "Part", Name: "name", Type: algebra.TypeString},
+				{Relation: "Part", Name: "Pid", Type: algebra.TypeInt},
+				{Relation: "Part", Name: "supplier", Type: algebra.TypeString},
+			},
+			n: rows.Part,
+			gens: []Gen{
+				Sequence(0),
+				Label("part-"),
+				ForeignKey(int64(rows.Product)),
+				Label("supplier-"),
+			},
+		},
+	}
+	for si, spec := range specs {
+		t, err := db.CreateTable(spec.name, algebra.NewSchema(spec.cols...))
+		if err != nil {
+			return nil, err
+		}
+		if err := Fill(t, spec.n, seed+int64(si), spec.gens); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}

@@ -1,0 +1,161 @@
+package datagen_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/warehousekit/mvpp/internal/algebra"
+	"github.com/warehousekit/mvpp/internal/datagen"
+	"github.com/warehousekit/mvpp/internal/engine"
+)
+
+func TestScaleRows(t *testing.T) {
+	full := datagen.ScaleRows(1)
+	if full.Product != 30000 || full.Division != 5000 || full.Order != 50000 ||
+		full.Customer != 20000 || full.Part != 80000 {
+		t.Errorf("full scale = %+v", full)
+	}
+	tiny := datagen.ScaleRows(0.0000001)
+	if tiny.Product < 1 || tiny.Division < 1 {
+		t.Errorf("tiny scale produced empty relations: %+v", tiny)
+	}
+}
+
+func TestPaperDBDeterministic(t *testing.T) {
+	a, err := datagen.PaperDB(10, 0.01, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := datagen.PaperDB(10, 0.01, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, _ := a.Table("Order")
+	tb, _ := b.Table("Order")
+	if ta.NumRows() != tb.NumRows() {
+		t.Fatalf("row counts differ: %d vs %d", ta.NumRows(), tb.NumRows())
+	}
+	for i := 0; i < ta.NumRows(); i++ {
+		if ta.Row(i).Key() != tb.Row(i).Key() {
+			t.Fatalf("row %d differs between same-seed runs", i)
+		}
+	}
+	c, err := datagen.PaperDB(10, 0.01, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, _ := c.Table("Order")
+	same := true
+	for i := 0; i < ta.NumRows() && i < tc.NumRows(); i++ {
+		if ta.Row(i).Key() != tc.Row(i).Key() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestPaperDBSelectivities(t *testing.T) {
+	db, err := datagen.PaperDB(10, 0.1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ord, _ := db.Table("Order")
+	over100 := 0
+	for i := 0; i < ord.NumRows(); i++ {
+		q, _ := ord.Row(i).ColumnValue(algebra.Ref("Order", "quantity"))
+		if q.Int > 100 {
+			over100++
+		}
+	}
+	frac := float64(over100) / float64(ord.NumRows())
+	if math.Abs(frac-0.5) > 0.05 {
+		t.Errorf("s(quantity>100) = %.3f, want ≈0.5", frac)
+	}
+
+	div, _ := db.Table("Division")
+	la := 0
+	for i := 0; i < div.NumRows(); i++ {
+		c, _ := div.Row(i).ColumnValue(algebra.Ref("Division", "city"))
+		if c.Str == "LA" {
+			la++
+		}
+	}
+	laFrac := float64(la) / float64(div.NumRows())
+	if math.Abs(laFrac-0.02) > 0.02 {
+		t.Errorf("s(city=LA) = %.3f, want ≈0.02", laFrac)
+	}
+}
+
+func TestPaperDBForeignKeysResolve(t *testing.T) {
+	db, err := datagen.PaperDB(10, 0.01, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, _ := db.Table("Product")
+	div, _ := db.Table("Division")
+	for i := 0; i < pd.NumRows(); i++ {
+		did, _ := pd.Row(i).ColumnValue(algebra.Ref("Product", "Did"))
+		if did.Int < 0 || did.Int >= int64(div.NumRows()) {
+			t.Fatalf("Product row %d has dangling Did %d", i, did.Int)
+		}
+	}
+}
+
+func TestFillValidatesGeneratorCount(t *testing.T) {
+	tb := engine.NewTable("R", algebra.NewSchema(
+		algebra.Column{Relation: "R", Name: "a", Type: algebra.TypeInt},
+		algebra.Column{Relation: "R", Name: "b", Type: algebra.TypeInt},
+	), 10)
+	err := datagen.Fill(tb, 5, 1, []datagen.Gen{datagen.Sequence(0)})
+	if err == nil {
+		t.Error("generator/column mismatch accepted")
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	tb := engine.NewTable("R", algebra.NewSchema(
+		algebra.Column{Relation: "R", Name: "seq", Type: algebra.TypeInt},
+		algebra.Column{Relation: "R", Name: "rng", Type: algebra.TypeInt},
+		algebra.Column{Relation: "R", Name: "fk", Type: algebra.TypeInt},
+		algebra.Column{Relation: "R", Name: "choice", Type: algebra.TypeString},
+		algebra.Column{Relation: "R", Name: "label", Type: algebra.TypeString},
+		algebra.Column{Relation: "R", Name: "date", Type: algebra.TypeDate},
+	), 10)
+	err := datagen.Fill(tb, 100, 5, []datagen.Gen{
+		datagen.Sequence(10),
+		datagen.IntRange(5, 7),
+		datagen.ForeignKey(3),
+		datagen.Choice("a", "b"),
+		datagen.Label("row-"),
+		datagen.DateRange(100, 200),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tb.NumRows(); i++ {
+		row := tb.Row(i)
+		seq, _ := row.ColumnValue(algebra.Ref("R", "seq"))
+		if seq.Int != int64(10+i) {
+			t.Fatalf("seq[%d] = %d", i, seq.Int)
+		}
+		rng, _ := row.ColumnValue(algebra.Ref("R", "rng"))
+		if rng.Int < 5 || rng.Int > 7 {
+			t.Fatalf("rng out of range: %d", rng.Int)
+		}
+		fk, _ := row.ColumnValue(algebra.Ref("R", "fk"))
+		if fk.Int < 0 || fk.Int > 2 {
+			t.Fatalf("fk out of range: %d", fk.Int)
+		}
+		ch, _ := row.ColumnValue(algebra.Ref("R", "choice"))
+		if ch.Str != "a" && ch.Str != "b" {
+			t.Fatalf("choice = %q", ch.Str)
+		}
+		d, _ := row.ColumnValue(algebra.Ref("R", "date"))
+		if d.Int < 100 || d.Int > 200 {
+			t.Fatalf("date out of range: %d", d.Int)
+		}
+	}
+}

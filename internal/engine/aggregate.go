@@ -1,0 +1,162 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/warehousekit/mvpp/internal/algebra"
+)
+
+// accumulator folds one aggregation's values for one group.
+type accumulator struct {
+	fn    algebra.AggFunc
+	count int64
+	sumI  int64
+	sumF  float64
+	isF   bool
+	minV  algebra.Value
+	maxV  algebra.Value
+}
+
+func (a *accumulator) add(v algebra.Value) error {
+	a.count++
+	switch a.fn {
+	case algebra.AggCount:
+		return nil
+	case algebra.AggSum, algebra.AggAvg:
+		switch v.Kind {
+		case algebra.TypeInt, algebra.TypeDate:
+			a.sumI += v.Int
+			a.sumF += float64(v.Int)
+		case algebra.TypeFloat:
+			a.isF = true
+			a.sumF += v.Float
+		default:
+			return fmt.Errorf("engine: %s over non-numeric value %s", a.fn, v)
+		}
+		return nil
+	case algebra.AggMin, algebra.AggMax:
+		if !a.minV.IsValid() {
+			a.minV, a.maxV = v, v
+			return nil
+		}
+		if c, err := v.Compare(a.minV); err != nil {
+			return err
+		} else if c < 0 {
+			a.minV = v
+		}
+		if c, err := v.Compare(a.maxV); err != nil {
+			return err
+		} else if c > 0 {
+			a.maxV = v
+		}
+		return nil
+	default:
+		return fmt.Errorf("engine: unknown aggregate function %v", a.fn)
+	}
+}
+
+func (a *accumulator) result() algebra.Value {
+	switch a.fn {
+	case algebra.AggCount:
+		return algebra.IntVal(a.count)
+	case algebra.AggSum:
+		if a.isF {
+			return algebra.FloatVal(a.sumF)
+		}
+		return algebra.IntVal(a.sumI)
+	case algebra.AggAvg:
+		if a.count == 0 {
+			return algebra.FloatVal(0)
+		}
+		return algebra.FloatVal(a.sumF / float64(a.count))
+	case algebra.AggMin:
+		return a.minV
+	case algebra.AggMax:
+		return a.maxV
+	default:
+		return algebra.Value{}
+	}
+}
+
+// execAggregate is a hash aggregation: one pass over the input, one
+// accumulator row per group, groups emitted in first-seen order.
+func (db *DB) execAggregate(agg *algebra.Aggregate, in *Table, res *Result) (*Table, error) {
+	groupIdx := make([]int, len(agg.GroupBy))
+	for i, ref := range agg.GroupBy {
+		j, err := in.Schema.Resolve(ref)
+		if err != nil {
+			return nil, fmt.Errorf("engine: GROUP BY: %w", err)
+		}
+		groupIdx[i] = j
+	}
+	argIdx := make([]int, len(agg.Aggs))
+	for i, a := range agg.Aggs {
+		if a.Arg == (algebra.ColumnRef{}) {
+			argIdx[i] = -1 // COUNT(*)
+			continue
+		}
+		j, err := in.Schema.Resolve(a.Arg)
+		if err != nil {
+			return nil, fmt.Errorf("engine: aggregate %s: %w", a.Func, err)
+		}
+		argIdx[i] = j
+	}
+
+	type group struct {
+		keyVals []algebra.Value
+		accs    []*accumulator
+	}
+	byKey := make(map[string]*group)
+	var order []*group
+	for _, row := range in.rows {
+		var key strings.Builder
+		for _, gi := range groupIdx {
+			key.WriteString(row[gi].String())
+			key.WriteByte('|')
+		}
+		g, ok := byKey[key.String()]
+		if !ok {
+			g = &group{keyVals: make([]algebra.Value, len(groupIdx)), accs: make([]*accumulator, len(agg.Aggs))}
+			for i, gi := range groupIdx {
+				g.keyVals[i] = row[gi]
+			}
+			for i, a := range agg.Aggs {
+				g.accs[i] = &accumulator{fn: a.Func}
+			}
+			byKey[key.String()] = g
+			order = append(order, g)
+		}
+		for i := range agg.Aggs {
+			if argIdx[i] < 0 {
+				g.accs[i].count++
+				continue
+			}
+			if err := g.accs[i].add(row[argIdx[i]]); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	out := NewTable("", agg.Schema(), db.BlockRows)
+	for _, g := range order {
+		row := make([]algebra.Value, 0, len(g.keyVals)+len(g.accs))
+		row = append(row, g.keyVals...)
+		for _, acc := range g.accs {
+			row = append(row, acc.result())
+		}
+		if err := out.Insert(row); err != nil {
+			return nil, err
+		}
+	}
+	stats := OpStats{
+		Label:     agg.Label(),
+		Reads:     int64(in.NumBlocks()),
+		Writes:    int64(out.NumBlocks()),
+		OutRows:   out.NumRows(),
+		OutBlocks: out.NumBlocks(),
+	}
+	db.account(stats)
+	res.Ops = append(res.Ops, stats)
+	return out, nil
+}

@@ -1,0 +1,25 @@
+package engine_test
+
+import (
+	"github.com/warehousekit/mvpp/internal/algebra"
+	"github.com/warehousekit/mvpp/internal/catalog"
+	"github.com/warehousekit/mvpp/internal/cost"
+)
+
+// estBridge wraps the cost estimator with the BlockNLJ model (the model the
+// engine's physical operators implement) for validation tests.
+type estBridge struct {
+	est   *cost.Estimator
+	model cost.Model
+}
+
+func newEstimator(cat *catalog.Catalog) *estBridge {
+	return &estBridge{
+		est:   cost.NewEstimator(cat, cost.DefaultOptions()),
+		model: &cost.BlockNLJModel{},
+	}
+}
+
+func (b *estBridge) planCost(plan algebra.Node) (float64, error) {
+	return b.est.PlanCost(b.model, plan)
+}

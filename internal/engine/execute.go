@@ -1,0 +1,261 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/warehousekit/mvpp/internal/algebra"
+)
+
+// OpStats records the measured I/O of one operator execution.
+type OpStats struct {
+	Label     string
+	Reads     int64 // block reads performed by the operator
+	Writes    int64 // block writes of the operator's result
+	OutRows   int
+	OutBlocks int
+}
+
+// Result is an executed plan's output plus per-operator measurements.
+type Result struct {
+	Table *Table // anonymous result table
+	Ops   []OpStats
+}
+
+// Rows returns the result rows.
+func (r *Result) Rows() [][]algebra.Value { return r.Table.rows }
+
+// TotalReads sums block reads over all operators.
+func (r *Result) TotalReads() int64 {
+	var n int64
+	for _, op := range r.Ops {
+		n += op.Reads
+	}
+	return n
+}
+
+// TotalWrites sums block writes over all operators.
+func (r *Result) TotalWrites() int64 {
+	var n int64
+	for _, op := range r.Ops {
+		n += op.Writes
+	}
+	return n
+}
+
+// JoinAlgorithm selects the physical join operator.
+type JoinAlgorithm int
+
+// Physical join operators.
+const (
+	// JoinNestedLoop is the block nested-loop join the paper's cost model
+	// assumes: blocks(outer) + blocks(outer)·blocks(inner) reads.
+	JoinNestedLoop JoinAlgorithm = iota
+	// JoinHash builds a hash table on the inner input: blocks(outer) +
+	// blocks(inner) reads. Used to measure the hash-join ablation
+	// physically.
+	JoinHash
+)
+
+// SetJoinAlgorithm switches the physical join operator for subsequent
+// executions.
+func (db *DB) SetJoinAlgorithm(a JoinAlgorithm) { db.joinAlgo = a }
+
+// Execute runs a plan operator-at-a-time: every operator reads its stored
+// input block by block and writes its result to a fresh temporary table,
+// exactly as the paper's cost formulas assume. Scans resolve base tables
+// and materialized views by name. The database counter accumulates across
+// calls; per-operator numbers are returned in the Result.
+func (db *DB) Execute(plan algebra.Node) (*Result, error) {
+	if err := algebra.Validate(plan); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	res := &Result{}
+	out, err := db.exec(plan, res)
+	if err != nil {
+		return nil, err
+	}
+	// A plan that is just a scan (e.g. a query answered entirely by one
+	// materialized view) still costs one pass over the stored result.
+	if s, ok := plan.(*algebra.Scan); ok {
+		stats := OpStats{
+			Label:     "read " + s.Relation,
+			Reads:     int64(out.NumBlocks()),
+			OutRows:   out.NumRows(),
+			OutBlocks: out.NumBlocks(),
+		}
+		db.account(stats)
+		res.Ops = append(res.Ops, stats)
+	}
+	res.Table = out
+	return res, nil
+}
+
+func (db *DB) exec(n algebra.Node, res *Result) (*Table, error) {
+	switch v := n.(type) {
+	case *algebra.Scan:
+		if view, ok := db.views[v.Relation]; ok {
+			return view.table, nil
+		}
+		return db.Table(v.Relation)
+	case *algebra.Select:
+		in, err := db.exec(v.Input, res)
+		if err != nil {
+			return nil, err
+		}
+		return db.execSelect(v, in, res)
+	case *algebra.Project:
+		in, err := db.exec(v.Input, res)
+		if err != nil {
+			return nil, err
+		}
+		return db.execProject(v, in, res)
+	case *algebra.Join:
+		left, err := db.exec(v.Left, res)
+		if err != nil {
+			return nil, err
+		}
+		right, err := db.exec(v.Right, res)
+		if err != nil {
+			return nil, err
+		}
+		if db.joinAlgo == JoinHash {
+			return db.execHashJoin(v, left, right, res)
+		}
+		return db.execJoin(v, left, right, res)
+	case *algebra.Aggregate:
+		in, err := db.exec(v.Input, res)
+		if err != nil {
+			return nil, err
+		}
+		return db.execAggregate(v, in, res)
+	default:
+		return nil, fmt.Errorf("engine: cannot execute node type %T", n)
+	}
+}
+
+// execSelect filters by linear scan: every input block is read once.
+func (db *DB) execSelect(sel *algebra.Select, in *Table, res *Result) (*Table, error) {
+	out := NewTable("", sel.Schema(), db.BlockRows)
+	for i := 0; i < in.NumRows(); i++ {
+		ok, err := sel.Pred.Eval(in.Row(i))
+		if err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+		if ok {
+			if err := out.Insert(in.rows[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	stats := OpStats{
+		Label:     sel.Label(),
+		Reads:     int64(in.NumBlocks()),
+		Writes:    int64(out.NumBlocks()),
+		OutRows:   out.NumRows(),
+		OutBlocks: out.NumBlocks(),
+	}
+	db.account(stats)
+	res.Ops = append(res.Ops, stats)
+	return out, nil
+}
+
+// execProject streams the input once.
+func (db *DB) execProject(p *algebra.Project, in *Table, res *Result) (*Table, error) {
+	outSchema, err := in.Schema.Project(p.Cols)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	idx := make([]int, len(p.Cols))
+	for i, ref := range p.Cols {
+		j, err := in.Schema.Resolve(ref)
+		if err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+		idx[i] = j
+	}
+	out := NewTable("", outSchema, db.BlockRows)
+	for _, row := range in.rows {
+		vals := make([]algebra.Value, len(idx))
+		for i, j := range idx {
+			vals[i] = row[j]
+		}
+		if err := out.Insert(vals); err != nil {
+			return nil, err
+		}
+	}
+	stats := OpStats{
+		Label:     p.Label(),
+		Reads:     int64(in.NumBlocks()),
+		Writes:    int64(out.NumBlocks()),
+		OutRows:   out.NumRows(),
+		OutBlocks: out.NumBlocks(),
+	}
+	db.account(stats)
+	res.Ops = append(res.Ops, stats)
+	return out, nil
+}
+
+// execJoin is a block nested-loop join with a one-block buffer: the outer
+// is read once, the inner once per outer block — blocks(outer) +
+// blocks(outer)·blocks(inner) reads, matching the BlockNLJ cost model.
+func (db *DB) execJoin(j *algebra.Join, left, right *Table, res *Result) (*Table, error) {
+	joined := left.Schema.Concat(right.Schema)
+	type condIdx struct{ li, ri int }
+	conds := make([]condIdx, len(j.On))
+	for i, c := range j.On {
+		li, err := left.Schema.Resolve(c.Left)
+		if err != nil {
+			return nil, fmt.Errorf("engine: join condition %s: %w", c, err)
+		}
+		ri, err := right.Schema.Resolve(c.Right)
+		if err != nil {
+			return nil, fmt.Errorf("engine: join condition %s: %w", c, err)
+		}
+		conds[i] = condIdx{li, ri}
+	}
+	out := NewTable("", joined, db.BlockRows)
+	outerBlocks := left.NumBlocks()
+	for ob := 0; ob < outerBlocks; ob++ {
+		lo := ob * left.BlockRows
+		hi := lo + left.BlockRows
+		if hi > left.NumRows() {
+			hi = left.NumRows()
+		}
+		for _, rrow := range right.rows {
+			for li := lo; li < hi; li++ {
+				lrow := left.rows[li]
+				match := true
+				for _, ci := range conds {
+					if !lrow[ci.li].Equal(rrow[ci.ri]) {
+						match = false
+						break
+					}
+				}
+				if !match {
+					continue
+				}
+				vals := make([]algebra.Value, 0, len(lrow)+len(rrow))
+				vals = append(vals, lrow...)
+				vals = append(vals, rrow...)
+				if err := out.Insert(vals); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	stats := OpStats{
+		Label:     j.Label(),
+		Reads:     int64(outerBlocks) + int64(outerBlocks)*int64(right.NumBlocks()),
+		Writes:    int64(out.NumBlocks()),
+		OutRows:   out.NumRows(),
+		OutBlocks: out.NumBlocks(),
+	}
+	db.account(stats)
+	res.Ops = append(res.Ops, stats)
+	return out, nil
+}
+
+func (db *DB) account(s OpStats) {
+	db.Counter.AddReads(s.Reads)
+	db.Counter.AddWrites(s.Writes)
+}

@@ -1,0 +1,204 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/warehousekit/mvpp/internal/algebra"
+)
+
+// MaterializedView is a stored query result with its defining plan.
+type MaterializedView struct {
+	Name string
+	Plan algebra.Node
+	// Key is the structural key of the defining plan, used for rewriting.
+	Key   string
+	table *Table
+}
+
+// Table exposes the stored contents.
+func (v *MaterializedView) Table() *Table { return v.table }
+
+// Materialize executes the plan and stores the result under the given name
+// (reads and the final write are counted on the database counter).
+func (db *DB) Materialize(name string, plan algebra.Node) (*MaterializedView, error) {
+	if name == "" {
+		return nil, fmt.Errorf("engine: view must have a name")
+	}
+	if _, dup := db.views[name]; dup {
+		return nil, fmt.Errorf("engine: view %s already exists", name)
+	}
+	if _, dup := db.tables[name]; dup {
+		return nil, fmt.Errorf("engine: view %s collides with a base table", name)
+	}
+	res, err := db.Execute(plan)
+	if err != nil {
+		return nil, err
+	}
+	res.Table.Name = name
+	v := &MaterializedView{
+		Name:  name,
+		Plan:  plan,
+		Key:   algebra.StructuralKey(plan),
+		table: res.Table,
+	}
+	db.views[name] = v
+	return v, nil
+}
+
+// Refresh recomputes a view from base tables (the paper's maintenance
+// policy) and reports the I/O spent.
+func (db *DB) Refresh(name string) (*Result, error) {
+	v, ok := db.views[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown view %q", name)
+	}
+	res, err := db.Execute(v.Plan)
+	if err != nil {
+		return nil, err
+	}
+	res.Table.Name = name
+	v.table = res.Table
+	return res, nil
+}
+
+// RefreshAll refreshes every view, sharing nothing (each view recomputes
+// from base tables); returns total I/O per view.
+func (db *DB) RefreshAll() (map[string]*Result, error) {
+	out := make(map[string]*Result, len(db.views))
+	for _, name := range db.Views() {
+		res, err := db.Refresh(name)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = res
+	}
+	return out, nil
+}
+
+// Views lists view names, sorted.
+func (db *DB) Views() []string {
+	out := make([]string, 0, len(db.views))
+	for name := range db.views {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// View looks up a materialized view.
+func (db *DB) View(name string) (*MaterializedView, error) {
+	v, ok := db.views[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown view %q", name)
+	}
+	return v, nil
+}
+
+// DropView removes a materialized view.
+func (db *DB) DropView(name string) error {
+	if _, ok := db.views[name]; !ok {
+		return fmt.Errorf("engine: unknown view %q", name)
+	}
+	delete(db.views, name)
+	return nil
+}
+
+// RewriteWithViewsSubsuming extends RewriteWithViews with predicate
+// subsumption: a subtree σp(S) can be answered from a view σq(S') when S
+// and S' compute the same relation and p implies q — the query re-applies
+// its own filter over the (smaller) stored view. This is how ad-hoc
+// queries profit from the Figure-8 style shared disjunctive filters
+// (σ city='LA' is answerable from a stored σ city='LA' ∨ city='SF').
+func (db *DB) RewriteWithViewsSubsuming(plan algebra.Node) algebra.Node {
+	exact := make(map[string]*MaterializedView, len(db.views))
+	for _, v := range db.views {
+		exact[v.Key] = v
+	}
+	var rewrite func(n algebra.Node) algebra.Node
+	rewrite = func(n algebra.Node) algebra.Node {
+		if v, ok := exact[algebra.StructuralKey(n)]; ok {
+			return algebra.NewScan(v.Name, v.table.Schema)
+		}
+		if repl, ok := db.subsumeSelect(n); ok {
+			return repl
+		}
+		switch t := n.(type) {
+		case *algebra.Select:
+			return algebra.NewSelect(rewrite(t.Input), t.Pred)
+		case *algebra.Project:
+			return algebra.NewProject(rewrite(t.Input), t.Cols)
+		case *algebra.Join:
+			return algebra.NewJoin(rewrite(t.Left), rewrite(t.Right), t.On)
+		case *algebra.Aggregate:
+			return algebra.NewAggregate(rewrite(t.Input), t.GroupBy, t.Aggs)
+		default:
+			return n
+		}
+	}
+	return rewrite(plan)
+}
+
+// subsumeSelect tries to answer σp(S) (or a bare S) from a view σq(S') with
+// p ⇒ q. The query's full filter is re-applied over the view, which is
+// always sound.
+func (db *DB) subsumeSelect(n algebra.Node) (algebra.Node, bool) {
+	var pred algebra.Predicate
+	input := n
+	if sel, ok := n.(*algebra.Select); ok {
+		pred = sel.Pred
+		input = sel.Input
+	}
+	inputKey := algebra.SemanticKey(input)
+	for _, name := range db.Views() {
+		v := db.views[name]
+		vSel, ok := v.Plan.(*algebra.Select)
+		if !ok {
+			continue
+		}
+		if algebra.SemanticKey(vSel.Input) != inputKey {
+			continue
+		}
+		if !algebra.Implies(pred, vSel.Pred) {
+			continue
+		}
+		if !n.Schema().Equal(v.table.Schema) {
+			continue
+		}
+		scan := algebra.NewScan(v.Name, v.table.Schema)
+		if pred == nil {
+			// p ⇒ q with p = true means q = true as well; the view is the
+			// whole input.
+			return scan, true
+		}
+		return algebra.NewSelect(scan, pred), true
+	}
+	return nil, false
+}
+
+// RewriteWithViews returns an equivalent plan in which every subtree whose
+// structural key matches a materialized view is replaced by a scan of that
+// view. Matching is top-down, so the largest materialized subtree wins.
+func (db *DB) RewriteWithViews(plan algebra.Node) algebra.Node {
+	byKey := make(map[string]*MaterializedView, len(db.views))
+	for _, v := range db.views {
+		byKey[v.Key] = v
+	}
+	var rewrite func(n algebra.Node) algebra.Node
+	rewrite = func(n algebra.Node) algebra.Node {
+		if v, ok := byKey[algebra.StructuralKey(n)]; ok {
+			return algebra.NewScan(v.Name, v.table.Schema)
+		}
+		switch t := n.(type) {
+		case *algebra.Select:
+			return algebra.NewSelect(rewrite(t.Input), t.Pred)
+		case *algebra.Project:
+			return algebra.NewProject(rewrite(t.Input), t.Cols)
+		case *algebra.Join:
+			return algebra.NewJoin(rewrite(t.Left), rewrite(t.Right), t.On)
+		default:
+			return n
+		}
+	}
+	return rewrite(plan)
+}

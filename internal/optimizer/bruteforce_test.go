@@ -1,0 +1,193 @@
+package optimizer_test
+
+import (
+	"testing"
+
+	"github.com/warehousekit/mvpp/internal/algebra"
+	"github.com/warehousekit/mvpp/internal/cost"
+	"github.com/warehousekit/mvpp/internal/optimizer"
+	"github.com/warehousekit/mvpp/internal/sqlparse"
+)
+
+// enumerateJoinTrees produces every join tree (all shapes, all
+// orientations) over the given leaf plans, joining only connected subsets.
+func enumerateJoinTrees(leaves map[string]algebra.Node, conds []algebra.JoinCond) []algebra.Node {
+	names := make([]string, 0, len(leaves))
+	for n := range leaves {
+		names = append(names, n)
+	}
+	// memo by bitmask
+	memo := map[uint][]algebra.Node{}
+	var build func(mask uint) []algebra.Node
+	build = func(mask uint) []algebra.Node {
+		if got, ok := memo[mask]; ok {
+			return got
+		}
+		var out []algebra.Node
+		// single relation
+		count := 0
+		var only int
+		for i := range names {
+			if mask&(1<<uint(i)) != 0 {
+				count++
+				only = i
+			}
+		}
+		if count == 1 {
+			out = []algebra.Node{leaves[names[only]]}
+			memo[mask] = out
+			return out
+		}
+		// ordered splits
+		for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+			other := mask ^ sub
+			leftTrees := build(sub)
+			rightTrees := build(other)
+			for _, lt := range leftTrees {
+				for _, rt := range rightTrees {
+					var on []algebra.JoinCond
+					for _, c := range conds {
+						switch {
+						case lt.Schema().Has(c.Left) && rt.Schema().Has(c.Right):
+							on = append(on, c)
+						case lt.Schema().Has(c.Right) && rt.Schema().Has(c.Left):
+							on = append(on, algebra.JoinCond{Left: c.Right, Right: c.Left})
+						}
+					}
+					if len(on) == 0 {
+						continue
+					}
+					out = append(out, algebra.NewJoin(lt, rt, on))
+				}
+			}
+		}
+		memo[mask] = out
+		return out
+	}
+	full := uint(1)<<uint(len(names)) - 1
+	return build(full)
+}
+
+// TestOptimizerMatchesBruteForce verifies the join-order DP finds the true
+// minimum over the full plan space for each paper query.
+func TestOptimizerMatchesBruteForce(t *testing.T) {
+	ex := loadExample(t)
+	est := cost.NewEstimator(ex.Catalog, cost.PaperOptions())
+	model := &cost.PaperModel{}
+	opt := optimizer.New(est, model, optimizer.Options{KeepAllColumns: true})
+
+	for _, q := range ex.Queries {
+		_, optCost, err := opt.Optimize(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+
+		// Brute force over the same plan space: leaf selections pushed,
+		// residuals and the projection applied identically on top.
+		leaves := map[string]algebra.Node{}
+		var residual []algebra.Predicate
+		leafPred := map[string][]algebra.Predicate{}
+		for _, p := range q.Selections {
+			rels := map[string]bool{}
+			for _, ref := range p.Columns() {
+				rels[ref.Relation] = true
+			}
+			if len(rels) == 1 {
+				for rel := range rels {
+					leafPred[rel] = append(leafPred[rel], p)
+				}
+				continue
+			}
+			residual = append(residual, p)
+		}
+		for _, rel := range q.Relations {
+			scan, err := ex.Catalog.Scan(rel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var leaf algebra.Node = scan
+			if pred := algebra.NewAnd(leafPred[rel]...); pred != nil {
+				leaf = algebra.NewSelect(leaf, pred)
+			}
+			leaves[rel] = leaf
+		}
+		trees := enumerateJoinTrees(leaves, q.JoinConds)
+		if len(trees) == 0 {
+			t.Fatalf("%s: no brute-force plans", q.Name)
+		}
+		best := -1.0
+		for _, tree := range trees {
+			plan := tree
+			if pred := algebra.NewAnd(residual...); pred != nil {
+				plan = algebra.NewSelect(plan, pred)
+			}
+			if len(q.Output) > 0 {
+				plan = algebra.NewProject(plan, q.Output)
+			}
+			c, err := est.PlanCost(model, plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if best < 0 || c < best {
+				best = c
+			}
+		}
+		if optCost > best+1e-6 {
+			t.Errorf("%s: optimizer cost %v, brute-force minimum %v over %d plans",
+				q.Name, optCost, best, len(trees))
+		}
+		if optCost < best-1e-6 {
+			t.Errorf("%s: optimizer cost %v below brute-force minimum %v — plan space mismatch",
+				q.Name, optCost, best)
+		}
+	}
+}
+
+// TestOptimizerMatchesBruteForceDefaultMode repeats the check under the
+// principled estimator, where sizes propagate through selectivities and
+// orientation matters more.
+func TestOptimizerMatchesBruteForceDefaultMode(t *testing.T) {
+	ex := loadExample(t)
+	est := cost.NewEstimator(ex.Catalog, cost.DefaultOptions())
+	model := &cost.BlockNLJModel{}
+	opt := optimizer.New(est, model, optimizer.Options{KeepAllColumns: true})
+
+	q, err := sqlparse.BindQuery(ex.Catalog, "QX",
+		`SELECT Customer.name, Product.name FROM Product, Division, Order, Customer
+		 WHERE Division.city = 'LA' AND Product.Did = Division.Did
+		   AND Product.Pid = Order.Pid AND Order.Cid = Customer.Cid`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, optCost, err := opt.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	leaves := map[string]algebra.Node{}
+	for _, rel := range q.Relations {
+		scan, err := ex.Catalog.Scan(rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var leaf algebra.Node = scan
+		if rel == "Division" {
+			leaf = algebra.NewSelect(leaf, q.Selections[0])
+		}
+		leaves[rel] = leaf
+	}
+	best := -1.0
+	for _, tree := range enumerateJoinTrees(leaves, q.JoinConds) {
+		plan := algebra.NewProject(tree, q.Output)
+		c, err := est.PlanCost(model, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best < 0 || c < best {
+			best = c
+		}
+	}
+	if optCost > best+1e-6 || optCost < best-1e-6 {
+		t.Errorf("optimizer %v vs brute force %v", optCost, best)
+	}
+}

@@ -1,0 +1,249 @@
+// Package optimizer implements the single-query optimizer the MVPP design
+// framework builds on: for each bound SPJ query it enumerates join orders
+// with dynamic programming over connected relation subsets, applies
+// selection push-down and column pruning, and returns the cheapest plan
+// under the configured cost model. These per-query optimal plans are the
+// inputs to the multiple-MVPP generation algorithm (paper Figure 4, step 1).
+package optimizer
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/warehousekit/mvpp/internal/algebra"
+	"github.com/warehousekit/mvpp/internal/cost"
+	"github.com/warehousekit/mvpp/internal/sqlparse"
+)
+
+// MaxRelations bounds the DP table size (2^n subsets).
+const MaxRelations = 16
+
+// Options configures plan enumeration.
+type Options struct {
+	// LeftDeepOnly restricts enumeration to left-deep trees (one base
+	// relation joins the accumulated result at each step), the shape the
+	// paper's Figure 5 plans have. Bushy plans are allowed when false.
+	LeftDeepOnly bool
+	// KeepAllColumns disables column pruning (projection push-down) on the
+	// returned plan.
+	KeepAllColumns bool
+}
+
+// Optimizer chooses cheapest plans for bound queries.
+type Optimizer struct {
+	est   *cost.Estimator
+	model cost.Model
+	opts  Options
+}
+
+// New builds an optimizer over the estimator and cost model.
+func New(est *cost.Estimator, model cost.Model, opts Options) *Optimizer {
+	return &Optimizer{est: est, model: model, opts: opts}
+}
+
+// candidate is a DP table entry.
+type candidate struct {
+	plan algebra.Node
+	cost float64
+}
+
+// Optimize returns the cheapest plan for the query and its estimated cost
+// (the paper's Ca of the query root).
+func (o *Optimizer) Optimize(q *sqlparse.Query) (algebra.Node, float64, error) {
+	if len(q.Relations) == 0 {
+		return nil, 0, fmt.Errorf("optimizer: query %s has no relations", q.Name)
+	}
+	if len(q.Relations) > MaxRelations {
+		return nil, 0, fmt.Errorf("optimizer: query %s joins %d relations; maximum is %d",
+			q.Name, len(q.Relations), MaxRelations)
+	}
+
+	relIndex := make(map[string]int, len(q.Relations))
+	for i, r := range q.Relations {
+		relIndex[r] = i
+	}
+
+	// Partition selections into single-relation conjuncts (pushed onto
+	// leaves before enumeration so they shape intermediate sizes) and
+	// residual predicates applied after join enumeration.
+	leafPreds := make([][]algebra.Predicate, len(q.Relations))
+	var residual []algebra.Predicate
+	for _, p := range q.Selections {
+		rels := predRelations(p)
+		if len(rels) == 1 {
+			if i, ok := relIndex[rels[0]]; ok {
+				leafPreds[i] = append(leafPreds[i], p)
+				continue
+			}
+		}
+		residual = append(residual, p)
+	}
+
+	// DP base: per-relation access paths.
+	best := make(map[uint]candidate, 1<<len(q.Relations))
+	for i, rel := range q.Relations {
+		schema, err := o.est.Catalog().Schema(rel)
+		if err != nil {
+			return nil, 0, fmt.Errorf("optimizer: query %s: %w", q.Name, err)
+		}
+		var plan algebra.Node = algebra.NewScan(rel, schema)
+		c := 0.0
+		if pred := algebra.NewAnd(leafPreds[i]...); pred != nil {
+			plan = algebra.NewSelect(plan, pred)
+			oc, err := o.est.OpCost(o.model, plan)
+			if err != nil {
+				return nil, 0, err
+			}
+			c = oc
+		}
+		best[1<<uint(i)] = candidate{plan: plan, cost: c}
+	}
+
+	// Join conditions by the pair of relations they connect.
+	type edge struct {
+		cond        algebra.JoinCond
+		left, right int
+	}
+	var edges []edge
+	for _, c := range q.JoinConds {
+		li, lok := relIndex[c.Left.Relation]
+		ri, rok := relIndex[c.Right.Relation]
+		if !lok || !rok {
+			return nil, 0, fmt.Errorf("optimizer: query %s: join condition %s references unknown relation", q.Name, c)
+		}
+		edges = append(edges, edge{cond: c, left: li, right: ri})
+	}
+
+	full := uint(1)<<uint(len(q.Relations)) - 1
+	// Enumerate subsets in increasing popcount order.
+	for size := 2; size <= len(q.Relations); size++ {
+		for mask := uint(1); mask <= full; mask++ {
+			if bits.OnesCount(mask) != size {
+				continue
+			}
+			var bestHere candidate
+			bestOuter := 0.0
+			found := false
+			// Enumerate splits: sub iterates proper non-empty submasks.
+			for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+				other := mask ^ sub
+				if sub > other {
+					continue // each unordered split once; orientation handled below
+				}
+				l, lok := best[sub]
+				r, rok := best[other]
+				if !lok || !rok {
+					continue
+				}
+				if o.opts.LeftDeepOnly && bits.OnesCount(sub) > 1 && bits.OnesCount(other) > 1 {
+					continue
+				}
+				// Collect conditions connecting the two sides, oriented for
+				// a (sub=left, other=right) join.
+				var onLR, onRL []algebra.JoinCond
+				for _, e := range edges {
+					lBit, rBit := uint(1)<<uint(e.left), uint(1)<<uint(e.right)
+					switch {
+					case sub&lBit != 0 && other&rBit != 0:
+						onLR = append(onLR, e.cond)
+						onRL = append(onRL, algebra.JoinCond{Left: e.cond.Right, Right: e.cond.Left})
+					case sub&rBit != 0 && other&lBit != 0:
+						onLR = append(onLR, algebra.JoinCond{Left: e.cond.Right, Right: e.cond.Left})
+						onRL = append(onRL, e.cond)
+					}
+				}
+				if len(onLR) == 0 {
+					continue // not connected: skip cartesian plans
+				}
+				for _, orient := range []struct {
+					outer, inner candidate
+					on           []algebra.JoinCond
+				}{
+					{l, r, onLR},
+					{r, l, onRL},
+				} {
+					j := algebra.NewJoin(orient.outer.plan, orient.inner.plan, orient.on)
+					oc, err := o.est.OpCost(o.model, j)
+					if err != nil {
+						return nil, 0, err
+					}
+					outerEst, err := o.est.Estimate(orient.outer.plan)
+					if err != nil {
+						return nil, 0, err
+					}
+					total := orient.outer.cost + orient.inner.cost + oc
+					// Deterministic tie-break: under orientation-symmetric
+					// models (the paper's b_o·b_i), prefer the smaller outer.
+					better := !found || total < bestHere.cost-1e-9 ||
+						(total < bestHere.cost+1e-9 && outerEst.Blocks < bestOuter)
+					if better {
+						bestHere = candidate{plan: j, cost: total}
+						bestOuter = outerEst.Blocks
+						found = true
+					}
+				}
+			}
+			if found {
+				best[mask] = bestHere
+			}
+		}
+	}
+
+	final, ok := best[full]
+	if !ok {
+		return nil, 0, fmt.Errorf("optimizer: query %s: join graph is disconnected", q.Name)
+	}
+	plan := final.plan
+
+	// Residual (multi-relation) selections go on top, then sink as deep as
+	// their column sets allow.
+	if pred := algebra.NewAnd(residual...); pred != nil {
+		plan = algebra.PushDownSelections(algebra.NewSelect(plan, pred))
+	}
+	switch {
+	case q.IsAggregate():
+		plan = algebra.NewAggregate(plan, q.GroupBy, q.Aggregates)
+	case len(q.Output) > 0:
+		plan = algebra.NewProject(plan, q.Output)
+	}
+	if !o.opts.KeepAllColumns {
+		plan = algebra.PruneColumns(plan, nil)
+	}
+	plan = algebra.Normalize(plan)
+	if err := algebra.Validate(plan); err != nil {
+		return nil, 0, fmt.Errorf("optimizer: query %s produced invalid plan: %w", q.Name, err)
+	}
+	totalCost, err := o.est.PlanCost(o.model, plan)
+	if err != nil {
+		return nil, 0, err
+	}
+	return plan, totalCost, nil
+}
+
+// OptimizeAll optimizes every query, returning plans in input order.
+func (o *Optimizer) OptimizeAll(queries []*sqlparse.Query) ([]algebra.Node, []float64, error) {
+	plans := make([]algebra.Node, len(queries))
+	costs := make([]float64, len(queries))
+	for i, q := range queries {
+		p, c, err := o.Optimize(q)
+		if err != nil {
+			return nil, nil, err
+		}
+		plans[i] = p
+		costs[i] = c
+	}
+	return plans, costs, nil
+}
+
+// predRelations returns the distinct relations a predicate references.
+func predRelations(p algebra.Predicate) []string {
+	seen := make(map[string]bool, 2)
+	var out []string
+	for _, ref := range p.Columns() {
+		if ref.Relation != "" && !seen[ref.Relation] {
+			seen[ref.Relation] = true
+			out = append(out, ref.Relation)
+		}
+	}
+	return out
+}

@@ -1,0 +1,333 @@
+package optimizer_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/warehousekit/mvpp/internal/algebra"
+	"github.com/warehousekit/mvpp/internal/cost"
+	"github.com/warehousekit/mvpp/internal/optimizer"
+	"github.com/warehousekit/mvpp/internal/paper"
+	"github.com/warehousekit/mvpp/internal/sqlparse"
+)
+
+func loadExample(t *testing.T) *paper.Example {
+	t.Helper()
+	ex, err := paper.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ex
+}
+
+func newOptimizer(t *testing.T, ex *paper.Example, opts optimizer.Options) *optimizer.Optimizer {
+	t.Helper()
+	est := cost.NewEstimator(ex.Catalog, cost.DefaultOptions())
+	return optimizer.New(est, &cost.PaperModel{}, opts)
+}
+
+func queryByName(t *testing.T, ex *paper.Example, name string) *sqlparse.Query {
+	t.Helper()
+	for _, q := range ex.Queries {
+		if q.Name == name {
+			return q
+		}
+	}
+	t.Fatalf("query %s not found", name)
+	return nil
+}
+
+func TestOptimizeAllPaperQueriesProduceValidPlans(t *testing.T) {
+	ex := loadExample(t)
+	opt := newOptimizer(t, ex, optimizer.Options{})
+	plans, costs, err := opt.OptimizeAll(ex.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, plan := range plans {
+		if err := algebra.Validate(plan); err != nil {
+			t.Errorf("%s: invalid plan: %v", ex.Queries[i].Name, err)
+		}
+		if costs[i] <= 0 {
+			t.Errorf("%s: cost = %v", ex.Queries[i].Name, costs[i])
+		}
+		// every base relation of the query appears in the plan
+		leaves := algebra.Leaves(plan)
+		if len(leaves) != len(ex.Queries[i].Relations) {
+			t.Errorf("%s: leaves = %v, relations = %v", ex.Queries[i].Name, leaves, ex.Queries[i].Relations)
+		}
+	}
+}
+
+func TestOptimizePushesSelectionOntoDivision(t *testing.T) {
+	ex := loadExample(t)
+	opt := newOptimizer(t, ex, optimizer.Options{})
+	plan, _, err := opt.Optimize(queryByName(t, ex, paper.Q1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The city="LA" selection must sit directly above the Division scan.
+	found := false
+	algebra.Walk(plan, func(n algebra.Node) {
+		if s, ok := n.(*algebra.Select); ok {
+			if sc, ok := s.Input.(*algebra.Scan); ok && sc.Relation == "Division" {
+				if strings.Contains(s.Pred.String(), `city = "LA"`) {
+					found = true
+				}
+			}
+		}
+	})
+	if !found {
+		t.Errorf("selection not pushed to Division scan:\n%s", plan.Canonical())
+	}
+}
+
+func TestOptimizeChoosesFilteredDivisionAsOuter(t *testing.T) {
+	// Under the paper model (cost = b_outer × b_inner + b_out), the cheaper
+	// orientation for Q1's join puts the 10-block filtered Division on the
+	// outer side against the 3000-block Product.
+	ex := loadExample(t)
+	opt := newOptimizer(t, ex, optimizer.Options{})
+	plan, _, err := opt.Optimize(queryByName(t, ex, paper.Q1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var join *algebra.Join
+	algebra.Walk(plan, func(n algebra.Node) {
+		if j, ok := n.(*algebra.Join); ok {
+			join = j
+		}
+	})
+	if join == nil {
+		t.Fatal("no join in plan")
+	}
+	if got := algebra.Leaves(join.Left); len(got) != 1 || got[0] != "Division" {
+		t.Errorf("outer side leaves = %v, want [Division]", got)
+	}
+}
+
+func TestOptimizeCostIsMinimalAmongOrientations(t *testing.T) {
+	// Hand-build both orientations of Q1's join and check the optimizer's
+	// cost is no worse than either.
+	ex := loadExample(t)
+	est := cost.NewEstimator(ex.Catalog, cost.DefaultOptions())
+	model := &cost.PaperModel{}
+	opt := optimizer.New(est, model, optimizer.Options{})
+	_, bestCost, err := opt.Optimize(queryByName(t, ex, paper.Q1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pd, _ := ex.Catalog.Scan("Product")
+	div, _ := ex.Catalog.Scan("Division")
+	sel := algebra.NewSelect(div, algebra.Eq(algebra.Ref("Division", "city"), algebra.StringVal("LA")))
+	for _, plan := range []algebra.Node{
+		algebra.NewProject(algebra.NewJoin(pd, sel,
+			[]algebra.JoinCond{{Left: algebra.Ref("Product", "Did"), Right: algebra.Ref("Division", "Did")}}),
+			[]algebra.ColumnRef{algebra.Ref("Product", "name")}),
+		algebra.NewProject(algebra.NewJoin(sel, pd,
+			[]algebra.JoinCond{{Left: algebra.Ref("Division", "Did"), Right: algebra.Ref("Product", "Did")}}),
+			[]algebra.ColumnRef{algebra.Ref("Product", "name")}),
+	} {
+		c, err := est.PlanCost(model, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bestCost > c+1e-9 {
+			t.Errorf("optimizer cost %v worse than hand-built %v", bestCost, c)
+		}
+	}
+}
+
+func TestOptimizeLeftDeepOnly(t *testing.T) {
+	ex := loadExample(t)
+	opt := newOptimizer(t, ex, optimizer.Options{LeftDeepOnly: true})
+	plan, _, err := opt.Optimize(queryByName(t, ex, paper.Q3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In a left-deep tree, every join has at most one join child among its
+	// two children... precisely: the right child contains no join, OR the
+	// left child contains no join (we allow either orientation for the
+	// single-relation side).
+	algebra.Walk(plan, func(n algebra.Node) {
+		if j, ok := n.(*algebra.Join); ok {
+			leftJoins := countJoins(j.Left)
+			rightJoins := countJoins(j.Right)
+			if leftJoins > 0 && rightJoins > 0 {
+				t.Errorf("bushy join found in left-deep mode:\n%s", plan.Canonical())
+			}
+		}
+	})
+}
+
+func TestBushyNoWorseThanLeftDeep(t *testing.T) {
+	ex := loadExample(t)
+	for _, q := range ex.Queries {
+		bushy := newOptimizer(t, ex, optimizer.Options{})
+		deep := newOptimizer(t, ex, optimizer.Options{LeftDeepOnly: true})
+		_, bc, err := bushy.Optimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, dc, err := deep.Optimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bc > dc+1e-9 {
+			t.Errorf("%s: bushy cost %v > left-deep cost %v", q.Name, bc, dc)
+		}
+	}
+}
+
+func TestOptimizeSingleRelationQuery(t *testing.T) {
+	ex := loadExample(t)
+	q, err := sqlparse.BindQuery(ex.Catalog, "QS", `SELECT Division.name FROM Division WHERE city = 'LA'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := newOptimizer(t, ex, optimizer.Options{})
+	plan, c, err := opt.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := algebra.Validate(plan); err != nil {
+		t.Fatal(err)
+	}
+	// Half scan of Division (250) plus projecting the 10-block selection
+	// result.
+	if c != 260 {
+		t.Errorf("cost = %v, want 260", c)
+	}
+}
+
+func TestOptimizeKeepAllColumns(t *testing.T) {
+	ex := loadExample(t)
+	withPrune := newOptimizer(t, ex, optimizer.Options{})
+	noPrune := newOptimizer(t, ex, optimizer.Options{KeepAllColumns: true})
+	q := queryByName(t, ex, paper.Q1)
+	p1, _, err := withPrune.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _, err := noPrune.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countProjects(p1) <= countProjects(p2) {
+		t.Errorf("pruned plan has %d projections, unpruned %d", countProjects(p1), countProjects(p2))
+	}
+}
+
+func TestOptimizeResidualCrossPredicate(t *testing.T) {
+	// A non-equality cross-relation predicate must survive above the join.
+	ex := loadExample(t)
+	q, err := sqlparse.BindQuery(ex.Catalog, "QX",
+		`SELECT Customer.name FROM Order, Customer WHERE Order.Cid = Customer.Cid AND Order.quantity > Customer.Cid`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := newOptimizer(t, ex, optimizer.Options{})
+	plan, _, err := opt.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	algebra.Walk(plan, func(n algebra.Node) {
+		if s, ok := n.(*algebra.Select); ok {
+			if strings.Contains(s.Pred.String(), "Order.quantity") && strings.Contains(s.Pred.String(), "Customer.Cid") {
+				found = true
+			}
+		}
+	})
+	if !found {
+		t.Errorf("cross predicate lost:\n%s", plan.Canonical())
+	}
+	if err := algebra.Validate(plan); err != nil {
+		t.Errorf("plan invalid: %v", err)
+	}
+}
+
+func TestOptimizeErrors(t *testing.T) {
+	ex := loadExample(t)
+	opt := newOptimizer(t, ex, optimizer.Options{})
+	if _, _, err := opt.Optimize(&sqlparse.Query{Name: "empty"}); err == nil {
+		t.Error("empty query accepted")
+	}
+	// Disconnected join graph: two relations, join condition referencing a
+	// third.
+	q := &sqlparse.Query{
+		Name:      "disc",
+		Relations: []string{"Order", "Customer"},
+		JoinConds: []algebra.JoinCond{{Left: algebra.Ref("Order", "Pid"), Right: algebra.Ref("Product", "Pid")}},
+		Output:    []algebra.ColumnRef{algebra.Ref("Order", "date")},
+	}
+	if _, _, err := opt.Optimize(q); err == nil {
+		t.Error("disconnected query accepted")
+	}
+	// Too many relations.
+	big := &sqlparse.Query{Name: "big", Relations: make([]string, optimizer.MaxRelations+1)}
+	if _, _, err := opt.Optimize(big); err == nil || !strings.Contains(err.Error(), "maximum") {
+		t.Errorf("oversized query error = %v", err)
+	}
+}
+
+func TestOptimizerSharedEstimatorAcrossQueries(t *testing.T) {
+	// Using one estimator for all four queries must give identical results
+	// to fresh estimators per query (memoization must be semantically
+	// transparent).
+	ex := loadExample(t)
+	shared := cost.NewEstimator(ex.Catalog, cost.DefaultOptions())
+	sharedOpt := optimizer.New(shared, &cost.PaperModel{}, optimizer.Options{})
+	for _, q := range ex.Queries {
+		fresh := optimizer.New(cost.NewEstimator(ex.Catalog, cost.DefaultOptions()), &cost.PaperModel{}, optimizer.Options{})
+		p1, c1, err := sharedOpt.Optimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, c2, err := fresh.Optimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c1 != c2 || !algebra.Equal(p1, p2) {
+			t.Errorf("%s: shared-estimator plan differs (cost %v vs %v)", q.Name, c1, c2)
+		}
+	}
+}
+
+func TestOptimizePaperModeCosts(t *testing.T) {
+	// In paper-size mode, Q2's optimal cost should be near the paper's
+	// 50.082m only if the optimizer is forced into the paper's join order;
+	// the optimizer itself finds a cheaper order. Sanity-check both are
+	// positive and the optimizer's choice is no worse.
+	ex := loadExample(t)
+	est := cost.NewEstimator(ex.Catalog, cost.PaperOptions())
+	opt := optimizer.New(est, &cost.PaperModel{}, optimizer.Options{})
+	_, c, err := opt.Optimize(queryByName(t, ex, paper.Q2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c <= 0 || c > 50.082e6+1e-6 {
+		t.Errorf("optimizer paper-mode Q2 cost = %v, want ≤ paper's 50.082m", c)
+	}
+}
+
+func countJoins(n algebra.Node) int {
+	count := 0
+	algebra.Walk(n, func(m algebra.Node) {
+		if _, ok := m.(*algebra.Join); ok {
+			count++
+		}
+	})
+	return count
+}
+
+func countProjects(n algebra.Node) int {
+	count := 0
+	algebra.Walk(n, func(m algebra.Node) {
+		if _, ok := m.(*algebra.Project); ok {
+			count++
+		}
+	})
+	return count
+}

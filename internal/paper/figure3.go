@@ -1,0 +1,85 @@
+package paper
+
+import (
+	"fmt"
+
+	"github.com/warehousekit/mvpp/internal/algebra"
+	"github.com/warehousekit/mvpp/internal/catalog"
+)
+
+// PlanSpec names a query plan.
+type PlanSpec struct {
+	Name string
+	Freq float64
+	Plan algebra.Node
+}
+
+// Figure3Plans builds the four query plans exactly as the paper's Figure 3
+// MVPP structures them, so that merging them by common subexpression yields
+// the paper's vertex set:
+//
+//	tmp1 = σ city="LA"(Division)           shared by Q1, Q2, Q3
+//	tmp2 = Product ⋈ tmp1                  shared by Q1, Q2, Q3
+//	tmp3 = tmp2 ⋈ Part                     Q2
+//	tmp4 = Order ⋈ Customer                shared by Q3, Q4
+//	tmp5 = σ date>7/1/96(tmp4)             Q3
+//	tmp6 = tmp2 ⋈ tmp5                     Q3
+//	tmp7 = σ quantity>100(tmp4)            Q4
+//
+// with each query's projection on top. The plans are built against the
+// catalog's schemas; the Figure-3 reproduction and the core tests both load
+// them.
+func Figure3Plans(cat *catalog.Catalog) ([]PlanSpec, error) {
+	scan := func(name string) (*algebra.Scan, error) { return cat.Scan(name) }
+	pd, err := scan("Product")
+	if err != nil {
+		return nil, err
+	}
+	div, err := scan("Division")
+	if err != nil {
+		return nil, err
+	}
+	pt, err := scan("Part")
+	if err != nil {
+		return nil, err
+	}
+	ord, err := scan("Order")
+	if err != nil {
+		return nil, err
+	}
+	cust, err := scan("Customer")
+	if err != nil {
+		return nil, err
+	}
+
+	july1, err := algebra.ParseDate("7/1/96")
+	if err != nil {
+		return nil, err
+	}
+
+	tmp1 := algebra.NewSelect(div, algebra.Eq(algebra.Ref("Division", "city"), algebra.StringVal("LA")))
+	pdDid := []algebra.JoinCond{{Left: algebra.Ref("Product", "Did"), Right: algebra.Ref("Division", "Did")}}
+	tmp2 := algebra.NewJoin(pd, tmp1, pdDid)
+	tmp3 := algebra.NewJoin(tmp2, pt, []algebra.JoinCond{{Left: algebra.Ref("Product", "Pid"), Right: algebra.Ref("Part", "Pid")}})
+	tmp4 := algebra.NewJoin(ord, cust, []algebra.JoinCond{{Left: algebra.Ref("Order", "Cid"), Right: algebra.Ref("Customer", "Cid")}})
+	tmp5 := algebra.NewSelect(tmp4, algebra.Compare(
+		algebra.ColOperand(algebra.Ref("Order", "date")), algebra.OpGt, algebra.LitOperand(july1)))
+	tmp6 := algebra.NewJoin(tmp2, tmp5, []algebra.JoinCond{{Left: algebra.Ref("Product", "Pid"), Right: algebra.Ref("Order", "Pid")}})
+	tmp7 := algebra.NewSelect(tmp4, algebra.Compare(
+		algebra.ColOperand(algebra.Ref("Order", "quantity")), algebra.OpGt, algebra.LitOperand(algebra.IntVal(100))))
+
+	specs := []PlanSpec{
+		{Q1, Frequencies[Q1], algebra.NewProject(tmp2, []algebra.ColumnRef{algebra.Ref("Product", "name")})},
+		{Q2, Frequencies[Q2], algebra.NewProject(tmp3, []algebra.ColumnRef{algebra.Ref("Part", "name")})},
+		{Q3, Frequencies[Q3], algebra.NewProject(tmp6, []algebra.ColumnRef{
+			algebra.Ref("Customer", "name"), algebra.Ref("Product", "name"), algebra.Ref("Order", "quantity")})},
+		{Q4, Frequencies[Q4], algebra.NewProject(tmp7, []algebra.ColumnRef{
+			algebra.Ref("Customer", "city"), algebra.Ref("Order", "date")})},
+	}
+	for _, s := range specs {
+		if err := algebra.Validate(s.Plan); err != nil {
+			return nil, fmt.Errorf("paper: figure 3 plan %s: %w", s.Name, err)
+		}
+	}
+	return specs, nil
+}

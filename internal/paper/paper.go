@@ -1,0 +1,234 @@
+// Package paper encodes the running example of Yang, Karlapalem & Li: the
+// five member-database relations with the statistics of Table 1, the four
+// warehouse queries of §2 with their access frequencies, and the update
+// frequencies of the base relations. Every experiment reproduction loads
+// this package.
+//
+// The package is deliberately dependency-light (catalog + sqlparse only) so
+// that any layer's tests can import it; figure/table regeneration lives in
+// internal/repro.
+package paper
+
+import (
+	"fmt"
+
+	"github.com/warehousekit/mvpp/internal/algebra"
+	"github.com/warehousekit/mvpp/internal/catalog"
+	"github.com/warehousekit/mvpp/internal/sqlparse"
+)
+
+// Query names.
+const (
+	Q1 = "Q1"
+	Q2 = "Q2"
+	Q3 = "Q3"
+	Q4 = "Q4"
+)
+
+// SQL holds the four warehouse queries of §2, written against the full
+// relation names (the paper abbreviates Product as Pd etc.).
+var SQL = map[string]string{
+	Q1: `SELECT Product.name FROM Product, Division WHERE Division.city = 'LA' AND Product.Did = Division.Did`,
+	Q2: `SELECT Part.name FROM Product, Part, Division WHERE Division.city = 'LA' AND Product.Did = Division.Did AND Part.Pid = Product.Pid`,
+	Q3: `SELECT Customer.name, Product.name, quantity FROM Product, Division, Order, Customer WHERE Division.city = 'LA' AND Product.Did = Division.Did AND Product.Pid = Order.Pid AND Order.Cid = Customer.Cid AND date > 7/1/96`,
+	Q4: `SELECT Customer.city, date FROM Order, Customer WHERE quantity > 100 AND Order.Cid = Customer.Cid`,
+}
+
+// QueryOrder lists the queries in paper order.
+var QueryOrder = []string{Q1, Q2, Q3, Q4}
+
+// Frequencies are the per-period query access frequencies fq (§2: "10 for
+// query1, 0.5 for query2, 0.8 for query3, and 5 for query4").
+var Frequencies = map[string]float64{
+	Q1: 10,
+	Q2: 0.5,
+	Q3: 0.8,
+	Q4: 5,
+}
+
+// Table1Row is one row of the paper's Table 1.
+type Table1Row struct {
+	Relation    string
+	Rows        float64
+	Blocks      float64
+	Selectivity string // the paper's s / js column, as printed
+}
+
+// Table1 lists the statistics exactly as the paper's Table 1 prints them
+// (including the join-result rows used as pinned sizes).
+var Table1 = []Table1Row{
+	{"Product", 30000, 3000, "js = 1/30k"},
+	{"Division", 5000, 500, "s = 0.02"},
+	{"Order", 50000, 6000, "js = 1/5k"},
+	{"Customer", 20000, 2000, "s = 0.5"},
+	{"Part", 80000, 10000, "js = 1/20k"},
+	{"Product⋈Division", 30000, 5000, ""},
+	{"Product⋈Division⋈Part", 80000, 20000, ""},
+	{"Order⋈Customer", 25000, 5000, ""},
+	{"Product⋈Division⋈Order⋈Customer", 25000, 5000, ""},
+}
+
+// NewCatalog builds the Table-1 catalog: relation sizes, attribute
+// statistics consistent with the paper's selectivities, pinned predicate
+// selectivities (s = 0.02 for city="LA", s = 0.5 for the Order range
+// predicates), and pinned join-result sizes for paper-mode estimation.
+// All base relations are updated once per period (fu = 1).
+func NewCatalog() (*catalog.Catalog, error) {
+	c := catalog.New()
+
+	rels := []*catalog.Relation{
+		{
+			Name: "Product",
+			Schema: algebra.NewSchema(
+				algebra.Column{Relation: "Product", Name: "Pid", Type: algebra.TypeInt},
+				algebra.Column{Relation: "Product", Name: "name", Type: algebra.TypeString},
+				algebra.Column{Relation: "Product", Name: "Did", Type: algebra.TypeInt},
+			),
+			Rows: 30000, Blocks: 3000, UpdateFrequency: 1,
+			Attrs: map[string]catalog.AttrStats{
+				"Pid":  {DistinctValues: 30000},
+				"Did":  {DistinctValues: 5000},
+				"name": {DistinctValues: 25000},
+			},
+		},
+		{
+			Name: "Division",
+			Schema: algebra.NewSchema(
+				algebra.Column{Relation: "Division", Name: "Did", Type: algebra.TypeInt},
+				algebra.Column{Relation: "Division", Name: "name", Type: algebra.TypeString},
+				algebra.Column{Relation: "Division", Name: "city", Type: algebra.TypeString},
+			),
+			Rows: 5000, Blocks: 500, UpdateFrequency: 1,
+			Attrs: map[string]catalog.AttrStats{
+				"Did":  {DistinctValues: 5000},
+				"name": {DistinctValues: 4000},
+				"city": {DistinctValues: 50}, // 1/50 = the paper's s = 0.02
+			},
+		},
+		{
+			Name: "Order",
+			Schema: algebra.NewSchema(
+				algebra.Column{Relation: "Order", Name: "Pid", Type: algebra.TypeInt},
+				algebra.Column{Relation: "Order", Name: "Cid", Type: algebra.TypeInt},
+				algebra.Column{Relation: "Order", Name: "quantity", Type: algebra.TypeInt},
+				algebra.Column{Relation: "Order", Name: "date", Type: algebra.TypeDate},
+			),
+			Rows: 50000, Blocks: 6000, UpdateFrequency: 1,
+			Attrs: map[string]catalog.AttrStats{
+				"Pid":      {DistinctValues: 30000},
+				"Cid":      {DistinctValues: 20000},
+				"quantity": {DistinctValues: 200, Min: algebra.IntVal(1), Max: algebra.IntVal(200)},
+				"date":     {DistinctValues: 365},
+			},
+		},
+		{
+			Name: "Customer",
+			Schema: algebra.NewSchema(
+				algebra.Column{Relation: "Customer", Name: "Cid", Type: algebra.TypeInt},
+				algebra.Column{Relation: "Customer", Name: "name", Type: algebra.TypeString},
+				algebra.Column{Relation: "Customer", Name: "city", Type: algebra.TypeString},
+			),
+			Rows: 20000, Blocks: 2000, UpdateFrequency: 1,
+			Attrs: map[string]catalog.AttrStats{
+				"Cid":  {DistinctValues: 20000},
+				"name": {DistinctValues: 18000},
+				"city": {DistinctValues: 50},
+			},
+		},
+		{
+			Name: "Part",
+			Schema: algebra.NewSchema(
+				algebra.Column{Relation: "Part", Name: "Tid", Type: algebra.TypeInt},
+				algebra.Column{Relation: "Part", Name: "name", Type: algebra.TypeString},
+				algebra.Column{Relation: "Part", Name: "Pid", Type: algebra.TypeInt},
+				algebra.Column{Relation: "Part", Name: "supplier", Type: algebra.TypeString},
+			),
+			Rows: 80000, Blocks: 10000, UpdateFrequency: 1,
+			Attrs: map[string]catalog.AttrStats{
+				"Tid":      {DistinctValues: 80000},
+				"name":     {DistinctValues: 60000},
+				"Pid":      {DistinctValues: 30000},
+				"supplier": {DistinctValues: 500},
+			},
+		},
+	}
+	for _, r := range rels {
+		if err := c.AddRelation(r); err != nil {
+			return nil, fmt.Errorf("paper: %w", err)
+		}
+	}
+
+	// Pinned selectivities, exactly as Table 1 states them.
+	july1, err := algebra.ParseDate("7/1/96")
+	if err != nil {
+		return nil, fmt.Errorf("paper: %w", err)
+	}
+	pins := []struct {
+		pred algebra.Predicate
+		s    float64
+	}{
+		{algebra.Eq(algebra.Ref("Division", "city"), algebra.StringVal("LA")), 0.02},
+		{algebra.Compare(algebra.ColOperand(algebra.Ref("Order", "date")), algebra.OpGt, algebra.LitOperand(july1)), 0.5},
+		{algebra.Compare(algebra.ColOperand(algebra.Ref("Order", "quantity")), algebra.OpGt, algebra.LitOperand(algebra.IntVal(100))), 0.5},
+	}
+	for _, p := range pins {
+		if err := c.SetPredicateSelectivity(p.pred, p.s); err != nil {
+			return nil, fmt.Errorf("paper: %w", err)
+		}
+	}
+
+	// Pinned join-result sizes from Table 1 (paper-mode estimation).
+	sizes := []struct {
+		rels []string
+		sz   catalog.JoinSize
+	}{
+		{[]string{"Product", "Division"}, catalog.JoinSize{Rows: 30000, Blocks: 5000}},
+		{[]string{"Product", "Division", "Part"}, catalog.JoinSize{Rows: 80000, Blocks: 20000}},
+		{[]string{"Order", "Customer"}, catalog.JoinSize{Rows: 25000, Blocks: 5000}},
+		{[]string{"Product", "Division", "Order", "Customer"}, catalog.JoinSize{Rows: 25000, Blocks: 5000}},
+	}
+	for _, s := range sizes {
+		if err := c.PinJoinSize(s.rels, s.sz); err != nil {
+			return nil, fmt.Errorf("paper: %w", err)
+		}
+	}
+	return c, nil
+}
+
+// Queries binds the four warehouse queries against the catalog, in paper
+// order.
+func Queries(cat *catalog.Catalog) ([]*sqlparse.Query, error) {
+	out := make([]*sqlparse.Query, 0, len(QueryOrder))
+	for _, name := range QueryOrder {
+		q, err := sqlparse.BindQuery(cat, name, SQL[name])
+		if err != nil {
+			return nil, fmt.Errorf("paper: %w", err)
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+// Example bundles everything a reproduction needs.
+type Example struct {
+	Catalog     *catalog.Catalog
+	Queries     []*sqlparse.Query
+	Frequencies map[string]float64
+}
+
+// Load builds the complete paper example.
+func Load() (*Example, error) {
+	cat, err := NewCatalog()
+	if err != nil {
+		return nil, err
+	}
+	qs, err := Queries(cat)
+	if err != nil {
+		return nil, err
+	}
+	fq := make(map[string]float64, len(Frequencies))
+	for k, v := range Frequencies {
+		fq[k] = v
+	}
+	return &Example{Catalog: cat, Queries: qs, Frequencies: fq}, nil
+}

@@ -1,0 +1,171 @@
+package paper
+
+import (
+	"testing"
+
+	"github.com/warehousekit/mvpp/internal/algebra"
+)
+
+func TestNewCatalogRelationSizes(t *testing.T) {
+	c, err := NewCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name          string
+		rows, blocks  float64
+		schemaColumns int
+	}{
+		{"Product", 30000, 3000, 3},
+		{"Division", 5000, 500, 3},
+		{"Order", 50000, 6000, 4},
+		{"Customer", 20000, 2000, 3},
+		{"Part", 80000, 10000, 4},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			rel, err := c.Relation(tt.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rel.Rows != tt.rows || rel.Blocks != tt.blocks {
+				t.Errorf("size = %v rows / %v blocks, want %v / %v", rel.Rows, rel.Blocks, tt.rows, tt.blocks)
+			}
+			if rel.Schema.Len() != tt.schemaColumns {
+				t.Errorf("schema width = %d, want %d", rel.Schema.Len(), tt.schemaColumns)
+			}
+			if rel.UpdateFrequency != 1 {
+				t.Errorf("fu = %v, want 1", rel.UpdateFrequency)
+			}
+		})
+	}
+}
+
+func TestPaperSelectivities(t *testing.T) {
+	c, err := NewCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	la := algebra.Eq(algebra.Ref("Division", "city"), algebra.StringVal("LA"))
+	if got := c.PredicateSelectivity(la); got != 0.02 {
+		t.Errorf("s(city=LA) = %v, want 0.02", got)
+	}
+	q100 := algebra.Compare(
+		algebra.ColOperand(algebra.Ref("Order", "quantity")), algebra.OpGt,
+		algebra.LitOperand(algebra.IntVal(100)))
+	if got := c.PredicateSelectivity(q100); got != 0.5 {
+		t.Errorf("s(quantity>100) = %v, want 0.5", got)
+	}
+	july1, err := algebra.ParseDate("7/1/96")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt := algebra.Compare(
+		algebra.ColOperand(algebra.Ref("Order", "date")), algebra.OpGt,
+		algebra.LitOperand(july1))
+	if got := c.PredicateSelectivity(dt); got != 0.5 {
+		t.Errorf("s(date>7/1/96) = %v, want 0.5", got)
+	}
+}
+
+func TestPaperJoinSelectivities(t *testing.T) {
+	c, err := NewCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name string
+		cond algebra.JoinCond
+		want float64
+	}{
+		{"Product-Division", algebra.JoinCond{Left: algebra.Ref("Product", "Did"), Right: algebra.Ref("Division", "Did")}, 1.0 / 5000},
+		{"Part-Product", algebra.JoinCond{Left: algebra.Ref("Part", "Pid"), Right: algebra.Ref("Product", "Pid")}, 1.0 / 30000},
+		{"Order-Customer", algebra.JoinCond{Left: algebra.Ref("Order", "Cid"), Right: algebra.Ref("Customer", "Cid")}, 1.0 / 20000},
+		{"Order-Product", algebra.JoinCond{Left: algebra.Ref("Order", "Pid"), Right: algebra.Ref("Product", "Pid")}, 1.0 / 30000},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := c.JoinSelectivity(tt.cond); got != tt.want {
+				t.Errorf("js = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPaperPinnedJoinSizes(t *testing.T) {
+	c, err := NewCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sz, ok := c.PinnedJoinSize([]string{"Division", "Product"})
+	if !ok || sz.Blocks != 5000 || sz.Rows != 30000 {
+		t.Errorf("Product⋈Division pin = %+v, %v", sz, ok)
+	}
+	sz, ok = c.PinnedJoinSize([]string{"Customer", "Order"})
+	if !ok || sz.Blocks != 5000 || sz.Rows != 25000 {
+		t.Errorf("Order⋈Customer pin = %+v, %v", sz, ok)
+	}
+}
+
+func TestQueriesBind(t *testing.T) {
+	ex, err := Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Queries) != 4 {
+		t.Fatalf("queries = %d", len(ex.Queries))
+	}
+	wantRels := map[string]int{Q1: 2, Q2: 3, Q3: 4, Q4: 2}
+	wantJoins := map[string]int{Q1: 1, Q2: 2, Q3: 3, Q4: 1}
+	wantSels := map[string]int{Q1: 1, Q2: 1, Q3: 2, Q4: 1}
+	for _, q := range ex.Queries {
+		if got := len(q.Relations); got != wantRels[q.Name] {
+			t.Errorf("%s relations = %d, want %d", q.Name, got, wantRels[q.Name])
+		}
+		if got := len(q.JoinConds); got != wantJoins[q.Name] {
+			t.Errorf("%s join conds = %d, want %d", q.Name, got, wantJoins[q.Name])
+		}
+		if got := len(q.Selections); got != wantSels[q.Name] {
+			t.Errorf("%s selections = %d, want %d", q.Name, got, wantSels[q.Name])
+		}
+	}
+}
+
+func TestFrequencies(t *testing.T) {
+	ex, err := Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{Q1: 10, Q2: 0.5, Q3: 0.8, Q4: 5}
+	for q, f := range want {
+		if ex.Frequencies[q] != f {
+			t.Errorf("fq(%s) = %v, want %v", q, ex.Frequencies[q], f)
+		}
+	}
+	// Load copies the map: mutating the copy must not affect the package
+	// variable.
+	ex.Frequencies[Q1] = 999
+	if Frequencies[Q1] != 10 {
+		t.Error("Load aliases the package Frequencies map")
+	}
+}
+
+func TestTable1RowsComplete(t *testing.T) {
+	if len(Table1) != 9 {
+		t.Errorf("Table1 rows = %d, want 9", len(Table1))
+	}
+	c, err := NewCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range Table1[:5] {
+		rel, err := c.Relation(row.Relation)
+		if err != nil {
+			t.Errorf("Table1 row %s not in catalog: %v", row.Relation, err)
+			continue
+		}
+		if rel.Rows != row.Rows || rel.Blocks != row.Blocks {
+			t.Errorf("%s: catalog %v/%v, Table1 %v/%v", row.Relation, rel.Rows, rel.Blocks, row.Rows, row.Blocks)
+		}
+	}
+}

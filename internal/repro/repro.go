@@ -1,0 +1,356 @@
+// Package repro regenerates every table and figure of the paper's
+// evaluation: Table 1 (statistics), Table 2 (strategy costs), Figure 2
+// (common-subexpression merge), Figure 3 (the annotated MVPP), Figure 5
+// (individual optimal plans), Figure 6 (rotation MVPPs), Figures 7–8
+// (pre/post push-down optimization), and the Figure 9 selection trace.
+// cmd/paperrepro prints these; the root benchmarks time them; and
+// EXPERIMENTS.md records the paper-vs-measured comparison they produce.
+package repro
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/warehousekit/mvpp/internal/core"
+	"github.com/warehousekit/mvpp/internal/cost"
+	"github.com/warehousekit/mvpp/internal/optimizer"
+	"github.com/warehousekit/mvpp/internal/paper"
+	"github.com/warehousekit/mvpp/internal/sqlparse"
+	"github.com/warehousekit/mvpp/internal/viz"
+)
+
+// Experiment is one regenerated artifact.
+type Experiment struct {
+	ID    string // "table1", "fig3", ...
+	Title string
+	Text  string // rendered reproduction
+}
+
+// Model returns the paper's cost model.
+func Model() cost.Model { return &cost.PaperModel{} }
+
+// Figure3 builds the canonical paper MVPP (Figure 3's structure, paper-mode
+// size estimation).
+func Figure3() (*core.MVPP, cost.Model, error) {
+	ex, err := paper.Load()
+	if err != nil {
+		return nil, nil, err
+	}
+	plans, err := paper.Figure3Plans(ex.Catalog)
+	if err != nil {
+		return nil, nil, err
+	}
+	est := cost.NewEstimator(ex.Catalog, cost.PaperOptions())
+	model := Model()
+	b := core.NewBuilder(est, model)
+	for _, s := range plans {
+		if err := b.AddQuery(s.Name, s.Freq, s.Plan); err != nil {
+			return nil, nil, err
+		}
+	}
+	m, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return m, model, nil
+}
+
+// Table1 renders the paper's Table 1 from the catalog.
+func Table1() (string, error) {
+	if _, err := paper.NewCatalog(); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString(fmt.Sprintf("%-36s %12s %12s   %s\n", "relation", "records", "blocks", "s / js"))
+	for _, row := range paper.Table1 {
+		b.WriteString(fmt.Sprintf("%-36s %12s %12s   %s\n",
+			row.Relation, viz.FormatCost(row.Rows), viz.FormatCost(row.Blocks), row.Selectivity))
+	}
+	return b.String(), nil
+}
+
+// Table2Reference holds the paper's printed Table 2 for side-by-side
+// comparison (query cost, maintenance cost, total — in block accesses).
+var Table2Reference = []struct {
+	Strategy                  string
+	Views                     []string // our vertex names; nil = all virtual
+	Query, Maintenance, Total float64
+}{
+	{"Pd, Div, Pt, Ord, Cust (all virtual)", nil, 95.671e6, 0, 95.671e6},
+	{"tmp2, tmp4, tmp6", []string{"tmp2", "tmp4", "tmp6"}, 85.237e6, 12.583e6, 97.82e6},
+	{"tmp2, tmp6", []string{"tmp2", "tmp6"}, 25.506e6, 12.382e6, 37.888e6},
+	{"tmp2, tmp4", []string{"tmp2", "tmp4"}, 25.512e6, 12.065e6, 37.577e6},
+	{"Q1, Q2, Q3, Q4", []string{"result1", "result2", "result3", "result4"}, 7.25e3, 62.653e6, 62.66e6},
+}
+
+// Table2 evaluates the paper's five strategies on the Figure 3 MVPP and
+// appends the heuristic's and the exhaustive optimum's rows.
+func Table2() (string, []viz.CostRow, error) {
+	m, model, err := Figure3()
+	if err != nil {
+		return "", nil, err
+	}
+	var b strings.Builder
+	b.WriteString(fmt.Sprintf("%-38s %30s   %30s\n", "", "measured (this reproduction)", "paper"))
+	b.WriteString(fmt.Sprintf("%-38s %9s %10s %9s   %9s %10s %9s\n",
+		"materialized views", "query", "maint", "total", "query", "maint", "total"))
+	var rows []viz.CostRow
+	for _, ref := range Table2Reference {
+		var c core.Costs
+		if ref.Views == nil {
+			c = m.AllVirtual(model)
+		} else {
+			c, err = m.EvaluateNames(model, ref.Views)
+			if err != nil {
+				return "", nil, err
+			}
+		}
+		rows = append(rows, viz.CostRow{Strategy: ref.Strategy, Costs: c})
+		b.WriteString(fmt.Sprintf("%-38s %9s %10s %9s   %9s %10s %9s\n",
+			ref.Strategy,
+			viz.FormatCost(c.Query), viz.FormatCost(c.Maintenance), viz.FormatCost(c.Total),
+			viz.FormatCost(ref.Query), viz.FormatCost(ref.Maintenance), viz.FormatCost(ref.Total)))
+	}
+
+	heur := m.SelectViews(model, core.SelectOptions{})
+	rows = append(rows, viz.CostRow{Strategy: "heuristic (Figure 9)", Costs: heur.Costs})
+	b.WriteString(fmt.Sprintf("%-38s %9s %10s %9s   %30s\n",
+		"heuristic: "+strings.Join(heur.Materialized.Names(m), ", "),
+		viz.FormatCost(heur.Costs.Query), viz.FormatCost(heur.Costs.Maintenance), viz.FormatCost(heur.Costs.Total),
+		"(paper: tmp2, tmp4)"))
+
+	opt, err := m.ExhaustiveOptimal(model)
+	if err != nil {
+		return "", nil, err
+	}
+	rows = append(rows, viz.CostRow{Strategy: "exhaustive optimum", Costs: opt.Costs})
+	b.WriteString(fmt.Sprintf("%-38s %9s %10s %9s\n",
+		"optimum: "+strings.Join(opt.Materialized.Names(m), ", "),
+		viz.FormatCost(opt.Costs.Query), viz.FormatCost(opt.Costs.Maintenance), viz.FormatCost(opt.Costs.Total)))
+	return b.String(), rows, nil
+}
+
+// Figure2 shows Q1 and Q2's individual plans and their merge on the common
+// subexpression (the paper's motivating example).
+func Figure2() (string, error) {
+	ex, err := paper.Load()
+	if err != nil {
+		return "", err
+	}
+	plans, err := paper.Figure3Plans(ex.Catalog)
+	if err != nil {
+		return "", err
+	}
+	est := cost.NewEstimator(ex.Catalog, cost.PaperOptions())
+	model := Model()
+	b := core.NewBuilder(est, model)
+	for _, s := range plans[:2] { // Q1 and Q2 only
+		if err := b.AddQuery(s.Name, s.Freq, s.Plan); err != nil {
+			return "", err
+		}
+	}
+	m, err := b.Build()
+	if err != nil {
+		return "", err
+	}
+	var out strings.Builder
+	out.WriteString("(a) individual query plans\n\n")
+	for _, s := range plans[:2] {
+		out.WriteString(s.Name + ":\n")
+		out.WriteString(viz.PlanASCII(s.Plan))
+		out.WriteString("\n")
+	}
+	out.WriteString("(b) merged on the common subexpression (tmp1, tmp2 shared):\n\n")
+	out.WriteString(viz.MVPPASCII(m, nil))
+	return out.String(), nil
+}
+
+// Figure5 prints each query's individually optimal plan, found by the
+// single-query optimizer.
+func Figure5() (string, error) {
+	ex, err := paper.Load()
+	if err != nil {
+		return "", err
+	}
+	est := cost.NewEstimator(ex.Catalog, cost.PaperOptions())
+	model := Model()
+	opt := optimizer.New(est, model, optimizer.Options{})
+	var b strings.Builder
+	for _, q := range ex.Queries {
+		plan, ca, err := opt.Optimize(q)
+		if err != nil {
+			return "", err
+		}
+		fq := ex.Frequencies[q.Name]
+		b.WriteString(fmt.Sprintf("%s (fq=%g, Ca=%s, fq·Ca=%s):\n",
+			q.Name, fq, viz.FormatCost(ca), viz.FormatCost(fq*ca)))
+		b.WriteString(viz.PlanASCII(plan))
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
+
+// Figure3Text renders the annotated MVPP (ASCII table plus DOT).
+func Figure3Text() (string, error) {
+	m, model, err := Figure3()
+	if err != nil {
+		return "", err
+	}
+	res := m.SelectViews(model, core.SelectOptions{})
+	var b strings.Builder
+	b.WriteString(viz.MVPPASCII(m, res.Materialized))
+	b.WriteString("\nDOT:\n")
+	b.WriteString(viz.MVPPDOT(m, res.Materialized))
+	return b.String(), nil
+}
+
+// Figure6 generates the rotation MVPPs of Figure 4's algorithm and
+// summarizes each candidate.
+func Figure6() (string, []*core.Candidate, error) {
+	ex, err := paper.Load()
+	if err != nil {
+		return "", nil, err
+	}
+	est := cost.NewEstimator(ex.Catalog, cost.PaperOptions())
+	model := Model()
+	opt := optimizer.New(est, model, optimizer.Options{})
+	var plans []core.QueryPlan
+	for _, q := range ex.Queries {
+		p, _, err := opt.Optimize(q)
+		if err != nil {
+			return "", nil, err
+		}
+		plans = append(plans, core.QueryPlan{Name: q.Name, Freq: ex.Frequencies[q.Name], Plan: p})
+	}
+	cands, err := core.Generate(est, model, plans, core.GenOptions{})
+	if err != nil {
+		return "", nil, err
+	}
+	best := core.Best(cands)
+	var b strings.Builder
+	b.WriteString(fmt.Sprintf("%d distinct MVPPs from %d rotations:\n\n", len(cands), len(plans)))
+	for i, c := range cands {
+		marker := " "
+		if c == best {
+			marker = "*"
+		}
+		b.WriteString(fmt.Sprintf("%s MVPP(%d): seed order %s — %d vertices, design total %s, M = {%s}\n",
+			marker, i+1, strings.Join(c.SeedOrder, " > "),
+			len(c.MVPP.Vertices),
+			viz.FormatCost(c.Selection.Costs.Total),
+			strings.Join(c.Selection.Materialized.Names(c.MVPP), ", ")))
+	}
+	b.WriteString("\nbest candidate's DAG:\n")
+	b.WriteString(viz.MVPPASCII(best.MVPP, best.Selection.Materialized))
+	return b.String(), cands, nil
+}
+
+// figure7Queries are the variant queries of the paper's Figures 5/7, where
+// Q2 filters Division.name = "Re" and Q3 filters city = "SF", so the three
+// queries restrict Division differently and step 5's disjunctive push-down
+// applies.
+var figure7Queries = map[string]string{
+	"Q1": `SELECT Product.name FROM Product, Division WHERE Division.city = 'LA' AND Product.Did = Division.Did`,
+	"Q2": `SELECT Part.name FROM Product, Part, Division WHERE Division.name = 'Re' AND Product.Did = Division.Did AND Part.Pid = Product.Pid`,
+	"Q3": `SELECT Customer.name, Product.name, quantity FROM Product, Division, Order, Customer WHERE Division.city = 'SF' AND Product.Did = Division.Did AND Product.Pid = Order.Pid AND Order.Cid = Customer.Cid AND date > 7/1/96`,
+	"Q4": `SELECT Customer.city, date FROM Order, Customer WHERE quantity > 100 AND Order.Cid = Customer.Cid`,
+}
+
+// Figure7and8 contrasts the merged MVPP before push-down (Figure 7:
+// selections above the joins) with the optimized MVPP after pushing the
+// disjunction of the selections onto the shared Division scan (Figure 8).
+func Figure7and8() (string, error) {
+	ex, err := paper.Load()
+	if err != nil {
+		return "", err
+	}
+	est := cost.NewEstimator(ex.Catalog, cost.PaperOptions())
+	model := Model()
+	opt := optimizer.New(est, model, optimizer.Options{})
+	var plans []core.QueryPlan
+	for _, name := range paper.QueryOrder {
+		q, err := sqlparse.BindQuery(ex.Catalog, name, figure7Queries[name])
+		if err != nil {
+			return "", err
+		}
+		p, _, err := opt.Optimize(q)
+		if err != nil {
+			return "", err
+		}
+		plans = append(plans, core.QueryPlan{Name: name, Freq: ex.Frequencies[name], Plan: p})
+	}
+
+	before, err := core.Generate(est, model, plans, core.GenOptions{NoPushdown: true, MaxRotations: 1})
+	if err != nil {
+		return "", err
+	}
+	after, err := core.Generate(est, model, plans, core.GenOptions{PushDisjunctions: true, PushProjections: true, MaxRotations: 1})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Figure 7 — merged MVPP before optimization (selections above joins):\n\n")
+	b.WriteString(viz.MVPPASCII(before[0].MVPP, nil))
+	b.WriteString("\nFigure 8 — after pushing selections (disjunction on Division) and projections down:\n\n")
+	b.WriteString(viz.MVPPASCII(after[0].MVPP, nil))
+	b.WriteString(fmt.Sprintf("\ndesign totals: before %s, after %s\n",
+		viz.FormatCost(before[0].Selection.Costs.Total),
+		viz.FormatCost(after[0].Selection.Costs.Total)))
+	return b.String(), nil
+}
+
+// Figure9Trace replays the selection heuristic on the Figure 3 MVPP.
+func Figure9Trace() (string, error) {
+	m, model, err := Figure3()
+	if err != nil {
+		return "", err
+	}
+	res := m.SelectViews(model, core.SelectOptions{})
+	var b strings.Builder
+	b.WriteString(viz.TraceASCII(res.Trace))
+	b.WriteString(fmt.Sprintf("\nM = {%s}   (paper: {tmp2, tmp4})\n",
+		strings.Join(res.Materialized.Names(m), ", ")))
+	b.WriteString(fmt.Sprintf("total cost = %s\n", viz.FormatCost(res.Costs.Total)))
+	return b.String(), nil
+}
+
+// All regenerates every artifact in paper order.
+func All() ([]Experiment, error) {
+	var out []Experiment
+	add := func(id, title string, f func() (string, error)) error {
+		text, err := f()
+		if err != nil {
+			return fmt.Errorf("repro %s: %w", id, err)
+		}
+		out = append(out, Experiment{ID: id, Title: title, Text: text})
+		return nil
+	}
+	steps := []struct {
+		id, title string
+		f         func() (string, error)
+	}{
+		{"table1", "Table 1 — sizes of relations and statistical data", Table1},
+		{"fig2", "Figure 2 — individual query plans and their merge", Figure2},
+		{"fig3", "Figure 3 — the MVPP for the example, cost-annotated", Figure3Text},
+		{"fig5", "Figure 5 — individual optimal query plans", Figure5},
+		{"fig6", "Figure 6 — multiple MVPPs from rotation merging", func() (string, error) {
+			s, _, err := Figure6()
+			return s, err
+		}},
+		{"fig7-8", "Figures 7–8 — MVPP before and after push-down optimization", Figure7and8},
+		{"table2", "Table 2 — costs of materialization strategies", func() (string, error) {
+			s, _, err := Table2()
+			return s, err
+		}},
+		{"fig9", "Figure 9 (trace) — the selection heuristic's run", Figure9Trace},
+	}
+	for _, s := range steps {
+		if err := add(s.id, s.title, s.f); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

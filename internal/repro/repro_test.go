@@ -1,0 +1,209 @@
+package repro_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/warehousekit/mvpp/internal/repro"
+)
+
+func TestTable1(t *testing.T) {
+	out, err := repro.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Product", "30k", "3k", "Order⋈Customer", "25k", "s = 0.02"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "\n"); got != 10 { // header + 9 rows
+		t.Errorf("Table1 lines = %d", got)
+	}
+}
+
+func TestTable2ReproducesShape(t *testing.T) {
+	out, rows, err := repro.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 { // 5 paper strategies + heuristic + optimum
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byStrategy := map[string]int{}
+	for i, r := range rows {
+		byStrategy[r.Strategy] = i
+	}
+	virtual := rows[0].Costs
+	mixed := rows[3].Costs   // tmp2, tmp4
+	allMat := rows[4].Costs  // Q1..Q4
+	optimum := rows[6].Costs // exhaustive
+	heuristic := rows[5].Costs
+
+	// Paper's qualitative claims.
+	if virtual.Maintenance != 0 {
+		t.Error("all-virtual has maintenance cost")
+	}
+	if !(allMat.Query < mixed.Query && mixed.Query < virtual.Query) {
+		t.Errorf("query ordering: allMat %v, mixed %v, virtual %v", allMat.Query, mixed.Query, virtual.Query)
+	}
+	if !(mixed.Total < virtual.Total && mixed.Total < allMat.Total) {
+		t.Errorf("{tmp2,tmp4} should win: mixed %v, virtual %v, allMat %v", mixed.Total, virtual.Total, allMat.Total)
+	}
+	// The optimum can only improve on the heuristic; both beat the listed
+	// strategies or tie {tmp2,tmp4}.
+	if optimum.Total > heuristic.Total+1e-6 {
+		t.Errorf("optimum %v worse than heuristic %v", optimum.Total, heuristic.Total)
+	}
+	if optimum.Total > mixed.Total+1e-6 {
+		t.Errorf("optimum %v worse than {tmp2,tmp4} %v", optimum.Total, mixed.Total)
+	}
+	// Quantitative proximity to the paper for the headline rows.
+	for _, check := range []struct {
+		name            string
+		got, paper, tol float64
+	}{
+		{"all-virtual total", virtual.Total, 95.671e6, 0.15},
+		{"{tmp2,tmp4} total", mixed.Total, 37.577e6, 0.35},
+		{"{tmp2,tmp4} maintenance", mixed.Maintenance, 12.065e6, 0.05},
+	} {
+		if rel := math.Abs(check.got-check.paper) / check.paper; rel > check.tol {
+			t.Errorf("%s = %v, paper %v (off %.0f%% > %.0f%%)",
+				check.name, check.got, check.paper, rel*100, check.tol*100)
+		}
+	}
+	if !strings.Contains(out, "paper") || !strings.Contains(out, "heuristic") {
+		t.Errorf("Table2 text malformed:\n%s", out)
+	}
+}
+
+// TestTable2RowSwapFinding documents a reproduction finding: the paper's
+// Table 2 prints query cost 85.237m for {tmp2,tmp4,tmp6} and 25.506m for
+// {tmp2,tmp6}, which is impossible under its own model (materializing MORE
+// views cannot raise query cost). Our measured values land within ~2% of
+// the paper's numbers *crosswise*, showing the two query-cost cells were
+// swapped in the paper.
+func TestTable2RowSwapFinding(t *testing.T) {
+	_, rows, err := repro.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	withTmp4 := rows[1].Costs.Query    // {tmp2,tmp4,tmp6}
+	withoutTmp4 := rows[2].Costs.Query // {tmp2,tmp6}
+	// Superset of views ⇒ query cost can only drop.
+	if withTmp4 > withoutTmp4 {
+		t.Errorf("monotonicity violated in OUR model: %v > %v", withTmp4, withoutTmp4)
+	}
+	// Crosswise match with the paper's (swapped) cells.
+	if rel := math.Abs(withTmp4-25.506e6) / 25.506e6; rel > 0.05 {
+		t.Errorf("{tmp2,tmp4,tmp6} query = %v, want ≈ paper's 25.506m cell (off %.1f%%)", withTmp4, rel*100)
+	}
+	if rel := math.Abs(withoutTmp4-85.237e6) / 85.237e6; rel > 0.05 {
+		t.Errorf("{tmp2,tmp6} query = %v, want ≈ paper's 85.237m cell (off %.1f%%)", withoutTmp4, rel*100)
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	out, err := repro.Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"individual query plans", "merged", "tmp1", "tmp2", "Q1,Q2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure2 missing %q", want)
+		}
+	}
+}
+
+func TestFigure3Text(t *testing.T) {
+	out, err := repro.Figure3Text()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"tmp2", "35.25k", "digraph mvpp", "result4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure3 missing %q", want)
+		}
+	}
+}
+
+func TestFigure5(t *testing.T) {
+	out, err := repro.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Q1 (fq=10", "Q4 (fq=5", "fq·Ca", "⋈"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure5 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure6(t *testing.T) {
+	out, cands, err := repro.Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	if !strings.Contains(out, "MVPP(1)") || !strings.Contains(out, "seed order") {
+		t.Errorf("Figure6 malformed:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("best candidate not marked")
+	}
+}
+
+func TestFigure7and8(t *testing.T) {
+	out, err := repro.Figure7and8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Figure 7") || !strings.Contains(out, "Figure 8") {
+		t.Fatalf("sections missing:\n%s", out)
+	}
+	// Figure 8 must contain a disjunctive selection on Division.
+	fig8 := out[strings.Index(out, "Figure 8"):]
+	if !strings.Contains(fig8, "OR") {
+		t.Errorf("Figure 8 lacks the disjunctive Division filter:\n%s", fig8)
+	}
+}
+
+func TestFigure9Trace(t *testing.T) {
+	out, err := repro.Figure9Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"tmp4", "materialize", "reject", "M = {", "tmp2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure9Trace missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAll(t *testing.T) {
+	exps, err := repro.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) != 8 {
+		t.Fatalf("experiments = %d, want 8", len(exps))
+	}
+	ids := map[string]bool{}
+	for _, e := range exps {
+		if e.Text == "" {
+			t.Errorf("%s: empty text", e.ID)
+		}
+		if ids[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"table1", "table2", "fig2", "fig3", "fig5", "fig6", "fig7-8", "fig9"} {
+		if !ids[want] {
+			t.Errorf("missing experiment %s", want)
+		}
+	}
+}

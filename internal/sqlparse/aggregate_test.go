@@ -1,0 +1,161 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/warehousekit/mvpp/internal/algebra"
+)
+
+func TestParseAggregateSelectList(t *testing.T) {
+	stmt, err := Parse(`SELECT Customer.city, SUM(quantity) AS total, COUNT(*) FROM Order, Customer
+		WHERE Order.Cid = Customer.Cid GROUP BY Customer.city`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmt.Projections) != 3 {
+		t.Fatalf("projections = %d", len(stmt.Projections))
+	}
+	if stmt.Projections[0].Col == nil {
+		t.Error("first item should be a plain column")
+	}
+	agg := stmt.Projections[1].Agg
+	if agg == nil || agg.Func != "SUM" || agg.Alias != "total" || agg.Arg == nil {
+		t.Errorf("SUM item = %+v", agg)
+	}
+	star := stmt.Projections[2].Agg
+	if star == nil || star.Func != "COUNT" || star.Arg != nil {
+		t.Errorf("COUNT(*) item = %+v", star)
+	}
+	if len(stmt.GroupBy) != 1 || stmt.GroupBy[0].String() != "Customer.city" {
+		t.Errorf("GroupBy = %v", stmt.GroupBy)
+	}
+}
+
+func TestParseAggregateCaseInsensitive(t *testing.T) {
+	stmt, err := Parse(`SELECT avg(quantity) FROM Order`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Projections[0].Agg == nil || stmt.Projections[0].Agg.Func != "AVG" {
+		t.Errorf("item = %+v", stmt.Projections[0])
+	}
+}
+
+func TestParseAggregateErrors(t *testing.T) {
+	tests := []struct {
+		name, sql, wantErr string
+	}{
+		{"sum star", `SELECT SUM(*) FROM Order`, "only COUNT(*)"},
+		{"unclosed", `SELECT SUM(quantity FROM Order`, "expected ')'"},
+		{"group without by", `SELECT COUNT(*) FROM Order GROUP quantity`, "expected BY"},
+		{"alias missing", `SELECT SUM(quantity) AS FROM Order`, "expected alias"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Parse(tt.sql)
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Errorf("error = %v, want %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseAggNamedColumnStaysPlain(t *testing.T) {
+	// An identifier named like a function but not followed by '(' is a
+	// plain column.
+	stmt, err := Parse(`SELECT count FROM R`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Projections[0].Col == nil {
+		t.Errorf("item = %+v", stmt.Projections[0])
+	}
+}
+
+func TestBindAggregateQuery(t *testing.T) {
+	c := bindCatalog(t)
+	q, err := BindQuery(c, "QA", `SELECT Customer.city, SUM(quantity) AS total, COUNT(*) AS n
+		FROM Order, Customer WHERE Order.Cid = Customer.Cid GROUP BY Customer.city`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.IsAggregate() {
+		t.Fatal("IsAggregate = false")
+	}
+	if len(q.GroupBy) != 1 || q.GroupBy[0].String() != "Customer.city" {
+		t.Errorf("GroupBy = %v", q.GroupBy)
+	}
+	if len(q.Aggregates) != 2 {
+		t.Fatalf("Aggregates = %v", q.Aggregates)
+	}
+	if q.Aggregates[0].Func != algebra.AggSum || q.Aggregates[0].Alias != "total" {
+		t.Errorf("agg[0] = %+v", q.Aggregates[0])
+	}
+	if q.Aggregates[1].Func != algebra.AggCount || q.Aggregates[1].Arg != (algebra.ColumnRef{}) {
+		t.Errorf("agg[1] = %+v", q.Aggregates[1])
+	}
+	if q.Output != nil {
+		t.Errorf("aggregate query Output = %v, want nil", q.Output)
+	}
+}
+
+func TestBindAggregateDefaultAliases(t *testing.T) {
+	c := bindCatalog(t)
+	q, err := BindQuery(c, "QA", `SELECT SUM(quantity), COUNT(*), MIN(quantity) FROM Order`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"sum_quantity", "count_all", "min_quantity"}
+	for i, a := range q.Aggregates {
+		if a.Alias != want[i] {
+			t.Errorf("alias[%d] = %q, want %q", i, a.Alias, want[i])
+		}
+	}
+	// Duplicated derived aliases get numbered.
+	q2, err := BindQuery(c, "QB", `SELECT SUM(quantity), SUM(quantity) FROM Order`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.Aggregates[1].Alias != "sum_quantity_2" {
+		t.Errorf("second alias = %q", q2.Aggregates[1].Alias)
+	}
+}
+
+func TestBindAggregateValidation(t *testing.T) {
+	c := bindCatalog(t)
+	tests := []struct {
+		name, sql, wantErr string
+	}{
+		{"ungrouped plain column", `SELECT Customer.name, COUNT(*) FROM Customer GROUP BY Customer.city`,
+			"must appear in GROUP BY"},
+		{"group without aggregates", `SELECT Customer.city FROM Customer GROUP BY Customer.city`,
+			"GROUP BY without aggregate"},
+		{"duplicate explicit alias", `SELECT SUM(quantity) AS x, COUNT(*) AS x FROM Order`,
+			"duplicate aggregate alias"},
+		{"bad arg column", `SELECT SUM(ghost) FROM Order`, "unknown column"},
+		{"bad group column", `SELECT COUNT(*) FROM Order GROUP BY ghost`, "unknown column"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := BindQuery(c, "Q", tt.sql)
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Errorf("error = %v, want %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestBindGlobalAggregate(t *testing.T) {
+	c := bindCatalog(t)
+	q, err := BindQuery(c, "QG", `SELECT COUNT(*) AS n FROM Order WHERE quantity > 100`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.IsAggregate() || len(q.GroupBy) != 0 {
+		t.Errorf("global aggregate = %+v", q)
+	}
+	if len(q.Selections) != 1 {
+		t.Errorf("selections = %v", q.Selections)
+	}
+}

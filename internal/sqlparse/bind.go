@@ -1,0 +1,389 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/warehousekit/mvpp/internal/algebra"
+	"github.com/warehousekit/mvpp/internal/catalog"
+)
+
+// Query is a bound SPJ query in the normal form the framework consumes: a
+// set of base relations, equi-join conditions linking them, residual
+// selection conjuncts, and an output projection. This is exactly the input
+// shape of the single-query optimizer and, transitively, of MVPP
+// construction.
+type Query struct {
+	// Name identifies the query in MVPPs and reports (e.g. "Q1").
+	Name string
+	// SQL preserves the original text.
+	SQL string
+	// Output is the projection list.
+	Output []algebra.ColumnRef
+	// Relations lists the distinct base relations, in FROM order.
+	Relations []string
+	// Selections holds the non-join conjuncts of WHERE.
+	Selections []algebra.Predicate
+	// JoinConds holds the cross-relation equality conjuncts.
+	JoinConds []algebra.JoinCond
+	// GroupBy and Aggregates describe a top-level aggregation (the paper's
+	// future-work extension). Empty Aggregates means a pure SPJ query, in
+	// which case Output carries the projection; for aggregation queries
+	// the output schema is GroupBy columns followed by aggregate aliases
+	// and Output is nil.
+	GroupBy    []algebra.ColumnRef
+	Aggregates []algebra.Aggregation
+}
+
+// IsAggregate reports whether the query has a top-level aggregation.
+func (q *Query) IsAggregate() bool { return len(q.Aggregates) > 0 }
+
+// Selection returns the conjunction of all selection predicates (nil when
+// none).
+func (q *Query) Selection() algebra.Predicate {
+	return algebra.NewAnd(q.Selections...)
+}
+
+// binder resolves a parsed statement against a catalog.
+type binder struct {
+	cat     *catalog.Catalog
+	aliases map[string]string // alias or relation name → relation name
+	order   []string          // relation names in FROM order
+}
+
+// BindQuery parses and binds sql against the catalog, producing the named
+// bound query.
+func BindQuery(cat *catalog.Catalog, name, sql string) (*Query, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, fmt.Errorf("query %s: %w", name, err)
+	}
+	q, err := Bind(cat, stmt)
+	if err != nil {
+		return nil, fmt.Errorf("query %s: %w", name, err)
+	}
+	q.Name = name
+	q.SQL = sql
+	return q, nil
+}
+
+// Bind resolves the statement against the catalog.
+func Bind(cat *catalog.Catalog, stmt *Stmt) (*Query, error) {
+	b := &binder{cat: cat, aliases: make(map[string]string)}
+	for _, tr := range stmt.From {
+		if _, err := cat.Relation(tr.Name); err != nil {
+			return nil, err
+		}
+		if _, dup := b.aliases[tr.Name]; dup {
+			return nil, fmt.Errorf("sqlparse: relation %s appears twice in FROM (self-joins are not supported)", tr.Name)
+		}
+		b.aliases[tr.Name] = tr.Name
+		if tr.Alias != "" {
+			if _, dup := b.aliases[tr.Alias]; dup {
+				return nil, fmt.Errorf("sqlparse: duplicate alias %s", tr.Alias)
+			}
+			b.aliases[tr.Alias] = tr.Name
+		}
+		b.order = append(b.order, tr.Name)
+	}
+	q := &Query{Relations: b.order}
+
+	for _, ref := range stmt.GroupBy {
+		resolved, err := b.resolveColumn(ref)
+		if err != nil {
+			return nil, err
+		}
+		q.GroupBy = append(q.GroupBy, resolved)
+	}
+
+	var plain []algebra.ColumnRef
+	aliases := make(map[string]bool)
+	for _, item := range stmt.Projections {
+		if item.Agg == nil {
+			ref, err := b.resolveColumn(*item.Col)
+			if err != nil {
+				return nil, err
+			}
+			plain = append(plain, ref)
+			continue
+		}
+		agg, err := b.bindAggregate(*item.Agg, aliases)
+		if err != nil {
+			return nil, err
+		}
+		q.Aggregates = append(q.Aggregates, agg)
+	}
+
+	switch {
+	case len(q.Aggregates) == 0 && len(q.GroupBy) > 0:
+		return nil, fmt.Errorf("sqlparse: GROUP BY without aggregate functions is not supported")
+	case len(q.Aggregates) == 0:
+		q.Output = plain
+	default:
+		// SQL validity: plain select items must be grouping columns.
+		inGroup := make(map[string]bool, len(q.GroupBy))
+		for _, g := range q.GroupBy {
+			inGroup[g.String()] = true
+		}
+		for _, ref := range plain {
+			if !inGroup[ref.String()] {
+				return nil, fmt.Errorf("sqlparse: column %s must appear in GROUP BY or an aggregate function", ref)
+			}
+		}
+	}
+
+	if stmt.Where != nil {
+		if err := b.classify(stmt.Where, q); err != nil {
+			return nil, err
+		}
+	}
+	if len(q.Relations) > 1 && len(q.JoinConds) == 0 {
+		return nil, fmt.Errorf("sqlparse: %d relations but no join conditions (cartesian products are not supported)", len(q.Relations))
+	}
+	return q, nil
+}
+
+// bindAggregate resolves one aggregate expression and assigns a unique
+// alias when none was written.
+func (b *binder) bindAggregate(e AggExpr, aliases map[string]bool) (algebra.Aggregation, error) {
+	funcs := map[string]algebra.AggFunc{
+		"COUNT": algebra.AggCount,
+		"SUM":   algebra.AggSum,
+		"MIN":   algebra.AggMin,
+		"MAX":   algebra.AggMax,
+		"AVG":   algebra.AggAvg,
+	}
+	f, ok := funcs[e.Func]
+	if !ok {
+		return algebra.Aggregation{}, fmt.Errorf("sqlparse: unknown aggregate function %q", e.Func)
+	}
+	agg := algebra.Aggregation{Func: f, Alias: e.Alias}
+	if e.Arg != nil {
+		ref, err := b.resolveColumn(*e.Arg)
+		if err != nil {
+			return algebra.Aggregation{}, err
+		}
+		agg.Arg = ref
+	} else if f != algebra.AggCount {
+		return algebra.Aggregation{}, fmt.Errorf("sqlparse: %s requires an argument", e.Func)
+	}
+	if agg.Alias == "" {
+		base := strings.ToLower(e.Func)
+		if e.Arg != nil {
+			base += "_" + agg.Arg.Name
+		} else {
+			base += "_all"
+		}
+		alias := base
+		for i := 2; aliases[alias]; i++ {
+			alias = fmt.Sprintf("%s_%d", base, i)
+		}
+		agg.Alias = alias
+	}
+	if aliases[agg.Alias] {
+		return algebra.Aggregation{}, fmt.Errorf("sqlparse: duplicate aggregate alias %q", agg.Alias)
+	}
+	aliases[agg.Alias] = true
+	return agg, nil
+}
+
+// classify splits the top-level conjunction into join conditions and
+// selections.
+func (b *binder) classify(e Expr, q *Query) error {
+	if bin, ok := e.(*BinExpr); ok && bin.Op == "AND" {
+		if err := b.classify(bin.Left, q); err != nil {
+			return err
+		}
+		return b.classify(bin.Right, q)
+	}
+	// A top-level equality between columns of two different relations is a
+	// join condition.
+	if cmp, ok := e.(*CmpExpr); ok && cmp.Op == "=" && cmp.Left.Col != nil && cmp.Right.Col != nil {
+		l, err := b.resolveColumn(*cmp.Left.Col)
+		if err != nil {
+			return err
+		}
+		r, err := b.resolveColumn(*cmp.Right.Col)
+		if err != nil {
+			return err
+		}
+		if l.Relation != r.Relation {
+			q.JoinConds = append(q.JoinConds, algebra.JoinCond{Left: l, Right: r})
+			return nil
+		}
+	}
+	pred, err := b.toPredicate(e)
+	if err != nil {
+		return err
+	}
+	q.Selections = append(q.Selections, pred)
+	return nil
+}
+
+// toPredicate converts an expression subtree to an algebra predicate.
+func (b *binder) toPredicate(e Expr) (algebra.Predicate, error) {
+	switch v := e.(type) {
+	case *BinExpr:
+		l, err := b.toPredicate(v.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.toPredicate(v.Right)
+		if err != nil {
+			return nil, err
+		}
+		if v.Op == "AND" {
+			return algebra.NewAnd(l, r), nil
+		}
+		return algebra.NewOr(l, r), nil
+	case *NotExpr:
+		inner, err := b.toPredicate(v.Expr)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.NewNot(inner), nil
+	case *CmpExpr:
+		return b.toComparison(v)
+	default:
+		return nil, fmt.Errorf("sqlparse: unsupported expression type %T", e)
+	}
+}
+
+func (b *binder) toComparison(cmp *CmpExpr) (algebra.Predicate, error) {
+	op, err := compareOp(cmp.Op)
+	if err != nil {
+		return nil, err
+	}
+	// Determine the column side first so literals can be coerced to its
+	// type.
+	var colType algebra.Type
+	for _, o := range []Operand{cmp.Left, cmp.Right} {
+		if o.Col == nil {
+			continue
+		}
+		ref, err := b.resolveColumn(*o.Col)
+		if err != nil {
+			return nil, err
+		}
+		t, err := b.columnType(ref)
+		if err != nil {
+			return nil, err
+		}
+		colType = t
+		break
+	}
+	left, err := b.toOperand(cmp.Left, colType)
+	if err != nil {
+		return nil, err
+	}
+	right, err := b.toOperand(cmp.Right, colType)
+	if err != nil {
+		return nil, err
+	}
+	if !left.IsColumn && !right.IsColumn {
+		return nil, fmt.Errorf("sqlparse: comparison between two literals")
+	}
+	return algebra.Compare(left, op, right), nil
+}
+
+func (b *binder) toOperand(o Operand, colType algebra.Type) (algebra.Operand, error) {
+	switch {
+	case o.Col != nil:
+		ref, err := b.resolveColumn(*o.Col)
+		if err != nil {
+			return algebra.Operand{}, err
+		}
+		return algebra.ColOperand(ref), nil
+	case o.IntLit != nil:
+		if colType == algebra.TypeDate {
+			return algebra.LitOperand(algebra.DateVal(*o.IntLit)), nil
+		}
+		return algebra.LitOperand(algebra.IntVal(*o.IntLit)), nil
+	case o.FloatLit != nil:
+		return algebra.LitOperand(algebra.FloatVal(*o.FloatLit)), nil
+	case o.StrLit != nil:
+		if colType == algebra.TypeDate {
+			v, err := algebra.ParseDate(*o.StrLit)
+			if err != nil {
+				return algebra.Operand{}, err
+			}
+			return algebra.LitOperand(v), nil
+		}
+		return algebra.LitOperand(algebra.StringVal(*o.StrLit)), nil
+	case o.DateLit != nil:
+		v, err := algebra.ParseDate(*o.DateLit)
+		if err != nil {
+			return algebra.Operand{}, err
+		}
+		return algebra.LitOperand(v), nil
+	default:
+		return algebra.Operand{}, fmt.Errorf("sqlparse: empty operand")
+	}
+}
+
+// resolveColumn maps a possibly alias-qualified, possibly unqualified
+// reference to a fully qualified base-relation reference.
+func (b *binder) resolveColumn(ref ColRef) (algebra.ColumnRef, error) {
+	if ref.Qualifier != "" {
+		rel, ok := b.aliases[ref.Qualifier]
+		if !ok {
+			return algebra.ColumnRef{}, fmt.Errorf("sqlparse: unknown relation or alias %q", ref.Qualifier)
+		}
+		out := algebra.Ref(rel, ref.Column)
+		if _, err := b.columnType(out); err != nil {
+			return algebra.ColumnRef{}, err
+		}
+		return out, nil
+	}
+	var found algebra.ColumnRef
+	matches := 0
+	for _, rel := range b.order {
+		schema, err := b.cat.Schema(rel)
+		if err != nil {
+			return algebra.ColumnRef{}, err
+		}
+		if schema.Has(algebra.Ref(rel, ref.Column)) {
+			found = algebra.Ref(rel, ref.Column)
+			matches++
+		}
+	}
+	switch matches {
+	case 0:
+		return algebra.ColumnRef{}, fmt.Errorf("sqlparse: unknown column %q", ref.Column)
+	case 1:
+		return found, nil
+	default:
+		return algebra.ColumnRef{}, fmt.Errorf("sqlparse: ambiguous column %q (qualify it)", ref.Column)
+	}
+}
+
+func (b *binder) columnType(ref algebra.ColumnRef) (algebra.Type, error) {
+	schema, err := b.cat.Schema(ref.Relation)
+	if err != nil {
+		return 0, err
+	}
+	i, err := schema.Resolve(ref)
+	if err != nil {
+		return 0, fmt.Errorf("sqlparse: %w", err)
+	}
+	return schema.Columns[i].Type, nil
+}
+
+func compareOp(op string) (algebra.CompareOp, error) {
+	switch op {
+	case "=":
+		return algebra.OpEq, nil
+	case "<>":
+		return algebra.OpNotEq, nil
+	case "<":
+		return algebra.OpLt, nil
+	case "<=":
+		return algebra.OpLe, nil
+	case ">":
+		return algebra.OpGt, nil
+	case ">=":
+		return algebra.OpGe, nil
+	default:
+		return 0, fmt.Errorf("sqlparse: unknown operator %q", op)
+	}
+}

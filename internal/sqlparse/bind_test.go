@@ -1,0 +1,209 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/warehousekit/mvpp/internal/algebra"
+	"github.com/warehousekit/mvpp/internal/catalog"
+)
+
+// bindCatalog builds the full paper schema for binder tests.
+func bindCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	c := catalog.New()
+	add := func(name string, cols ...algebra.Column) {
+		t.Helper()
+		if err := c.AddRelation(&catalog.Relation{
+			Name:   name,
+			Schema: algebra.NewSchema(cols...),
+			Rows:   1000, Blocks: 100,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("Product",
+		algebra.Column{Relation: "Product", Name: "Pid", Type: algebra.TypeInt},
+		algebra.Column{Relation: "Product", Name: "name", Type: algebra.TypeString},
+		algebra.Column{Relation: "Product", Name: "Did", Type: algebra.TypeInt})
+	add("Division",
+		algebra.Column{Relation: "Division", Name: "Did", Type: algebra.TypeInt},
+		algebra.Column{Relation: "Division", Name: "name", Type: algebra.TypeString},
+		algebra.Column{Relation: "Division", Name: "city", Type: algebra.TypeString})
+	add("Order",
+		algebra.Column{Relation: "Order", Name: "Pid", Type: algebra.TypeInt},
+		algebra.Column{Relation: "Order", Name: "Cid", Type: algebra.TypeInt},
+		algebra.Column{Relation: "Order", Name: "quantity", Type: algebra.TypeInt},
+		algebra.Column{Relation: "Order", Name: "date", Type: algebra.TypeDate})
+	add("Customer",
+		algebra.Column{Relation: "Customer", Name: "Cid", Type: algebra.TypeInt},
+		algebra.Column{Relation: "Customer", Name: "name", Type: algebra.TypeString},
+		algebra.Column{Relation: "Customer", Name: "city", Type: algebra.TypeString})
+	return c
+}
+
+func TestBindPaperQuery1(t *testing.T) {
+	c := bindCatalog(t)
+	q, err := BindQuery(c, "Q1", `SELECT Product.name FROM Product, Division WHERE Division.city = 'LA' AND Product.Did = Division.Did`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != "Q1" {
+		t.Errorf("name = %q", q.Name)
+	}
+	if len(q.Relations) != 2 || q.Relations[0] != "Product" || q.Relations[1] != "Division" {
+		t.Errorf("relations = %v", q.Relations)
+	}
+	if len(q.JoinConds) != 1 {
+		t.Fatalf("join conds = %v", q.JoinConds)
+	}
+	if len(q.Selections) != 1 || q.Selections[0].String() != `Division.city = "LA"` {
+		t.Errorf("selections = %v", q.Selections)
+	}
+	if len(q.Output) != 1 || q.Output[0].String() != "Product.name" {
+		t.Errorf("output = %v", q.Output)
+	}
+}
+
+func TestBindAliasesResolveToBaseNames(t *testing.T) {
+	c := bindCatalog(t)
+	q, err := BindQuery(c, "Q", `SELECT Pd.name FROM Product AS Pd, Division AS Div WHERE Div.city = 'LA' AND Pd.Did = Div.Did`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Output[0].Relation != "Product" {
+		t.Errorf("alias not resolved: %v", q.Output[0])
+	}
+	if q.JoinConds[0].Left.Relation != "Product" || q.JoinConds[0].Right.Relation != "Division" {
+		t.Errorf("join cond = %v", q.JoinConds[0])
+	}
+}
+
+func TestBindUnqualifiedColumns(t *testing.T) {
+	c := bindCatalog(t)
+	q, err := BindQuery(c, "Q4", `SELECT Customer.city, date FROM Order, Customer WHERE quantity > 100 AND Order.Cid = Customer.Cid`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Output[1].Relation != "Order" || q.Output[1].Name != "date" {
+		t.Errorf("unqualified date resolved to %v", q.Output[1])
+	}
+	if len(q.Selections) != 1 || q.Selections[0].String() != "Order.quantity > 100" {
+		t.Errorf("selections = %v", q.Selections)
+	}
+}
+
+func TestBindDateLiteralAgainstDateColumn(t *testing.T) {
+	c := bindCatalog(t)
+	q, err := BindQuery(c, "Q3", `SELECT Customer.name FROM Order, Customer WHERE date > 7/1/96 AND Order.Cid = Customer.Cid`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "Order.date > 1996-07-01"
+	if len(q.Selections) != 1 || q.Selections[0].String() != want {
+		t.Errorf("selections = %v, want %s", q.Selections, want)
+	}
+}
+
+func TestBindStringDateCoercion(t *testing.T) {
+	c := bindCatalog(t)
+	q, err := BindQuery(c, "Q", `SELECT Customer.name FROM Order, Customer WHERE date > '1996-07-01' AND Order.Cid = Customer.Cid`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Selections[0].String() != "Order.date > 1996-07-01" {
+		t.Errorf("selections = %v", q.Selections)
+	}
+}
+
+func TestBindSameRelationEqualityIsSelection(t *testing.T) {
+	c := bindCatalog(t)
+	q, err := BindQuery(c, "Q", `SELECT Order.date FROM Order WHERE Order.Pid = Order.Cid`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.JoinConds) != 0 || len(q.Selections) != 1 {
+		t.Errorf("joins = %v, selections = %v", q.JoinConds, q.Selections)
+	}
+}
+
+func TestBindDisjunctionStaysSelection(t *testing.T) {
+	c := bindCatalog(t)
+	q, err := BindQuery(c, "Q", `SELECT Division.name FROM Division WHERE city = 'LA' OR city = 'SF'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Selections) != 1 {
+		t.Fatalf("selections = %v", q.Selections)
+	}
+	if _, ok := q.Selections[0].(*algebra.Or); !ok {
+		t.Errorf("selection = %T", q.Selections[0])
+	}
+}
+
+func TestBindSelectionHelper(t *testing.T) {
+	c := bindCatalog(t)
+	q, err := BindQuery(c, "Q", `SELECT Division.name FROM Division WHERE city = 'LA' AND name = 'Re'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := q.Selection()
+	if _, ok := sel.(*algebra.And); !ok {
+		t.Errorf("Selection() = %T", sel)
+	}
+	empty, err := BindQuery(c, "Q", `SELECT Division.name FROM Division`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Selection() != nil {
+		t.Errorf("Selection() of unrestricted query = %v", empty.Selection())
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	c := bindCatalog(t)
+	tests := []struct {
+		name, sql, wantErr string
+	}{
+		{"unknown relation", `SELECT x FROM Ghost`, "unknown relation"},
+		{"self join", `SELECT Product.name FROM Product, Product`, "self-joins"},
+		{"duplicate alias", `SELECT P.name FROM Product P, Division P`, "duplicate alias"},
+		{"unknown qualifier", `SELECT Zz.name FROM Product`, "unknown relation or alias"},
+		{"unknown column", `SELECT Product.nope FROM Product`, "unknown column"},
+		{"ambiguous column", `SELECT name FROM Product, Division WHERE Product.Did = Division.Did`, "ambiguous column"},
+		{"cartesian product", `SELECT Product.name FROM Product, Division`, "cartesian products"},
+		{"unknown column in where", `SELECT Product.name FROM Product WHERE ghost = 1`, "unknown column"},
+		{"literal vs literal", `SELECT Product.name FROM Product WHERE 1 = 1`, "two literals"},
+		{"bad date string", `SELECT Order.date FROM Order WHERE date > 'bogus'`, "cannot parse date"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := BindQuery(c, "Q", tt.sql)
+			if err == nil {
+				t.Fatal("BindQuery succeeded")
+			}
+			if !strings.Contains(err.Error(), tt.wantErr) {
+				t.Errorf("error %q does not contain %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestBindNotPredicate(t *testing.T) {
+	c := bindCatalog(t)
+	q, err := BindQuery(c, "Q", `SELECT Division.name FROM Division WHERE NOT city = 'LA'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := q.Selections[0].(*algebra.Not); !ok {
+		t.Errorf("selection = %T", q.Selections[0])
+	}
+}
+
+func TestBindQueryNamePropagatesInErrors(t *testing.T) {
+	c := bindCatalog(t)
+	_, err := BindQuery(c, "Q7", `SELECT x FROM`)
+	if err == nil || !strings.Contains(err.Error(), "Q7") {
+		t.Errorf("error %v does not mention query name", err)
+	}
+}

@@ -1,0 +1,39 @@
+package sqlparse
+
+import (
+	"fmt"
+
+	"github.com/warehousekit/mvpp/internal/algebra"
+	"github.com/warehousekit/mvpp/internal/catalog"
+)
+
+// ParseCondition parses and binds a bare WHERE-style condition (e.g.
+// `city = 'LA' OR city = 'SF'`) against the given relations. The public
+// facade uses this to let callers pin selectivities for predicates written
+// as SQL text.
+func ParseCondition(cat *catalog.Catalog, relations []string, cond string) (algebra.Predicate, error) {
+	toks, err := lex(cond)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: cond}
+	expr, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errorf("trailing input after condition")
+	}
+	b := &binder{cat: cat, aliases: make(map[string]string)}
+	for _, rel := range relations {
+		if _, err := cat.Relation(rel); err != nil {
+			return nil, err
+		}
+		if _, dup := b.aliases[rel]; dup {
+			return nil, fmt.Errorf("sqlparse: relation %s listed twice", rel)
+		}
+		b.aliases[rel] = rel
+		b.order = append(b.order, rel)
+	}
+	return b.toPredicate(expr)
+}

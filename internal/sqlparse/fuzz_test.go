@@ -1,0 +1,86 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParse checks the parser never panics and that accepted statements
+// satisfy basic shape invariants. `go test` runs the seed corpus; use
+// `go test -fuzz=FuzzParse ./internal/sqlparse` for continuous fuzzing.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`SELECT Product.name FROM Product, Division WHERE Division.city = 'LA' AND Product.Did = Division.Did`,
+		`SELECT x FROM R`,
+		`SELECT a, b, c FROM R, S, T WHERE a = 1 OR b = 2 AND c = 3`,
+		`SELECT COUNT(*) FROM R GROUP BY x`,
+		`SELECT SUM(v) AS total, MIN(v), MAX(v), AVG(v) FROM R WHERE d > 7/1/96 GROUP BY g`,
+		`select lower from keywords`,
+		`SELECT x FROM R WHERE NOT (a = 1 OR NOT b = 2)`,
+		`SELECT x FROM R AS alias WHERE alias.y <> 'q"uote'`,
+		`SELECT`,
+		`SELECT x FROM`,
+		`'unterminated`,
+		`SELECT x FROM R WHERE a = 1.5 AND b = 12/31/99`,
+		`SELECT (((`,
+		"SELECT x\tFROM\nR",
+		`SELECT x FROM R WHERE a >= -`,
+		`SELECT ☃ FROM ☃`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		stmt, err := Parse(sql)
+		if err != nil {
+			return // rejects are fine; panics are not
+		}
+		if len(stmt.Projections) == 0 {
+			t.Errorf("accepted statement with no projections: %q", sql)
+		}
+		if len(stmt.From) == 0 {
+			t.Errorf("accepted statement with no FROM: %q", sql)
+		}
+		for _, item := range stmt.Projections {
+			if (item.Col == nil) == (item.Agg == nil) {
+				t.Errorf("select item is neither column nor aggregate: %q", sql)
+			}
+			if !utf8.ValidString(item.String()) {
+				t.Errorf("select item renders invalid UTF-8: %q", sql)
+			}
+		}
+		for _, tr := range stmt.From {
+			if strings.TrimSpace(tr.Name) == "" {
+				t.Errorf("empty relation name accepted: %q", sql)
+			}
+		}
+	})
+}
+
+// FuzzLex checks the lexer never panics and always terminates with EOF.
+func FuzzLex(f *testing.F) {
+	for _, s := range []string{
+		"a = b", "1/2/96", "'str'", `"str"`, "<= >= <> != < >", "((()))",
+		"100 2.5 0.", "ident_with_9", "*", "!", "#",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		toks, err := lex(input)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].kind != tokEOF {
+			t.Errorf("token stream does not end with EOF: %q", input)
+		}
+		for _, tok := range toks[:len(toks)-1] {
+			if tok.kind == tokEOF {
+				t.Errorf("interior EOF token: %q", input)
+			}
+			if tok.pos < 0 || tok.pos > len(input) {
+				t.Errorf("token position %d out of range: %q", tok.pos, input)
+			}
+		}
+	})
+}

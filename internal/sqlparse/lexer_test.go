@@ -1,0 +1,132 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []token) []tokenKind {
+	out := make([]tokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.kind
+	}
+	return out
+}
+
+func TestLexBasicQuery(t *testing.T) {
+	toks, err := lex(`SELECT Pd.name FROM Product WHERE city = 'LA'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []tokenKind{
+		tokKeyword, tokIdent, tokDot, tokIdent, tokKeyword, tokIdent,
+		tokKeyword, tokIdent, tokOp, tokString, tokEOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("token kinds = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexKeywordCaseInsensitive(t *testing.T) {
+	toks, err := lex("select x from y where z = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].text != "SELECT" || toks[2].text != "FROM" || toks[4].text != "WHERE" {
+		t.Errorf("keywords not normalized: %v %v %v", toks[0].text, toks[2].text, toks[4].text)
+	}
+	// identifiers keep case
+	if toks[1].text != "x" {
+		t.Errorf("identifier mangled: %q", toks[1].text)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := lex("a = b <> c != d < e <= f > g >= h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []string
+	for _, tok := range toks {
+		if tok.kind == tokOp {
+			ops = append(ops, tok.text)
+		}
+	}
+	want := []string{"=", "<>", "<>", "<", "<=", ">", ">="}
+	if len(ops) != len(want) {
+		t.Fatalf("ops = %v", ops)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("op %d = %q, want %q", i, ops[i], want[i])
+		}
+	}
+}
+
+func TestLexDateLiteral(t *testing.T) {
+	toks, err := lex("date > 7/1/96")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].kind != tokDate || toks[2].text != "7/1/96" {
+		t.Errorf("date token = %v %q", toks[2].kind, toks[2].text)
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := lex("100 2.5 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].text != "100" || toks[1].text != "2.5" || toks[2].text != "0" {
+		t.Errorf("numbers = %q %q %q", toks[0].text, toks[1].text, toks[2].text)
+	}
+}
+
+func TestLexStringsBothQuotes(t *testing.T) {
+	toks, err := lex(`'LA' "SF"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].text != "LA" || toks[1].text != "SF" {
+		t.Errorf("strings = %q %q", toks[0].text, toks[1].text)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	tests := []struct {
+		name, in, wantErr string
+	}{
+		{"unterminated string", "'abc", "unterminated string"},
+		{"bare bang", "a ! b", "unexpected '!'"},
+		{"bad char", "a # b", "unexpected character"},
+		{"malformed date", "7/x", "malformed date"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := lex(tt.in)
+			if err == nil {
+				t.Fatal("lex succeeded")
+			}
+			if !strings.Contains(err.Error(), tt.wantErr) {
+				t.Errorf("error %q does not contain %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestLexEmptyInput(t *testing.T) {
+	toks, err := lex("   ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 1 || toks[0].kind != tokEOF {
+		t.Errorf("tokens = %v", toks)
+	}
+}

@@ -1,0 +1,406 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Stmt is the unbound parse tree of a SELECT statement.
+type Stmt struct {
+	// Projections lists the SELECT items (columns or aggregates).
+	Projections []SelectItem
+	// From lists the relations with optional aliases.
+	From []TableRef
+	// Where is the root of the predicate tree; nil when absent.
+	Where Expr
+	// GroupBy lists the GROUP BY columns; empty when absent.
+	GroupBy []ColRef
+}
+
+// SelectItem is one entry of the SELECT list: a plain column or an
+// aggregate expression.
+type SelectItem struct {
+	Col *ColRef
+	Agg *AggExpr
+}
+
+// String renders the item.
+func (s SelectItem) String() string {
+	if s.Agg != nil {
+		return s.Agg.String()
+	}
+	return s.Col.String()
+}
+
+// AggExpr is an aggregate-function call in the SELECT list.
+type AggExpr struct {
+	Func  string  // COUNT, SUM, MIN, MAX, AVG (upper case)
+	Arg   *ColRef // nil means COUNT(*)
+	Alias string  // empty when no AS clause
+}
+
+// String renders e.g. "SUM(quantity) AS total".
+func (a AggExpr) String() string {
+	arg := "*"
+	if a.Arg != nil {
+		arg = a.Arg.String()
+	}
+	out := a.Func + "(" + arg + ")"
+	if a.Alias != "" {
+		out += " AS " + a.Alias
+	}
+	return out
+}
+
+// ColRef is an unresolved column reference.
+type ColRef struct {
+	Qualifier string // relation or alias; empty when unqualified
+	Column    string
+}
+
+// String renders the reference.
+func (c ColRef) String() string {
+	if c.Qualifier == "" {
+		return c.Column
+	}
+	return c.Qualifier + "." + c.Column
+}
+
+// TableRef is one FROM-list entry.
+type TableRef struct {
+	Name  string
+	Alias string // empty when unaliased
+}
+
+// Expr is an unbound predicate expression.
+type Expr interface{ exprNode() }
+
+// BinExpr is AND/OR over two subexpressions.
+type BinExpr struct {
+	Op    string // "AND" or "OR"
+	Left  Expr
+	Right Expr
+}
+
+// NotExpr negates a subexpression.
+type NotExpr struct {
+	Expr Expr
+}
+
+// CmpExpr is an atomic comparison.
+type CmpExpr struct {
+	Left  Operand
+	Op    string // "=", "<>", "<", "<=", ">", ">="
+	Right Operand
+}
+
+// Operand is either a column reference or a literal.
+type Operand struct {
+	Col      *ColRef
+	IntLit   *int64
+	FloatLit *float64
+	StrLit   *string
+	DateLit  *string // original spelling, e.g. "7/1/96"
+}
+
+func (*BinExpr) exprNode() {}
+func (*NotExpr) exprNode() {}
+func (*CmpExpr) exprNode() {}
+
+type parser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+// Parse parses one SELECT statement.
+func Parse(sql string) (*Stmt, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: sql}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errorf("trailing input after statement")
+	}
+	return stmt, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	t := p.peek()
+	loc := fmt.Sprintf(" at offset %d", t.pos)
+	if t.kind == tokEOF {
+		loc = " at end of input"
+	}
+	return fmt.Errorf("sqlparse: "+format+loc, args...)
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.peek()
+	if t.kind != tokKeyword || t.text != kw {
+		return p.errorf("expected %s, found %q", kw, t.text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) parseSelect() (*Stmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &Stmt{}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Projections = append(stmt.Projections, item)
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.next()
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokIdent {
+			return nil, p.errorf("expected relation name, found %q", t.text)
+		}
+		p.next()
+		tr := TableRef{Name: t.text}
+		if p.peek().kind == tokKeyword && p.peek().text == "AS" {
+			p.next()
+			a := p.peek()
+			if a.kind != tokIdent {
+				return nil, p.errorf("expected alias after AS, found %q", a.text)
+			}
+			p.next()
+			tr.Alias = a.text
+		} else if p.peek().kind == tokIdent {
+			tr.Alias = p.next().text
+		}
+		stmt.From = append(stmt.From, tr)
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.next()
+	}
+	if p.peek().kind == tokKeyword && p.peek().text == "WHERE" {
+		p.next()
+		expr, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = expr
+	}
+	if p.peek().kind == tokKeyword && p.peek().text == "GROUP" {
+		p.next()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			ref, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, ref)
+			if p.peek().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	return stmt, nil
+}
+
+// aggFuncs are the aggregate-function names recognized (case-insensitively)
+// when followed by an opening parenthesis.
+var aggFuncs = map[string]bool{
+	"COUNT": true, "SUM": true, "MIN": true, "MAX": true, "AVG": true,
+}
+
+// parseSelectItem parses a plain column or an aggregate call with optional
+// alias.
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	t := p.peek()
+	if t.kind == tokIdent && aggFuncs[strings.ToUpper(t.text)] && p.toks[p.pos+1].kind == tokLParen {
+		p.next() // function name
+		p.next() // (
+		agg := &AggExpr{Func: strings.ToUpper(t.text)}
+		if p.peek().kind == tokStar {
+			p.next()
+			if agg.Func != "COUNT" {
+				return SelectItem{}, p.errorf("%s(*) is not valid; only COUNT(*)", agg.Func)
+			}
+		} else {
+			ref, err := p.parseColRef()
+			if err != nil {
+				return SelectItem{}, err
+			}
+			agg.Arg = &ref
+		}
+		if p.peek().kind != tokRParen {
+			return SelectItem{}, p.errorf("expected ')' after aggregate argument")
+		}
+		p.next()
+		if p.peek().kind == tokKeyword && p.peek().text == "AS" {
+			p.next()
+			a := p.peek()
+			if a.kind != tokIdent {
+				return SelectItem{}, p.errorf("expected alias after AS, found %q", a.text)
+			}
+			p.next()
+			agg.Alias = a.text
+		}
+		return SelectItem{Agg: agg}, nil
+	}
+	ref, err := p.parseColRef()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	return SelectItem{Col: &ref}, nil
+}
+
+func (p *parser) parseColRef() (ColRef, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return ColRef{}, p.errorf("expected column reference, found %q", t.text)
+	}
+	p.next()
+	if p.peek().kind == tokDot {
+		p.next()
+		c := p.peek()
+		if c.kind != tokIdent {
+			return ColRef{}, p.errorf("expected column name after '.', found %q", c.text)
+		}
+		p.next()
+		return ColRef{Qualifier: t.text, Column: c.text}, nil
+	}
+	return ColRef{Column: t.text}, nil
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokKeyword && p.peek().text == "OR" {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinExpr{Op: "OR", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokKeyword && p.peek().text == "AND" {
+		p.next()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinExpr{Op: "AND", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.peek().kind == tokKeyword && p.peek().text == "NOT" {
+		p.next()
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{Expr: inner}, nil
+	}
+	if p.peek().kind == tokLParen {
+		p.next()
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind != tokRParen {
+			return nil, p.errorf("expected ')'")
+		}
+		p.next()
+		return inner, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	left, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind != tokOp {
+		return nil, p.errorf("expected comparison operator, found %q", t.text)
+	}
+	p.next()
+	right, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	return &CmpExpr{Left: left, Op: t.text, Right: right}, nil
+}
+
+func (p *parser) parseOperand() (Operand, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokIdent:
+		ref, err := p.parseColRef()
+		if err != nil {
+			return Operand{}, err
+		}
+		return Operand{Col: &ref}, nil
+	case tokNumber:
+		p.next()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return Operand{}, p.errorf("bad float literal %q", t.text)
+			}
+			return Operand{FloatLit: &f}, nil
+		}
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return Operand{}, p.errorf("bad integer literal %q", t.text)
+		}
+		return Operand{IntLit: &v}, nil
+	case tokString:
+		p.next()
+		s := t.text
+		return Operand{StrLit: &s}, nil
+	case tokDate:
+		p.next()
+		d := t.text
+		return Operand{DateLit: &d}, nil
+	default:
+		return Operand{}, p.errorf("expected operand, found %s", t.kind)
+	}
+}

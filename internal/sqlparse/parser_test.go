@@ -1,0 +1,172 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePaperQuery1(t *testing.T) {
+	stmt, err := Parse(`Select Pd.name From Product AS Pd, Division AS Div Where Div.city = 'LA' and Pd.Did = Div.Did`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmt.Projections) != 1 || stmt.Projections[0].String() != "Pd.name" {
+		t.Errorf("projections = %v", stmt.Projections)
+	}
+	if len(stmt.From) != 2 {
+		t.Fatalf("from = %v", stmt.From)
+	}
+	if stmt.From[0].Name != "Product" || stmt.From[0].Alias != "Pd" {
+		t.Errorf("from[0] = %+v", stmt.From[0])
+	}
+	bin, ok := stmt.Where.(*BinExpr)
+	if !ok || bin.Op != "AND" {
+		t.Fatalf("where = %#v", stmt.Where)
+	}
+}
+
+func TestParseImplicitAlias(t *testing.T) {
+	stmt, err := Parse(`SELECT name FROM Product Pd`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.From[0].Alias != "Pd" {
+		t.Errorf("alias = %q", stmt.From[0].Alias)
+	}
+}
+
+func TestParseMultipleProjections(t *testing.T) {
+	stmt, err := Parse(`SELECT Cust.name, Pd.name, quantity FROM Cust, Pd, Ord`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmt.Projections) != 3 {
+		t.Fatalf("projections = %v", stmt.Projections)
+	}
+	if col := stmt.Projections[2].Col; col == nil || col.Qualifier != "" || col.Column != "quantity" {
+		t.Errorf("unqualified projection = %+v", stmt.Projections[2])
+	}
+}
+
+func TestParseNoWhere(t *testing.T) {
+	stmt, err := Parse(`SELECT x FROM R`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Where != nil {
+		t.Errorf("where = %#v", stmt.Where)
+	}
+}
+
+func TestParsePrecedenceOrAnd(t *testing.T) {
+	// a=1 OR b=2 AND c=3 must parse as a=1 OR (b=2 AND c=3)
+	stmt, err := Parse(`SELECT x FROM R WHERE a = 1 OR b = 2 AND c = 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	or, ok := stmt.Where.(*BinExpr)
+	if !ok || or.Op != "OR" {
+		t.Fatalf("root = %#v", stmt.Where)
+	}
+	and, ok := or.Right.(*BinExpr)
+	if !ok || and.Op != "AND" {
+		t.Fatalf("right = %#v", or.Right)
+	}
+}
+
+func TestParseParenthesesOverridePrecedence(t *testing.T) {
+	stmt, err := Parse(`SELECT x FROM R WHERE (a = 1 OR b = 2) AND c = 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	and, ok := stmt.Where.(*BinExpr)
+	if !ok || and.Op != "AND" {
+		t.Fatalf("root = %#v", stmt.Where)
+	}
+	if or, ok := and.Left.(*BinExpr); !ok || or.Op != "OR" {
+		t.Fatalf("left = %#v", and.Left)
+	}
+}
+
+func TestParseNot(t *testing.T) {
+	stmt, err := Parse(`SELECT x FROM R WHERE NOT a = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := stmt.Where.(*NotExpr); !ok {
+		t.Fatalf("where = %#v", stmt.Where)
+	}
+}
+
+func TestParseDateComparison(t *testing.T) {
+	stmt, err := Parse(`SELECT x FROM R WHERE date > 7/1/96`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, ok := stmt.Where.(*CmpExpr)
+	if !ok {
+		t.Fatalf("where = %#v", stmt.Where)
+	}
+	if cmp.Right.DateLit == nil || *cmp.Right.DateLit != "7/1/96" {
+		t.Errorf("date literal = %+v", cmp.Right)
+	}
+}
+
+func TestParseLiteralKinds(t *testing.T) {
+	stmt, err := Parse(`SELECT x FROM R WHERE a = 100 AND b = 2.5 AND c = 'LA'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cmps []*CmpExpr
+	var collect func(Expr)
+	collect = func(e Expr) {
+		switch v := e.(type) {
+		case *BinExpr:
+			collect(v.Left)
+			collect(v.Right)
+		case *CmpExpr:
+			cmps = append(cmps, v)
+		}
+	}
+	collect(stmt.Where)
+	if len(cmps) != 3 {
+		t.Fatalf("comparisons = %d", len(cmps))
+	}
+	if cmps[0].Right.IntLit == nil || *cmps[0].Right.IntLit != 100 {
+		t.Errorf("int literal = %+v", cmps[0].Right)
+	}
+	if cmps[1].Right.FloatLit == nil || *cmps[1].Right.FloatLit != 2.5 {
+		t.Errorf("float literal = %+v", cmps[1].Right)
+	}
+	if cmps[2].Right.StrLit == nil || *cmps[2].Right.StrLit != "LA" {
+		t.Errorf("string literal = %+v", cmps[2].Right)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name, sql, wantErr string
+	}{
+		{"missing select", `FROM R`, "expected SELECT"},
+		{"missing from", `SELECT x WHERE a = 1`, "expected FROM"},
+		{"missing relation", `SELECT x FROM WHERE`, "expected relation name"},
+		{"dangling comma", `SELECT x, FROM R`, "expected column reference"},
+		{"bad operator position", `SELECT x FROM R WHERE a 1`, "expected comparison operator"},
+		{"unclosed paren", `SELECT x FROM R WHERE (a = 1`, "expected ')'"},
+		{"trailing garbage", `SELECT x FROM R extra junk`, "trailing input"},
+		{"missing operand", `SELECT x FROM R WHERE a =`, "expected operand"},
+		{"dot without column", `SELECT r. FROM R`, "expected column name"},
+		{"alias missing after AS", `SELECT x FROM R AS`, "expected alias"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Parse(tt.sql)
+			if err == nil {
+				t.Fatal("Parse succeeded")
+			}
+			if !strings.Contains(err.Error(), tt.wantErr) {
+				t.Errorf("error %q does not contain %q", err, tt.wantErr)
+			}
+		})
+	}
+}

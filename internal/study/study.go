@@ -1,0 +1,213 @@
+// Package study implements the paper's last future-work item: "developing
+// an analytical model for a multiple view processing environment ... a good
+// analytical model will allow us to simulate various environments with
+// different view mixes". It sweeps environment parameters — base-update
+// rates, query skew, the share of summary queries, workload size — over
+// synthetic star-schema workloads and reports how the recommended design
+// and its payoff move.
+package study
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/warehousekit/mvpp/internal/core"
+	"github.com/warehousekit/mvpp/internal/cost"
+	"github.com/warehousekit/mvpp/internal/optimizer"
+	"github.com/warehousekit/mvpp/internal/viz"
+	"github.com/warehousekit/mvpp/internal/workload"
+)
+
+// Point is one sweep measurement.
+type Point struct {
+	// Param is the swept parameter's value at this point.
+	Param float64
+	// Views is how many views the design materializes.
+	Views int
+	// DesignTotal, VirtualTotal and AllMatTotal are the §4.1 totals of the
+	// recommended design and the two extremes.
+	DesignTotal, VirtualTotal, AllMatTotal float64
+	// Saving is 1 − DesignTotal/VirtualTotal.
+	Saving float64
+}
+
+// Env fixes the non-swept environment parameters.
+type Env struct {
+	Dims          int
+	Queries       int
+	Seed          int64
+	ZipfSkew      float64
+	UpdateScale   float64 // multiplies the star schema's update frequencies
+	AggregateProb float64
+}
+
+// DefaultEnv is the baseline environment.
+func DefaultEnv() Env {
+	return Env{Dims: 5, Queries: 8, Seed: 11, ZipfSkew: 1, UpdateScale: 1, AggregateProb: 0.3}
+}
+
+// Measure designs views for the environment and reports the point with the
+// given swept-parameter label value.
+func Measure(env Env, param float64) (Point, error) {
+	spec := workload.DefaultStar(env.Dims)
+	spec.FactUpdateFreq *= env.UpdateScale
+	spec.DimUpdateFreq *= env.UpdateScale
+	cat, err := workload.Star(spec)
+	if err != nil {
+		return Point{}, err
+	}
+	qs := workload.DefaultQueries(spec)
+	qs.AggregateProb = env.AggregateProb
+	queries, err := workload.Queries(cat, spec, qs, env.Queries, env.Seed)
+	if err != nil {
+		return Point{}, err
+	}
+	freqs := workload.ZipfFrequencies(env.Queries, env.ZipfSkew, 50)
+
+	model := &cost.PaperModel{}
+	est := cost.NewEstimator(cat, cost.DefaultOptions())
+	opt := optimizer.New(est, model, optimizer.Options{})
+	plans := make([]core.QueryPlan, len(queries))
+	for i, q := range queries {
+		p, _, err := opt.Optimize(q)
+		if err != nil {
+			return Point{}, fmt.Errorf("study: %s: %w", q.Name, err)
+		}
+		plans[i] = core.QueryPlan{Name: q.Name, Freq: freqs[i], Plan: p}
+	}
+	cands, err := core.Generate(est, model, plans, core.GenOptions{
+		MaxRotations: 3,
+		Select:       core.SelectOptions{DiscountedMaintenance: true},
+	})
+	if err != nil {
+		return Point{}, err
+	}
+	best := core.Best(cands)
+	virtual := best.MVPP.AllVirtual(model)
+	allMat := best.MVPP.AllQueriesMaterialized(model)
+
+	design := best.Selection.Costs
+	// Safety net, mirroring the facade.
+	if virtual.Total < design.Total {
+		design = virtual
+		best.Selection.Materialized = core.VertexSet{}
+	}
+	if allMat.Total < design.Total {
+		design = allMat
+	}
+	p := Point{
+		Param:        param,
+		Views:        len(best.Selection.Materialized),
+		DesignTotal:  design.Total,
+		VirtualTotal: virtual.Total,
+		AllMatTotal:  allMat.Total,
+	}
+	if virtual.Total > 0 {
+		p.Saving = 1 - design.Total/virtual.Total
+	}
+	return p, nil
+}
+
+// Sweep is a named parameter sweep.
+type Sweep struct {
+	Name   string
+	Param  string
+	Points []Point
+}
+
+// UpdateRateSweep varies how often base relations change: frequent updates
+// erode the value of materialization.
+func UpdateRateSweep(env Env, scales []float64) (Sweep, error) {
+	s := Sweep{Name: "update rate", Param: "fu multiplier"}
+	for _, scale := range scales {
+		e := env
+		e.UpdateScale = scale
+		pt, err := Measure(e, scale)
+		if err != nil {
+			return Sweep{}, err
+		}
+		s.Points = append(s.Points, pt)
+	}
+	return s, nil
+}
+
+// SkewSweep varies query-frequency skew: concentrated workloads reward
+// materializing the hot queries' intermediates.
+func SkewSweep(env Env, skews []float64) (Sweep, error) {
+	s := Sweep{Name: "query skew", Param: "zipf s"}
+	for _, skew := range skews {
+		e := env
+		e.ZipfSkew = skew
+		pt, err := Measure(e, skew)
+		if err != nil {
+			return Sweep{}, err
+		}
+		s.Points = append(s.Points, pt)
+	}
+	return s, nil
+}
+
+// MixSweep varies the share of summary (aggregate) queries — the "view
+// mixes" of the paper's future-work sentence.
+func MixSweep(env Env, shares []float64) (Sweep, error) {
+	s := Sweep{Name: "summary-query share", Param: "aggregate fraction"}
+	for _, share := range shares {
+		e := env
+		e.AggregateProb = share
+		pt, err := Measure(e, share)
+		if err != nil {
+			return Sweep{}, err
+		}
+		s.Points = append(s.Points, pt)
+	}
+	return s, nil
+}
+
+// SizeSweep varies the workload size.
+func SizeSweep(env Env, sizes []int) (Sweep, error) {
+	s := Sweep{Name: "workload size", Param: "queries"}
+	for _, n := range sizes {
+		e := env
+		e.Queries = n
+		pt, err := Measure(e, float64(n))
+		if err != nil {
+			return Sweep{}, err
+		}
+		s.Points = append(s.Points, pt)
+	}
+	return s, nil
+}
+
+// Render prints a sweep as an aligned table.
+func Render(s Sweep) string {
+	var b strings.Builder
+	b.WriteString(fmt.Sprintf("sweep: %s\n", s.Name))
+	b.WriteString(fmt.Sprintf("%14s %7s %14s %14s %14s %9s\n",
+		s.Param, "views", "design", "all-virtual", "all-mat", "saving"))
+	for _, p := range s.Points {
+		b.WriteString(fmt.Sprintf("%14g %7d %14s %14s %14s %8.1f%%\n",
+			p.Param, p.Views,
+			viz.FormatCost(p.DesignTotal), viz.FormatCost(p.VirtualTotal),
+			viz.FormatCost(p.AllMatTotal), 100*p.Saving))
+	}
+	return b.String()
+}
+
+// All runs the standard battery of sweeps.
+func All(env Env) ([]Sweep, error) {
+	var out []Sweep
+	steps := []func() (Sweep, error){
+		func() (Sweep, error) { return UpdateRateSweep(env, []float64{0.1, 0.5, 1, 5, 25, 125}) },
+		func() (Sweep, error) { return SkewSweep(env, []float64{0, 0.5, 1, 2}) },
+		func() (Sweep, error) { return MixSweep(env, []float64{0, 0.25, 0.5, 0.75, 1}) },
+		func() (Sweep, error) { return SizeSweep(env, []int{2, 4, 8, 12, 16}) },
+	}
+	for _, step := range steps {
+		s, err := step()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

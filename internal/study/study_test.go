@@ -1,0 +1,109 @@
+package study_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/warehousekit/mvpp/internal/study"
+)
+
+func TestMeasureInvariants(t *testing.T) {
+	env := study.DefaultEnv()
+	env.Queries = 5
+	pt, err := study.Measure(env, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.DesignTotal <= 0 || pt.VirtualTotal <= 0 {
+		t.Errorf("degenerate totals: %+v", pt)
+	}
+	if pt.DesignTotal > pt.VirtualTotal+1e-9 {
+		t.Errorf("design %v worse than all-virtual %v", pt.DesignTotal, pt.VirtualTotal)
+	}
+	if pt.DesignTotal > pt.AllMatTotal+1e-9 {
+		t.Errorf("design %v worse than all-materialized %v", pt.DesignTotal, pt.AllMatTotal)
+	}
+	if pt.Saving < 0 || pt.Saving > 1 {
+		t.Errorf("saving = %v", pt.Saving)
+	}
+}
+
+func TestUpdateRateSweepMonotoneStory(t *testing.T) {
+	env := study.DefaultEnv()
+	env.Queries = 5
+	s, err := study.UpdateRateSweep(env, []float64{0.1, 1, 100, 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 4 {
+		t.Fatalf("points = %d", len(s.Points))
+	}
+	// The paper's central trade-off: savings shrink as updates speed up.
+	first, last := s.Points[0], s.Points[len(s.Points)-1]
+	if first.Saving <= last.Saving {
+		t.Errorf("saving should shrink with update rate: %v → %v", first.Saving, last.Saving)
+	}
+	// At extreme update rates materialization (nearly) disappears.
+	if last.Views > first.Views {
+		t.Errorf("views grew with update rate: %d → %d", first.Views, last.Views)
+	}
+}
+
+func TestSkewSweep(t *testing.T) {
+	env := study.DefaultEnv()
+	env.Queries = 5
+	s, err := study.SkewSweep(env, []float64{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range s.Points {
+		if p.DesignTotal > p.VirtualTotal {
+			t.Errorf("skew %v: design above virtual", p.Param)
+		}
+	}
+}
+
+func TestRender(t *testing.T) {
+	env := study.DefaultEnv()
+	env.Queries = 4
+	s, err := study.MixSweep(env, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := study.Render(s)
+	for _, want := range []string{"sweep: summary-query share", "views", "saving", "%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "\n"); got != 4 { // title + header + 2 rows
+		t.Errorf("lines = %d", got)
+	}
+}
+
+func TestAllRunsEverySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full battery is slow")
+	}
+	env := study.DefaultEnv()
+	env.Queries = 4
+	sweeps, err := study.All(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweeps) != 4 {
+		t.Fatalf("sweeps = %d", len(sweeps))
+	}
+	names := map[string]bool{}
+	for _, s := range sweeps {
+		names[s.Name] = true
+		if len(s.Points) == 0 {
+			t.Errorf("%s: no points", s.Name)
+		}
+	}
+	for _, want := range []string{"update rate", "query skew", "summary-query share", "workload size"} {
+		if !names[want] {
+			t.Errorf("missing sweep %q", want)
+		}
+	}
+}

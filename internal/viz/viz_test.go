@@ -1,0 +1,156 @@
+package viz_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/warehousekit/mvpp/internal/core"
+	"github.com/warehousekit/mvpp/internal/cost"
+	"github.com/warehousekit/mvpp/internal/paper"
+	"github.com/warehousekit/mvpp/internal/viz"
+)
+
+func figure3(t *testing.T) (*core.MVPP, cost.Model) {
+	t.Helper()
+	ex, err := paper.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans, err := paper.Figure3Plans(ex.Catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := cost.NewEstimator(ex.Catalog, cost.PaperOptions())
+	model := &cost.PaperModel{}
+	b := core.NewBuilder(est, model)
+	for _, s := range plans {
+		if err := b.AddQuery(s.Name, s.Freq, s.Plan); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, model
+}
+
+func TestFormatCost(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{35250, "35.25k"},
+		{12.035e6, "12.035m"},
+		{250, "250"},
+		{95.671e6, "95.671m"},
+		{1000, "1k"},
+		{0, "0"},
+		{-25027625, "-25.028m"},
+		{-250, "-250"},
+	}
+	for _, tt := range tests {
+		if got := viz.FormatCost(tt.in); got != tt.want {
+			t.Errorf("FormatCost(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestPlanASCII(t *testing.T) {
+	ex, err := paper.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans, err := paper.Figure3Plans(ex.Catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := viz.PlanASCII(plans[0].Plan)
+	for _, want := range []string{"π Product.name", "⋈", `σ Division.city = "LA"`, "└── Division", "Product"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("PlanASCII missing %q:\n%s", want, out)
+		}
+	}
+	// The tree has 5 lines: π, ⋈, Product, σ, Division.
+	if got := strings.Count(out, "\n"); got != 5 {
+		t.Errorf("PlanASCII has %d lines:\n%s", got, out)
+	}
+}
+
+func TestMVPPASCII(t *testing.T) {
+	m, model := figure3(t)
+	res := m.SelectViews(model, core.SelectOptions{})
+	out := viz.MVPPASCII(m, res.Materialized)
+	for _, want := range []string{"tmp2", "tmp4", "35.25k", "result1", "Q3,Q4", "●"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("MVPPASCII missing %q:\n%s", want, out)
+		}
+	}
+	// One row per vertex plus header.
+	if got := strings.Count(out, "\n"); got != len(m.Vertices)+1 {
+		t.Errorf("MVPPASCII rows = %d, want %d", got, len(m.Vertices)+1)
+	}
+}
+
+func TestMVPPDOT(t *testing.T) {
+	m, _ := figure3(t)
+	tmp2, err := m.VertexByName("tmp2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := viz.MVPPDOT(m, core.NewVertexSet(tmp2))
+	for _, want := range []string{"digraph mvpp", "shape=box", "shape=doublecircle", "fillcolor=lightblue", "->"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("MVPPDOT missing %q", want)
+		}
+	}
+	// Every edge appears once: count "->" lines equals Σ in-degrees.
+	edges := 0
+	for _, v := range m.Vertices {
+		edges += len(v.In)
+	}
+	if got := strings.Count(out, "->"); got != edges {
+		t.Errorf("DOT edges = %d, want %d", got, edges)
+	}
+}
+
+func TestPlanDOT(t *testing.T) {
+	ex, err := paper.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans, err := paper.Figure3Plans(ex.Catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := viz.PlanDOT(plans[3].Plan)
+	if !strings.Contains(out, "digraph plan") || !strings.Contains(out, "shape=box") {
+		t.Errorf("PlanDOT output malformed:\n%s", out)
+	}
+}
+
+func TestCostTable(t *testing.T) {
+	m, model := figure3(t)
+	rows := []viz.CostRow{
+		{Strategy: "all virtual", Costs: m.AllVirtual(model)},
+		{Strategy: "all queries", Costs: m.AllQueriesMaterialized(model)},
+	}
+	out := viz.CostTable(rows)
+	if !strings.Contains(out, "all virtual") || !strings.Contains(out, "Maintenance") {
+		t.Errorf("CostTable malformed:\n%s", out)
+	}
+	if got := strings.Count(out, "\n"); got != 3 {
+		t.Errorf("CostTable rows = %d", got)
+	}
+}
+
+func TestTraceASCII(t *testing.T) {
+	m, model := figure3(t)
+	res := m.SelectViews(model, core.SelectOptions{})
+	out := viz.TraceASCII(res.Trace)
+	for _, want := range []string{"materialize", "reject", "prune-branch", "tmp4", "tmp2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("TraceASCII missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Package workload generates synthetic star-schema catalogs and SPJ query
+// workloads for scaling the evaluation beyond the paper's four-query
+// example (the paper's future work calls for "simulating various
+// environments with different view mixes"). Generation is seeded and
+// deterministic.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/warehousekit/mvpp/internal/algebra"
+	"github.com/warehousekit/mvpp/internal/catalog"
+	"github.com/warehousekit/mvpp/internal/sqlparse"
+)
+
+// StarSpec describes a star schema: one fact table referencing Dims
+// dimension tables.
+type StarSpec struct {
+	// Dims is the number of dimension tables (≥ 1).
+	Dims int
+	// FactRows and DimRows are the relation cardinalities.
+	FactRows, DimRows float64
+	// RowsPerBlock is the blocking factor used to derive block counts.
+	RowsPerBlock float64
+	// AttrNDV is the distinct-value count of each dimension's filterable
+	// attribute.
+	AttrNDV float64
+	// FactUpdateFreq and DimUpdateFreq are the fu values.
+	FactUpdateFreq, DimUpdateFreq float64
+}
+
+// DefaultStar returns a medium-size star schema specification.
+func DefaultStar(dims int) StarSpec {
+	return StarSpec{
+		Dims:           dims,
+		FactRows:       100000,
+		DimRows:        5000,
+		RowsPerBlock:   10,
+		AttrNDV:        50,
+		FactUpdateFreq: 1,
+		DimUpdateFreq:  0.1,
+	}
+}
+
+// DimName returns the i-th dimension's relation name.
+func DimName(i int) string { return fmt.Sprintf("Dim%02d", i) }
+
+// FactName is the fact table's relation name.
+const FactName = "Fact"
+
+// Star builds the catalog for a star schema.
+func Star(spec StarSpec) (*catalog.Catalog, error) {
+	if spec.Dims < 1 {
+		return nil, fmt.Errorf("workload: star schema needs at least one dimension")
+	}
+	if spec.RowsPerBlock <= 0 {
+		return nil, fmt.Errorf("workload: RowsPerBlock must be positive")
+	}
+	cat := catalog.New()
+
+	factCols := make([]algebra.Column, 0, spec.Dims+2)
+	factAttrs := make(map[string]catalog.AttrStats, spec.Dims+2)
+	factCols = append(factCols, algebra.Column{Relation: FactName, Name: "id", Type: algebra.TypeInt})
+	factAttrs["id"] = catalog.AttrStats{DistinctValues: spec.FactRows}
+	for i := 0; i < spec.Dims; i++ {
+		fk := fmt.Sprintf("fk%02d", i)
+		factCols = append(factCols, algebra.Column{Relation: FactName, Name: fk, Type: algebra.TypeInt})
+		factAttrs[fk] = catalog.AttrStats{DistinctValues: spec.DimRows}
+	}
+	factCols = append(factCols, algebra.Column{Relation: FactName, Name: "measure", Type: algebra.TypeInt})
+	factAttrs["measure"] = catalog.AttrStats{
+		DistinctValues: 1000,
+		Min:            algebra.IntVal(0),
+		Max:            algebra.IntVal(1000),
+	}
+	err := cat.AddRelation(&catalog.Relation{
+		Name:            FactName,
+		Schema:          algebra.NewSchema(factCols...),
+		Rows:            spec.FactRows,
+		Blocks:          math.Ceil(spec.FactRows / spec.RowsPerBlock),
+		UpdateFrequency: spec.FactUpdateFreq,
+		Attrs:           factAttrs,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for i := 0; i < spec.Dims; i++ {
+		name := DimName(i)
+		err := cat.AddRelation(&catalog.Relation{
+			Name: name,
+			Schema: algebra.NewSchema(
+				algebra.Column{Relation: name, Name: "id", Type: algebra.TypeInt},
+				algebra.Column{Relation: name, Name: "attr", Type: algebra.TypeString},
+				algebra.Column{Relation: name, Name: "name", Type: algebra.TypeString},
+			),
+			Rows:            spec.DimRows,
+			Blocks:          math.Ceil(spec.DimRows / spec.RowsPerBlock),
+			UpdateFrequency: spec.DimUpdateFreq,
+			Attrs: map[string]catalog.AttrStats{
+				"id":   {DistinctValues: spec.DimRows},
+				"attr": {DistinctValues: spec.AttrNDV},
+				"name": {DistinctValues: spec.DimRows},
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cat, nil
+}
+
+// QuerySpec tunes random query generation.
+type QuerySpec struct {
+	// MinDims and MaxDims bound how many dimensions each query joins.
+	MinDims, MaxDims int
+	// FilterProb is the probability a joined dimension gets an equality
+	// filter on its attr column.
+	FilterProb float64
+	// AttrValues is the pool size filters draw from (matching AttrNDV makes
+	// estimated selectivities exact).
+	AttrValues int
+	// AggregateProb is the probability a query is a summary query (GROUP BY
+	// the first joined dimension's attr with SUM(measure) and COUNT(*))
+	// instead of a detail query.
+	AggregateProb float64
+}
+
+// DefaultQueries returns the standard generation parameters.
+func DefaultQueries(spec StarSpec) QuerySpec {
+	max := spec.Dims
+	if max > 4 {
+		max = 4
+	}
+	return QuerySpec{MinDims: 1, MaxDims: max, FilterProb: 0.6, AttrValues: int(spec.AttrNDV)}
+}
+
+// Queries generates n bound star-join queries. Queries share dimension
+// subsets and filter values by construction, so common subexpressions
+// arise naturally (the situation the MVPP framework exists for).
+func Queries(cat *catalog.Catalog, star StarSpec, qs QuerySpec, n int, seed int64) ([]*sqlparse.Query, error) {
+	if qs.MinDims < 1 || qs.MaxDims < qs.MinDims || qs.MaxDims > star.Dims {
+		return nil, fmt.Errorf("workload: bad dimension bounds [%d,%d] for %d dims", qs.MinDims, qs.MaxDims, star.Dims)
+	}
+	r := rand.New(rand.NewSource(seed))
+	out := make([]*sqlparse.Query, 0, n)
+	for qi := 0; qi < n; qi++ {
+		nd := qs.MinDims + r.Intn(qs.MaxDims-qs.MinDims+1)
+		perm := r.Perm(star.Dims)[:nd]
+
+		q := &sqlparse.Query{
+			Name:      fmt.Sprintf("W%03d", qi+1),
+			Relations: []string{FactName},
+			Output: []algebra.ColumnRef{
+				algebra.Ref(FactName, "measure"),
+			},
+		}
+		for _, d := range perm {
+			dim := DimName(d)
+			q.Relations = append(q.Relations, dim)
+			q.JoinConds = append(q.JoinConds, algebra.JoinCond{
+				Left:  algebra.Ref(FactName, fmt.Sprintf("fk%02d", d)),
+				Right: algebra.Ref(dim, "id"),
+			})
+			q.Output = append(q.Output, algebra.Ref(dim, "name"))
+			if r.Float64() < qs.FilterProb {
+				val := fmt.Sprintf("v%03d", r.Intn(qs.AttrValues))
+				q.Selections = append(q.Selections, algebra.Eq(algebra.Ref(dim, "attr"), algebra.StringVal(val)))
+			}
+		}
+		if r.Float64() < qs.AggregateProb {
+			// Summary query: group by the first dimension's attr.
+			q.Output = nil
+			q.GroupBy = []algebra.ColumnRef{algebra.Ref(DimName(perm[0]), "attr")}
+			q.Aggregates = []algebra.Aggregation{
+				{Func: algebra.AggSum, Arg: algebra.Ref(FactName, "measure"), Alias: "total"},
+				{Func: algebra.AggCount, Alias: "n"},
+			}
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+// ZipfFrequencies assigns Zipf-distributed access frequencies to n queries:
+// frequency of rank k is scale/k^s. The first queries are the hot ones.
+func ZipfFrequencies(n int, s, scale float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = scale / math.Pow(float64(i+1), s)
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package workload_test
+
+import (
+	"testing"
+
+	"github.com/warehousekit/mvpp/internal/core"
+	"github.com/warehousekit/mvpp/internal/cost"
+	"github.com/warehousekit/mvpp/internal/optimizer"
+	"github.com/warehousekit/mvpp/internal/workload"
+)
+
+func TestStarCatalog(t *testing.T) {
+	spec := workload.DefaultStar(4)
+	cat, err := workload.Star(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rels := cat.Relations()
+	if len(rels) != 5 {
+		t.Fatalf("relations = %v", rels)
+	}
+	fact, err := cat.Relation(workload.FactName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fact.Schema.Len() != 6 { // id + 4 fks + measure
+		t.Errorf("fact width = %d", fact.Schema.Len())
+	}
+	if fact.Blocks != 10000 {
+		t.Errorf("fact blocks = %v", fact.Blocks)
+	}
+	if got := cat.UpdateFrequency(workload.DimName(0)); got != 0.1 {
+		t.Errorf("dim fu = %v", got)
+	}
+}
+
+func TestStarValidation(t *testing.T) {
+	if _, err := workload.Star(workload.StarSpec{Dims: 0, RowsPerBlock: 10}); err == nil {
+		t.Error("zero dimensions accepted")
+	}
+	bad := workload.DefaultStar(2)
+	bad.RowsPerBlock = 0
+	if _, err := workload.Star(bad); err == nil {
+		t.Error("zero blocking factor accepted")
+	}
+}
+
+func TestQueriesDeterministicAndBound(t *testing.T) {
+	spec := workload.DefaultStar(6)
+	cat, err := workload.Star(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := workload.DefaultQueries(spec)
+	a, err := workload.Queries(cat, spec, qs, 20, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := workload.Queries(cat, spec, qs, 20, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 20 {
+		t.Fatalf("generated %d queries", len(a))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || len(a[i].Relations) != len(b[i].Relations) {
+			t.Fatalf("query %d not deterministic", i)
+		}
+		nd := len(a[i].Relations) - 1
+		if nd < qs.MinDims || nd > qs.MaxDims {
+			t.Errorf("query %s joins %d dims outside [%d,%d]", a[i].Name, nd, qs.MinDims, qs.MaxDims)
+		}
+		if len(a[i].JoinConds) != nd {
+			t.Errorf("query %s has %d join conds for %d dims", a[i].Name, len(a[i].JoinConds), nd)
+		}
+	}
+}
+
+func TestQueriesValidation(t *testing.T) {
+	spec := workload.DefaultStar(2)
+	cat, err := workload.Star(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := workload.Queries(cat, spec, workload.QuerySpec{MinDims: 0, MaxDims: 2}, 5, 1); err == nil {
+		t.Error("MinDims=0 accepted")
+	}
+	if _, err := workload.Queries(cat, spec, workload.QuerySpec{MinDims: 1, MaxDims: 5}, 5, 1); err == nil {
+		t.Error("MaxDims beyond schema accepted")
+	}
+}
+
+func TestQueriesWithAggregates(t *testing.T) {
+	spec := workload.DefaultStar(4)
+	cat, err := workload.Star(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := workload.DefaultQueries(spec)
+	qs.AggregateProb = 1 // every query is a summary
+	queries, err := workload.Queries(cat, spec, qs, 10, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		if !q.IsAggregate() {
+			t.Errorf("%s: not an aggregate query", q.Name)
+		}
+		if len(q.GroupBy) != 1 || len(q.Aggregates) != 2 {
+			t.Errorf("%s: group=%v aggs=%v", q.Name, q.GroupBy, q.Aggregates)
+		}
+		if q.Output != nil {
+			t.Errorf("%s: aggregate query has Output %v", q.Name, q.Output)
+		}
+	}
+	// The generated aggregate queries flow through the optimizer.
+	est := cost.NewEstimator(cat, cost.DefaultOptions())
+	opt := optimizer.New(est, &cost.PaperModel{}, optimizer.Options{})
+	for _, q := range queries {
+		if _, _, err := opt.Optimize(q); err != nil {
+			t.Errorf("%s: %v", q.Name, err)
+		}
+	}
+}
+
+func TestZipfFrequencies(t *testing.T) {
+	f := workload.ZipfFrequencies(5, 1, 10)
+	if f[0] != 10 {
+		t.Errorf("f[0] = %v", f[0])
+	}
+	for i := 1; i < len(f); i++ {
+		if f[i] >= f[i-1] {
+			t.Errorf("frequencies not decreasing at %d: %v", i, f)
+		}
+	}
+	if f[4] != 2 { // 10/5
+		t.Errorf("f[4] = %v", f[4])
+	}
+}
+
+// TestWorkloadEndToEnd: generated workloads flow through the whole design
+// pipeline — optimize, generate MVPPs, select views — without error, and
+// the design beats the all-virtual baseline whenever it materializes
+// anything.
+func TestWorkloadEndToEnd(t *testing.T) {
+	spec := workload.DefaultStar(5)
+	cat, err := workload.Star(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := workload.Queries(cat, spec, workload.DefaultQueries(spec), 8, 2026)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freqs := workload.ZipfFrequencies(len(queries), 1, 20)
+
+	est := cost.NewEstimator(cat, cost.DefaultOptions())
+	model := &cost.PaperModel{}
+	opt := optimizer.New(est, model, optimizer.Options{})
+
+	plans := make([]core.QueryPlan, len(queries))
+	for i, q := range queries {
+		p, _, err := opt.Optimize(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		plans[i] = core.QueryPlan{Name: q.Name, Freq: freqs[i], Plan: p}
+	}
+	cands, err := core.Generate(est, model, plans, core.GenOptions{MaxRotations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := core.Best(cands)
+	if best == nil {
+		t.Fatal("no candidate")
+	}
+	virtual := best.MVPP.AllVirtual(model)
+	if len(best.Selection.Materialized) > 0 && best.Selection.Costs.Total > virtual.Total {
+		t.Errorf("design %v worse than all-virtual %v", best.Selection.Costs.Total, virtual.Total)
+	}
+}

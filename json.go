@@ -1,0 +1,140 @@
+package mvpp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// CatalogJSON is the serialized schema-and-statistics format consumed by
+// LoadCatalog and the mvdesign CLI.
+type CatalogJSON struct {
+	Tables        []TableJSON       `json:"tables"`
+	Selectivities []SelectivityJSON `json:"selectivities,omitempty"`
+	JoinSizes     []JoinSizeJSON    `json:"joinSizes,omitempty"`
+}
+
+// TableJSON declares one table.
+type TableJSON struct {
+	Name            string              `json:"name"`
+	Columns         []ColumnJSON        `json:"columns"`
+	Rows            float64             `json:"rows"`
+	Blocks          float64             `json:"blocks"`
+	UpdateFrequency float64             `json:"updateFrequency"`
+	DistinctValues  map[string]float64  `json:"distinctValues,omitempty"`
+	IntRanges       map[string][2]int64 `json:"intRanges,omitempty"`
+}
+
+// ColumnJSON declares one column; type is "int", "float", "string" or
+// "date".
+type ColumnJSON struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+// SelectivityJSON pins a predicate selectivity.
+type SelectivityJSON struct {
+	Condition string   `json:"condition"`
+	Tables    []string `json:"tables"`
+	Value     float64  `json:"value"`
+}
+
+// JoinSizeJSON pins a join-result size.
+type JoinSizeJSON struct {
+	Tables []string `json:"tables"`
+	Rows   float64  `json:"rows"`
+	Blocks float64  `json:"blocks"`
+}
+
+// WorkloadJSON is the serialized query-workload format.
+type WorkloadJSON struct {
+	Queries []QueryJSON `json:"queries"`
+}
+
+// QueryJSON declares one query.
+type QueryJSON struct {
+	Name      string  `json:"name"`
+	SQL       string  `json:"sql"`
+	Frequency float64 `json:"frequency"`
+}
+
+func parseType(s string) (Type, error) {
+	switch s {
+	case "int":
+		return Int, nil
+	case "float":
+		return Float, nil
+	case "string":
+		return String, nil
+	case "date":
+		return Date, nil
+	default:
+		return 0, fmt.Errorf("mvpp: unknown column type %q", s)
+	}
+}
+
+// LoadCatalog reads a CatalogJSON document and builds the catalog.
+func LoadCatalog(r io.Reader) (*Catalog, error) {
+	var doc CatalogJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("mvpp: parsing catalog: %w", err)
+	}
+	if len(doc.Tables) == 0 {
+		return nil, fmt.Errorf("mvpp: catalog defines no tables")
+	}
+	cat := NewCatalog()
+	for _, t := range doc.Tables {
+		cols := make([]Column, len(t.Columns))
+		for i, c := range t.Columns {
+			ct, err := parseType(c.Type)
+			if err != nil {
+				return nil, fmt.Errorf("mvpp: table %s: %w", t.Name, err)
+			}
+			cols[i] = Column{Name: c.Name, Type: ct}
+		}
+		err := cat.AddTable(t.Name, cols, TableStats{
+			Rows:            t.Rows,
+			Blocks:          t.Blocks,
+			UpdateFrequency: t.UpdateFrequency,
+			DistinctValues:  t.DistinctValues,
+			IntRanges:       t.IntRanges,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range doc.Selectivities {
+		if err := cat.PinSelectivity(s.Condition, s.Value, s.Tables...); err != nil {
+			return nil, err
+		}
+	}
+	for _, j := range doc.JoinSizes {
+		if err := cat.PinJoinSize(j.Tables, j.Rows, j.Blocks); err != nil {
+			return nil, err
+		}
+	}
+	return cat, nil
+}
+
+// LoadWorkload reads a WorkloadJSON document and registers its queries on
+// a fresh designer over the catalog.
+func LoadWorkload(r io.Reader, cat *Catalog, opts Options) (*Designer, error) {
+	var doc WorkloadJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("mvpp: parsing workload: %w", err)
+	}
+	if len(doc.Queries) == 0 {
+		return nil, fmt.Errorf("mvpp: workload defines no queries")
+	}
+	d := NewDesigner(cat, opts)
+	for _, q := range doc.Queries {
+		if err := d.AddQuery(q.Name, q.SQL, q.Frequency); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,106 @@
+package mvpp_test
+
+import (
+	"strings"
+	"testing"
+
+	mvpp "github.com/warehousekit/mvpp"
+)
+
+const catalogDoc = `{
+  "tables": [
+    {
+      "name": "Division",
+      "columns": [
+        {"name": "Did", "type": "int"},
+        {"name": "name", "type": "string"},
+        {"name": "city", "type": "string"}
+      ],
+      "rows": 5000, "blocks": 500, "updateFrequency": 1,
+      "distinctValues": {"Did": 5000, "city": 50}
+    },
+    {
+      "name": "Product",
+      "columns": [
+        {"name": "Pid", "type": "int"},
+        {"name": "name", "type": "string"},
+        {"name": "Did", "type": "int"}
+      ],
+      "rows": 30000, "blocks": 3000, "updateFrequency": 1,
+      "distinctValues": {"Pid": 30000, "Did": 5000}
+    }
+  ],
+  "selectivities": [
+    {"condition": "city = 'LA'", "tables": ["Division"], "value": 0.02}
+  ],
+  "joinSizes": [
+    {"tables": ["Product", "Division"], "rows": 30000, "blocks": 5000}
+  ]
+}`
+
+const workloadDoc = `{
+  "queries": [
+    {
+      "name": "Q1",
+      "sql": "SELECT Product.name FROM Product, Division WHERE Division.city = 'LA' AND Product.Did = Division.Did",
+      "frequency": 10
+    }
+  ]
+}`
+
+func TestLoadCatalogAndWorkload(t *testing.T) {
+	cat, err := mvpp.LoadCatalog(strings.NewReader(catalogDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cat.Tables(); len(got) != 2 {
+		t.Fatalf("tables = %v", got)
+	}
+	d, err := mvpp.LoadWorkload(strings.NewReader(workloadDoc), cat, mvpp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	design, err := d.Design()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if design.Costs().TotalCost <= 0 {
+		t.Error("design has no cost")
+	}
+}
+
+func TestLoadCatalogErrors(t *testing.T) {
+	tests := []struct {
+		name, doc string
+	}{
+		{"invalid json", `{`},
+		{"no tables", `{"tables": []}`},
+		{"bad type", `{"tables": [{"name": "T", "columns": [{"name": "a", "type": "blob"}], "rows": 1, "blocks": 1}]}`},
+		{"unknown field", `{"tablez": []}`},
+		{"bad selectivity table", `{"tables": [{"name": "T", "columns": [{"name": "a", "type": "int"}], "rows": 1, "blocks": 1}],
+			"selectivities": [{"condition": "a = 1", "tables": ["Ghost"], "value": 0.5}]}`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := mvpp.LoadCatalog(strings.NewReader(tt.doc)); err == nil {
+				t.Error("LoadCatalog succeeded")
+			}
+		})
+	}
+}
+
+func TestLoadWorkloadErrors(t *testing.T) {
+	cat, err := mvpp.LoadCatalog(strings.NewReader(catalogDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, doc := range []string{
+		`{`,
+		`{"queries": []}`,
+		`{"queries": [{"name": "Q", "sql": "SELECT x FROM Ghost", "frequency": 1}]}`,
+	} {
+		if _, err := mvpp.LoadWorkload(strings.NewReader(doc), cat, mvpp.Options{}); err == nil {
+			t.Errorf("LoadWorkload accepted %q", doc)
+		}
+	}
+}

@@ -1,0 +1,296 @@
+package mvpp_test
+
+import (
+	"strings"
+	"testing"
+
+	mvpp "github.com/warehousekit/mvpp"
+)
+
+// paperCatalog rebuilds the paper's Table 1 through the public API.
+func paperCatalog(t *testing.T) *mvpp.Catalog {
+	t.Helper()
+	cat := mvpp.NewCatalog()
+	add := func(name string, cols []mvpp.Column, stats mvpp.TableStats) {
+		t.Helper()
+		if err := cat.AddTable(name, cols, stats); err != nil {
+			t.Fatalf("AddTable(%s): %v", name, err)
+		}
+	}
+	add("Product", []mvpp.Column{
+		{Name: "Pid", Type: mvpp.Int}, {Name: "name", Type: mvpp.String}, {Name: "Did", Type: mvpp.Int},
+	}, mvpp.TableStats{Rows: 30000, Blocks: 3000, UpdateFrequency: 1,
+		DistinctValues: map[string]float64{"Pid": 30000, "Did": 5000}})
+	add("Division", []mvpp.Column{
+		{Name: "Did", Type: mvpp.Int}, {Name: "name", Type: mvpp.String}, {Name: "city", Type: mvpp.String},
+	}, mvpp.TableStats{Rows: 5000, Blocks: 500, UpdateFrequency: 1,
+		DistinctValues: map[string]float64{"Did": 5000, "city": 50}})
+	add("Order", []mvpp.Column{
+		{Name: "Pid", Type: mvpp.Int}, {Name: "Cid", Type: mvpp.Int},
+		{Name: "quantity", Type: mvpp.Int}, {Name: "date", Type: mvpp.Date},
+	}, mvpp.TableStats{Rows: 50000, Blocks: 6000, UpdateFrequency: 1,
+		DistinctValues: map[string]float64{"Pid": 30000, "Cid": 20000, "quantity": 200},
+		IntRanges:      map[string][2]int64{"quantity": {1, 200}}})
+	add("Customer", []mvpp.Column{
+		{Name: "Cid", Type: mvpp.Int}, {Name: "name", Type: mvpp.String}, {Name: "city", Type: mvpp.String},
+	}, mvpp.TableStats{Rows: 20000, Blocks: 2000, UpdateFrequency: 1,
+		DistinctValues: map[string]float64{"Cid": 20000, "city": 50}})
+	add("Part", []mvpp.Column{
+		{Name: "Tid", Type: mvpp.Int}, {Name: "name", Type: mvpp.String},
+		{Name: "Pid", Type: mvpp.Int}, {Name: "supplier", Type: mvpp.String},
+	}, mvpp.TableStats{Rows: 80000, Blocks: 10000, UpdateFrequency: 1,
+		DistinctValues: map[string]float64{"Tid": 80000, "Pid": 30000}})
+	if err := cat.PinSelectivity(`city = 'LA'`, 0.02, "Division"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.PinSelectivity(`date > 7/1/96`, 0.5, "Order"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.PinSelectivity(`quantity > 100`, 0.5, "Order"); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func paperDesigner(t *testing.T, opts mvpp.Options) *mvpp.Designer {
+	t.Helper()
+	d := mvpp.NewDesigner(paperCatalog(t), opts)
+	queries := []mvpp.Query{
+		{Name: "Q1", Frequency: 10, SQL: `SELECT Product.name FROM Product, Division WHERE Division.city = 'LA' AND Product.Did = Division.Did`},
+		{Name: "Q2", Frequency: 0.5, SQL: `SELECT Part.name FROM Product, Part, Division WHERE Division.city = 'LA' AND Product.Did = Division.Did AND Part.Pid = Product.Pid`},
+		{Name: "Q3", Frequency: 0.8, SQL: `SELECT Customer.name, Product.name, quantity FROM Product, Division, Order, Customer WHERE Division.city = 'LA' AND Product.Did = Division.Did AND Product.Pid = Order.Pid AND Order.Cid = Customer.Cid AND date > 7/1/96`},
+		{Name: "Q4", Frequency: 5, SQL: `SELECT Customer.city, date FROM Order, Customer WHERE quantity > 100 AND Order.Cid = Customer.Cid`},
+	}
+	for _, q := range queries {
+		if err := d.AddQuery(q.Name, q.SQL, q.Frequency); err != nil {
+			t.Fatalf("AddQuery(%s): %v", q.Name, err)
+		}
+	}
+	return d
+}
+
+func TestDesignEndToEnd(t *testing.T) {
+	d := paperDesigner(t, mvpp.Options{})
+	design, err := d.Design()
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := design.Costs()
+	if costs.TotalCost <= 0 {
+		t.Errorf("total cost = %v", costs.TotalCost)
+	}
+	if costs.TotalCost > costs.AllVirtualTotal {
+		t.Errorf("design %v worse than all-virtual %v", costs.TotalCost, costs.AllVirtualTotal)
+	}
+	if costs.TotalCost > costs.AllMaterializedTotal {
+		t.Errorf("design %v worse than all-materialized %v", costs.TotalCost, costs.AllMaterializedTotal)
+	}
+	if len(costs.PerQuery) != 4 {
+		t.Errorf("per-query entries = %d", len(costs.PerQuery))
+	}
+	if design.Candidates() == 0 {
+		t.Error("no candidates evaluated")
+	}
+	views := design.Views()
+	if len(views) == 0 {
+		t.Error("paper workload should materialize something")
+	}
+	for _, v := range views {
+		if v.Name == "" || v.Definition == "" || len(v.UsedBy) == 0 {
+			t.Errorf("incomplete view %+v", v)
+		}
+	}
+}
+
+func TestDesignReportRendering(t *testing.T) {
+	d := paperDesigner(t, mvpp.Options{})
+	design, err := d.Design()
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := design.Report()
+	for _, want := range []string{
+		"MATERIALIZED VIEW DESIGN", "recommended materialized views",
+		"query processing", "vs all-virtual", "MVPP",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if !strings.Contains(design.DOT(), "digraph mvpp") {
+		t.Error("DOT output malformed")
+	}
+	if !strings.Contains(design.Trace(), "materialize") {
+		t.Error("trace output malformed")
+	}
+	if len(design.VertexNames()) == 0 {
+		t.Error("no vertex names")
+	}
+}
+
+func TestDesignEvaluateStrategy(t *testing.T) {
+	d := paperDesigner(t, mvpp.Options{})
+	design, err := d.Design()
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := design.VertexNames()
+	q, m, total, err := design.EvaluateStrategy(names[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != q+m {
+		t.Errorf("total %v != query %v + maintenance %v", total, q, m)
+	}
+	if _, _, _, err := design.EvaluateStrategy([]string{"ghost"}); err == nil {
+		t.Error("unknown strategy vertex accepted")
+	}
+}
+
+func TestDesignerValidation(t *testing.T) {
+	cat := paperCatalog(t)
+	d := mvpp.NewDesigner(cat, mvpp.Options{})
+	if _, err := d.Design(); err == nil {
+		t.Error("empty workload accepted")
+	}
+	if err := d.AddQuery("Q", `SELECT nope FROM Ghost`, 1); err == nil {
+		t.Error("bad SQL accepted")
+	}
+	if err := d.AddQuery("Q", `SELECT Division.name FROM Division`, -1); err == nil {
+		t.Error("negative frequency accepted")
+	}
+	if err := d.AddQuery("Q", `SELECT Division.name FROM Division`, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddQuery("Q", `SELECT Division.name FROM Division`, 1); err == nil {
+		t.Error("duplicate name accepted")
+	}
+}
+
+func TestCatalogValidation(t *testing.T) {
+	cat := mvpp.NewCatalog()
+	if err := cat.AddTable("T", nil, mvpp.TableStats{}); err == nil {
+		t.Error("empty column list accepted")
+	}
+	if err := cat.AddTable("T", []mvpp.Column{{Name: "a", Type: mvpp.Type(99)}}, mvpp.TableStats{}); err == nil {
+		t.Error("bad type accepted")
+	}
+	if err := cat.AddTable("T", []mvpp.Column{{Name: "a", Type: mvpp.Int}}, mvpp.TableStats{Rows: 10, Blocks: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cat.Tables(); len(got) != 1 || got[0] != "T" {
+		t.Errorf("Tables = %v", got)
+	}
+	if err := cat.PinSelectivity(`a = 1`, 0.5, "T"); err != nil {
+		t.Errorf("PinSelectivity: %v", err)
+	}
+	if err := cat.PinSelectivity(`bogus ===`, 0.5, "T"); err == nil {
+		t.Error("bad condition accepted")
+	}
+	if err := cat.PinJoinSize([]string{"T"}, 1, 1); err == nil {
+		t.Error("single-table join size accepted")
+	}
+}
+
+func TestDesignWithDistribution(t *testing.T) {
+	local, err := paperDesigner(t, mvpp.Options{}).Design()
+	if err != nil {
+		t.Fatal(err)
+	}
+	remoteOpts := mvpp.Options{Distribution: &mvpp.Distribution{
+		SiteOf: map[string]string{
+			"Product": "siteA", "Division": "siteA",
+			"Order": "siteB", "Customer": "siteB", "Part": "siteC",
+		},
+		BlockTransferCost: 2,
+	}}
+	remote, err := paperDesigner(t, remoteOpts).Design()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remote.Costs().AllVirtualTotal <= local.Costs().AllVirtualTotal {
+		t.Errorf("distribution should raise the all-virtual baseline: %v vs %v",
+			remote.Costs().AllVirtualTotal, local.Costs().AllVirtualTotal)
+	}
+}
+
+func TestDesignExhaustiveNoWorseThanHeuristic(t *testing.T) {
+	heur, err := paperDesigner(t, mvpp.Options{}).Design()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := paperDesigner(t, mvpp.Options{Exhaustive: true}).Design()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Costs().TotalCost > heur.Costs().TotalCost+1e-6 {
+		t.Errorf("exhaustive %v worse than heuristic %v",
+			exact.Costs().TotalCost, heur.Costs().TotalCost)
+	}
+}
+
+func TestDesignModelVariants(t *testing.T) {
+	for _, kind := range []mvpp.ModelKind{
+		mvpp.ModelPaperNLJ, mvpp.ModelBlockNLJ, mvpp.ModelHashJoin, mvpp.ModelSortMerge,
+	} {
+		design, err := paperDesigner(t, mvpp.Options{Model: kind}).Design()
+		if err != nil {
+			t.Fatalf("model %d: %v", kind, err)
+		}
+		if design.Costs().TotalCost <= 0 {
+			t.Errorf("model %d: total = %v", kind, design.Costs().TotalCost)
+		}
+	}
+}
+
+func TestDesignPaperSizesMode(t *testing.T) {
+	cat := paperCatalog(t)
+	for _, pin := range []struct {
+		tables       []string
+		rows, blocks float64
+	}{
+		{[]string{"Product", "Division"}, 30000, 5000},
+		{[]string{"Product", "Division", "Part"}, 80000, 20000},
+		{[]string{"Order", "Customer"}, 25000, 5000},
+		{[]string{"Product", "Division", "Order", "Customer"}, 25000, 5000},
+	} {
+		if err := cat.PinJoinSize(pin.tables, pin.rows, pin.blocks); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := mvpp.NewDesigner(cat, mvpp.Options{PaperSizes: true})
+	if err := d.AddQuery("Q1", `SELECT Product.name FROM Product, Division WHERE Division.city = 'LA' AND Product.Did = Division.Did`, 10); err != nil {
+		t.Fatal(err)
+	}
+	design, err := d.Design()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if design.Costs().TotalCost <= 0 {
+		t.Error("paper-sizes design has zero cost")
+	}
+}
+
+func TestExplainQuery(t *testing.T) {
+	design, err := paperDesigner(t, mvpp.Options{}).Design()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := design.ExplainQuery("Q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"π", "⋈", "Division"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain missing %q:\n%s", want, out)
+		}
+	}
+	// Q1 shares its join with Q2/Q3 in every sensible design — the tree
+	// must mark at least one shared vertex.
+	if !strings.Contains(out, "shared") {
+		t.Errorf("no shared marker in explain:\n%s", out)
+	}
+	if _, err := design.ExplainQuery("ghost"); err == nil {
+		t.Error("unknown query explained")
+	}
+}

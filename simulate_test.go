@@ -1,0 +1,83 @@
+package mvpp_test
+
+import (
+	"testing"
+
+	mvpp "github.com/warehousekit/mvpp"
+)
+
+func TestSimulateDesignSpeedsUpWorkload(t *testing.T) {
+	design, err := paperDesigner(t, mvpp.Options{}).Design()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := design.Simulate(mvpp.SimOptions{Scale: 0.01, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sim.PerQuery) != 4 {
+		t.Fatalf("per-query entries = %d", len(sim.PerQuery))
+	}
+	for q, s := range sim.PerQuery {
+		if s.DirectReads <= 0 {
+			t.Errorf("%s: direct reads = %d", q, s.DirectReads)
+		}
+		if s.RewrittenReads > s.DirectReads {
+			t.Errorf("%s: views made execution slower: %d > %d", q, s.RewrittenReads, s.DirectReads)
+		}
+	}
+	if sim.Speedup() <= 1 {
+		t.Errorf("workload speedup = %.2f, want > 1", sim.Speedup())
+	}
+	if sim.RefreshIO <= 0 || sim.MaterializeIO <= 0 {
+		t.Errorf("maintenance I/O not measured: refresh=%d materialize=%d", sim.RefreshIO, sim.MaterializeIO)
+	}
+	if sim.WeightedTotal != sim.WeightedRewritten+float64(sim.RefreshIO) {
+		t.Error("WeightedTotal mismatch")
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	design, err := paperDesigner(t, mvpp.Options{}).Design()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := design.Simulate(mvpp.SimOptions{Scale: 0.005, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := design.Simulate(mvpp.SimOptions{Scale: 0.005, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.WeightedDirect != b.WeightedDirect || a.RefreshIO != b.RefreshIO {
+		t.Error("simulation not deterministic for equal seeds")
+	}
+	for q := range a.PerQuery {
+		if a.PerQuery[q] != b.PerQuery[q] {
+			t.Errorf("%s differs between runs", q)
+		}
+	}
+}
+
+func TestSimulateQueriesReturnRows(t *testing.T) {
+	// The synthetic generator must produce data the selections actually
+	// match ('LA' appears in Division.city etc.) so queries are non-trivial.
+	design, err := paperDesigner(t, mvpp.Options{}).Design()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := design.Simulate(mvpp.SimOptions{Scale: 0.02, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonEmpty := 0
+	for _, s := range sim.PerQuery {
+		if s.Rows > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 2 {
+		t.Errorf("only %d of 4 queries returned rows — generator domains do not match literals", nonEmpty)
+	}
+}
