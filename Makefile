@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all fmt vet build test race bench check
+
+all: check
+
+# Fail when any file needs gofmt.
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The full pre-commit gate.
+check: fmt vet build test race
+
+# Write the Design() benchmark baseline consumed by regression checks.
+bench:
+	$(GO) run ./scripts/benchjson -out BENCH_design.json
+	@cat BENCH_design.json

@@ -209,6 +209,31 @@ func BenchmarkDesignEndToEnd(b *testing.B) {
 	}
 }
 
+// BenchmarkDesign times Design() alone (workload pre-bound) with no
+// observer attached — the baseline the instrumentation overhead guard in
+// observe_test.go and scripts/benchjson compare against.
+func BenchmarkDesign(b *testing.B) {
+	d := benchPaperDesigner(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Design(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDesignObserved is BenchmarkDesignEndToEnd with a fresh trace
+// recorder per iteration, to price the instrumented path (rebuilding per
+// iteration keeps one recorder from accumulating every prior trace).
+func BenchmarkDesignObserved(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := benchPaperDesignerOpts(b, mvpp.Options{Observer: mvpp.NewTraceRecorder(nil)})
+		if _, err := d.Design(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkDesignScaling grows the workload on a star schema — the
 // scalability study the paper's future work calls for.
 func BenchmarkDesignScaling(b *testing.B) {
@@ -554,7 +579,14 @@ func BenchmarkEngineSimulation(b *testing.B) {
 }
 
 // benchPaperDesigner builds the paper workload through the public API.
-func benchPaperDesigner(b *testing.B) *mvpp.Designer {
+func benchPaperDesigner(b testing.TB) *mvpp.Designer {
+	b.Helper()
+	return benchPaperDesignerOpts(b, mvpp.Options{})
+}
+
+// paperDesigner is benchPaperDesigner with caller-chosen options (tests use
+// it to attach an Observer).
+func benchPaperDesignerOpts(b testing.TB, opts mvpp.Options) *mvpp.Designer {
 	b.Helper()
 	cat := mvpp.NewCatalog()
 	fail := func(err error) {
@@ -589,7 +621,7 @@ func benchPaperDesigner(b *testing.B) *mvpp.Designer {
 	fail(cat.PinSelectivity(`date > 7/1/96`, 0.5, "Order"))
 	fail(cat.PinSelectivity(`quantity > 100`, 0.5, "Order"))
 
-	d := mvpp.NewDesigner(cat, mvpp.Options{})
+	d := mvpp.NewDesigner(cat, opts)
 	fail(d.AddQuery("Q1", `SELECT Product.name FROM Product, Division WHERE Division.city = 'LA' AND Product.Did = Division.Did`, 10))
 	fail(d.AddQuery("Q2", `SELECT Part.name FROM Product, Part, Division WHERE Division.city = 'LA' AND Product.Did = Division.Did AND Part.Pid = Product.Pid`, 0.5))
 	fail(d.AddQuery("Q3", `SELECT Customer.name, Product.name, quantity FROM Product, Division, Order, Customer WHERE Division.city = 'LA' AND Product.Did = Division.Did AND Product.Pid = Order.Pid AND Order.Cid = Customer.Cid AND date > 7/1/96`, 0.8))

@@ -17,13 +17,14 @@ import (
 	"os"
 
 	mvpp "github.com/warehousekit/mvpp"
+	"github.com/warehousekit/mvpp/internal/cli"
 )
 
 func main() {
 	os.Exit(run())
 }
 
-func run() int {
+func run() (status int) {
 	var (
 		catalogPath  = flag.String("catalog", "", "path to the catalog JSON (required)")
 		workloadPath = flag.String("workload", "", "path to the workload JSON (required)")
@@ -41,6 +42,9 @@ func run() int {
 		simulate     = flag.Bool("simulate", false, "run the design on synthetic data in the embedded engine")
 		simScale     = flag.Float64("sim-scale", 0.01, "simulation data scale relative to catalog statistics")
 		simSeed      = flag.Int64("sim-seed", 1, "simulation data seed")
+		logLevel     = flag.String("log-level", "", "log pipeline spans and events to stderr at this level (debug, info, warn, error)")
+		traceOut     = flag.String("trace-out", "", "write a JSON trace of the design run to this file")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -49,6 +53,19 @@ func run() int {
 		flag.Usage()
 		return 2
 	}
+	obsy, err := cli.Setup(*logLevel, *traceOut, *pprofAddr, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mvdesign:", err)
+		return 2
+	}
+	defer func() {
+		if err := obsy.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "mvdesign: writing trace:", err)
+			if status == 0 {
+				status = 1
+			}
+		}
+	}()
 	kind, ok := map[string]mvpp.ModelKind{
 		"paper-nlj":  mvpp.ModelPaperNLJ,
 		"block-nlj":  mvpp.ModelBlockNLJ,
@@ -87,6 +104,7 @@ func run() int {
 		Rotations:             *rotations,
 		PushDisjunctions:      *disjunctions,
 		PushProjections:       *projections,
+		Observer:              obsy.Observer,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mvdesign:", err)

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/warehousekit/mvpp/internal/cli"
 	"github.com/warehousekit/mvpp/internal/study"
 )
 
@@ -22,19 +23,37 @@ func main() {
 	os.Exit(run())
 }
 
-func run() int {
+func run() (status int) {
 	var (
-		dims    = flag.Int("dims", 5, "star-schema dimension count")
-		queries = flag.Int("queries", 8, "workload size (non-size sweeps)")
-		seed    = flag.Int64("seed", 11, "workload generation seed")
-		sweep   = flag.String("sweep", "", "run only one sweep: update, skew, mix, size")
+		dims      = flag.Int("dims", 5, "star-schema dimension count")
+		queries   = flag.Int("queries", 8, "workload size (non-size sweeps)")
+		seed      = flag.Int64("seed", 11, "workload generation seed")
+		sweep     = flag.String("sweep", "", "run only one sweep: update, skew, mix, size")
+		logLevel  = flag.String("log-level", "", "log pipeline spans and events to stderr at this level (debug, info, warn, error)")
+		traceOut  = flag.String("trace-out", "", "write a JSON trace of the sweeps to this file")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and expvar on this address")
 	)
 	flag.Parse()
+
+	obsy, err := cli.Setup(*logLevel, *traceOut, *pprofAddr, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mvstudy:", err)
+		return 2
+	}
+	defer func() {
+		if err := obsy.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "mvstudy: writing trace:", err)
+			if status == 0 {
+				status = 1
+			}
+		}
+	}()
 
 	env := study.DefaultEnv()
 	env.Dims = *dims
 	env.Queries = *queries
 	env.Seed = *seed
+	env.Obs = obsy.Observer
 
 	type runner struct {
 		name string

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/warehousekit/mvpp/internal/cli"
 	"github.com/warehousekit/mvpp/internal/repro"
 )
 
@@ -22,12 +23,29 @@ func main() {
 	os.Exit(run())
 }
 
-func run() int {
+func run() (status int) {
 	only := flag.String("only", "", "print only the artifact with this id")
 	list := flag.Bool("list", false, "list artifact ids and exit")
+	logLevel := flag.String("log-level", "", "log pipeline spans and events to stderr at this level (debug, info, warn, error)")
+	traceOut := flag.String("trace-out", "", "write a JSON trace of the artifact runs to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address")
 	flag.Parse()
 
-	exps, err := repro.All()
+	obsy, err := cli.Setup(*logLevel, *traceOut, *pprofAddr, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperrepro:", err)
+		return 2
+	}
+	defer func() {
+		if err := obsy.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "paperrepro: writing trace:", err)
+			if status == 0 {
+				status = 1
+			}
+		}
+	}()
+
+	exps, err := repro.All(obsy.Observer)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "paperrepro:", err)
 		return 1

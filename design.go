@@ -7,6 +7,8 @@ import (
 
 	"github.com/warehousekit/mvpp/internal/core"
 	"github.com/warehousekit/mvpp/internal/cost"
+	"github.com/warehousekit/mvpp/internal/obs"
+	"github.com/warehousekit/mvpp/internal/sqlparse"
 	"github.com/warehousekit/mvpp/internal/viz"
 )
 
@@ -18,7 +20,13 @@ type Design struct {
 	selection  *core.SelectionResult
 	candidates []*core.Candidate
 	queries    []Query
-	catalog    *Catalog
+	// bound holds the workload's parsed-and-bound queries (parallel to
+	// queries), carried over from the designer so Simulate never re-parses.
+	bound   []*sqlparse.Query
+	catalog *Catalog
+	// obsv is the designer's observer, carried over so Simulate can report
+	// engine I/O. Nil when observability is off.
+	obsv obs.Observer
 }
 
 // View describes one recommended materialized view.

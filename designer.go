@@ -5,6 +5,7 @@ import (
 
 	"github.com/warehousekit/mvpp/internal/core"
 	"github.com/warehousekit/mvpp/internal/cost"
+	"github.com/warehousekit/mvpp/internal/obs"
 	"github.com/warehousekit/mvpp/internal/optimizer"
 	"github.com/warehousekit/mvpp/internal/sqlparse"
 )
@@ -76,6 +77,11 @@ type Options struct {
 	IndexedViews bool
 	// Distribution places tables on remote sites; nil means co-located.
 	Distribution *Distribution
+	// Observer receives spans, events, and counters from the whole design
+	// pipeline (see NewLogObserver, NewTraceRecorder, TeeObservers). Nil —
+	// the default — disables instrumentation entirely: the pipeline then
+	// pays only nil checks.
+	Observer Observer
 }
 
 // Distribution describes a distributed warehouse: base tables live on
@@ -102,6 +108,10 @@ type Designer struct {
 	cat     *Catalog
 	opts    Options
 	queries []Query
+	// bound caches each query's parse-and-bind result from AddQuery, so
+	// Design and Simulate never re-parse SQL already validated at
+	// registration. bound[i] corresponds to queries[i].
+	bound []*sqlparse.Query
 }
 
 // NewDesigner creates a designer over the catalog.
@@ -110,20 +120,22 @@ func NewDesigner(cat *Catalog, opts Options) *Designer {
 }
 
 // AddQuery registers a query. The SQL is parsed and bound immediately so
-// errors surface at registration.
+// errors surface at registration; the bound form is cached for Design.
 func (d *Designer) AddQuery(name, sql string, frequency float64) error {
 	if frequency < 0 {
 		return fmt.Errorf("mvpp: query %s has negative frequency", name)
-	}
-	if _, err := sqlparse.BindQuery(d.cat.inner, name, sql); err != nil {
-		return fmt.Errorf("mvpp: %w", err)
 	}
 	for _, q := range d.queries {
 		if q.Name == name {
 			return fmt.Errorf("mvpp: duplicate query name %q", name)
 		}
 	}
+	bound, err := sqlparse.BindQuery(d.cat.inner, name, sql)
+	if err != nil {
+		return fmt.Errorf("mvpp: %w", err)
+	}
 	d.queries = append(d.queries, Query{Name: name, SQL: sql, Frequency: frequency})
+	d.bound = append(d.bound, bound)
 	return nil
 }
 
@@ -145,32 +157,42 @@ func (d *Designer) Design() (*Design, error) {
 	if err != nil {
 		return nil, err
 	}
+	dsp := obs.Start(d.opts.Observer, "design",
+		obs.Int("queries", int64(len(d.queries))))
+	defer obs.End(dsp)
+	dobs := obs.From(dsp)
+
 	estOpts := cost.DefaultOptions()
 	if d.opts.PaperSizes {
 		estOpts = cost.PaperOptions()
 	}
 	est := cost.NewEstimator(d.cat.inner, estOpts)
-	opt := optimizer.New(est, model, optimizer.Options{LeftDeepOnly: d.opts.LeftDeepPlans})
+	est.Instrument(obs.RegistryOf(dobs))
 
+	osp := obs.Start(dobs, "optimize")
+	opt := optimizer.New(est, model, optimizer.Options{
+		LeftDeepOnly: d.opts.LeftDeepPlans,
+		Obs:          obs.From(osp),
+	})
 	plans := make([]core.QueryPlan, len(d.queries))
 	for i, q := range d.queries {
-		bound, err := sqlparse.BindQuery(d.cat.inner, q.Name, q.SQL)
+		plan, _, err := opt.Optimize(d.bound[i])
 		if err != nil {
-			return nil, fmt.Errorf("mvpp: %w", err)
-		}
-		plan, _, err := opt.Optimize(bound)
-		if err != nil {
+			obs.End(osp)
 			return nil, fmt.Errorf("mvpp: %w", err)
 		}
 		plans[i] = core.QueryPlan{Name: q.Name, Freq: q.Frequency, Plan: plan}
 	}
+	obs.End(osp)
 
+	selOpts := core.SelectOptions{DiscountedMaintenance: d.opts.DiscountedMaintenance}
 	cands, err := core.Generate(est, model, plans, core.GenOptions{
 		MaxRotations:     d.opts.Rotations,
 		PushDisjunctions: d.opts.PushDisjunctions,
 		PushProjections:  d.opts.PushProjections,
 		NoPushdown:       d.opts.NoPushdown,
-		Select:           core.SelectOptions{DiscountedMaintenance: d.opts.DiscountedMaintenance},
+		Select:           selOpts,
+		Obs:              dobs,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("mvpp: %w", err)
@@ -178,12 +200,15 @@ func (d *Designer) Design() (*Design, error) {
 
 	// Apply the distribution (if any) to every candidate, then re-select on
 	// the final cost structure.
+	esp := obs.Start(dobs, "evaluate", obs.Int("candidates", int64(len(cands))))
+	eobs := obs.From(esp)
+	selOpts.Obs = eobs
 	for _, c := range cands {
+		c.MVPP.SetObserver(eobs)
 		if d.opts.IndexedViews {
 			c.MVPP.SetIndexedViews(true)
 			// Re-select so the heuristic's evaluation sees indexed costs.
-			c.Selection = c.MVPP.SelectViews(model,
-				core.SelectOptions{DiscountedMaintenance: d.opts.DiscountedMaintenance})
+			c.Selection = c.MVPP.SelectViews(model, selOpts)
 		}
 		if d.opts.Distribution != nil {
 			dist := core.Distribution{
@@ -194,12 +219,14 @@ func (d *Designer) Design() (*Design, error) {
 				},
 			}
 			if err := c.MVPP.ApplyDistribution(dist); err != nil {
+				obs.End(esp)
 				return nil, fmt.Errorf("mvpp: %w", err)
 			}
 		}
 		if d.opts.Exhaustive {
 			opt, err := c.MVPP.ExhaustiveOptimal(model)
 			if err != nil {
+				obs.End(esp)
 				return nil, fmt.Errorf("mvpp: %w", err)
 			}
 			c.Selection = &core.SelectionResult{
@@ -209,20 +236,34 @@ func (d *Designer) Design() (*Design, error) {
 		} else if d.opts.Distribution != nil {
 			// Re-run the heuristic so its evaluation reflects transfer
 			// costs.
-			c.Selection = c.MVPP.SelectViews(model,
-				core.SelectOptions{DiscountedMaintenance: d.opts.DiscountedMaintenance})
+			c.Selection = c.MVPP.SelectViews(model, selOpts)
 		}
-		safeguardSelection(c, model)
+		safeguardSelection(c, model, eobs)
 	}
+	obs.End(esp)
 
 	best := core.Best(cands)
+	if dsp != nil {
+		virtual := best.MVPP.AllVirtual(model)
+		allMat := best.MVPP.AllQueriesMaterialized(model)
+		dsp.Annotate(obs.Int("views", int64(len(best.Selection.Materialized))),
+			obs.Float("total", best.Selection.Costs.Total))
+		dsp.Event(obs.EvCosts,
+			obs.Float("query_cost", best.Selection.Costs.Query),
+			obs.Float("maintenance_cost", best.Selection.Costs.Maintenance),
+			obs.Float("total", best.Selection.Costs.Total),
+			obs.Float("all_virtual", virtual.Total),
+			obs.Float("all_materialized", allMat.Total))
+	}
 	return &Design{
 		mvpp:       best.MVPP,
 		model:      model,
 		selection:  best.Selection,
 		candidates: cands,
 		queries:    d.Queries(),
+		bound:      append([]*sqlparse.Query(nil), d.bound...),
 		catalog:    d.cat,
+		obsv:       d.opts.Observer,
 	}, nil
 }
 
@@ -231,8 +272,9 @@ func (d *Designer) Design() (*Design, error) {
 // (e.g. materializing a huge shared unfiltered join), so the designer also
 // prices "materialize nothing" and "materialize every query result" and
 // keeps the cheapest. The selection trace records the substitution.
-func safeguardSelection(c *core.Candidate, model cost.Model) {
+func safeguardSelection(c *core.Candidate, model cost.Model, o obs.Observer) {
 	m := c.MVPP
+	subs := obs.CounterOf(o, obs.CtrSafeguardSubs)
 	type alt struct {
 		name string
 		mat  core.VertexSet
@@ -247,6 +289,11 @@ func safeguardSelection(c *core.Candidate, model cost.Model) {
 	} {
 		costs := m.Evaluate(model, a.mat)
 		if costs.Total < c.Selection.Costs.Total {
+			subs.Add(1)
+			obs.Emit(o, obs.EvSafeguard,
+				obs.String("strategy", a.name),
+				obs.Float("greedy_total", c.Selection.Costs.Total),
+				obs.Float("baseline_total", costs.Total))
 			c.Selection.Materialized = a.mat
 			c.Selection.Costs = costs
 			c.Selection.Trace = append(c.Selection.Trace, core.TraceStep{

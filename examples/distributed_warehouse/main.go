@@ -9,9 +9,9 @@ package main
 
 import (
 	"fmt"
-	"log"
 
 	mvpp "github.com/warehousekit/mvpp"
+	"github.com/warehousekit/mvpp/internal/cli"
 )
 
 func buildCatalog() (*mvpp.Catalog, error) {
@@ -78,9 +78,10 @@ func designWith(opts mvpp.Options) (*mvpp.Design, error) {
 }
 
 func main() {
+	logger := cli.DefaultLogger()
 	local, err := designWith(mvpp.Options{})
 	if err != nil {
-		log.Fatal(err)
+		cli.Fatal(logger, "co-located design failed", err)
 	}
 	remote, err := designWith(mvpp.Options{
 		Distribution: &mvpp.Distribution{
@@ -93,7 +94,7 @@ func main() {
 		},
 	})
 	if err != nil {
-		log.Fatal(err)
+		cli.Fatal(logger, "distributed design failed", err)
 	}
 
 	fmt.Println("co-located warehouse:")

@@ -10,16 +10,17 @@ package main
 
 import (
 	"fmt"
-	"log"
 
 	mvpp "github.com/warehousekit/mvpp"
+	"github.com/warehousekit/mvpp/internal/cli"
 )
 
 func main() {
+	logger := cli.DefaultLogger()
 	cat := mvpp.NewCatalog()
 	must := func(err error) {
 		if err != nil {
-			log.Fatal(err)
+			cli.Fatal(logger, "building the catalog or workload failed", err)
 		}
 	}
 	must(cat.AddTable("Ticket", []mvpp.Column{
@@ -58,14 +59,14 @@ func main() {
 
 	design, err := d.Design()
 	if err != nil {
-		log.Fatal(err)
+		cli.Fatal(logger, "design failed", err)
 	}
 	fmt.Print(design.Report())
 
 	fmt.Println("\nrunning the design on synthetic data (embedded engine):")
 	sim, err := design.Simulate(mvpp.SimOptions{Scale: 0.05, Seed: 2026})
 	if err != nil {
-		log.Fatal(err)
+		cli.Fatal(logger, "simulation failed", err)
 	}
 	fmt.Printf("%-16s %14s %14s %8s\n", "query", "direct reads", "with views", "rows")
 	for _, q := range []string{"platinum_load", "platinum_slow", "team_volume"} {

@@ -7,19 +7,20 @@ package main
 
 import (
 	"fmt"
-	"log"
 
 	mvpp "github.com/warehousekit/mvpp"
+	"github.com/warehousekit/mvpp/internal/cli"
 )
 
 func main() {
+	logger := cli.DefaultLogger()
 	cat := mvpp.NewCatalog()
 
 	// Table 1 of the paper: relation sizes, block counts, update
 	// frequencies, and attribute statistics.
 	must := func(err error) {
 		if err != nil {
-			log.Fatal(err)
+			cli.Fatal(logger, "building the catalog or workload failed", err)
 		}
 	}
 	must(cat.AddTable("Product", []mvpp.Column{
@@ -83,7 +84,7 @@ func main() {
 
 	design, err := d.Design()
 	if err != nil {
-		log.Fatal(err)
+		cli.Fatal(logger, "design failed", err)
 	}
 	fmt.Print(design.Report())
 

@@ -9,9 +9,9 @@ package main
 
 import (
 	"fmt"
-	"log"
 
 	mvpp "github.com/warehousekit/mvpp"
+	"github.com/warehousekit/mvpp/internal/cli"
 )
 
 func buildCatalog() (*mvpp.Catalog, error) {
@@ -64,9 +64,10 @@ func buildCatalog() (*mvpp.Catalog, error) {
 }
 
 func main() {
+	logger := cli.DefaultLogger()
 	cat, err := buildCatalog()
 	if err != nil {
-		log.Fatal(err)
+		cli.Fatal(logger, "building the catalog failed", err)
 	}
 
 	// Ten reporting queries. The region='West' sales slice and the
@@ -107,12 +108,12 @@ func main() {
 	d := mvpp.NewDesigner(cat, mvpp.Options{Rotations: 4})
 	for _, q := range queries {
 		if err := d.AddQuery(q.name, q.sql, q.freq); err != nil {
-			log.Fatalf("%s: %v", q.name, err)
+			cli.Fatal(logger, "adding query "+q.name+" failed", err)
 		}
 	}
 	design, err := d.Design()
 	if err != nil {
-		log.Fatal(err)
+		cli.Fatal(logger, "design failed", err)
 	}
 	fmt.Print(design.Report())
 
@@ -122,7 +123,7 @@ func main() {
 	for _, views := range [][]string{nil, design.VertexNames()[:1]} {
 		q, m, total, err := design.EvaluateStrategy(views)
 		if err != nil {
-			log.Fatal(err)
+			cli.Fatal(logger, "pricing a what-if strategy failed", err)
 		}
 		label := fmt.Sprintf("%v", views)
 		if views == nil {

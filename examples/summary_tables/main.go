@@ -10,16 +10,17 @@ package main
 
 import (
 	"fmt"
-	"log"
 
 	mvpp "github.com/warehousekit/mvpp"
+	"github.com/warehousekit/mvpp/internal/cli"
 )
 
 func main() {
+	logger := cli.DefaultLogger()
 	cat := mvpp.NewCatalog()
 	must := func(err error) {
 		if err != nil {
-			log.Fatal(err)
+			cli.Fatal(logger, "building the catalog or workload failed", err)
 		}
 	}
 	must(cat.AddTable("PageView", []mvpp.Column{
@@ -69,14 +70,14 @@ func main() {
 
 	design, err := d.Design()
 	if err != nil {
-		log.Fatal(err)
+		cli.Fatal(logger, "design failed", err)
 	}
 	fmt.Print(design.Report())
 
 	fmt.Println("\nrunning on synthetic data:")
 	sim, err := design.Simulate(mvpp.SimOptions{Scale: 0.01, Seed: 4})
 	if err != nil {
-		log.Fatal(err)
+		cli.Fatal(logger, "simulation failed", err)
 	}
 	fmt.Printf("%-18s %14s %14s %8s\n", "query", "direct reads", "with views", "rows")
 	for _, q := range []string{"views_by_section", "views_by_region", "slow_pages", "drilldown"} {

@@ -10,10 +10,10 @@ package main
 
 import (
 	"fmt"
-	"log"
 	"strings"
 
 	mvpp "github.com/warehousekit/mvpp"
+	"github.com/warehousekit/mvpp/internal/cli"
 )
 
 func buildCatalog(updateFreq float64) (*mvpp.Catalog, error) {
@@ -73,12 +73,13 @@ func design(queryFreq, updateFreq float64) ([]string, float64, error) {
 }
 
 func main() {
+	logger := cli.DefaultLogger()
 	fmt.Println("sweep 1: query frequency of rhine_high (updates fixed at 1/period)")
 	fmt.Printf("%10s  %-34s %s\n", "fq", "materialized set", "total cost")
 	for _, fq := range []float64{0.001, 0.01, 0.1, 1, 10, 100} {
 		views, total, err := design(fq, 1)
 		if err != nil {
-			log.Fatal(err)
+			cli.Fatal(logger, "frequency-sweep design failed", err)
 		}
 		fmt.Printf("%10g  %-34s %.4g\n", fq, setLabel(views), total)
 	}
@@ -88,7 +89,7 @@ func main() {
 	for _, fu := range []float64{0.01, 0.1, 1, 10, 100, 1000} {
 		views, total, err := design(10, fu)
 		if err != nil {
-			log.Fatal(err)
+			cli.Fatal(logger, "update-sweep design failed", err)
 		}
 		fmt.Printf("%10g  %-34s %.4g\n", fu, setLabel(views), total)
 	}

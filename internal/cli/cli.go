@@ -1,0 +1,162 @@
+// Package cli holds the setup shared by the repository's commands and
+// examples: the slog configuration behind every -log-level flag, the
+// observability bundle wiring -log-level / -trace-out / -pprof into one
+// Observer, and the profiling endpoint (net/http/pprof + expvar).
+package cli
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+	"strings"
+	"sync"
+
+	"github.com/warehousekit/mvpp/internal/obs"
+)
+
+// ParseLevel maps a -log-level flag value to a slog.Level. The empty
+// string means Info; unknown values are an error.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "debug":
+		return slog.LevelDebug, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	var l slog.Level
+	if err := l.UnmarshalText([]byte(s)); err == nil {
+		return l, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug, info, warn, or error)", s)
+}
+
+// NewLogger is the shared slog setup: a text handler on w at the level.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// DefaultLogger is the examples' shared slog setup: an Info-level text
+// handler on stderr.
+func DefaultLogger() *slog.Logger {
+	return NewLogger(os.Stderr, slog.LevelInfo)
+}
+
+// Fatal logs the error at Error level and exits with status 1. It is the
+// examples' replacement for log.Fatal.
+func Fatal(logger *slog.Logger, msg string, err error) {
+	logger.Error(msg, slog.Any("err", err))
+	os.Exit(1)
+}
+
+// Observability is the observer a command wires from its -log-level,
+// -trace-out, and -pprof flags. Observer is nil — instrumentation fully
+// off — when no flag asked for a backend.
+type Observability struct {
+	// Observer goes into Options.Observer (or the internal Obs fields).
+	Observer obs.Observer
+	// Logger is non-nil when -log-level was given.
+	Logger *slog.Logger
+
+	rec       *obs.Recorder
+	tracePath string
+}
+
+// Setup builds the observability bundle. logLevel selects slog-backed
+// span/event logging onto logw ("" = off); traceOut names the JSON trace
+// file to write on Close ("" = off); pprofAddr starts the profiling
+// endpoint ("" = off). All backends share one metrics registry.
+func Setup(logLevel, traceOut, pprofAddr string, logw io.Writer) (*Observability, error) {
+	o := &Observability{}
+	reg := obs.NewRegistry()
+	var backends []obs.Observer
+	if logLevel != "" {
+		level, err := ParseLevel(logLevel)
+		if err != nil {
+			return nil, err
+		}
+		o.Logger = NewLogger(logw, level)
+		backends = append(backends, obs.NewLogObserver(o.Logger, reg))
+	}
+	if traceOut != "" {
+		o.rec = obs.NewRecorder(reg)
+		o.tracePath = traceOut
+		backends = append(backends, o.rec)
+	}
+	if pprofAddr != "" {
+		if _, err := ServeProfiling(pprofAddr, reg); err != nil {
+			return nil, err
+		}
+		// With -pprof alone there is no log or trace backend, but the
+		// /debug/vars export still needs the pipeline to fill the registry.
+		if len(backends) == 0 {
+			backends = append(backends, obs.MetricsOnly(reg))
+		}
+	}
+	o.Observer = obs.Tee(backends...)
+	return o, nil
+}
+
+// Close writes the JSON trace if -trace-out asked for one.
+func (o *Observability) Close() error {
+	if o == nil || o.rec == nil {
+		return nil
+	}
+	f, err := os.Create(o.tracePath)
+	if err != nil {
+		return err
+	}
+	werr := o.rec.WriteJSON(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// profiled points the expvar-published metrics at the most recent
+// registry; the expvar variable itself can only be registered once per
+// process.
+var profiled struct {
+	sync.Mutex
+	reg  *obs.Registry
+	once sync.Once
+}
+
+// ServeProfiling starts an HTTP server on addr exposing /debug/pprof
+// (net/http/pprof) and /debug/vars (expvar, including the registry's
+// counters and gauges under "mvpp"). It returns the bound address, which
+// differs from addr when addr asked for port 0.
+func ServeProfiling(addr string, reg *obs.Registry) (string, error) {
+	profiled.Lock()
+	profiled.reg = reg
+	profiled.Unlock()
+	profiled.once.Do(func() {
+		expvar.Publish("mvpp", expvar.Func(func() any {
+			profiled.Lock()
+			r := profiled.reg
+			profiled.Unlock()
+			if r == nil {
+				return nil
+			}
+			counters, gauges := r.Snapshot()
+			return map[string]any{"counters": counters, "gauges": gauges}
+		}))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("cli: pprof listener: %w", err)
+	}
+	go func() {
+		// http.DefaultServeMux carries the pprof and expvar handlers.
+		_ = http.Serve(ln, nil)
+	}()
+	return ln.Addr().String(), nil
+}

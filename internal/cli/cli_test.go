@@ -1,0 +1,152 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/warehousekit/mvpp/internal/obs"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"":      slog.LevelInfo,
+		"info":  slog.LevelInfo,
+		"DEBUG": slog.LevelDebug,
+		"warn":  slog.LevelWarn,
+		"error": slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted an unknown level")
+	}
+}
+
+func TestSetupOff(t *testing.T) {
+	o, err := Setup("", "", "", io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Observer != nil {
+		t.Error("no flags should leave the observer nil (instrumentation off)")
+	}
+	if err := o.Close(); err != nil {
+		t.Errorf("Close with no trace file: %v", err)
+	}
+}
+
+func TestSetupRejectsBadLevel(t *testing.T) {
+	if _, err := Setup("loud", "", "", io.Discard); err == nil {
+		t.Fatal("Setup accepted an unknown log level")
+	}
+}
+
+func TestSetupLogAndTrace(t *testing.T) {
+	var logbuf bytes.Buffer
+	path := filepath.Join(t.TempDir(), "trace.json")
+	o, err := Setup("debug", path, "", &logbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Observer == nil || o.Logger == nil {
+		t.Fatal("log+trace setup left observer or logger nil")
+	}
+	sp := o.Observer.StartSpan("design", obs.Int("queries", 1))
+	sp.Event(obs.EvCosts, obs.Float("total", 7))
+	sp.End()
+	obs.CounterOf(o.Observer, obs.CtrCandidates).Inc()
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if !strings.Contains(logbuf.String(), "span=design") {
+		t.Errorf("log backend missed the span:\n%s", logbuf.String())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := obs.ParseTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.FindSpan("design") == nil {
+		t.Error("trace file missed the span")
+	}
+	if len(tr.EventsOfKind(obs.EvCosts)) != 1 {
+		t.Error("trace file missed the event")
+	}
+	if tr.Counters[obs.CtrCandidates] != 1 {
+		t.Errorf("trace file counters = %v", tr.Counters)
+	}
+}
+
+func TestSetupPprofOnlyStillCounts(t *testing.T) {
+	o, err := Setup("", "", "127.0.0.1:0", io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Observer == nil {
+		t.Fatal("-pprof alone must still wire a metrics-carrying observer")
+	}
+	obs.CounterOf(o.Observer, obs.CtrCandidates).Inc()
+	if got := o.Observer.Metrics().Counter(obs.CtrCandidates).Value(); got != 1 {
+		t.Fatalf("counter = %d, want 1", got)
+	}
+}
+
+func TestServeProfiling(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter(obs.CtrCandidates).Add(9)
+	addr, err := ServeProfiling("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars struct {
+		MVPP struct {
+			Counters map[string]int64 `json:"counters"`
+		} `json:"mvpp"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	if vars.MVPP.Counters[obs.CtrCandidates] != 9 {
+		t.Errorf("/debug/vars counters = %v", vars.MVPP.Counters)
+	}
+
+	// A second Setup-style call must swap the registry, not panic on a
+	// duplicate expvar registration.
+	reg2 := obs.NewRegistry()
+	reg2.Counter(obs.CtrCandidates).Add(3)
+	if _, err := ServeProfiling("127.0.0.1:0", reg2); err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if err := json.NewDecoder(resp2.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	if vars.MVPP.Counters[obs.CtrCandidates] != 3 {
+		t.Errorf("swapped registry counters = %v", vars.MVPP.Counters)
+	}
+}

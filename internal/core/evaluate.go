@@ -113,6 +113,7 @@ type Costs struct {
 // which the paper's Table 2 numbers are internally consistent (see
 // EXPERIMENTS.md).
 func (m *MVPP) Evaluate(model cost.Model, mat VertexSet) Costs {
+	m.evalCalls.Add(1)
 	c := Costs{
 		PerQuery: make(map[string]float64, len(m.Roots)),
 		PerView:  make(map[string]float64, len(mat)),

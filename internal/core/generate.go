@@ -8,6 +8,7 @@ import (
 
 	"github.com/warehousekit/mvpp/internal/algebra"
 	"github.com/warehousekit/mvpp/internal/cost"
+	"github.com/warehousekit/mvpp/internal/obs"
 )
 
 // QueryPlan pairs a query with its individually optimal plan — the inputs
@@ -37,6 +38,10 @@ type GenOptions struct {
 	NoPushdown bool
 	// Select configures the view-selection heuristic run on each candidate.
 	Select SelectOptions
+	// Obs receives the generation span, one child span per rotation,
+	// per-candidate events with their selected costs, and the merge/
+	// candidate counters. Nil disables instrumentation.
+	Obs obs.Observer
 }
 
 // Candidate is one generated MVPP with its heuristic materialization choice.
@@ -67,6 +72,9 @@ func Generate(est *cost.Estimator, model cost.Model, plans []QueryPlan, opts Gen
 	if len(plans) == 0 {
 		return nil, fmt.Errorf("core: no query plans to generate MVPPs from")
 	}
+	gsp := obs.Start(opts.Obs, "generate", obs.Int("queries", int64(len(plans))))
+	defer obs.End(gsp)
+	genObs := obs.From(gsp)
 	prep := make([]prepared, len(plans))
 	for i, qp := range plans {
 		if err := algebra.Validate(qp.Plan); err != nil {
@@ -104,7 +112,10 @@ func Generate(est *cost.Estimator, model cost.Model, plans []QueryPlan, opts Gen
 			order := make([]prepared, 0, k)
 			order = append(order, prep[r:]...)
 			order = append(order, prep[:r]...)
-			results[r], errs[r] = buildRotation(est, model, order, opts)
+			rsp := obs.Start(genObs, "rotation", obs.Int("rotation", int64(r)),
+				obs.String("seed", order[0].Name))
+			results[r], errs[r] = buildRotation(est, model, order, opts, obs.From(rsp))
+			obs.End(rsp)
 		}(r)
 	}
 	wg.Wait()
@@ -115,13 +126,26 @@ func Generate(est *cost.Estimator, model cost.Model, plans []QueryPlan, opts Gen
 	}
 
 	// Deterministic dedup in rotation order.
+	candidates := obs.CounterOf(genObs, obs.CtrCandidates)
 	var out []*Candidate
 	seen := make(map[string]bool)
-	for _, c := range results {
+	for r, c := range results {
 		if seen[c.Signature] {
+			obs.Emit(genObs, obs.EvCandidateDedup,
+				obs.Int("rotation", int64(r)),
+				obs.String("seed_order", strings.Join(c.SeedOrder, ",")))
 			continue
 		}
 		seen[c.Signature] = true
+		candidates.Add(1)
+		obs.Emit(genObs, obs.EvCandidate,
+			obs.Int("rotation", int64(r)),
+			obs.String("seed_order", strings.Join(c.SeedOrder, ",")),
+			obs.Int("vertices", int64(len(c.MVPP.Vertices))),
+			obs.Int("views", int64(len(c.Selection.Materialized))),
+			obs.Float("query_cost", c.Selection.Costs.Query),
+			obs.Float("maintenance_cost", c.Selection.Costs.Maintenance),
+			obs.Float("total", c.Selection.Costs.Total))
 		out = append(out, c)
 	}
 	return out, nil
@@ -129,14 +153,17 @@ func Generate(est *cost.Estimator, model cost.Model, plans []QueryPlan, opts Gen
 
 // buildRotation produces one rotation's candidate: merge skeletons in
 // order (step 4), push selections/projections down and assemble plans
-// (steps 5–6), build and validate the DAG, run view selection.
-func buildRotation(est *cost.Estimator, model cost.Model, order []prepared, opts GenOptions) (*Candidate, error) {
+// (steps 5–6), build and validate the DAG, run view selection. ro is the
+// rotation's observer (nil when instrumentation is off).
+func buildRotation(est *cost.Estimator, model cost.Model, order []prepared, opts GenOptions, ro obs.Observer) (*Candidate, error) {
 	k := len(order)
+	merges := obs.CounterOf(ro, obs.CtrMergeAttempts)
 	sm := newSkeletonMerger()
 	skeletons := make([]algebra.Node, k)
 	decs := make([]*algebra.Decomposed, k)
 	names := make([]string, k)
 	for i, p := range order {
+		merges.Add(1)
 		skel, err := sm.merge(p.dec.JoinTree, treeJoinConds(p.dec.JoinTree))
 		if err != nil {
 			return nil, fmt.Errorf("core: query %s: %w", p.Name, err)
@@ -164,10 +191,13 @@ func buildRotation(est *cost.Estimator, model cost.Model, order []prepared, opts
 	if err := m.Validate(); err != nil {
 		return nil, fmt.Errorf("core: generated MVPP invalid: %w", err)
 	}
+	m.SetObserver(ro)
+	sel := opts.Select
+	sel.Obs = ro
 	sig := mvppSignature(m)
 	return &Candidate{
 		MVPP:      m,
-		Selection: m.SelectViews(model, opts.Select),
+		Selection: m.SelectViews(model, sel),
 		SeedOrder: names,
 		Signature: sig,
 	}, nil

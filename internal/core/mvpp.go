@@ -29,6 +29,7 @@ import (
 
 	"github.com/warehousekit/mvpp/internal/algebra"
 	"github.com/warehousekit/mvpp/internal/cost"
+	"github.com/warehousekit/mvpp/internal/obs"
 )
 
 // Vertex is one node of an MVPP.
@@ -114,6 +115,16 @@ type MVPP struct {
 	// indexedViews prices selections over materialized views as index
 	// lookups; see SetIndexedViews.
 	indexedViews bool
+	// evalCalls counts Evaluate invocations; see SetObserver. Nil (a no-op)
+	// when observability is off.
+	evalCalls *obs.Counter
+}
+
+// SetObserver wires the MVPP's evaluation counter into the observer's
+// registry. A nil observer disables instrumentation again. Like the other
+// MVPP knobs this is not safe to call concurrently with Evaluate.
+func (m *MVPP) SetObserver(o obs.Observer) {
+	m.evalCalls = obs.CounterOf(o, obs.CtrEvaluateCalls)
 }
 
 // Builder constructs an MVPP from per-query plans by hash-consing subtrees

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"github.com/warehousekit/mvpp/internal/cost"
+	"github.com/warehousekit/mvpp/internal/obs"
 )
 
 // TraceAction records what the selection heuristic did with a vertex.
@@ -49,6 +50,10 @@ type SelectOptions struct {
 	// cheap summary on top of a materialized join. With this option the
 	// maintenance term is the recompute cost *given* the current M.
 	DiscountedMaintenance bool
+	// Obs receives the selection span, one EvSelectStep event per Figure 9
+	// trace step, and the greedy-iterations counter. Nil disables
+	// instrumentation.
+	Obs obs.Observer
 }
 
 // SelectViews runs the greedy heuristic of paper Figure 9 on the MVPP:
@@ -59,6 +64,10 @@ type SelectOptions struct {
 // materialized.
 func (m *MVPP) SelectViews(model cost.Model, opts SelectOptions) *SelectionResult {
 	res := &SelectionResult{Materialized: make(VertexSet)}
+
+	sp := obs.Start(opts.Obs, "select", obs.Int("vertices", int64(len(m.Vertices))))
+	defer obs.End(sp)
+	iterations := obs.CounterOf(opts.Obs, obs.CtrGreedyIterations)
 
 	// Step 2: LV = positive-weight candidates in descending weight order.
 	var lv []*Vertex
@@ -74,6 +83,7 @@ func (m *MVPP) SelectViews(model cost.Model, opts SelectOptions) *SelectionResul
 		if removed[v.ID] {
 			continue
 		}
+		iterations.Add(1)
 		// Skip-ancestor refinement (paper's tmp1-vs-tmp2 example: "since its
 		// parent tmp2 is already in M, tmp1 is ignored"): a vertex whose
 		// every consumer path is already covered by a materialized ancestor
@@ -142,6 +152,18 @@ func (m *MVPP) SelectViews(model cost.Model, opts SelectOptions) *SelectionResul
 	}
 
 	res.Costs = m.Evaluate(model, res.Materialized)
+	if sp != nil {
+		for _, step := range res.Trace {
+			sp.Event(obs.EvSelectStep,
+				obs.String("vertex", step.Vertex),
+				obs.String("action", string(step.Action)),
+				obs.Float("weight", step.Weight),
+				obs.Float("cs", step.Cs),
+				obs.String("note", step.Note))
+		}
+		sp.Annotate(obs.Int("materialized", int64(len(res.Materialized))),
+			obs.Float("total", res.Costs.Total))
+	}
 	return res
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"github.com/warehousekit/mvpp/internal/algebra"
 	"github.com/warehousekit/mvpp/internal/catalog"
+	"github.com/warehousekit/mvpp/internal/obs"
 )
 
 // Options configures size estimation.
@@ -45,6 +46,11 @@ type Estimator struct {
 	cat  *catalog.Catalog
 	opts Options
 
+	// calls and memoHits instrument the estimator (see Instrument); both
+	// are nil — and their Add a no-op — when observability is off.
+	calls    *obs.Counter
+	memoHits *obs.Counter
+
 	mu   sync.Mutex
 	memo map[string]Estimate
 }
@@ -52,6 +58,17 @@ type Estimator struct {
 // NewEstimator builds an estimator over the catalog.
 func NewEstimator(cat *catalog.Catalog, opts Options) *Estimator {
 	return &Estimator{cat: cat, opts: opts, memo: make(map[string]Estimate)}
+}
+
+// Instrument wires the estimator's call and memo-hit counters into the
+// registry; a nil registry disables instrumentation again.
+func (e *Estimator) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		e.calls, e.memoHits = nil, nil
+		return
+	}
+	e.calls = reg.Counter(obs.CtrEstimatorCalls)
+	e.memoHits = reg.Counter(obs.CtrMemoHits)
 }
 
 // Catalog exposes the backing catalog.
@@ -62,11 +79,13 @@ func (e *Estimator) Options() Options { return e.opts }
 
 // Estimate returns the size estimate for the relation computed by n.
 func (e *Estimator) Estimate(n algebra.Node) (Estimate, error) {
+	e.calls.Add(1)
 	key := algebra.SemanticKey(n)
 	e.mu.Lock()
 	est, ok := e.memo[key]
 	e.mu.Unlock()
 	if ok {
+		e.memoHits.Add(1)
 		return est, nil
 	}
 	est, err := e.estimate(n)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/warehousekit/mvpp/internal/algebra"
+	"github.com/warehousekit/mvpp/internal/obs"
 )
 
 // OpStats records the measured I/O of one operator execution.
@@ -258,4 +259,12 @@ func (db *DB) execJoin(j *algebra.Join, left, right *Table, res *Result) (*Table
 func (db *DB) account(s OpStats) {
 	db.Counter.AddReads(s.Reads)
 	db.Counter.AddWrites(s.Writes)
+	db.blockReads.Add(s.Reads)
+	db.blockWrites.Add(s.Writes)
+	obs.Emit(db.obsv, obs.EvEngineOp,
+		obs.String("op", s.Label),
+		obs.Int("reads", s.Reads),
+		obs.Int("writes", s.Writes),
+		obs.Int("out_rows", int64(s.OutRows)),
+		obs.Int("out_blocks", int64(s.OutBlocks)))
 }

@@ -18,6 +18,7 @@ import (
 
 	"github.com/warehousekit/mvpp/internal/algebra"
 	"github.com/warehousekit/mvpp/internal/catalog"
+	"github.com/warehousekit/mvpp/internal/obs"
 )
 
 // DefaultBlockRows is the default blocking factor (rows per block).
@@ -114,6 +115,22 @@ type DB struct {
 	tables    map[string]*Table
 	views     map[string]*MaterializedView
 	joinAlgo  JoinAlgorithm
+
+	// obsv receives one EvEngineOp event per executed operator; blockReads
+	// and blockWrites mirror the Counter into the observer's registry. All
+	// nil (no-ops) when observability is off; see SetObserver.
+	obsv        obs.Observer
+	blockReads  *obs.Counter
+	blockWrites *obs.Counter
+}
+
+// SetObserver wires operator-level events and the block-access counters
+// into the observer. A nil observer disables instrumentation again. Not
+// safe to call concurrently with Execute.
+func (db *DB) SetObserver(o obs.Observer) {
+	db.obsv = o
+	db.blockReads = obs.CounterOf(o, obs.CtrEngineBlockReads)
+	db.blockWrites = obs.CounterOf(o, obs.CtrEngineBlockWrites)
 }
 
 // NewDB creates an empty database with the given default blocking factor.

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"sync/atomic"
+	"time"
+)
+
+// logObserver renders spans and events through a slog.Logger. Span starts
+// and ends log at Debug (ends carry the duration); events log at Debug
+// except the design-level summaries (EvSafeguard, EvCosts), which log at
+// Info so the default level surfaces what the designer decided.
+type logObserver struct {
+	logger *slog.Logger
+	reg    *Registry
+	nextID atomic.Int64
+}
+
+// NewLogObserver builds a slog-backed observer. reg may be nil, in which
+// case the observer owns a fresh registry.
+func NewLogObserver(logger *slog.Logger, reg *Registry) Observer {
+	if logger == nil {
+		return nil
+	}
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	return &logObserver{logger: logger, reg: reg}
+}
+
+func (l *logObserver) StartSpan(name string, attrs ...Attr) Span {
+	return l.startSpan(name, "", attrs)
+}
+
+func (l *logObserver) startSpan(name, parentPath string, attrs []Attr) Span {
+	path := name
+	if parentPath != "" {
+		path = parentPath + "/" + name
+	}
+	sp := &logSpan{root: l, path: path, start: time.Now()}
+	l.logger.Debug("span start", logArgs(slog.String("span", path), attrs)...)
+	return sp
+}
+
+func (l *logObserver) Event(kind EventKind, attrs ...Attr) { l.event("", kind, attrs) }
+
+func (l *logObserver) event(path string, kind EventKind, attrs []Attr) {
+	level := slog.LevelDebug
+	if kind == EvSafeguard || kind == EvCosts {
+		level = slog.LevelInfo
+	}
+	args := logArgs(slog.String("event", string(kind)), attrs)
+	if path != "" {
+		args = append(args, slog.String("span", path))
+	}
+	l.logger.Log(context.Background(), level, "event", args...)
+}
+
+func (l *logObserver) Metrics() *Registry { return l.reg }
+
+type logSpan struct {
+	root  *logObserver
+	path  string
+	start time.Time
+	done  atomic.Bool
+}
+
+func (s *logSpan) StartSpan(name string, attrs ...Attr) Span {
+	return s.root.startSpan(name, s.path, attrs)
+}
+
+func (s *logSpan) Event(kind EventKind, attrs ...Attr) { s.root.event(s.path, kind, attrs) }
+
+func (s *logSpan) Metrics() *Registry { return s.root.reg }
+
+func (s *logSpan) Annotate(attrs ...Attr) {
+	s.root.logger.Debug("span annotate", logArgs(slog.String("span", s.path), attrs)...)
+}
+
+func (s *logSpan) End() {
+	if !s.done.CompareAndSwap(false, true) {
+		return
+	}
+	s.root.logger.Debug("span end",
+		slog.String("span", s.path),
+		slog.Duration("duration", time.Since(s.start)))
+}
+
+func logArgs(head slog.Attr, attrs []Attr) []any {
+	args := make([]any, 0, len(attrs)+1)
+	args = append(args, head)
+	for _, a := range attrs {
+		args = append(args, slog.Any(a.Key, a.Value))
+	}
+	return args
+}

@@ -1,0 +1,255 @@
+// Package obs is the observability layer of the MVPP designer: structured
+// span tracing, typed events, and an atomic metrics registry, threaded
+// through the whole design pipeline (per-query optimization, MVPP
+// generation, view selection, cost evaluation, engine execution).
+//
+// The layer is zero-cost when disabled: a nil Observer is the off switch,
+// every call site guards with a nil check (the package helpers Start, Emit
+// and CounterOf encapsulate the guard), and a nil *Counter accepts Add as a
+// no-op — so the hot paths pay one predictable branch and nothing else.
+//
+// Three Observer implementations ship with the package:
+//
+//   - NewLogObserver: renders spans and events through log/slog;
+//   - NewRecorder: records the full span tree, events, and final counter
+//     values, and serializes them as a JSON trace (WriteJSON/ParseTrace);
+//   - Tee: fans out to several observers (log + trace at once).
+package obs
+
+// Attr is one key/value annotation on a span or event. Values should be
+// strings, bools, or int64/float64-convertible numbers so every backend
+// (slog, JSON) can render them faithfully.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// String builds a string attribute.
+func String(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Int builds an integer attribute.
+func Int(key string, value int64) Attr { return Attr{Key: key, Value: value} }
+
+// Float builds a float attribute.
+func Float(key string, value float64) Attr { return Attr{Key: key, Value: value} }
+
+// Bool builds a boolean attribute.
+func Bool(key string, value bool) Attr { return Attr{Key: key, Value: value} }
+
+// EventKind is the type tag of an event — the pipeline's event taxonomy.
+type EventKind string
+
+// The event taxonomy. Every event the pipeline emits carries one of these
+// kinds; backends and tests can switch on them without string matching.
+const (
+	// EvPlanChosen fires once per query when the single-query optimizer
+	// settles on a plan (attrs: query, relations, cost).
+	EvPlanChosen EventKind = "optimizer.plan"
+	// EvCandidate fires once per generated MVPP candidate (attrs: rotation,
+	// seed_order, vertices, total, query_cost, maintenance_cost, views).
+	EvCandidate EventKind = "generate.candidate"
+	// EvCandidateDedup fires when a rotation's MVPP duplicates an earlier
+	// signature and is dropped (attrs: rotation, seed_order).
+	EvCandidateDedup EventKind = "generate.dedup"
+	// EvSelectStep fires once per Figure 9 decision (attrs: vertex, action,
+	// weight, cs, note) — the selection trace as events.
+	EvSelectStep EventKind = "select.step"
+	// EvSafeguard fires when a baseline strategy replaces the greedy choice
+	// (attrs: strategy, greedy_total, baseline_total).
+	EvSafeguard EventKind = "design.safeguard"
+	// EvCosts fires once per design with the final cost breakdown (attrs:
+	// query_cost, maintenance_cost, total, all_virtual, all_materialized).
+	EvCosts EventKind = "design.costs"
+	// EvEngineOp surfaces one executed operator's measured OpStats (attrs:
+	// op, reads, writes, out_rows, out_blocks).
+	EvEngineOp EventKind = "engine.op"
+)
+
+// Canonical counter names. Call sites resolve them once via CounterOf (or
+// Registry.Counter) and Add on the hot path.
+const (
+	// CtrPlansEnumerated counts join candidates priced by the single-query
+	// optimizer's dynamic program.
+	CtrPlansEnumerated = "optimizer.plans_enumerated"
+	// CtrEstimatorCalls counts size/cost estimation requests.
+	CtrEstimatorCalls = "cost.estimator_calls"
+	// CtrMemoHits counts estimator requests answered from the memo table.
+	CtrMemoHits = "cost.memo_hits"
+	// CtrMergeAttempts counts join-skeleton merges tried during MVPP
+	// generation (one per query per rotation).
+	CtrMergeAttempts = "generate.merge_attempts"
+	// CtrCandidates counts distinct MVPP candidates generated.
+	CtrCandidates = "generate.candidates"
+	// CtrGreedyIterations counts Figure 9 candidate-vertex iterations.
+	CtrGreedyIterations = "select.greedy_iterations"
+	// CtrSafeguardSubs counts baseline substitutions over the greedy choice.
+	CtrSafeguardSubs = "design.safeguard_substitutions"
+	// CtrEvaluateCalls counts full-MVPP cost evaluations.
+	CtrEvaluateCalls = "core.evaluate_calls"
+	// CtrEngineBlockReads / CtrEngineBlockWrites count the engine's measured
+	// block I/O.
+	CtrEngineBlockReads  = "engine.block_reads"
+	CtrEngineBlockWrites = "engine.block_writes"
+)
+
+// Observer receives spans, events, and hosts the metrics registry. A nil
+// Observer disables instrumentation; call sites must guard (or use the
+// package helpers, which do).
+type Observer interface {
+	// StartSpan opens a timed region nested under this observer. The
+	// returned Span is itself an Observer: pass it to callees so their
+	// spans and events nest correctly, including across goroutines.
+	StartSpan(name string, attrs ...Attr) Span
+	// Event records one typed event.
+	Event(kind EventKind, attrs ...Attr)
+	// Metrics returns the observer's counter/gauge registry. All spans of
+	// one observer share a single registry.
+	Metrics() *Registry
+}
+
+// Span is a timed region of the pipeline. Spans nest: a Span is an
+// Observer whose child spans and events attach under it.
+type Span interface {
+	Observer
+	// Annotate attaches attributes to the span after it started.
+	Annotate(attrs ...Attr)
+	// End closes the span, fixing its duration. End is idempotent.
+	End()
+}
+
+// Start opens a span when o is non-nil and returns nil otherwise, so call
+// sites can write sp := obs.Start(o, ...); ...; obs.End(sp).
+func Start(o Observer, name string, attrs ...Attr) Span {
+	if o == nil {
+		return nil
+	}
+	return o.StartSpan(name, attrs...)
+}
+
+// End closes a span from Start, tolerating nil.
+func End(s Span) {
+	if s != nil {
+		s.End()
+	}
+}
+
+// From converts a span into the observer to hand to callees, mapping nil
+// to nil (keeping the disabled path a plain nil check all the way down).
+func From(s Span) Observer {
+	if s == nil {
+		return nil
+	}
+	return s
+}
+
+// Emit records an event when o is non-nil.
+func Emit(o Observer, kind EventKind, attrs ...Attr) {
+	if o != nil {
+		o.Event(kind, attrs...)
+	}
+}
+
+// CounterOf resolves a named counter from the observer's registry, or nil
+// when o is nil — and a nil *Counter accepts Add/Inc as no-ops, so hot
+// loops can hold the result unconditionally.
+func CounterOf(o Observer, name string) *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics().Counter(name)
+}
+
+// RegistryOf returns the observer's registry, or nil when o is nil.
+func RegistryOf(o Observer) *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics()
+}
+
+// Tee fans out to every non-nil observer. It returns nil when none
+// remain and the sole survivor when only one does, so the disabled and
+// single-backend paths keep their direct representation. The first
+// observer's registry serves Metrics(); to keep counters consistent
+// across backends, construct the backends over one shared Registry.
+func Tee(observers ...Observer) Observer {
+	var live []Observer
+	for _, o := range observers {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return &tee{obs: live}
+}
+
+type tee struct {
+	obs []Observer
+}
+
+func (t *tee) StartSpan(name string, attrs ...Attr) Span {
+	spans := make([]Span, len(t.obs))
+	for i, o := range t.obs {
+		spans[i] = o.StartSpan(name, attrs...)
+	}
+	return &teeSpan{tee: tee{obs: spansAsObservers(spans)}, spans: spans}
+}
+
+func (t *tee) Event(kind EventKind, attrs ...Attr) {
+	for _, o := range t.obs {
+		o.Event(kind, attrs...)
+	}
+}
+
+func (t *tee) Metrics() *Registry { return t.obs[0].Metrics() }
+
+type teeSpan struct {
+	tee
+	spans []Span
+}
+
+func (s *teeSpan) Annotate(attrs ...Attr) {
+	for _, sp := range s.spans {
+		sp.Annotate(attrs...)
+	}
+}
+
+func (s *teeSpan) End() {
+	for _, sp := range s.spans {
+		sp.End()
+	}
+}
+
+func spansAsObservers(spans []Span) []Observer {
+	out := make([]Observer, len(spans))
+	for i, sp := range spans {
+		out[i] = sp
+	}
+	return out
+}
+
+// MetricsOnly returns an Observer that records no spans or events but
+// carries reg, so the pipeline's counters still accumulate — e.g. for the
+// expvar export when neither a log nor a trace backend is active.
+func MetricsOnly(reg *Registry) Observer {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	return &metricsObserver{reg: reg}
+}
+
+type metricsObserver struct{ reg *Registry }
+
+func (m *metricsObserver) StartSpan(string, ...Attr) Span { return &metricsSpan{m} }
+func (m *metricsObserver) Event(EventKind, ...Attr)       {}
+func (m *metricsObserver) Metrics() *Registry             { return m.reg }
+
+type metricsSpan struct{ *metricsObserver }
+
+func (s *metricsSpan) Annotate(...Attr) {}
+func (s *metricsSpan) End()             {}

@@ -1,0 +1,303 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilSafety: the disabled path — nil observer, nil span, nil counter —
+// must be a no-op everywhere, because every pipeline call site relies on it.
+func TestNilSafety(t *testing.T) {
+	sp := Start(nil, "x", String("k", "v"))
+	if sp != nil {
+		t.Fatalf("Start(nil) = %v, want nil", sp)
+	}
+	End(nil)
+	if From(nil) != nil {
+		t.Fatal("From(nil) should be nil")
+	}
+	Emit(nil, EvCandidate, Int("i", 1))
+	c := CounterOf(nil, CtrCandidates)
+	if c != nil {
+		t.Fatalf("CounterOf(nil) = %v, want nil", c)
+	}
+	c.Add(5) // must not panic
+	c.Inc()
+	if got := c.Value(); got != 0 {
+		t.Fatalf("nil counter value = %d, want 0", got)
+	}
+	var g *Gauge
+	g.Set(1.5)
+	if got := g.Value(); got != 0 {
+		t.Fatalf("nil gauge value = %g, want 0", got)
+	}
+	if RegistryOf(nil) != nil {
+		t.Fatal("RegistryOf(nil) should be nil")
+	}
+}
+
+func TestRegistryCountersAndGauges(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("a")
+	if c2 := reg.Counter("a"); c2 != c {
+		t.Fatal("Counter not stable across lookups")
+	}
+	c.Add(3)
+	c.Inc()
+	if got := c.Value(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	g := reg.Gauge("g")
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %g, want 2.5", got)
+	}
+	counters, gauges := reg.Snapshot()
+	if counters["a"] != 4 || gauges["g"] != 2.5 {
+		t.Fatalf("snapshot = %v %v", counters, gauges)
+	}
+}
+
+// TestRegistryConcurrency hammers one counter from many goroutines; run
+// with -race this also proves the registry's get-or-create is safe.
+func TestRegistryConcurrency(t *testing.T) {
+	reg := NewRegistry()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				reg.Counter("shared").Inc()
+				reg.Gauge("last").Set(float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("shared").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestRecorderSpanNesting(t *testing.T) {
+	rec := NewRecorder(nil)
+	root := rec.StartSpan("design", Int("queries", 4))
+	child := root.StartSpan("optimize")
+	grand := child.StartSpan("optimize.query", String("query", "Q1"))
+	grand.Event(EvPlanChosen, Float("cost", 10.5))
+	grand.End()
+	child.End()
+	root.Annotate(Float("total", 99))
+	root.End()
+	rec.Event(EvCosts, Float("total", 99)) // loose event
+
+	tr := rec.Trace()
+	if len(tr.Spans) != 1 || tr.Spans[0].Name != "design" {
+		t.Fatalf("top-level spans = %+v", tr.Spans)
+	}
+	if tr.Spans[0].Attrs["total"] != 99.0 {
+		t.Fatalf("root attrs = %v", tr.Spans[0].Attrs)
+	}
+	opt := tr.FindSpan("optimize")
+	if opt == nil || len(opt.Children) != 1 {
+		t.Fatalf("optimize span missing or wrong children: %+v", opt)
+	}
+	q := tr.FindSpan("optimize.query")
+	if q == nil || q.Attrs["query"] != "Q1" {
+		t.Fatalf("optimize.query span = %+v", q)
+	}
+	if q.DurationUS < 0 {
+		t.Fatalf("ended span has duration %d", q.DurationUS)
+	}
+	events := tr.EventsOfKind(EvPlanChosen)
+	if len(events) != 1 || events[0].Attrs["cost"] != 10.5 {
+		t.Fatalf("EvPlanChosen events = %+v", events)
+	}
+	if loose := tr.EventsOfKind(EvCosts); len(loose) != 1 {
+		t.Fatalf("loose events = %+v", loose)
+	}
+}
+
+// TestRecorderConcurrentChildren mirrors the generator's rotation fan-out:
+// sibling child spans start and end from parallel goroutines.
+func TestRecorderConcurrentChildren(t *testing.T) {
+	rec := NewRecorder(nil)
+	root := rec.StartSpan("generate")
+	var wg sync.WaitGroup
+	for r := 0; r < 16; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			sp := root.StartSpan("rotation", Int("rotation", int64(r)))
+			sp.Event(EvCandidate, Int("rotation", int64(r)))
+			sp.Metrics().Counter(CtrMergeAttempts).Inc()
+			sp.End()
+		}(r)
+	}
+	wg.Wait()
+	root.End()
+	tr := rec.Trace()
+	if got := len(tr.Spans[0].Children); got != 16 {
+		t.Fatalf("children = %d, want 16", got)
+	}
+	if got := tr.Counters[CtrMergeAttempts]; got != 16 {
+		t.Fatalf("merge counter = %d, want 16", got)
+	}
+}
+
+func TestUnfinishedSpanMarked(t *testing.T) {
+	rec := NewRecorder(nil)
+	rec.StartSpan("open")
+	tr := rec.Trace()
+	if tr.Spans[0].DurationUS != -1 {
+		t.Fatalf("unfinished span duration = %d, want -1", tr.Spans[0].DurationUS)
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	rec := NewRecorder(nil)
+	sp := rec.StartSpan("x")
+	sp.End()
+	d := rec.Trace().Spans[0].DurationUS
+	sp.End()
+	if got := rec.Trace().Spans[0].DurationUS; got != d {
+		t.Fatalf("second End changed duration: %d -> %d", d, got)
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	rec := NewRecorder(reg)
+	sp := rec.StartSpan("design", Int("queries", 2))
+	child := sp.StartSpan("select")
+	child.Event(EvSelectStep, String("vertex", "tmp2"), String("action", "materialize"), Float("cs", 123.5))
+	child.End()
+	sp.End()
+	reg.Counter(CtrCandidates).Add(3)
+	reg.Gauge("quality").Set(0.75)
+
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.FindSpan("design") == nil || back.FindSpan("select") == nil {
+		t.Fatalf("round-trip lost spans: %+v", back.Spans)
+	}
+	steps := back.EventsOfKind(EvSelectStep)
+	if len(steps) != 1 || steps[0].Attrs["vertex"] != "tmp2" || steps[0].Attrs["cs"] != 123.5 {
+		t.Fatalf("round-trip select.step = %+v", steps)
+	}
+	if back.Counters[CtrCandidates] != 3 {
+		t.Fatalf("round-trip counters = %v", back.Counters)
+	}
+	if back.Gauges["quality"] != 0.75 {
+		t.Fatalf("round-trip gauges = %v", back.Gauges)
+	}
+	// JSON attr numbers decode as float64; the trace helpers must still
+	// find them (documented behaviour, asserted above via cs).
+	if back.StartedAt.IsZero() {
+		t.Fatal("round-trip lost start time")
+	}
+}
+
+func TestLogObserver(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	o := NewLogObserver(logger, nil)
+	sp := o.StartSpan("design", Int("queries", 4))
+	child := sp.StartSpan("optimize")
+	child.Event(EvPlanChosen, String("query", "Q1"))
+	child.End()
+	sp.Event(EvSafeguard, String("strategy", "all-virtual"))
+	sp.End()
+
+	out := buf.String()
+	for _, want := range []string{
+		"span=design", "span=design/optimize", "event=optimizer.plan",
+		"event=design.safeguard", "duration=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("log output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Info level suppresses spans and plan events but keeps safeguard/cost
+	// summaries.
+	buf.Reset()
+	logger = slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelInfo}))
+	o = NewLogObserver(logger, nil)
+	sp = o.StartSpan("design")
+	sp.Event(EvPlanChosen, String("query", "Q1"))
+	sp.Event(EvSafeguard, String("strategy", "all-virtual"))
+	sp.End()
+	out = buf.String()
+	if strings.Contains(out, "span start") || strings.Contains(out, "optimizer.plan") {
+		t.Fatalf("info level leaked debug lines:\n%s", out)
+	}
+	if !strings.Contains(out, "design.safeguard") {
+		t.Fatalf("info level lost the safeguard event:\n%s", out)
+	}
+}
+
+func TestLogObserverNilLogger(t *testing.T) {
+	if o := NewLogObserver(nil, nil); o != nil {
+		t.Fatalf("NewLogObserver(nil) = %v, want nil", o)
+	}
+}
+
+func TestMetricsOnly(t *testing.T) {
+	reg := NewRegistry()
+	o := MetricsOnly(reg)
+	sp := Start(o, "design", Int("queries", 1))
+	sp.Event(EvCosts, Float("total", 1))
+	CounterOf(From(sp), CtrCandidates).Inc()
+	sp.Annotate(Float("total", 1))
+	End(sp)
+	if got := reg.Counter(CtrCandidates).Value(); got != 1 {
+		t.Fatalf("counter through metrics-only observer = %d, want 1", got)
+	}
+	if MetricsOnly(nil).Metrics() == nil {
+		t.Fatal("MetricsOnly(nil) should own a fresh registry")
+	}
+}
+
+func TestTee(t *testing.T) {
+	if Tee() != nil || Tee(nil, nil) != nil {
+		t.Fatal("empty tee should be nil")
+	}
+	rec := NewRecorder(nil)
+	if got := Tee(nil, rec); got != Observer(rec) {
+		t.Fatal("single-survivor tee should be the survivor itself")
+	}
+
+	reg := NewRegistry()
+	a, b := NewRecorder(reg), NewRecorder(reg)
+	o := Tee(a, b)
+	sp := o.StartSpan("design")
+	sp.Event(EvCosts, Float("total", 1))
+	sp.StartSpan("child").End()
+	sp.End()
+	o.Event(EvCandidate)
+	CounterOf(o, CtrCandidates).Inc()
+
+	for name, r := range map[string]*Recorder{"a": a, "b": b} {
+		tr := r.Trace()
+		if tr.FindSpan("design") == nil || tr.FindSpan("child") == nil {
+			t.Fatalf("recorder %s missing spans", name)
+		}
+		if len(tr.EventsOfKind(EvCosts)) != 1 || len(tr.EventsOfKind(EvCandidate)) != 1 {
+			t.Fatalf("recorder %s missing events", name)
+		}
+		if tr.Counters[CtrCandidates] != 1 {
+			t.Fatalf("recorder %s counters = %v", name, tr.Counters)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// TraceEvent is one recorded event in a JSON trace.
+type TraceEvent struct {
+	Kind  EventKind      `json:"kind"`
+	AtUS  int64          `json:"at_us"` // microseconds since trace start
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// TraceSpan is one recorded span in a JSON trace.
+type TraceSpan struct {
+	Name       string         `json:"name"`
+	StartUS    int64          `json:"start_us"`    // microseconds since trace start
+	DurationUS int64          `json:"duration_us"` // -1 while unfinished
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Events     []TraceEvent   `json:"events,omitempty"`
+	Children   []*TraceSpan   `json:"children,omitempty"`
+}
+
+// Trace is the serialized form of one recorded design run: the span tree,
+// loose (span-less) events, and the final metric values.
+type Trace struct {
+	// StartedAt is the wall-clock time the recorder was created.
+	StartedAt time.Time `json:"started_at"`
+	// Spans are the top-level spans in start order.
+	Spans []*TraceSpan `json:"spans"`
+	// Events are events emitted outside any span.
+	Events []TraceEvent `json:"events,omitempty"`
+	// Counters and Gauges are the registry's final values.
+	Counters map[string]int64   `json:"counters,omitempty"`
+	Gauges   map[string]float64 `json:"gauges,omitempty"`
+}
+
+// FindSpan returns the first span with the given name in a pre-order walk
+// of the trace, or nil.
+func (t *Trace) FindSpan(name string) *TraceSpan {
+	var walk func(spans []*TraceSpan) *TraceSpan
+	walk = func(spans []*TraceSpan) *TraceSpan {
+		for _, s := range spans {
+			if s.Name == name {
+				return s
+			}
+			if found := walk(s.Children); found != nil {
+				return found
+			}
+		}
+		return nil
+	}
+	return walk(t.Spans)
+}
+
+// EventsOfKind returns every event of the kind anywhere in the trace
+// (loose events and span events, pre-order).
+func (t *Trace) EventsOfKind(kind EventKind) []TraceEvent {
+	var out []TraceEvent
+	for _, e := range t.Events {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	var walk func(spans []*TraceSpan)
+	walk = func(spans []*TraceSpan) {
+		for _, s := range spans {
+			for _, e := range s.Events {
+				if e.Kind == kind {
+					out = append(out, e)
+				}
+			}
+			walk(s.Children)
+		}
+	}
+	walk(t.Spans)
+	return out
+}
+
+// Recorder is an Observer that records the span tree and events in memory
+// and exports them as a JSON trace. It is safe for concurrent use: the
+// MVPP generator starts sibling spans from multiple goroutines.
+type Recorder struct {
+	mu    sync.Mutex
+	start time.Time
+	reg   *Registry
+	spans []*recSpan
+	loose []TraceEvent
+}
+
+// NewRecorder builds a recording observer. reg may be nil, in which case
+// the recorder owns a fresh registry.
+func NewRecorder(reg *Registry) *Recorder {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	return &Recorder{start: time.Now(), reg: reg}
+}
+
+func (r *Recorder) sinceUS() int64 { return time.Since(r.start).Microseconds() }
+
+func (r *Recorder) StartSpan(name string, attrs ...Attr) Span {
+	sp := &recSpan{
+		rec: r,
+		data: TraceSpan{
+			Name:       name,
+			StartUS:    r.sinceUS(),
+			DurationUS: -1,
+			Attrs:      attrMap(attrs),
+		},
+	}
+	r.mu.Lock()
+	r.spans = append(r.spans, sp)
+	r.mu.Unlock()
+	return sp
+}
+
+func (r *Recorder) Event(kind EventKind, attrs ...Attr) {
+	ev := TraceEvent{Kind: kind, AtUS: r.sinceUS(), Attrs: attrMap(attrs)}
+	r.mu.Lock()
+	r.loose = append(r.loose, ev)
+	r.mu.Unlock()
+}
+
+func (r *Recorder) Metrics() *Registry { return r.reg }
+
+// Trace snapshots the recording as a serializable Trace.
+func (r *Recorder) Trace() *Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := &Trace{StartedAt: r.start}
+	t.Events = append(t.Events, r.loose...)
+	for _, sp := range r.spans {
+		t.Spans = append(t.Spans, sp.snapshot())
+	}
+	t.Counters, t.Gauges = r.reg.Snapshot()
+	if len(t.Counters) == 0 {
+		t.Counters = nil
+	}
+	if len(t.Gauges) == 0 {
+		t.Gauges = nil
+	}
+	return t
+}
+
+// WriteJSON serializes the recording as indented JSON.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r.Trace()); err != nil {
+		return fmt.Errorf("obs: writing trace: %w", err)
+	}
+	return nil
+}
+
+// ParseTrace reads a JSON trace produced by WriteJSON.
+func ParseTrace(r io.Reader) (*Trace, error) {
+	var t Trace
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("obs: parsing trace: %w", err)
+	}
+	return &t, nil
+}
+
+// recSpan is a live recording span. Child spans and events lock the whole
+// recorder — span starts are per pipeline phase, not per tuple, so the
+// contention is negligible next to the work the spans measure.
+type recSpan struct {
+	rec      *Recorder
+	data     TraceSpan
+	children []*recSpan
+	ended    bool
+}
+
+func (s *recSpan) StartSpan(name string, attrs ...Attr) Span {
+	child := &recSpan{
+		rec: s.rec,
+		data: TraceSpan{
+			Name:       name,
+			StartUS:    s.rec.sinceUS(),
+			DurationUS: -1,
+			Attrs:      attrMap(attrs),
+		},
+	}
+	s.rec.mu.Lock()
+	s.children = append(s.children, child)
+	s.rec.mu.Unlock()
+	return child
+}
+
+func (s *recSpan) Event(kind EventKind, attrs ...Attr) {
+	ev := TraceEvent{Kind: kind, AtUS: s.rec.sinceUS(), Attrs: attrMap(attrs)}
+	s.rec.mu.Lock()
+	s.data.Events = append(s.data.Events, ev)
+	s.rec.mu.Unlock()
+}
+
+func (s *recSpan) Metrics() *Registry { return s.rec.reg }
+
+func (s *recSpan) Annotate(attrs ...Attr) {
+	s.rec.mu.Lock()
+	if s.data.Attrs == nil {
+		s.data.Attrs = make(map[string]any, len(attrs))
+	}
+	for _, a := range attrs {
+		s.data.Attrs[a.Key] = a.Value
+	}
+	s.rec.mu.Unlock()
+}
+
+func (s *recSpan) End() {
+	s.rec.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.data.DurationUS = s.rec.sinceUS() - s.data.StartUS
+	}
+	s.rec.mu.Unlock()
+}
+
+// snapshot deep-copies the span subtree; callers hold the recorder lock.
+func (s *recSpan) snapshot() *TraceSpan {
+	out := s.data
+	out.Attrs = copyMap(s.data.Attrs)
+	out.Events = append([]TraceEvent(nil), s.data.Events...)
+	for _, c := range s.children {
+		out.Children = append(out.Children, c.snapshot())
+	}
+	return &out
+}
+
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+func copyMap(m map[string]any) map[string]any {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]any, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

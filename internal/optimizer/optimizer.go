@@ -12,6 +12,7 @@ import (
 
 	"github.com/warehousekit/mvpp/internal/algebra"
 	"github.com/warehousekit/mvpp/internal/cost"
+	"github.com/warehousekit/mvpp/internal/obs"
 	"github.com/warehousekit/mvpp/internal/sqlparse"
 )
 
@@ -27,6 +28,10 @@ type Options struct {
 	// KeepAllColumns disables column pruning (projection push-down) on the
 	// returned plan.
 	KeepAllColumns bool
+	// Obs receives a span per optimized query, an EvPlanChosen event for
+	// the winning plan, and the plans-enumerated counter. Nil disables
+	// instrumentation.
+	Obs obs.Observer
 }
 
 // Optimizer chooses cheapest plans for bound queries.
@@ -57,6 +62,10 @@ func (o *Optimizer) Optimize(q *sqlparse.Query) (algebra.Node, float64, error) {
 		return nil, 0, fmt.Errorf("optimizer: query %s joins %d relations; maximum is %d",
 			q.Name, len(q.Relations), MaxRelations)
 	}
+	sp := obs.Start(o.opts.Obs, "optimize.query",
+		obs.String("query", q.Name), obs.Int("relations", int64(len(q.Relations))))
+	defer obs.End(sp)
+	enumerated := obs.CounterOf(o.opts.Obs, obs.CtrPlansEnumerated)
 
 	relIndex := make(map[string]int, len(q.Relations))
 	for i, r := range q.Relations {
@@ -162,6 +171,7 @@ func (o *Optimizer) Optimize(q *sqlparse.Query) (algebra.Node, float64, error) {
 					{l, r, onLR},
 					{r, l, onRL},
 				} {
+					enumerated.Add(1)
 					j := algebra.NewJoin(orient.outer.plan, orient.inner.plan, orient.on)
 					oc, err := o.est.OpCost(o.model, j)
 					if err != nil {
@@ -216,6 +226,11 @@ func (o *Optimizer) Optimize(q *sqlparse.Query) (algebra.Node, float64, error) {
 	totalCost, err := o.est.PlanCost(o.model, plan)
 	if err != nil {
 		return nil, 0, err
+	}
+	if sp != nil {
+		sp.Annotate(obs.Float("cost", totalCost))
+		sp.Event(obs.EvPlanChosen, obs.String("query", q.Name),
+			obs.Int("relations", int64(len(q.Relations))), obs.Float("cost", totalCost))
 	}
 	return plan, totalCost, nil
 }

@@ -13,6 +13,7 @@ import (
 
 	"github.com/warehousekit/mvpp/internal/core"
 	"github.com/warehousekit/mvpp/internal/cost"
+	"github.com/warehousekit/mvpp/internal/obs"
 	"github.com/warehousekit/mvpp/internal/optimizer"
 	"github.com/warehousekit/mvpp/internal/paper"
 	"github.com/warehousekit/mvpp/internal/sqlparse"
@@ -317,11 +318,14 @@ func Figure9Trace() (string, error) {
 	return b.String(), nil
 }
 
-// All regenerates every artifact in paper order.
-func All() ([]Experiment, error) {
+// All regenerates every artifact in paper order. o (which may be nil)
+// receives one span per artifact.
+func All(o obs.Observer) ([]Experiment, error) {
 	var out []Experiment
 	add := func(id, title string, f func() (string, error)) error {
+		sp := obs.Start(o, "repro.artifact", obs.String("artifact", id))
 		text, err := f()
+		obs.End(sp)
 		if err != nil {
 			return fmt.Errorf("repro %s: %w", id, err)
 		}

@@ -184,7 +184,7 @@ func TestFigure9Trace(t *testing.T) {
 }
 
 func TestAll(t *testing.T) {
-	exps, err := repro.All()
+	exps, err := repro.All(nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,6 +13,7 @@ import (
 
 	"github.com/warehousekit/mvpp/internal/core"
 	"github.com/warehousekit/mvpp/internal/cost"
+	"github.com/warehousekit/mvpp/internal/obs"
 	"github.com/warehousekit/mvpp/internal/optimizer"
 	"github.com/warehousekit/mvpp/internal/viz"
 	"github.com/warehousekit/mvpp/internal/workload"
@@ -39,6 +40,9 @@ type Env struct {
 	ZipfSkew      float64
 	UpdateScale   float64 // multiplies the star schema's update frequencies
 	AggregateProb float64
+	// Obs receives one span per measurement plus the design pipeline's
+	// spans, events and counters. Nil disables instrumentation.
+	Obs obs.Observer
 }
 
 // DefaultEnv is the baseline environment.
@@ -49,6 +53,11 @@ func DefaultEnv() Env {
 // Measure designs views for the environment and reports the point with the
 // given swept-parameter label value.
 func Measure(env Env, param float64) (Point, error) {
+	sp := obs.Start(env.Obs, "study.measure",
+		obs.Float("param", param), obs.Int("queries", int64(env.Queries)))
+	defer obs.End(sp)
+	mobs := obs.From(sp)
+
 	spec := workload.DefaultStar(env.Dims)
 	spec.FactUpdateFreq *= env.UpdateScale
 	spec.DimUpdateFreq *= env.UpdateScale
@@ -66,7 +75,7 @@ func Measure(env Env, param float64) (Point, error) {
 
 	model := &cost.PaperModel{}
 	est := cost.NewEstimator(cat, cost.DefaultOptions())
-	opt := optimizer.New(est, model, optimizer.Options{})
+	opt := optimizer.New(est, model, optimizer.Options{Obs: mobs})
 	plans := make([]core.QueryPlan, len(queries))
 	for i, q := range queries {
 		p, _, err := opt.Optimize(q)
@@ -78,6 +87,7 @@ func Measure(env Env, param float64) (Point, error) {
 	cands, err := core.Generate(est, model, plans, core.GenOptions{
 		MaxRotations: 3,
 		Select:       core.SelectOptions{DiscountedMaintenance: true},
+		Obs:          mobs,
 	})
 	if err != nil {
 		return Point{}, err

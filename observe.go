@@ -1,0 +1,98 @@
+package mvpp
+
+import (
+	"io"
+	"log/slog"
+
+	"github.com/warehousekit/mvpp/internal/obs"
+)
+
+// The observability surface of the designer. The implementation lives in
+// internal/obs (so the internal pipeline packages can emit into it); these
+// aliases expose it to library users, who set Options.Observer and read
+// back metrics and traces.
+
+// Observer receives spans, events, and hosts the metrics registry for one
+// design run. A nil Observer — the default — disables instrumentation:
+// every pipeline call site guards with a single nil check.
+type Observer = obs.Observer
+
+// Span is one timed region of the pipeline. A Span is itself an Observer,
+// so child spans and events nest under it.
+type Span = obs.Span
+
+// Attr is one key/value annotation on a span or event.
+type Attr = obs.Attr
+
+// EventKind tags a pipeline event; see the Ev* constants.
+type EventKind = obs.EventKind
+
+// Registry is the atomic counter/gauge registry observers share.
+type Registry = obs.Registry
+
+// Counter is one atomic counter of a Registry.
+type Counter = obs.Counter
+
+// TraceRecorder is an Observer recording the full span tree, events, and
+// final metric values, serializable as a JSON trace.
+type TraceRecorder = obs.Recorder
+
+// Trace is the parsed form of a recorded JSON trace.
+type Trace = obs.Trace
+
+// TraceSpan is one span of a Trace.
+type TraceSpan = obs.TraceSpan
+
+// TraceEvent is one event of a Trace.
+type TraceEvent = obs.TraceEvent
+
+// The pipeline's event taxonomy (see the internal/obs documentation for
+// each kind's attributes).
+const (
+	EvPlanChosen     = obs.EvPlanChosen
+	EvCandidate      = obs.EvCandidate
+	EvCandidateDedup = obs.EvCandidateDedup
+	EvSelectStep     = obs.EvSelectStep
+	EvSafeguard      = obs.EvSafeguard
+	EvCosts          = obs.EvCosts
+	EvEngineOp       = obs.EvEngineOp
+)
+
+// Canonical counter names the pipeline maintains.
+const (
+	CtrPlansEnumerated   = obs.CtrPlansEnumerated
+	CtrEstimatorCalls    = obs.CtrEstimatorCalls
+	CtrMemoHits          = obs.CtrMemoHits
+	CtrMergeAttempts     = obs.CtrMergeAttempts
+	CtrCandidates        = obs.CtrCandidates
+	CtrGreedyIterations  = obs.CtrGreedyIterations
+	CtrSafeguardSubs     = obs.CtrSafeguardSubs
+	CtrEvaluateCalls     = obs.CtrEvaluateCalls
+	CtrEngineBlockReads  = obs.CtrEngineBlockReads
+	CtrEngineBlockWrites = obs.CtrEngineBlockWrites
+)
+
+// NewRegistry creates an empty metrics registry, to be shared across
+// observers combined with TeeObservers.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// NewLogObserver builds an Observer rendering spans and events through the
+// slog logger: spans at Debug, design-level summary events at Info. reg
+// may be nil, in which case the observer owns a fresh registry. A nil
+// logger yields a nil (disabled) Observer.
+func NewLogObserver(logger *slog.Logger, reg *Registry) Observer {
+	return obs.NewLogObserver(logger, reg)
+}
+
+// NewTraceRecorder builds an Observer recording the run in memory for
+// export as a JSON trace via its WriteJSON method. reg may be nil, in
+// which case the recorder owns a fresh registry.
+func NewTraceRecorder(reg *Registry) *TraceRecorder { return obs.NewRecorder(reg) }
+
+// TeeObservers fans out to every non-nil observer (e.g. log + trace at
+// once); it returns nil when none remain. Construct the backends over one
+// shared Registry so they report consistent counters.
+func TeeObservers(observers ...Observer) Observer { return obs.Tee(observers...) }
+
+// ParseTrace reads a JSON trace written by TraceRecorder.WriteJSON.
+func ParseTrace(r io.Reader) (*Trace, error) { return obs.ParseTrace(r) }

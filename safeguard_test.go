@@ -1,0 +1,99 @@
+package mvpp_test
+
+import (
+	"strings"
+	"testing"
+
+	mvpp "github.com/warehousekit/mvpp"
+)
+
+// skewedDesigner builds a workload engineered to beat the Figure 9 greedy
+// heuristic: three cheap-to-store aggregates over one expensive unfiltered
+// join, with base updates frequent enough that each view is unprofitable
+// on its own (the greedy Cs test charges every view a full from-base
+// recompute) while materializing all three query results together is
+// profitable, because they share one join recomputation per refresh epoch.
+func skewedDesigner(t testing.TB, opts mvpp.Options) *mvpp.Designer {
+	t.Helper()
+	cat := mvpp.NewCatalog()
+	fail := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	fail(cat.AddTable("Fact", []mvpp.Column{
+		{Name: "k", Type: mvpp.Int},
+		{Name: "v", Type: mvpp.Int},
+		{Name: "g1", Type: mvpp.Int},
+		{Name: "g2", Type: mvpp.Int},
+		{Name: "g3", Type: mvpp.Int},
+	}, mvpp.TableStats{Rows: 200_000, Blocks: 20_000, UpdateFrequency: 1.65,
+		DistinctValues: map[string]float64{
+			"k": 10, "g1": 20, "g2": 20, "g3": 20,
+		},
+		IntRanges: map[string][2]int64{"v": {1, 1000}}}))
+	fail(cat.AddTable("Dim", []mvpp.Column{
+		{Name: "k", Type: mvpp.Int},
+		{Name: "w", Type: mvpp.Int},
+	}, mvpp.TableStats{Rows: 1_000, Blocks: 100, UpdateFrequency: 1.65,
+		DistinctValues: map[string]float64{"k": 10},
+		IntRanges:      map[string][2]int64{"w": {1, 1000}}}))
+
+	d := mvpp.NewDesigner(cat, opts)
+	for _, q := range []struct{ name, group string }{
+		{"by_g1", "g1"}, {"by_g2", "g2"}, {"by_g3", "g3"},
+	} {
+		fail(d.AddQuery(q.name,
+			`SELECT `+q.group+`, SUM(v) AS total FROM Fact, Dim
+			 WHERE Fact.k = Dim.k GROUP BY `+q.group, 4))
+	}
+	return d
+}
+
+// TestSafeguardSelection (satellite of the observability PR): on the skewed
+// workload the designer must fall back to a baseline strategy, record an
+// ActionSafeguard step in the Figure 9 trace, and price the design at the
+// baseline's total.
+func TestSafeguardSelection(t *testing.T) {
+	rec := mvpp.NewTraceRecorder(nil)
+	d := skewedDesigner(t, mvpp.Options{Observer: rec})
+	design, err := d.Design()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The safeguard must have replaced the greedy choice and logged it in
+	// the selection trace.
+	if !strings.Contains(design.Trace(), "safeguard") {
+		t.Fatalf("selection trace has no safeguard step:\n%s", design.Trace())
+	}
+
+	// The observer saw it too: a design.safeguard event naming the winning
+	// strategy and a non-zero substitution counter.
+	tr := rec.Trace()
+	events := tr.EventsOfKind(mvpp.EvSafeguard)
+	if len(events) == 0 {
+		t.Fatal("no design.safeguard events recorded")
+	}
+	ev := events[len(events)-1]
+	if ev.Attrs["strategy"] != "all-query-results" {
+		t.Errorf("winning strategy = %v, want all-query-results", ev.Attrs["strategy"])
+	}
+	if tr.Counters[mvpp.CtrSafeguardSubs] == 0 {
+		t.Error("safeguard substitution counter is zero")
+	}
+
+	// The design's total must equal the baseline the safeguard picked:
+	// materializing every query result, cheaper than leaving all virtual.
+	_, _, allVirtual, err := design.EvaluateStrategy(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := design.Costs().TotalCost
+	if total >= allVirtual {
+		t.Errorf("design total %g not below the all-virtual total %g", total, allVirtual)
+	}
+	if got := len(design.Views()); got != 3 {
+		t.Errorf("materialized views = %d, want the 3 query results", got)
+	}
+}

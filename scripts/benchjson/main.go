@@ -1,0 +1,170 @@
+// Command benchjson measures the Design() benchmarks and writes the result
+// as JSON — the BENCH_design.json baseline regression checks diff against.
+// The no-observer run is the number guarded by the "<2% overhead" budget
+// for the instrumentation layer; the observed run prices a full trace
+// recording for reference.
+//
+//	go run ./scripts/benchjson -out BENCH_design.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	mvpp "github.com/warehousekit/mvpp"
+)
+
+func paperDesigner(opts mvpp.Options) (*mvpp.Designer, error) {
+	cat := mvpp.NewCatalog()
+	steps := []error{
+		cat.AddTable("Product", []mvpp.Column{
+			{Name: "Pid", Type: mvpp.Int}, {Name: "name", Type: mvpp.String}, {Name: "Did", Type: mvpp.Int},
+		}, mvpp.TableStats{Rows: 30000, Blocks: 3000, UpdateFrequency: 1,
+			DistinctValues: map[string]float64{"Pid": 30000, "Did": 5000}}),
+		cat.AddTable("Division", []mvpp.Column{
+			{Name: "Did", Type: mvpp.Int}, {Name: "name", Type: mvpp.String}, {Name: "city", Type: mvpp.String},
+		}, mvpp.TableStats{Rows: 5000, Blocks: 500, UpdateFrequency: 1,
+			DistinctValues: map[string]float64{"Did": 5000, "city": 50}}),
+		cat.AddTable("Order", []mvpp.Column{
+			{Name: "Pid", Type: mvpp.Int}, {Name: "Cid", Type: mvpp.Int},
+			{Name: "quantity", Type: mvpp.Int}, {Name: "date", Type: mvpp.Date},
+		}, mvpp.TableStats{Rows: 50000, Blocks: 6000, UpdateFrequency: 1,
+			DistinctValues: map[string]float64{"Pid": 30000, "Cid": 20000},
+			IntRanges:      map[string][2]int64{"quantity": {1, 200}}}),
+		cat.AddTable("Customer", []mvpp.Column{
+			{Name: "Cid", Type: mvpp.Int}, {Name: "name", Type: mvpp.String}, {Name: "city", Type: mvpp.String},
+		}, mvpp.TableStats{Rows: 20000, Blocks: 2000, UpdateFrequency: 1,
+			DistinctValues: map[string]float64{"Cid": 20000, "city": 50}}),
+		cat.AddTable("Part", []mvpp.Column{
+			{Name: "Tid", Type: mvpp.Int}, {Name: "name", Type: mvpp.String},
+			{Name: "Pid", Type: mvpp.Int}, {Name: "supplier", Type: mvpp.String},
+		}, mvpp.TableStats{Rows: 80000, Blocks: 10000, UpdateFrequency: 1,
+			DistinctValues: map[string]float64{"Tid": 80000, "Pid": 30000}}),
+		cat.PinSelectivity(`city = 'LA'`, 0.02, "Division"),
+		cat.PinSelectivity(`date > 7/1/96`, 0.5, "Order"),
+		cat.PinSelectivity(`quantity > 100`, 0.5, "Order"),
+	}
+	for _, err := range steps {
+		if err != nil {
+			return nil, err
+		}
+	}
+	d := mvpp.NewDesigner(cat, opts)
+	queries := []mvpp.Query{
+		{Name: "Q1", Frequency: 10, SQL: `SELECT Product.name FROM Product, Division WHERE Division.city = 'LA' AND Product.Did = Division.Did`},
+		{Name: "Q2", Frequency: 0.5, SQL: `SELECT Part.name FROM Product, Part, Division WHERE Division.city = 'LA' AND Product.Did = Division.Did AND Part.Pid = Product.Pid`},
+		{Name: "Q3", Frequency: 0.8, SQL: `SELECT Customer.name, Product.name, quantity FROM Product, Division, Order, Customer WHERE Division.city = 'LA' AND Product.Did = Division.Did AND Product.Pid = Order.Pid AND Order.Cid = Customer.Cid AND date > 7/1/96`},
+		{Name: "Q4", Frequency: 5, SQL: `SELECT Customer.city, date FROM Order, Customer WHERE quantity > 100 AND Order.Cid = Customer.Cid`},
+	}
+	for _, q := range queries {
+		if err := d.AddQuery(q.Name, q.SQL, q.Frequency); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// measureDesign times repeated Design() calls on one pre-bound designer —
+// the pure-pipeline regression number.
+func measureDesign() (testing.BenchmarkResult, error) {
+	d, err := paperDesigner(mvpp.Options{})
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	var runErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := d.Design(); err != nil {
+				runErr = err
+				b.FailNow()
+			}
+		}
+	})
+	return res, runErr
+}
+
+// measureEndToEnd rebuilds the designer every iteration (a fresh trace
+// recorder each time when mkObs is non-nil), so the observed run is not
+// skewed by one recorder accumulating every previous iteration's trace.
+func measureEndToEnd(mkObs func() mvpp.Observer) (testing.BenchmarkResult, error) {
+	var runErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			opts := mvpp.Options{}
+			if mkObs != nil {
+				opts.Observer = mkObs()
+			}
+			d, err := paperDesigner(opts)
+			if err == nil {
+				_, err = d.Design()
+			}
+			if err != nil {
+				runErr = err
+				b.FailNow()
+			}
+		}
+	})
+	return res, runErr
+}
+
+type report struct {
+	Benchmark        string `json:"benchmark"`
+	GoVersion        string `json:"go_version"`
+	GOOS             string `json:"goos"`
+	GOARCH           string `json:"goarch"`
+	Iterations       int    `json:"iterations"`
+	NsPerOp          int64  `json:"ns_per_op"`
+	AllocsPerOp      int64  `json:"allocs_per_op"`
+	BytesPerOp       int64  `json:"bytes_per_op"`
+	EndToEndNsPerOp  int64  `json:"end_to_end_ns_per_op"`
+	ObservedNsPerOp  int64  `json:"observed_end_to_end_ns_per_op"`
+	ObservedOverhead string `json:"observed_overhead"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_design.json", "output file ('-' for stdout)")
+	flag.Parse()
+
+	fail := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+	design, err := measureDesign()
+	fail(err)
+	plain, err := measureEndToEnd(nil)
+	fail(err)
+	observed, err := measureEndToEnd(func() mvpp.Observer { return mvpp.NewTraceRecorder(nil) })
+	fail(err)
+
+	r := report{
+		Benchmark:       "BenchmarkDesign",
+		GoVersion:       runtime.Version(),
+		GOOS:            runtime.GOOS,
+		GOARCH:          runtime.GOARCH,
+		Iterations:      design.N,
+		NsPerOp:         design.NsPerOp(),
+		AllocsPerOp:     design.AllocsPerOp(),
+		BytesPerOp:      design.AllocedBytesPerOp(),
+		EndToEndNsPerOp: plain.NsPerOp(),
+		ObservedNsPerOp: observed.NsPerOp(),
+		ObservedOverhead: fmt.Sprintf("%+.1f%%",
+			100*(float64(observed.NsPerOp())-float64(plain.NsPerOp()))/float64(plain.NsPerOp())),
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	fail(err)
+	data = append(data, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(data)
+		fail(err)
+		return
+	}
+	fail(os.WriteFile(*out, data, 0o644))
+}

@@ -9,7 +9,7 @@ import (
 	"github.com/warehousekit/mvpp/internal/algebra"
 	"github.com/warehousekit/mvpp/internal/catalog"
 	"github.com/warehousekit/mvpp/internal/engine"
-	"github.com/warehousekit/mvpp/internal/sqlparse"
+	"github.com/warehousekit/mvpp/internal/obs"
 )
 
 // SimOptions configures Design.Simulate.
@@ -78,6 +78,9 @@ func (d *Design) Simulate(opts SimOptions) (*Simulation, error) {
 	if err != nil {
 		return nil, err
 	}
+	ssp := obs.Start(d.obsv, "simulate", obs.Float("scale", scale))
+	defer obs.End(ssp)
+	db.SetObserver(obs.From(ssp))
 
 	sim := &Simulation{PerQuery: make(map[string]QuerySim, len(d.queries))}
 
@@ -203,11 +206,7 @@ func (d *Design) collectLiterals() map[string][]algebra.Value {
 			fromPred(v.Pred)
 		}
 	}
-	for _, q := range d.queries {
-		bound, err := sqlparse.BindQuery(d.catalog.inner, q.Name, q.SQL)
-		if err != nil {
-			continue
-		}
+	for _, bound := range d.bound {
 		for _, p := range bound.Selections {
 			fromPred(p)
 		}
