@@ -578,6 +578,29 @@ func BenchmarkEngineSimulation(b *testing.B) {
 	b.ReportMetric(speedup, "io-speedup")
 }
 
+// BenchmarkSimulateDelta times the engine's delta-propagation maintenance
+// path: one synthetic-insert epoch applied to every view incrementally. The
+// reported metrics compare the measured incremental epoch against a full
+// recompute epoch, so BENCH_design.json tracks the maintenance path too.
+func BenchmarkSimulateDelta(b *testing.B) {
+	d := benchPaperDesignerOpts(b, mvpp.Options{Delta: &mvpp.DeltaOptions{DefaultFraction: 0.01}})
+	design, err := d.Design()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var incIO, fullIO int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim, err := design.Simulate(mvpp.SimOptions{Scale: 0.005, Seed: 11, DeltaFraction: 0.01})
+		if err != nil {
+			b.Fatal(err)
+		}
+		incIO, fullIO = sim.IncrementalRefreshIO, sim.RefreshIO
+	}
+	b.ReportMetric(float64(incIO), "blocks-incremental-epoch")
+	b.ReportMetric(float64(fullIO), "blocks-recompute-epoch")
+}
+
 // benchPaperDesigner builds the paper workload through the public API.
 func benchPaperDesigner(b testing.TB) *mvpp.Designer {
 	b.Helper()

@@ -42,6 +42,7 @@ func run() (status int) {
 		simulate     = flag.Bool("simulate", false, "run the design on synthetic data in the embedded engine")
 		simScale     = flag.Float64("sim-scale", 0.01, "simulation data scale relative to catalog statistics")
 		simSeed      = flag.Int64("sim-seed", 1, "simulation data seed")
+		delta        = flag.Float64("delta", 0, "price incremental maintenance for this per-epoch insert fraction (0 = recompute-only)")
 		logLevel     = flag.String("log-level", "", "log pipeline spans and events to stderr at this level (debug, info, warn, error)")
 		traceOut     = flag.String("trace-out", "", "write a JSON trace of the design run to this file")
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
@@ -95,7 +96,7 @@ func run() (status int) {
 		return 1
 	}
 	defer wlFile.Close()
-	designer, err := mvpp.LoadWorkload(wlFile, cat, mvpp.Options{
+	opts := mvpp.Options{
 		Model:                 kind,
 		PaperSizes:            *paperSizes,
 		Exhaustive:            *exhaustive,
@@ -105,7 +106,11 @@ func run() (status int) {
 		PushDisjunctions:      *disjunctions,
 		PushProjections:       *projections,
 		Observer:              obsy.Observer,
-	})
+	}
+	if *delta > 0 {
+		opts.Delta = &mvpp.DeltaOptions{DefaultFraction: *delta}
+	}
+	designer, err := mvpp.LoadWorkload(wlFile, cat, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mvdesign:", err)
 		return 1
@@ -134,7 +139,7 @@ func run() (status int) {
 		fmt.Print(design.Trace())
 	}
 	if *simulate {
-		sim, err := design.Simulate(mvpp.SimOptions{Scale: *simScale, Seed: *simSeed})
+		sim, err := design.Simulate(mvpp.SimOptions{Scale: *simScale, Seed: *simSeed, DeltaFraction: *delta})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mvdesign: simulation:", err)
 			return 1
@@ -142,7 +147,10 @@ func run() (status int) {
 		fmt.Printf("\nengine simulation (scale %g, seed %d):\n", *simScale, *simSeed)
 		fmt.Printf("  weighted query I/O without views: %.0f blocks\n", sim.WeightedDirect)
 		fmt.Printf("  weighted query I/O with views:    %.0f blocks\n", sim.WeightedRewritten)
-		fmt.Printf("  one refresh epoch:                %d blocks\n", sim.RefreshIO)
+		fmt.Printf("  one recompute refresh epoch:      %d blocks\n", sim.RefreshIO)
+		if *delta > 0 {
+			fmt.Printf("  one incremental epoch (%d Δ rows): %d blocks\n", sim.DeltaRows, sim.IncrementalRefreshIO)
+		}
 		fmt.Printf("  measured workload speedup:        %.2fx\n", sim.Speedup())
 	}
 	return 0

@@ -5,9 +5,9 @@
 //
 // Usage:
 //
-//	mvstudy [-dims N] [-queries N] [-seed N] [-sweep name]
+//	mvstudy [-dims N] [-queries N] [-seed N] [-sweep name] [-delta F]
 //
-// Sweeps: update, skew, mix, size (default: all).
+// Sweeps: update, skew, mix, size, delta (default: all).
 package main
 
 import (
@@ -28,7 +28,8 @@ func run() (status int) {
 		dims      = flag.Int("dims", 5, "star-schema dimension count")
 		queries   = flag.Int("queries", 8, "workload size (non-size sweeps)")
 		seed      = flag.Int64("seed", 11, "workload generation seed")
-		sweep     = flag.String("sweep", "", "run only one sweep: update, skew, mix, size")
+		sweep     = flag.String("sweep", "", "run only one sweep: update, skew, mix, size, delta")
+		delta     = flag.Float64("delta", 0, "price incremental maintenance for this per-epoch insert fraction in the non-delta sweeps")
 		logLevel  = flag.String("log-level", "", "log pipeline spans and events to stderr at this level (debug, info, warn, error)")
 		traceOut  = flag.String("trace-out", "", "write a JSON trace of the sweeps to this file")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and expvar on this address")
@@ -53,6 +54,7 @@ func run() (status int) {
 	env.Dims = *dims
 	env.Queries = *queries
 	env.Seed = *seed
+	env.Delta = *delta
 	env.Obs = obsy.Observer
 
 	type runner struct {
@@ -72,6 +74,9 @@ func run() (status int) {
 		{"size", func() (study.Sweep, error) {
 			return study.SizeSweep(env, []int{2, 4, 8, 12, 16})
 		}},
+		{"delta", func() (study.Sweep, error) {
+			return study.DeltaSweep(env, []float64{0.001, 0.01, 0.05, 0.2})
+		}},
 	}
 	matched := false
 	for _, r := range runners {
@@ -87,7 +92,7 @@ func run() (status int) {
 		fmt.Println(study.Render(s))
 	}
 	if !matched {
-		fmt.Fprintf(os.Stderr, "mvstudy: unknown sweep %q (update, skew, mix, size)\n", *sweep)
+		fmt.Fprintf(os.Stderr, "mvstudy: unknown sweep %q (update, skew, mix, size, delta)\n", *sweep)
 		return 2
 	}
 	return 0

@@ -41,6 +41,10 @@ type View struct {
 	Rows, Blocks float64
 	// MaintenanceCost is the frequency-weighted standalone refresh cost.
 	MaintenanceCost float64
+	// MaintenanceStrategy is how the design maintains the view:
+	// "recompute" (the paper's policy) or "incremental" when
+	// Options.Delta made delta propagation the cheaper plan.
+	MaintenanceStrategy string
 	// UsedBy lists the queries answered (fully or partly) from the view.
 	UsedBy []string
 }
@@ -53,13 +57,14 @@ func (d *Design) Views() []View {
 			continue
 		}
 		out = append(out, View{
-			Name:            v.Name,
-			Operation:       v.Op.Label(),
-			Definition:      v.Op.Canonical(),
-			Rows:            v.Est.Rows,
-			Blocks:          v.Est.Blocks,
-			MaintenanceCost: d.selection.Costs.PerView[v.Name],
-			UsedBy:          d.mvpp.QueriesUsing(v),
+			Name:                v.Name,
+			Operation:           v.Op.Label(),
+			Definition:          v.Op.Canonical(),
+			Rows:                v.Est.Rows,
+			Blocks:              v.Est.Blocks,
+			MaintenanceCost:     d.selection.Costs.PerView[v.Name],
+			MaintenanceStrategy: d.selection.Plans[v.Name].String(),
+			UsedBy:              d.mvpp.QueriesUsing(v),
 		})
 	}
 	return out
@@ -164,9 +169,13 @@ func (d *Design) Report() string {
 	} else {
 		b.WriteString("recommended materialized views:\n")
 		for _, v := range views {
-			b.WriteString(fmt.Sprintf("  %-10s %-40s ~%s rows, %s blocks; used by %s\n",
+			strategy := ""
+			if v.MaintenanceStrategy == core.MaintIncremental.String() {
+				strategy = "; maintained incrementally"
+			}
+			b.WriteString(fmt.Sprintf("  %-10s %-40s ~%s rows, %s blocks; used by %s%s\n",
 				v.Name, v.Operation, viz.FormatCost(v.Rows), viz.FormatCost(v.Blocks),
-				strings.Join(v.UsedBy, ",")))
+				strings.Join(v.UsedBy, ","), strategy))
 		}
 		b.WriteString("\n")
 	}

@@ -75,6 +75,12 @@ type Options struct {
 	// index lookups instead of scans (§3.2's "we can establish a proper
 	// index on it afterwards").
 	IndexedViews bool
+	// Delta enables incremental (delta-propagation) maintenance pricing:
+	// each candidate view's maintenance cost becomes the cheaper of a full
+	// recompute and propagating the configured per-relation insert deltas
+	// through its plan. Nil — the default — keeps the paper's
+	// recompute-only policy.
+	Delta *DeltaOptions
 	// Distribution places tables on remote sites; nil means co-located.
 	Distribution *Distribution
 	// Observer receives spans, events, and counters from the whole design
@@ -82,6 +88,24 @@ type Options struct {
 	// the default — disables instrumentation entirely: the pipeline then
 	// pays only nil checks.
 	Observer Observer
+}
+
+// DeltaOptions describes the insert volume of one maintenance epoch for
+// incremental maintenance pricing: each base relation is expected to gain
+// about fraction · rows new tuples per epoch.
+type DeltaOptions struct {
+	// DefaultFraction applies to every relation without a PerRelation
+	// entry. A typical warehouse value is small, e.g. 0.01.
+	DefaultFraction float64
+	// PerRelation overrides the fraction per relation name.
+	PerRelation map[string]float64
+}
+
+func (o *DeltaOptions) spec() *cost.DeltaSpec {
+	if o == nil {
+		return nil
+	}
+	return &cost.DeltaSpec{DefaultFraction: o.DefaultFraction, PerRelation: o.PerRelation}
 }
 
 // Distribution describes a distributed warehouse: base tables live on
@@ -191,6 +215,7 @@ func (d *Designer) Design() (*Design, error) {
 		PushDisjunctions: d.opts.PushDisjunctions,
 		PushProjections:  d.opts.PushProjections,
 		NoPushdown:       d.opts.NoPushdown,
+		Delta:            d.opts.Delta.spec(),
 		Select:           selOpts,
 		Obs:              dobs,
 	})
@@ -232,6 +257,7 @@ func (d *Designer) Design() (*Design, error) {
 			c.Selection = &core.SelectionResult{
 				Materialized: opt.Materialized,
 				Costs:        opt.Costs,
+				Plans:        c.MVPP.MaintenancePlans(opt.Materialized),
 			}
 		} else if d.opts.Distribution != nil {
 			// Re-run the heuristic so its evaluation reflects transfer
@@ -296,6 +322,7 @@ func safeguardSelection(c *core.Candidate, model cost.Model, o obs.Observer) {
 				obs.Float("baseline_total", costs.Total))
 			c.Selection.Materialized = a.mat
 			c.Selection.Costs = costs
+			c.Selection.Plans = m.MaintenancePlans(a.mat)
 			c.Selection.Trace = append(c.Selection.Trace, core.TraceStep{
 				Vertex: "(design)",
 				Action: core.ActionSafeguard,

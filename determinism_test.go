@@ -1,0 +1,55 @@
+package mvpp_test
+
+import (
+	"bytes"
+	"testing"
+
+	mvpp "github.com/warehousekit/mvpp"
+)
+
+// TestDesignIsDeterministic guards against map-iteration nondeterminism in
+// candidate generation, dedup, and selection: the same catalog and workload
+// must produce byte-identical exported JSON on every run. Twenty rounds is
+// enough to make any map-order dependence flake reliably.
+func TestDesignIsDeterministic(t *testing.T) {
+	exportOnce := func(delta *mvpp.DeltaOptions) []byte {
+		d := randomDesigner(t, 3, mvpp.Options{Delta: delta})
+		design, err := d.Design()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := design.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	for _, delta := range []*mvpp.DeltaOptions{nil, {DefaultFraction: 0.02}} {
+		first := exportOnce(delta)
+		for i := 1; i < 20; i++ {
+			if got := exportOnce(delta); !bytes.Equal(first, got) {
+				t.Fatalf("run %d (delta=%v) produced different JSON\nfirst: %s\n  got: %s",
+					i, delta != nil, first, got)
+			}
+		}
+	}
+}
+
+// TestReportIsDeterministic does the same for the human-readable report,
+// which walks vertices, views, and maintenance plans.
+func TestReportIsDeterministic(t *testing.T) {
+	reportOnce := func() string {
+		d := updateHeavyDesigner(t, mvpp.Options{Delta: &mvpp.DeltaOptions{DefaultFraction: 0.01}})
+		design, err := d.Design()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return design.Report()
+	}
+	first := reportOnce()
+	for i := 1; i < 20; i++ {
+		if got := reportOnce(); got != first {
+			t.Fatalf("run %d produced a different report\nfirst:\n%s\ngot:\n%s", i, first, got)
+		}
+	}
+}

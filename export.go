@@ -39,6 +39,9 @@ type ExportVertex struct {
 	Weight      float64 `json:"weight"`
 	// Materialized marks the design's chosen views.
 	Materialized bool `json:"materialized"`
+	// MaintenanceStrategy is "recompute" or "incremental" for
+	// materialized vertices; empty otherwise.
+	MaintenanceStrategy string `json:"maintenanceStrategy,omitempty"`
 }
 
 // ExportCosts is the design's §4.1 cost breakdown.
@@ -79,6 +82,9 @@ func (d *Design) Export() *ExportJSON {
 			ComputeCost:  v.Ca,
 			Weight:       v.Weight,
 			Materialized: d.selection.Materialized[v.ID],
+		}
+		if ev.Materialized {
+			ev.MaintenanceStrategy = d.selection.Plans[v.Name].String()
 		}
 		switch {
 		case v.IsLeaf():

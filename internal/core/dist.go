@@ -77,8 +77,16 @@ func (m *MVPP) transferForLeaves(leaves map[int]bool) float64 {
 	if len(m.Transfer) == 0 || len(leaves) == 0 {
 		return 0
 	}
-	total := 0.0
+	// Sum in ascending ID order: float summation is order-sensitive, and
+	// map iteration order would make repeated evaluations drift in the
+	// last bits.
+	ids := make([]int, 0, len(leaves))
 	for id := range leaves {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	total := 0.0
+	for _, id := range ids {
 		v := m.Vertices[id]
 		if tc, ok := m.Transfer[v.Relation]; ok {
 			total += tc * v.Est.Blocks

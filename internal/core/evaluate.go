@@ -149,14 +149,23 @@ func (m *MVPP) Evaluate(model cost.Model, mat VertexSet) Costs {
 		c.Query += weighted
 	}
 
-	// Group materialized views by maintenance frequency; each group shares
-	// one recomputation pass per epoch.
+	// Group recompute-maintained views by maintenance frequency; each group
+	// shares one recomputation pass per epoch. Views whose winning plan is
+	// delta propagation (ApplyDeltaMaintenance) are priced individually:
+	// each epoch propagates the base deltas through the view's own plan and
+	// applies them, so there is no shared recomputation to pool.
 	groups := make(map[float64][]*Vertex)
 	for _, v := range m.Vertices {
 		if !mat[v.ID] || v.IsLeaf() {
 			continue
 		}
 		f := m.MaintenanceFrequency(v)
+		if m.maintPolicy != PolicyIncremental && v.MaintStrategy == MaintIncremental {
+			weighted := f * (v.CmIncremental + m.deltaTransfer(v))
+			c.PerView[v.Name] = weighted
+			c.Maintenance += weighted
+			continue
+		}
 		groups[f] = append(groups[f], v)
 		// Standalone per-view cost for reporting.
 		rc := v.CaSelf
@@ -165,7 +174,16 @@ func (m *MVPP) Evaluate(model cost.Model, mat VertexSet) Costs {
 		}
 		c.PerView[v.Name] = f * rc
 	}
-	for f, views := range groups {
+	// Iterate groups in ascending frequency: map order is random and
+	// float summation is order-sensitive, so a fixed order keeps repeated
+	// evaluations bit-identical.
+	freqs := make([]float64, 0, len(groups))
+	for f := range groups {
+		freqs = append(freqs, f)
+	}
+	sort.Float64s(freqs)
+	for _, f := range freqs {
+		views := groups[f]
 		if m.maintPolicy == PolicyIncremental {
 			for _, v := range views {
 				// Propagate the changed fraction through the view's plan,

@@ -36,6 +36,10 @@ type GenOptions struct {
 	// selections-above-joins form of the paper's Figure 7 — an ablation
 	// knob.
 	NoPushdown bool
+	// Delta, when non-nil, installs delta-propagation maintenance pricing
+	// on every candidate before view selection: each vertex's Cm becomes
+	// min(recompute, incremental) under these per-relation delta fractions.
+	Delta *cost.DeltaSpec
 	// Select configures the view-selection heuristic run on each candidate.
 	Select SelectOptions
 	// Obs receives the generation span, one child span per rotation,
@@ -190,6 +194,12 @@ func buildRotation(est *cost.Estimator, model cost.Model, order []prepared, opts
 	}
 	if err := m.Validate(); err != nil {
 		return nil, fmt.Errorf("core: generated MVPP invalid: %w", err)
+	}
+	if opts.Delta != nil {
+		de := cost.NewDeltaEstimator(est, *opts.Delta)
+		if err := m.ApplyDeltaMaintenance(de, model); err != nil {
+			return nil, err
+		}
 	}
 	m.SetObserver(ro)
 	sel := opts.Select

@@ -1,0 +1,250 @@
+package core_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/warehousekit/mvpp/internal/core"
+	"github.com/warehousekit/mvpp/internal/cost"
+	"github.com/warehousekit/mvpp/internal/optimizer"
+	"github.com/warehousekit/mvpp/internal/workload"
+)
+
+// independentTotal re-derives Σ fq·Ca(q | mat) + Σ fu·Cm(v | mat) from the
+// MVPP's annotations alone, mirroring the documented accounting (recursive
+// compute cost cut at materialized vertices; recompute epochs shared per
+// maintenance frequency; incremental-strategy views priced per vertex). It
+// deliberately does not call Evaluate, so a bookkeeping bug there cannot
+// cancel itself out.
+func independentTotal(m *core.MVPP, model cost.Model, mat core.VertexSet) float64 {
+	memo := map[int]float64{}
+	var compute func(v *core.Vertex) float64
+	compute = func(v *core.Vertex) float64 {
+		if v.IsLeaf() || mat[v.ID] {
+			return 0
+		}
+		if c, ok := memo[v.ID]; ok {
+			return c
+		}
+		total := v.CaSelf
+		for _, in := range v.In {
+			total += compute(in)
+		}
+		memo[v.ID] = total
+		return total
+	}
+
+	total := 0.0
+	for _, q := range m.QueryOrder {
+		r := m.Roots[q]
+		if mat[r.ID] {
+			total += m.Fq[q] * model.ReadCost(r.Est)
+		} else {
+			total += m.Fq[q] * compute(r)
+		}
+	}
+
+	groups := map[float64][]*core.Vertex{}
+	for _, v := range m.Vertices {
+		if !mat[v.ID] || v.IsLeaf() {
+			continue
+		}
+		f := m.MaintenanceFrequency(v)
+		if v.MaintStrategy == core.MaintIncremental {
+			total += f * v.CmIncremental
+			continue
+		}
+		groups[f] = append(groups[f], v)
+	}
+	for f, views := range groups {
+		total += f * epochCost(views, mat)
+	}
+	return total
+}
+
+// epochCost prices one shared recompute epoch: every vertex in the union of
+// the group's recomputation DAGs executes once; materialized vertices
+// outside the group are read, not recomputed.
+func epochCost(views []*core.Vertex, mat core.VertexSet) float64 {
+	inGroup := map[int]bool{}
+	for _, v := range views {
+		inGroup[v.ID] = true
+	}
+	seen := map[int]bool{}
+	total := 0.0
+	var acc func(v *core.Vertex)
+	acc = func(v *core.Vertex) {
+		if seen[v.ID] || v.IsLeaf() {
+			seen[v.ID] = true
+			return
+		}
+		seen[v.ID] = true
+		total += v.CaSelf
+		for _, in := range v.In {
+			if mat[in.ID] {
+				continue
+			}
+			acc(in)
+		}
+	}
+	for _, v := range views {
+		if seen[v.ID] {
+			continue
+		}
+		seen[v.ID] = true
+		total += v.CaSelf
+		for _, in := range v.In {
+			if mat[in.ID] {
+				continue
+			}
+			acc(in)
+		}
+	}
+	return total
+}
+
+// randomStarCandidates designs random star workloads, optionally with
+// incremental maintenance pricing, and hands each candidate to check.
+func randomStarCandidates(t *testing.T, seed int64, delta *cost.DeltaSpec,
+	check func(seed int64, c *core.Candidate, model cost.Model)) {
+	t.Helper()
+	model := &cost.PaperModel{}
+	spec := workload.DefaultStar(4 + int(seed)%3)
+	cat, err := workload.Star(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(seed))
+	nq := 3 + r.Intn(5)
+	queries, err := workload.Queries(cat, spec, workload.DefaultQueries(spec), nq, seed*17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freqs := workload.ZipfFrequencies(nq, 1, 10)
+	est := cost.NewEstimator(cat, cost.DefaultOptions())
+	opt := optimizer.New(est, model, optimizer.Options{})
+	plans := make([]core.QueryPlan, nq)
+	for i, q := range queries {
+		p, _, err := opt.Optimize(q)
+		if err != nil {
+			t.Fatalf("seed %d %s: %v", seed, q.Name, err)
+		}
+		plans[i] = core.QueryPlan{Name: q.Name, Freq: freqs[i], Plan: p}
+	}
+	cands, err := core.Generate(est, model, plans, core.GenOptions{MaxRotations: 2, Delta: delta})
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	for _, c := range cands {
+		check(seed, c, model)
+	}
+}
+
+// TestEvaluateMatchesIndependentRecomputation: on random workloads, with
+// and without delta pricing, the selection's reported total equals an
+// independent re-derivation of Σ fq·Ca(q) + Σ fu·Cm(v).
+func TestEvaluateMatchesIndependentRecomputation(t *testing.T) {
+	for _, delta := range []*cost.DeltaSpec{nil, {DefaultFraction: 0.02}} {
+		for seed := int64(1); seed <= 5; seed++ {
+			randomStarCandidates(t, seed, delta, func(seed int64, c *core.Candidate, model cost.Model) {
+				got := c.Selection.Costs.Total
+				want := independentTotal(c.MVPP, model, c.Selection.Materialized)
+				if math.Abs(got-want) > 1e-6*math.Max(1, math.Abs(want)) {
+					t.Errorf("seed %d delta=%v: reported total %v, independent %v",
+						seed, delta != nil, got, want)
+				}
+				// And the randomized subsets, not just the chosen one.
+				r := rand.New(rand.NewSource(seed * 31))
+				inner := c.MVPP.InnerVertices()
+				for trial := 0; trial < 8; trial++ {
+					mat := core.VertexSet{}
+					for _, v := range inner {
+						if r.Intn(2) == 0 {
+							mat[v.ID] = true
+						}
+					}
+					ev := c.MVPP.Evaluate(model, mat)
+					want := independentTotal(c.MVPP, model, mat)
+					if math.Abs(ev.Total-want) > 1e-6*math.Max(1, math.Abs(want)) {
+						t.Errorf("seed %d delta=%v trial %d: Evaluate %v, independent %v",
+							seed, delta != nil, trial, ev.Total, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestIncrementalMaintenancePerVertexInvariants: with delta pricing on,
+// every vertex's effective Cm is the min of the two strategies and the
+// recorded strategy matches the winner.
+func TestIncrementalMaintenancePerVertexInvariants(t *testing.T) {
+	delta := &cost.DeltaSpec{DefaultFraction: 0.01}
+	for seed := int64(1); seed <= 5; seed++ {
+		randomStarCandidates(t, seed, delta, func(seed int64, c *core.Candidate, model cost.Model) {
+			if !c.MVPP.DeltaEnabled() {
+				t.Fatalf("seed %d: delta pricing not applied", seed)
+			}
+			for _, v := range c.MVPP.InnerVertices() {
+				if v.Cm > v.CmRecompute+1e-9 {
+					t.Errorf("seed %d %s: Cm %v exceeds recompute %v", seed, v.Name, v.Cm, v.CmRecompute)
+				}
+				want := math.Min(v.CmRecompute, v.CmIncremental)
+				if math.Abs(v.Cm-want) > 1e-9*math.Max(1, want) {
+					t.Errorf("seed %d %s: Cm %v, want min(%v, %v)", seed, v.Name, v.Cm, v.CmRecompute, v.CmIncremental)
+				}
+				wantStrat := core.MaintRecompute
+				if v.CmIncremental < v.CmRecompute {
+					wantStrat = core.MaintIncremental
+				}
+				if v.MaintStrategy != wantStrat {
+					t.Errorf("seed %d %s: strategy %v, want %v (rec %v, inc %v)",
+						seed, v.Name, v.MaintStrategy, wantStrat, v.CmRecompute, v.CmIncremental)
+				}
+			}
+		})
+	}
+}
+
+// TestGreedyNeverWorseThanMaterializeNothing: with and without delta
+// pricing, the selection never costs more than leaving every view virtual.
+func TestGreedyNeverWorseThanMaterializeNothing(t *testing.T) {
+	for _, delta := range []*cost.DeltaSpec{nil, {DefaultFraction: 0.05}} {
+		for seed := int64(1); seed <= 5; seed++ {
+			randomStarCandidates(t, seed, delta, func(seed int64, c *core.Candidate, model cost.Model) {
+				virtual := c.MVPP.AllVirtual(model)
+				if c.Selection.Costs.Total > virtual.Total+1e-9 {
+					t.Errorf("seed %d delta=%v: selection %v worse than all-virtual %v",
+						seed, delta != nil, c.Selection.Costs.Total, virtual.Total)
+				}
+			})
+		}
+	}
+}
+
+// TestDeltaPricingNeverRaisesTheTotal: pricing the extra maintenance
+// option can only keep or lower the chosen design's predicted total on the
+// same MVPP (the recompute plan is always still available).
+func TestDeltaPricingNeverRaisesTheTotal(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		totals := map[bool]float64{}
+		for _, withDelta := range []bool{false, true} {
+			var delta *cost.DeltaSpec
+			if withDelta {
+				delta = &cost.DeltaSpec{DefaultFraction: 0.01}
+			}
+			best := 0.0
+			randomStarCandidates(t, seed, delta, func(seed int64, c *core.Candidate, model cost.Model) {
+				if best == 0 || c.Selection.Costs.Total < best {
+					best = c.Selection.Costs.Total
+				}
+			})
+			totals[withDelta] = best
+		}
+		if totals[true] > totals[false]+1e-9 {
+			t.Errorf("seed %d: delta-enabled best %v worse than recompute-only best %v",
+				seed, totals[true], totals[false])
+		}
+	}
+}

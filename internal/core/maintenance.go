@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/warehousekit/mvpp/internal/cost"
+	"github.com/warehousekit/mvpp/internal/obs"
+)
+
+// MaintenanceStrategy is the per-vertex refresh plan behind the effective
+// Cm: full recomputation from base relations, or insert-only delta
+// propagation through the vertex's plan.
+type MaintenanceStrategy int
+
+// Maintenance strategies.
+const (
+	// MaintRecompute recomputes the view from base relations each epoch —
+	// the paper's policy and the default.
+	MaintRecompute MaintenanceStrategy = iota
+	// MaintIncremental propagates base-relation deltas through the view's
+	// plan and applies them to the stored view.
+	MaintIncremental
+)
+
+// String returns the strategy's report spelling.
+func (s MaintenanceStrategy) String() string {
+	if s == MaintIncremental {
+		return "incremental"
+	}
+	return "recompute"
+}
+
+// ApplyDeltaMaintenance re-prices every inner vertex's maintenance cost as
+// the cheaper of full recomputation and delta propagation under the
+// estimator's per-relation delta fractions, then re-derives the Figure 9
+// weights — so SelectViews ranks and accepts candidates by the cheaper
+// strategy. Vertices whose plan is not incrementally maintainable (see
+// cost.Incrementable) keep CmIncremental = +Inf and the recompute plan.
+// Calling with a nil estimator — or one whose spec holds no nonzero
+// fraction, meaning no delta information at all — reverts to pure
+// recompute maintenance.
+func (m *MVPP) ApplyDeltaMaintenance(de *cost.DeltaEstimator, model cost.Model) error {
+	if de != nil && !de.Spec().Enabled() {
+		de = nil
+	}
+	m.delta = de
+	for _, v := range m.Vertices {
+		if v.IsLeaf() {
+			continue
+		}
+		v.Cm = v.CmRecompute
+		v.CmIncremental, v.MaintStrategy = math.Inf(1), MaintRecompute
+		if de == nil {
+			continue
+		}
+		inc, ok, err := de.MaintenanceCost(model, v.Op)
+		if err != nil {
+			return fmt.Errorf("core: delta maintenance for %s: %w", v.Name, err)
+		}
+		v.CmIncremental = inc
+		if ok && inc < v.CmRecompute {
+			v.Cm = inc
+			v.MaintStrategy = MaintIncremental
+		}
+	}
+	for _, v := range m.Vertices {
+		v.Weight = m.WeightOf(v)
+	}
+	return nil
+}
+
+// DeltaEnabled reports whether delta maintenance pricing is installed.
+func (m *MVPP) DeltaEnabled() bool { return m.delta != nil }
+
+// DeltaSpec returns the installed delta fractions (zero value when delta
+// maintenance is off).
+func (m *MVPP) DeltaSpec() cost.DeltaSpec {
+	if m.delta == nil {
+		return cost.DeltaSpec{}
+	}
+	return m.delta.Spec()
+}
+
+// MaintenancePlans reports the winning maintenance strategy for each
+// materialized view, keyed by vertex name.
+func (m *MVPP) MaintenancePlans(mat VertexSet) map[string]MaintenanceStrategy {
+	plans := make(map[string]MaintenanceStrategy, len(mat))
+	for id, ok := range mat {
+		if !ok || id >= len(m.Vertices) {
+			continue
+		}
+		v := m.Vertices[id]
+		if v.IsLeaf() {
+			continue
+		}
+		plans[v.Name] = v.MaintStrategy
+	}
+	return plans
+}
+
+// emitMaintenancePlans surfaces the per-view strategy choice as events and
+// bumps the incremental-wins counter. Called by SelectViews when delta
+// maintenance is installed.
+func (m *MVPP) emitMaintenancePlans(o obs.Observer, mat VertexSet) {
+	if o == nil || m.delta == nil {
+		return
+	}
+	wins := obs.CounterOf(o, obs.CtrIncrementalWins)
+	names := mat.Names(m)
+	sort.Strings(names)
+	for _, name := range names {
+		v, err := m.VertexByName(name)
+		if err != nil {
+			continue
+		}
+		obs.Emit(o, obs.EvMaintPlan,
+			obs.String("vertex", v.Name),
+			obs.String("strategy", v.MaintStrategy.String()),
+			obs.Float("cm_recompute", v.CmRecompute),
+			obs.Float("cm_incremental", v.CmIncremental))
+		if v.MaintStrategy == MaintIncremental {
+			wins.Add(1)
+		}
+	}
+}
+
+// deltaTransfer prices shipping one epoch's deltas of the base relations
+// below v from their sites to the warehouse (the incremental analogue of
+// shipping the full relations for a recompute epoch).
+func (m *MVPP) deltaTransfer(v *Vertex) float64 {
+	if len(m.Transfer) == 0 || m.delta == nil {
+		return 0
+	}
+	spec := m.delta.Spec()
+	total := 0.0
+	for _, rel := range m.BaseRelationsUnder(v) {
+		tc, ok := m.Transfer[rel]
+		if !ok {
+			continue
+		}
+		leaf := m.Leaves[rel]
+		total += tc * leaf.Est.Blocks * spec.FractionOf(rel)
+	}
+	return total
+}

@@ -25,6 +25,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"github.com/warehousekit/mvpp/internal/algebra"
@@ -64,10 +65,20 @@ type Vertex struct {
 	// Ca is the cumulative cost of computing R(v) from base relations
 	// (each shared descendant counted once). Ca = 0 for leaves.
 	Ca float64
-	// Cm is the cost of maintaining the vertex if materialized, under
-	// recompute maintenance: Cm = Ca (§2: "re-computing is used whenever an
-	// update of involved base relation occurs").
+	// Cm is the effective cost of maintaining the vertex if materialized:
+	// the cheaper of CmRecompute and CmIncremental. Without delta
+	// maintenance (ApplyDeltaMaintenance) it equals CmRecompute, the
+	// paper's policy (§2: "re-computing is used whenever an update of
+	// involved base relation occurs").
 	Cm float64
+	// CmRecompute is the from-base recomputation maintenance cost (= Ca).
+	CmRecompute float64
+	// CmIncremental is the delta-propagation maintenance cost, +Inf when
+	// delta maintenance is off or the plan is not incrementally
+	// maintainable (see cost.Incrementable).
+	CmIncremental float64
+	// MaintStrategy records which maintenance plan Cm reflects.
+	MaintStrategy MaintenanceStrategy
 	// MaintFreq is how many times per period the vertex is recomputed if
 	// materialized (derived from the fu of the base relations below it).
 	MaintFreq float64
@@ -112,6 +123,9 @@ type MVPP struct {
 	// SetMaintenancePolicy.
 	maintPolicy   MaintenancePolicy
 	deltaFraction float64
+	// delta is the per-vertex delta-propagation estimator installed by
+	// ApplyDeltaMaintenance (nil when delta maintenance is off).
+	delta *cost.DeltaEstimator
 	// indexedViews prices selections over materialized views as index
 	// lookups; see SetIndexedViews.
 	indexedViews bool
@@ -277,8 +291,10 @@ func (b *Builder) Build() (*MVPP, error) {
 func (m *MVPP) annotate() {
 	// Ca: cumulative cost, each shared descendant counted once.
 	for _, v := range m.Vertices {
+		v.CmIncremental = math.Inf(1)
+		v.MaintStrategy = MaintRecompute
 		if v.IsLeaf() {
-			v.Ca, v.Cm = 0, 0
+			v.Ca, v.Cm, v.CmRecompute = 0, 0, 0
 			continue
 		}
 		seen := make(map[int]bool)
@@ -296,7 +312,8 @@ func (m *MVPP) annotate() {
 		}
 		acc(v)
 		v.Ca = total
-		v.Cm = total // recompute maintenance
+		v.CmRecompute = total
+		v.Cm = total // recompute maintenance until ApplyDeltaMaintenance
 	}
 	for _, v := range m.Vertices {
 		v.MaintFreq = m.MaintenanceFrequency(v)

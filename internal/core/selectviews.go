@@ -36,6 +36,9 @@ type SelectionResult struct {
 	Materialized VertexSet
 	Costs        Costs
 	Trace        []TraceStep
+	// Plans maps each materialized view's name to the maintenance strategy
+	// behind its Cm (all-recompute unless ApplyDeltaMaintenance ran).
+	Plans map[string]MaintenanceStrategy
 }
 
 // SelectOptions tunes the heuristic; the zero value is the paper algorithm.
@@ -152,6 +155,8 @@ func (m *MVPP) SelectViews(model cost.Model, opts SelectOptions) *SelectionResul
 	}
 
 	res.Costs = m.Evaluate(model, res.Materialized)
+	res.Plans = m.MaintenancePlans(res.Materialized)
+	m.emitMaintenancePlans(obs.From(sp), res.Materialized)
 	if sp != nil {
 		for _, step := range res.Trace {
 			sp.Event(obs.EvSelectStep,
@@ -223,6 +228,12 @@ func (m *MVPP) incrementalGainDiscounted(v *Vertex, mat VertexSet) float64 {
 	rc := v.CaSelf
 	for _, in := range v.In {
 		rc += compute(in)
+	}
+	// With delta maintenance installed, the vertex would be refreshed by
+	// whichever plan is cheaper — discounted recomputation or delta
+	// propagation.
+	if v.CmIncremental < rc {
+		rc = v.CmIncremental
 	}
 	return saving - m.MaintenanceFrequency(v)*rc
 }

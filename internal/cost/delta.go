@@ -1,0 +1,330 @@
+package cost
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/warehousekit/mvpp/internal/algebra"
+)
+
+func errUnknownNode(n algebra.Node) error {
+	return fmt.Errorf("cost: cannot price node type %T", n)
+}
+
+// DeltaSpec describes the expected insert volume of one maintenance epoch
+// as a fraction of each base relation's current cardinality. A fraction of
+// 0.01 on "Sales" means one epoch inserts about 1% of Sales' rows; the
+// delta-propagation maintenance cost scales accordingly. Deltas are
+// insert-only, matching the paper's append-mostly warehouse setting.
+type DeltaSpec struct {
+	// DefaultFraction applies to every relation without an explicit entry.
+	DefaultFraction float64
+	// PerRelation overrides the default per relation name.
+	PerRelation map[string]float64
+}
+
+// FractionOf returns the delta fraction for the named relation.
+func (s DeltaSpec) FractionOf(relation string) float64 {
+	if f, ok := s.PerRelation[relation]; ok {
+		return f
+	}
+	return s.DefaultFraction
+}
+
+// Enabled reports whether the spec describes any nonzero delta.
+func (s DeltaSpec) Enabled() bool {
+	if s.DefaultFraction > 0 {
+		return true
+	}
+	for _, f := range s.PerRelation {
+		if f > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Incrementable reports whether the plan rooted at n can be maintained by
+// insert-only delta propagation, and if not, why. The supported shape is
+// select-project-join with at most one aggregation, at the root, using
+// mergeable aggregate functions (COUNT, SUM, MIN, MAX — monotone under
+// inserts). AVG is not mergeable from stored values, and an aggregate
+// below other operators would emit group *updates*, not inserts.
+func Incrementable(n algebra.Node) (bool, string) {
+	if agg, ok := n.(*algebra.Aggregate); ok {
+		for _, a := range agg.Aggs {
+			if a.Func == algebra.AggAvg {
+				return false, "AVG is not mergeable under insert-only deltas"
+			}
+		}
+		n = agg.Input
+	}
+	var bad string
+	var walk func(algebra.Node)
+	walk = func(node algebra.Node) {
+		if bad != "" {
+			return
+		}
+		if _, ok := node.(*algebra.Aggregate); ok {
+			bad = "aggregate below the plan root emits group updates, not inserts"
+			return
+		}
+		for _, child := range node.Children() {
+			walk(child)
+		}
+	}
+	walk(n)
+	if bad != "" {
+		return false, bad
+	}
+	return true, ""
+}
+
+// DeltaEstimator prices incremental view maintenance by delta propagation:
+// given per-base-relation delta fractions, it derives the size of Δn for
+// every plan node (insert-only algebra: Δσ(S) = σ(ΔS), Δπ(S) = π(ΔS),
+// Δ(L⋈R) = ΔL⋈R ∪ L⋈ΔR) and prices the propagation plus the final
+// apply-to-view step under any cost Model. Like Estimator it memoizes by
+// semantic key and is safe for concurrent use.
+type DeltaEstimator struct {
+	est  *Estimator
+	spec DeltaSpec
+
+	mu   sync.Mutex
+	memo map[string]Estimate
+}
+
+// NewDeltaEstimator builds a delta estimator over the same catalog and
+// options as est.
+func NewDeltaEstimator(est *Estimator, spec DeltaSpec) *DeltaEstimator {
+	return &DeltaEstimator{est: est, spec: spec, memo: make(map[string]Estimate)}
+}
+
+// Base exposes the wrapped full-size estimator.
+func (d *DeltaEstimator) Base() *Estimator { return d.est }
+
+// Spec exposes the delta fractions.
+func (d *DeltaEstimator) Spec() DeltaSpec { return d.spec }
+
+// DeltaEstimate returns the estimated size of Δn, the tuples one
+// maintenance epoch adds to the relation computed by n.
+func (d *DeltaEstimator) DeltaEstimate(n algebra.Node) (Estimate, error) {
+	key := "Δ|" + algebra.SemanticKey(n)
+	d.mu.Lock()
+	est, ok := d.memo[key]
+	d.mu.Unlock()
+	if ok {
+		return est, nil
+	}
+	est, err := d.deltaEstimate(n)
+	if err != nil {
+		return Estimate{}, err
+	}
+	d.mu.Lock()
+	d.memo[key] = est
+	d.mu.Unlock()
+	return est, nil
+}
+
+func (d *DeltaEstimator) deltaEstimate(n algebra.Node) (Estimate, error) {
+	switch v := n.(type) {
+	case *algebra.Scan:
+		full, err := d.est.Estimate(v)
+		if err != nil {
+			return Estimate{}, err
+		}
+		return scale(full, d.spec.FractionOf(v.Relation)), nil
+	case *algebra.Select:
+		din, err := d.DeltaEstimate(v.Input)
+		if err != nil {
+			return Estimate{}, err
+		}
+		s := d.est.Catalog().PredicateSelectivity(v.Pred)
+		return Estimate{Rows: din.Rows * s, Blocks: din.Blocks * s, Width: din.Width}, nil
+	case *algebra.Project:
+		din, err := d.DeltaEstimate(v.Input)
+		if err != nil {
+			return Estimate{}, err
+		}
+		if !d.est.Options().ProjectionShrinks {
+			return din, nil
+		}
+		inCols := v.Input.Schema().Len()
+		if inCols == 0 {
+			return din, nil
+		}
+		frac := float64(len(v.Cols)) / float64(inCols)
+		return Estimate{Rows: din.Rows, Blocks: din.Blocks * frac, Width: din.Width * frac}, nil
+	case *algebra.Join:
+		outL, outR, err := d.deltaJoinParts(v)
+		if err != nil {
+			return Estimate{}, err
+		}
+		return Estimate{Rows: outL.Rows + outR.Rows, Blocks: outL.Blocks + outR.Blocks, Width: outL.Width}, nil
+	case *algebra.Aggregate:
+		din, err := d.DeltaEstimate(v.Input)
+		if err != nil {
+			return Estimate{}, err
+		}
+		out, err := d.est.Estimate(v)
+		if err != nil {
+			return Estimate{}, err
+		}
+		// Each delta row touches at most one group, and there are at most
+		// out.Rows groups in total.
+		rows := math.Min(out.Rows, din.Rows)
+		return Estimate{Rows: rows, Blocks: rows * out.Width, Width: out.Width}, nil
+	default:
+		return Estimate{}, errUnknownNode(n)
+	}
+}
+
+// deltaJoinParts sizes the two legs of Δ(L⋈R) = ΔL⋈R ∪ L⋈ΔR. Both legs
+// are derived by scaling the full join result by the delta-to-full row
+// ratio of the changing side, which keeps pinned join sizes consistent
+// with the full-size estimator.
+func (d *DeltaEstimator) deltaJoinParts(v *algebra.Join) (outL, outR Estimate, err error) {
+	left, err := d.est.Estimate(v.Left)
+	if err != nil {
+		return Estimate{}, Estimate{}, err
+	}
+	right, err := d.est.Estimate(v.Right)
+	if err != nil {
+		return Estimate{}, Estimate{}, err
+	}
+	dl, err := d.DeltaEstimate(v.Left)
+	if err != nil {
+		return Estimate{}, Estimate{}, err
+	}
+	dr, err := d.DeltaEstimate(v.Right)
+	if err != nil {
+		return Estimate{}, Estimate{}, err
+	}
+	out, err := d.est.Estimate(v)
+	if err != nil {
+		return Estimate{}, Estimate{}, err
+	}
+	return scale(out, ratio(dl.Rows, left.Rows)), scale(out, ratio(dr.Rows, right.Rows)), nil
+}
+
+// PropagationCost prices computing Δn from the base-relation deltas: the
+// delta stream flows through every operator of the plan, joins pair each
+// side's delta against the other side's full (stored) relation.
+func (d *DeltaEstimator) PropagationCost(m Model, n algebra.Node) (float64, error) {
+	total := 0.0
+	var walk func(algebra.Node) error
+	walk = func(node algebra.Node) error {
+		c, err := d.opDeltaCost(m, node)
+		if err != nil {
+			return err
+		}
+		total += c
+		for _, child := range node.Children() {
+			if err := walk(child); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(n); err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+func (d *DeltaEstimator) opDeltaCost(m Model, n algebra.Node) (float64, error) {
+	switch v := n.(type) {
+	case *algebra.Scan:
+		// Reading the delta is charged by the consuming operator, the same
+		// convention as OpCost for full recomputation.
+		return 0, nil
+	case *algebra.Select:
+		din, err := d.DeltaEstimate(v.Input)
+		if err != nil {
+			return 0, err
+		}
+		return m.SelectCost(din), nil
+	case *algebra.Project:
+		din, err := d.DeltaEstimate(v.Input)
+		if err != nil {
+			return 0, err
+		}
+		return m.ProjectCost(din), nil
+	case *algebra.Join:
+		left, err := d.est.Estimate(v.Left)
+		if err != nil {
+			return 0, err
+		}
+		right, err := d.est.Estimate(v.Right)
+		if err != nil {
+			return 0, err
+		}
+		dl, err := d.DeltaEstimate(v.Left)
+		if err != nil {
+			return 0, err
+		}
+		dr, err := d.DeltaEstimate(v.Right)
+		if err != nil {
+			return 0, err
+		}
+		outL, outR, err := d.deltaJoinParts(v)
+		if err != nil {
+			return 0, err
+		}
+		return m.JoinCost(dl, right, outL) + m.JoinCost(left, dr, outR), nil
+	case *algebra.Aggregate:
+		din, err := d.DeltaEstimate(v.Input)
+		if err != nil {
+			return 0, err
+		}
+		dout, err := d.DeltaEstimate(v)
+		if err != nil {
+			return 0, err
+		}
+		return m.AggregateCost(din, dout), nil
+	default:
+		return 0, errUnknownNode(n)
+	}
+}
+
+// MaintenanceCost prices one incremental refresh of a materialized view
+// defined by n: delta propagation plus applying Δn to the stored view
+// (appending for select-project-join views, a read-merge-rewrite pass for
+// aggregate views). ok is false — and the cost +Inf — when the plan cannot
+// be maintained incrementally under insert-only deltas; callers fall back
+// to recomputation.
+func (d *DeltaEstimator) MaintenanceCost(m Model, n algebra.Node) (cost float64, ok bool, err error) {
+	if can, _ := Incrementable(n); !can {
+		return math.Inf(1), false, nil
+	}
+	prop, err := d.PropagationCost(m, n)
+	if err != nil {
+		return 0, false, err
+	}
+	droot, err := d.DeltaEstimate(n)
+	if err != nil {
+		return 0, false, err
+	}
+	apply := droot.Blocks // append the new tuples
+	if _, isAgg := n.(*algebra.Aggregate); isAgg {
+		// Merging into stored groups reads and rewrites the view.
+		stored, err := d.est.Estimate(n)
+		if err != nil {
+			return 0, false, err
+		}
+		apply = 2*stored.Blocks + droot.Blocks
+	}
+	return prop + apply, true, nil
+}
+
+func scale(e Estimate, f float64) Estimate {
+	return Estimate{Rows: e.Rows * f, Blocks: e.Blocks * f, Width: e.Width}
+}
+
+func ratio(part, whole float64) float64 {
+	if whole <= 0 {
+		return 0
+	}
+	return part / whole
+}

@@ -1,0 +1,345 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/warehousekit/mvpp/internal/algebra"
+)
+
+// ErrNotIncremental reports that a view's plan cannot be maintained by
+// insert-only delta propagation (AVG aggregates, or an aggregate below the
+// plan root); callers fall back to recomputation (Refresh).
+var ErrNotIncremental = errors.New("engine: plan is not incrementally maintainable")
+
+// InsertDelta records pending inserted rows for a base table. The rows are
+// not yet visible to queries or refreshes: they form the delta that
+// IncrementalRefresh propagates through view plans, and they join the base
+// table when ApplyDeltas runs. Multiple calls accumulate.
+func (db *DB) InsertDelta(table string, rows ...[]algebra.Value) error {
+	t, err := db.Table(table)
+	if err != nil {
+		return err
+	}
+	d, ok := db.deltas[table]
+	if !ok {
+		d = NewTable(table+"+Δ", t.Schema, t.BlockRows)
+		db.deltas[table] = d
+	}
+	return d.Insert(rows...)
+}
+
+// PendingDeltaRows returns how many inserted rows are pending for a table.
+func (db *DB) PendingDeltaRows(table string) int {
+	if d, ok := db.deltas[table]; ok {
+		return d.NumRows()
+	}
+	return 0
+}
+
+// ApplyDeltas folds every pending delta into its base table and clears the
+// delta buffers. Base-table writes are not metered: the warehouse pays
+// them under every maintenance policy, so they cancel out of any
+// recompute-vs-incremental comparison.
+func (db *DB) ApplyDeltas() error {
+	for _, name := range db.Tables() {
+		d, ok := db.deltas[name]
+		if !ok {
+			continue
+		}
+		if err := db.tables[name].Insert(d.rows...); err != nil {
+			return err
+		}
+		delete(db.deltas, name)
+	}
+	return nil
+}
+
+// incrementable mirrors the cost package's gate (cost.Incrementable): at
+// most one aggregate, at the plan root, with mergeable functions.
+func incrementable(plan algebra.Node) error {
+	if agg, ok := plan.(*algebra.Aggregate); ok {
+		for _, a := range agg.Aggs {
+			if a.Func == algebra.AggAvg {
+				return fmt.Errorf("%w: AVG is not mergeable under insert-only deltas", ErrNotIncremental)
+			}
+		}
+		plan = agg.Input
+	}
+	var err error
+	algebra.Walk(plan, func(n algebra.Node) {
+		if _, ok := n.(*algebra.Aggregate); ok && err == nil {
+			err = fmt.Errorf("%w: aggregate below the plan root", ErrNotIncremental)
+		}
+	})
+	return err
+}
+
+// IncrementalRefresh maintains one view by delta propagation: the pending
+// base-table deltas flow through the view's plan (Δσ(S) = σ(ΔS), Δπ(S) =
+// π(ΔS), Δ(L⋈R) = ΔL⋈R_new ∪ L_old⋈ΔR) and the resulting Δview is applied
+// to the stored view — appended for select-project-join plans, merged
+// group-by-group for a root aggregate. Only the delta-path operators and
+// the apply step are metered; the full operand relations a join delta
+// pairs against are assumed available, the same convention under which
+// the cost model's Ca and delta-propagation formulas charge operators.
+// Returns ErrNotIncremental when the plan cannot be maintained this way.
+func (db *DB) IncrementalRefresh(name string) (*Result, error) {
+	v, ok := db.views[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown view %q", name)
+	}
+	if err := incrementable(v.Plan); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	plan := v.Plan
+	if agg, isAgg := plan.(*algebra.Aggregate); isAgg {
+		din, err := db.deltaExec(agg.Input, res)
+		if err != nil {
+			return nil, err
+		}
+		dagg, err := db.execAggregate(agg, din, res)
+		if err != nil {
+			return nil, err
+		}
+		merged, err := db.mergeAggregate(v, agg, dagg, res)
+		if err != nil {
+			return nil, err
+		}
+		merged.Name = name
+		v.table = merged
+		res.Table = merged
+		return res, nil
+	}
+	droot, err := db.deltaExec(plan, res)
+	if err != nil {
+		return nil, err
+	}
+	if err := v.table.Insert(droot.rows...); err != nil {
+		return nil, err
+	}
+	stats := OpStats{
+		Label:     "append " + name,
+		Writes:    int64(droot.NumBlocks()),
+		OutRows:   v.table.NumRows(),
+		OutBlocks: v.table.NumBlocks(),
+	}
+	db.account(stats)
+	res.Ops = append(res.Ops, stats)
+	res.Table = v.table
+	return res, nil
+}
+
+// IncrementalRefreshAll maintains every view for the pending deltas:
+// incrementally maintainable plans refresh by delta propagation against
+// the old base state; the rest recompute after the deltas are applied.
+// Afterwards the deltas are part of the base tables and every view is
+// consistent with the new state. Returns the per-view refresh I/O.
+func (db *DB) IncrementalRefreshAll() (map[string]*Result, error) {
+	out := make(map[string]*Result, len(db.views))
+	var recompute []string
+	for _, name := range db.Views() {
+		res, err := db.IncrementalRefresh(name)
+		if errors.Is(err, ErrNotIncremental) {
+			recompute = append(recompute, name)
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		out[name] = res
+	}
+	if err := db.ApplyDeltas(); err != nil {
+		return nil, err
+	}
+	for _, name := range recompute {
+		res, err := db.Refresh(name)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = res
+	}
+	return out, nil
+}
+
+// deltaExec computes the delta table of the relation at n under the
+// pending base-table deltas. Select/project/join work on the delta stream
+// is metered into res; operand relations (the full sides a delta joins
+// against) are produced unmetered.
+func (db *DB) deltaExec(n algebra.Node, res *Result) (*Table, error) {
+	switch v := n.(type) {
+	case *algebra.Scan:
+		if d, ok := db.deltas[v.Relation]; ok {
+			return d, nil
+		}
+		// No pending inserts: an empty delta with the scan's schema.
+		return NewTable("", v.Schema(), db.BlockRows), nil
+	case *algebra.Select:
+		din, err := db.deltaExec(v.Input, res)
+		if err != nil {
+			return nil, err
+		}
+		return db.execSelect(v, din, res)
+	case *algebra.Project:
+		din, err := db.deltaExec(v.Input, res)
+		if err != nil {
+			return nil, err
+		}
+		return db.execProject(v, din, res)
+	case *algebra.Join:
+		dl, err := db.deltaExec(v.Left, res)
+		if err != nil {
+			return nil, err
+		}
+		dr, err := db.deltaExec(v.Right, res)
+		if err != nil {
+			return nil, err
+		}
+		rightNew, err := db.execUnmetered(v.Right, true)
+		if err != nil {
+			return nil, err
+		}
+		leftOld, err := db.execUnmetered(v.Left, false)
+		if err != nil {
+			return nil, err
+		}
+		part1, err := db.execJoin(v, dl, rightNew, res)
+		if err != nil {
+			return nil, err
+		}
+		part2, err := db.execJoin(v, leftOld, dr, res)
+		if err != nil {
+			return nil, err
+		}
+		if err := part1.Insert(part2.rows...); err != nil {
+			return nil, err
+		}
+		return part1, nil
+	default:
+		return nil, fmt.Errorf("engine: cannot propagate deltas through node type %T", n)
+	}
+}
+
+// execUnmetered evaluates a subplan without block accounting, resolving
+// base-table scans against the new state (base ∪ delta) when newState is
+// set and the old state otherwise.
+func (db *DB) execUnmetered(n algebra.Node, newState bool) (*Table, error) {
+	savedCounter, savedReads, savedWrites, savedObs := db.Counter, db.blockReads, db.blockWrites, db.obsv
+	savedTables := db.tables
+	db.Counter, db.blockReads, db.blockWrites, db.obsv = &Counter{}, nil, nil, nil
+	if newState && len(db.deltas) > 0 {
+		merged := make(map[string]*Table, len(savedTables))
+		for name, t := range savedTables {
+			d, ok := db.deltas[name]
+			if !ok {
+				merged[name] = t
+				continue
+			}
+			u := NewTable(t.Name, t.Schema, t.BlockRows)
+			u.rows = append(append([][]algebra.Value{}, t.rows...), d.rows...)
+			merged[name] = u
+		}
+		db.tables = merged
+	}
+	defer func() {
+		db.Counter, db.blockReads, db.blockWrites, db.obsv = savedCounter, savedReads, savedWrites, savedObs
+		db.tables = savedTables
+	}()
+	var scratch Result
+	return db.exec(n, &scratch)
+}
+
+// mergeAggregate folds the aggregated delta groups into the stored view:
+// the stored view is read, matching groups combine (COUNT/SUM add, MIN/MAX
+// compare), new groups append, and the merged view is rewritten.
+func (db *DB) mergeAggregate(v *MaterializedView, agg *algebra.Aggregate, dagg *Table, res *Result) (*Table, error) {
+	nKeys := len(agg.GroupBy)
+	keyOf := func(row []algebra.Value) string {
+		key := ""
+		for i := 0; i < nKeys; i++ {
+			key += row[i].String() + "|"
+		}
+		return key
+	}
+	out := NewTable("", v.table.Schema, v.table.BlockRows)
+	byKey := make(map[string]int, v.table.NumRows())
+	for _, row := range v.table.rows {
+		cp := make([]algebra.Value, len(row))
+		copy(cp, row)
+		byKey[keyOf(cp)] = out.NumRows()
+		if err := out.Insert(cp); err != nil {
+			return nil, err
+		}
+	}
+	for _, drow := range dagg.rows {
+		key := keyOf(drow)
+		idx, ok := byKey[key]
+		if !ok {
+			cp := make([]algebra.Value, len(drow))
+			copy(cp, drow)
+			byKey[key] = out.NumRows()
+			if err := out.Insert(cp); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		stored := out.rows[idx]
+		for i, a := range agg.Aggs {
+			col := nKeys + i
+			combined, err := combineAgg(a.Func, stored[col], drow[col])
+			if err != nil {
+				return nil, err
+			}
+			stored[col] = combined
+		}
+	}
+	stats := OpStats{
+		Label:     "merge " + v.Name,
+		Reads:     int64(v.table.NumBlocks()),
+		Writes:    int64(out.NumBlocks()),
+		OutRows:   out.NumRows(),
+		OutBlocks: out.NumBlocks(),
+	}
+	db.account(stats)
+	res.Ops = append(res.Ops, stats)
+	return out, nil
+}
+
+// combineAgg merges a delta group's aggregate value into the stored one.
+func combineAgg(fn algebra.AggFunc, stored, delta algebra.Value) (algebra.Value, error) {
+	switch fn {
+	case algebra.AggCount, algebra.AggSum:
+		if stored.Kind == algebra.TypeFloat || delta.Kind == algebra.TypeFloat {
+			return algebra.FloatVal(numeric(stored) + numeric(delta)), nil
+		}
+		return algebra.IntVal(stored.Int + delta.Int), nil
+	case algebra.AggMin:
+		c, err := delta.Compare(stored)
+		if err != nil {
+			return algebra.Value{}, err
+		}
+		if c < 0 {
+			return delta, nil
+		}
+		return stored, nil
+	case algebra.AggMax:
+		c, err := delta.Compare(stored)
+		if err != nil {
+			return algebra.Value{}, err
+		}
+		if c > 0 {
+			return delta, nil
+		}
+		return stored, nil
+	default:
+		return algebra.Value{}, fmt.Errorf("%w: cannot merge %s", ErrNotIncremental, fn)
+	}
+}
+
+func numeric(v algebra.Value) float64 {
+	if v.Kind == algebra.TypeFloat {
+		return v.Float
+	}
+	return float64(v.Int)
+}

@@ -1,0 +1,278 @@
+package engine_test
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+
+	"github.com/warehousekit/mvpp/internal/algebra"
+	"github.com/warehousekit/mvpp/internal/engine"
+)
+
+// tableKey renders a table's row multiset as a sorted string, for comparing
+// an incrementally maintained view against a recomputed reference.
+func tableKey(tb *engine.Table) string {
+	rows := make([]string, 0, tb.NumRows())
+	for i := 0; i < tb.NumRows(); i++ {
+		row := tb.Row(i)
+		vals := make([]string, len(row.Values))
+		for ci, v := range row.Values {
+			vals[ci] = v.String()
+		}
+		rows = append(rows, fmt.Sprint(vals))
+	}
+	sort.Strings(rows)
+	return fmt.Sprint(rows)
+}
+
+func viewKey(t *testing.T, db *engine.DB, name string) string {
+	t.Helper()
+	v, err := db.View(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tableKey(v.Table())
+}
+
+// laJoinPlan is Product ⋈ σ(city='LA')(Division): the paper's tmp2.
+func laJoinPlan(t *testing.T, db *engine.DB) algebra.Node {
+	t.Helper()
+	pd, err := db.Table("Product")
+	if err != nil {
+		t.Fatal(err)
+	}
+	div, err := db.Table("Division")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := algebra.NewSelect(algebra.NewScan("Division", div.Schema),
+		algebra.Eq(algebra.Ref("Division", "city"), algebra.StringVal("LA")))
+	return algebra.NewJoin(algebra.NewScan("Product", pd.Schema), sel,
+		[]algebra.JoinCond{{Left: algebra.Ref("Product", "Did"), Right: algebra.Ref("Division", "Did")}})
+}
+
+// TestIncrementalRefreshSPJMatchesRecompute checks the delta-propagation
+// rules on a select-project-join view: after inserting deltas that join
+// both delta⋈old and delta⋈delta, the incrementally maintained view equals
+// a from-scratch recomputation over the new base state.
+func TestIncrementalRefreshSPJMatchesRecompute(t *testing.T) {
+	db := smallPaperDB(t)
+	if _, err := db.Materialize("tmp2", laJoinPlan(t, db)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A new LA division plus products pointing at it (Δ⋈Δ) and at
+	// existing divisions (Δ⋈old).
+	if err := db.InsertDelta("Division",
+		[]algebra.Value{algebra.IntVal(999991), algebra.StringVal("division-x"), algebra.StringVal("LA")},
+		[]algebra.Value{algebra.IntVal(999992), algebra.StringVal("division-y"), algebra.StringVal("SF")},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InsertDelta("Product",
+		[]algebra.Value{algebra.IntVal(999901), algebra.StringVal("product-x"), algebra.IntVal(999991)},
+		[]algebra.Value{algebra.IntVal(999902), algebra.StringVal("product-y"), algebra.IntVal(1)},
+		[]algebra.Value{algebra.IntVal(999903), algebra.StringVal("product-z"), algebra.IntVal(2)},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.PendingDeltaRows("Product"); got != 3 {
+		t.Fatalf("pending product deltas = %d", got)
+	}
+
+	res, err := db.IncrementalRefresh("tmp2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalReads()+res.TotalWrites() == 0 {
+		t.Error("incremental refresh reported no I/O")
+	}
+	incremental := viewKey(t, db, "tmp2")
+
+	// Reference: recompute over the base state with the deltas applied.
+	if err := db.ApplyDeltas(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.PendingDeltaRows("Product"); got != 0 {
+		t.Fatalf("deltas not cleared: %d pending", got)
+	}
+	if _, err := db.Materialize("ref", laJoinPlan(t, db)); err != nil {
+		t.Fatal(err)
+	}
+	if want := viewKey(t, db, "ref"); incremental != want {
+		t.Errorf("incrementally maintained view diverges from recompute\n got: %s\nwant: %s",
+			incremental, want)
+	}
+}
+
+// TestIncrementalRefreshCheaperThanRecompute checks the point of the whole
+// subsystem on the engine side: maintaining a join view for a small delta
+// costs far fewer block accesses than recomputing it.
+func TestIncrementalRefreshCheaperThanRecompute(t *testing.T) {
+	db := smallPaperDB(t)
+	if _, err := db.Materialize("tmp2", laJoinPlan(t, db)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InsertDelta("Product",
+		[]algebra.Value{algebra.IntVal(999901), algebra.StringVal("product-x"), algebra.IntVal(1)},
+	); err != nil {
+		t.Fatal(err)
+	}
+	inc, err := db.IncrementalRefresh("tmp2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.ApplyDeltas(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := db.Refresh("tmp2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	incIO := inc.TotalReads() + inc.TotalWrites()
+	fullIO := full.TotalReads() + full.TotalWrites()
+	if incIO >= fullIO {
+		t.Errorf("incremental I/O %d not below recompute I/O %d", incIO, fullIO)
+	}
+}
+
+// TestIncrementalRefreshAggregateMergesGroups checks the root-aggregate
+// merge: delta rows update existing groups (COUNT/SUM add, MIN/MAX
+// compare) and create new ones.
+func TestIncrementalRefreshAggregateMergesGroups(t *testing.T) {
+	db, tb := aggDB(t)
+	plan := algebra.NewAggregate(
+		algebra.NewScan("T", tb.Schema),
+		[]algebra.ColumnRef{algebra.Ref("T", "grp")},
+		[]algebra.Aggregation{
+			{Func: algebra.AggSum, Arg: algebra.Ref("T", "v"), Alias: "total"},
+			{Func: algebra.AggCount, Alias: "n"},
+			{Func: algebra.AggMin, Arg: algebra.Ref("T", "v"), Alias: "lo"},
+			{Func: algebra.AggMax, Arg: algebra.Ref("T", "v"), Alias: "hi"},
+		})
+	if _, err := db.Materialize("summary", plan); err != nil {
+		t.Fatal(err)
+	}
+	// Group a grows, group d is new.
+	if err := db.InsertDelta("T",
+		[]algebra.Value{algebra.StringVal("a"), algebra.IntVal(100)},
+		[]algebra.Value{algebra.StringVal("a"), algebra.IntVal(1)},
+		[]algebra.Value{algebra.StringVal("d"), algebra.IntVal(2)},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.IncrementalRefresh("summary"); err != nil {
+		t.Fatal(err)
+	}
+	incremental := viewKey(t, db, "summary")
+
+	if err := db.ApplyDeltas(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Materialize("ref", algebra.Clone(plan)); err != nil {
+		t.Fatal(err)
+	}
+	if want := viewKey(t, db, "ref"); incremental != want {
+		t.Errorf("merged aggregate view diverges from recompute\n got: %s\nwant: %s",
+			incremental, want)
+	}
+
+	// Spot-check group a: 10+20+30 base plus 100+1 delta.
+	v, _ := db.View("summary")
+	found := false
+	for i := 0; i < v.Table().NumRows(); i++ {
+		row := v.Table().Row(i)
+		g, _ := row.ColumnValue(algebra.Ref("T", "grp"))
+		if g.Str != "a" {
+			continue
+		}
+		found = true
+		total, _ := row.ColumnValue(algebra.Ref("", "total"))
+		n, _ := row.ColumnValue(algebra.Ref("", "n"))
+		hi, _ := row.ColumnValue(algebra.Ref("", "hi"))
+		if total.Int != 161 || n.Int != 5 || hi.Int != 100 {
+			t.Errorf("group a: total=%d n=%d hi=%d, want 161/5/100", total.Int, n.Int, hi.Int)
+		}
+	}
+	if !found {
+		t.Error("group a missing from merged view")
+	}
+}
+
+// TestIncrementalRefreshRejectsNonIncremental: AVG and non-root aggregates
+// must fall back to recomputation via ErrNotIncremental.
+func TestIncrementalRefreshRejectsNonIncremental(t *testing.T) {
+	db, tb := aggDB(t)
+	avg := algebra.NewAggregate(
+		algebra.NewScan("T", tb.Schema),
+		[]algebra.ColumnRef{algebra.Ref("T", "grp")},
+		[]algebra.Aggregation{{Func: algebra.AggAvg, Arg: algebra.Ref("T", "v"), Alias: "mean"}})
+	if _, err := db.Materialize("avgview", avg); err != nil {
+		t.Fatal(err)
+	}
+	count := algebra.NewAggregate(
+		algebra.NewScan("T", tb.Schema),
+		[]algebra.ColumnRef{algebra.Ref("T", "grp")},
+		[]algebra.Aggregation{{Func: algebra.AggCount, Alias: "n"}})
+	buried := algebra.NewProject(count, []algebra.ColumnRef{algebra.Ref("T", "grp")})
+	if _, err := db.Materialize("buried", buried); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InsertDelta("T", []algebra.Value{algebra.StringVal("a"), algebra.IntVal(9)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.IncrementalRefresh("avgview"); !errors.Is(err, engine.ErrNotIncremental) {
+		t.Errorf("AVG view error = %v, want ErrNotIncremental", err)
+	}
+	if _, err := db.IncrementalRefresh("buried"); !errors.Is(err, engine.ErrNotIncremental) {
+		t.Errorf("buried aggregate error = %v, want ErrNotIncremental", err)
+	}
+	if _, err := db.IncrementalRefresh("ghost"); err == nil {
+		t.Error("unknown view refreshed")
+	}
+}
+
+// TestIncrementalRefreshAllMixed: maintainable views propagate deltas, the
+// rest recompute, and afterwards every view matches the new base state.
+func TestIncrementalRefreshAllMixed(t *testing.T) {
+	db, tb := aggDB(t)
+	spj := algebra.NewSelect(algebra.NewScan("T", tb.Schema),
+		algebra.Compare(algebra.ColOperand(algebra.Ref("T", "v")), algebra.OpGt,
+			algebra.LitOperand(algebra.IntVal(6))))
+	avg := algebra.NewAggregate(
+		algebra.NewScan("T", tb.Schema),
+		[]algebra.ColumnRef{algebra.Ref("T", "grp")},
+		[]algebra.Aggregation{{Func: algebra.AggAvg, Arg: algebra.Ref("T", "v"), Alias: "mean"}})
+	if _, err := db.Materialize("big", spj); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Materialize("avgview", avg); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InsertDelta("T",
+		[]algebra.Value{algebra.StringVal("a"), algebra.IntVal(50)},
+		[]algebra.Value{algebra.StringVal("e"), algebra.IntVal(3)},
+	); err != nil {
+		t.Fatal(err)
+	}
+	results, err := db.IncrementalRefreshAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("refreshed %d views, want 2", len(results))
+	}
+	if db.PendingDeltaRows("T") != 0 {
+		t.Error("deltas still pending after IncrementalRefreshAll")
+	}
+	for name, plan := range map[string]algebra.Node{"big": spj, "avgview": avg} {
+		ref, err := db.Execute(algebra.Clone(plan))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := viewKey(t, db, name), tableKey(ref.Table); got != want {
+			t.Errorf("%s inconsistent with new base state\n got: %s\nwant: %s", name, got, want)
+		}
+	}
+}

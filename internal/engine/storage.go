@@ -114,7 +114,10 @@ type DB struct {
 	Counter   *Counter
 	tables    map[string]*Table
 	views     map[string]*MaterializedView
-	joinAlgo  JoinAlgorithm
+	// deltas holds each base table's pending inserted rows (see
+	// InsertDelta); they become part of the table at ApplyDeltas.
+	deltas   map[string]*Table
+	joinAlgo JoinAlgorithm
 
 	// obsv receives one EvEngineOp event per executed operator; blockReads
 	// and blockWrites mirror the Counter into the observer's registry. All
@@ -143,6 +146,7 @@ func NewDB(blockRows int) *DB {
 		Counter:   &Counter{},
 		tables:    make(map[string]*Table),
 		views:     make(map[string]*MaterializedView),
+		deltas:    make(map[string]*Table),
 	}
 }
 

@@ -63,6 +63,10 @@ const (
 	// EvEngineOp surfaces one executed operator's measured OpStats (attrs:
 	// op, reads, writes, out_rows, out_blocks).
 	EvEngineOp EventKind = "engine.op"
+	// EvMaintPlan fires once per materialized view when delta maintenance
+	// is enabled, reporting the winning refresh plan (attrs: vertex,
+	// strategy, cm_recompute, cm_incremental).
+	EvMaintPlan EventKind = "select.maintenance_plan"
 )
 
 // Canonical counter names. Call sites resolve them once via CounterOf (or
@@ -90,6 +94,9 @@ const (
 	// block I/O.
 	CtrEngineBlockReads  = "engine.block_reads"
 	CtrEngineBlockWrites = "engine.block_writes"
+	// CtrIncrementalWins counts materialized views whose delta-propagation
+	// plan beat recomputation.
+	CtrIncrementalWins = "select.incremental_wins"
 )
 
 // Observer receives spans, events, and hosts the metrics registry. A nil

@@ -1,0 +1,111 @@
+package repro_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/warehousekit/mvpp/internal/core"
+	"github.com/warehousekit/mvpp/internal/repro"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden design files")
+
+// goldenCosts pins one strategy's §4.1 breakdown.
+type goldenCosts struct {
+	Query       float64 `json:"query"`
+	Maintenance float64 `json:"maintenance"`
+	Total       float64 `json:"total"`
+}
+
+// goldenCandidate pins one generated MVPP candidate.
+type goldenCandidate struct {
+	SeedOrder    []string    `json:"seedOrder"`
+	Vertices     []string    `json:"vertices"`
+	Materialized []string    `json:"materialized"`
+	Costs        goldenCosts `json:"costs"`
+}
+
+// goldenDesign is the full pinned artifact: the Figure 7/8 workload's
+// candidate set and the Figure 9 heuristic's choice on the Figure 3 MVPP.
+type goldenDesign struct {
+	Candidates []goldenCandidate `json:"candidates"`
+	Figure9    struct {
+		Materialized []string    `json:"materialized"`
+		Costs        goldenCosts `json:"costs"`
+	} `json:"figure9"`
+}
+
+func costsOf(c core.Costs) goldenCosts {
+	return goldenCosts{Query: c.Query, Maintenance: c.Maintenance, Total: c.Total}
+}
+
+// TestDesignGolden pins the designer's end-to-end numeric output: the
+// candidate MVPPs generated for the Figure 7/8 workload (with push-down
+// optimization on) and the Figure 9 selection on the canonical Figure 3
+// MVPP. Any change to plan enumeration, cost estimation, or selection
+// shows up as a diff against testdata/design_golden.json; rerun with
+// `go test ./internal/repro -run DesignGolden -update` to accept it.
+func TestDesignGolden(t *testing.T) {
+	plans, est, model, err := repro.Figure7Plans()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := core.Generate(est, model, plans, core.GenOptions{
+		PushDisjunctions: true, PushProjections: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got goldenDesign
+	for _, c := range cands {
+		var names []string
+		for _, v := range c.MVPP.Vertices {
+			names = append(names, v.Name)
+		}
+		got.Candidates = append(got.Candidates, goldenCandidate{
+			SeedOrder:    c.SeedOrder,
+			Vertices:     names,
+			Materialized: c.Selection.Materialized.Names(c.MVPP),
+			Costs:        costsOf(c.Selection.Costs),
+		})
+	}
+
+	m, model3, err := repro.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.SelectViews(model3, core.SelectOptions{})
+	got.Figure9.Materialized = res.Materialized.Names(m)
+	got.Figure9.Costs = costsOf(res.Costs)
+
+	raw, err := json.MarshalIndent(&got, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw = append(raw, '\n')
+
+	path := filepath.Join("testdata", "design_golden.json")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden file)", err)
+	}
+	if !bytes.Equal(raw, want) {
+		t.Errorf("design output diverged from %s\n got: %s\nwant: %s\n(rerun with -update to accept)",
+			path, raw, want)
+	}
+}

@@ -260,13 +260,14 @@ var figure7Queries = map[string]string{
 	"Q4": `SELECT Customer.city, date FROM Order, Customer WHERE quantity > 100 AND Order.Cid = Customer.Cid`,
 }
 
-// Figure7and8 contrasts the merged MVPP before push-down (Figure 7:
-// selections above the joins) with the optimized MVPP after pushing the
-// disjunction of the selections onto the shared Division scan (Figure 8).
-func Figure7and8() (string, error) {
+// Figure7Plans optimizes the Figure 7 variant queries into per-query plans
+// and returns them with the estimator and model they were priced under, so
+// callers (Figure7and8, the golden design test) generate candidates from
+// the identical workload.
+func Figure7Plans() ([]core.QueryPlan, *cost.Estimator, cost.Model, error) {
 	ex, err := paper.Load()
 	if err != nil {
-		return "", err
+		return nil, nil, nil, err
 	}
 	est := cost.NewEstimator(ex.Catalog, cost.PaperOptions())
 	model := Model()
@@ -275,15 +276,25 @@ func Figure7and8() (string, error) {
 	for _, name := range paper.QueryOrder {
 		q, err := sqlparse.BindQuery(ex.Catalog, name, figure7Queries[name])
 		if err != nil {
-			return "", err
+			return nil, nil, nil, err
 		}
 		p, _, err := opt.Optimize(q)
 		if err != nil {
-			return "", err
+			return nil, nil, nil, err
 		}
 		plans = append(plans, core.QueryPlan{Name: name, Freq: ex.Frequencies[name], Plan: p})
 	}
+	return plans, est, model, nil
+}
 
+// Figure7and8 contrasts the merged MVPP before push-down (Figure 7:
+// selections above the joins) with the optimized MVPP after pushing the
+// disjunction of the selections onto the shared Division scan (Figure 8).
+func Figure7and8() (string, error) {
+	plans, est, model, err := Figure7Plans()
+	if err != nil {
+		return "", err
+	}
 	before, err := core.Generate(est, model, plans, core.GenOptions{NoPushdown: true, MaxRotations: 1})
 	if err != nil {
 		return "", err

@@ -25,6 +25,9 @@ type Point struct {
 	Param float64
 	// Views is how many views the design materializes.
 	Views int
+	// IncViews is how many of them are maintained incrementally (always 0
+	// when Env.Delta is unset).
+	IncViews int
 	// DesignTotal, VirtualTotal and AllMatTotal are the §4.1 totals of the
 	// recommended design and the two extremes.
 	DesignTotal, VirtualTotal, AllMatTotal float64
@@ -40,6 +43,9 @@ type Env struct {
 	ZipfSkew      float64
 	UpdateScale   float64 // multiplies the star schema's update frequencies
 	AggregateProb float64
+	// Delta, when positive, prices incremental maintenance for a
+	// per-epoch insert fraction of Delta on every base relation.
+	Delta float64
 	// Obs receives one span per measurement plus the design pipeline's
 	// spans, events and counters. Nil disables instrumentation.
 	Obs obs.Observer
@@ -84,11 +90,15 @@ func Measure(env Env, param float64) (Point, error) {
 		}
 		plans[i] = core.QueryPlan{Name: q.Name, Freq: freqs[i], Plan: p}
 	}
-	cands, err := core.Generate(est, model, plans, core.GenOptions{
+	genOpts := core.GenOptions{
 		MaxRotations: 3,
 		Select:       core.SelectOptions{DiscountedMaintenance: true},
 		Obs:          mobs,
-	})
+	}
+	if env.Delta > 0 {
+		genOpts.Delta = &cost.DeltaSpec{DefaultFraction: env.Delta}
+	}
+	cands, err := core.Generate(est, model, plans, genOpts)
 	if err != nil {
 		return Point{}, err
 	}
@@ -111,6 +121,11 @@ func Measure(env Env, param float64) (Point, error) {
 		DesignTotal:  design.Total,
 		VirtualTotal: virtual.Total,
 		AllMatTotal:  allMat.Total,
+	}
+	for _, strat := range best.MVPP.MaintenancePlans(best.Selection.Materialized) {
+		if strat == core.MaintIncremental {
+			p.IncViews++
+		}
 	}
 	if virtual.Total > 0 {
 		p.Saving = 1 - design.Total/virtual.Total
@@ -173,6 +188,23 @@ func MixSweep(env Env, shares []float64) (Sweep, error) {
 	return s, nil
 }
 
+// DeltaSweep varies the per-epoch insert fraction under incremental
+// maintenance pricing: small deltas make delta propagation win and lift
+// the design's saving; large deltas push views back to recomputation.
+func DeltaSweep(env Env, fractions []float64) (Sweep, error) {
+	s := Sweep{Name: "delta fraction", Param: "insert fraction"}
+	for _, f := range fractions {
+		e := env
+		e.Delta = f
+		pt, err := Measure(e, f)
+		if err != nil {
+			return Sweep{}, err
+		}
+		s.Points = append(s.Points, pt)
+	}
+	return s, nil
+}
+
 // SizeSweep varies the workload size.
 func SizeSweep(env Env, sizes []int) (Sweep, error) {
 	s := Sweep{Name: "workload size", Param: "queries"}
@@ -192,11 +224,11 @@ func SizeSweep(env Env, sizes []int) (Sweep, error) {
 func Render(s Sweep) string {
 	var b strings.Builder
 	b.WriteString(fmt.Sprintf("sweep: %s\n", s.Name))
-	b.WriteString(fmt.Sprintf("%14s %7s %14s %14s %14s %9s\n",
-		s.Param, "views", "design", "all-virtual", "all-mat", "saving"))
+	b.WriteString(fmt.Sprintf("%14s %7s %5s %14s %14s %14s %9s\n",
+		s.Param, "views", "inc", "design", "all-virtual", "all-mat", "saving"))
 	for _, p := range s.Points {
-		b.WriteString(fmt.Sprintf("%14g %7d %14s %14s %14s %8.1f%%\n",
-			p.Param, p.Views,
+		b.WriteString(fmt.Sprintf("%14g %7d %5d %14s %14s %14s %8.1f%%\n",
+			p.Param, p.Views, p.IncViews,
 			viz.FormatCost(p.DesignTotal), viz.FormatCost(p.VirtualTotal),
 			viz.FormatCost(p.AllMatTotal), 100*p.Saving))
 	}
@@ -211,6 +243,7 @@ func All(env Env) ([]Sweep, error) {
 		func() (Sweep, error) { return SkewSweep(env, []float64{0, 0.5, 1, 2}) },
 		func() (Sweep, error) { return MixSweep(env, []float64{0, 0.25, 0.5, 0.75, 1}) },
 		func() (Sweep, error) { return SizeSweep(env, []int{2, 4, 8, 12, 16}) },
+		func() (Sweep, error) { return DeltaSweep(env, []float64{0.001, 0.01, 0.05, 0.2}) },
 	}
 	for _, step := range steps {
 		s, err := step()

@@ -91,7 +91,7 @@ func TestAllRunsEverySweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(sweeps) != 4 {
+	if len(sweeps) != 5 {
 		t.Fatalf("sweeps = %d", len(sweeps))
 	}
 	names := map[string]bool{}
@@ -101,7 +101,7 @@ func TestAllRunsEverySweep(t *testing.T) {
 			t.Errorf("%s: no points", s.Name)
 		}
 	}
-	for _, want := range []string{"update rate", "query skew", "summary-query share", "workload size"} {
+	for _, want := range []string{"update rate", "query skew", "summary-query share", "workload size", "delta fraction"} {
 		if !names[want] {
 			t.Errorf("missing sweep %q", want)
 		}

@@ -1,0 +1,201 @@
+package mvpp_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	mvpp "github.com/warehousekit/mvpp"
+)
+
+// randomDesigner builds a three-table workload whose statistics and
+// frequencies are drawn from the seed, exercising the facade the way a
+// caller with an arbitrary warehouse would.
+func randomDesigner(t testing.TB, seed int64, opts mvpp.Options) *mvpp.Designer {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	fail := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	cat := mvpp.NewCatalog()
+	factRows := float64(20_000 + r.Intn(200_000))
+	fail(cat.AddTable("Fact", []mvpp.Column{
+		{Name: "fk1", Type: mvpp.Int},
+		{Name: "fk2", Type: mvpp.Int},
+		{Name: "v", Type: mvpp.Int},
+	}, mvpp.TableStats{Rows: factRows, Blocks: factRows / 10,
+		UpdateFrequency: 0.5 + 20*r.Float64(),
+		DistinctValues:  map[string]float64{"fk1": 200, "fk2": 500},
+		IntRanges:       map[string][2]int64{"v": {1, 1000}}}))
+	fail(cat.AddTable("DimA", []mvpp.Column{
+		{Name: "fk1", Type: mvpp.Int},
+		{Name: "label", Type: mvpp.String},
+	}, mvpp.TableStats{Rows: 200, Blocks: 20, UpdateFrequency: 0.1 + 2*r.Float64(),
+		DistinctValues: map[string]float64{"fk1": 200, "label": 10}}))
+	fail(cat.AddTable("DimB", []mvpp.Column{
+		{Name: "fk2", Type: mvpp.Int},
+		{Name: "label", Type: mvpp.String},
+	}, mvpp.TableStats{Rows: 500, Blocks: 50, UpdateFrequency: 0.1 + 2*r.Float64(),
+		DistinctValues: map[string]float64{"fk2": 500, "label": 25}}))
+
+	d := mvpp.NewDesigner(cat, opts)
+	freq := func() float64 { return float64(1 + r.Intn(40)) }
+	fail(d.AddQuery("qa",
+		`SELECT DimA.label, v FROM Fact, DimA
+		 WHERE DimA.label = 'label-3' AND Fact.fk1 = DimA.fk1`, freq()))
+	fail(d.AddQuery("qb",
+		`SELECT DimB.label, v FROM Fact, DimB
+		 WHERE v > 900 AND Fact.fk2 = DimB.fk2`, freq()))
+	fail(d.AddQuery("qc",
+		`SELECT DimA.label, DimB.label FROM Fact, DimA, DimB
+		 WHERE DimA.label = 'label-3' AND Fact.fk1 = DimA.fk1 AND Fact.fk2 = DimB.fk2`, freq()))
+	return d
+}
+
+// TestDesignNeverWorseThanBaselines: through the public API, on randomized
+// workloads, with and without incremental maintenance pricing, the design
+// never costs more than materializing nothing or everything.
+func TestDesignNeverWorseThanBaselines(t *testing.T) {
+	for _, delta := range []*mvpp.DeltaOptions{nil, {DefaultFraction: 0.02}} {
+		for seed := int64(1); seed <= 6; seed++ {
+			t.Run(fmt.Sprintf("seed%d_delta%v", seed, delta != nil), func(t *testing.T) {
+				d := randomDesigner(t, seed, mvpp.Options{Delta: delta})
+				design, err := d.Design()
+				if err != nil {
+					t.Fatal(err)
+				}
+				c := design.Costs()
+				if c.TotalCost > c.AllVirtualTotal+1e-9 {
+					t.Errorf("design %v worse than all-virtual %v", c.TotalCost, c.AllVirtualTotal)
+				}
+				if c.TotalCost > c.AllMaterializedTotal+1e-9 {
+					t.Errorf("design %v worse than all-materialized %v", c.TotalCost, c.AllMaterializedTotal)
+				}
+				for _, v := range design.Views() {
+					if v.MaintenanceStrategy != "recompute" && v.MaintenanceStrategy != "incremental" {
+						t.Errorf("view %s: bad maintenance strategy %q", v.Name, v.MaintenanceStrategy)
+					}
+					if delta == nil && v.MaintenanceStrategy == "incremental" {
+						t.Errorf("view %s: incremental strategy without delta pricing", v.Name)
+					}
+				}
+			})
+		}
+	}
+}
+
+// updateHeavyDesigner is a workload dominated by base-table inserts: under
+// recompute-only maintenance the views are barely worth keeping.
+func updateHeavyDesigner(t testing.TB, opts mvpp.Options) *mvpp.Designer {
+	t.Helper()
+	cat := mvpp.NewCatalog()
+	fail := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	fail(cat.AddTable("Sale", []mvpp.Column{
+		{Name: "sid", Type: mvpp.Int},
+		{Name: "store_id", Type: mvpp.Int},
+		{Name: "amount", Type: mvpp.Int},
+	}, mvpp.TableStats{Rows: 120_000, Blocks: 12_000, UpdateFrequency: 60,
+		DistinctValues: map[string]float64{"sid": 120_000, "store_id": 400},
+		IntRanges:      map[string][2]int64{"amount": {1, 900}}}))
+	fail(cat.AddTable("Store", []mvpp.Column{
+		{Name: "store_id", Type: mvpp.Int},
+		{Name: "name", Type: mvpp.String},
+		{Name: "region", Type: mvpp.String},
+	}, mvpp.TableStats{Rows: 400, Blocks: 40, UpdateFrequency: 2,
+		DistinctValues: map[string]float64{"store_id": 400, "region": 8}}))
+	d := mvpp.NewDesigner(cat, opts)
+	fail(d.AddQuery("west_revenue",
+		`SELECT Store.name, amount FROM Sale, Store
+		 WHERE Store.region = 'West' AND Sale.store_id = Store.store_id`, 20))
+	fail(d.AddQuery("west_big",
+		`SELECT Store.name, amount FROM Sale, Store
+		 WHERE Store.region = 'West' AND amount > 800 AND Sale.store_id = Store.store_id`, 10))
+	return d
+}
+
+// TestIncrementalBeatsRecomputeOnUpdateHeavyWorkload is the PR's
+// acceptance criterion: on an update-heavy workload, enabling incremental
+// maintenance pricing yields a strictly cheaper design, and the winning
+// views report the incremental strategy through every surface (Views,
+// Export).
+func TestIncrementalBeatsRecomputeOnUpdateHeavyWorkload(t *testing.T) {
+	recompute, err := updateHeavyDesigner(t, mvpp.Options{}).Design()
+	if err != nil {
+		t.Fatal(err)
+	}
+	incremental, err := updateHeavyDesigner(t, mvpp.Options{
+		Delta: &mvpp.DeltaOptions{DefaultFraction: 0.01},
+	}).Design()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, ic := recompute.Costs(), incremental.Costs()
+	if ic.TotalCost >= rc.TotalCost {
+		t.Fatalf("incremental-enabled total %v not strictly below recompute-only %v",
+			ic.TotalCost, rc.TotalCost)
+	}
+	views := incremental.Views()
+	if len(views) == 0 {
+		t.Fatal("incremental design materialized nothing")
+	}
+	wins := 0
+	for _, v := range views {
+		if v.MaintenanceStrategy == "incremental" {
+			wins++
+		}
+	}
+	if wins == 0 {
+		t.Error("no view won with the incremental strategy")
+	}
+	for _, ev := range incremental.Export().Vertices {
+		if ev.Materialized && ev.MaintenanceStrategy == "" {
+			t.Errorf("exported vertex %s: materialized but no maintenance strategy", ev.Name)
+		}
+		if !ev.Materialized && ev.MaintenanceStrategy != "" {
+			t.Errorf("exported vertex %s: strategy %q on unmaterialized vertex", ev.Name, ev.MaintenanceStrategy)
+		}
+	}
+}
+
+// TestDeltaPerRelationOverrides: relation-specific fractions flow through
+// Options.Delta. A spec with no nonzero fraction carries no delta
+// information and must leave the recompute-only pricing untouched, while a
+// single per-relation override is enough to enable incremental wins.
+func TestDeltaPerRelationOverrides(t *testing.T) {
+	zero, err := updateHeavyDesigner(t, mvpp.Options{
+		Delta: &mvpp.DeltaOptions{DefaultFraction: 0},
+	}).Design()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range zero.Views() {
+		if v.MaintenanceStrategy == "incremental" {
+			t.Errorf("view %s won incrementally under an empty delta spec", v.Name)
+		}
+	}
+
+	perRel, err := updateHeavyDesigner(t, mvpp.Options{
+		Delta: &mvpp.DeltaOptions{
+			DefaultFraction: 0,
+			PerRelation:     map[string]float64{"Sale": 0.01, "Store": 0.01},
+		},
+	}).Design()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins := 0
+	for _, v := range perRel.Views() {
+		if v.MaintenanceStrategy == "incremental" {
+			wins++
+		}
+	}
+	if wins == 0 {
+		t.Error("per-relation fractions produced no incremental win on the update-heavy workload")
+	}
+}

@@ -54,6 +54,7 @@ const (
 	EvCandidateDedup = obs.EvCandidateDedup
 	EvSelectStep     = obs.EvSelectStep
 	EvSafeguard      = obs.EvSafeguard
+	EvMaintPlan      = obs.EvMaintPlan
 	EvCosts          = obs.EvCosts
 	EvEngineOp       = obs.EvEngineOp
 )
@@ -67,6 +68,7 @@ const (
 	CtrCandidates        = obs.CtrCandidates
 	CtrGreedyIterations  = obs.CtrGreedyIterations
 	CtrSafeguardSubs     = obs.CtrSafeguardSubs
+	CtrIncrementalWins   = obs.CtrIncrementalWins
 	CtrEvaluateCalls     = obs.CtrEvaluateCalls
 	CtrEngineBlockReads  = obs.CtrEngineBlockReads
 	CtrEngineBlockWrites = obs.CtrEngineBlockWrites

@@ -88,6 +88,34 @@ func measureDesign() (testing.BenchmarkResult, error) {
 	return res, runErr
 }
 
+// measureSimulateDelta times one synthetic delta-maintenance epoch through
+// the engine (mirrors BenchmarkSimulateDelta) and captures the measured
+// incremental vs recompute epoch I/O for the baseline file.
+func measureSimulateDelta() (testing.BenchmarkResult, int64, int64, error) {
+	d, err := paperDesigner(mvpp.Options{Delta: &mvpp.DeltaOptions{DefaultFraction: 0.01}})
+	if err != nil {
+		return testing.BenchmarkResult{}, 0, 0, err
+	}
+	design, err := d.Design()
+	if err != nil {
+		return testing.BenchmarkResult{}, 0, 0, err
+	}
+	var runErr error
+	var incIO, fullIO int64
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sim, err := design.Simulate(mvpp.SimOptions{Scale: 0.005, Seed: 11, DeltaFraction: 0.01})
+			if err != nil {
+				runErr = err
+				b.FailNow()
+			}
+			incIO, fullIO = sim.IncrementalRefreshIO, sim.RefreshIO
+		}
+	})
+	return res, incIO, fullIO, runErr
+}
+
 // measureEndToEnd rebuilds the designer every iteration (a fresh trace
 // recorder each time when mkObs is non-nil), so the observed run is not
 // skewed by one recorder accumulating every previous iteration's trace.
@@ -125,6 +153,12 @@ type report struct {
 	EndToEndNsPerOp  int64  `json:"end_to_end_ns_per_op"`
 	ObservedNsPerOp  int64  `json:"observed_end_to_end_ns_per_op"`
 	ObservedOverhead string `json:"observed_overhead"`
+	// SimulateDelta tracks the engine's delta-propagation maintenance
+	// path (BenchmarkSimulateDelta): runtime of one simulated epoch plus
+	// the measured incremental vs full-recompute refresh I/O.
+	SimulateDeltaNsPerOp   int64 `json:"simulate_delta_ns_per_op"`
+	IncrementalEpochBlocks int64 `json:"incremental_epoch_blocks"`
+	RecomputeEpochBlocks   int64 `json:"recompute_epoch_blocks"`
 }
 
 func main() {
@@ -143,6 +177,8 @@ func main() {
 	fail(err)
 	observed, err := measureEndToEnd(func() mvpp.Observer { return mvpp.NewTraceRecorder(nil) })
 	fail(err)
+	deltaSim, incIO, fullIO, err := measureSimulateDelta()
+	fail(err)
 
 	r := report{
 		Benchmark:       "BenchmarkDesign",
@@ -157,6 +193,9 @@ func main() {
 		ObservedNsPerOp: observed.NsPerOp(),
 		ObservedOverhead: fmt.Sprintf("%+.1f%%",
 			100*(float64(observed.NsPerOp())-float64(plain.NsPerOp()))/float64(plain.NsPerOp())),
+		SimulateDeltaNsPerOp:   deltaSim.NsPerOp(),
+		IncrementalEpochBlocks: incIO,
+		RecomputeEpochBlocks:   fullIO,
 	}
 	data, err := json.MarshalIndent(r, "", "  ")
 	fail(err)
