@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet build test race bench check
+.PHONY: all fmt vet build test race bench check tier1
 
 all: check
 
@@ -23,6 +23,10 @@ race:
 
 # The full pre-commit gate.
 check: fmt vet build test race
+
+# The tier-1 verification script (what CI runs on every change), with the
+# race detector included so the concurrent serving layer stays honest.
+tier1: build test race
 
 # Write the Design() benchmark baseline consumed by regression checks.
 bench:

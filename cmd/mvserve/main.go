@@ -1,0 +1,250 @@
+// Command mvserve runs a designed warehouse as a live serving process: it
+// designs the views for a catalog + workload (like mvdesign), builds the
+// synthetic warehouse, and then drives it with concurrent clients while a
+// background scheduler ingests deltas and refreshes the views.
+//
+// Usage:
+//
+//	mvserve -catalog schema.json -workload queries.json [flags]
+//
+// The run prints a serving report: throughput, cache hit rate, latency
+// quantiles, maintenance epochs, and per-view staleness. With -drift the
+// client load shifts to one query mid-run and the advisor re-selects the
+// views for the observed frequencies (applied live with -apply).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	mvpp "github.com/warehousekit/mvpp"
+	"github.com/warehousekit/mvpp/internal/cli"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() (status int) {
+	var (
+		catalogPath  = flag.String("catalog", "", "path to the catalog JSON (required)")
+		workloadPath = flag.String("workload", "", "path to the workload JSON (required)")
+		model        = flag.String("model", "paper-nlj", "cost model: paper-nlj, block-nlj, hash-join, sort-merge")
+		scale        = flag.Float64("scale", 0.01, "synthetic data scale relative to catalog statistics")
+		seed         = flag.Int64("seed", 1, "synthetic data seed")
+		workers      = flag.Int("workers", 0, "query worker pool size (0 = default)")
+		queue        = flag.Int("queue", 0, "admission queue depth (0 = default)")
+		cache        = flag.Int("cache", 0, "result cache capacity in entries (0 = default, negative disables)")
+		batch        = flag.Int("batch", 0, "delta rows per maintenance epoch (0 = default)")
+		clients      = flag.Int("clients", 4, "concurrent client goroutines")
+		requests     = flag.Int("requests", 100, "queries per client")
+		delta        = flag.Float64("delta", 0.02, "per-epoch synthetic insert fraction (0 disables maintenance load)")
+		epochs       = flag.Int("epochs", 4, "maintenance epochs to run during the load")
+		drift        = flag.String("drift", "", "after the main load, re-run the load all on this query and consult the advisor")
+		apply        = flag.Bool("apply", false, "apply the advisor's proposal live and re-run the load")
+		logLevel     = flag.String("log-level", "", "log serving spans and events to stderr at this level (debug, info, warn, error)")
+		traceOut     = flag.String("trace-out", "", "write a JSON trace of the serving run to this file")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+	)
+	flag.Parse()
+
+	if *catalogPath == "" || *workloadPath == "" {
+		fmt.Fprintln(os.Stderr, "mvserve: -catalog and -workload are required")
+		flag.Usage()
+		return 2
+	}
+	obsy, err := cli.Setup(*logLevel, *traceOut, *pprofAddr, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mvserve:", err)
+		return 2
+	}
+	defer func() {
+		if err := obsy.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "mvserve: writing trace:", err)
+			if status == 0 {
+				status = 1
+			}
+		}
+	}()
+	kind, ok := map[string]mvpp.ModelKind{
+		"paper-nlj":  mvpp.ModelPaperNLJ,
+		"block-nlj":  mvpp.ModelBlockNLJ,
+		"hash-join":  mvpp.ModelHashJoin,
+		"sort-merge": mvpp.ModelSortMerge,
+	}[*model]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "mvserve: unknown model %q\n", *model)
+		return 2
+	}
+
+	catFile, err := os.Open(*catalogPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mvserve:", err)
+		return 1
+	}
+	defer catFile.Close()
+	cat, err := mvpp.LoadCatalog(catFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mvserve:", err)
+		return 1
+	}
+	wlFile, err := os.Open(*workloadPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mvserve:", err)
+		return 1
+	}
+	defer wlFile.Close()
+	designer, err := mvpp.LoadWorkload(wlFile, cat, mvpp.Options{Model: kind, Observer: obsy.Observer})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mvserve:", err)
+		return 1
+	}
+	design, err := designer.Design()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mvserve:", err)
+		return 1
+	}
+
+	srv, err := design.NewServer(mvpp.ServeOptions{
+		Scale: *scale, Seed: *seed,
+		Workers: *workers, QueueDepth: *queue, CacheCapacity: *cache, DeltaBatch: *batch,
+		Observer: obsy.Observer,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mvserve:", err)
+		return 1
+	}
+	defer srv.Close()
+
+	queries := design.Queries()
+	fmt.Printf("serving %d queries over views %v (scale %g, seed %d)\n",
+		len(queries), srv.Views(), *scale, *seed)
+
+	pick := func(c, i int) string { return queries[(c+i)%len(queries)] }
+	if err := drive(srv, *clients, *requests, *delta, *epochs, pick); err != nil {
+		fmt.Fprintln(os.Stderr, "mvserve:", err)
+		return 1
+	}
+	report(srv)
+
+	if *drift != "" {
+		found := false
+		for _, q := range queries {
+			if q == *drift {
+				found = true
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "mvserve: unknown drift query %q\n", *drift)
+			return 2
+		}
+		fmt.Printf("\ndrift: load shifts entirely to %s\n", *drift)
+		if err := drive(srv, *clients, *requests, *delta, 0, func(int, int) string { return *drift }); err != nil {
+			fmt.Fprintln(os.Stderr, "mvserve:", err)
+			return 1
+		}
+		obsFq := srv.ObservedFrequencies()
+		names := make([]string, 0, len(obsFq))
+		for q := range obsFq {
+			names = append(names, q)
+		}
+		sort.Strings(names)
+		fmt.Println("observed frequencies (scaled to design-time volume):")
+		for _, q := range names {
+			fmt.Printf("  %-4s %.2f\n", q, obsFq[q])
+		}
+		advice, err := srv.Advise()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mvserve:", err)
+			return 1
+		}
+		fmt.Printf("advisor: keep %v, add %v, drop %v (cost %0.f -> %0.f blocks under observed load)\n",
+			advice.Keep, advice.Add, advice.Drop, advice.CurrentTotal, advice.ProposedTotal)
+		if !advice.Changed() {
+			fmt.Println("advisor: current view set already optimal for the observed load")
+		} else if *apply {
+			if err := srv.ApplyAdvice(advice); err != nil {
+				fmt.Fprintln(os.Stderr, "mvserve:", err)
+				return 1
+			}
+			fmt.Printf("applied: views now %v\n", srv.Views())
+			if err := drive(srv, *clients, *requests, *delta, *epochs, func(int, int) string { return *drift }); err != nil {
+				fmt.Fprintln(os.Stderr, "mvserve:", err)
+				return 1
+			}
+			report(srv)
+		}
+	}
+	return 0
+}
+
+// drive runs clients×requests queries through the server with pick
+// choosing each client's next query, while a maintenance goroutine runs
+// the requested number of inject+flush epochs.
+func drive(srv *mvpp.Server, clients, requests int, delta float64, epochs int, pick func(c, i int) string) error {
+	ctx := context.Background()
+	errs := make(chan error, clients+1)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < requests; i++ {
+				if _, err := srv.Query(ctx, pick(c, i)); err != nil {
+					errs <- fmt.Errorf("client %d: %w", c, err)
+					return
+				}
+			}
+		}(c)
+	}
+	if delta > 0 && epochs > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < epochs; i++ {
+				if _, err := srv.InjectDeltas(delta); err != nil {
+					errs <- fmt.Errorf("maintenance: %w", err)
+					return
+				}
+				if err := srv.Flush(); err != nil {
+					errs <- fmt.Errorf("maintenance: %w", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+	return nil
+}
+
+func report(srv *mvpp.Server) {
+	s := srv.Stats()
+	fmt.Println("\nserving report:")
+	fmt.Printf("  queries served:     %d (%.0f/sec)\n", s.Queries, s.QPS)
+	fmt.Printf("  cache hit rate:     %.1f%% (%d hits, %d misses, %d entries)\n",
+		100*s.CacheHitRate(), s.CacheHits, s.CacheMisses, s.CacheEntries)
+	fmt.Printf("  latency p50/p95/p99: %v / %v / %v\n", s.P50, s.P95, s.P99)
+	fmt.Printf("  rejected / backpressured: %d / %d\n", s.Rejected, s.Backpressured)
+	fmt.Printf("  refresh epochs:     %d (%d incremental, %d recomputed, %d delta rows)\n",
+		s.Epochs, s.IncrementalRefreshes, s.Recomputes, s.DeltaRows)
+	fmt.Printf("  refresh I/O:        %d reads, %d writes\n", s.RefreshReads, s.RefreshWrites)
+	stale := srv.Staleness()
+	views := make([]string, 0, len(stale))
+	for v := range stale {
+		views = append(views, v)
+	}
+	sort.Strings(views)
+	fmt.Println("  view staleness:")
+	for _, v := range views {
+		st := stale[v]
+		fmt.Printf("    %-10s epoch %d, %d rows pending (%s)\n", v, st.Epoch, st.PendingRows, st.Strategy)
+	}
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+// runCLI invokes run() with fresh flag state and the given arguments,
+// capturing stdout.
+func runCLI(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	oldArgs, oldFlags := os.Args, flag.CommandLine
+	oldStdout := os.Stdout
+	defer func() {
+		os.Args, flag.CommandLine = oldArgs, oldFlags
+		os.Stdout = oldStdout
+	}()
+	flag.CommandLine = flag.NewFlagSet("mvserve", flag.ContinueOnError)
+	os.Args = append([]string{"mvserve"}, args...)
+
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	code := run()
+	w.Close()
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	r.Close()
+	return string(buf[:n]), code
+}
+
+func TestCLIMissingFlags(t *testing.T) {
+	_, code := runCLI(t)
+	if code == 0 {
+		t.Error("missing flags accepted")
+	}
+}
+
+func TestCLIUnknownModel(t *testing.T) {
+	_, code := runCLI(t, "-catalog", "testdata/catalog.json", "-workload", "testdata/workload.json", "-model", "quantum")
+	if code == 0 {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestCLIUnknownDriftQuery(t *testing.T) {
+	_, code := runCLI(t, "-catalog", "testdata/catalog.json", "-workload", "testdata/workload.json",
+		"-clients", "1", "-requests", "2", "-drift", "Q99")
+	if code == 0 {
+		t.Error("unknown drift query accepted")
+	}
+}
+
+func TestCLIServeReport(t *testing.T) {
+	out, code := runCLI(t, "-catalog", "testdata/catalog.json", "-workload", "testdata/workload.json",
+		"-clients", "2", "-requests", "20", "-epochs", "2", "-scale", "0.005")
+	if code != 0 {
+		t.Fatalf("exit code %d:\n%s", code, out)
+	}
+	for _, want := range []string{
+		"serving report:", "queries served:", "cache hit rate:",
+		"latency p50/p95/p99", "refresh epochs:", "view staleness:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIDriftAndApply(t *testing.T) {
+	out, code := runCLI(t, "-catalog", "testdata/catalog.json", "-workload", "testdata/workload.json",
+		"-clients", "2", "-requests", "50", "-epochs", "1", "-scale", "0.005",
+		"-drift", "Q4", "-apply")
+	if code != 0 {
+		t.Fatalf("exit code %d:\n%s", code, out)
+	}
+	for _, want := range []string{"drift: load shifts entirely to Q4", "observed frequencies", "advisor:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -128,6 +128,15 @@ func (d *Design) VertexNames() []string {
 // Candidates reports how many distinct MVPPs were generated and evaluated.
 func (d *Design) Candidates() int { return len(d.candidates) }
 
+// Queries lists the workload's query names in the order they were added.
+func (d *Design) Queries() []string {
+	out := make([]string, len(d.queries))
+	for i, q := range d.queries {
+		out[i] = q.Name
+	}
+	return out
+}
+
 // ASCII renders the chosen MVPP with materialized vertices marked.
 func (d *Design) ASCII() string {
 	return viz.MVPPASCII(d.mvpp, d.selection.Materialized)

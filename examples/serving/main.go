@@ -1,0 +1,199 @@
+// Serving: a designed warehouse put behind the concurrent serving layer.
+// The paper's pipeline picks the views; this example then runs them live —
+// concurrent clients answer the workload through the query router and
+// result cache while the maintenance scheduler ingests deltas and
+// refreshes the views in epochs. When the live query mix drifts away from
+// the design-time frequencies, the advisor re-runs the Figure 9 selection
+// on the observed frequencies and hot-swaps the revised view set without
+// stopping the clients.
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	mvpp "github.com/warehousekit/mvpp"
+	"github.com/warehousekit/mvpp/internal/cli"
+)
+
+func paperDesigner() (*mvpp.Designer, error) {
+	cat := mvpp.NewCatalog()
+	add := func(name string, cols []mvpp.Column, stats mvpp.TableStats) error {
+		return cat.AddTable(name, cols, stats)
+	}
+	steps := []func() error{
+		func() error {
+			return add("Product", []mvpp.Column{
+				{Name: "Pid", Type: mvpp.Int}, {Name: "name", Type: mvpp.String}, {Name: "Did", Type: mvpp.Int},
+			}, mvpp.TableStats{Rows: 30000, Blocks: 3000, UpdateFrequency: 1,
+				DistinctValues: map[string]float64{"Pid": 30000, "Did": 5000}})
+		},
+		func() error {
+			return add("Division", []mvpp.Column{
+				{Name: "Did", Type: mvpp.Int}, {Name: "name", Type: mvpp.String}, {Name: "city", Type: mvpp.String},
+			}, mvpp.TableStats{Rows: 5000, Blocks: 500, UpdateFrequency: 1,
+				DistinctValues: map[string]float64{"Did": 5000, "city": 50}})
+		},
+		func() error {
+			return add("Order", []mvpp.Column{
+				{Name: "Pid", Type: mvpp.Int}, {Name: "Cid", Type: mvpp.Int},
+				{Name: "quantity", Type: mvpp.Int}, {Name: "date", Type: mvpp.Date},
+			}, mvpp.TableStats{Rows: 50000, Blocks: 6000, UpdateFrequency: 1,
+				DistinctValues: map[string]float64{"Pid": 30000, "Cid": 20000},
+				IntRanges:      map[string][2]int64{"quantity": {1, 200}}})
+		},
+		func() error {
+			return add("Customer", []mvpp.Column{
+				{Name: "Cid", Type: mvpp.Int}, {Name: "name", Type: mvpp.String}, {Name: "city", Type: mvpp.String},
+			}, mvpp.TableStats{Rows: 20000, Blocks: 2000, UpdateFrequency: 1,
+				DistinctValues: map[string]float64{"Cid": 20000, "city": 50}})
+		},
+		func() error {
+			return add("Part", []mvpp.Column{
+				{Name: "Tid", Type: mvpp.Int}, {Name: "name", Type: mvpp.String},
+				{Name: "Pid", Type: mvpp.Int}, {Name: "supplier", Type: mvpp.String},
+			}, mvpp.TableStats{Rows: 80000, Blocks: 10000, UpdateFrequency: 1,
+				DistinctValues: map[string]float64{"Tid": 80000, "Pid": 30000}})
+		},
+		func() error { return cat.PinSelectivity(`city = 'LA'`, 0.02, "Division") },
+		func() error { return cat.PinSelectivity(`date > 7/1/96`, 0.5, "Order") },
+		func() error { return cat.PinSelectivity(`quantity > 100`, 0.5, "Order") },
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			return nil, err
+		}
+	}
+
+	d := mvpp.NewDesigner(cat, mvpp.Options{})
+	queries := []struct {
+		name string
+		sql  string
+		freq float64
+	}{
+		{"Q1", `SELECT Product.name FROM Product, Division WHERE Division.city = 'LA' AND Product.Did = Division.Did`, 10},
+		{"Q2", `SELECT Part.name FROM Product, Part, Division WHERE Division.city = 'LA' AND Product.Did = Division.Did AND Part.Pid = Product.Pid`, 0.5},
+		{"Q3", `SELECT Customer.name, Product.name, quantity FROM Product, Division, Order, Customer WHERE Division.city = 'LA' AND Product.Did = Division.Did AND Product.Pid = Order.Pid AND Order.Cid = Customer.Cid AND date > 7/1/96`, 0.8},
+		{"Q4", `SELECT Customer.city, date FROM Order, Customer WHERE quantity > 100 AND Order.Cid = Customer.Cid`, 5},
+	}
+	for _, q := range queries {
+		if err := d.AddQuery(q.name, q.sql, q.freq); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+func main() {
+	logger := cli.DefaultLogger()
+	designer, err := paperDesigner()
+	if err != nil {
+		cli.Fatal(logger, "building the paper workload failed", err)
+	}
+	design, err := designer.Design()
+	if err != nil {
+		cli.Fatal(logger, "design failed", err)
+	}
+	srv, err := design.NewServer(mvpp.ServeOptions{Scale: 0.02, Seed: 11, Workers: 4})
+	if err != nil {
+		cli.Fatal(logger, "starting the server failed", err)
+	}
+	defer srv.Close()
+
+	queries := design.Queries()
+	fmt.Printf("serving the paper workload from views %v\n\n", srv.Views())
+
+	// Cold vs cached: the second identical query is answered from the
+	// result cache at zero I/O.
+	ctx := context.Background()
+	cold, err := srv.Query(ctx, "Q1")
+	if err != nil {
+		cli.Fatal(logger, "Q1 failed", err)
+	}
+	warm, err := srv.Query(ctx, "Q1")
+	if err != nil {
+		cli.Fatal(logger, "Q1 repeat failed", err)
+	}
+	fmt.Printf("Q1 cold: %d rows, %d block reads\n", cold.NumRows(), cold.Reads)
+	fmt.Printf("Q1 warm: %d rows, %d block reads (cached=%v)\n\n", warm.NumRows(), warm.Reads, warm.Cached)
+
+	// Concurrent clients hammer the designed mix while the maintenance
+	// scheduler lands insert deltas in refresh epochs.
+	var wg sync.WaitGroup
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := srv.Query(ctx, queries[(c+i)%len(queries)]); err != nil {
+					logger.Error("client query failed", "client", c, "err", err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			if _, err := srv.InjectDeltas(0.02); err != nil {
+				logger.Error("delta injection failed", "err", err)
+				return
+			}
+			if err := srv.Flush(); err != nil {
+				logger.Error("flush failed", "err", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	stats := srv.Stats()
+	fmt.Println("after the concurrent run:")
+	fmt.Printf("  queries served:   %d (cache hit rate %.1f%%)\n", stats.Queries, 100*stats.CacheHitRate())
+	fmt.Printf("  refresh epochs:   %d (%d incremental, %d recomputed, %d delta rows)\n",
+		stats.Epochs, stats.IncrementalRefreshes, stats.Recomputes, stats.DeltaRows)
+	fmt.Printf("  latency p50/p99:  %v / %v\n\n", stats.P50, stats.P99)
+
+	// Drift: the live mix turns all-Q4; the advisor re-runs the paper's
+	// selection under the observed frequencies and swaps the views live.
+	// The drift volume has to drown out the mixed run above — most of these
+	// are cache hits, so the flood is cheap.
+	for i := 0; i < 20000; i++ {
+		if _, err := srv.Query(ctx, "Q4"); err != nil {
+			cli.Fatal(logger, "drift query failed", err)
+		}
+	}
+	obsFq := srv.ObservedFrequencies()
+	names := make([]string, 0, len(obsFq))
+	for q := range obsFq {
+		names = append(names, q)
+	}
+	sort.Strings(names)
+	fmt.Println("the live mix drifts to Q4; observed frequencies (scaled):")
+	for _, q := range names {
+		fmt.Printf("  %-4s %.2f\n", q, obsFq[q])
+	}
+	advice, err := srv.Advise()
+	if err != nil {
+		cli.Fatal(logger, "advisor failed", err)
+	}
+	fmt.Printf("advisor: keep %v, add %v, drop %v\n", advice.Keep, advice.Add, advice.Drop)
+	fmt.Printf("advisor: %.0f -> %.0f predicted blocks under the observed load\n",
+		advice.CurrentTotal, advice.ProposedTotal)
+	if advice.Changed() {
+		if err := srv.ApplyAdvice(advice); err != nil {
+			cli.Fatal(logger, "applying advice failed", err)
+		}
+		fmt.Printf("applied live: views now %v\n", srv.Views())
+		res, err := srv.Query(ctx, "Q4")
+		if err != nil {
+			cli.Fatal(logger, "Q4 after swap failed", err)
+		}
+		fmt.Printf("Q4 after the swap: %d rows, %d block reads\n", res.NumRows(), res.Reads)
+	}
+}

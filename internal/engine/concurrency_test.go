@@ -1,0 +1,343 @@
+package engine_test
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/warehousekit/mvpp/internal/algebra"
+)
+
+// deltaProductRow builds one synthetic Product delta row.
+func deltaProductRow(i int64, did int64) []algebra.Value {
+	return []algebra.Value{algebra.IntVal(900000 + i), algebra.StringVal("product-Δ"), algebra.IntVal(did)}
+}
+
+// TestConcurrentExecuteVsRefresh runs readers through a materialized view
+// while a maintainer recomputes it in a tight loop: every read must see a
+// complete epoch (constant row count, since the base data never changes)
+// and no read or refresh may fail. Run with -race to check the epoch swap.
+func TestConcurrentExecuteVsRefresh(t *testing.T) {
+	db := smallPaperDB(t)
+	plan := laJoinPlan(t, db)
+	if _, err := db.Materialize("tmp2", plan); err != nil {
+		t.Fatal(err)
+	}
+	base, err := db.Execute(db.RewriteWithViews(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := base.Table.NumRows()
+
+	const readers = 8
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, readers+1)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := db.Execute(db.RewriteWithViews(plan))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Table.NumRows() != wantRows {
+					errs <- errors.New("read a half-refreshed view epoch")
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := db.Refresh("tmp2"); err != nil {
+			errs <- err
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentExecuteVsIncrementalEpochs drives full maintenance epochs
+// (InsertDelta → IncrementalRefresh → ApplyDeltas) from one maintainer
+// goroutine while readers execute view-rewritten and base-table plans.
+// Readers must only ever observe whole epochs: the view's row count must
+// be one of the per-epoch counts the maintainer published.
+func TestConcurrentExecuteVsIncrementalEpochs(t *testing.T) {
+	db := smallPaperDB(t)
+	plan := laJoinPlan(t, db)
+	if _, err := db.Materialize("tmp2", plan); err != nil {
+		t.Fatal(err)
+	}
+
+	var epochRows sync.Map // row count → true, for every published epoch
+	res, err := db.Execute(db.RewriteWithViews(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochRows.Store(res.Table.NumRows(), true)
+
+	const readers = 6
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, readers+1)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := db.Execute(db.RewriteWithViews(plan))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, ok := epochRows.Load(res.Table.NumRows()); !ok {
+					errs <- errors.New("view row count matches no published epoch")
+					return
+				}
+			}
+		}()
+	}
+
+	// Maintainer: each epoch inserts one Product row joining an existing
+	// LA division (did=1 exists in the paper data generator), refreshes
+	// incrementally, publishes the new epoch's row count, then folds the
+	// delta into the base table.
+	for i := int64(0); i < 30; i++ {
+		if err := db.InsertDelta("Product", deltaProductRow(i, 1)); err != nil {
+			errs <- err
+			break
+		}
+		ref, err := db.IncrementalRefresh("tmp2")
+		if err != nil {
+			errs <- err
+			break
+		}
+		epochRows.Store(ref.Table.NumRows(), true)
+		if err := db.ApplyDeltas(); err != nil {
+			errs <- err
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Final state check: the maintained view equals a recompute.
+	got, err := db.Execute(db.RewriteWithViews(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := db.Execute(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tableKey(got.Table) != tableKey(want.Table) {
+		t.Error("maintained view diverged from recompute after concurrent epochs")
+	}
+}
+
+// TestConcurrentRewriteVsViewChurn races RewriteWithViewsSubsuming +
+// Execute against a maintainer that drops and rematerializes the view.
+// A reader may lose the race between rewriting and executing (the view it
+// rewrote onto was dropped) — that surfaces as a clean "unknown table"
+// error, never a torn read or a crash.
+func TestConcurrentRewriteVsViewChurn(t *testing.T) {
+	db := smallPaperDB(t)
+	plan := laJoinPlan(t, db)
+	if _, err := db.Materialize("tmp2", plan); err != nil {
+		t.Fatal(err)
+	}
+	want, err := db.Execute(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := want.Table.NumRows()
+
+	const readers = 6
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var lostRace atomic.Int64
+	errs := make(chan error, readers+1)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := db.Execute(db.RewriteWithViewsSubsuming(plan))
+				if err != nil {
+					if strings.Contains(err.Error(), "unknown table") {
+						lostRace.Add(1)
+						continue
+					}
+					errs <- err
+					return
+				}
+				if res.Table.NumRows() != wantRows {
+					errs <- errors.New("rewritten execution returned a torn result")
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 40; i++ {
+		if err := db.DropView("tmp2"); err != nil {
+			errs <- err
+			break
+		}
+		if _, err := db.Materialize("tmp2", plan); err != nil {
+			errs <- err
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestIncrementalRefreshTwiceNoDoubleApply is the watermark regression:
+// refreshing a view twice for the same pending delta must propagate it
+// exactly once.
+func TestIncrementalRefreshTwiceNoDoubleApply(t *testing.T) {
+	db := smallPaperDB(t)
+	if _, err := db.Materialize("tmp2", laJoinPlan(t, db)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InsertDelta("Product", deltaProductRow(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.IncrementalRefresh("tmp2"); err != nil {
+		t.Fatal(err)
+	}
+	first := viewKey(t, db, "tmp2")
+	if _, err := db.IncrementalRefresh("tmp2"); err != nil {
+		t.Fatal(err)
+	}
+	if second := viewKey(t, db, "tmp2"); second != first {
+		t.Errorf("second refresh for the same delta changed the view\n got: %s\nwas: %s", second, first)
+	}
+
+	if err := db.ApplyDeltas(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Materialize("ref", laJoinPlan(t, db)); err != nil {
+		t.Fatal(err)
+	}
+	if want := viewKey(t, db, "ref"); first != want {
+		t.Errorf("maintained view diverges from recompute\n got: %s\nwant: %s", first, want)
+	}
+}
+
+// TestIncrementalRefreshStagedBatches checks partial-batch watermarks: a
+// view refreshed mid-epoch must propagate only the rows that arrived since
+// its last refresh, and its old state for join deltas must include the
+// rows it already consumed.
+func TestIncrementalRefreshStagedBatches(t *testing.T) {
+	db := smallPaperDB(t)
+	if _, err := db.Materialize("tmp2", laJoinPlan(t, db)); err != nil {
+		t.Fatal(err)
+	}
+	// Batch 1: a product joining an existing division, and a new LA
+	// division.
+	if err := db.InsertDelta("Product", deltaProductRow(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InsertDelta("Division",
+		[]algebra.Value{algebra.IntVal(999991), algebra.StringVal("division-x"), algebra.StringVal("LA")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.IncrementalRefresh("tmp2"); err != nil {
+		t.Fatal(err)
+	}
+	// Batch 2: a product joining the batch-1 delta division — its join
+	// partner lives in the already-propagated prefix, so this is the
+	// L_old ⋈ ΔR path across staged batches.
+	if err := db.InsertDelta("Product", deltaProductRow(2, 999991)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.IncrementalRefresh("tmp2"); err != nil {
+		t.Fatal(err)
+	}
+	maintained := viewKey(t, db, "tmp2")
+
+	if err := db.ApplyDeltas(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Materialize("ref", laJoinPlan(t, db)); err != nil {
+		t.Fatal(err)
+	}
+	if want := viewKey(t, db, "ref"); maintained != want {
+		t.Errorf("staged batches diverge from recompute\n got: %s\nwant: %s", maintained, want)
+	}
+}
+
+// TestDropViewClearsDeltaWatermark is the satellite regression: dropping a
+// view must discard its propagation watermark, or a rematerialized view of
+// the same name would skip the deltas its predecessor had consumed and
+// stay stale forever.
+func TestDropViewClearsDeltaWatermark(t *testing.T) {
+	db := smallPaperDB(t)
+	if _, err := db.Materialize("tmp2", laJoinPlan(t, db)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InsertDelta("Product", deltaProductRow(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// The first view consumes the delta, advancing its watermark.
+	if _, err := db.IncrementalRefresh("tmp2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropView("tmp2"); err != nil {
+		t.Fatal(err)
+	}
+	// Rematerialize under the same name: the view is computed from the
+	// base tables WITHOUT the still-pending delta, so the delta must be
+	// propagated again for this new view.
+	if _, err := db.Materialize("tmp2", laJoinPlan(t, db)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.IncrementalRefresh("tmp2"); err != nil {
+		t.Fatal(err)
+	}
+	maintained := viewKey(t, db, "tmp2")
+
+	if err := db.ApplyDeltas(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Materialize("ref", laJoinPlan(t, db)); err != nil {
+		t.Fatal(err)
+	}
+	if want := viewKey(t, db, "ref"); maintained != want {
+		t.Errorf("rematerialized view inherited the dropped view's watermark\n got: %s\nwant: %s",
+			maintained, want)
+	}
+}

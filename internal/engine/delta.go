@@ -17,9 +17,11 @@ var ErrNotIncremental = errors.New("engine: plan is not incrementally maintainab
 // IncrementalRefresh propagates through view plans, and they join the base
 // table when ApplyDeltas runs. Multiple calls accumulate.
 func (db *DB) InsertDelta(table string, rows ...[]algebra.Value) error {
-	t, err := db.Table(table)
-	if err != nil {
-		return err
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[table]
+	if !ok {
+		return fmt.Errorf("engine: unknown table %q", table)
 	}
 	d, ok := db.deltas[table]
 	if !ok {
@@ -31,6 +33,8 @@ func (db *DB) InsertDelta(table string, rows ...[]algebra.Value) error {
 
 // PendingDeltaRows returns how many inserted rows are pending for a table.
 func (db *DB) PendingDeltaRows(table string) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if d, ok := db.deltas[table]; ok {
 		return d.NumRows()
 	}
@@ -38,20 +42,23 @@ func (db *DB) PendingDeltaRows(table string) int {
 }
 
 // ApplyDeltas folds every pending delta into its base table and clears the
-// delta buffers. Base-table writes are not metered: the warehouse pays
-// them under every maintenance policy, so they cancel out of any
-// recompute-vs-incremental comparison.
+// delta buffers, along with every view's propagation watermark (the rows
+// are base state from now on). The fold is copy-on-write: each affected
+// base table is republished as a fresh table, so concurrent readers keep
+// scanning the snapshot they resolved. Base-table writes are not metered:
+// the warehouse pays them under every maintenance policy, so they cancel
+// out of any recompute-vs-incremental comparison.
 func (db *DB) ApplyDeltas() error {
-	for _, name := range db.Tables() {
-		d, ok := db.deltas[name]
-		if !ok {
-			continue
-		}
-		if err := db.tables[name].Insert(d.rows...); err != nil {
-			return err
-		}
-		delete(db.deltas, name)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for name, d := range db.deltas {
+		t := db.tables[name]
+		u := NewTable(t.Name, t.Schema, t.BlockRows)
+		u.rows = append(append([][]algebra.Value{}, t.rows...), d.rows...)
+		db.tables[name] = u
 	}
+	db.deltas = make(map[string]*Table)
+	db.propagated = make(map[string]map[string]int)
 	return nil
 }
 
@@ -75,27 +82,88 @@ func incrementable(plan algebra.Node) error {
 	return err
 }
 
+// deltaState is one view's frozen picture of the pending deltas: the rows
+// it has not propagated yet (fresh), the rows it already folded in during
+// an earlier refresh this epoch (oldExtra — part of the view's old state),
+// and every pending row (allPending — the new state each join delta pairs
+// against). seen records the per-table watermark to commit on success.
+type deltaState struct {
+	fresh      map[string]*Table
+	oldExtra   map[string][][]algebra.Value
+	allPending map[string][][]algebra.Value
+	seen       map[string]int
+}
+
+// deltaSnapshot freezes the pending deltas and the view's watermarks under
+// the read lock. The row slices are captured by value, so later
+// InsertDelta appends never leak into a propagation already underway.
+func (db *DB) deltaSnapshot(view string) *deltaState {
+	ds := &deltaState{
+		fresh:      make(map[string]*Table),
+		oldExtra:   make(map[string][][]algebra.Value),
+		allPending: make(map[string][][]algebra.Value),
+		seen:       make(map[string]int),
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	marks := db.propagated[view]
+	for name, d := range db.deltas {
+		rows := d.rows
+		k := marks[name]
+		if k > len(rows) {
+			k = len(rows)
+		}
+		ds.seen[name] = len(rows)
+		ds.allPending[name] = rows
+		ds.oldExtra[name] = rows[:k]
+		f := NewTable(d.Name, d.Schema, d.BlockRows)
+		f.rows = rows[k:]
+		ds.fresh[name] = f
+	}
+	return ds
+}
+
+// markPropagated commits a successful propagation's watermarks.
+func (db *DB) markPropagated(view string, seen map[string]int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	m := db.propagated[view]
+	if m == nil {
+		m = make(map[string]int, len(seen))
+		db.propagated[view] = m
+	}
+	for name, n := range seen {
+		m[name] = n
+	}
+}
+
 // IncrementalRefresh maintains one view by delta propagation: the pending
 // base-table deltas flow through the view's plan (Δσ(S) = σ(ΔS), Δπ(S) =
 // π(ΔS), Δ(L⋈R) = ΔL⋈R_new ∪ L_old⋈ΔR) and the resulting Δview is applied
 // to the stored view — appended for select-project-join plans, merged
-// group-by-group for a root aggregate. Only the delta-path operators and
-// the apply step are metered; the full operand relations a join delta
-// pairs against are assumed available, the same convention under which
-// the cost model's Ca and delta-propagation formulas charge operators.
-// Returns ErrNotIncremental when the plan cannot be maintained this way.
+// group-by-group for a root aggregate. The apply is an epoch swap: a new
+// table replaces the stored one, so concurrent readers never see a
+// half-applied delta. A per-view watermark records how much of the pending
+// delta has been folded in, so calling IncrementalRefresh again before
+// ApplyDeltas propagates only rows that arrived since. Only the delta-path
+// operators and the apply step are metered; the full operand relations a
+// join delta pairs against are assumed available, the same convention
+// under which the cost model's Ca and delta-propagation formulas charge
+// operators. Returns ErrNotIncremental when the plan cannot be maintained
+// this way.
 func (db *DB) IncrementalRefresh(name string) (*Result, error) {
-	v, ok := db.views[name]
-	if !ok {
-		return nil, fmt.Errorf("engine: unknown view %q", name)
+	v, err := db.View(name)
+	if err != nil {
+		return nil, err
 	}
 	if err := incrementable(v.Plan); err != nil {
 		return nil, err
 	}
+	ds := db.deltaSnapshot(name)
 	res := &Result{}
 	plan := v.Plan
 	if agg, isAgg := plan.(*algebra.Aggregate); isAgg {
-		din, err := db.deltaExec(agg.Input, res)
+		din, err := db.deltaExec(agg.Input, ds, res)
 		if err != nil {
 			return nil, err
 		}
@@ -108,26 +176,29 @@ func (db *DB) IncrementalRefresh(name string) (*Result, error) {
 			return nil, err
 		}
 		merged.Name = name
-		v.table = merged
+		v.setTable(merged)
+		db.markPropagated(name, ds.seen)
 		res.Table = merged
 		return res, nil
 	}
-	droot, err := db.deltaExec(plan, res)
+	droot, err := db.deltaExec(plan, ds, res)
 	if err != nil {
 		return nil, err
 	}
-	if err := v.table.Insert(droot.rows...); err != nil {
-		return nil, err
-	}
+	cur := v.Table()
+	next := NewTable(name, cur.Schema, cur.BlockRows)
+	next.rows = append(append([][]algebra.Value{}, cur.rows...), droot.rows...)
 	stats := OpStats{
 		Label:     "append " + name,
 		Writes:    int64(droot.NumBlocks()),
-		OutRows:   v.table.NumRows(),
-		OutBlocks: v.table.NumBlocks(),
+		OutRows:   next.NumRows(),
+		OutBlocks: next.NumBlocks(),
 	}
 	db.account(stats)
 	res.Ops = append(res.Ops, stats)
-	res.Table = v.table
+	v.setTable(next)
+	db.markPropagated(name, ds.seen)
+	res.Table = next
 	return res, nil
 }
 
@@ -137,9 +208,10 @@ func (db *DB) IncrementalRefresh(name string) (*Result, error) {
 // Afterwards the deltas are part of the base tables and every view is
 // consistent with the new state. Returns the per-view refresh I/O.
 func (db *DB) IncrementalRefreshAll() (map[string]*Result, error) {
-	out := make(map[string]*Result, len(db.views))
+	names := db.Views()
+	out := make(map[string]*Result, len(names))
 	var recompute []string
-	for _, name := range db.Views() {
+	for _, name := range names {
 		res, err := db.IncrementalRefresh(name)
 		if errors.Is(err, ErrNotIncremental) {
 			recompute = append(recompute, name)
@@ -164,43 +236,43 @@ func (db *DB) IncrementalRefreshAll() (map[string]*Result, error) {
 }
 
 // deltaExec computes the delta table of the relation at n under the
-// pending base-table deltas. Select/project/join work on the delta stream
-// is metered into res; operand relations (the full sides a delta joins
-// against) are produced unmetered.
-func (db *DB) deltaExec(n algebra.Node, res *Result) (*Table, error) {
+// snapshot ds. Select/project/join work on the delta stream is metered
+// into res; operand relations (the full sides a delta joins against) are
+// produced unmetered.
+func (db *DB) deltaExec(n algebra.Node, ds *deltaState, res *Result) (*Table, error) {
 	switch v := n.(type) {
 	case *algebra.Scan:
-		if d, ok := db.deltas[v.Relation]; ok {
+		if d, ok := ds.fresh[v.Relation]; ok {
 			return d, nil
 		}
 		// No pending inserts: an empty delta with the scan's schema.
 		return NewTable("", v.Schema(), db.BlockRows), nil
 	case *algebra.Select:
-		din, err := db.deltaExec(v.Input, res)
+		din, err := db.deltaExec(v.Input, ds, res)
 		if err != nil {
 			return nil, err
 		}
 		return db.execSelect(v, din, res)
 	case *algebra.Project:
-		din, err := db.deltaExec(v.Input, res)
+		din, err := db.deltaExec(v.Input, ds, res)
 		if err != nil {
 			return nil, err
 		}
 		return db.execProject(v, din, res)
 	case *algebra.Join:
-		dl, err := db.deltaExec(v.Left, res)
+		dl, err := db.deltaExec(v.Left, ds, res)
 		if err != nil {
 			return nil, err
 		}
-		dr, err := db.deltaExec(v.Right, res)
+		dr, err := db.deltaExec(v.Right, ds, res)
 		if err != nil {
 			return nil, err
 		}
-		rightNew, err := db.execUnmetered(v.Right, true)
+		rightNew, err := db.execUnmetered(v.Right, ds.allPending)
 		if err != nil {
 			return nil, err
 		}
-		leftOld, err := db.execUnmetered(v.Left, false)
+		leftOld, err := db.execUnmetered(v.Left, ds.oldExtra)
 		if err != nil {
 			return nil, err
 		}
@@ -221,38 +293,43 @@ func (db *DB) deltaExec(n algebra.Node, res *Result) (*Table, error) {
 	}
 }
 
-// execUnmetered evaluates a subplan without block accounting, resolving
-// base-table scans against the new state (base ∪ delta) when newState is
-// set and the old state otherwise.
-func (db *DB) execUnmetered(n algebra.Node, newState bool) (*Table, error) {
-	savedCounter, savedReads, savedWrites, savedObs := db.Counter, db.blockReads, db.blockWrites, db.obsv
-	savedTables := db.tables
-	db.Counter, db.blockReads, db.blockWrites, db.obsv = &Counter{}, nil, nil, nil
-	if newState && len(db.deltas) > 0 {
-		merged := make(map[string]*Table, len(savedTables))
-		for name, t := range savedTables {
-			d, ok := db.deltas[name]
-			if !ok {
-				merged[name] = t
-				continue
-			}
-			u := NewTable(t.Name, t.Schema, t.BlockRows)
-			u.rows = append(append([][]algebra.Value{}, t.rows...), d.rows...)
-			merged[name] = u
+// execUnmetered evaluates a subplan without block accounting against the
+// base tables extended by the given extra rows (nil extras = the old
+// state; the all-pending extras = the new state). It runs on a shadow
+// database value — the receiver is never mutated, so concurrent readers
+// of the real DB are undisturbed.
+func (db *DB) execUnmetered(n algebra.Node, extra map[string][][]algebra.Value) (*Table, error) {
+	db.mu.RLock()
+	tables := make(map[string]*Table, len(db.tables))
+	for name, t := range db.tables {
+		rows := extra[name]
+		if len(rows) == 0 {
+			tables[name] = t
+			continue
 		}
-		db.tables = merged
+		u := NewTable(t.Name, t.Schema, t.BlockRows)
+		u.rows = append(append([][]algebra.Value{}, t.rows...), rows...)
+		tables[name] = u
 	}
-	defer func() {
-		db.Counter, db.blockReads, db.blockWrites, db.obsv = savedCounter, savedReads, savedWrites, savedObs
-		db.tables = savedTables
-	}()
+	views := db.views
+	db.mu.RUnlock()
+	shadow := &DB{
+		BlockRows:  db.BlockRows,
+		Counter:    &Counter{},
+		tables:     tables,
+		views:      views,
+		deltas:     make(map[string]*Table),
+		propagated: make(map[string]map[string]int),
+		joinAlgo:   db.joinAlgo,
+	}
 	var scratch Result
-	return db.exec(n, &scratch)
+	return shadow.exec(n, &scratch)
 }
 
 // mergeAggregate folds the aggregated delta groups into the stored view:
 // the stored view is read, matching groups combine (COUNT/SUM add, MIN/MAX
-// compare), new groups append, and the merged view is rewritten.
+// compare), new groups append, and the merged table is returned for the
+// epoch swap.
 func (db *DB) mergeAggregate(v *MaterializedView, agg *algebra.Aggregate, dagg *Table, res *Result) (*Table, error) {
 	nKeys := len(agg.GroupBy)
 	keyOf := func(row []algebra.Value) string {
@@ -262,9 +339,10 @@ func (db *DB) mergeAggregate(v *MaterializedView, agg *algebra.Aggregate, dagg *
 		}
 		return key
 	}
-	out := NewTable("", v.table.Schema, v.table.BlockRows)
-	byKey := make(map[string]int, v.table.NumRows())
-	for _, row := range v.table.rows {
+	cur := v.Table()
+	out := NewTable("", cur.Schema, cur.BlockRows)
+	byKey := make(map[string]int, cur.NumRows())
+	for _, row := range cur.rows {
 		cp := make([]algebra.Value, len(row))
 		copy(cp, row)
 		byKey[keyOf(cp)] = out.NumRows()
@@ -296,7 +374,7 @@ func (db *DB) mergeAggregate(v *MaterializedView, agg *algebra.Aggregate, dagg *
 	}
 	stats := OpStats{
 		Label:     "merge " + v.Name,
-		Reads:     int64(v.table.NumBlocks()),
+		Reads:     int64(cur.NumBlocks()),
 		Writes:    int64(out.NumBlocks()),
 		OutRows:   out.NumRows(),
 		OutBlocks: out.NumBlocks(),

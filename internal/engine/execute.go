@@ -91,13 +91,27 @@ func (db *DB) Execute(plan algebra.Node) (*Result, error) {
 	return res, nil
 }
 
+// resolveRelation maps a scan's relation name to the current table: a
+// materialized view's current epoch snapshot, or the base table. The DB
+// lock is held only for the lookup; the returned table is immutable.
+func (db *DB) resolveRelation(name string) (*Table, error) {
+	db.mu.RLock()
+	view, isView := db.views[name]
+	t, isTable := db.tables[name]
+	db.mu.RUnlock()
+	if isView {
+		return view.Table(), nil
+	}
+	if !isTable {
+		return nil, fmt.Errorf("engine: unknown table %q", name)
+	}
+	return t, nil
+}
+
 func (db *DB) exec(n algebra.Node, res *Result) (*Table, error) {
 	switch v := n.(type) {
 	case *algebra.Scan:
-		if view, ok := db.views[v.Relation]; ok {
-			return view.table, nil
-		}
-		return db.Table(v.Relation)
+		return db.resolveRelation(v.Relation)
 	case *algebra.Select:
 		in, err := db.exec(v.Input, res)
 		if err != nil {

@@ -9,6 +9,27 @@
 // The engine also manages materialized views: it can materialize any plan,
 // refresh it by recomputation (the paper's maintenance policy), and rewrite
 // incoming query plans to read matching views instead of recomputing them.
+//
+// # Concurrency contract
+//
+// A DB supports any number of concurrent readers (Execute, Table, Tables,
+// Views, View, PendingDeltaRows, RewriteWithViews*, CatalogFor) alongside
+// at most one maintainer at a time. The maintenance methods — CreateTable,
+// Materialize, Refresh, RefreshAll, IncrementalRefresh(All), InsertDelta,
+// ApplyDeltas, DropView — are safe against concurrent readers but must be
+// serialized by the caller (e.g. a single maintenance goroutine, as the
+// serve package's scheduler does); running two of them concurrently is a
+// data race.
+//
+// Readers never hold a lock while iterating rows: every published table is
+// immutable, and maintenance replaces tables wholesale (a copy-on-write
+// pointer swap under the DB mutex for base tables, a per-view RWMutex swap
+// for view tables), so a long-running query scans a consistent snapshot of
+// each relation while refreshes build the next epoch beside it. The only
+// mutable window is the setup phase: Table handles returned by CreateTable
+// may be filled with Insert freely before the DB is shared across
+// goroutines; afterwards all base-table growth must go through
+// InsertDelta/ApplyDeltas.
 package engine
 
 import (
@@ -108,16 +129,29 @@ func (c *Counter) Reset() {
 }
 
 // DB is a collection of base tables and materialized views sharing one
-// block-access counter.
+// block-access counter. See the package documentation for the concurrency
+// contract (many readers, one maintainer).
 type DB struct {
 	BlockRows int
 	Counter   *Counter
-	tables    map[string]*Table
-	views     map[string]*MaterializedView
+	// mu guards the tables, views, deltas, and propagated maps: readers
+	// take it briefly to resolve a name to a table pointer; the maintainer
+	// takes it exclusively for pointer swaps and map mutations. It is never
+	// held while rows are scanned.
+	mu     sync.RWMutex
+	tables map[string]*Table
+	views  map[string]*MaterializedView
 	// deltas holds each base table's pending inserted rows (see
 	// InsertDelta); they become part of the table at ApplyDeltas.
-	deltas   map[string]*Table
-	joinAlgo JoinAlgorithm
+	deltas map[string]*Table
+	// propagated records, per view and base table, how many pending delta
+	// rows IncrementalRefresh has already folded into the stored view, so
+	// repeated refreshes within one epoch never double-apply a delta.
+	// ApplyDeltas clears it (the deltas are base state from then on) and
+	// DropView discards the dropped view's entry so a rematerialized view
+	// of the same name starts from a clean watermark.
+	propagated map[string]map[string]int
+	joinAlgo   JoinAlgorithm
 
 	// obsv receives one EvEngineOp event per executed operator; blockReads
 	// and blockWrites mirror the Counter into the observer's registry. All
@@ -142,11 +176,12 @@ func NewDB(blockRows int) *DB {
 		blockRows = DefaultBlockRows
 	}
 	return &DB{
-		BlockRows: blockRows,
-		Counter:   &Counter{},
-		tables:    make(map[string]*Table),
-		views:     make(map[string]*MaterializedView),
-		deltas:    make(map[string]*Table),
+		BlockRows:  blockRows,
+		Counter:    &Counter{},
+		tables:     make(map[string]*Table),
+		views:      make(map[string]*MaterializedView),
+		deltas:     make(map[string]*Table),
+		propagated: make(map[string]map[string]int),
 	}
 }
 
@@ -160,6 +195,8 @@ func (db *DB) CreateTable(name string, schema *algebra.Schema) (*Table, error) {
 // factor (rows per block), letting simulations reproduce per-relation row
 // widths.
 func (db *DB) CreateSizedTable(name string, schema *algebra.Schema, blockRows int) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if _, dup := db.tables[name]; dup {
 		return nil, fmt.Errorf("engine: table %s already exists", name)
 	}
@@ -170,7 +207,9 @@ func (db *DB) CreateSizedTable(name string, schema *algebra.Schema, blockRows in
 
 // Table looks up a base table.
 func (db *DB) Table(name string) (*Table, error) {
+	db.mu.RLock()
 	t, ok := db.tables[name]
+	db.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("engine: unknown table %q", name)
 	}
@@ -179,10 +218,12 @@ func (db *DB) Table(name string) (*Table, error) {
 
 // Tables returns the base table names, sorted.
 func (db *DB) Tables() []string {
+	db.mu.RLock()
 	out := make([]string, 0, len(db.tables))
 	for name := range db.tables {
 		out = append(out, name)
 	}
+	db.mu.RUnlock()
 	sort.Strings(out)
 	return out
 }
@@ -200,7 +241,10 @@ const HistogramBuckets = 10
 func (db *DB) CatalogFor() (*catalog.Catalog, error) {
 	cat := catalog.New()
 	for _, name := range db.Tables() {
-		t := db.tables[name]
+		t, err := db.Table(name)
+		if err != nil {
+			return nil, err
+		}
 		attrs := make(map[string]catalog.AttrStats, t.Schema.Len())
 		for ci, col := range t.Schema.Columns {
 			distinct := make(map[string]bool)
@@ -236,7 +280,7 @@ func (db *DB) CatalogFor() (*catalog.Catalog, error) {
 				Histogram:      equiDepth(numericVals, HistogramBuckets),
 			}
 		}
-		err := cat.AddRelation(&catalog.Relation{
+		err = cat.AddRelation(&catalog.Relation{
 			Name:            name,
 			Schema:          t.Schema,
 			Rows:            float64(t.NumRows()),

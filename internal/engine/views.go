@@ -3,21 +3,39 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/warehousekit/mvpp/internal/algebra"
 )
 
-// MaterializedView is a stored query result with its defining plan.
+// MaterializedView is a stored query result with its defining plan. The
+// stored table is replaced wholesale on refresh — an epoch swap guarded by
+// a per-view RWMutex — so readers always scan a complete, immutable
+// snapshot and never observe a half-refreshed view.
 type MaterializedView struct {
 	Name string
 	Plan algebra.Node
 	// Key is the structural key of the defining plan, used for rewriting.
-	Key   string
+	Key string
+
+	mu    sync.RWMutex
 	table *Table
 }
 
-// Table exposes the stored contents.
-func (v *MaterializedView) Table() *Table { return v.table }
+// Table exposes the stored contents: the current epoch's immutable
+// snapshot. Safe to call concurrently with refreshes.
+func (v *MaterializedView) Table() *Table {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.table
+}
+
+// setTable swaps in the next epoch's table.
+func (v *MaterializedView) setTable(t *Table) {
+	v.mu.Lock()
+	v.table = t
+	v.mu.Unlock()
+}
 
 // Materialize executes the plan and stores the result under the given name
 // (reads and the final write are counted on the database counter).
@@ -25,10 +43,14 @@ func (db *DB) Materialize(name string, plan algebra.Node) (*MaterializedView, er
 	if name == "" {
 		return nil, fmt.Errorf("engine: view must have a name")
 	}
-	if _, dup := db.views[name]; dup {
+	db.mu.RLock()
+	_, dupView := db.views[name]
+	_, dupTable := db.tables[name]
+	db.mu.RUnlock()
+	if dupView {
 		return nil, fmt.Errorf("engine: view %s already exists", name)
 	}
-	if _, dup := db.tables[name]; dup {
+	if dupTable {
 		return nil, fmt.Errorf("engine: view %s collides with a base table", name)
 	}
 	res, err := db.Execute(plan)
@@ -42,31 +64,43 @@ func (db *DB) Materialize(name string, plan algebra.Node) (*MaterializedView, er
 		Key:   algebra.StructuralKey(plan),
 		table: res.Table,
 	}
+	db.mu.Lock()
 	db.views[name] = v
+	// A fresh view is computed from the base tables without pending
+	// deltas, so its delta watermark starts at zero rows propagated.
+	delete(db.propagated, name)
+	db.mu.Unlock()
 	return v, nil
 }
 
 // Refresh recomputes a view from base tables (the paper's maintenance
-// policy) and reports the I/O spent.
+// policy) and reports the I/O spent. The recomputation runs beside
+// concurrent readers; only the final table swap synchronizes with them.
 func (db *DB) Refresh(name string) (*Result, error) {
-	v, ok := db.views[name]
-	if !ok {
-		return nil, fmt.Errorf("engine: unknown view %q", name)
+	v, err := db.View(name)
+	if err != nil {
+		return nil, err
 	}
 	res, err := db.Execute(v.Plan)
 	if err != nil {
 		return nil, err
 	}
 	res.Table.Name = name
-	v.table = res.Table
+	v.setTable(res.Table)
+	// The recompute read the base tables without pending deltas, so any
+	// partially propagated deltas are unpropagated again.
+	db.mu.Lock()
+	delete(db.propagated, name)
+	db.mu.Unlock()
 	return res, nil
 }
 
 // RefreshAll refreshes every view, sharing nothing (each view recomputes
 // from base tables); returns total I/O per view.
 func (db *DB) RefreshAll() (map[string]*Result, error) {
-	out := make(map[string]*Result, len(db.views))
-	for _, name := range db.Views() {
+	names := db.Views()
+	out := make(map[string]*Result, len(names))
+	for _, name := range names {
 		res, err := db.Refresh(name)
 		if err != nil {
 			return nil, err
@@ -78,30 +112,64 @@ func (db *DB) RefreshAll() (map[string]*Result, error) {
 
 // Views lists view names, sorted.
 func (db *DB) Views() []string {
+	db.mu.RLock()
 	out := make([]string, 0, len(db.views))
 	for name := range db.views {
 		out = append(out, name)
 	}
+	db.mu.RUnlock()
 	sort.Strings(out)
 	return out
 }
 
 // View looks up a materialized view.
 func (db *DB) View(name string) (*MaterializedView, error) {
+	db.mu.RLock()
 	v, ok := db.views[name]
+	db.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("engine: unknown view %q", name)
 	}
 	return v, nil
 }
 
-// DropView removes a materialized view.
+// DropView removes a materialized view, including its pending-delta
+// watermark — a later view materialized under the same name must start
+// from a clean slate, or it would silently skip deltas the dropped view
+// had already consumed and serve stale rows forever.
 func (db *DB) DropView(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if _, ok := db.views[name]; !ok {
 		return fmt.Errorf("engine: unknown view %q", name)
 	}
 	delete(db.views, name)
+	delete(db.propagated, name)
 	return nil
+}
+
+// viewSnapshot captures the current view set (pointers plus each view's
+// current table) under the read lock, so rewriting works on a consistent
+// epoch while maintenance proceeds.
+type viewSnapshot struct {
+	view  *MaterializedView
+	table *Table
+}
+
+func (db *DB) snapshotViews() []viewSnapshot {
+	db.mu.RLock()
+	names := make([]string, 0, len(db.views))
+	for name := range db.views {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]viewSnapshot, 0, len(names))
+	for _, name := range names {
+		v := db.views[name]
+		out = append(out, viewSnapshot{view: v, table: v.Table()})
+	}
+	db.mu.RUnlock()
+	return out
 }
 
 // RewriteWithViewsSubsuming extends RewriteWithViews with predicate
@@ -110,17 +178,20 @@ func (db *DB) DropView(name string) error {
 // its own filter over the (smaller) stored view. This is how ad-hoc
 // queries profit from the Figure-8 style shared disjunctive filters
 // (σ city='LA' is answerable from a stored σ city='LA' ∨ city='SF').
+// Safe to call concurrently with maintenance: it rewrites against a
+// snapshot of the view set.
 func (db *DB) RewriteWithViewsSubsuming(plan algebra.Node) algebra.Node {
-	exact := make(map[string]*MaterializedView, len(db.views))
-	for _, v := range db.views {
-		exact[v.Key] = v
+	snaps := db.snapshotViews()
+	exact := make(map[string]viewSnapshot, len(snaps))
+	for _, s := range snaps {
+		exact[s.view.Key] = s
 	}
 	var rewrite func(n algebra.Node) algebra.Node
 	rewrite = func(n algebra.Node) algebra.Node {
-		if v, ok := exact[algebra.StructuralKey(n)]; ok {
-			return algebra.NewScan(v.Name, v.table.Schema)
+		if s, ok := exact[algebra.StructuralKey(n)]; ok {
+			return algebra.NewScan(s.view.Name, s.table.Schema)
 		}
-		if repl, ok := db.subsumeSelect(n); ok {
+		if repl, ok := subsumeSelect(snaps, n); ok {
 			return repl
 		}
 		switch t := n.(type) {
@@ -142,7 +213,7 @@ func (db *DB) RewriteWithViewsSubsuming(plan algebra.Node) algebra.Node {
 // subsumeSelect tries to answer σp(S) (or a bare S) from a view σq(S') with
 // p ⇒ q. The query's full filter is re-applied over the view, which is
 // always sound.
-func (db *DB) subsumeSelect(n algebra.Node) (algebra.Node, bool) {
+func subsumeSelect(snaps []viewSnapshot, n algebra.Node) (algebra.Node, bool) {
 	var pred algebra.Predicate
 	input := n
 	if sel, ok := n.(*algebra.Select); ok {
@@ -150,9 +221,8 @@ func (db *DB) subsumeSelect(n algebra.Node) (algebra.Node, bool) {
 		input = sel.Input
 	}
 	inputKey := algebra.SemanticKey(input)
-	for _, name := range db.Views() {
-		v := db.views[name]
-		vSel, ok := v.Plan.(*algebra.Select)
+	for _, s := range snaps {
+		vSel, ok := s.view.Plan.(*algebra.Select)
 		if !ok {
 			continue
 		}
@@ -162,10 +232,10 @@ func (db *DB) subsumeSelect(n algebra.Node) (algebra.Node, bool) {
 		if !algebra.Implies(pred, vSel.Pred) {
 			continue
 		}
-		if !n.Schema().Equal(v.table.Schema) {
+		if !n.Schema().Equal(s.table.Schema) {
 			continue
 		}
-		scan := algebra.NewScan(v.Name, v.table.Schema)
+		scan := algebra.NewScan(s.view.Name, s.table.Schema)
 		if pred == nil {
 			// p ⇒ q with p = true means q = true as well; the view is the
 			// whole input.
@@ -179,15 +249,17 @@ func (db *DB) subsumeSelect(n algebra.Node) (algebra.Node, bool) {
 // RewriteWithViews returns an equivalent plan in which every subtree whose
 // structural key matches a materialized view is replaced by a scan of that
 // view. Matching is top-down, so the largest materialized subtree wins.
+// Safe to call concurrently with maintenance.
 func (db *DB) RewriteWithViews(plan algebra.Node) algebra.Node {
-	byKey := make(map[string]*MaterializedView, len(db.views))
-	for _, v := range db.views {
-		byKey[v.Key] = v
+	snaps := db.snapshotViews()
+	byKey := make(map[string]viewSnapshot, len(snaps))
+	for _, s := range snaps {
+		byKey[s.view.Key] = s
 	}
 	var rewrite func(n algebra.Node) algebra.Node
 	rewrite = func(n algebra.Node) algebra.Node {
-		if v, ok := byKey[algebra.StructuralKey(n)]; ok {
-			return algebra.NewScan(v.Name, v.table.Schema)
+		if s, ok := byKey[algebra.StructuralKey(n)]; ok {
+			return algebra.NewScan(s.view.Name, s.table.Schema)
 		}
 		switch t := n.(type) {
 		case *algebra.Select:

@@ -67,6 +67,17 @@ const (
 	// is enabled, reporting the winning refresh plan (attrs: vertex,
 	// strategy, cm_recompute, cm_incremental).
 	EvMaintPlan EventKind = "select.maintenance_plan"
+	// EvServeEpoch fires once per serving-layer maintenance epoch (attrs:
+	// epoch, delta_rows, refreshed, incremental, recomputed, reads,
+	// writes).
+	EvServeEpoch EventKind = "serve.epoch"
+	// EvServeAdvice fires when the serving layer's advisor re-runs view
+	// selection on observed frequencies (attrs: observed_queries, add,
+	// drop, keep, current_total, proposed_total).
+	EvServeAdvice EventKind = "serve.advice"
+	// EvServeSwap fires when advice is applied to the live warehouse
+	// (attrs: added, dropped, epoch).
+	EvServeSwap EventKind = "serve.swap"
 )
 
 // Canonical counter names. Call sites resolve them once via CounterOf (or
@@ -97,6 +108,31 @@ const (
 	// CtrIncrementalWins counts materialized views whose delta-propagation
 	// plan beat recomputation.
 	CtrIncrementalWins = "select.incremental_wins"
+	// CtrServeQueries counts queries admitted to the serving layer.
+	CtrServeQueries = "serve.queries"
+	// CtrServeCacheHits / CtrServeCacheMisses count result-cache outcomes.
+	CtrServeCacheHits   = "serve.cache_hits"
+	CtrServeCacheMisses = "serve.cache_misses"
+	// CtrServeRejected counts queries the admission controller turned away
+	// (queue full and the caller's context expired first).
+	CtrServeRejected = "serve.rejected"
+	// CtrServeEpochs counts maintenance epochs the scheduler ran.
+	CtrServeEpochs = "serve.epochs"
+	// CtrServeDeltaRows counts base-table delta rows ingested.
+	CtrServeDeltaRows = "serve.delta_rows"
+	// CtrServeRefreshReads / CtrServeRefreshWrites count the block I/O the
+	// scheduler's view refreshes spent.
+	CtrServeRefreshReads  = "serve.refresh_reads"
+	CtrServeRefreshWrites = "serve.refresh_writes"
+)
+
+// Canonical gauge names for the serving layer.
+const (
+	// GaugeServeQueueDepth is the router's current admission-queue depth.
+	GaugeServeQueueDepth = "serve.queue_depth"
+	// GaugeServeStaleRows is the total number of ingested delta rows not yet
+	// reflected in the materialized views.
+	GaugeServeStaleRows = "serve.stale_rows"
 )
 
 // Observer receives spans, events, and hosts the metrics registry. A nil

@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/warehousekit/mvpp/internal/core"
+	"github.com/warehousekit/mvpp/internal/obs"
+)
+
+// Advice is the advisor's proposal: what the Figure 9 heuristic would
+// materialize for the workload as actually observed, against what the
+// warehouse currently stores.
+type Advice struct {
+	// Observed is the measured per-query frequency, scaled so its sum
+	// matches the design-time workload volume.
+	Observed map[string]float64
+	// Current and Proposed are the view sets (sorted names).
+	Current, Proposed []string
+	// Add, Drop, Keep decompose Proposed against Current.
+	Add, Drop, Keep []string
+	// CurrentTotal and ProposedTotal price both sets per period under the
+	// observed frequencies (query processing + view maintenance, in block
+	// accesses).
+	CurrentTotal, ProposedTotal float64
+
+	selection *core.SelectionResult
+}
+
+// Changed reports whether the advisor proposes a different view set.
+func (a *Advice) Changed() bool { return len(a.Add) > 0 || len(a.Drop) > 0 }
+
+// ObservedFrequencies returns the workload frequencies the server has
+// actually seen, scaled so their sum equals the design-time sum (keeping
+// the query-vs-maintenance balance comparable to the design's). Before any
+// query ran, the design-time frequencies are returned unchanged.
+func (s *Server) ObservedFrequencies() map[string]float64 {
+	out := make(map[string]float64, len(s.queries))
+	var designed, observed float64
+	for _, qs := range s.queries {
+		designed += qs.spec.Frequency
+		observed += float64(qs.observed.Load())
+	}
+	if observed == 0 {
+		for name, qs := range s.queries {
+			out[name] = qs.spec.Frequency
+		}
+		return out
+	}
+	scale := designed / observed
+	for name, qs := range s.queries {
+		out[name] = float64(qs.observed.Load()) * scale
+	}
+	return out
+}
+
+// Advise re-runs the paper's view selection under the observed query
+// frequencies and reports what should change. It does not touch the
+// running warehouse; pass the advice to ApplyAdvice to act on it.
+func (s *Server) Advise() (*Advice, error) {
+	if s.mvpp == nil || s.model == nil {
+		return nil, errors.New("serve: advisor needs an MVPP and a cost model in the config")
+	}
+	s.advMu.Lock()
+	defer s.advMu.Unlock()
+
+	observed := s.ObservedFrequencies()
+	sel, err := s.mvpp.ReselectFrequencies(s.model, observed, s.selectOpts)
+	if err != nil {
+		return nil, err
+	}
+	current := s.Views()
+	proposed := sel.Materialized.Names(s.mvpp)
+	sort.Strings(proposed)
+
+	curCosts, err := s.mvpp.EvaluateUnderFrequencies(s.model, observed, current)
+	if err != nil {
+		return nil, fmt.Errorf("serve: pricing current views under observed frequencies: %w", err)
+	}
+
+	a := &Advice{
+		Observed:      observed,
+		Current:       current,
+		Proposed:      proposed,
+		CurrentTotal:  curCosts.Total,
+		ProposedTotal: sel.Costs.Total,
+		selection:     sel,
+	}
+	curSet := make(map[string]bool, len(current))
+	for _, name := range current {
+		curSet[name] = true
+	}
+	propSet := make(map[string]bool, len(proposed))
+	for _, name := range proposed {
+		propSet[name] = true
+		if curSet[name] {
+			a.Keep = append(a.Keep, name)
+		} else {
+			a.Add = append(a.Add, name)
+		}
+	}
+	for _, name := range current {
+		if !propSet[name] {
+			a.Drop = append(a.Drop, name)
+		}
+	}
+
+	obs.Emit(s.obsv, obs.EvServeAdvice,
+		obs.Int("add", int64(len(a.Add))),
+		obs.Int("drop", int64(len(a.Drop))),
+		obs.Int("keep", int64(len(a.Keep))),
+		obs.Float("current_total", a.CurrentTotal),
+		obs.Float("proposed_total", a.ProposedTotal))
+	return a, nil
+}
+
+// ApplyAdvice hot-swaps the proposed view set into the running warehouse:
+// added views materialize (in MVPP topological order, so stacked views see
+// their inputs), dropped views disappear, the maintenance registry adopts
+// the proposal's strategies, and the epoch advances (invalidating the
+// result cache). In-flight queries are safe: a plan rewritten onto a view
+// dropped mid-flight falls back to its base-table form.
+func (s *Server) ApplyAdvice(a *Advice) error {
+	if a == nil || a.selection == nil {
+		return errors.New("serve: ApplyAdvice needs advice produced by Advise")
+	}
+	if s.mvpp == nil {
+		return errors.New("serve: advisor needs an MVPP in the config")
+	}
+	s.advMu.Lock()
+	defer s.advMu.Unlock()
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
+
+	addSet := make(map[string]bool, len(a.Add))
+	for _, name := range a.Add {
+		addSet[name] = true
+	}
+	// Materialize additions before dropping anything, walking the MVPP's
+	// vertex list (topological order) so views over views compose.
+	for _, v := range s.mvpp.Vertices {
+		if !addSet[v.Name] {
+			continue
+		}
+		if _, err := s.db.Materialize(v.Name, v.Op); err != nil {
+			return fmt.Errorf("serve: materializing %s: %w", v.Name, err)
+		}
+	}
+	for _, name := range a.Drop {
+		if err := s.db.DropView(name); err != nil {
+			return fmt.Errorf("serve: dropping %s: %w", name, err)
+		}
+	}
+
+	// Rebuild the scheduler's view registry for the new set.
+	sc := s.sched
+	views := make(map[string]*viewState, len(a.Proposed))
+	epoch := s.epoch.Add(1)
+	s.cache.invalidate()
+	for _, name := range a.Proposed {
+		v, err := s.db.View(name)
+		if err != nil {
+			return err
+		}
+		rels, err := baseRelationsOf(s.db, v.Plan)
+		if err != nil {
+			return err
+		}
+		strategy := a.selection.Plans[name]
+		views[name] = &viewState{name: name, strategy: strategy, rels: rels, epoch: epoch}
+	}
+	sc.mu.Lock()
+	// Carry over pending counts and refresh times for kept views; freshly
+	// materialized views start clean (they were computed from the current
+	// base state).
+	for name, vs := range views {
+		if old, ok := sc.views[name]; ok {
+			vs.pending = old.pending
+			vs.lastRefresh = old.lastRefresh
+			vs.epoch = old.epoch
+		}
+	}
+	sc.views = views
+	sc.mu.Unlock()
+
+	obs.Emit(s.obsv, obs.EvServeSwap,
+		obs.Int("added", int64(len(a.Add))),
+		obs.Int("dropped", int64(len(a.Drop))),
+		obs.Int("epoch", int64(epoch)))
+	return nil
+}

@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"github.com/warehousekit/mvpp/internal/engine"
+)
+
+// cacheEntry is one cached query result, pinned to the refresh epoch it was
+// computed under.
+type cacheEntry struct {
+	key   string
+	epoch uint64
+	table *engine.Table
+}
+
+// resultCache is an LRU result cache keyed by the plan's structural key.
+// Entries carry the epoch they were computed under; a get under a newer
+// epoch misses and drops the entry (lazy invalidation), and the scheduler
+// additionally clears the whole cache when an epoch lands (eager
+// invalidation), so capacity is never wasted on unreachable entries.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List
+	byKey map[string]*list.Element
+}
+
+// newResultCache builds a cache holding up to capacity entries; capacity
+// < 0 disables caching (every get misses, every put is dropped).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:   capacity,
+		ll:    list.New(),
+		byKey: make(map[string]*list.Element),
+	}
+}
+
+func (c *resultCache) get(key string, epoch uint64) (*engine.Table, uint64, bool) {
+	if c.cap < 0 {
+		return nil, 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, 0, false
+	}
+	e := el.Value.(*cacheEntry)
+	if e.epoch != epoch {
+		c.ll.Remove(el)
+		delete(c.byKey, key)
+		return nil, 0, false
+	}
+	c.ll.MoveToFront(el)
+	return e.table, e.epoch, true
+}
+
+func (c *resultCache) put(key string, epoch uint64, table *engine.Table) {
+	if c.cap < 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		e := el.Value.(*cacheEntry)
+		e.epoch, e.table = epoch, table
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, epoch: epoch, table: table})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// invalidate drops every entry — called when a maintenance epoch lands.
+func (c *resultCache) invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.byKey = make(map[string]*list.Element)
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

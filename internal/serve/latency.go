@@ -1,0 +1,50 @@
+package serve
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// latencyHist is a lock-free power-of-two latency histogram: bucket i
+// counts observations in [2^(i-1), 2^i) nanoseconds. Quantiles come back as
+// the upper bound of the bucket the rank falls in — coarse (within 2×) but
+// cheap enough for the submit hot path.
+type latencyHist struct {
+	buckets [64]atomic.Int64
+	count   atomic.Int64
+}
+
+func (h *latencyHist) record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	idx := bits.Len64(uint64(d))
+	if idx >= len(h.buckets) {
+		idx = len(h.buckets) - 1
+	}
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+}
+
+func (h *latencyHist) quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			if i == 0 {
+				return 0
+			}
+			return time.Duration(int64(1)<<uint(i) - 1)
+		}
+	}
+	return time.Duration(int64(1)<<62 - 1)
+}

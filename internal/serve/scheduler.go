@@ -1,0 +1,385 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/warehousekit/mvpp/internal/algebra"
+	"github.com/warehousekit/mvpp/internal/core"
+	"github.com/warehousekit/mvpp/internal/engine"
+	"github.com/warehousekit/mvpp/internal/obs"
+)
+
+// Staleness reports how far one materialized view lags the ingested
+// deltas.
+type Staleness struct {
+	// Strategy is the view's maintenance strategy ("incremental" or
+	// "recompute").
+	Strategy string
+	// Epoch is the refresh epoch at the view's last refresh (0 if never
+	// refreshed since serving started).
+	Epoch uint64
+	// PendingRows counts ingested base-table rows the view does not
+	// reflect yet.
+	PendingRows int
+	// LastRefresh is when the scheduler last refreshed the view (zero if
+	// never).
+	LastRefresh time.Time
+}
+
+// viewState is the scheduler's registry entry for one maintained view.
+type viewState struct {
+	name     string
+	strategy core.MaintenanceStrategy
+	// rels is the set of base relations the view is computed from — the
+	// fu-driven filter: an epoch only refreshes views whose relations
+	// gained deltas.
+	rels map[string]bool
+
+	epoch       uint64
+	lastRefresh time.Time
+	pending     int
+}
+
+// scheduler buffers ingested delta rows and turns them into maintenance
+// epochs. The loop goroutine fires on a filled batch or a timer; Flush runs
+// an epoch synchronously. All engine maintenance happens under the server's
+// maintMu.
+type scheduler struct {
+	s     *Server
+	batch int
+	kick  chan struct{}
+
+	ticker *time.Ticker
+
+	// mu guards the delta buffer and the view registry.
+	mu      sync.Mutex
+	buf     map[string][][]algebra.Value
+	bufRows int
+	views   map[string]*viewState
+}
+
+func newScheduler(s *Server, cfg Config) (*scheduler, error) {
+	batch := cfg.DeltaBatch
+	if batch <= 0 {
+		batch = DefaultDeltaBatch
+	}
+	sc := &scheduler{
+		s:     s,
+		batch: batch,
+		kick:  make(chan struct{}, 1),
+		buf:   make(map[string][][]algebra.Value),
+		views: make(map[string]*viewState, len(cfg.Views)),
+	}
+	if cfg.RefreshInterval > 0 {
+		sc.ticker = time.NewTicker(cfg.RefreshInterval)
+	}
+	for _, vs := range cfg.Views {
+		v, err := s.db.View(vs.Name)
+		if err != nil {
+			return nil, fmt.Errorf("serve: view %q is not materialized in the DB: %w", vs.Name, err)
+		}
+		rels, err := baseRelationsOf(s.db, v.Plan)
+		if err != nil {
+			return nil, err
+		}
+		sc.views[vs.Name] = &viewState{name: vs.Name, strategy: vs.Strategy, rels: rels}
+	}
+	return sc, nil
+}
+
+// baseRelationsOf collects the base relations a plan scans, following
+// view references transitively.
+func baseRelationsOf(db *engine.DB, plan algebra.Node) (map[string]bool, error) {
+	rels := make(map[string]bool)
+	var walkErr error
+	var visit func(n algebra.Node)
+	visit = func(n algebra.Node) {
+		algebra.Walk(n, func(m algebra.Node) {
+			scan, ok := m.(*algebra.Scan)
+			if !ok || walkErr != nil {
+				return
+			}
+			if _, err := db.Table(scan.Relation); err == nil {
+				rels[scan.Relation] = true
+				return
+			}
+			v, err := db.View(scan.Relation)
+			if err != nil {
+				walkErr = fmt.Errorf("serve: plan scans unknown relation %q", scan.Relation)
+				return
+			}
+			visit(v.Plan)
+		})
+	}
+	visit(plan)
+	return rels, walkErr
+}
+
+func (sc *scheduler) startLoop() {
+	sc.s.wg.Add(1)
+	go sc.loop()
+}
+
+func (sc *scheduler) loop() {
+	defer sc.s.wg.Done()
+	var tick <-chan time.Time
+	if sc.ticker != nil {
+		tick = sc.ticker.C
+	}
+	for {
+		select {
+		case <-sc.s.closed:
+			return
+		case <-sc.kick:
+		case <-tick:
+		}
+		// A failed epoch is a server-level defect; surface it through the
+		// observer rather than dying silently.
+		if err := sc.s.runEpoch(); err != nil {
+			obs.Emit(sc.s.obsv, obs.EvServeEpoch, obs.String("error", err.Error()))
+		}
+	}
+}
+
+func (sc *scheduler) stopTicker() {
+	if sc.ticker != nil {
+		sc.ticker.Stop()
+	}
+}
+
+// Ingest stages delta rows for a base table. The rows become visible only
+// when the next maintenance epoch lands (batch filled, timer, or Flush).
+func (s *Server) Ingest(table string, rows ...[]algebra.Value) error {
+	select {
+	case <-s.closed:
+		return ErrClosed
+	default:
+	}
+	t, err := s.db.Table(table)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if len(r) != t.Schema.Len() {
+			return fmt.Errorf("serve: row width %d does not match schema width %d of %s",
+				len(r), t.Schema.Len(), table)
+		}
+	}
+	sc := s.sched
+	sc.mu.Lock()
+	sc.buf[table] = append(sc.buf[table], rows...)
+	sc.bufRows += len(rows)
+	for _, vs := range sc.views {
+		if vs.rels[table] {
+			vs.pending += len(rows)
+		}
+	}
+	full := sc.bufRows >= sc.batch
+	stale := sc.totalPendingLocked()
+	sc.mu.Unlock()
+
+	s.stats.deltaRows.Add(int64(len(rows)))
+	s.ctrDeltaRows.Add(int64(len(rows)))
+	s.gStaleRows.Set(float64(stale))
+	if full {
+		select {
+		case sc.kick <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// Flush synchronously runs one maintenance epoch over everything ingested
+// so far (a no-op when nothing is pending).
+func (s *Server) Flush() error { return s.runEpoch() }
+
+// Staleness reports each maintained view's lag behind the ingested deltas.
+func (s *Server) Staleness() map[string]Staleness {
+	sc := s.sched
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	out := make(map[string]Staleness, len(sc.views))
+	for name, vs := range sc.views {
+		out[name] = Staleness{
+			Strategy:    vs.strategy.String(),
+			Epoch:       vs.epoch,
+			PendingRows: vs.pending,
+			LastRefresh: vs.lastRefresh,
+		}
+	}
+	return out
+}
+
+// Views returns the currently maintained view names, sorted.
+func (s *Server) Views() []string {
+	sc := s.sched
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	out := make([]string, 0, len(sc.views))
+	for name := range sc.views {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (sc *scheduler) totalPendingLocked() int {
+	total := 0
+	for _, rows := range sc.buf {
+		total += len(rows)
+	}
+	return total
+}
+
+// take removes and returns the staged buffer.
+func (sc *scheduler) take() (map[string][][]algebra.Value, int) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	staged, n := sc.buf, sc.bufRows
+	sc.buf = make(map[string][][]algebra.Value)
+	sc.bufRows = 0
+	return staged, n
+}
+
+// runEpoch is one maintenance epoch: stage the buffered rows as engine
+// deltas, refresh every affected view by its strategy (incremental views by
+// delta propagation before the deltas fold into the base tables, recompute
+// views after), advance the epoch, and invalidate the result cache.
+func (s *Server) runEpoch() error {
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
+	sc := s.sched
+
+	staged, n := sc.take()
+	if n == 0 && !s.enginePendingDeltas() {
+		return nil
+	}
+	sp := obs.Start(s.obsv, "serve.epoch", obs.Int("delta_rows", int64(n)))
+	defer obs.End(sp)
+
+	tables := make([]string, 0, len(staged))
+	for table := range staged {
+		tables = append(tables, table)
+	}
+	sort.Strings(tables)
+	for _, table := range tables {
+		if err := s.db.InsertDelta(table, staged[table]...); err != nil {
+			return err
+		}
+	}
+
+	// The fu-driven filter: only views whose base relations gained deltas
+	// refresh this epoch.
+	dirty := make(map[string]bool)
+	for _, name := range s.db.Tables() {
+		if s.db.PendingDeltaRows(name) > 0 {
+			dirty[name] = true
+		}
+	}
+	var incremental, recompute []string
+	sc.mu.Lock()
+	for name, vs := range sc.views {
+		affected := false
+		for rel := range vs.rels {
+			if dirty[rel] {
+				affected = true
+				break
+			}
+		}
+		if !affected {
+			continue
+		}
+		if vs.strategy == core.MaintIncremental {
+			incremental = append(incremental, name)
+		} else {
+			recompute = append(recompute, name)
+		}
+	}
+	sc.mu.Unlock()
+	sort.Strings(incremental)
+	sort.Strings(recompute)
+
+	var reads, writes int64
+	incDone := 0
+	for _, name := range incremental {
+		res, err := s.db.IncrementalRefresh(name)
+		if errors.Is(err, engine.ErrNotIncremental) {
+			// The design promised delta propagation but the plan cannot be
+			// maintained that way — fall back to recomputation.
+			recompute = append(recompute, name)
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		incDone++
+		reads += res.TotalReads()
+		writes += res.TotalWrites()
+	}
+	if err := s.db.ApplyDeltas(); err != nil {
+		return err
+	}
+	for _, name := range recompute {
+		res, err := s.db.Refresh(name)
+		if err != nil {
+			return err
+		}
+		reads += res.TotalReads()
+		writes += res.TotalWrites()
+	}
+
+	epoch := s.epoch.Add(1)
+	s.cache.invalidate()
+
+	now := time.Now()
+	refreshed := append(append([]string(nil), incremental...), recompute...)
+	var stale int
+	sc.mu.Lock()
+	for _, name := range refreshed {
+		if vs, ok := sc.views[name]; ok {
+			vs.epoch = epoch
+			vs.lastRefresh = now
+			vs.pending = 0
+		}
+	}
+	stale = 0
+	for _, vs := range sc.views {
+		stale += vs.pending
+	}
+	sc.mu.Unlock()
+
+	s.stats.epochs.Add(1)
+	s.stats.incRefreshes.Add(int64(incDone))
+	s.stats.recomputes.Add(int64(len(recompute)))
+	s.stats.refreshReads.Add(reads)
+	s.stats.refreshWrites.Add(writes)
+	s.ctrEpochs.Inc()
+	s.ctrRefreshR.Add(reads)
+	s.ctrRefreshW.Add(writes)
+	s.gStaleRows.Set(float64(stale))
+
+	obs.Emit(s.obsv, obs.EvServeEpoch,
+		obs.Int("epoch", int64(epoch)),
+		obs.Int("delta_rows", int64(n)),
+		obs.Int("incremental", int64(incDone)),
+		obs.Int("recomputed", int64(len(recompute))),
+		obs.Int("reads", reads),
+		obs.Int("writes", writes))
+	return nil
+}
+
+// enginePendingDeltas reports whether the engine holds pending deltas
+// beyond the scheduler's own buffer (e.g. injected directly via the DB).
+func (s *Server) enginePendingDeltas() bool {
+	for _, name := range s.db.Tables() {
+		if s.db.PendingDeltaRows(name) > 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,469 @@
+// Package serve is the warehouse's concurrent serving layer: it takes a
+// finished materialized-view design (a set of views stored in an engine.DB
+// plus the workload's query plans) and runs it as a live system — many
+// client goroutines asking queries while base-table deltas stream in and a
+// background scheduler keeps the views fresh.
+//
+// The package is built from four cooperating pieces:
+//
+//   - a query router (Submit/Query): a bounded worker pool executes plans
+//     rewritten over the materialized views; a full queue exerts
+//     backpressure, and a caller whose context expires while waiting is
+//     rejected — admission control;
+//   - a result cache keyed by the plan's structural key, tagged with the
+//     refresh epoch at execution time and invalidated wholesale when a
+//     maintenance epoch lands;
+//   - a maintenance scheduler (Ingest/Flush): delta rows accumulate per
+//     base table and, once a batch fills (or a timer fires), one epoch runs —
+//     deltas are staged, affected views refresh by their design-time
+//     strategy (incremental delta propagation or full recompute), the
+//     deltas fold into the base tables, and the epoch counter advances;
+//   - an advisor (Advise/ApplyAdvice): observed per-query frequencies are
+//     re-fed to the paper's Figure 9 selection, and a proposed new view set
+//     can be hot-swapped into the running warehouse.
+//
+// Concurrency: readers run against immutable table epochs (the engine's
+// many-readers/one-maintainer contract); everything maintenance-side —
+// scheduler epochs and advice swaps — serializes on one mutex, making the
+// serving layer as a whole safe for any number of concurrent clients.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/warehousekit/mvpp/internal/algebra"
+	"github.com/warehousekit/mvpp/internal/core"
+	"github.com/warehousekit/mvpp/internal/cost"
+	"github.com/warehousekit/mvpp/internal/engine"
+	"github.com/warehousekit/mvpp/internal/obs"
+)
+
+// Serving-layer errors.
+var (
+	// ErrClosed reports a submission to a closed server.
+	ErrClosed = errors.New("serve: server is closed")
+	// ErrRejected reports that admission control turned the query away: the
+	// worker queue was full and the caller's context expired while waiting
+	// for a slot or for the result.
+	ErrRejected = errors.New("serve: query rejected")
+)
+
+// Defaults for the zero values of Config.
+const (
+	DefaultWorkers       = 4
+	DefaultQueueDepth    = 64
+	DefaultCacheCapacity = 256
+	DefaultDeltaBatch    = 256
+)
+
+// QuerySpec is one named workload query the server answers.
+type QuerySpec struct {
+	Name string
+	Plan algebra.Node
+	// Frequency is the design-time access frequency fq; the advisor scales
+	// observed counts against the sum of these.
+	Frequency float64
+}
+
+// ViewSpec is one materialized view the server maintains. The view must
+// already be materialized in the DB.
+type ViewSpec struct {
+	Name string
+	// Strategy is the design-time maintenance plan: MaintIncremental views
+	// refresh by delta propagation, MaintRecompute views by recomputation.
+	Strategy core.MaintenanceStrategy
+}
+
+// Config assembles a Server.
+type Config struct {
+	// DB is the warehouse: base tables plus the design's materialized
+	// views. The server becomes the DB's single maintainer; clients must
+	// only read through the server.
+	DB *engine.DB
+	// Queries is the named workload.
+	Queries []QuerySpec
+	// Views is the materialized set and its maintenance strategies.
+	Views []ViewSpec
+	// MVPP, Model and SelectOpts configure the advisor (optional: without
+	// an MVPP and model, Advise returns an error and everything else
+	// works).
+	MVPP       *core.MVPP
+	Model      cost.Model
+	SelectOpts core.SelectOptions
+	// Workers is the router's worker-pool size (default DefaultWorkers).
+	Workers int
+	// QueueDepth bounds the admission queue (default DefaultQueueDepth).
+	QueueDepth int
+	// CacheCapacity bounds the result cache in entries (default
+	// DefaultCacheCapacity; negative disables caching).
+	CacheCapacity int
+	// DeltaBatch is how many ingested rows trigger a maintenance epoch
+	// (default DefaultDeltaBatch).
+	DeltaBatch int
+	// RefreshInterval, when positive, also fires an epoch periodically even
+	// if the batch has not filled.
+	RefreshInterval time.Duration
+	// Obs receives serving spans, events, counters and gauges. Nil
+	// disables instrumentation.
+	Obs obs.Observer
+}
+
+// Result is one answered query.
+type Result struct {
+	// Table holds the result rows (an immutable epoch snapshot).
+	Table *engine.Table
+	// Reads is the block-read cost of the execution (0 on a cache hit).
+	Reads int64
+	// Cached reports whether the result came from the cache.
+	Cached bool
+	// Epoch is the refresh epoch the result was computed under.
+	Epoch uint64
+	// Latency is the wall-clock time from submission to answer.
+	Latency time.Duration
+}
+
+type request struct {
+	plan algebra.Node
+	key  string
+	done chan response
+}
+
+type response struct {
+	res *Result
+	err error
+}
+
+type queryState struct {
+	spec     QuerySpec
+	observed atomic.Int64
+}
+
+// Server is the running serving layer. Create with New, stop with Close.
+// All exported methods are safe for concurrent use.
+type Server struct {
+	db      *engine.DB
+	queries map[string]*queryState
+	order   []string
+
+	mvpp       *core.MVPP
+	model      cost.Model
+	selectOpts core.SelectOptions
+
+	cache *resultCache
+	epoch atomic.Uint64
+
+	queue     chan *request
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	// maintMu serializes everything maintenance-side — scheduler epochs and
+	// advice swaps — honoring the engine's one-maintainer contract.
+	maintMu sync.Mutex
+	// advMu serializes advisor calls (ReselectFrequencies temporarily
+	// mutates the MVPP's frequencies and weights).
+	advMu sync.Mutex
+
+	sched *scheduler
+
+	start time.Time
+	stats serverStats
+
+	obsv                                              obs.Observer
+	ctrQueries, ctrHits, ctrMisses, ctrRejected       *obs.Counter
+	ctrEpochs, ctrDeltaRows, ctrRefreshR, ctrRefreshW *obs.Counter
+	gQueueDepth, gStaleRows                           *obs.Gauge
+}
+
+type serverStats struct {
+	queries, hits, misses, rejected, backpressured atomic.Int64
+	epochs, incRefreshes, recomputes, deltaRows    atomic.Int64
+	refreshReads, refreshWrites                    atomic.Int64
+	lat                                            latencyHist
+}
+
+// New builds and starts a server: the worker pool and the maintenance
+// scheduler begin running immediately.
+func New(cfg Config) (*Server, error) {
+	s, err := newServer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.startWorkers(workersOf(cfg))
+	s.sched.startLoop()
+	return s, nil
+}
+
+func workersOf(cfg Config) int {
+	if cfg.Workers > 0 {
+		return cfg.Workers
+	}
+	return DefaultWorkers
+}
+
+// newServer assembles a server without starting the worker pool or the
+// scheduler loop — tests use it to fill the queue deterministically.
+func newServer(cfg Config) (*Server, error) {
+	if cfg.DB == nil {
+		return nil, errors.New("serve: config needs a DB")
+	}
+	queueDepth := cfg.QueueDepth
+	if queueDepth <= 0 {
+		queueDepth = DefaultQueueDepth
+	}
+	cacheCap := cfg.CacheCapacity
+	if cacheCap == 0 {
+		cacheCap = DefaultCacheCapacity
+	}
+	s := &Server{
+		db:         cfg.DB,
+		queries:    make(map[string]*queryState, len(cfg.Queries)),
+		mvpp:       cfg.MVPP,
+		model:      cfg.Model,
+		selectOpts: cfg.SelectOpts,
+		cache:      newResultCache(cacheCap),
+		queue:      make(chan *request, queueDepth),
+		closed:     make(chan struct{}),
+		start:      time.Now(),
+		obsv:       cfg.Obs,
+	}
+	for _, q := range cfg.Queries {
+		if q.Name == "" || q.Plan == nil {
+			return nil, errors.New("serve: query specs need a name and a plan")
+		}
+		if _, dup := s.queries[q.Name]; dup {
+			return nil, fmt.Errorf("serve: duplicate query %q", q.Name)
+		}
+		s.queries[q.Name] = &queryState{spec: q}
+		s.order = append(s.order, q.Name)
+	}
+	sched, err := newScheduler(s, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.sched = sched
+
+	s.ctrQueries = obs.CounterOf(cfg.Obs, obs.CtrServeQueries)
+	s.ctrHits = obs.CounterOf(cfg.Obs, obs.CtrServeCacheHits)
+	s.ctrMisses = obs.CounterOf(cfg.Obs, obs.CtrServeCacheMisses)
+	s.ctrRejected = obs.CounterOf(cfg.Obs, obs.CtrServeRejected)
+	s.ctrEpochs = obs.CounterOf(cfg.Obs, obs.CtrServeEpochs)
+	s.ctrDeltaRows = obs.CounterOf(cfg.Obs, obs.CtrServeDeltaRows)
+	s.ctrRefreshR = obs.CounterOf(cfg.Obs, obs.CtrServeRefreshReads)
+	s.ctrRefreshW = obs.CounterOf(cfg.Obs, obs.CtrServeRefreshWrites)
+	if reg := obs.RegistryOf(cfg.Obs); reg != nil {
+		s.gQueueDepth = reg.Gauge(obs.GaugeServeQueueDepth)
+		s.gStaleRows = reg.Gauge(obs.GaugeServeStaleRows)
+	}
+	return s, nil
+}
+
+func (s *Server) startWorkers(n int) {
+	for i := 0; i < n; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Query answers one named workload query and records the access for the
+// advisor's observed frequencies.
+func (s *Server) Query(ctx context.Context, name string) (*Result, error) {
+	qs, ok := s.queries[name]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown query %q", name)
+	}
+	qs.observed.Add(1)
+	return s.Submit(ctx, qs.spec.Plan)
+}
+
+// QueryNames lists the named workload queries in registration order.
+func (s *Server) QueryNames() []string {
+	return append([]string(nil), s.order...)
+}
+
+// Submit answers an ad-hoc plan: cache, then the worker pool, which
+// executes the plan rewritten over the current materialized views. A full
+// queue blocks the caller (backpressure) until a slot frees or ctx expires
+// (rejection).
+func (s *Server) Submit(ctx context.Context, plan algebra.Node) (*Result, error) {
+	select {
+	case <-s.closed:
+		return nil, ErrClosed
+	default:
+	}
+	start := time.Now()
+	s.stats.queries.Add(1)
+	s.ctrQueries.Inc()
+
+	key := algebra.StructuralKey(plan)
+	if table, epoch, ok := s.cache.get(key, s.epoch.Load()); ok {
+		s.stats.hits.Add(1)
+		s.ctrHits.Inc()
+		lat := time.Since(start)
+		s.stats.lat.record(lat)
+		return &Result{Table: table, Cached: true, Epoch: epoch, Latency: lat}, nil
+	}
+	s.stats.misses.Add(1)
+	s.ctrMisses.Inc()
+
+	req := &request{plan: plan, key: key, done: make(chan response, 1)}
+	select {
+	case s.queue <- req:
+	default:
+		// Queue full: backpressure. Block until a slot frees, the caller
+		// gives up, or the server closes.
+		s.stats.backpressured.Add(1)
+		select {
+		case s.queue <- req:
+		case <-ctx.Done():
+			s.stats.rejected.Add(1)
+			s.ctrRejected.Inc()
+			return nil, fmt.Errorf("%w: %v", ErrRejected, ctx.Err())
+		case <-s.closed:
+			return nil, ErrClosed
+		}
+	}
+	s.gQueueDepth.Set(float64(len(s.queue)))
+
+	select {
+	case resp := <-req.done:
+		if resp.err != nil {
+			return nil, resp.err
+		}
+		resp.res.Latency = time.Since(start)
+		s.stats.lat.record(resp.res.Latency)
+		return resp.res, nil
+	case <-ctx.Done():
+		// The request is already admitted; the worker will complete it into
+		// the buffered channel (and populate the cache), but this caller is
+		// done waiting.
+		s.stats.rejected.Add(1)
+		s.ctrRejected.Inc()
+		return nil, fmt.Errorf("%w: %v", ErrRejected, ctx.Err())
+	}
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case req := <-s.queue:
+			s.handle(req)
+		case <-s.closed:
+			// Drain what was admitted before the close, so no submitter
+			// blocks forever on a done channel.
+			for {
+				select {
+				case req := <-s.queue:
+					s.handle(req)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// handle executes one admitted request against the current view epoch.
+func (s *Server) handle(req *request) {
+	epoch := s.epoch.Load()
+	rewritten := s.db.RewriteWithViewsSubsuming(req.plan)
+	res, err := s.db.Execute(rewritten)
+	if err != nil && strings.Contains(err.Error(), "unknown table") {
+		// The view set churned between rewrite and execute (an advice swap
+		// dropped the view the plan was rewritten onto). The original plan
+		// reads base tables only and always works.
+		res, err = s.db.Execute(req.plan)
+	}
+	if err != nil {
+		req.done <- response{err: err}
+		return
+	}
+	out := &Result{Table: res.Table, Reads: res.TotalReads(), Epoch: epoch}
+	// Cache only results whose execution saw a single epoch end to end; a
+	// mid-flight refresh would make the cached rows of mixed provenance.
+	if s.epoch.Load() == epoch {
+		s.cache.put(req.key, epoch, res.Table)
+	}
+	req.done <- response{res: out}
+}
+
+// Epoch returns the current refresh epoch (0 before any maintenance ran).
+func (s *Server) Epoch() uint64 { return s.epoch.Load() }
+
+// Close stops the server: the scheduler halts, workers finish the admitted
+// queue, and further submissions fail with ErrClosed. Close does not run a
+// final maintenance epoch; call Flush first if ingested deltas must land.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		s.sched.stopTicker()
+		s.wg.Wait()
+	})
+	return nil
+}
+
+// Stats is a point-in-time snapshot of the serving counters.
+type Stats struct {
+	// Queries is every submission (cache hits included); CacheHits and
+	// CacheMisses split them; Rejected counts admission-control failures
+	// and Backpressured counts submissions that had to wait for a queue
+	// slot.
+	Queries, CacheHits, CacheMisses, Rejected, Backpressured int64
+	// Epochs counts maintenance epochs; IncrementalRefreshes and
+	// Recomputes count per-view refreshes by strategy within them;
+	// DeltaRows counts ingested rows; RefreshReads/RefreshWrites is the
+	// block I/O the refreshes spent.
+	Epochs, IncrementalRefreshes, Recomputes, DeltaRows int64
+	RefreshReads, RefreshWrites                         int64
+	// QueueDepth and CacheEntries are current occupancies.
+	QueueDepth, CacheEntries int
+	// Uptime is time since New; QPS is Queries/Uptime.
+	Uptime time.Duration
+	QPS    float64
+	// P50/P95/P99 are submission-to-answer latency quantiles (upper bucket
+	// bounds of a power-of-two histogram).
+	P50, P95, P99 time.Duration
+}
+
+// CacheHitRate returns CacheHits/Queries in [0,1].
+func (st Stats) CacheHitRate() float64 {
+	if st.Queries == 0 {
+		return 0
+	}
+	return float64(st.CacheHits) / float64(st.Queries)
+}
+
+// Stats snapshots the serving counters.
+func (s *Server) Stats() Stats {
+	up := time.Since(s.start)
+	st := Stats{
+		Queries:              s.stats.queries.Load(),
+		CacheHits:            s.stats.hits.Load(),
+		CacheMisses:          s.stats.misses.Load(),
+		Rejected:             s.stats.rejected.Load(),
+		Backpressured:        s.stats.backpressured.Load(),
+		Epochs:               s.stats.epochs.Load(),
+		IncrementalRefreshes: s.stats.incRefreshes.Load(),
+		Recomputes:           s.stats.recomputes.Load(),
+		DeltaRows:            s.stats.deltaRows.Load(),
+		RefreshReads:         s.stats.refreshReads.Load(),
+		RefreshWrites:        s.stats.refreshWrites.Load(),
+		QueueDepth:           len(s.queue),
+		CacheEntries:         s.cache.len(),
+		Uptime:               up,
+		P50:                  s.stats.lat.quantile(0.50),
+		P95:                  s.stats.lat.quantile(0.95),
+		P99:                  s.stats.lat.quantile(0.99),
+	}
+	if up > 0 {
+		st.QPS = float64(st.Queries) / up.Seconds()
+	}
+	return st
+}

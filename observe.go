@@ -57,6 +57,9 @@ const (
 	EvMaintPlan      = obs.EvMaintPlan
 	EvCosts          = obs.EvCosts
 	EvEngineOp       = obs.EvEngineOp
+	EvServeEpoch     = obs.EvServeEpoch
+	EvServeAdvice    = obs.EvServeAdvice
+	EvServeSwap      = obs.EvServeSwap
 )
 
 // Canonical counter names the pipeline maintains.
@@ -72,6 +75,12 @@ const (
 	CtrEvaluateCalls     = obs.CtrEvaluateCalls
 	CtrEngineBlockReads  = obs.CtrEngineBlockReads
 	CtrEngineBlockWrites = obs.CtrEngineBlockWrites
+	CtrServeQueries      = obs.CtrServeQueries
+	CtrServeCacheHits    = obs.CtrServeCacheHits
+	CtrServeCacheMisses  = obs.CtrServeCacheMisses
+	CtrServeRejected     = obs.CtrServeRejected
+	CtrServeEpochs       = obs.CtrServeEpochs
+	CtrServeDeltaRows    = obs.CtrServeDeltaRows
 )
 
 // NewRegistry creates an empty metrics registry, to be shared across

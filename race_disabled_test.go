@@ -1,0 +1,8 @@
+//go:build !race
+
+package mvpp_test
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; timing-comparison guards skip themselves under its
+// instrumentation overhead.
+const raceEnabled = false

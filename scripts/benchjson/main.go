@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -141,6 +142,46 @@ func measureEndToEnd(mkObs func() mvpp.Observer) (testing.BenchmarkResult, error
 	return res, runErr
 }
 
+// measureServe drives the serving layer with parallel clients round-robining
+// the workload (mirrors BenchmarkServeWorkload) and captures its
+// throughput-side metrics for the baseline file.
+func measureServe() (testing.BenchmarkResult, mvpp.ServeStats, error) {
+	d, err := paperDesigner(mvpp.Options{})
+	if err != nil {
+		return testing.BenchmarkResult{}, mvpp.ServeStats{}, err
+	}
+	design, err := d.Design()
+	if err != nil {
+		return testing.BenchmarkResult{}, mvpp.ServeStats{}, err
+	}
+	var runErr error
+	var stats mvpp.ServeStats
+	res := testing.Benchmark(func(b *testing.B) {
+		srv, err := design.NewServer(mvpp.ServeOptions{Scale: 0.01, Seed: 7})
+		if err != nil {
+			runErr = err
+			b.FailNow()
+		}
+		defer srv.Close()
+		queries := design.Queries()
+		ctx := context.Background()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				if _, err := srv.Query(ctx, queries[i%len(queries)]); err != nil {
+					runErr = err
+					b.FailNow()
+				}
+				i++
+			}
+		})
+		b.StopTimer()
+		stats = srv.Stats()
+	})
+	return res, stats, runErr
+}
+
 type report struct {
 	Benchmark        string `json:"benchmark"`
 	GoVersion        string `json:"go_version"`
@@ -159,6 +200,13 @@ type report struct {
 	SimulateDeltaNsPerOp   int64 `json:"simulate_delta_ns_per_op"`
 	IncrementalEpochBlocks int64 `json:"incremental_epoch_blocks"`
 	RecomputeEpochBlocks   int64 `json:"recompute_epoch_blocks"`
+	// Serve tracks the serving layer (BenchmarkServeWorkload): per-query
+	// latency of the router path under parallel clients, sustained
+	// throughput, the result cache's hit rate, and tail latency.
+	ServeNsPerOp      int64   `json:"serve_ns_per_op"`
+	ServeQPS          float64 `json:"serve_qps"`
+	ServeCacheHitRate float64 `json:"serve_cache_hit_rate"`
+	ServeP99Micros    int64   `json:"serve_p99_us"`
 }
 
 func main() {
@@ -179,6 +227,8 @@ func main() {
 	fail(err)
 	deltaSim, incIO, fullIO, err := measureSimulateDelta()
 	fail(err)
+	serveRes, serveStats, err := measureServe()
+	fail(err)
 
 	r := report{
 		Benchmark:       "BenchmarkDesign",
@@ -196,6 +246,10 @@ func main() {
 		SimulateDeltaNsPerOp:   deltaSim.NsPerOp(),
 		IncrementalEpochBlocks: incIO,
 		RecomputeEpochBlocks:   fullIO,
+		ServeNsPerOp:           serveRes.NsPerOp(),
+		ServeQPS:               serveStats.QPS,
+		ServeCacheHitRate:      serveStats.CacheHitRate(),
+		ServeP99Micros:         serveStats.P99.Microseconds(),
 	}
 	data, err := json.MarshalIndent(r, "", "  ")
 	fail(err)

@@ -1,0 +1,291 @@
+package mvpp
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/warehousekit/mvpp/internal/algebra"
+	"github.com/warehousekit/mvpp/internal/cost"
+	"github.com/warehousekit/mvpp/internal/engine"
+	"github.com/warehousekit/mvpp/internal/obs"
+	"github.com/warehousekit/mvpp/internal/optimizer"
+	"github.com/warehousekit/mvpp/internal/serve"
+	"github.com/warehousekit/mvpp/internal/sqlparse"
+)
+
+// ServeOptions configures Design.NewServer.
+type ServeOptions struct {
+	// Scale sizes the synthetic warehouse relative to the catalog
+	// statistics (0 defaults to 0.01, like Simulate).
+	Scale float64
+	// Seed drives the deterministic data generator.
+	Seed int64
+	// Workers is the query router's worker-pool size (0 → default).
+	Workers int
+	// QueueDepth bounds the admission queue (0 → default).
+	QueueDepth int
+	// CacheCapacity bounds the result cache in entries (0 → default,
+	// negative disables caching).
+	CacheCapacity int
+	// DeltaBatch is how many ingested delta rows trigger a maintenance
+	// epoch (0 → default).
+	DeltaBatch int
+	// RefreshInterval, when positive, also fires maintenance epochs
+	// periodically.
+	RefreshInterval time.Duration
+	// Observer receives serving spans, events, counters and gauges; nil
+	// falls back to the designer's observer.
+	Observer Observer
+}
+
+// ServeStats is a point-in-time snapshot of the serving counters.
+type ServeStats = serve.Stats
+
+// ViewStaleness reports one maintained view's lag behind ingested deltas.
+type ViewStaleness = serve.Staleness
+
+// Advice is the serving advisor's proposal: what the paper's selection
+// would materialize for the observed workload.
+type Advice = serve.Advice
+
+// QueryResult is one answered query.
+type QueryResult struct {
+	// Reads is the block-read cost of the execution (0 on a cache hit).
+	Reads int64
+	// Cached reports whether the result came from the result cache.
+	Cached bool
+	// Epoch is the refresh epoch the result was computed under.
+	Epoch uint64
+	// Latency is submission-to-answer wall-clock time.
+	Latency time.Duration
+
+	table *engine.Table
+}
+
+// NumRows returns the result cardinality.
+func (r *QueryResult) NumRows() int { return r.table.NumRows() }
+
+// Values converts the result rows to plain Go values (int64, float64,
+// string) — a copy, so callers may mutate freely.
+func (r *QueryResult) Values() [][]any {
+	out := make([][]any, r.table.NumRows())
+	for i := range out {
+		row := r.table.Row(i)
+		vals := make([]any, len(row.Values))
+		for c, v := range row.Values {
+			switch v.Kind {
+			case algebra.TypeInt, algebra.TypeDate:
+				vals[c] = v.Int
+			case algebra.TypeFloat:
+				vals[c] = v.Float
+			default:
+				vals[c] = v.Str
+			}
+		}
+		out[i] = vals
+	}
+	return out
+}
+
+// Columns returns the result's column names.
+func (r *QueryResult) Columns() []string {
+	cols := make([]string, r.table.Schema.Len())
+	for i, c := range r.table.Schema.Columns {
+		cols[i] = c.Name
+	}
+	return cols
+}
+
+// Server runs a finished design as a live warehouse: synthetic data is
+// generated at the configured scale, the design's views are materialized,
+// and the serving layer (query router + result cache + maintenance
+// scheduler + advisor) starts. All methods are safe for concurrent use.
+type Server struct {
+	d     *Design
+	db    *engine.DB
+	inner *serve.Server
+	scale float64
+	seed  atomic.Int64
+
+	// sqlMu serializes ad-hoc SQL planning (the estimator's memo table is
+	// not goroutine-safe).
+	sqlMu sync.Mutex
+	opt   *optimizer.Optimizer
+}
+
+// NewServer builds the warehouse and starts serving. Close it when done.
+func (d *Design) NewServer(opts ServeOptions) (*Server, error) {
+	if d.catalog == nil {
+		return nil, fmt.Errorf("mvpp: design has no catalog attached")
+	}
+	scale := opts.Scale
+	if scale <= 0 {
+		scale = 0.01
+	}
+	observer := opts.Observer
+	if observer == nil {
+		observer = d.obsv
+	}
+
+	db, err := d.buildSyntheticDB(scale, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	db.SetObserver(observer)
+
+	// Materialize the design's views; vertex order is topological, so
+	// views over views compose.
+	var views []serve.ViewSpec
+	for _, v := range d.mvpp.Vertices {
+		if !d.selection.Materialized[v.ID] {
+			continue
+		}
+		if _, err := db.Materialize(v.Name, v.Op); err != nil {
+			return nil, fmt.Errorf("mvpp: materializing %s: %w", v.Name, err)
+		}
+		views = append(views, serve.ViewSpec{Name: v.Name, Strategy: d.selection.Plans[v.Name]})
+	}
+
+	queries := make([]serve.QuerySpec, 0, len(d.queries))
+	for _, q := range d.queries {
+		root, ok := d.mvpp.Roots[q.Name]
+		if !ok {
+			return nil, fmt.Errorf("mvpp: query %s has no root in the MVPP", q.Name)
+		}
+		queries = append(queries, serve.QuerySpec{Name: q.Name, Plan: root.Op, Frequency: q.Frequency})
+	}
+
+	inner, err := serve.New(serve.Config{
+		DB:              db,
+		Queries:         queries,
+		Views:           views,
+		MVPP:            d.mvpp,
+		Model:           d.model,
+		Workers:         opts.Workers,
+		QueueDepth:      opts.QueueDepth,
+		CacheCapacity:   opts.CacheCapacity,
+		DeltaBatch:      opts.DeltaBatch,
+		RefreshInterval: opts.RefreshInterval,
+		Obs:             observer,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mvpp: %w", err)
+	}
+
+	est := cost.NewEstimator(d.catalog.inner, cost.DefaultOptions())
+	est.Instrument(obs.RegistryOf(observer))
+	s := &Server{
+		d:     d,
+		db:    db,
+		inner: inner,
+		scale: scale,
+		opt:   optimizer.New(est, d.model, optimizer.Options{}),
+	}
+	s.seed.Store(opts.Seed + 1)
+	return s, nil
+}
+
+// Query answers one named workload query.
+func (s *Server) Query(ctx context.Context, name string) (*QueryResult, error) {
+	res, err := s.inner.Query(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	return wrapResult(res), nil
+}
+
+// QuerySQL plans and answers an ad-hoc SQL query against the design's
+// catalog. Like named queries it runs through the router and profits from
+// the materialized views (including predicate subsumption) and the result
+// cache; unlike them it does not count toward the advisor's observed
+// frequencies.
+func (s *Server) QuerySQL(ctx context.Context, sql string) (*QueryResult, error) {
+	s.sqlMu.Lock()
+	bound, err := sqlparse.BindQuery(s.d.catalog.inner, "adhoc", sql)
+	if err != nil {
+		s.sqlMu.Unlock()
+		return nil, fmt.Errorf("mvpp: %w", err)
+	}
+	plan, _, err := s.opt.Optimize(bound)
+	s.sqlMu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("mvpp: %w", err)
+	}
+	res, err := s.inner.Submit(ctx, plan)
+	if err != nil {
+		return nil, err
+	}
+	return wrapResult(res), nil
+}
+
+func wrapResult(res *serve.Result) *QueryResult {
+	return &QueryResult{
+		Reads:   res.Reads,
+		Cached:  res.Cached,
+		Epoch:   res.Epoch,
+		Latency: res.Latency,
+		table:   res.Table,
+	}
+}
+
+// InjectDeltas generates one epoch's worth of synthetic base-table inserts
+// (about fraction·rows per table, from the same generators as the initial
+// data) and ingests them into the maintenance scheduler. Returns how many
+// rows were ingested. The rows become visible when the next maintenance
+// epoch lands (batch filled, timer, or Flush).
+func (s *Server) InjectDeltas(fraction float64) (int, error) {
+	if fraction <= 0 {
+		return 0, fmt.Errorf("mvpp: delta fraction must be positive")
+	}
+	seed := s.seed.Add(1)
+	rows, total, err := s.d.syntheticDeltaRows(s.db, s.scale, fraction, seed)
+	if err != nil {
+		return 0, err
+	}
+	for _, name := range s.d.catalog.inner.Relations() {
+		if len(rows[name]) == 0 {
+			continue
+		}
+		if err := s.inner.Ingest(name, rows[name]...); err != nil {
+			return 0, err
+		}
+	}
+	return total, nil
+}
+
+// Flush synchronously runs one maintenance epoch over everything ingested
+// so far.
+func (s *Server) Flush() error { return s.inner.Flush() }
+
+// Epoch returns the current refresh epoch.
+func (s *Server) Epoch() uint64 { return s.inner.Epoch() }
+
+// Views returns the currently materialized view names, sorted.
+func (s *Server) Views() []string { return s.inner.Views() }
+
+// Staleness reports each maintained view's lag behind ingested deltas.
+func (s *Server) Staleness() map[string]ViewStaleness { return s.inner.Staleness() }
+
+// Stats snapshots the serving counters (throughput, cache hit rate,
+// latency quantiles, maintenance work).
+func (s *Server) Stats() ServeStats { return s.inner.Stats() }
+
+// ObservedFrequencies returns the per-query frequencies the server has
+// observed, scaled to the design-time workload volume.
+func (s *Server) ObservedFrequencies() map[string]float64 {
+	return s.inner.ObservedFrequencies()
+}
+
+// Advise re-runs the paper's view selection under the observed query
+// frequencies and reports what should change.
+func (s *Server) Advise() (*Advice, error) { return s.inner.Advise() }
+
+// ApplyAdvice hot-swaps the advised view set into the running warehouse.
+func (s *Server) ApplyAdvice(a *Advice) error { return s.inner.ApplyAdvice(a) }
+
+// Close stops the server. Pending ingested deltas are not flushed; call
+// Flush first if they must land.
+func (s *Server) Close() error { return s.inner.Close() }

@@ -1,0 +1,332 @@
+package mvpp_test
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"testing"
+
+	mvpp "github.com/warehousekit/mvpp"
+)
+
+func paperServer(t *testing.T, opts mvpp.ServeOptions) (*mvpp.Design, *mvpp.Server) {
+	t.Helper()
+	design, err := paperDesigner(t, mvpp.Options{}).Design()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Scale == 0 {
+		opts.Scale = 0.01
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 7
+	}
+	srv, err := design.NewServer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return design, srv
+}
+
+func TestServeCacheSpeedup(t *testing.T) {
+	design, srv := paperServer(t, mvpp.ServeOptions{})
+	if len(srv.Views()) == 0 {
+		t.Fatal("server started with no materialized views")
+	}
+	ctx := context.Background()
+	for _, q := range design.Queries() {
+		first, err := srv.Query(ctx, q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if first.Cached {
+			t.Errorf("%s: first execution reported cached", q)
+		}
+		second, err := srv.Query(ctx, q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if !second.Cached {
+			t.Errorf("%s: repeat execution missed the cache", q)
+		}
+		if second.Reads != 0 {
+			t.Errorf("%s: cache hit cost %d reads", q, second.Reads)
+		}
+		if first.NumRows() != second.NumRows() {
+			t.Errorf("%s: cached rows %d != executed rows %d", q, second.NumRows(), first.NumRows())
+		}
+	}
+	stats := srv.Stats()
+	if stats.CacheHits < int64(len(design.Queries())) {
+		t.Errorf("cache hits = %d, want >= %d", stats.CacheHits, len(design.Queries()))
+	}
+	if stats.Queries != int64(2*len(design.Queries())) {
+		t.Errorf("queries = %d, want %d", stats.Queries, 2*len(design.Queries()))
+	}
+	if rate := stats.CacheHitRate(); rate < 0.5 {
+		t.Errorf("cache hit rate = %.2f, want >= 0.5", rate)
+	}
+}
+
+func TestServeDeltasAdvanceEpochAndInvalidate(t *testing.T) {
+	design, srv := paperServer(t, mvpp.ServeOptions{})
+	ctx := context.Background()
+	q := design.Queries()[0]
+	if _, err := srv.Query(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	n, err := srv.InjectDeltas(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 {
+		t.Fatalf("injected %d delta rows", n)
+	}
+	stale := srv.Staleness()
+	pending := 0
+	for _, st := range stale {
+		pending += st.PendingRows
+	}
+	if err := srv.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Epoch() == 0 {
+		t.Error("epoch did not advance after flush")
+	}
+	for name, st := range srv.Staleness() {
+		if st.PendingRows != 0 {
+			t.Errorf("%s: %d rows still pending after flush", name, st.PendingRows)
+		}
+	}
+	res, err := srv.Query(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached {
+		t.Error("stale cache entry served after refresh epoch")
+	}
+	if res.Epoch != srv.Epoch() {
+		t.Errorf("result epoch %d, server epoch %d", res.Epoch, srv.Epoch())
+	}
+	_ = pending // pre-flush staleness may be zero if no view depends on the touched tables
+}
+
+func TestServeConcurrentClientsStayConsistent(t *testing.T) {
+	design, srv := paperServer(t, mvpp.ServeOptions{Workers: 4, QueueDepth: 16})
+	ctx := context.Background()
+	queries := design.Queries()
+
+	// Reference row counts before any concurrency.
+	want := make(map[string]int, len(queries))
+	for _, q := range queries {
+		res, err := srv.Query(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[q] = res.NumRows()
+	}
+
+	const clients, rounds = 6, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				q := queries[(c+i)%len(queries)]
+				if _, err := srv.Query(ctx, q); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(c)
+	}
+	// Maintenance churns concurrently with the readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 4; i++ {
+			if _, err := srv.InjectDeltas(0.02); err != nil {
+				errs <- err
+				return
+			}
+			if err := srv.Flush(); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	stats := srv.Stats()
+	if got := int64(clients*rounds + len(queries)); stats.Queries < got {
+		t.Errorf("queries served = %d, want >= %d", stats.Queries, got)
+	}
+	if stats.Epochs < 4 {
+		t.Errorf("maintenance epochs = %d, want >= 4", stats.Epochs)
+	}
+	// Deltas only insert rows, so row counts may grow but never shrink.
+	for _, q := range queries {
+		res, err := srv.Query(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.NumRows() < want[q] {
+			t.Errorf("%s: rows shrank from %d to %d across refreshes", q, want[q], res.NumRows())
+		}
+	}
+}
+
+func TestServeAdvisorReselectsUnderDrift(t *testing.T) {
+	design, srv := paperServer(t, mvpp.ServeOptions{})
+	ctx := context.Background()
+	queries := design.Queries()
+
+	baseline := make(map[string]int, len(queries))
+	for _, q := range queries {
+		res, err := srv.Query(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseline[q] = res.NumRows()
+	}
+
+	// Drift: the live workload is overwhelmingly Q4, which the design-time
+	// frequencies (Q1 dominant) never anticipated. The volume must drown out
+	// the baseline round above, which also counted one of each query.
+	for i := 0; i < 400; i++ {
+		if _, err := srv.Query(ctx, "Q4"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	obs := srv.ObservedFrequencies()
+	for _, q := range queries {
+		if q == "Q4" {
+			continue
+		}
+		if obs[q] >= obs["Q4"] {
+			t.Fatalf("observed frequencies do not reflect drift: %v", obs)
+		}
+	}
+
+	advice, err := srv.Advise()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !advice.Changed() {
+		t.Fatalf("all-Q4 drift should change the selection; advice: keep=%v add=%v drop=%v",
+			advice.Keep, advice.Add, advice.Drop)
+	}
+	if advice.ProposedTotal > advice.CurrentTotal+1e-6 {
+		t.Errorf("proposed set costs %v under observed frequencies, current %v",
+			advice.ProposedTotal, advice.CurrentTotal)
+	}
+	if err := srv.ApplyAdvice(advice); err != nil {
+		t.Fatal(err)
+	}
+	gotViews := srv.Views()
+	wantViews := append([]string(nil), advice.Proposed...)
+	sort.Strings(wantViews)
+	if len(gotViews) != len(wantViews) {
+		t.Fatalf("views after swap = %v, want %v", gotViews, wantViews)
+	}
+	for i := range gotViews {
+		if gotViews[i] != wantViews[i] {
+			t.Fatalf("views after swap = %v, want %v", gotViews, wantViews)
+		}
+	}
+	// Answers must be unchanged by the hot swap — the data didn't move.
+	for _, q := range queries {
+		res, err := srv.Query(ctx, q)
+		if err != nil {
+			t.Fatalf("%s after swap: %v", q, err)
+		}
+		if res.NumRows() != baseline[q] {
+			t.Errorf("%s: rows after swap = %d, want %d", q, res.NumRows(), baseline[q])
+		}
+	}
+}
+
+func TestServeQuerySQL(t *testing.T) {
+	_, srv := paperServer(t, mvpp.ServeOptions{})
+	ctx := context.Background()
+	const sql = `SELECT Product.name FROM Product, Division WHERE Division.city = 'LA' AND Product.Did = Division.Did`
+	adhoc, err := srv.QuerySQL(ctx, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	named, err := srv.Query(ctx, "Q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adhoc.NumRows() != named.NumRows() {
+		t.Errorf("ad-hoc rows = %d, named Q1 rows = %d", adhoc.NumRows(), named.NumRows())
+	}
+	if len(adhoc.Columns()) == 0 {
+		t.Error("ad-hoc result has no columns")
+	}
+	if rows := adhoc.Values(); len(rows) != adhoc.NumRows() {
+		t.Errorf("Values() returned %d rows, NumRows %d", len(rows), adhoc.NumRows())
+	}
+	again, err := srv.QuerySQL(ctx, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Error("identical ad-hoc SQL missed the result cache")
+	}
+	if _, err := srv.QuerySQL(ctx, `SELECT nope FROM Ghost`); err == nil {
+		t.Error("bad ad-hoc SQL accepted")
+	}
+}
+
+func TestServeOptionsValidation(t *testing.T) {
+	design, srv := paperServer(t, mvpp.ServeOptions{})
+	if _, err := srv.InjectDeltas(0); err == nil {
+		t.Error("zero delta fraction accepted")
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	if _, err := srv.Query(context.Background(), design.Queries()[0]); err == nil {
+		t.Error("query accepted after close")
+	}
+}
+
+// BenchmarkServeWorkload drives the serving layer with parallel clients
+// round-robining the paper workload while reporting throughput-side
+// metrics (cache hit rate, tail latency) for BENCH_design.json.
+func BenchmarkServeWorkload(b *testing.B) {
+	design, err := benchPaperDesigner(b).Design()
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := design.NewServer(mvpp.ServeOptions{Scale: 0.01, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	queries := design.Queries()
+	ctx := context.Background()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := srv.Query(ctx, queries[i%len(queries)]); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	stats := srv.Stats()
+	b.ReportMetric(stats.QPS, "queries/sec")
+	b.ReportMetric(stats.CacheHitRate(), "cache-hit-rate")
+	b.ReportMetric(float64(stats.P99.Microseconds()), "p99-us")
+}

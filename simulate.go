@@ -193,16 +193,38 @@ func (d *Design) Simulate(opts SimOptions) (*Simulation, error) {
 // (row indices continue past the existing rows, so key-like columns keep
 // extending their domain).
 func (d *Design) insertSyntheticDeltas(db *engine.DB, scale, fraction float64, seed int64) (int, error) {
+	rows, total, err := d.syntheticDeltaRows(db, scale, fraction, seed)
+	if err != nil {
+		return 0, err
+	}
+	for _, name := range d.catalog.inner.Relations() {
+		if len(rows[name]) == 0 {
+			continue
+		}
+		if err := db.InsertDelta(name, rows[name]...); err != nil {
+			return 0, err
+		}
+	}
+	return total, nil
+}
+
+// syntheticDeltaRows generates one delta epoch's rows per base table —
+// about fraction·rows·scale rows each, from the same per-column generators
+// as the initial data — without applying them anywhere. Simulate feeds them
+// to InsertDelta; the serving layer's InjectDeltas feeds them to the
+// maintenance scheduler.
+func (d *Design) syntheticDeltaRows(db *engine.DB, scale, fraction float64, seed int64) (map[string][][]algebra.Value, int, error) {
 	literals := d.collectLiterals()
+	out := make(map[string][][]algebra.Value)
 	total := 0
 	for ti, name := range d.catalog.inner.Relations() {
 		rel, err := d.catalog.inner.Relation(name)
 		if err != nil {
-			return 0, err
+			return nil, 0, err
 		}
 		t, err := db.Table(name)
 		if err != nil {
-			return 0, err
+			return nil, 0, err
 		}
 		n := int(math.Max(1, math.Round(rel.Rows*scale*fraction)))
 		base := t.NumRows()
@@ -211,18 +233,18 @@ func (d *Design) insertSyntheticDeltas(db *engine.DB, scale, fraction float64, s
 		for ci, col := range rel.Schema.Columns {
 			gens[ci] = columnGenerator(col, rel.Attrs[col.Name], literals[name+"."+col.Name], base+n, scale, r)
 		}
+		rows := make([][]algebra.Value, 0, n)
 		for j := 0; j < n; j++ {
 			row := make([]algebra.Value, len(gens))
 			for ci, g := range gens {
 				row[ci] = g(base + j)
 			}
-			if err := db.InsertDelta(name, row); err != nil {
-				return 0, err
-			}
+			rows = append(rows, row)
 		}
+		out[name] = rows
 		total += n
 	}
-	return total, nil
+	return out, total, nil
 }
 
 // buildSyntheticDB generates data for every catalog table.
