@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: all fmt vet build test race bench check tier1
+# Static analysis is pinned so every machine runs the same checks; the
+# tier-1 target skips it gracefully where the binary is not installed.
+STATICCHECK_VERSION ?= 2025.1
+STATICCHECK := $(shell command -v staticcheck 2>/dev/null)
+
+.PHONY: all fmt vet staticcheck build test race bench check tier1
 
 all: check
 
@@ -11,6 +16,16 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Runs staticcheck@$(STATICCHECK_VERSION) when installed; skips (with a
+# notice) otherwise, so tier-1 works on minimal containers without
+# downloading toolchains.
+staticcheck:
+ifdef STATICCHECK
+	$(STATICCHECK) -checks inherit ./...
+else
+	@echo "staticcheck not installed; skipping (pin: staticcheck@$(STATICCHECK_VERSION))"
+endif
 
 build:
 	$(GO) build ./...
@@ -25,8 +40,9 @@ race:
 check: fmt vet build test race
 
 # The tier-1 verification script (what CI runs on every change), with the
-# race detector included so the concurrent serving layer stays honest.
-tier1: build test race
+# race detector included so the concurrent serving layer stays honest and
+# static analysis (vet always, staticcheck when installed) in front.
+tier1: build vet staticcheck test race
 
 # Write the Design() benchmark baseline consumed by regression checks.
 bench:

@@ -20,6 +20,8 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	mvpp "github.com/warehousekit/mvpp"
 	"github.com/warehousekit/mvpp/internal/cli"
@@ -46,6 +48,8 @@ func run() (status int) {
 		epochs       = flag.Int("epochs", 4, "maintenance epochs to run during the load")
 		drift        = flag.String("drift", "", "after the main load, re-run the load all on this query and consult the advisor")
 		apply        = flag.Bool("apply", false, "apply the advisor's proposal live and re-run the load")
+		chaos        = flag.Float64("chaos", 0, "fault injection probability: refresh errors at this rate, plus slow queries and worker panics at lower rates (0 disables)")
+		journalPath  = flag.String("journal", "", "crash-safe delta journal path; un-applied deltas from a previous run are replayed on startup")
 		logLevel     = flag.String("log-level", "", "log serving spans and events to stderr at this level (debug, info, warn, error)")
 		traceOut     = flag.String("trace-out", "", "write a JSON trace of the serving run to this file")
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
@@ -109,11 +113,25 @@ func run() (status int) {
 		return 1
 	}
 
-	srv, err := design.NewServer(mvpp.ServeOptions{
+	opts := mvpp.ServeOptions{
 		Scale: *scale, Seed: *seed,
 		Workers: *workers, QueueDepth: *queue, CacheCapacity: *cache, DeltaBatch: *batch,
-		Observer: obsy.Observer,
-	})
+		JournalPath: *journalPath,
+		Observer:    obsy.Observer,
+	}
+	if *chaos > 0 {
+		opts.Injector = mvpp.NewFaultInjector(*seed, mvpp.FaultPlan{
+			mvpp.FaultSiteEngineRefresh:            {ErrProb: *chaos},
+			mvpp.FaultSiteEngineIncrementalRefresh: {ErrProb: *chaos},
+			mvpp.FaultSiteEngineApplyDeltas:        {ErrProb: *chaos},
+			mvpp.FaultSiteEngineExecute:            {SlowProb: *chaos / 2, Delay: 200 * time.Microsecond},
+			mvpp.FaultSiteServeWorker:              {PanicProb: *chaos / 10},
+		})
+		// Under chaos, trip breakers quickly and probe often so the run
+		// exercises the degrade/recover cycle.
+		opts.Breaker = mvpp.BreakerPolicy{FailureThreshold: 2, Cooldown: 100 * time.Millisecond}
+	}
+	srv, err := design.NewServer(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mvserve:", err)
 		return 1
@@ -123,9 +141,16 @@ func run() (status int) {
 	queries := design.Queries()
 	fmt.Printf("serving %d queries over views %v (scale %g, seed %d)\n",
 		len(queries), srv.Views(), *scale, *seed)
+	if replayed := srv.Stats().ReplayedDeltaRows; replayed > 0 {
+		fmt.Printf("journal: replayed %d delta rows from %s\n", replayed, *journalPath)
+	}
+	if *chaos > 0 {
+		fmt.Printf("chaos: injecting faults at probability %g (refresh errors, slow queries, worker panics)\n", *chaos)
+	}
 
+	tolerant := *chaos > 0
 	pick := func(c, i int) string { return queries[(c+i)%len(queries)] }
-	if err := drive(srv, *clients, *requests, *delta, *epochs, pick); err != nil {
+	if err := drive(srv, *clients, *requests, *delta, *epochs, tolerant, pick); err != nil {
 		fmt.Fprintln(os.Stderr, "mvserve:", err)
 		return 1
 	}
@@ -143,7 +168,7 @@ func run() (status int) {
 			return 2
 		}
 		fmt.Printf("\ndrift: load shifts entirely to %s\n", *drift)
-		if err := drive(srv, *clients, *requests, *delta, 0, func(int, int) string { return *drift }); err != nil {
+		if err := drive(srv, *clients, *requests, *delta, 0, tolerant, func(int, int) string { return *drift }); err != nil {
 			fmt.Fprintln(os.Stderr, "mvserve:", err)
 			return 1
 		}
@@ -172,7 +197,7 @@ func run() (status int) {
 				return 1
 			}
 			fmt.Printf("applied: views now %v\n", srv.Views())
-			if err := drive(srv, *clients, *requests, *delta, *epochs, func(int, int) string { return *drift }); err != nil {
+			if err := drive(srv, *clients, *requests, *delta, *epochs, tolerant, func(int, int) string { return *drift }); err != nil {
 				fmt.Fprintln(os.Stderr, "mvserve:", err)
 				return 1
 			}
@@ -184,10 +209,13 @@ func run() (status int) {
 
 // drive runs clients×requests queries through the server with pick
 // choosing each client's next query, while a maintenance goroutine runs
-// the requested number of inject+flush epochs.
-func drive(srv *mvpp.Server, clients, requests int, delta float64, epochs int, pick func(c, i int) string) error {
+// the requested number of inject+flush epochs. When tolerant (a chaos
+// run), injected query failures and maintenance failures are counted and
+// reported instead of aborting the load — fault tolerance is the point.
+func drive(srv *mvpp.Server, clients, requests int, delta float64, epochs int, tolerant bool, pick func(c, i int) string) error {
 	ctx := context.Background()
 	errs := make(chan error, clients+1)
+	var failed atomic.Int64
 	var wg sync.WaitGroup
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
@@ -195,6 +223,10 @@ func drive(srv *mvpp.Server, clients, requests int, delta float64, epochs int, p
 			defer wg.Done()
 			for i := 0; i < requests; i++ {
 				if _, err := srv.Query(ctx, pick(c, i)); err != nil {
+					if tolerant {
+						failed.Add(1)
+						continue
+					}
 					errs <- fmt.Errorf("client %d: %w", c, err)
 					return
 				}
@@ -211,6 +243,11 @@ func drive(srv *mvpp.Server, clients, requests int, delta float64, epochs int, p
 					return
 				}
 				if err := srv.Flush(); err != nil {
+					// Under chaos a flush can fail persistently; the deltas
+					// stay buffered (and journaled) for a later epoch.
+					if tolerant {
+						continue
+					}
 					errs <- fmt.Errorf("maintenance: %w", err)
 					return
 				}
@@ -221,6 +258,9 @@ func drive(srv *mvpp.Server, clients, requests int, delta float64, epochs int, p
 	close(errs)
 	for err := range errs {
 		return err
+	}
+	if n := failed.Load(); n > 0 {
+		fmt.Printf("chaos: %d queries failed with injected faults\n", n)
 	}
 	return nil
 }
@@ -236,7 +276,16 @@ func report(srv *mvpp.Server) {
 	fmt.Printf("  refresh epochs:     %d (%d incremental, %d recomputed, %d delta rows)\n",
 		s.Epochs, s.IncrementalRefreshes, s.Recomputes, s.DeltaRows)
 	fmt.Printf("  refresh I/O:        %d reads, %d writes\n", s.RefreshReads, s.RefreshWrites)
+	if s.Retries+s.RefreshFailures+s.BreakerTrips+s.DegradedQueries+s.PanicsRecovered+s.ReplayedDeltaRows > 0 {
+		fmt.Println("  fault tolerance:")
+		fmt.Printf("    retries / refresh failures: %d / %d\n", s.Retries, s.RefreshFailures)
+		fmt.Printf("    incremental fallbacks:      %d\n", s.IncrementalFallbacks)
+		fmt.Printf("    breaker trips / degraded:   %d / %d\n", s.BreakerTrips, s.DegradedQueries)
+		fmt.Printf("    panics recovered:           %d\n", s.PanicsRecovered)
+		fmt.Printf("    journal rows replayed:      %d\n", s.ReplayedDeltaRows)
+	}
 	stale := srv.Staleness()
+	health := srv.Health()
 	views := make([]string, 0, len(stale))
 	for v := range stale {
 		views = append(views, v)
@@ -246,5 +295,17 @@ func report(srv *mvpp.Server) {
 	for _, v := range views {
 		st := stale[v]
 		fmt.Printf("    %-10s epoch %d, %d rows pending (%s)\n", v, st.Epoch, st.PendingRows, st.Strategy)
+	}
+	fmt.Println("  view health:")
+	for _, v := range views {
+		h := health[v]
+		line := fmt.Sprintf("    %-10s breaker %s, %d rows lag", v, h.State, h.LagRows)
+		if h.Degrading {
+			line += ", DEGRADING to base relations"
+		}
+		if h.LastError != "" {
+			line += fmt.Sprintf(" (last error: %s)", h.LastError)
+		}
+		fmt.Println(line)
 	}
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"flag"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -68,6 +69,48 @@ func TestCLIServeReport(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestCLIChaosReport(t *testing.T) {
+	out, code := runCLI(t, "-catalog", "testdata/catalog.json", "-workload", "testdata/workload.json",
+		"-clients", "2", "-requests", "20", "-epochs", "3", "-scale", "0.005",
+		"-chaos", "0.5")
+	if code != 0 {
+		t.Fatalf("exit code %d:\n%s", code, out)
+	}
+	for _, want := range []string{
+		"chaos: injecting faults", "fault tolerance:", "retries / refresh failures:",
+		"breaker trips / degraded:", "view health:", "breaker",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIJournalReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "deltas.journal")
+	// -chaos 1 makes every delta application fail persistently, so the
+	// first run's journaled batches are never acknowledged and survive its
+	// Close (a simulated crash with un-applied work).
+	out, code := runCLI(t, "-catalog", "testdata/catalog.json", "-workload", "testdata/workload.json",
+		"-clients", "1", "-requests", "5", "-epochs", "2", "-scale", "0.005",
+		"-chaos", "1", "-journal", path)
+	if code != 0 {
+		t.Fatalf("first run exit code %d:\n%s", code, out)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("journal not created: %v", err)
+	}
+	out, code = runCLI(t, "-catalog", "testdata/catalog.json", "-workload", "testdata/workload.json",
+		"-clients", "1", "-requests", "5", "-epochs", "1", "-scale", "0.005",
+		"-journal", path)
+	if code != 0 {
+		t.Fatalf("second run exit code %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "journal: replayed") {
+		t.Errorf("second run did not replay the journal:\n%s", out)
 	}
 }
 

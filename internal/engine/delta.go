@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"github.com/warehousekit/mvpp/internal/algebra"
+	"github.com/warehousekit/mvpp/internal/fault"
 )
 
 // ErrNotIncremental reports that a view's plan cannot be maintained by
@@ -49,6 +50,9 @@ func (db *DB) PendingDeltaRows(table string) int {
 // the warehouse pays them under every maintenance policy, so they cancel
 // out of any recompute-vs-incremental comparison.
 func (db *DB) ApplyDeltas() error {
+	if err := db.inj.Hit(fault.SiteEngineApplyDeltas); err != nil {
+		return err
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	for name, d := range db.deltas {
@@ -157,6 +161,12 @@ func (db *DB) IncrementalRefresh(name string) (*Result, error) {
 		return nil, err
 	}
 	if err := incrementable(v.Plan); err != nil {
+		return nil, err
+	}
+	// The injection site sits after the incrementability gate, so injected
+	// failures model delta application going wrong — ErrNotIncremental still
+	// reaches callers undisturbed for their design-time fallback.
+	if err := db.inj.Hit(fault.SiteEngineIncrementalRefresh); err != nil {
 		return nil, err
 	}
 	ds := db.deltaSnapshot(name)

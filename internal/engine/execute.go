@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/warehousekit/mvpp/internal/algebra"
+	"github.com/warehousekit/mvpp/internal/fault"
 	"github.com/warehousekit/mvpp/internal/obs"
 )
 
@@ -67,6 +68,9 @@ func (db *DB) SetJoinAlgorithm(a JoinAlgorithm) { db.joinAlgo = a }
 // and materialized views by name. The database counter accumulates across
 // calls; per-operator numbers are returned in the Result.
 func (db *DB) Execute(plan algebra.Node) (*Result, error) {
+	if err := db.inj.Hit(fault.SiteEngineExecute); err != nil {
+		return nil, err
+	}
 	if err := algebra.Validate(plan); err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}

@@ -1,0 +1,265 @@
+package engine
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"github.com/warehousekit/mvpp/internal/algebra"
+)
+
+// DeltaRecord is one journaled batch of inserted rows for a base table.
+type DeltaRecord struct {
+	// LSN is the record's log sequence number; the journal assigns them
+	// densely from 1.
+	LSN uint64
+	// Table is the base table the rows belong to.
+	Table string
+	// Rows are the inserted rows, schema-width as ingested.
+	Rows [][]algebra.Value
+}
+
+// DeltaJournal is a write-ahead log for base-table deltas: the serving
+// layer appends every ingested batch *before* buffering it, acknowledges
+// (Commit) only after a maintenance epoch has landed the rows in the base
+// tables, and on restart replays the unacknowledged suffix — so no ingested
+// delta is ever lost to a crash between ingestion and its epoch.
+//
+// Implementations must be safe for concurrent use. Append must be durable
+// (for the file journal: flushed and synced) before it returns.
+type DeltaJournal interface {
+	// Append journals one batch and returns its LSN.
+	Append(table string, rows [][]algebra.Value) (uint64, error)
+	// Commit acknowledges every record with LSN ≤ lsn; acknowledged records
+	// are never replayed again.
+	Commit(lsn uint64) error
+	// Pending returns the unacknowledged records in LSN order.
+	Pending() ([]DeltaRecord, error)
+	// Close releases the journal's resources.
+	Close() error
+}
+
+// MemJournal is the in-memory DeltaJournal: it survives a simulated crash
+// (abandoning a Server and building a new one over the same journal) but
+// not a process exit. Tests and examples use it; production-shaped runs use
+// the file journal.
+type MemJournal struct {
+	mu        sync.Mutex
+	records   []DeltaRecord
+	nextLSN   uint64
+	committed uint64
+}
+
+// NewMemJournal creates an empty in-memory journal.
+func NewMemJournal() *MemJournal { return &MemJournal{nextLSN: 1} }
+
+// Append journals one batch. The rows are copied shallowly (row slices are
+// shared; the serving layer never mutates ingested rows).
+func (j *MemJournal) Append(table string, rows [][]algebra.Value) (uint64, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	lsn := j.nextLSN
+	j.nextLSN++
+	j.records = append(j.records, DeltaRecord{LSN: lsn, Table: table, Rows: append([][]algebra.Value(nil), rows...)})
+	return lsn, nil
+}
+
+// Commit acknowledges records up to lsn and drops them.
+func (j *MemJournal) Commit(lsn uint64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if lsn > j.committed {
+		j.committed = lsn
+	}
+	keep := j.records[:0]
+	for _, r := range j.records {
+		if r.LSN > j.committed {
+			keep = append(keep, r)
+		}
+	}
+	j.records = keep
+	return nil
+}
+
+// Pending returns the unacknowledged records in LSN order.
+func (j *MemJournal) Pending() ([]DeltaRecord, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]DeltaRecord(nil), j.records...), nil
+}
+
+// Close is a no-op for the in-memory journal.
+func (j *MemJournal) Close() error { return nil }
+
+// journal file format: one JSON object per line, either a delta record
+// ({"t":"d","lsn":N,"table":...,"rows":[[...]]}) or a commit mark
+// ({"t":"c","lsn":N}). Values serialize as {k,i,f,s} with zero fields
+// omitted. The format is append-only; a torn final line (crash mid-append)
+// is detected by its parse failure and discarded on open.
+type journalLine struct {
+	T     string          `json:"t"`
+	LSN   uint64          `json:"lsn"`
+	Table string          `json:"table,omitempty"`
+	Rows  [][]journaleVal `json:"rows,omitempty"`
+}
+
+type journaleVal struct {
+	K int     `json:"k"`
+	I int64   `json:"i,omitempty"`
+	F float64 `json:"f,omitempty"`
+	S string  `json:"s,omitempty"`
+}
+
+func encodeRow(row []algebra.Value) []journaleVal {
+	out := make([]journaleVal, len(row))
+	for i, v := range row {
+		out[i] = journaleVal{K: int(v.Kind), I: v.Int, F: v.Float, S: v.Str}
+	}
+	return out
+}
+
+func decodeRow(row []journaleVal) []algebra.Value {
+	out := make([]algebra.Value, len(row))
+	for i, v := range row {
+		out[i] = algebra.Value{Kind: algebra.Type(v.K), Int: v.I, Float: v.F, Str: v.S}
+	}
+	return out
+}
+
+// FileJournal is the file-backed DeltaJournal: an append-only line-JSON log
+// that is fsynced on every append and commit, and whose open path tolerates
+// a torn final line — the crash-safe write-ahead log proper.
+type FileJournal struct {
+	mu        sync.Mutex
+	f         *os.File
+	nextLSN   uint64
+	committed uint64
+	pending   []DeltaRecord
+}
+
+// OpenFileJournal opens (or creates) the journal at path and recovers its
+// state: records after the last commit mark are pending and will be
+// returned by Pending; a malformed final line — a torn write from a crash —
+// is discarded.
+func OpenFileJournal(path string) (*FileJournal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("engine: opening delta journal: %w", err)
+	}
+	j := &FileJournal{f: f, nextLSN: 1}
+	var goodBytes int64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	for sc.Scan() {
+		raw := sc.Bytes()
+		var line journalLine
+		if err := json.Unmarshal(raw, &line); err != nil {
+			// A torn tail from a crash mid-append: everything before it is
+			// intact; the tail is discarded (truncated below).
+			break
+		}
+		goodBytes += int64(len(raw)) + 1
+		switch line.T {
+		case "d":
+			rows := make([][]algebra.Value, len(line.Rows))
+			for i, r := range line.Rows {
+				rows[i] = decodeRow(r)
+			}
+			j.pending = append(j.pending, DeltaRecord{LSN: line.LSN, Table: line.Table, Rows: rows})
+			if line.LSN >= j.nextLSN {
+				j.nextLSN = line.LSN + 1
+			}
+		case "c":
+			if line.LSN > j.committed {
+				j.committed = line.LSN
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("engine: reading delta journal: %w", err)
+	}
+	if err := f.Truncate(goodBytes); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("engine: truncating torn journal tail: %w", err)
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, err
+	}
+	j.dropCommitted()
+	return j, nil
+}
+
+func (j *FileJournal) dropCommitted() {
+	keep := j.pending[:0]
+	for _, r := range j.pending {
+		if r.LSN > j.committed {
+			keep = append(keep, r)
+		}
+	}
+	j.pending = keep
+}
+
+func (j *FileJournal) appendLine(line journalLine) error {
+	data, err := json.Marshal(line)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if _, err := j.f.Write(data); err != nil {
+		return fmt.Errorf("engine: appending to delta journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("engine: syncing delta journal: %w", err)
+	}
+	return nil
+}
+
+// Append journals one batch durably (write + fsync) before returning.
+func (j *FileJournal) Append(table string, rows [][]algebra.Value) (uint64, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	lsn := j.nextLSN
+	enc := make([][]journaleVal, len(rows))
+	for i, r := range rows {
+		enc[i] = encodeRow(r)
+	}
+	if err := j.appendLine(journalLine{T: "d", LSN: lsn, Table: table, Rows: enc}); err != nil {
+		return 0, err
+	}
+	j.nextLSN++
+	j.pending = append(j.pending, DeltaRecord{LSN: lsn, Table: table, Rows: rows})
+	return lsn, nil
+}
+
+// Commit appends a durable commit mark acknowledging records up to lsn.
+func (j *FileJournal) Commit(lsn uint64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if lsn <= j.committed {
+		return nil
+	}
+	if err := j.appendLine(journalLine{T: "c", LSN: lsn}); err != nil {
+		return err
+	}
+	j.committed = lsn
+	j.dropCommitted()
+	return nil
+}
+
+// Pending returns the unacknowledged records in LSN order.
+func (j *FileJournal) Pending() ([]DeltaRecord, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]DeltaRecord(nil), j.pending...), nil
+}
+
+// Close closes the underlying file.
+func (j *FileJournal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

@@ -39,6 +39,7 @@ import (
 
 	"github.com/warehousekit/mvpp/internal/algebra"
 	"github.com/warehousekit/mvpp/internal/catalog"
+	"github.com/warehousekit/mvpp/internal/fault"
 	"github.com/warehousekit/mvpp/internal/obs"
 )
 
@@ -159,6 +160,12 @@ type DB struct {
 	obsv        obs.Observer
 	blockReads  *obs.Counter
 	blockWrites *obs.Counter
+
+	// inj, when armed via SetInjector, injects faults at the engine's named
+	// sites (Execute, Refresh, IncrementalRefresh, ApplyDeltas). Nil — the
+	// default — injects nothing, following the same nil-off discipline as
+	// obsv.
+	inj *fault.Injector
 }
 
 // SetObserver wires operator-level events and the block-access counters
@@ -169,6 +176,11 @@ func (db *DB) SetObserver(o obs.Observer) {
 	db.blockReads = obs.CounterOf(o, obs.CtrEngineBlockReads)
 	db.blockWrites = obs.CounterOf(o, obs.CtrEngineBlockWrites)
 }
+
+// SetInjector arms fault injection at the engine's named sites (see
+// internal/fault for the site list). A nil injector disables injection
+// again. Like SetObserver, not safe to call concurrently with Execute.
+func (db *DB) SetInjector(in *fault.Injector) { db.inj = in }
 
 // NewDB creates an empty database with the given default blocking factor.
 func NewDB(blockRows int) *DB {

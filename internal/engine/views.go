@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"github.com/warehousekit/mvpp/internal/algebra"
+	"github.com/warehousekit/mvpp/internal/fault"
 )
 
 // MaterializedView is a stored query result with its defining plan. The
@@ -79,6 +80,9 @@ func (db *DB) Materialize(name string, plan algebra.Node) (*MaterializedView, er
 func (db *DB) Refresh(name string) (*Result, error) {
 	v, err := db.View(name)
 	if err != nil {
+		return nil, err
+	}
+	if err := db.inj.Hit(fault.SiteEngineRefresh); err != nil {
 		return nil, err
 	}
 	res, err := db.Execute(v.Plan)

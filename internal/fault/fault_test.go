@@ -1,0 +1,109 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsNoOp(t *testing.T) {
+	var in *Injector
+	if err := in.Hit(SiteEngineExecute); err != nil {
+		t.Fatalf("nil injector returned %v", err)
+	}
+	if c := in.Total(); c != (Counts{}) {
+		t.Fatalf("nil injector counts = %+v", c)
+	}
+	in.Disarm()
+	in.SetRule(SiteEngineRefresh, Rule{ErrProb: 1})
+}
+
+func TestErrProbOneAlwaysFails(t *testing.T) {
+	in := New(1, Plan{SiteEngineRefresh: {ErrProb: 1}})
+	for i := 0; i < 10; i++ {
+		err := in.Hit(SiteEngineRefresh)
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("hit %d: err = %v, want ErrInjected", i, err)
+		}
+	}
+	// Other sites are untouched.
+	if err := in.Hit(SiteEngineExecute); err != nil {
+		t.Fatalf("unconfigured site returned %v", err)
+	}
+	if c := in.SiteCounts(SiteEngineRefresh); c.Errors != 10 {
+		t.Fatalf("site errors = %d, want 10", c.Errors)
+	}
+}
+
+func TestPanicProbOnePanics(t *testing.T) {
+	in := New(1, Plan{SiteServeWorker: {PanicProb: 1}})
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("expected an injected panic")
+		}
+		if c := in.SiteCounts(SiteServeWorker); c.Panics != 1 {
+			t.Fatalf("panics = %d, want 1", c.Panics)
+		}
+	}()
+	in.Hit(SiteServeWorker)
+}
+
+func TestSlowProbDelays(t *testing.T) {
+	in := New(1, Plan{SiteEngineExecute: {SlowProb: 1, Delay: 2 * time.Millisecond}})
+	start := time.Now()
+	if err := in.Hit(SiteEngineExecute); err != nil {
+		t.Fatalf("slow-only rule returned %v", err)
+	}
+	if d := time.Since(start); d < 2*time.Millisecond {
+		t.Fatalf("delay = %v, want ≥ 2ms", d)
+	}
+	if c := in.SiteCounts(SiteEngineExecute); c.Delays != 1 {
+		t.Fatalf("delays = %d, want 1", c.Delays)
+	}
+}
+
+func TestDeterministicAcrossSeeds(t *testing.T) {
+	draw := func(seed int64) []bool {
+		in := New(seed, Plan{SiteEngineRefresh: {ErrProb: 0.5}})
+		out := make([]bool, 40)
+		for i := range out {
+			out[i] = in.Hit(SiteEngineRefresh) != nil
+		}
+		return out
+	}
+	a, b := draw(7), draw(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	c := draw(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+func TestDisarmAndSetRule(t *testing.T) {
+	in := New(1, Plan{SiteEngineRefresh: {ErrProb: 1}})
+	if err := in.Hit(SiteEngineRefresh); err == nil {
+		t.Fatal("armed injector did not fail")
+	}
+	in.Disarm()
+	if err := in.Hit(SiteEngineRefresh); err != nil {
+		t.Fatalf("disarmed injector returned %v", err)
+	}
+	in.SetRule(SiteEngineApplyDeltas, Rule{ErrProb: 1})
+	if err := in.Hit(SiteEngineApplyDeltas); !errors.Is(err, ErrInjected) {
+		t.Fatalf("SetRule site returned %v, want ErrInjected", err)
+	}
+	if total := in.Total(); total.Errors != 2 {
+		t.Fatalf("total errors = %d, want 2", total.Errors)
+	}
+}

@@ -78,6 +78,26 @@ const (
 	// EvServeSwap fires when advice is applied to the live warehouse
 	// (attrs: added, dropped, epoch).
 	EvServeSwap EventKind = "serve.swap"
+	// EvFault fires when the fault injector injects a failure (attrs:
+	// site, kind — "error", "panic" or "delay").
+	EvFault EventKind = "fault.injected"
+	// EvServeRetry fires before each refresh retry attempt (attrs: target,
+	// attempt, error).
+	EvServeRetry EventKind = "serve.retry"
+	// EvServeFallback fires when an incremental refresh exhausts its
+	// retries and the scheduler falls back to full recomputation (attrs:
+	// view, error).
+	EvServeFallback EventKind = "serve.fallback"
+	// EvServeBreaker fires on each per-view circuit-breaker transition
+	// (attrs: view, from, to, reason).
+	EvServeBreaker EventKind = "serve.breaker"
+	// EvServeDegraded fires when a query degrades to the base-relation plan
+	// because a view it would read is unhealthy or too stale (attrs:
+	// views).
+	EvServeDegraded EventKind = "serve.degraded"
+	// EvServeJournal fires on delta-journal activity (attrs: action —
+	// "replay" or "commit" — records, rows or lsn).
+	EvServeJournal EventKind = "serve.journal"
 )
 
 // Canonical counter names. Call sites resolve them once via CounterOf (or
@@ -124,6 +144,30 @@ const (
 	// scheduler's view refreshes spent.
 	CtrServeRefreshReads  = "serve.refresh_reads"
 	CtrServeRefreshWrites = "serve.refresh_writes"
+	// CtrFaultsInjected counts faults the injector actually injected
+	// (errors + panics + delays).
+	CtrFaultsInjected = "fault.injected"
+	// CtrServeRetries counts refresh retry attempts (beyond each first
+	// attempt).
+	CtrServeRetries = "serve.retries"
+	// CtrServeRefreshFailures counts view refreshes that failed after
+	// exhausting their retries.
+	CtrServeRefreshFailures = "serve.refresh_failures"
+	// CtrServeFallbacks counts incremental refreshes that fell back to full
+	// recomputation after repeated delta-application failures.
+	CtrServeFallbacks = "serve.fallbacks"
+	// CtrServeBreakerTrips counts per-view circuit-breaker trips (closed or
+	// half-open → open).
+	CtrServeBreakerTrips = "serve.breaker_trips"
+	// CtrServeDegraded counts queries answered from base relations because
+	// a view they would read was unhealthy or past its staleness bound.
+	CtrServeDegraded = "serve.degraded_queries"
+	// CtrServePanics counts panics recovered in router workers and the
+	// maintenance scheduler.
+	CtrServePanics = "serve.panics_recovered"
+	// CtrServeReplayedRows counts delta rows replayed from the journal at
+	// server start.
+	CtrServeReplayedRows = "serve.replayed_rows"
 )
 
 // Canonical gauge names for the serving layer.
@@ -133,6 +177,9 @@ const (
 	// GaugeServeStaleRows is the total number of ingested delta rows not yet
 	// reflected in the materialized views.
 	GaugeServeStaleRows = "serve.stale_rows"
+	// GaugeServeUnhealthyViews is the number of views whose circuit breaker
+	// is currently not closed.
+	GaugeServeUnhealthyViews = "serve.unhealthy_views"
 )
 
 // Observer receives spans, events, and hosts the metrics registry. A nil

@@ -10,6 +10,7 @@ import (
 	"github.com/warehousekit/mvpp/internal/algebra"
 	"github.com/warehousekit/mvpp/internal/core"
 	"github.com/warehousekit/mvpp/internal/engine"
+	"github.com/warehousekit/mvpp/internal/fault"
 	"github.com/warehousekit/mvpp/internal/obs"
 )
 
@@ -23,8 +24,22 @@ type Staleness struct {
 	// refreshed since serving started).
 	Epoch uint64
 	// PendingRows counts ingested base-table rows the view does not
-	// reflect yet.
+	// reflect yet. Buffered rows are invisible to every plan (views and
+	// base alike); LagRows is the part that actually skews answers.
 	PendingRows int
+	// LagRows counts rows already applied to the base tables that the
+	// stored view does not reflect — the debt of failed refreshes. The
+	// breaker's staleness bound tests against it.
+	LagRows int
+	// Breaker is the circuit breaker position ("closed", "open",
+	// "half-open"); ConsecutiveFailures counts persistent refresh failures
+	// since the last success; Degrading reports whether queries over the
+	// view are currently answered from base relations; LastError is the
+	// most recent refresh failure ("" when healthy).
+	Breaker             string
+	ConsecutiveFailures int
+	Degrading           bool
+	LastError           string
 	// LastRefresh is when the scheduler last refreshed the view (zero if
 	// never).
 	LastRefresh time.Time
@@ -42,6 +57,23 @@ type viewState struct {
 	epoch       uint64
 	lastRefresh time.Time
 	pending     int
+
+	// lag counts rows already applied to the view's base relations that
+	// the stored view does not reflect (a refresh failed after the apply);
+	// failures/state/openedAt/lastErr are the circuit breaker: failures
+	// counts consecutive persistent refresh failures, state the breaker
+	// position, openedAt when it last opened.
+	lag      int
+	failures int
+	state    BreakerState
+	openedAt time.Time
+	lastErr  string
+}
+
+// degrading reports whether queries over the view must be answered from
+// base relations right now. Caller holds the scheduler mutex.
+func (vs *viewState) degrading(p BreakerPolicy) bool {
+	return vs.state != BreakerClosed || (p.StalenessBound > 0 && vs.lag > p.StalenessBound)
 }
 
 // scheduler buffers ingested delta rows and turns them into maintenance
@@ -49,17 +81,23 @@ type viewState struct {
 // an epoch synchronously. All engine maintenance happens under the server's
 // maintMu.
 type scheduler struct {
-	s     *Server
-	batch int
-	kick  chan struct{}
+	s       *Server
+	batch   int
+	kick    chan struct{}
+	breaker BreakerPolicy
+	journal engine.DeltaJournal
 
 	ticker *time.Ticker
 
-	// mu guards the delta buffer and the view registry.
+	// mu guards the delta buffer, the view registry, and the journal
+	// watermark.
 	mu      sync.Mutex
 	buf     map[string][][]algebra.Value
 	bufRows int
 	views   map[string]*viewState
+	// appendLSN is the highest journal LSN whose rows are buffered; take()
+	// captures it as the commit watermark for the epoch that lands them.
+	appendLSN uint64
 }
 
 func newScheduler(s *Server, cfg Config) (*scheduler, error) {
@@ -68,11 +106,13 @@ func newScheduler(s *Server, cfg Config) (*scheduler, error) {
 		batch = DefaultDeltaBatch
 	}
 	sc := &scheduler{
-		s:     s,
-		batch: batch,
-		kick:  make(chan struct{}, 1),
-		buf:   make(map[string][][]algebra.Value),
-		views: make(map[string]*viewState, len(cfg.Views)),
+		s:       s,
+		batch:   batch,
+		kick:    make(chan struct{}, 1),
+		breaker: cfg.Breaker.withDefaults(),
+		journal: cfg.Journal,
+		buf:     make(map[string][][]algebra.Value),
+		views:   make(map[string]*viewState, len(cfg.Views)),
 	}
 	if cfg.RefreshInterval > 0 {
 		sc.ticker = time.NewTicker(cfg.RefreshInterval)
@@ -137,8 +177,8 @@ func (sc *scheduler) loop() {
 		case <-sc.kick:
 		case <-tick:
 		}
-		// A failed epoch is a server-level defect; surface it through the
-		// observer rather than dying silently.
+		// A failed epoch is retried by the next kick or tick; surface it
+		// through the observer rather than dying silently.
 		if err := sc.s.runEpoch(); err != nil {
 			obs.Emit(sc.s.obsv, obs.EvServeEpoch, obs.String("error", err.Error()))
 		}
@@ -153,7 +193,14 @@ func (sc *scheduler) stopTicker() {
 
 // Ingest stages delta rows for a base table. The rows become visible only
 // when the next maintenance epoch lands (batch filled, timer, or Flush).
+// With a journal configured, the batch is journaled durably before it is
+// buffered; a journaling failure refuses the ingestion entirely, so every
+// accepted batch is recoverable.
 func (s *Server) Ingest(table string, rows ...[]algebra.Value) error {
+	return s.ingest(table, rows, true)
+}
+
+func (s *Server) ingest(table string, rows [][]algebra.Value, journal bool) error {
 	select {
 	case <-s.closed:
 		return ErrClosed
@@ -171,6 +218,16 @@ func (s *Server) Ingest(table string, rows ...[]algebra.Value) error {
 	}
 	sc := s.sched
 	sc.mu.Lock()
+	if journal && sc.journal != nil {
+		// Write-ahead under the buffer lock, so the commit watermark taken
+		// by an epoch always covers exactly the rows it stages.
+		lsn, err := sc.journal.Append(table, rows)
+		if err != nil {
+			sc.mu.Unlock()
+			return fmt.Errorf("serve: journaling deltas: %w", err)
+		}
+		sc.appendLSN = lsn
+	}
 	sc.buf[table] = append(sc.buf[table], rows...)
 	sc.bufRows += len(rows)
 	for _, vs := range sc.views {
@@ -194,11 +251,60 @@ func (s *Server) Ingest(table string, rows ...[]algebra.Value) error {
 	return nil
 }
 
-// Flush synchronously runs one maintenance epoch over everything ingested
-// so far (a no-op when nothing is pending).
-func (s *Server) Flush() error { return s.runEpoch() }
+// replayJournal re-ingests the journal's unacknowledged delta batches — the
+// rows a crashed predecessor accepted but whose epoch never landed. Called
+// by newServer before the workers and the scheduler loop start; the rows
+// land with the first epoch and are acknowledged then.
+func (s *Server) replayJournal() error {
+	sc := s.sched
+	if sc.journal == nil {
+		return nil
+	}
+	pending, err := sc.journal.Pending()
+	if err != nil {
+		return fmt.Errorf("serve: reading journal for replay: %w", err)
+	}
+	var replayed int64
+	var maxLSN uint64
+	for _, rec := range pending {
+		if err := s.ingest(rec.Table, rec.Rows, false); err != nil {
+			return fmt.Errorf("serve: replaying journaled deltas for %s (LSN %d): %w", rec.Table, rec.LSN, err)
+		}
+		replayed += int64(len(rec.Rows))
+		if rec.LSN > maxLSN {
+			maxLSN = rec.LSN
+		}
+	}
+	if replayed == 0 {
+		return nil
+	}
+	sc.mu.Lock()
+	if maxLSN > sc.appendLSN {
+		sc.appendLSN = maxLSN
+	}
+	sc.mu.Unlock()
+	s.stats.replayedRows.Add(replayed)
+	s.ctrReplayed.Add(replayed)
+	obs.Emit(s.obsv, obs.EvServeJournal,
+		obs.String("action", "replay"),
+		obs.Int("rows", replayed),
+		obs.Int("batches", int64(len(pending))))
+	return nil
+}
 
-// Staleness reports each maintained view's lag behind the ingested deltas.
+// Flush synchronously runs one maintenance epoch over everything ingested
+// so far (a no-op when nothing is pending and every view is healthy).
+func (s *Server) Flush() error {
+	select {
+	case <-s.closed:
+		return ErrClosed
+	default:
+	}
+	return s.runEpoch()
+}
+
+// Staleness reports each maintained view's lag behind the ingested deltas
+// and its fault-tolerance status.
 func (s *Server) Staleness() map[string]Staleness {
 	sc := s.sched
 	sc.mu.Lock()
@@ -206,10 +312,15 @@ func (s *Server) Staleness() map[string]Staleness {
 	out := make(map[string]Staleness, len(sc.views))
 	for name, vs := range sc.views {
 		out[name] = Staleness{
-			Strategy:    vs.strategy.String(),
-			Epoch:       vs.epoch,
-			PendingRows: vs.pending,
-			LastRefresh: vs.lastRefresh,
+			Strategy:            vs.strategy.String(),
+			Epoch:               vs.epoch,
+			PendingRows:         vs.pending,
+			LagRows:             vs.lag,
+			Breaker:             vs.state.String(),
+			ConsecutiveFailures: vs.failures,
+			Degrading:           vs.degrading(sc.breaker),
+			LastError:           vs.lastErr,
+			LastRefresh:         vs.lastRefresh,
 		}
 	}
 	return out
@@ -236,29 +347,90 @@ func (sc *scheduler) totalPendingLocked() int {
 	return total
 }
 
-// take removes and returns the staged buffer.
-func (sc *scheduler) take() (map[string][][]algebra.Value, int) {
+// hasWork reports whether an epoch has anything to do: buffered rows to
+// land, or a view needing recovery (open/half-open breaker, or lag left by
+// a failed refresh).
+func (sc *scheduler) hasWork() bool {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.bufRows > 0 {
+		return true
+	}
+	for _, vs := range sc.views {
+		if vs.lag > 0 || vs.state != BreakerClosed {
+			return true
+		}
+	}
+	return false
+}
+
+// take removes and returns the staged buffer plus the journal commit
+// watermark covering it.
+func (sc *scheduler) take() (map[string][][]algebra.Value, int, uint64) {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
 	staged, n := sc.buf, sc.bufRows
 	sc.buf = make(map[string][][]algebra.Value)
 	sc.bufRows = 0
-	return staged, n
+	return staged, n, sc.appendLSN
 }
 
-// runEpoch is one maintenance epoch: stage the buffered rows as engine
-// deltas, refresh every affected view by its strategy (incremental views by
-// delta propagation before the deltas fold into the base tables, recompute
-// views after), advance the epoch, and invalidate the result cache.
+// runEpoch is one maintenance epoch, panic-guarded: a panicking refresh
+// (injected or real) is recovered into an error so the scheduler loop — and
+// with it the whole serving layer — survives.
 func (s *Server) runEpoch() error {
 	s.maintMu.Lock()
 	defer s.maintMu.Unlock()
-	sc := s.sched
+	var err error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				s.stats.panics.Add(1)
+				s.ctrPanics.Inc()
+				err = fmt.Errorf("serve: maintenance epoch recovered from panic: %v", r)
+			}
+		}()
+		err = s.runEpochLocked()
+	}()
+	return err
+}
 
-	staged, n := sc.take()
-	if n == 0 && !s.enginePendingDeltas() {
+// breakerChange is one circuit-breaker transition recorded during an epoch
+// (events are emitted after the registry lock is released).
+type breakerChange struct {
+	view     string
+	from, to BreakerState
+	reason   string
+}
+
+// runEpochLocked is one maintenance epoch: stage the buffered rows as
+// engine deltas, refresh every affected view by its strategy (incremental
+// views by delta propagation before the deltas fold into the base tables,
+// recompute views after), advance the epoch, and invalidate the result
+// cache. Fault tolerance around that spine:
+//
+//   - every refresh step runs under the retry policy (backoff + jitter);
+//   - an incremental refresh that stays failed falls back to recomputation;
+//   - a recompute that stays failed leaves the view behind — its lag grows
+//     by the rows applied this epoch — and feeds the circuit breaker: at
+//     FailureThreshold consecutive failures the breaker opens, queries
+//     degrade to base relations, and refresh attempts pause until Cooldown
+//     elapses, after which one half-open probe recomputes the view;
+//   - only a persistent ApplyDeltas failure aborts the whole epoch: the
+//     deltas stay pending in the engine (propagation watermarks prevent
+//     double-application) and the next epoch retries;
+//   - the journal watermark is acknowledged only after ApplyDeltas lands.
+func (s *Server) runEpochLocked() error {
+	sc := s.sched
+	if !sc.hasWork() && !s.enginePendingDeltas() {
 		return nil
 	}
+	if err := s.inj.Hit(fault.SiteServeEpoch); err != nil {
+		// Injected before anything is staged: the buffered rows survive for
+		// the next epoch.
+		return err
+	}
+	staged, n, ackLSN := sc.take()
 	sp := obs.Start(s.obsv, "serve.epoch", obs.Int("delta_rows", int64(n)))
 	defer obs.End(sp)
 
@@ -274,14 +446,27 @@ func (s *Server) runEpoch() error {
 	}
 
 	// The fu-driven filter: only views whose base relations gained deltas
-	// refresh this epoch.
+	// refresh this epoch. appliedByTable remembers how many rows are about
+	// to fold into each table — the lag a skipped or failed view accrues.
 	dirty := make(map[string]bool)
+	appliedByTable := make(map[string]int)
 	for _, name := range s.db.Tables() {
-		if s.db.PendingDeltaRows(name) > 0 {
+		if rows := s.db.PendingDeltaRows(name); rows > 0 {
 			dirty[name] = true
+			appliedByTable[name] = rows
 		}
 	}
-	var incremental, recompute []string
+	appliedFor := func(vs *viewState) int {
+		total := 0
+		for rel := range vs.rels {
+			total += appliedByTable[rel]
+		}
+		return total
+	}
+
+	now := time.Now()
+	var incremental, recompute, skipped []string
+	var changes []breakerChange
 	sc.mu.Lock()
 	for name, vs := range sc.views {
 		affected := false
@@ -291,44 +476,107 @@ func (s *Server) runEpoch() error {
 				break
 			}
 		}
-		if !affected {
-			continue
-		}
-		if vs.strategy == core.MaintIncremental {
+		switch {
+		case vs.state == BreakerOpen && now.Sub(vs.openedAt) < sc.breaker.Cooldown:
+			// Open and still cooling: no refresh attempt; the view's lag
+			// grows by whatever folds into its relations this epoch.
+			if affected {
+				skipped = append(skipped, name)
+			}
+		case vs.state == BreakerOpen || vs.state == BreakerHalfOpen:
+			// Cooldown elapsed: half-open probe — one full recompute.
+			if vs.state != BreakerHalfOpen {
+				changes = append(changes, breakerChange{view: name, from: vs.state, to: BreakerHalfOpen, reason: "cooldown elapsed"})
+				vs.state = BreakerHalfOpen
+			}
+			recompute = append(recompute, name)
+		case vs.lag > 0:
+			// A failed refresh left the view behind the base tables; catch
+			// up by recomputation even if no new delta touches it.
+			recompute = append(recompute, name)
+		case !affected:
+		case vs.strategy == core.MaintIncremental:
 			incremental = append(incremental, name)
-		} else {
+		default:
 			recompute = append(recompute, name)
 		}
 	}
 	sc.mu.Unlock()
 	sort.Strings(incremental)
-	sort.Strings(recompute)
+	sort.Strings(skipped)
+
+	// outcome of every attempted refresh; breaker bookkeeping happens in
+	// one registry pass after the epoch's engine work is done.
+	outcomes := make(map[string]error)
 
 	var reads, writes int64
 	incDone := 0
 	for _, name := range incremental {
-		res, err := s.db.IncrementalRefresh(name)
+		res, err := s.retryRefresh(s.baseCtx, "incremental refresh of "+name, func() (*engine.Result, error) {
+			return s.db.IncrementalRefresh(name)
+		})
 		if errors.Is(err, engine.ErrNotIncremental) {
 			// The design promised delta propagation but the plan cannot be
-			// maintained that way — fall back to recomputation.
+			// maintained that way — fall back to recomputation (not a
+			// fault, not retried).
 			recompute = append(recompute, name)
 			continue
 		}
 		if err != nil {
-			return err
+			// Persistently failed delta propagation: fall back to a full
+			// recompute after the deltas land.
+			s.stats.fallbacks.Add(1)
+			s.ctrFallbacks.Inc()
+			obs.Emit(s.obsv, obs.EvServeFallback,
+				obs.String("view", name), obs.String("error", err.Error()))
+			recompute = append(recompute, name)
+			continue
 		}
 		incDone++
+		outcomes[name] = nil
 		reads += res.TotalReads()
 		writes += res.TotalWrites()
 	}
-	if err := s.db.ApplyDeltas(); err != nil {
-		return err
-	}
-	for _, name := range recompute {
-		res, err := s.db.Refresh(name)
-		if err != nil {
-			return err
+	sort.Strings(recompute)
+
+	if _, err := s.retryRefresh(s.baseCtx, "delta application", func() (*engine.Result, error) {
+		return nil, s.db.ApplyDeltas()
+	}); err != nil {
+		// Aborting here keeps the deltas pending in the engine — nothing is
+		// lost, the journal watermark stays unacknowledged, and the next
+		// epoch retries. Any view already swapped by an incremental refresh
+		// above changed what queries can see, so the epoch still advances
+		// and the cache empties.
+		s.stats.refreshFailures.Add(1)
+		s.ctrRefreshFail.Inc()
+		if incDone > 0 {
+			s.epoch.Add(1)
+			s.cache.invalidate()
 		}
+		return fmt.Errorf("serve: applying deltas: %w", err)
+	}
+	if sc.journal != nil && ackLSN > 0 {
+		if err := sc.journal.Commit(ackLSN); err != nil {
+			// The rows are applied; a commit failure only risks a duplicate
+			// replay after a crash. Surface it and carry on.
+			obs.Emit(s.obsv, obs.EvServeJournal,
+				obs.String("action", "commit"), obs.String("error", err.Error()))
+		}
+	}
+
+	recomputed := 0
+	for _, name := range recompute {
+		res, err := s.retryRefresh(s.baseCtx, "refresh of "+name, func() (*engine.Result, error) {
+			return s.db.Refresh(name)
+		})
+		if err != nil {
+			s.stats.refreshFailures.Add(1)
+			s.ctrRefreshFail.Inc()
+			outcomes[name] = err
+			continue
+		}
+		recomputed++
+		outcomes[name] = nil
 		reads += res.TotalReads()
 		writes += res.TotalWrites()
 	}
@@ -336,38 +584,94 @@ func (s *Server) runEpoch() error {
 	epoch := s.epoch.Add(1)
 	s.cache.invalidate()
 
-	now := time.Now()
-	refreshed := append(append([]string(nil), incremental...), recompute...)
-	var stale int
+	now = time.Now()
+	var stale, unhealthy int
 	sc.mu.Lock()
-	for _, name := range refreshed {
+	for _, name := range skipped {
 		if vs, ok := sc.views[name]; ok {
-			vs.epoch = epoch
-			vs.lastRefresh = now
-			vs.pending = 0
+			vs.lag += appliedFor(vs)
 		}
 	}
-	stale = 0
+	for name, refreshErr := range outcomes {
+		vs, ok := sc.views[name]
+		if !ok {
+			continue
+		}
+		if refreshErr == nil {
+			if vs.state != BreakerClosed {
+				changes = append(changes, breakerChange{view: name, from: vs.state, to: BreakerClosed, reason: "refresh succeeded"})
+				vs.state = BreakerClosed
+			}
+			vs.failures = 0
+			vs.lag = 0
+			vs.lastErr = ""
+			vs.epoch = epoch
+			vs.lastRefresh = now
+			// Rows ingested while this epoch ran are still buffered; they
+			// are the view's remaining pending count.
+			pending := 0
+			for rel := range vs.rels {
+				pending += len(sc.buf[rel])
+			}
+			vs.pending = pending
+			continue
+		}
+		vs.failures++
+		vs.lastErr = refreshErr.Error()
+		vs.lag += appliedFor(vs)
+		switch {
+		case vs.state == BreakerHalfOpen:
+			// The probe failed: back to open, restart the cooldown.
+			changes = append(changes, breakerChange{view: name, from: BreakerHalfOpen, to: BreakerOpen, reason: refreshErr.Error()})
+			vs.state = BreakerOpen
+			vs.openedAt = now
+		case vs.state == BreakerClosed && vs.failures >= sc.breaker.FailureThreshold:
+			changes = append(changes, breakerChange{view: name, from: BreakerClosed, to: BreakerOpen, reason: refreshErr.Error()})
+			vs.state = BreakerOpen
+			vs.openedAt = now
+		}
+	}
 	for _, vs := range sc.views {
 		stale += vs.pending
+		if vs.degrading(sc.breaker) {
+			unhealthy++
+		}
 	}
 	sc.mu.Unlock()
 
+	trips := 0
+	for _, ch := range changes {
+		if ch.to == BreakerOpen {
+			trips++
+		}
+		obs.Emit(s.obsv, obs.EvServeBreaker,
+			obs.String("view", ch.view),
+			obs.String("from", ch.from.String()),
+			obs.String("to", ch.to.String()),
+			obs.String("reason", ch.reason))
+	}
+	if trips > 0 {
+		s.stats.breakerTrips.Add(int64(trips))
+		s.ctrBreakerTrips.Add(int64(trips))
+	}
+
 	s.stats.epochs.Add(1)
 	s.stats.incRefreshes.Add(int64(incDone))
-	s.stats.recomputes.Add(int64(len(recompute)))
+	s.stats.recomputes.Add(int64(recomputed))
 	s.stats.refreshReads.Add(reads)
 	s.stats.refreshWrites.Add(writes)
 	s.ctrEpochs.Inc()
 	s.ctrRefreshR.Add(reads)
 	s.ctrRefreshW.Add(writes)
 	s.gStaleRows.Set(float64(stale))
+	s.gUnhealthy.Set(float64(unhealthy))
 
 	obs.Emit(s.obsv, obs.EvServeEpoch,
 		obs.Int("epoch", int64(epoch)),
 		obs.Int("delta_rows", int64(n)),
 		obs.Int("incremental", int64(incDone)),
-		obs.Int("recomputed", int64(len(recompute))),
+		obs.Int("recomputed", int64(recomputed)),
+		obs.Int("failed", int64(len(outcomes)-incDone-recomputed)),
 		obs.Int("reads", reads),
 		obs.Int("writes", writes))
 	return nil

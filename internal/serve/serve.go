@@ -22,6 +22,16 @@
 //     re-fed to the paper's Figure 9 selection, and a proposed new view set
 //     can be hot-swapped into the running warehouse.
 //
+// The serving layer is fault-tolerant: every refresh step retries with
+// exponential backoff, a view whose incremental refresh keeps failing falls
+// back to full recomputation, a per-view circuit breaker degrades queries
+// to the base-relation plan when a view is unhealthy or too stale (with
+// half-open probing for recovery), worker and scheduler panics are
+// recovered, and an optional write-ahead delta journal makes ingestion
+// crash-safe — no acknowledged delta is lost between ingestion and the
+// epoch that lands it. Faults are injected for testing via internal/fault
+// (Config.Injector).
+//
 // Concurrency: readers run against immutable table epochs (the engine's
 // many-readers/one-maintainer contract); everything maintenance-side —
 // scheduler epochs and advice swaps — serializes on one mutex, making the
@@ -32,6 +42,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -41,6 +53,7 @@ import (
 	"github.com/warehousekit/mvpp/internal/core"
 	"github.com/warehousekit/mvpp/internal/cost"
 	"github.com/warehousekit/mvpp/internal/engine"
+	"github.com/warehousekit/mvpp/internal/fault"
 	"github.com/warehousekit/mvpp/internal/obs"
 )
 
@@ -109,6 +122,22 @@ type Config struct {
 	// RefreshInterval, when positive, also fires an epoch periodically even
 	// if the batch has not filled.
 	RefreshInterval time.Duration
+	// Retry bounds the backoff loop around every refresh step; zero values
+	// take the defaults.
+	Retry RetryPolicy
+	// Breaker configures the per-view circuit breaker; zero values take the
+	// defaults (StalenessBound 0 disables the staleness trigger).
+	Breaker BreakerPolicy
+	// Journal, when set, write-ahead-logs every ingested delta batch: rows
+	// are journaled before they are buffered, acknowledged only after their
+	// maintenance epoch lands them in the base tables, and replayed by New
+	// when a server is rebuilt over the same journal after a crash. The
+	// caller owns the journal's lifetime (the server never closes it).
+	Journal engine.DeltaJournal
+	// Injector, when set, arms fault injection at the serving layer's sites
+	// (worker execution, epoch start). Arm the same injector on the DB via
+	// SetInjector to cover the engine sites too. Nil injects nothing.
+	Injector *fault.Injector
 	// Obs receives serving spans, events, counters and gauges. Nil
 	// disables instrumentation.
 	Obs obs.Observer
@@ -122,6 +151,12 @@ type Result struct {
 	Reads int64
 	// Cached reports whether the result came from the cache.
 	Cached bool
+	// Degraded reports that the circuit breaker answered this query from
+	// base relations because a materialized view it would have used is
+	// unhealthy or beyond its staleness bound. Degraded results are always
+	// fresh (they see every applied delta) but cost the paper's Ca(q)
+	// instead of the view-assisted cost.
+	Degraded bool
 	// Epoch is the refresh epoch the result was computed under.
 	Epoch uint64
 	// Latency is the wall-clock time from submission to answer.
@@ -129,9 +164,14 @@ type Result struct {
 }
 
 type request struct {
+	ctx  context.Context
 	plan algebra.Node
 	key  string
 	done chan response
+	// rejected dedupes admission-control accounting: the submitter (context
+	// expired while waiting) and the worker (context expired while queued)
+	// may both notice the rejection, but it is counted once.
+	rejected atomic.Bool
 }
 
 type response struct {
@@ -162,6 +202,18 @@ type Server struct {
 	closed    chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
+	// inflight counts Submit calls between entry and return; Close drains
+	// stragglers (admitted after the workers exited) until it reaches zero.
+	inflight atomic.Int64
+	// baseCtx is cancelled by Close so retry backoff sleeps abort promptly.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	inj   *fault.Injector
+	retry RetryPolicy
+	// jmu/jrng is the seeded jitter source for retry backoff.
+	jmu  sync.Mutex
+	jrng *rand.Rand
 
 	// maintMu serializes everything maintenance-side — scheduler epochs and
 	// advice swaps — honoring the engine's one-maintainer contract.
@@ -178,18 +230,25 @@ type Server struct {
 	obsv                                              obs.Observer
 	ctrQueries, ctrHits, ctrMisses, ctrRejected       *obs.Counter
 	ctrEpochs, ctrDeltaRows, ctrRefreshR, ctrRefreshW *obs.Counter
-	gQueueDepth, gStaleRows                           *obs.Gauge
+	ctrRetries, ctrRefreshFail, ctrFallbacks          *obs.Counter
+	ctrBreakerTrips, ctrDegraded, ctrPanics           *obs.Counter
+	ctrReplayed                                       *obs.Counter
+	gQueueDepth, gStaleRows, gUnhealthy               *obs.Gauge
 }
 
 type serverStats struct {
 	queries, hits, misses, rejected, backpressured atomic.Int64
 	epochs, incRefreshes, recomputes, deltaRows    atomic.Int64
 	refreshReads, refreshWrites                    atomic.Int64
+	retries, refreshFailures, fallbacks            atomic.Int64
+	breakerTrips, degraded, panics, replayedRows   atomic.Int64
 	lat                                            latencyHist
 }
 
 // New builds and starts a server: the worker pool and the maintenance
-// scheduler begin running immediately.
+// scheduler begin running immediately. When Config.Journal holds
+// unacknowledged delta batches from a crashed predecessor, they are
+// re-ingested before serving starts and land with the first epoch.
 func New(cfg Config) (*Server, error) {
 	s, err := newServer(cfg)
 	if err != nil {
@@ -230,9 +289,13 @@ func newServer(cfg Config) (*Server, error) {
 		cache:      newResultCache(cacheCap),
 		queue:      make(chan *request, queueDepth),
 		closed:     make(chan struct{}),
+		inj:        cfg.Injector,
+		retry:      cfg.Retry.withDefaults(),
+		jrng:       rand.New(rand.NewSource(1)),
 		start:      time.Now(),
 		obsv:       cfg.Obs,
 	}
+	s.baseCtx, s.cancel = context.WithCancel(context.Background())
 	for _, q := range cfg.Queries {
 		if q.Name == "" || q.Plan == nil {
 			return nil, errors.New("serve: query specs need a name and a plan")
@@ -257,9 +320,21 @@ func newServer(cfg Config) (*Server, error) {
 	s.ctrDeltaRows = obs.CounterOf(cfg.Obs, obs.CtrServeDeltaRows)
 	s.ctrRefreshR = obs.CounterOf(cfg.Obs, obs.CtrServeRefreshReads)
 	s.ctrRefreshW = obs.CounterOf(cfg.Obs, obs.CtrServeRefreshWrites)
+	s.ctrRetries = obs.CounterOf(cfg.Obs, obs.CtrServeRetries)
+	s.ctrRefreshFail = obs.CounterOf(cfg.Obs, obs.CtrServeRefreshFailures)
+	s.ctrFallbacks = obs.CounterOf(cfg.Obs, obs.CtrServeFallbacks)
+	s.ctrBreakerTrips = obs.CounterOf(cfg.Obs, obs.CtrServeBreakerTrips)
+	s.ctrDegraded = obs.CounterOf(cfg.Obs, obs.CtrServeDegraded)
+	s.ctrPanics = obs.CounterOf(cfg.Obs, obs.CtrServePanics)
+	s.ctrReplayed = obs.CounterOf(cfg.Obs, obs.CtrServeReplayedRows)
 	if reg := obs.RegistryOf(cfg.Obs); reg != nil {
 		s.gQueueDepth = reg.Gauge(obs.GaugeServeQueueDepth)
 		s.gStaleRows = reg.Gauge(obs.GaugeServeStaleRows)
+		s.gUnhealthy = reg.Gauge(obs.GaugeServeUnhealthyViews)
+	}
+
+	if err := s.replayJournal(); err != nil {
+		return nil, err
 	}
 	return s, nil
 }
@@ -287,11 +362,26 @@ func (s *Server) QueryNames() []string {
 	return append([]string(nil), s.order...)
 }
 
+// rejectOnce counts an admission-control rejection exactly once per
+// request, no matter whether the submitter or the worker noticed it first.
+func (s *Server) rejectOnce(req *request) {
+	if req.rejected.CompareAndSwap(false, true) {
+		s.stats.rejected.Add(1)
+		s.ctrRejected.Inc()
+	}
+}
+
 // Submit answers an ad-hoc plan: cache, then the worker pool, which
 // executes the plan rewritten over the current materialized views. A full
 // queue blocks the caller (backpressure) until a slot frees or ctx expires
-// (rejection).
+// (rejection). Submitting to a closed server — or racing with Close —
+// returns ErrClosed.
 func (s *Server) Submit(ctx context.Context, plan algebra.Node) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
 	select {
 	case <-s.closed:
 		return nil, ErrClosed
@@ -312,7 +402,7 @@ func (s *Server) Submit(ctx context.Context, plan algebra.Node) (*Result, error)
 	s.stats.misses.Add(1)
 	s.ctrMisses.Inc()
 
-	req := &request{plan: plan, key: key, done: make(chan response, 1)}
+	req := &request{ctx: ctx, plan: plan, key: key, done: make(chan response, 1)}
 	select {
 	case s.queue <- req:
 	default:
@@ -322,8 +412,7 @@ func (s *Server) Submit(ctx context.Context, plan algebra.Node) (*Result, error)
 		select {
 		case s.queue <- req:
 		case <-ctx.Done():
-			s.stats.rejected.Add(1)
-			s.ctrRejected.Inc()
+			s.rejectOnce(req)
 			return nil, fmt.Errorf("%w: %v", ErrRejected, ctx.Err())
 		case <-s.closed:
 			return nil, ErrClosed
@@ -343,8 +432,7 @@ func (s *Server) Submit(ctx context.Context, plan algebra.Node) (*Result, error)
 		// The request is already admitted; the worker will complete it into
 		// the buffered channel (and populate the cache), but this caller is
 		// done waiting.
-		s.stats.rejected.Add(1)
-		s.ctrRejected.Inc()
+		s.rejectOnce(req)
 		return nil, fmt.Errorf("%w: %v", ErrRejected, ctx.Err())
 	}
 }
@@ -372,10 +460,41 @@ func (s *Server) worker() {
 
 // handle executes one admitted request against the current view epoch.
 func (s *Server) handle(req *request) {
+	// A caller that expired while queued gets an admission-control answer
+	// instead of burning the worker on a result nobody is waiting for.
+	if err := req.ctx.Err(); err != nil {
+		s.rejectOnce(req)
+		req.done <- response{err: fmt.Errorf("%w: %v", ErrRejected, err)}
+		return
+	}
+	// A panicking execution (injected or real) must not take the worker
+	// down with it: the pool's size is the serving capacity.
+	defer func() {
+		if r := recover(); r != nil {
+			s.stats.panics.Add(1)
+			s.ctrPanics.Inc()
+			req.done <- response{err: fmt.Errorf("serve: query worker recovered from panic: %v", r)}
+		}
+	}()
+	if err := s.inj.Hit(fault.SiteServeWorker); err != nil {
+		req.done <- response{err: err}
+		return
+	}
 	epoch := s.epoch.Load()
 	rewritten := s.db.RewriteWithViewsSubsuming(req.plan)
+	degraded := false
+	if names := s.unhealthyViewsIn(rewritten); len(names) > 0 {
+		// Circuit breaker: the rewritten plan reads a view that is unhealthy
+		// or beyond its staleness bound. Answer from the original plan over
+		// base relations — always fresh, at the paper's Ca(q) cost.
+		rewritten = req.plan
+		degraded = true
+		s.stats.degraded.Add(1)
+		s.ctrDegraded.Inc()
+		obs.Emit(s.obsv, obs.EvServeDegraded, obs.String("views", strings.Join(names, ",")))
+	}
 	res, err := s.db.Execute(rewritten)
-	if err != nil && strings.Contains(err.Error(), "unknown table") {
+	if err != nil && !degraded && strings.Contains(err.Error(), "unknown table") {
 		// The view set churned between rewrite and execute (an advice swap
 		// dropped the view the plan was rewritten onto). The original plan
 		// reads base tables only and always works.
@@ -385,26 +504,75 @@ func (s *Server) handle(req *request) {
 		req.done <- response{err: err}
 		return
 	}
-	out := &Result{Table: res.Table, Reads: res.TotalReads(), Epoch: epoch}
-	// Cache only results whose execution saw a single epoch end to end; a
-	// mid-flight refresh would make the cached rows of mixed provenance.
-	if s.epoch.Load() == epoch {
+	out := &Result{Table: res.Table, Reads: res.TotalReads(), Epoch: epoch, Degraded: degraded}
+	// Cache only results whose execution saw a single epoch end to end (a
+	// mid-flight refresh would make the cached rows of mixed provenance)
+	// and that were not degraded — cached entries always carry the
+	// view-based answer so a hit's provenance is unambiguous.
+	if !degraded && s.epoch.Load() == epoch {
 		s.cache.put(req.key, epoch, res.Table)
 	}
 	req.done <- response{res: out}
+}
+
+// unhealthyViewsIn lists the maintained views the plan scans whose queries
+// must degrade right now (breaker not closed, or lag beyond the staleness
+// bound), sorted.
+func (s *Server) unhealthyViewsIn(plan algebra.Node) []string {
+	sc := s.sched
+	seen := map[string]bool{}
+	sc.mu.Lock()
+	algebra.Walk(plan, func(n algebra.Node) {
+		scan, ok := n.(*algebra.Scan)
+		if !ok {
+			return
+		}
+		if vs, ok := sc.views[scan.Relation]; ok && vs.degrading(sc.breaker) {
+			seen[scan.Relation] = true
+		}
+	})
+	sc.mu.Unlock()
+	if len(seen) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Epoch returns the current refresh epoch (0 before any maintenance ran).
 func (s *Server) Epoch() uint64 { return s.epoch.Load() }
 
 // Close stops the server: the scheduler halts, workers finish the admitted
-// queue, and further submissions fail with ErrClosed. Close does not run a
-// final maintenance epoch; call Flush first if ingested deltas must land.
+// queue, and further submissions fail with ErrClosed. Close is idempotent
+// and safe to race with in-flight Query/Submit/Ingest calls: stragglers
+// that slip past the closed check are answered with ErrClosed rather than
+// left blocked. Close does not run a final maintenance epoch; call Flush
+// first if ingested deltas must land (with a journal configured, unlanded
+// deltas are replayed by the next server instead).
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
 		close(s.closed)
 		s.sched.stopTicker()
+		s.cancel()
 		s.wg.Wait()
+		// A Submit that passed the closed check can still enqueue after the
+		// workers exited. Answer stragglers until no submission is in
+		// flight.
+		for {
+			select {
+			case req := <-s.queue:
+				req.done <- response{err: ErrClosed}
+			default:
+				if s.inflight.Load() == 0 {
+					return
+				}
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
 	})
 	return nil
 }
@@ -422,6 +590,18 @@ type Stats struct {
 	// block I/O the refreshes spent.
 	Epochs, IncrementalRefreshes, Recomputes, DeltaRows int64
 	RefreshReads, RefreshWrites                         int64
+	// Retries counts refresh attempts repeated after a transient failure;
+	// RefreshFailures counts refreshes that stayed failed after retrying;
+	// IncrementalFallbacks counts incremental refreshes that persistently
+	// failed and fell back to full recomputation.
+	Retries, RefreshFailures, IncrementalFallbacks int64
+	// BreakerTrips counts circuit breakers opening (half-open probes that
+	// fail re-trip and count again); DegradedQueries counts queries
+	// answered from base relations because a view was unhealthy.
+	BreakerTrips, DegradedQueries int64
+	// PanicsRecovered counts panics caught in workers and refreshes;
+	// ReplayedDeltaRows counts journal rows re-ingested at startup.
+	PanicsRecovered, ReplayedDeltaRows int64
 	// QueueDepth and CacheEntries are current occupancies.
 	QueueDepth, CacheEntries int
 	// Uptime is time since New; QPS is Queries/Uptime.
@@ -455,6 +635,13 @@ func (s *Server) Stats() Stats {
 		DeltaRows:            s.stats.deltaRows.Load(),
 		RefreshReads:         s.stats.refreshReads.Load(),
 		RefreshWrites:        s.stats.refreshWrites.Load(),
+		Retries:              s.stats.retries.Load(),
+		RefreshFailures:      s.stats.refreshFailures.Load(),
+		IncrementalFallbacks: s.stats.fallbacks.Load(),
+		BreakerTrips:         s.stats.breakerTrips.Load(),
+		DegradedQueries:      s.stats.degraded.Load(),
+		PanicsRecovered:      s.stats.panics.Load(),
+		ReplayedDeltaRows:    s.stats.replayedRows.Load(),
 		QueueDepth:           len(s.queue),
 		CacheEntries:         s.cache.len(),
 		Uptime:               up,

@@ -60,6 +60,12 @@ const (
 	EvServeEpoch     = obs.EvServeEpoch
 	EvServeAdvice    = obs.EvServeAdvice
 	EvServeSwap      = obs.EvServeSwap
+	EvFault          = obs.EvFault
+	EvServeRetry     = obs.EvServeRetry
+	EvServeFallback  = obs.EvServeFallback
+	EvServeBreaker   = obs.EvServeBreaker
+	EvServeDegraded  = obs.EvServeDegraded
+	EvServeJournal   = obs.EvServeJournal
 )
 
 // Canonical counter names the pipeline maintains.
@@ -81,6 +87,14 @@ const (
 	CtrServeRejected     = obs.CtrServeRejected
 	CtrServeEpochs       = obs.CtrServeEpochs
 	CtrServeDeltaRows    = obs.CtrServeDeltaRows
+	CtrFaultsInjected    = obs.CtrFaultsInjected
+	CtrServeRetries      = obs.CtrServeRetries
+	CtrServeRefreshFails = obs.CtrServeRefreshFailures
+	CtrServeFallbacks    = obs.CtrServeFallbacks
+	CtrServeBreakerTrips = obs.CtrServeBreakerTrips
+	CtrServeDegraded     = obs.CtrServeDegraded
+	CtrServePanics       = obs.CtrServePanics
+	CtrServeReplayed     = obs.CtrServeReplayedRows
 )
 
 // NewRegistry creates an empty metrics registry, to be shared across

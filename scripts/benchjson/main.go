@@ -15,6 +15,7 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	mvpp "github.com/warehousekit/mvpp"
 )
@@ -182,6 +183,76 @@ func measureServe() (testing.BenchmarkResult, mvpp.ServeStats, error) {
 	return res, stats, runErr
 }
 
+// measureChaosServe drives the serving layer with a fault injector failing
+// 10% of refresh attempts while deltas flow — the number that prices the
+// fault-tolerance machinery (retries, breaker checks, journaling) under
+// load. Worker faults are off so queries themselves never error.
+func measureChaosServe() (testing.BenchmarkResult, mvpp.ServeStats, error) {
+	d, err := paperDesigner(mvpp.Options{})
+	if err != nil {
+		return testing.BenchmarkResult{}, mvpp.ServeStats{}, err
+	}
+	design, err := d.Design()
+	if err != nil {
+		return testing.BenchmarkResult{}, mvpp.ServeStats{}, err
+	}
+	var runErr error
+	var stats mvpp.ServeStats
+	res := testing.Benchmark(func(b *testing.B) {
+		inj := mvpp.NewFaultInjector(7, mvpp.FaultPlan{
+			mvpp.FaultSiteEngineRefresh:            {ErrProb: 0.1},
+			mvpp.FaultSiteEngineIncrementalRefresh: {ErrProb: 0.1},
+		})
+		srv, err := design.NewServer(mvpp.ServeOptions{
+			Scale: 0.01, Seed: 7,
+			Injector: inj,
+			Journal:  mvpp.NewMemJournal(),
+			Breaker:  mvpp.BreakerPolicy{FailureThreshold: 2, Cooldown: time.Millisecond},
+			Retry:    mvpp.RetryPolicy{MaxAttempts: 3, BaseDelay: 100 * time.Microsecond, MaxDelay: time.Millisecond},
+		})
+		if err != nil {
+			runErr = err
+			b.FailNow()
+		}
+		defer srv.Close()
+		queries := design.Queries()
+		ctx := context.Background()
+		stop := make(chan struct{})
+		maintDone := make(chan struct{})
+		go func() {
+			defer close(maintDone)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := srv.InjectDeltas(0.005); err != nil {
+					return
+				}
+				_ = srv.Flush() // chaos: per-view failures are the point
+				time.Sleep(500 * time.Microsecond)
+			}
+		}()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				if _, err := srv.Query(ctx, queries[i%len(queries)]); err != nil {
+					runErr = err
+					b.FailNow()
+				}
+				i++
+			}
+		})
+		b.StopTimer()
+		close(stop)
+		<-maintDone
+		stats = srv.Stats()
+	})
+	return res, stats, runErr
+}
+
 type report struct {
 	Benchmark        string `json:"benchmark"`
 	GoVersion        string `json:"go_version"`
@@ -207,6 +278,14 @@ type report struct {
 	ServeQPS          float64 `json:"serve_qps"`
 	ServeCacheHitRate float64 `json:"serve_cache_hit_rate"`
 	ServeP99Micros    int64   `json:"serve_p99_us"`
+	// ChaosServe tracks the same serving path with 10% of refresh attempts
+	// failing and a delta journal armed: what fault tolerance costs, and
+	// how often it engages.
+	ChaosServeQPS     float64 `json:"chaos_serve_qps"`
+	ChaosServeP99     int64   `json:"chaos_serve_p99_us"`
+	ChaosDegraded     int64   `json:"chaos_degraded_queries"`
+	ChaosBreakerTrips int64   `json:"chaos_breaker_trips"`
+	ChaosRetries      int64   `json:"chaos_retries"`
 }
 
 func main() {
@@ -229,6 +308,8 @@ func main() {
 	fail(err)
 	serveRes, serveStats, err := measureServe()
 	fail(err)
+	_, chaosStats, err := measureChaosServe()
+	fail(err)
 
 	r := report{
 		Benchmark:       "BenchmarkDesign",
@@ -250,6 +331,11 @@ func main() {
 		ServeQPS:               serveStats.QPS,
 		ServeCacheHitRate:      serveStats.CacheHitRate(),
 		ServeP99Micros:         serveStats.P99.Microseconds(),
+		ChaosServeQPS:          chaosStats.QPS,
+		ChaosServeP99:          chaosStats.P99.Microseconds(),
+		ChaosDegraded:          chaosStats.DegradedQueries,
+		ChaosBreakerTrips:      chaosStats.BreakerTrips,
+		ChaosRetries:           chaosStats.Retries,
 	}
 	data, err := json.MarshalIndent(r, "", "  ")
 	fail(err)

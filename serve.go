@@ -39,6 +39,24 @@ type ServeOptions struct {
 	// Observer receives serving spans, events, counters and gauges; nil
 	// falls back to the designer's observer.
 	Observer Observer
+	// Retry bounds the retry-with-exponential-backoff loop around every
+	// refresh step of a maintenance epoch. Zero values take defaults.
+	Retry RetryPolicy
+	// Breaker configures the per-view circuit breaker that degrades queries
+	// to base relations while a view cannot be kept fresh. Zero values take
+	// defaults (StalenessBound 0 disables the bound).
+	Breaker BreakerPolicy
+	// Injector, when set, arms deterministic fault injection at the engine
+	// and serving-layer sites (chaos testing). Nil injects nothing.
+	Injector *FaultInjector
+	// Journal, when set, write-ahead-logs every ingested delta batch so a
+	// crashed server replays un-applied deltas on restart. The caller owns
+	// its lifetime. Mutually exclusive with JournalPath.
+	Journal DeltaJournal
+	// JournalPath, when non-empty, opens (or resumes) the crash-safe
+	// file-backed delta journal at that path; the Server owns it and closes
+	// it on Close. Mutually exclusive with Journal.
+	JournalPath string
 }
 
 // ServeStats is a point-in-time snapshot of the serving counters.
@@ -57,6 +75,11 @@ type QueryResult struct {
 	Reads int64
 	// Cached reports whether the result came from the result cache.
 	Cached bool
+	// Degraded reports that the query was answered from base relations
+	// because a materialized view it would normally use is unhealthy (open
+	// circuit breaker or staleness bound exceeded). Degraded results are
+	// always fresh — they bypass the stale view entirely.
+	Degraded bool
 	// Epoch is the refresh epoch the result was computed under.
 	Epoch uint64
 	// Latency is submission-to-answer wall-clock time.
@@ -110,6 +133,12 @@ type Server struct {
 	scale float64
 	seed  atomic.Int64
 
+	// journal is the file journal opened from ServeOptions.JournalPath (nil
+	// when the caller supplied their own or none); the Server closes it.
+	journal   DeltaJournal
+	closeOnce sync.Once
+	closeErr  error
+
 	// sqlMu serializes ad-hoc SQL planning (the estimator's memo table is
 	// not goroutine-safe).
 	sqlMu sync.Mutex
@@ -135,6 +164,10 @@ func (d *Design) NewServer(opts ServeOptions) (*Server, error) {
 		return nil, err
 	}
 	db.SetObserver(observer)
+	if opts.Injector != nil {
+		opts.Injector.SetObserver(observer)
+		db.SetInjector(opts.Injector)
+	}
 
 	// Materialize the design's views; vertex order is topological, so
 	// views over views compose.
@@ -158,6 +191,20 @@ func (d *Design) NewServer(opts ServeOptions) (*Server, error) {
 		queries = append(queries, serve.QuerySpec{Name: q.Name, Plan: root.Op, Frequency: q.Frequency})
 	}
 
+	journal := opts.Journal
+	var ownedJournal DeltaJournal
+	if opts.JournalPath != "" {
+		if journal != nil {
+			return nil, fmt.Errorf("mvpp: Journal and JournalPath are mutually exclusive")
+		}
+		fj, err := engine.OpenFileJournal(opts.JournalPath)
+		if err != nil {
+			return nil, fmt.Errorf("mvpp: opening delta journal: %w", err)
+		}
+		journal = fj
+		ownedJournal = fj
+	}
+
 	inner, err := serve.New(serve.Config{
 		DB:              db,
 		Queries:         queries,
@@ -169,20 +216,28 @@ func (d *Design) NewServer(opts ServeOptions) (*Server, error) {
 		CacheCapacity:   opts.CacheCapacity,
 		DeltaBatch:      opts.DeltaBatch,
 		RefreshInterval: opts.RefreshInterval,
+		Retry:           opts.Retry,
+		Breaker:         opts.Breaker,
+		Injector:        opts.Injector,
+		Journal:         journal,
 		Obs:             observer,
 	})
 	if err != nil {
+		if ownedJournal != nil {
+			ownedJournal.Close()
+		}
 		return nil, fmt.Errorf("mvpp: %w", err)
 	}
 
 	est := cost.NewEstimator(d.catalog.inner, cost.DefaultOptions())
 	est.Instrument(obs.RegistryOf(observer))
 	s := &Server{
-		d:     d,
-		db:    db,
-		inner: inner,
-		scale: scale,
-		opt:   optimizer.New(est, d.model, optimizer.Options{}),
+		d:       d,
+		db:      db,
+		inner:   inner,
+		scale:   scale,
+		journal: ownedJournal,
+		opt:     optimizer.New(est, d.model, optimizer.Options{}),
 	}
 	s.seed.Store(opts.Seed + 1)
 	return s, nil
@@ -223,11 +278,12 @@ func (s *Server) QuerySQL(ctx context.Context, sql string) (*QueryResult, error)
 
 func wrapResult(res *serve.Result) *QueryResult {
 	return &QueryResult{
-		Reads:   res.Reads,
-		Cached:  res.Cached,
-		Epoch:   res.Epoch,
-		Latency: res.Latency,
-		table:   res.Table,
+		Reads:    res.Reads,
+		Cached:   res.Cached,
+		Degraded: res.Degraded,
+		Epoch:    res.Epoch,
+		Latency:  res.Latency,
+		table:    res.Table,
 	}
 }
 
@@ -269,6 +325,11 @@ func (s *Server) Views() []string { return s.inner.Views() }
 // Staleness reports each maintained view's lag behind ingested deltas.
 func (s *Server) Staleness() map[string]ViewStaleness { return s.inner.Staleness() }
 
+// Health reports each maintained view's fault-tolerance status: circuit
+// breaker position, consecutive refresh failures, unreflected lag, and
+// whether its queries are currently degraded to base relations.
+func (s *Server) Health() map[string]ViewHealth { return s.inner.Health() }
+
 // Stats snapshots the serving counters (throughput, cache hit rate,
 // latency quantiles, maintenance work).
 func (s *Server) Stats() ServeStats { return s.inner.Stats() }
@@ -286,6 +347,19 @@ func (s *Server) Advise() (*Advice, error) { return s.inner.Advise() }
 // ApplyAdvice hot-swaps the advised view set into the running warehouse.
 func (s *Server) ApplyAdvice(a *Advice) error { return s.inner.ApplyAdvice(a) }
 
-// Close stops the server. Pending ingested deltas are not flushed; call
-// Flush first if they must land.
-func (s *Server) Close() error { return s.inner.Close() }
+// Close stops the server. It is idempotent and safe to race with queries
+// and ingestion: in-flight work is answered with ErrServerClosed. Pending
+// ingested deltas are not flushed (call Flush first if they must land) but
+// journaled deltas survive — a new server over the same journal replays
+// them.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.closeErr = s.inner.Close()
+		if s.journal != nil {
+			if err := s.journal.Close(); s.closeErr == nil {
+				s.closeErr = err
+			}
+		}
+	})
+	return s.closeErr
+}
