@@ -5,7 +5,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 STATICCHECK := $(shell command -v staticcheck 2>/dev/null)
 
-.PHONY: all fmt vet staticcheck build test race bench check tier1
+.PHONY: all fmt vet staticcheck build test race bench check tier1 telemetry-smoke
 
 all: check
 
@@ -39,10 +39,27 @@ race:
 # The full pre-commit gate.
 check: fmt vet build test race
 
+# Telemetry smoke: start mvserve with the admin plane on a loopback port,
+# let it self-scrape /metrics, /healthz, and /traces (mvserve validates the
+# exposition format itself), and check the scrape report. No curl needed,
+# and the OS-assigned port avoids collisions in CI.
+telemetry-smoke:
+	@out="$$($(GO) run ./cmd/mvserve -catalog cmd/mvserve/testdata/catalog.json \
+		-workload cmd/mvserve/testdata/workload.json \
+		-clients 2 -requests 20 -epochs 1 -scale 0.005 \
+		-telemetry 127.0.0.1:0)" || { echo "$$out"; exit 1; }; \
+	for want in "telemetry: /metrics valid Prometheus exposition" \
+		"telemetry: /healthz ok" "telemetry: /traces holds"; do \
+		echo "$$out" | grep -q "$$want" || { \
+			echo "telemetry smoke: missing \"$$want\""; echo "$$out"; exit 1; }; \
+	done; \
+	echo "telemetry smoke: ok"
+
 # The tier-1 verification script (what CI runs on every change), with the
-# race detector included so the concurrent serving layer stays honest and
-# static analysis (vet always, staticcheck when installed) in front.
-tier1: build vet staticcheck test race
+# race detector included so the concurrent serving layer stays honest,
+# static analysis (vet always, staticcheck when installed) in front, and a
+# live telemetry scrape at the end.
+tier1: build vet staticcheck test race telemetry-smoke
 
 # Write the Design() benchmark baseline consumed by regression checks.
 bench:

@@ -15,8 +15,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"sort"
 	"sync"
@@ -25,6 +28,7 @@ import (
 
 	mvpp "github.com/warehousekit/mvpp"
 	"github.com/warehousekit/mvpp/internal/cli"
+	"github.com/warehousekit/mvpp/internal/telemetry"
 )
 
 func main() {
@@ -33,26 +37,27 @@ func main() {
 
 func run() (status int) {
 	var (
-		catalogPath  = flag.String("catalog", "", "path to the catalog JSON (required)")
-		workloadPath = flag.String("workload", "", "path to the workload JSON (required)")
-		model        = flag.String("model", "paper-nlj", "cost model: paper-nlj, block-nlj, hash-join, sort-merge")
-		scale        = flag.Float64("scale", 0.01, "synthetic data scale relative to catalog statistics")
-		seed         = flag.Int64("seed", 1, "synthetic data seed")
-		workers      = flag.Int("workers", 0, "query worker pool size (0 = default)")
-		queue        = flag.Int("queue", 0, "admission queue depth (0 = default)")
-		cache        = flag.Int("cache", 0, "result cache capacity in entries (0 = default, negative disables)")
-		batch        = flag.Int("batch", 0, "delta rows per maintenance epoch (0 = default)")
-		clients      = flag.Int("clients", 4, "concurrent client goroutines")
-		requests     = flag.Int("requests", 100, "queries per client")
-		delta        = flag.Float64("delta", 0.02, "per-epoch synthetic insert fraction (0 disables maintenance load)")
-		epochs       = flag.Int("epochs", 4, "maintenance epochs to run during the load")
-		drift        = flag.String("drift", "", "after the main load, re-run the load all on this query and consult the advisor")
-		apply        = flag.Bool("apply", false, "apply the advisor's proposal live and re-run the load")
-		chaos        = flag.Float64("chaos", 0, "fault injection probability: refresh errors at this rate, plus slow queries and worker panics at lower rates (0 disables)")
-		journalPath  = flag.String("journal", "", "crash-safe delta journal path; un-applied deltas from a previous run are replayed on startup")
-		logLevel     = flag.String("log-level", "", "log serving spans and events to stderr at this level (debug, info, warn, error)")
-		traceOut     = flag.String("trace-out", "", "write a JSON trace of the serving run to this file")
-		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+		catalogPath   = flag.String("catalog", "", "path to the catalog JSON (required)")
+		workloadPath  = flag.String("workload", "", "path to the workload JSON (required)")
+		model         = flag.String("model", "paper-nlj", "cost model: paper-nlj, block-nlj, hash-join, sort-merge")
+		scale         = flag.Float64("scale", 0.01, "synthetic data scale relative to catalog statistics")
+		seed          = flag.Int64("seed", 1, "synthetic data seed")
+		workers       = flag.Int("workers", 0, "query worker pool size (0 = default)")
+		queue         = flag.Int("queue", 0, "admission queue depth (0 = default)")
+		cache         = flag.Int("cache", 0, "result cache capacity in entries (0 = default, negative disables)")
+		batch         = flag.Int("batch", 0, "delta rows per maintenance epoch (0 = default)")
+		clients       = flag.Int("clients", 4, "concurrent client goroutines")
+		requests      = flag.Int("requests", 100, "queries per client")
+		delta         = flag.Float64("delta", 0.02, "per-epoch synthetic insert fraction (0 disables maintenance load)")
+		epochs        = flag.Int("epochs", 4, "maintenance epochs to run during the load")
+		drift         = flag.String("drift", "", "after the main load, re-run the load all on this query and consult the advisor")
+		apply         = flag.Bool("apply", false, "apply the advisor's proposal live and re-run the load")
+		chaos         = flag.Float64("chaos", 0, "fault injection probability: refresh errors at this rate, plus slow queries and worker panics at lower rates (0 disables)")
+		journalPath   = flag.String("journal", "", "crash-safe delta journal path; un-applied deltas from a previous run are replayed on startup")
+		telemetryAddr = flag.String("telemetry", "", "serve the live telemetry plane on this address (/metrics, /healthz, /views, /traces, /debug/pprof); the run self-scrapes it after the load")
+		logLevel      = flag.String("log-level", "", "log serving spans and events to stderr at this level (debug, info, warn, error)")
+		traceOut      = flag.String("trace-out", "", "write a JSON trace of the serving run to this file")
+		pprofAddr     = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -116,8 +121,9 @@ func run() (status int) {
 	opts := mvpp.ServeOptions{
 		Scale: *scale, Seed: *seed,
 		Workers: *workers, QueueDepth: *queue, CacheCapacity: *cache, DeltaBatch: *batch,
-		JournalPath: *journalPath,
-		Observer:    obsy.Observer,
+		JournalPath:   *journalPath,
+		TelemetryAddr: *telemetryAddr,
+		Observer:      obsy.Observer,
 	}
 	if *chaos > 0 {
 		opts.Injector = mvpp.NewFaultInjector(*seed, mvpp.FaultPlan{
@@ -147,6 +153,9 @@ func run() (status int) {
 	if *chaos > 0 {
 		fmt.Printf("chaos: injecting faults at probability %g (refresh errors, slow queries, worker panics)\n", *chaos)
 	}
+	if addr := srv.TelemetryAddr(); addr != "" {
+		fmt.Printf("telemetry: listening on %s (/metrics /healthz /views /traces /debug/pprof)\n", addr)
+	}
 
 	tolerant := *chaos > 0
 	pick := func(c, i int) string { return queries[(c+i)%len(queries)] }
@@ -155,6 +164,14 @@ func run() (status int) {
 		return 1
 	}
 	report(srv)
+	if addr := srv.TelemetryAddr(); addr != "" {
+		// Self-scrape: validate the exposition and summarize the live
+		// endpoints, so a smoke run proves the plane works end to end.
+		if err := scrapeReport(addr); err != nil {
+			fmt.Fprintln(os.Stderr, "mvserve:", err)
+			return 1
+		}
+	}
 
 	if *drift != "" {
 		found := false
@@ -205,6 +222,60 @@ func run() (status int) {
 		}
 	}
 	return 0
+}
+
+// scrapeReport GETs the telemetry endpoints of a live server, validates
+// the /metrics exposition, and prints a one-line summary per endpoint.
+func scrapeReport(addr string) error {
+	get := func(path string) (int, []byte, error) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			return 0, nil, fmt.Errorf("telemetry: GET %s: %w", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return 0, nil, fmt.Errorf("telemetry: GET %s: %w", path, err)
+		}
+		return resp.StatusCode, body, nil
+	}
+
+	code, body, err := get("/metrics")
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("telemetry: /metrics returned HTTP %d", code)
+	}
+	samples, err := telemetry.ValidateExposition(body)
+	if err != nil {
+		return fmt.Errorf("telemetry: /metrics: %w", err)
+	}
+	fmt.Printf("telemetry: /metrics valid Prometheus exposition, %d samples\n", samples)
+
+	code, body, err = get("/healthz")
+	if err != nil {
+		return err
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(body, &health); err != nil {
+		return fmt.Errorf("telemetry: /healthz: %w", err)
+	}
+	fmt.Printf("telemetry: /healthz %s (HTTP %d)\n", health.Status, code)
+
+	if _, body, err = get("/traces"); err != nil {
+		return err
+	}
+	var traces struct {
+		Sampled int `json:"sampled"`
+	}
+	if err := json.Unmarshal(body, &traces); err != nil {
+		return fmt.Errorf("telemetry: /traces: %w", err)
+	}
+	fmt.Printf("telemetry: /traces holds %d sampled query lifecycles\n", traces.Sampled)
+	return nil
 }
 
 // drive runs clients×requests queries through the server with pick

@@ -72,6 +72,25 @@ func TestCLIServeReport(t *testing.T) {
 	}
 }
 
+func TestCLITelemetry(t *testing.T) {
+	out, code := runCLI(t, "-catalog", "testdata/catalog.json", "-workload", "testdata/workload.json",
+		"-clients", "2", "-requests", "20", "-epochs", "1", "-scale", "0.005",
+		"-telemetry", "127.0.0.1:0")
+	if code != 0 {
+		t.Fatalf("exit code %d:\n%s", code, out)
+	}
+	for _, want := range []string{
+		"telemetry: listening on 127.0.0.1:",
+		"telemetry: /metrics valid Prometheus exposition",
+		"telemetry: /healthz ok",
+		"telemetry: /traces holds",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestCLIChaosReport(t *testing.T) {
 	out, code := runCLI(t, "-catalog", "testdata/catalog.json", "-workload", "testdata/workload.json",
 		"-clients", "2", "-requests", "20", "-epochs", "3", "-scale", "0.005",

@@ -1,9 +1,14 @@
 package mvpp_test
 
 import (
+	"context"
 	"fmt"
+	"io"
+	"net/http"
+	"strings"
 
 	mvpp "github.com/warehousekit/mvpp"
+	"github.com/warehousekit/mvpp/internal/telemetry"
 )
 
 // ExampleDesigner shows the minimal design flow: declare statistics,
@@ -63,4 +68,80 @@ func ExampleDesign_EvaluateStrategy() {
 	fmt.Printf("all-virtual total: %.0f\n", recommended)
 	// Output:
 	// all-virtual total: 600000
+}
+
+// Example_liveTelemetry serves a design with the telemetry plane enabled
+// and scrapes it the way Prometheus would. See examples/telemetry for the
+// full walkthrough (windowed rates, /views, /traces under load).
+func Example_liveTelemetry() {
+	cat := mvpp.NewCatalog()
+	_ = cat.AddTable("Product", []mvpp.Column{
+		{Name: "Pid", Type: mvpp.Int},
+		{Name: "name", Type: mvpp.String},
+		{Name: "Did", Type: mvpp.Int},
+	}, mvpp.TableStats{Rows: 30000, Blocks: 3000, UpdateFrequency: 1,
+		DistinctValues: map[string]float64{"Pid": 30000, "Did": 5000}})
+	_ = cat.AddTable("Division", []mvpp.Column{
+		{Name: "Did", Type: mvpp.Int},
+		{Name: "name", Type: mvpp.String},
+		{Name: "city", Type: mvpp.String},
+	}, mvpp.TableStats{Rows: 5000, Blocks: 500, UpdateFrequency: 1,
+		DistinctValues: map[string]float64{"Did": 5000, "city": 50}})
+	_ = cat.PinSelectivity(`city = 'LA'`, 0.02, "Division")
+
+	d := mvpp.NewDesigner(cat, mvpp.Options{})
+	_ = d.AddQuery("Q1", `SELECT Product.name FROM Product, Division
+		WHERE Division.city = 'LA' AND Product.Did = Division.Did`, 10)
+	design, err := d.Design()
+	if err != nil {
+		fmt.Println("design failed:", err)
+		return
+	}
+
+	srv, err := design.NewServer(mvpp.ServeOptions{
+		Scale: 0.02, Seed: 7,
+		TelemetryAddr:    "127.0.0.1:0", // loopback, OS-assigned port
+		TraceSampleEvery: 1,             // sample every query for the demo
+	})
+	if err != nil {
+		fmt.Println("serve failed:", err)
+		return
+	}
+	defer srv.Close()
+
+	ctx := context.Background()
+	_, _ = srv.Query(ctx, "Q1") // cold: engine execute
+	_, _ = srv.Query(ctx, "Q1") // warm: result cache
+
+	resp, err := http.Get("http://" + srv.TelemetryAddr() + "/metrics")
+	if err != nil {
+		fmt.Println("scrape failed:", err)
+		return
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if _, err := telemetry.ValidateExposition(body); err != nil {
+		fmt.Println("invalid exposition:", err)
+		return
+	}
+	fmt.Println("/metrics is valid Prometheus exposition")
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "mvpp_serve_queries_total ") ||
+			strings.HasPrefix(line, "mvpp_serve_cache_hits_total ") {
+			fmt.Println(line)
+		}
+	}
+
+	traces := srv.RecentTraces()
+	last := traces[len(traces)-1]
+	var stages []string
+	for _, st := range last.Stages {
+		stages = append(stages, st.Stage)
+	}
+	fmt.Printf("trace %d: %s\n", last.ID, strings.Join(stages, " -> "))
+	// Output:
+	// /metrics is valid Prometheus exposition
+	// mvpp_serve_cache_hits_total 1
+	// mvpp_serve_queries_total 2
+	// trace 2: admit -> cache_hit -> reply
 }

@@ -1,0 +1,221 @@
+// Telemetry: the designed warehouse served live with the telemetry plane
+// switched on. The server binds an admin HTTP listener and this program
+// plays Prometheus against itself: it drives concurrent clients and delta
+// ingestion, then scrapes /metrics (text exposition with latency buckets
+// and per-view staleness gauges), /healthz, /views, and /traces — where a
+// single query ID correlates one query's admission → cache/engine → reply
+// lifecycle.
+//
+//	go run ./examples/telemetry
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	mvpp "github.com/warehousekit/mvpp"
+	"github.com/warehousekit/mvpp/internal/cli"
+	"github.com/warehousekit/mvpp/internal/telemetry"
+)
+
+func paperDesigner() (*mvpp.Designer, error) {
+	cat := mvpp.NewCatalog()
+	add := func(name string, cols []mvpp.Column, stats mvpp.TableStats) error {
+		return cat.AddTable(name, cols, stats)
+	}
+	steps := []func() error{
+		func() error {
+			return add("Product", []mvpp.Column{
+				{Name: "Pid", Type: mvpp.Int}, {Name: "name", Type: mvpp.String}, {Name: "Did", Type: mvpp.Int},
+			}, mvpp.TableStats{Rows: 30000, Blocks: 3000, UpdateFrequency: 1,
+				DistinctValues: map[string]float64{"Pid": 30000, "Did": 5000}})
+		},
+		func() error {
+			return add("Division", []mvpp.Column{
+				{Name: "Did", Type: mvpp.Int}, {Name: "name", Type: mvpp.String}, {Name: "city", Type: mvpp.String},
+			}, mvpp.TableStats{Rows: 5000, Blocks: 500, UpdateFrequency: 1,
+				DistinctValues: map[string]float64{"Did": 5000, "city": 50}})
+		},
+		func() error {
+			return add("Order", []mvpp.Column{
+				{Name: "Pid", Type: mvpp.Int}, {Name: "Cid", Type: mvpp.Int},
+				{Name: "quantity", Type: mvpp.Int}, {Name: "date", Type: mvpp.Date},
+			}, mvpp.TableStats{Rows: 50000, Blocks: 6000, UpdateFrequency: 1,
+				DistinctValues: map[string]float64{"Pid": 30000, "Cid": 20000},
+				IntRanges:      map[string][2]int64{"quantity": {1, 200}}})
+		},
+		func() error {
+			return add("Customer", []mvpp.Column{
+				{Name: "Cid", Type: mvpp.Int}, {Name: "name", Type: mvpp.String}, {Name: "city", Type: mvpp.String},
+			}, mvpp.TableStats{Rows: 20000, Blocks: 2000, UpdateFrequency: 1,
+				DistinctValues: map[string]float64{"Cid": 20000, "city": 50}})
+		},
+		func() error { return cat.PinSelectivity(`city = 'LA'`, 0.02, "Division") },
+		func() error { return cat.PinSelectivity(`date > 7/1/96`, 0.5, "Order") },
+		func() error { return cat.PinSelectivity(`quantity > 100`, 0.5, "Order") },
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			return nil, err
+		}
+	}
+
+	d := mvpp.NewDesigner(cat, mvpp.Options{})
+	queries := []struct {
+		name string
+		sql  string
+		freq float64
+	}{
+		{"Q1", `SELECT Product.name FROM Product, Division WHERE Division.city = 'LA' AND Product.Did = Division.Did`, 10},
+		{"Q3", `SELECT Customer.name, Product.name, quantity FROM Product, Division, Order, Customer WHERE Division.city = 'LA' AND Product.Did = Division.Did AND Product.Pid = Order.Pid AND Order.Cid = Customer.Cid AND date > 7/1/96`, 0.8},
+		{"Q4", `SELECT Customer.city, date FROM Order, Customer WHERE quantity > 100 AND Order.Cid = Customer.Cid`, 5},
+	}
+	for _, q := range queries {
+		if err := d.AddQuery(q.name, q.sql, q.freq); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// get fetches one admin endpoint and returns the body.
+func get(addr, path string) ([]byte, int, error) {
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return body, resp.StatusCode, err
+}
+
+func main() {
+	logger := cli.DefaultLogger()
+	designer, err := paperDesigner()
+	if err != nil {
+		cli.Fatal(logger, "building the paper workload failed", err)
+	}
+	design, err := designer.Design()
+	if err != nil {
+		cli.Fatal(logger, "design failed", err)
+	}
+
+	// TelemetryAddr switches the plane on; TraceSampleEvery: 1 samples
+	// every query so /traces is populated immediately. Production would
+	// sample sparsely (the default keeps 1 in 16).
+	srv, err := design.NewServer(mvpp.ServeOptions{
+		Scale: 0.02, Seed: 11, Workers: 4,
+		TelemetryAddr:    "127.0.0.1:0",
+		TraceSampleEvery: 1,
+	})
+	if err != nil {
+		cli.Fatal(logger, "starting the server failed", err)
+	}
+	defer srv.Close()
+	addr := srv.TelemetryAddr()
+	fmt.Printf("telemetry plane listening on %s (/metrics /healthz /views /traces /debug/pprof)\n\n", addr)
+
+	// Drive traffic: concurrent clients on the designed mix while the
+	// scheduler lands an insert batch in a refresh epoch.
+	ctx := context.Background()
+	queries := design.Queries()
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if _, err := srv.Query(ctx, queries[(c+i)%len(queries)]); err != nil {
+					logger.Error("client query failed", "client", c, "err", err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if _, err := srv.InjectDeltas(0.02); err != nil {
+		cli.Fatal(logger, "delta injection failed", err)
+	}
+	if err := srv.Flush(); err != nil {
+		cli.Fatal(logger, "flush failed", err)
+	}
+
+	// Scrape /metrics the way Prometheus would and validate the exposition.
+	body, _, err := get(addr, "/metrics")
+	if err != nil {
+		cli.Fatal(logger, "scraping /metrics failed", err)
+	}
+	samples, err := telemetry.ValidateExposition(body)
+	if err != nil {
+		cli.Fatal(logger, "/metrics exposition invalid", err)
+	}
+	fmt.Printf("/metrics: valid Prometheus exposition, %d samples; highlights:\n", samples)
+	for _, line := range strings.Split(string(body), "\n") {
+		for _, want := range []string{
+			"mvpp_serve_queries_total ", "mvpp_serve_cache_hits_total ",
+			"mvpp_serve_window_qps ", "mvpp_serve_latency_seconds_count ",
+		} {
+			if strings.HasPrefix(line, want) {
+				fmt.Printf("  %s\n", line)
+			}
+		}
+	}
+
+	// /healthz: liveness plus the windowed view of the last minute.
+	hbody, code, err := get(addr, "/healthz")
+	if err != nil {
+		cli.Fatal(logger, "scraping /healthz failed", err)
+	}
+	var health struct {
+		Status string `json:"status"`
+		Epoch  uint64 `json:"epoch"`
+		Views  int    `json:"views"`
+	}
+	if err := json.Unmarshal(hbody, &health); err != nil {
+		cli.Fatal(logger, "parsing /healthz failed", err)
+	}
+	fmt.Printf("\n/healthz: HTTP %d, status=%s epoch=%d views=%d\n", code, health.Status, health.Epoch, health.Views)
+
+	// /views: per-view staleness, strategy, and breaker state.
+	vbody, _, err := get(addr, "/views")
+	if err != nil {
+		cli.Fatal(logger, "scraping /views failed", err)
+	}
+	var views struct {
+		Views map[string]struct {
+			Strategy string `json:"strategy"`
+			Epoch    uint64 `json:"epoch"`
+			LagRows  int64  `json:"lag_rows"`
+		} `json:"views"`
+	}
+	if err := json.Unmarshal(vbody, &views); err != nil {
+		cli.Fatal(logger, "parsing /views failed", err)
+	}
+	names := make([]string, 0, len(views.Views))
+	for name := range views.Views {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Println("\n/views:")
+	for _, name := range names {
+		v := views.Views[name]
+		fmt.Printf("  %-28s strategy=%-11s epoch=%d lag_rows=%d\n", name, v.Strategy, v.Epoch, v.LagRows)
+	}
+
+	// /traces: one sampled query's full lifecycle under a single ID.
+	traces := srv.RecentTraces()
+	if len(traces) == 0 {
+		cli.Fatal(logger, "no sampled traces", fmt.Errorf("trace ring empty"))
+	}
+	tr := traces[len(traces)-1]
+	fmt.Printf("\n/traces: query %q, id=%d, correlated chain:\n", tr.Query, tr.ID)
+	for _, st := range tr.Stages {
+		fmt.Printf("  +%6dus %s\n", st.AtUS, st.Stage)
+	}
+}

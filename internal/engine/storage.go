@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/warehousekit/mvpp/internal/algebra"
 	"github.com/warehousekit/mvpp/internal/catalog"
@@ -87,46 +88,30 @@ func (t *Table) Row(i int) *algebra.Tuple {
 	return &algebra.Tuple{Schema: t.Schema, Values: t.rows[i]}
 }
 
-// Counter tallies block accesses.
+// Counter tallies block accesses. Reads and writes are independent atomics
+// — per-operator accounting runs on every executed operator of every
+// concurrent query, so the counter must not serialize the worker pool.
 type Counter struct {
-	mu     sync.Mutex
-	reads  int64
-	writes int64
+	reads  atomic.Int64
+	writes atomic.Int64
 }
 
 // AddReads records n block reads.
-func (c *Counter) AddReads(n int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.reads += n
-}
+func (c *Counter) AddReads(n int64) { c.reads.Add(n) }
 
 // AddWrites records n block writes.
-func (c *Counter) AddWrites(n int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.writes += n
-}
+func (c *Counter) AddWrites(n int64) { c.writes.Add(n) }
 
 // Reads returns total block reads.
-func (c *Counter) Reads() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.reads
-}
+func (c *Counter) Reads() int64 { return c.reads.Load() }
 
 // Writes returns total block writes.
-func (c *Counter) Writes() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.writes
-}
+func (c *Counter) Writes() int64 { return c.writes.Load() }
 
 // Reset zeroes the counter.
 func (c *Counter) Reset() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.reads, c.writes = 0, 0
+	c.reads.Store(0)
+	c.writes.Store(0)
 }
 
 // DB is a collection of base tables and materialized views sharing one

@@ -98,6 +98,12 @@ const (
 	// EvServeJournal fires on delta-journal activity (attrs: action —
 	// "replay" or "commit" — records, rows or lsn).
 	EvServeJournal EventKind = "serve.journal"
+	// EvServeQuery fires at each stage of a served query's lifecycle when
+	// trace correlation is on (attrs: query_id, stage — "admit",
+	// "cache_hit", "cache_miss", "execute", "degraded", "reply" — plus
+	// query and, on reply, outcome detail). Every event of one query carries the same
+	// query_id, so a whole lifecycle greps out of a trace by ID.
+	EvServeQuery EventKind = "serve.query"
 )
 
 // Canonical counter names. Call sites resolve them once via CounterOf (or

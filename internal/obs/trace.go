@@ -81,6 +81,30 @@ func (t *Trace) EventsOfKind(kind EventKind) []TraceEvent {
 	return out
 }
 
+// recEvent is the in-memory form of one recorded event. Attrs stay as the
+// emitter's slice — no per-event map allocation on the hot path; the
+// conversion to TraceEvent's map happens once, at snapshot time.
+type recEvent struct {
+	kind  EventKind
+	atUS  int64
+	attrs []Attr
+}
+
+func (e recEvent) export() TraceEvent {
+	return TraceEvent{Kind: e.kind, AtUS: e.atUS, Attrs: attrMap(e.attrs)}
+}
+
+func exportEvents(events []recEvent) []TraceEvent {
+	if len(events) == 0 {
+		return nil
+	}
+	out := make([]TraceEvent, len(events))
+	for i, e := range events {
+		out[i] = e.export()
+	}
+	return out
+}
+
 // Recorder is an Observer that records the span tree and events in memory
 // and exports them as a JSON trace. It is safe for concurrent use: the
 // MVPP generator starts sibling spans from multiple goroutines.
@@ -89,7 +113,7 @@ type Recorder struct {
 	start time.Time
 	reg   *Registry
 	spans []*recSpan
-	loose []TraceEvent
+	loose []recEvent
 }
 
 // NewRecorder builds a recording observer. reg may be nil, in which case
@@ -120,7 +144,7 @@ func (r *Recorder) StartSpan(name string, attrs ...Attr) Span {
 }
 
 func (r *Recorder) Event(kind EventKind, attrs ...Attr) {
-	ev := TraceEvent{Kind: kind, AtUS: r.sinceUS(), Attrs: attrMap(attrs)}
+	ev := recEvent{kind: kind, atUS: r.sinceUS(), attrs: attrs}
 	r.mu.Lock()
 	r.loose = append(r.loose, ev)
 	r.mu.Unlock()
@@ -133,7 +157,7 @@ func (r *Recorder) Trace() *Trace {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	t := &Trace{StartedAt: r.start}
-	t.Events = append(t.Events, r.loose...)
+	t.Events = append(t.Events, exportEvents(r.loose)...)
 	for _, sp := range r.spans {
 		t.Spans = append(t.Spans, sp.snapshot())
 	}
@@ -173,6 +197,7 @@ func ParseTrace(r io.Reader) (*Trace, error) {
 type recSpan struct {
 	rec      *Recorder
 	data     TraceSpan
+	events   []recEvent
 	children []*recSpan
 	ended    bool
 }
@@ -194,9 +219,9 @@ func (s *recSpan) StartSpan(name string, attrs ...Attr) Span {
 }
 
 func (s *recSpan) Event(kind EventKind, attrs ...Attr) {
-	ev := TraceEvent{Kind: kind, AtUS: s.rec.sinceUS(), Attrs: attrMap(attrs)}
+	ev := recEvent{kind: kind, atUS: s.rec.sinceUS(), attrs: attrs}
 	s.rec.mu.Lock()
-	s.data.Events = append(s.data.Events, ev)
+	s.events = append(s.events, ev)
 	s.rec.mu.Unlock()
 }
 
@@ -226,7 +251,7 @@ func (s *recSpan) End() {
 func (s *recSpan) snapshot() *TraceSpan {
 	out := s.data
 	out.Attrs = copyMap(s.data.Attrs)
-	out.Events = append([]TraceEvent(nil), s.data.Events...)
+	out.Events = exportEvents(s.events)
 	for _, c := range s.children {
 		out.Children = append(out.Children, c.snapshot())
 	}

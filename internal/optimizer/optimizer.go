@@ -39,11 +39,19 @@ type Optimizer struct {
 	est   *cost.Estimator
 	model cost.Model
 	opts  Options
+	// enumerated is resolved once at construction; Optimize runs per query
+	// and its DP loop bumps the counter per candidate.
+	enumerated *obs.Counter
 }
 
 // New builds an optimizer over the estimator and cost model.
 func New(est *cost.Estimator, model cost.Model, opts Options) *Optimizer {
-	return &Optimizer{est: est, model: model, opts: opts}
+	return &Optimizer{
+		est:        est,
+		model:      model,
+		opts:       opts,
+		enumerated: obs.CounterOf(opts.Obs, obs.CtrPlansEnumerated),
+	}
 }
 
 // candidate is a DP table entry.
@@ -65,7 +73,6 @@ func (o *Optimizer) Optimize(q *sqlparse.Query) (algebra.Node, float64, error) {
 	sp := obs.Start(o.opts.Obs, "optimize.query",
 		obs.String("query", q.Name), obs.Int("relations", int64(len(q.Relations))))
 	defer obs.End(sp)
-	enumerated := obs.CounterOf(o.opts.Obs, obs.CtrPlansEnumerated)
 
 	relIndex := make(map[string]int, len(q.Relations))
 	for i, r := range q.Relations {
@@ -171,7 +178,7 @@ func (o *Optimizer) Optimize(q *sqlparse.Query) (algebra.Node, float64, error) {
 					{l, r, onLR},
 					{r, l, onRL},
 				} {
-					enumerated.Add(1)
+					o.enumerated.Add(1)
 					j := algebra.NewJoin(orient.outer.plan, orient.inner.plan, orient.on)
 					oc, err := o.est.OpCost(o.model, j)
 					if err != nil {

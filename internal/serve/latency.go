@@ -4,6 +4,8 @@ import (
 	"math/bits"
 	"sync/atomic"
 	"time"
+
+	"github.com/warehousekit/mvpp/internal/obs"
 )
 
 // latencyHist is a lock-free power-of-two latency histogram: bucket i
@@ -13,6 +15,7 @@ import (
 type latencyHist struct {
 	buckets [64]atomic.Int64
 	count   atomic.Int64
+	sum     atomic.Int64
 }
 
 func (h *latencyHist) record(d time.Duration) {
@@ -25,6 +28,19 @@ func (h *latencyHist) record(d time.Duration) {
 	}
 	h.buckets[idx].Add(1)
 	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// snapshot exports the all-time histogram in the same shape as the
+// windowed one, so the telemetry plane renders both with one code path.
+func (h *latencyHist) snapshot() obs.HistSnapshot {
+	var out obs.HistSnapshot
+	for i := range h.buckets {
+		out.Buckets[i] = h.buckets[i].Load()
+	}
+	out.Count = h.count.Load()
+	out.Sum = h.sum.Load()
+	return out
 }
 
 func (h *latencyHist) quantile(q float64) time.Duration {

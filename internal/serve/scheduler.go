@@ -549,6 +549,7 @@ func (s *Server) runEpochLocked() error {
 		// and the cache empties.
 		s.stats.refreshFailures.Add(1)
 		s.ctrRefreshFail.Inc()
+		s.winRefreshFail.Add(time.Now().Unix(), 1)
 		if incDone > 0 {
 			s.epoch.Add(1)
 			s.cache.invalidate()
@@ -572,6 +573,7 @@ func (s *Server) runEpochLocked() error {
 		if err != nil {
 			s.stats.refreshFailures.Add(1)
 			s.ctrRefreshFail.Inc()
+			s.winRefreshFail.Add(time.Now().Unix(), 1)
 			outcomes[name] = err
 			continue
 		}

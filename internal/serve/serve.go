@@ -73,6 +73,11 @@ const (
 	DefaultQueueDepth    = 64
 	DefaultCacheCapacity = 256
 	DefaultDeltaBatch    = 256
+	// DefaultStatsWindow is the rolling-stats window in seconds.
+	DefaultStatsWindow = 60
+	// DefaultTraceRing bounds the sampled-trace ring when trace sampling is
+	// enabled without an explicit ring size.
+	DefaultTraceRing = 64
 )
 
 // QuerySpec is one named workload query the server answers.
@@ -138,6 +143,19 @@ type Config struct {
 	// (worker execution, epoch start). Arm the same injector on the DB via
 	// SetInjector to cover the engine sites too. Nil injects nothing.
 	Injector *fault.Injector
+	// StatsWindow is the rolling-stats window in seconds for the Window*
+	// fields of Stats (QPS, hit rate, latency quantiles over the last N
+	// seconds). Zero takes DefaultStatsWindow; negative disables windowed
+	// aggregation entirely.
+	StatsWindow int
+	// TraceSampleEvery enables trace correlation: every submission gets a
+	// query ID and every Nth query (1 = all) records its lifecycle stages
+	// into a bounded ring served by RecentTraces, mirroring each stage to
+	// Obs as an EvServeQuery event. Zero disables sampling — no IDs are
+	// minted and the hot path pays nothing.
+	TraceSampleEvery int
+	// TraceRingSize bounds the sampled-trace ring (default DefaultTraceRing).
+	TraceRingSize int
 	// Obs receives serving spans, events, counters and gauges. Nil
 	// disables instrumentation.
 	Obs obs.Observer
@@ -167,6 +185,9 @@ type request struct {
 	ctx  context.Context
 	plan algebra.Node
 	key  string
+	// qt is the sampled query's live trace (nil when unsampled); the worker
+	// appends the execute/degraded stages to it.
+	qt   *queryTrace
 	done chan response
 	// rejected dedupes admission-control accounting: the submitter (context
 	// expired while waiting) and the worker (context expired while queued)
@@ -226,6 +247,18 @@ type Server struct {
 
 	start time.Time
 	stats serverStats
+
+	// Windowed aggregation (nil when Config.StatsWindow < 0): rolling
+	// per-second rings answering "what happened over the last N seconds".
+	winQueries     *obs.WindowCounter
+	winHits        *obs.WindowCounter
+	winRefreshFail *obs.WindowCounter
+	winLat         *obs.WindowHist
+
+	// Trace correlation (nil/0 when Config.TraceSampleEvery is 0).
+	nextQueryID atomic.Uint64
+	traceEvery  uint64
+	traces      *traceRing
 
 	obsv                                              obs.Observer
 	ctrQueries, ctrHits, ctrMisses, ctrRejected       *obs.Counter
@@ -296,6 +329,24 @@ func newServer(cfg Config) (*Server, error) {
 		obsv:       cfg.Obs,
 	}
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
+	if cfg.StatsWindow >= 0 {
+		win := cfg.StatsWindow
+		if win == 0 {
+			win = DefaultStatsWindow
+		}
+		s.winQueries = obs.NewWindowCounter(win)
+		s.winHits = obs.NewWindowCounter(win)
+		s.winRefreshFail = obs.NewWindowCounter(win)
+		s.winLat = obs.NewWindowHist(win)
+	}
+	if cfg.TraceSampleEvery > 0 {
+		s.traceEvery = uint64(cfg.TraceSampleEvery)
+		ring := cfg.TraceRingSize
+		if ring <= 0 {
+			ring = DefaultTraceRing
+		}
+		s.traces = newTraceRing(ring)
+	}
 	for _, q := range cfg.Queries {
 		if q.Name == "" || q.Plan == nil {
 			return nil, errors.New("serve: query specs need a name and a plan")
@@ -354,7 +405,7 @@ func (s *Server) Query(ctx context.Context, name string) (*Result, error) {
 		return nil, fmt.Errorf("serve: unknown query %q", name)
 	}
 	qs.observed.Add(1)
-	return s.Submit(ctx, qs.spec.Plan)
+	return s.submit(ctx, name, qs.spec.Plan)
 }
 
 // QueryNames lists the named workload queries in registration order.
@@ -368,6 +419,7 @@ func (s *Server) rejectOnce(req *request) {
 	if req.rejected.CompareAndSwap(false, true) {
 		s.stats.rejected.Add(1)
 		s.ctrRejected.Inc()
+		s.traceStage(req.qt, "reply", obs.String("outcome", "rejected"))
 	}
 }
 
@@ -377,6 +429,12 @@ func (s *Server) rejectOnce(req *request) {
 // (rejection). Submitting to a closed server — or racing with Close —
 // returns ErrClosed.
 func (s *Server) Submit(ctx context.Context, plan algebra.Node) (*Result, error) {
+	return s.submit(ctx, "", plan)
+}
+
+// submit is the admission path behind Query and Submit; name labels the
+// workload query for trace correlation ("" for ad-hoc plans).
+func (s *Server) submit(ctx context.Context, name string, plan algebra.Node) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -388,21 +446,39 @@ func (s *Server) Submit(ctx context.Context, plan algebra.Node) (*Result, error)
 	default:
 	}
 	start := time.Now()
+	nowSec := start.Unix()
 	s.stats.queries.Add(1)
 	s.ctrQueries.Inc()
+	s.winQueries.Add(nowSec, 1)
+
+	var qt *queryTrace
+	if s.traces != nil {
+		id := s.nextQueryID.Add(1)
+		if (id-1)%s.traceEvery == 0 {
+			qt = &queryTrace{id: id, query: name, start: start}
+			s.traces.add(qt)
+			s.traceStage(qt, "admit", obs.String("query", name))
+		}
+	}
 
 	key := algebra.StructuralKey(plan)
 	if table, epoch, ok := s.cache.get(key, s.epoch.Load()); ok {
 		s.stats.hits.Add(1)
 		s.ctrHits.Inc()
+		s.winHits.Add(nowSec, 1)
 		lat := time.Since(start)
 		s.stats.lat.record(lat)
+		s.winLat.Record(nowSec, lat)
+		s.traceStage(qt, "cache_hit", obs.Int("epoch", int64(epoch)))
+		s.traceStage(qt, "reply",
+			obs.Bool("cached", true), obs.Int("latency_us", lat.Microseconds()))
 		return &Result{Table: table, Cached: true, Epoch: epoch, Latency: lat}, nil
 	}
 	s.stats.misses.Add(1)
 	s.ctrMisses.Inc()
+	s.traceStage(qt, "cache_miss")
 
-	req := &request{ctx: ctx, plan: plan, key: key, done: make(chan response, 1)}
+	req := &request{ctx: ctx, plan: plan, key: key, qt: qt, done: make(chan response, 1)}
 	select {
 	case s.queue <- req:
 	default:
@@ -423,10 +499,18 @@ func (s *Server) Submit(ctx context.Context, plan algebra.Node) (*Result, error)
 	select {
 	case resp := <-req.done:
 		if resp.err != nil {
+			s.traceStage(qt, "reply", obs.String("outcome", "error"),
+				obs.String("error", resp.err.Error()))
 			return nil, resp.err
 		}
 		resp.res.Latency = time.Since(start)
 		s.stats.lat.record(resp.res.Latency)
+		s.winLat.Record(time.Now().Unix(), resp.res.Latency)
+		s.traceStage(qt, "reply",
+			obs.Bool("cached", false),
+			obs.Bool("degraded", resp.res.Degraded),
+			obs.Int("epoch", int64(resp.res.Epoch)),
+			obs.Int("latency_us", resp.res.Latency.Microseconds()))
 		return resp.res, nil
 	case <-ctx.Done():
 		// The request is already admitted; the worker will complete it into
@@ -492,6 +576,7 @@ func (s *Server) handle(req *request) {
 		s.stats.degraded.Add(1)
 		s.ctrDegraded.Inc()
 		obs.Emit(s.obsv, obs.EvServeDegraded, obs.String("views", strings.Join(names, ",")))
+		s.traceStage(req.qt, "degraded", obs.String("views", strings.Join(names, ",")))
 	}
 	res, err := s.db.Execute(rewritten)
 	if err != nil && !degraded && strings.Contains(err.Error(), "unknown table") {
@@ -504,6 +589,8 @@ func (s *Server) handle(req *request) {
 		req.done <- response{err: err}
 		return
 	}
+	s.traceStage(req.qt, "execute",
+		obs.Int("reads", res.TotalReads()), obs.Int("epoch", int64(epoch)))
 	out := &Result{Table: res.Table, Reads: res.TotalReads(), Epoch: epoch, Degraded: degraded}
 	// Cache only results whose execution saw a single epoch end to end (a
 	// mid-flight refresh would make the cached rows of mixed provenance)
@@ -610,6 +697,17 @@ type Stats struct {
 	// P50/P95/P99 are submission-to-answer latency quantiles (upper bucket
 	// bounds of a power-of-two histogram).
 	P50, P95, P99 time.Duration
+	// WindowSeconds is the rolling-stats window length; the Window* fields
+	// below aggregate over the trailing window only (all zero when windowed
+	// aggregation is disabled).
+	WindowSeconds int
+	// WindowQueries/WindowCacheHits/WindowRefreshFailures count events in
+	// the window; WindowQPS and WindowRefreshFailuresPerSec are their
+	// per-second rates and WindowHitRate is hits/queries in [0,1].
+	WindowQueries, WindowCacheHits, WindowRefreshFailures int64
+	WindowQPS, WindowRefreshFailuresPerSec, WindowHitRate float64
+	// WindowP50/P95/P99 are latency quantiles over the window only.
+	WindowP50, WindowP95, WindowP99 time.Duration
 }
 
 // CacheHitRate returns CacheHits/Queries in [0,1].
@@ -652,5 +750,44 @@ func (s *Server) Stats() Stats {
 	if up > 0 {
 		st.QPS = float64(st.Queries) / up.Seconds()
 	}
+	if s.winQueries != nil {
+		nowSec := time.Now().Unix()
+		st.WindowSeconds = s.winQueries.WindowSeconds()
+		st.WindowQueries = s.winQueries.Total(nowSec)
+		st.WindowCacheHits = s.winHits.Total(nowSec)
+		st.WindowRefreshFailures = s.winRefreshFail.Total(nowSec)
+		st.WindowQPS = s.winQueries.Rate(nowSec)
+		st.WindowRefreshFailuresPerSec = s.winRefreshFail.Rate(nowSec)
+		if st.WindowQueries > 0 {
+			st.WindowHitRate = float64(st.WindowCacheHits) / float64(st.WindowQueries)
+		}
+		snap := s.winLat.Snapshot(nowSec)
+		st.WindowP50 = snap.Quantile(0.50)
+		st.WindowP95 = snap.Quantile(0.95)
+		st.WindowP99 = snap.Quantile(0.99)
+	}
 	return st
+}
+
+// LatencySnapshot exports the all-time submission-to-answer latency
+// histogram (power-of-two buckets, count, summed nanoseconds) — the
+// telemetry plane renders it as a cumulative Prometheus histogram.
+func (s *Server) LatencySnapshot() obs.HistSnapshot { return s.stats.lat.snapshot() }
+
+// WindowLatencySnapshot exports the rolling-window latency histogram; the
+// zero snapshot when windowed aggregation is disabled.
+func (s *Server) WindowLatencySnapshot() obs.HistSnapshot {
+	return s.winLat.Snapshot(time.Now().Unix())
+}
+
+// IsClosed reports whether Close has begun. It flips true the instant the
+// server starts shutting down — before the drain finishes — so health
+// endpoints can answer "closed" instead of hanging behind the drain.
+func (s *Server) IsClosed() bool {
+	select {
+	case <-s.closed:
+		return true
+	default:
+		return false
+	}
 }

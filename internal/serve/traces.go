@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"github.com/warehousekit/mvpp/internal/obs"
+)
+
+// Trace correlation: when Config.TraceSampleEvery is set, the router mints
+// a query ID for every submission and samples every Nth query into a
+// bounded in-memory ring. A sampled query records each lifecycle stage —
+// admission, cache hit/miss, engine execution, degradation, reply — on its
+// own trace, and mirrors every stage to the observer as an EvServeQuery
+// event tagged with the same query_id, so one query's full path greps out
+// of a JSON trace by ID. Unsampled queries pay one atomic increment;
+// with sampling off the hot path pays nothing at all.
+
+// TraceStage is one recorded step of a sampled query's lifecycle.
+type TraceStage struct {
+	// Stage is the lifecycle step: "admit", "cache_hit", "cache_miss",
+	// "execute", "degraded", "reply".
+	Stage string `json:"stage"`
+	// AtUS is microseconds since the query was admitted.
+	AtUS int64 `json:"at_us"`
+	// Detail carries stage-specific attributes (reads, epoch, outcome...).
+	Detail map[string]any `json:"detail,omitempty"`
+}
+
+// QueryTrace is the exported lifecycle of one sampled query.
+type QueryTrace struct {
+	// ID is the query ID minted at router admission; every stage of this
+	// query — and every EvServeQuery observer event it emitted — carries it.
+	ID uint64 `json:"query_id"`
+	// Query is the workload query name ("" for ad-hoc Submit calls).
+	Query string `json:"query,omitempty"`
+	// StartedAt is the wall-clock admission time.
+	StartedAt time.Time `json:"started_at"`
+	// Done reports whether the reply stage has been recorded.
+	Done bool `json:"done"`
+	// Stages is the lifecycle in recording order.
+	Stages []TraceStage `json:"stages"`
+}
+
+// queryTrace is the live, still-mutating form of a sampled query's trace.
+// The submitter and the worker both append stages; the lock is uncontended
+// in practice (stages alternate across the request's channel handoff) and
+// only sampled queries ever take it.
+type queryTrace struct {
+	id    uint64
+	query string
+	start time.Time
+
+	mu     sync.Mutex
+	done   bool
+	stages []TraceStage
+}
+
+func (t *queryTrace) stage(name string, attrs []obs.Attr) {
+	if t == nil {
+		return
+	}
+	st := TraceStage{Stage: name, AtUS: time.Since(t.start).Microseconds()}
+	if len(attrs) > 0 {
+		st.Detail = make(map[string]any, len(attrs))
+		for _, a := range attrs {
+			st.Detail[a.Key] = a.Value
+		}
+	}
+	t.mu.Lock()
+	t.stages = append(t.stages, st)
+	if name == "reply" {
+		t.done = true
+	}
+	t.mu.Unlock()
+}
+
+func (t *queryTrace) export() QueryTrace {
+	t.mu.Lock()
+	out := QueryTrace{
+		ID:        t.id,
+		Query:     t.query,
+		StartedAt: t.start,
+		Done:      t.done,
+		Stages:    append([]TraceStage(nil), t.stages...),
+	}
+	t.mu.Unlock()
+	return out
+}
+
+// traceRing is a bounded ring of recent sampled traces. Traces are
+// published at admission, so the ring shows in-flight queries too (Done
+// false until the reply stage lands).
+type traceRing struct {
+	mu   sync.Mutex
+	buf  []*queryTrace
+	next int // overwrite cursor once the ring is full
+}
+
+func newTraceRing(capacity int) *traceRing {
+	return &traceRing{buf: make([]*queryTrace, 0, capacity)}
+}
+
+func (r *traceRing) add(t *queryTrace) {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, t)
+	} else {
+		r.buf[r.next] = t
+		r.next = (r.next + 1) % len(r.buf)
+	}
+	r.mu.Unlock()
+}
+
+// snapshot exports the ring's traces, oldest first.
+func (r *traceRing) snapshot() []QueryTrace {
+	r.mu.Lock()
+	ordered := make([]*queryTrace, 0, len(r.buf))
+	ordered = append(ordered, r.buf[r.next:]...)
+	ordered = append(ordered, r.buf[:r.next]...)
+	r.mu.Unlock()
+	out := make([]QueryTrace, len(ordered))
+	for i, t := range ordered {
+		out[i] = t.export()
+	}
+	return out
+}
+
+// traceStage records one lifecycle stage on a sampled query's trace and
+// mirrors it to the observer as an EvServeQuery event carrying the same
+// query_id. No-op when qt is nil (query unsampled or sampling off).
+func (s *Server) traceStage(qt *queryTrace, stage string, attrs ...obs.Attr) {
+	if qt == nil {
+		return
+	}
+	qt.stage(stage, attrs)
+	tagged := make([]obs.Attr, 0, len(attrs)+2)
+	tagged = append(tagged, obs.Int("query_id", int64(qt.id)), obs.String("stage", stage))
+	tagged = append(tagged, attrs...)
+	obs.Emit(s.obsv, obs.EvServeQuery, tagged...)
+}
+
+// RecentTraces returns the sampled query traces currently in the ring,
+// oldest first. Nil when trace sampling is off.
+func (s *Server) RecentTraces() []QueryTrace {
+	if s.traces == nil {
+		return nil
+	}
+	return s.traces.snapshot()
+}

@@ -1,0 +1,395 @@
+// Package telemetry is the serving layer's live operational plane: a small
+// HTTP admin server that makes a running warehouse observable while it
+// serves traffic, instead of only post-mortem through trace files.
+//
+// Endpoints:
+//
+//	/metrics       Prometheus text exposition (format 0.0.4): every registry
+//	               counter and gauge, windowed rates (QPS, hit rate, refresh
+//	               failures/s), per-view staleness gauges, and the serve
+//	               latency histograms (all-time and rolling-window) as
+//	               cumulative _bucket/_sum/_count families.
+//	/healthz       liveness JSON: "ok" / "degraded" while serving, "closed"
+//	               (HTTP 503) once shutdown has begun.
+//	/views         per-view JSON: maintenance strategy, refresh epoch,
+//	               staleness (pending and lag rows), breaker state, last
+//	               error.
+//	/traces        the sampled-query trace ring: each entry is one query's
+//	               correlated lifecycle (admit → cache/execute → reply)
+//	               under a single query ID.
+//	/debug/pprof/  the standard runtime profiles.
+//
+// The plane is strictly pull-based and opt-in: nothing here runs unless a
+// listen address is configured, and a scrape only reads atomics and
+// snapshots — it never blocks the serving hot path.
+package telemetry
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/warehousekit/mvpp/internal/obs"
+	"github.com/warehousekit/mvpp/internal/serve"
+)
+
+// Source is what the telemetry plane reads from the serving layer;
+// *serve.Server implements it. Every method must be cheap and safe to call
+// from scrape handlers while the server runs (or closes) concurrently.
+type Source interface {
+	Stats() serve.Stats
+	Staleness() map[string]serve.Staleness
+	Epoch() uint64
+	LatencySnapshot() obs.HistSnapshot
+	WindowLatencySnapshot() obs.HistSnapshot
+	RecentTraces() []serve.QueryTrace
+	IsClosed() bool
+}
+
+// Config assembles a telemetry server.
+type Config struct {
+	// Addr is the listen address (":9090", "127.0.0.1:0", ...).
+	Addr string
+	// Registry supplies the counters and gauges for /metrics (nil: only the
+	// Source-derived families are exposed).
+	Registry *obs.Registry
+	// Source supplies serving stats, view staleness and traces (nil: those
+	// families and endpoints report empty).
+	Source Source
+}
+
+// Server is a running telemetry plane. Create with Serve, stop with Close.
+type Server struct {
+	ln        net.Listener
+	srv       *http.Server
+	reg       *obs.Registry
+	src       Source
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Serve binds the address and starts answering scrapes in a background
+// goroutine. It returns once the listener is bound, so Addr is immediately
+// scrapable (":0" picks a free port).
+func Serve(cfg Config) (*Server, error) {
+	if cfg.Addr == "" {
+		return nil, errors.New("telemetry: no listen address")
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", cfg.Addr, err)
+	}
+	s := &Server{ln: ln, reg: cfg.Registry, src: cfg.Source}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/views", s.handleViews)
+	mux.HandleFunc("/traces", s.handleTraces)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	go func() {
+		// ErrServerClosed is the normal shutdown path; anything else would
+		// have surfaced at Listen time.
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (with the real port when the
+// config asked for ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and in-flight scrape handlers. Idempotent and
+// safe to call concurrently; subsequent calls return the first error.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.closeErr = s.srv.Close()
+	})
+	return s.closeErr
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	WriteMetrics(w, s.reg, s.src)
+}
+
+// healthReply is the /healthz body.
+type healthReply struct {
+	Status        string  `json:"status"`
+	Epoch         uint64  `json:"epoch"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Views         int     `json:"views"`
+	Degrading     int     `json:"degrading"`
+	WindowQPS     float64 `json:"window_qps"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	reply := healthReply{Status: "ok"}
+	if s.src == nil {
+		writeJSON(w, http.StatusOK, reply)
+		return
+	}
+	if s.src.IsClosed() {
+		reply.Status = "closed"
+		writeJSON(w, http.StatusServiceUnavailable, reply)
+		return
+	}
+	st := s.src.Stats()
+	reply.Epoch = s.src.Epoch()
+	reply.UptimeSeconds = st.Uptime.Seconds()
+	reply.WindowQPS = st.WindowQPS
+	for _, v := range s.src.Staleness() {
+		reply.Views++
+		if v.Degrading {
+			reply.Degrading++
+		}
+	}
+	if reply.Degrading > 0 {
+		reply.Status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+// viewStatus is one maintained view in the /views body.
+type viewStatus struct {
+	Strategy            string     `json:"strategy"`
+	Epoch               uint64     `json:"epoch"`
+	PendingRows         int        `json:"pending_rows"`
+	LagRows             int        `json:"lag_rows"`
+	Breaker             string     `json:"breaker"`
+	ConsecutiveFailures int        `json:"consecutive_failures"`
+	Degrading           bool       `json:"degrading"`
+	LastError           string     `json:"last_error,omitempty"`
+	LastRefresh         *time.Time `json:"last_refresh,omitempty"`
+}
+
+func (s *Server) handleViews(w http.ResponseWriter, _ *http.Request) {
+	out := struct {
+		Epoch uint64                `json:"epoch"`
+		Views map[string]viewStatus `json:"views"`
+	}{Views: map[string]viewStatus{}}
+	if s.src != nil {
+		out.Epoch = s.src.Epoch()
+		for name, v := range s.src.Staleness() {
+			vs := viewStatus{
+				Strategy:            v.Strategy,
+				Epoch:               v.Epoch,
+				PendingRows:         v.PendingRows,
+				LagRows:             v.LagRows,
+				Breaker:             v.Breaker,
+				ConsecutiveFailures: v.ConsecutiveFailures,
+				Degrading:           v.Degrading,
+				LastError:           v.LastError,
+			}
+			if !v.LastRefresh.IsZero() {
+				t := v.LastRefresh
+				vs.LastRefresh = &t
+			}
+			out.Views[name] = vs
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	var traces []serve.QueryTrace
+	if s.src != nil {
+		traces = s.src.RecentTraces()
+	}
+	if traces == nil {
+		traces = []serve.QueryTrace{}
+	}
+	out := struct {
+		Sampled int                `json:"sampled"`
+		Traces  []serve.QueryTrace `json:"traces"`
+	}{Sampled: len(traces), Traces: traces}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// WriteMetrics renders the full /metrics exposition: registry counters
+// (suffixed _total) and gauges, then the serving families derived from the
+// source — windowed rates, per-view staleness gauges, and the latency
+// histograms. Output is sorted, so scrapes diff cleanly.
+func WriteMetrics(w io.Writer, reg *obs.Registry, src Source) {
+	if reg != nil {
+		counters, gauges := reg.Snapshot()
+		names := make([]string, 0, len(counters))
+		for name := range counters {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			m := MetricName(name) + "_total"
+			fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m, m, counters[name])
+		}
+		names = names[:0]
+		for name := range gauges {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			m := MetricName(name)
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", m, m, formatFloat(gauges[name]))
+		}
+	}
+	if src == nil {
+		return
+	}
+	st := src.Stats()
+	writeGauge(w, "mvpp_serve_epoch", float64(src.Epoch()))
+	writeGauge(w, "mvpp_serve_uptime_seconds", st.Uptime.Seconds())
+	writeGauge(w, "mvpp_serve_window_seconds", float64(st.WindowSeconds))
+	writeGauge(w, "mvpp_serve_window_qps", st.WindowQPS)
+	writeGauge(w, "mvpp_serve_window_hit_rate", st.WindowHitRate)
+	writeGauge(w, "mvpp_serve_window_refresh_failures_per_second", st.WindowRefreshFailuresPerSec)
+
+	views := src.Staleness()
+	names := make([]string, 0, len(views))
+	for name := range views {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	writeViewGauge(w, "mvpp_view_pending_rows", views, names, func(v serve.Staleness) float64 { return float64(v.PendingRows) })
+	writeViewGauge(w, "mvpp_view_lag_rows", views, names, func(v serve.Staleness) float64 { return float64(v.LagRows) })
+	writeViewGauge(w, "mvpp_view_refresh_epoch", views, names, func(v serve.Staleness) float64 { return float64(v.Epoch) })
+	writeViewGauge(w, "mvpp_view_degrading", views, names, func(v serve.Staleness) float64 {
+		if v.Degrading {
+			return 1
+		}
+		return 0
+	})
+	writeViewGauge(w, "mvpp_view_breaker_open", views, names, func(v serve.Staleness) float64 {
+		if v.Breaker != "closed" {
+			return 1
+		}
+		return 0
+	})
+
+	writeHistogram(w, "mvpp_serve_latency_seconds", src.LatencySnapshot())
+	writeHistogram(w, "mvpp_serve_window_latency_seconds", src.WindowLatencySnapshot())
+}
+
+func writeGauge(w io.Writer, name string, v float64) {
+	fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, formatFloat(v))
+}
+
+func writeViewGauge(w io.Writer, name string, views map[string]serve.Staleness, order []string, f func(serve.Staleness) float64) {
+	if len(order) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+	for _, view := range order {
+		fmt.Fprintf(w, "%s{view=%q} %s\n", name, escapeLabel(view), formatFloat(f(views[view])))
+	}
+}
+
+// writeHistogram renders a power-of-two nanosecond histogram as a
+// cumulative Prometheus histogram in seconds: bucket i of the snapshot
+// counts durations in [2^(i-1), 2^i) ns, so its cumulative upper bound is
+// (2^i - 1) ns. Empty trailing buckets collapse into +Inf.
+func writeHistogram(w io.Writer, name string, snap obs.HistSnapshot) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	hi := -1
+	for i, n := range snap.Buckets {
+		if n > 0 {
+			hi = i
+		}
+	}
+	var cum int64
+	for i := 0; i <= hi; i++ {
+		cum += snap.Buckets[i]
+		le := (math.Ldexp(1, i) - 1) / 1e9
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(le), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, snap.Count)
+	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(float64(snap.Sum)/1e9))
+	fmt.Fprintf(w, "%s_count %d\n", name, snap.Count)
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// MetricName maps a registry name ("serve.cache_hits") to a Prometheus
+// metric name ("mvpp_serve_cache_hits"): illegal characters become
+// underscores and everything gets the mvpp_ namespace prefix.
+func MetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 5)
+	b.WriteString("mvpp_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format (backslash,
+// double quote, newline). The %q wrapping at the call sites handles quoting
+// and the first two, so only newlines need replacing before %q — but keep
+// the helper total for callers that quote by hand.
+func escapeLabel(v string) string {
+	return strings.NewReplacer("\n", `\n`).Replace(v)
+}
+
+var (
+	metricLineRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [^ ]+$`)
+	typeLineRe   = regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram|summary|untyped)$`)
+)
+
+// ValidateExposition checks that data is well-formed Prometheus text
+// exposition: every line is a # TYPE/# HELP comment or a sample whose
+// metric name is legal and whose value parses as a float. It returns the
+// number of samples. The bench harness and the mvserve self-scrape both
+// gate on it.
+func ValidateExposition(data []byte) (samples int, err error) {
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if strings.HasPrefix(line, "# TYPE ") && !typeLineRe.MatchString(line) {
+				return samples, fmt.Errorf("telemetry: line %d: malformed TYPE comment %q", lineNo+1, line)
+			}
+			continue
+		}
+		if !metricLineRe.MatchString(line) {
+			return samples, fmt.Errorf("telemetry: line %d: malformed sample %q", lineNo+1, line)
+		}
+		value := line[strings.LastIndexByte(line, ' ')+1:]
+		if _, perr := strconv.ParseFloat(value, 64); perr != nil {
+			return samples, fmt.Errorf("telemetry: line %d: bad value %q: %v", lineNo+1, value, perr)
+		}
+		samples++
+	}
+	if samples == 0 {
+		return 0, errors.New("telemetry: exposition has no samples")
+	}
+	return samples, nil
+}

@@ -66,6 +66,7 @@ const (
 	EvServeBreaker   = obs.EvServeBreaker
 	EvServeDegraded  = obs.EvServeDegraded
 	EvServeJournal   = obs.EvServeJournal
+	EvServeQuery     = obs.EvServeQuery
 )
 
 // Canonical counter names the pipeline maintains.

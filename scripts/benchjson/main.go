@@ -12,12 +12,15 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"runtime"
 	"testing"
 	"time"
 
 	mvpp "github.com/warehousekit/mvpp"
+	"github.com/warehousekit/mvpp/internal/telemetry"
 )
 
 func paperDesigner(opts mvpp.Options) (*mvpp.Designer, error) {
@@ -253,6 +256,60 @@ func measureChaosServe() (testing.BenchmarkResult, mvpp.ServeStats, error) {
 	return res, stats, runErr
 }
 
+// measureTelemetryScrape prices one full /metrics scrape — HTTP GET plus
+// Prometheus exposition rendering — against a primed live server, and
+// asserts every scrape parses. The server first answers the whole workload
+// once so counters, per-view gauges, and both latency histograms are
+// populated; the windowed rates from its Stats() go into the baseline too.
+func measureTelemetryScrape() (testing.BenchmarkResult, int, mvpp.ServeStats, error) {
+	d, err := paperDesigner(mvpp.Options{})
+	if err != nil {
+		return testing.BenchmarkResult{}, 0, mvpp.ServeStats{}, err
+	}
+	design, err := d.Design()
+	if err != nil {
+		return testing.BenchmarkResult{}, 0, mvpp.ServeStats{}, err
+	}
+	srv, err := design.NewServer(mvpp.ServeOptions{
+		Scale: 0.01, Seed: 7, TelemetryAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		return testing.BenchmarkResult{}, 0, mvpp.ServeStats{}, err
+	}
+	defer srv.Close()
+	ctx := context.Background()
+	for _, q := range design.Queries() {
+		for i := 0; i < 8; i++ {
+			if _, err := srv.Query(ctx, q); err != nil {
+				return testing.BenchmarkResult{}, 0, mvpp.ServeStats{}, err
+			}
+		}
+	}
+	url := "http://" + srv.TelemetryAddr() + "/metrics"
+	var runErr error
+	var samples int
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			resp, err := http.Get(url)
+			if err != nil {
+				runErr = err
+				b.FailNow()
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err == nil {
+				samples, err = telemetry.ValidateExposition(body)
+			}
+			if err != nil {
+				runErr = fmt.Errorf("scrape did not parse: %w", err)
+				b.FailNow()
+			}
+		}
+	})
+	return res, samples, srv.Stats(), runErr
+}
+
 type report struct {
 	Benchmark        string `json:"benchmark"`
 	GoVersion        string `json:"go_version"`
@@ -286,6 +343,14 @@ type report struct {
 	ChaosDegraded     int64   `json:"chaos_degraded_queries"`
 	ChaosBreakerTrips int64   `json:"chaos_breaker_trips"`
 	ChaosRetries      int64   `json:"chaos_retries"`
+	// Telemetry tracks the admin plane: the cost of one full /metrics
+	// scrape (HTTP GET + exposition render + parse check) on a primed
+	// server, how many samples that scrape carried, and the rolling-window
+	// rates the plane derives from the last minute of traffic.
+	TelemetryScrapeNsPerOp int64   `json:"telemetry_scrape_ns_per_op"`
+	TelemetryScrapeSamples int     `json:"telemetry_scrape_samples"`
+	ServeWindowQPS         float64 `json:"serve_window_qps"`
+	ServeWindowHitRate     float64 `json:"serve_window_hit_rate"`
 }
 
 func main() {
@@ -309,6 +374,8 @@ func main() {
 	serveRes, serveStats, err := measureServe()
 	fail(err)
 	_, chaosStats, err := measureChaosServe()
+	fail(err)
+	scrapeRes, scrapeSamples, scrapeStats, err := measureTelemetryScrape()
 	fail(err)
 
 	r := report{
@@ -336,6 +403,10 @@ func main() {
 		ChaosDegraded:          chaosStats.DegradedQueries,
 		ChaosBreakerTrips:      chaosStats.BreakerTrips,
 		ChaosRetries:           chaosStats.Retries,
+		TelemetryScrapeNsPerOp: scrapeRes.NsPerOp(),
+		TelemetryScrapeSamples: scrapeSamples,
+		ServeWindowQPS:         scrapeStats.WindowQPS,
+		ServeWindowHitRate:     scrapeStats.WindowHitRate,
 	}
 	data, err := json.MarshalIndent(r, "", "  ")
 	fail(err)

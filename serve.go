@@ -14,6 +14,7 @@ import (
 	"github.com/warehousekit/mvpp/internal/optimizer"
 	"github.com/warehousekit/mvpp/internal/serve"
 	"github.com/warehousekit/mvpp/internal/sqlparse"
+	"github.com/warehousekit/mvpp/internal/telemetry"
 )
 
 // ServeOptions configures Design.NewServer.
@@ -57,7 +58,22 @@ type ServeOptions struct {
 	// file-backed delta journal at that path; the Server owns it and closes
 	// it on Close. Mutually exclusive with Journal.
 	JournalPath string
+	// TelemetryAddr, when non-empty, starts the live telemetry plane on
+	// that address (":9090", "127.0.0.1:0", ...): /metrics in Prometheus
+	// text exposition, /healthz and /views JSON, /traces with sampled
+	// query lifecycles, and /debug/pprof. Empty keeps everything off — no
+	// listener, no goroutines, no hot-path cost.
+	TelemetryAddr string
+	// TraceSampleEvery samples every Nth query's lifecycle into the trace
+	// ring behind /traces (1 = every query). 0 defaults to 16 when
+	// TelemetryAddr is set and stays off otherwise; negative forces
+	// sampling off even with telemetry on.
+	TraceSampleEvery int
 }
+
+// defaultTraceSample is the sampling stride when telemetry is on and the
+// caller did not choose one.
+const defaultTraceSample = 16
 
 // ServeStats is a point-in-time snapshot of the serving counters.
 type ServeStats = serve.Stats
@@ -68,6 +84,10 @@ type ViewStaleness = serve.Staleness
 // Advice is the serving advisor's proposal: what the paper's selection
 // would materialize for the observed workload.
 type Advice = serve.Advice
+
+// QueryTrace is one sampled query's correlated lifecycle (admission →
+// cache/execute → reply), every stage tagged with the same query ID.
+type QueryTrace = serve.QueryTrace
 
 // QueryResult is one answered query.
 type QueryResult struct {
@@ -135,7 +155,11 @@ type Server struct {
 
 	// journal is the file journal opened from ServeOptions.JournalPath (nil
 	// when the caller supplied their own or none); the Server closes it.
-	journal   DeltaJournal
+	journal DeltaJournal
+	// tele is the telemetry plane (nil when TelemetryAddr was empty); the
+	// Server stops it on Close, after the serving layer so late scrapes see
+	// "closed" instead of a reset connection.
+	tele      *telemetry.Server
 	closeOnce sync.Once
 	closeErr  error
 
@@ -157,6 +181,12 @@ func (d *Design) NewServer(opts ServeOptions) (*Server, error) {
 	observer := opts.Observer
 	if observer == nil {
 		observer = d.obsv
+	}
+	if observer == nil && opts.TelemetryAddr != "" {
+		// The telemetry plane serves the registry's counters and gauges;
+		// with no observer configured anywhere, give it a metrics-only one
+		// so /metrics is populated instead of empty.
+		observer = obs.MetricsOnly(nil)
 	}
 
 	db, err := d.buildSyntheticDB(scale, opts.Seed)
@@ -205,28 +235,53 @@ func (d *Design) NewServer(opts ServeOptions) (*Server, error) {
 		ownedJournal = fj
 	}
 
+	sampleEvery := opts.TraceSampleEvery
+	if sampleEvery == 0 && opts.TelemetryAddr != "" {
+		sampleEvery = defaultTraceSample
+	}
+	if sampleEvery < 0 {
+		sampleEvery = 0
+	}
+
 	inner, err := serve.New(serve.Config{
-		DB:              db,
-		Queries:         queries,
-		Views:           views,
-		MVPP:            d.mvpp,
-		Model:           d.model,
-		Workers:         opts.Workers,
-		QueueDepth:      opts.QueueDepth,
-		CacheCapacity:   opts.CacheCapacity,
-		DeltaBatch:      opts.DeltaBatch,
-		RefreshInterval: opts.RefreshInterval,
-		Retry:           opts.Retry,
-		Breaker:         opts.Breaker,
-		Injector:        opts.Injector,
-		Journal:         journal,
-		Obs:             observer,
+		DB:               db,
+		Queries:          queries,
+		Views:            views,
+		MVPP:             d.mvpp,
+		Model:            d.model,
+		Workers:          opts.Workers,
+		QueueDepth:       opts.QueueDepth,
+		CacheCapacity:    opts.CacheCapacity,
+		DeltaBatch:       opts.DeltaBatch,
+		RefreshInterval:  opts.RefreshInterval,
+		Retry:            opts.Retry,
+		Breaker:          opts.Breaker,
+		Injector:         opts.Injector,
+		Journal:          journal,
+		TraceSampleEvery: sampleEvery,
+		Obs:              observer,
 	})
 	if err != nil {
 		if ownedJournal != nil {
 			ownedJournal.Close()
 		}
 		return nil, fmt.Errorf("mvpp: %w", err)
+	}
+
+	var tele *telemetry.Server
+	if opts.TelemetryAddr != "" {
+		tele, err = telemetry.Serve(telemetry.Config{
+			Addr:     opts.TelemetryAddr,
+			Registry: obs.RegistryOf(observer),
+			Source:   inner,
+		})
+		if err != nil {
+			inner.Close()
+			if ownedJournal != nil {
+				ownedJournal.Close()
+			}
+			return nil, fmt.Errorf("mvpp: %w", err)
+		}
 	}
 
 	est := cost.NewEstimator(d.catalog.inner, cost.DefaultOptions())
@@ -237,6 +292,7 @@ func (d *Design) NewServer(opts ServeOptions) (*Server, error) {
 		inner:   inner,
 		scale:   scale,
 		journal: ownedJournal,
+		tele:    tele,
 		opt:     optimizer.New(est, d.model, optimizer.Options{}),
 	}
 	s.seed.Store(opts.Seed + 1)
@@ -354,7 +410,16 @@ func (s *Server) ApplyAdvice(a *Advice) error { return s.inner.ApplyAdvice(a) }
 // them.
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
+		// Serving layer first: from this instant /healthz answers "closed".
+		// The telemetry listener stops next, so a scrape racing the close
+		// gets the closed answer rather than a hung or reset connection;
+		// the journal last, once nothing can append to it.
 		s.closeErr = s.inner.Close()
+		if s.tele != nil {
+			if err := s.tele.Close(); s.closeErr == nil {
+				s.closeErr = err
+			}
+		}
 		if s.journal != nil {
 			if err := s.journal.Close(); s.closeErr == nil {
 				s.closeErr = err
@@ -363,3 +428,17 @@ func (s *Server) Close() error {
 	})
 	return s.closeErr
 }
+
+// TelemetryAddr returns the telemetry plane's bound listen address (with
+// the real port when ServeOptions asked for ":0"), or "" when telemetry is
+// off.
+func (s *Server) TelemetryAddr() string {
+	if s.tele == nil {
+		return ""
+	}
+	return s.tele.Addr()
+}
+
+// RecentTraces returns the sampled query traces currently in the /traces
+// ring, oldest first — nil when trace sampling is off.
+func (s *Server) RecentTraces() []QueryTrace { return s.inner.RecentTraces() }
