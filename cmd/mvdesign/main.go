@@ -37,6 +37,7 @@ func run() (status int) {
 		disjunctions = flag.Bool("push-disjunctions", false, "push disjunctive filters onto shared scans")
 		projections  = flag.Bool("push-projections", false, "push column-pruning projections onto scans")
 		dot          = flag.Bool("dot", false, "print the chosen MVPP as Graphviz DOT instead of the report")
+		explain      = flag.String("explain", "", "print the named query's priced plan tree after the report (\"all\" = every query)")
 		jsonOut      = flag.Bool("json", false, "print the design as machine-readable JSON instead of the report")
 		trace        = flag.Bool("trace", false, "print the selection heuristic's trace after the report")
 		simulate     = flag.Bool("simulate", false, "run the design on synthetic data in the embedded engine")
@@ -134,6 +135,21 @@ func run() (status int) {
 		return 0
 	}
 	fmt.Print(design.Report())
+	if *explain != "" {
+		names := design.Queries()
+		if *explain != "all" {
+			names = []string{*explain}
+		}
+		for _, q := range names {
+			out, err := design.Explain(q)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mvdesign:", err)
+				return 1
+			}
+			fmt.Println()
+			fmt.Print(out)
+		}
+	}
 	if *trace {
 		fmt.Println("\nselection trace:")
 		fmt.Print(design.Trace())

@@ -66,6 +66,21 @@ func TestCLIReport(t *testing.T) {
 	}
 }
 
+func TestCLIExplain(t *testing.T) {
+	out, code := runCLI(t, "-catalog", "testdata/catalog.json", "-workload", "testdata/workload.json", "-explain", "all")
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	for _, want := range []string{"blocks under the design", "● materialized", "└── "} {
+		if !contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+	if _, code := runCLI(t, "-catalog", "testdata/catalog.json", "-workload", "testdata/workload.json", "-explain", "Q99"); code == 0 {
+		t.Error("unknown explain query accepted")
+	}
+}
+
 func TestCLIPaperSizes(t *testing.T) {
 	out, code := runCLI(t, "-catalog", "testdata/catalog.json", "-workload", "testdata/workload.json", "-paper-sizes", "-exhaustive")
 	if code != 0 {

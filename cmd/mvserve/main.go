@@ -51,6 +51,9 @@ func run() (status int) {
 		delta         = flag.Float64("delta", 0.02, "per-epoch synthetic insert fraction (0 disables maintenance load)")
 		epochs        = flag.Int("epochs", 4, "maintenance epochs to run during the load")
 		drift         = flag.String("drift", "", "after the main load, re-run the load all on this query and consult the advisor")
+		explain       = flag.String("explain", "", "after the load, print this query's plan annotated with predicted and measured block costs (\"all\" = every query)")
+		noAudit       = flag.Bool("no-cost-audit", false, "disable the predicted-vs-actual cost ledger")
+		skew          = flag.Float64("cost-skew", 0, "multiply every registered cost prediction by this factor (test hook for forcing calibration drift; 0 = off)")
 		apply         = flag.Bool("apply", false, "apply the advisor's proposal live and re-run the load")
 		chaos         = flag.Float64("chaos", 0, "fault injection probability: refresh errors at this rate, plus slow queries and worker panics at lower rates (0 disables)")
 		journalPath   = flag.String("journal", "", "crash-safe delta journal path; un-applied deltas from a previous run are replayed on startup")
@@ -124,6 +127,7 @@ func run() (status int) {
 		JournalPath:   *journalPath,
 		TelemetryAddr: *telemetryAddr,
 		Observer:      obsy.Observer,
+		CostAudit:     mvpp.CostAuditOptions{Disable: *noAudit, SkewPredictions: *skew},
 	}
 	if *chaos > 0 {
 		opts.Injector = mvpp.NewFaultInjector(*seed, mvpp.FaultPlan{
@@ -164,6 +168,22 @@ func run() (status int) {
 		return 1
 	}
 	report(srv)
+	costReport(srv)
+	if *explain != "" {
+		names := queries
+		if *explain != "all" {
+			names = []string{*explain}
+		}
+		for _, q := range names {
+			out, err := srv.Explain(q)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mvserve:", err)
+				return 1
+			}
+			fmt.Println()
+			fmt.Print(out)
+		}
+	}
 	if addr := srv.TelemetryAddr(); addr != "" {
 		// Self-scrape: validate the exposition and summarize the live
 		// endpoints, so a smoke run proves the plane works end to end.
@@ -275,7 +295,55 @@ func scrapeReport(addr string) error {
 		return fmt.Errorf("telemetry: /traces: %w", err)
 	}
 	fmt.Printf("telemetry: /traces holds %d sampled query lifecycles\n", traces.Sampled)
+
+	code, body, err = get("/costmodel")
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("telemetry: /costmodel returned HTTP %d", code)
+	}
+	var costmodel struct {
+		Entries []struct {
+			Kind string `json:"kind"`
+		} `json:"entries"`
+		Drifted int `json:"drifted_entries"`
+	}
+	if err := json.Unmarshal(body, &costmodel); err != nil {
+		return fmt.Errorf("telemetry: /costmodel: %w", err)
+	}
+	fmt.Printf("telemetry: /costmodel holds %d ledger entries (%d drifted)\n",
+		len(costmodel.Entries), costmodel.Drifted)
 	return nil
+}
+
+// costReport prints the predicted-vs-actual cost ledger: per query class
+// and per view refresh, the §4.1 prediction, the measured block I/O, and
+// the EWMA calibration ratio. Silent when the ledger is disabled or empty.
+func costReport(srv *mvpp.Server) {
+	rep := srv.CostReport()
+	if len(rep.Entries) == 0 {
+		return
+	}
+	fmt.Println("\ncost accountability (predicted vs actual block I/O):")
+	fmt.Printf("  %-12s %-10s %12s %12s %12s %8s %7s\n",
+		"kind", "name", "predicted", "last actual", "mean actual", "ratio", "samples")
+	for _, e := range rep.Entries {
+		drift := ""
+		if e.Drifted {
+			drift = "  DRIFTED"
+		}
+		fmt.Printf("  %-12s %-10s %12.1f %12.0f %12.1f %8.2f %7d%s\n",
+			e.Kind, e.Name, e.PredictedBlocks, e.LastActualBlocks, e.MeanActualBlocks,
+			e.Ratio, e.Samples, drift)
+	}
+	if rep.DriftedEntries > 0 {
+		fmt.Printf("  %d entries drifted beyond the calibration band\n", rep.DriftedEntries)
+	}
+	if recal := srv.LastRecalibration(); recal != nil {
+		fmt.Printf("  advisor recalibrated on drift: keep %v, add %v, drop %v (cost %.0f -> %.0f blocks)\n",
+			recal.Keep, recal.Add, recal.Drop, recal.CurrentTotal, recal.ProposedTotal)
+	}
 }
 
 // drive runs clients×requests queries through the server with pick

@@ -91,6 +91,49 @@ func TestCLITelemetry(t *testing.T) {
 	}
 }
 
+func TestCLICostReportAndExplain(t *testing.T) {
+	out, code := runCLI(t, "-catalog", "testdata/catalog.json", "-workload", "testdata/workload.json",
+		"-clients", "2", "-requests", "20", "-epochs", "2", "-scale", "0.005",
+		"-telemetry", "127.0.0.1:0", "-explain", "Q1")
+	if code != 0 {
+		t.Fatalf("exit code %d:\n%s", code, out)
+	}
+	for _, want := range []string{
+		"cost accountability (predicted vs actual block I/O):",
+		"recompute", "samples",
+		"query Q1", "predicted",
+		"telemetry: /costmodel holds",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLICostSkewTripsDrift(t *testing.T) {
+	out, code := runCLI(t, "-catalog", "testdata/catalog.json", "-workload", "testdata/workload.json",
+		"-clients", "1", "-requests", "4", "-epochs", "4", "-scale", "0.005",
+		"-cost-skew", "16")
+	if code != 0 {
+		t.Fatalf("exit code %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "DRIFTED") {
+		t.Errorf("16x cost skew never flagged drift:\n%s", out)
+	}
+}
+
+func TestCLICostAuditDisabled(t *testing.T) {
+	out, code := runCLI(t, "-catalog", "testdata/catalog.json", "-workload", "testdata/workload.json",
+		"-clients", "1", "-requests", "4", "-epochs", "1", "-scale", "0.005",
+		"-no-cost-audit")
+	if code != 0 {
+		t.Fatalf("exit code %d:\n%s", code, out)
+	}
+	if strings.Contains(out, "cost accountability") {
+		t.Errorf("-no-cost-audit still printed the ledger:\n%s", out)
+	}
+}
+
 func TestCLIChaosReport(t *testing.T) {
 	out, code := runCLI(t, "-catalog", "testdata/catalog.json", "-workload", "testdata/workload.json",
 		"-clients", "2", "-requests", "20", "-epochs", "3", "-scale", "0.005",

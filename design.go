@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/warehousekit/mvpp/internal/algebra"
 	"github.com/warehousekit/mvpp/internal/core"
 	"github.com/warehousekit/mvpp/internal/cost"
 	"github.com/warehousekit/mvpp/internal/obs"
@@ -160,6 +161,58 @@ func (d *Design) ExplainQuery(name string) (string, error) {
 		return "", fmt.Errorf("mvpp: %w", err)
 	}
 	return out, nil
+}
+
+// Explain renders the named query's priced plan tree: every operator with
+// its estimated output size, its per-operator §4.1 block cost, and — for
+// vertices the design materializes — the view name, maintenance strategy
+// and per-period maintenance cost. This is the design-time prediction; the
+// serving layer's Server.Explain shows the same tree joined against
+// measured actuals.
+func (d *Design) Explain(name string) (string, error) {
+	root, ok := d.mvpp.Roots[name]
+	if !ok {
+		return "", fmt.Errorf("mvpp: unknown query %q", name)
+	}
+	info := make(map[string]*core.Vertex, len(d.mvpp.Vertices))
+	for _, v := range d.mvpp.Vertices {
+		info[v.Key] = v
+	}
+	line := func(n algebra.Node) string {
+		lbl := n.Label()
+		v, ok := info[algebra.StructuralKey(n)]
+		if !ok {
+			return lbl
+		}
+		if v.IsLeaf() {
+			return fmt.Sprintf("%s  — est %.0f rows / %.1f blocks", lbl, v.Est.Rows, v.Est.Blocks)
+		}
+		lbl = fmt.Sprintf("%s [%s]  — op %.1f blocks, est %.0f rows / %.1f blocks",
+			lbl, v.Name, v.CaSelf, v.Est.Rows, v.Est.Blocks)
+		if d.selection.Materialized[v.ID] {
+			lbl += fmt.Sprintf("  ● materialized (%s, Cm %.1f)",
+				d.selection.Plans[v.Name], d.selection.Costs.PerView[v.Name])
+		}
+		return lbl
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "query %s  — Ca %.1f blocks under the design\n", name, d.selection.Costs.PerQuery[name])
+	b.WriteString(line(root.Op))
+	b.WriteByte('\n')
+	var walk func(n algebra.Node, prefix string)
+	walk = func(n algebra.Node, prefix string) {
+		children := n.Children()
+		for i, c := range children {
+			branch, next := "├── ", prefix+"│   "
+			if i == len(children)-1 {
+				branch, next = "└── ", prefix+"    "
+			}
+			b.WriteString(prefix + branch + line(c) + "\n")
+			walk(c, next)
+		}
+	}
+	walk(root.Op, "")
+	return b.String(), nil
 }
 
 // Report renders a complete human-readable design report.

@@ -1,0 +1,177 @@
+// Cost accountability: the serving layer auditing its own cost model.
+// Every §4.1 prediction the designer made becomes a live ledger entry the
+// engine's measured block I/O is joined against — per query class and per
+// view refresh — with an EWMA calibration ratio saying how honest the
+// model is. The program drives traffic, prints the ledger and an
+// EXPLAIN annotated with actuals, scrapes /costmodel, and then forces a
+// skewed cost model to show the drift flag tripping and the advisor
+// re-selecting views with recalibrated weights.
+//
+//	go run ./examples/cost_accountability
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	mvpp "github.com/warehousekit/mvpp"
+	"github.com/warehousekit/mvpp/internal/cli"
+)
+
+func paperDesigner() (*mvpp.Designer, error) {
+	cat := mvpp.NewCatalog()
+	steps := []error{
+		cat.AddTable("Product", []mvpp.Column{
+			{Name: "Pid", Type: mvpp.Int}, {Name: "name", Type: mvpp.String}, {Name: "Did", Type: mvpp.Int},
+		}, mvpp.TableStats{Rows: 30000, Blocks: 3000, UpdateFrequency: 1,
+			DistinctValues: map[string]float64{"Pid": 30000, "Did": 5000}}),
+		cat.AddTable("Division", []mvpp.Column{
+			{Name: "Did", Type: mvpp.Int}, {Name: "name", Type: mvpp.String}, {Name: "city", Type: mvpp.String},
+		}, mvpp.TableStats{Rows: 5000, Blocks: 500, UpdateFrequency: 1,
+			DistinctValues: map[string]float64{"Did": 5000, "city": 50}}),
+		cat.AddTable("Order", []mvpp.Column{
+			{Name: "Pid", Type: mvpp.Int}, {Name: "Cid", Type: mvpp.Int},
+			{Name: "quantity", Type: mvpp.Int}, {Name: "date", Type: mvpp.Date},
+		}, mvpp.TableStats{Rows: 50000, Blocks: 6000, UpdateFrequency: 1,
+			DistinctValues: map[string]float64{"Pid": 30000, "Cid": 20000},
+			IntRanges:      map[string][2]int64{"quantity": {1, 200}}}),
+		cat.AddTable("Customer", []mvpp.Column{
+			{Name: "Cid", Type: mvpp.Int}, {Name: "name", Type: mvpp.String}, {Name: "city", Type: mvpp.String},
+		}, mvpp.TableStats{Rows: 20000, Blocks: 2000, UpdateFrequency: 1,
+			DistinctValues: map[string]float64{"Cid": 20000, "city": 50}}),
+		cat.PinSelectivity(`city = 'LA'`, 0.02, "Division"),
+		cat.PinSelectivity(`date > 7/1/96`, 0.5, "Order"),
+		cat.PinSelectivity(`quantity > 100`, 0.5, "Order"),
+	}
+	for _, err := range steps {
+		if err != nil {
+			return nil, err
+		}
+	}
+	d := mvpp.NewDesigner(cat, mvpp.Options{})
+	queries := []struct {
+		name string
+		sql  string
+		freq float64
+	}{
+		{"Q1", `SELECT Product.name FROM Product, Division WHERE Division.city = 'LA' AND Product.Did = Division.Did`, 10},
+		{"Q3", `SELECT Customer.name, Product.name, quantity FROM Product, Division, Order, Customer WHERE Division.city = 'LA' AND Product.Did = Division.Did AND Product.Pid = Order.Pid AND Order.Cid = Customer.Cid AND date > 7/1/96`, 0.8},
+		{"Q4", `SELECT Customer.city, date FROM Order, Customer WHERE quantity > 100 AND Order.Cid = Customer.Cid`, 5},
+	}
+	for _, q := range queries {
+		if err := d.AddQuery(q.name, q.sql, q.freq); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// epoch drives one round of traffic and maintenance: every query once
+// against a cold cache, then a delta batch and a refresh.
+func epoch(srv *mvpp.Server, queries []string) error {
+	ctx := context.Background()
+	for _, q := range queries {
+		if _, err := srv.Query(ctx, q); err != nil {
+			return err
+		}
+	}
+	if _, err := srv.InjectDeltas(0.02); err != nil {
+		return err
+	}
+	return srv.Flush()
+}
+
+func printLedger(rep mvpp.CostReport) {
+	fmt.Printf("  %-11s %-8s %10s %10s %7s %s\n", "kind", "name", "predicted", "actual", "ratio", "")
+	for _, e := range rep.Entries {
+		drift := ""
+		if e.Drifted {
+			drift = "  <- DRIFTED"
+		}
+		fmt.Printf("  %-11s %-8s %10.1f %10.0f %7.2f%s\n",
+			e.Kind, e.Name, e.PredictedBlocks, e.LastActualBlocks, e.Ratio, drift)
+	}
+}
+
+func main() {
+	logger := cli.DefaultLogger()
+	designer, err := paperDesigner()
+	if err != nil {
+		cli.Fatal(logger, "building the paper workload failed", err)
+	}
+	design, err := designer.Design()
+	if err != nil {
+		cli.Fatal(logger, "design failed", err)
+	}
+
+	// Act 1: an honest cost model. The ledger is on by default.
+	srv, err := design.NewServer(mvpp.ServeOptions{
+		Scale: 0.05, Seed: 11, TelemetryAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		cli.Fatal(logger, "starting the server failed", err)
+	}
+	defer srv.Close()
+	queries := design.Queries()
+	for i := 0; i < 3; i++ {
+		if err := epoch(srv, queries); err != nil {
+			cli.Fatal(logger, "driving traffic failed", err)
+		}
+	}
+
+	fmt.Println("predicted vs actual block I/O after 3 epochs (ratio = actual/predicted):")
+	printLedger(srv.CostReport())
+
+	fmt.Println("\nEXPLAIN Q3 — the rewritten plan, priced per operator, joined with actuals:")
+	plan, err := srv.Explain("Q3")
+	if err != nil {
+		cli.Fatal(logger, "explain failed", err)
+	}
+	fmt.Print(plan)
+
+	// The same ledger as a scrape target.
+	resp, err := http.Get("http://" + srv.TelemetryAddr() + "/metrics")
+	if err != nil {
+		cli.Fatal(logger, "scraping /metrics failed", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		cli.Fatal(logger, "scraping /metrics failed", err)
+	}
+	fmt.Println("\ncalibration gauges on /metrics:")
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "mv_cost_calibration_ratio{") {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+
+	// Act 2: a lying cost model. Every prediction is skewed 8x high, so the
+	// smoothed ratios collapse toward 0.125, cross the drift bound (2.5),
+	// and the scheduler re-runs Figure 9 selection with the observed
+	// frequencies recalibrated by the measured ratios.
+	skewed, err := design.NewServer(mvpp.ServeOptions{
+		Scale: 0.05, Seed: 11,
+		CostAudit: mvpp.CostAuditOptions{SkewPredictions: 8},
+	})
+	if err != nil {
+		cli.Fatal(logger, "starting the skewed server failed", err)
+	}
+	defer skewed.Close()
+	for i := 0; i < 4; i++ {
+		if err := epoch(skewed, queries); err != nil {
+			cli.Fatal(logger, "driving the skewed server failed", err)
+		}
+	}
+	fmt.Println("\nwith predictions skewed 8x (a deliberately mis-calibrated model):")
+	printLedger(skewed.CostReport())
+	st := skewed.Stats()
+	fmt.Printf("\ndrift events: %d, advisor recalibrations: %d\n", st.CostDrifts, st.Recalibrations)
+	if recal := skewed.LastRecalibration(); recal != nil {
+		fmt.Printf("recalibrated selection: keep %v, add %v, drop %v (%.0f -> %.0f blocks under recalibrated weights)\n",
+			recal.Keep, recal.Add, recal.Drop, recal.CurrentTotal, recal.ProposedTotal)
+	}
+}

@@ -1,0 +1,309 @@
+// Package costaudit is the cost-accountability plane of the serving layer:
+// a live ledger joining the §4.1 predicted block-access costs against the
+// engine's measured block I/O, per workload query class and per
+// materialized view (separately for recompute and incremental refreshes).
+//
+// For every entry the ledger keeps the registered prediction, the last and
+// mean observed actuals, a confidence count, and an EWMA calibration ratio
+// (actual/predicted). An entry whose smoothed ratio leaves the configured
+// calibration band after enough samples is flagged as drifted — the signal
+// the serving layer's advisor uses to re-run view selection with
+// recalibrated weights (see serve.Server).
+//
+// The ledger follows the observability layer's nil-off discipline: every
+// method is a no-op on a nil *Ledger, so call sites hold one
+// unconditionally and pay a single branch when auditing is off. Observe is
+// one mutex acquisition on a per-entry lock striped by a read-locked map
+// lookup; it is called only on cache-miss executions and view refreshes,
+// never on the cache-hit fast path.
+package costaudit
+
+import (
+	"sort"
+	"sync"
+)
+
+// Kind distinguishes what an entry's costs describe.
+type Kind string
+
+// The ledger's entry kinds.
+const (
+	// KindQuery is one workload query class: predicted = the §4.1 price of
+	// the view-rewritten plan, actual = measured execution I/O.
+	KindQuery Kind = "query"
+	// KindRecompute is one view's full recomputation refresh.
+	KindRecompute Kind = "recompute"
+	// KindIncremental is one view's delta-propagation refresh; its
+	// prediction is re-registered every epoch from the pending delta sizes.
+	KindIncremental Kind = "incremental"
+)
+
+// Defaults for the zero values of Config.
+const (
+	// DefaultAlpha is the EWMA smoothing factor for calibration ratios.
+	DefaultAlpha = 0.3
+	// DefaultDriftBound flags drift when the smoothed ratio leaves
+	// [1/bound, bound]. It sits above the factor-2 agreement the engine's
+	// differential tests establish for healthy calibration, so drift means
+	// the estimates are worse than the model's known discretization error.
+	DefaultDriftBound = 2.5
+	// DefaultMinSamples is the confidence count required before an entry
+	// can be flagged drifted.
+	DefaultMinSamples = 3
+)
+
+// Config tunes the ledger's calibration arithmetic. The zero value takes
+// every default.
+type Config struct {
+	// Alpha is the EWMA smoothing factor in (0, 1]: ratio ← α·(a/p) +
+	// (1−α)·ratio. 0 takes DefaultAlpha.
+	Alpha float64
+	// DriftBound d flags an entry as drifted when its smoothed ratio
+	// leaves [1/d, d]. 0 takes DefaultDriftBound.
+	DriftBound float64
+	// MinSamples is how many observations an entry needs before drift can
+	// be flagged. 0 takes DefaultMinSamples.
+	MinSamples int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = DefaultAlpha
+	}
+	if c.DriftBound <= 1 {
+		c.DriftBound = DefaultDriftBound
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = DefaultMinSamples
+	}
+	return c
+}
+
+// Entry is one ledger row, as exported by Snapshot and the /costmodel
+// endpoint.
+type Entry struct {
+	// Kind is the entry kind ("query", "recompute", "incremental").
+	Kind string `json:"kind"`
+	// Name is the query class or view name.
+	Name string `json:"name"`
+	// PredictedBlocks is the registered §4.1 prediction in block accesses.
+	PredictedBlocks float64 `json:"predicted_blocks"`
+	// LastActualBlocks and MeanActualBlocks summarize the observed I/O.
+	LastActualBlocks float64 `json:"last_actual_blocks"`
+	MeanActualBlocks float64 `json:"mean_actual_blocks"`
+	// Ratio is the EWMA calibration ratio actual/predicted (0 until the
+	// first observation with a positive prediction).
+	Ratio float64 `json:"calibration_ratio"`
+	// Samples is the confidence count (observations recorded).
+	Samples int64 `json:"samples"`
+	// Drifted reports whether the smoothed ratio is outside the
+	// calibration band with at least MinSamples observations.
+	Drifted bool `json:"drifted"`
+}
+
+// Report is a point-in-time ledger snapshot, ordered by (kind, name).
+type Report struct {
+	// Entries are the ledger rows.
+	Entries []Entry `json:"entries"`
+	// DriftedEntries counts the rows currently flagged as drifted.
+	DriftedEntries int `json:"drifted_entries"`
+}
+
+// Observation is the outcome of recording one actual.
+type Observation struct {
+	// Ratio is the entry's updated EWMA calibration ratio.
+	Ratio float64
+	// Drifted reports the entry's drift flag after this observation;
+	// NewlyDrifted is true only on the observation that tripped it.
+	Drifted, NewlyDrifted bool
+}
+
+type entryKey struct {
+	kind Kind
+	name string
+}
+
+type entry struct {
+	mu          sync.Mutex
+	predicted   float64
+	lastActual  float64
+	totalActual float64
+	ratio       float64
+	samples     int64
+	drifted     bool
+}
+
+// Ledger is the predicted-vs-actual cost ledger. A nil *Ledger is a valid
+// disabled ledger whose methods are all no-ops. Create with NewLedger.
+type Ledger struct {
+	cfg Config
+
+	mu      sync.RWMutex
+	entries map[entryKey]*entry
+}
+
+// NewLedger builds an empty ledger.
+func NewLedger(cfg Config) *Ledger {
+	return &Ledger{cfg: cfg.withDefaults(), entries: make(map[entryKey]*entry)}
+}
+
+func (l *Ledger) entryFor(kind Kind, name string) *entry {
+	key := entryKey{kind: kind, name: name}
+	l.mu.RLock()
+	e, ok := l.entries[key]
+	l.mu.RUnlock()
+	if ok {
+		return e
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if e, ok = l.entries[key]; ok {
+		return e
+	}
+	e = &entry{}
+	l.entries[key] = e
+	return e
+}
+
+// Predict registers (or re-registers) the §4.1 prediction for an entry.
+// The entry's observation history is kept: after a re-prediction — a view
+// swap re-pricing the workload, or a per-epoch incremental refresh price —
+// subsequent ratios are computed against the new prediction and the EWMA
+// converges at its usual rate. No-op on a nil ledger.
+func (l *Ledger) Predict(kind Kind, name string, predicted float64) {
+	if l == nil {
+		return
+	}
+	e := l.entryFor(kind, name)
+	e.mu.Lock()
+	e.predicted = predicted
+	e.mu.Unlock()
+}
+
+// Observe records one measured actual (block reads + writes) against the
+// entry's registered prediction and updates the EWMA calibration ratio and
+// the drift flag. Actuals arriving before any prediction (or against a
+// non-positive one) still count samples but leave the ratio at zero.
+// No-op on a nil ledger (zero Observation).
+func (l *Ledger) Observe(kind Kind, name string, actual float64) Observation {
+	if l == nil {
+		return Observation{}
+	}
+	e := l.entryFor(kind, name)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.lastActual = actual
+	e.totalActual += actual
+	e.samples++
+	if e.predicted > 0 {
+		r := actual / e.predicted
+		if e.ratio == 0 {
+			e.ratio = r
+		} else {
+			e.ratio = l.cfg.Alpha*r + (1-l.cfg.Alpha)*e.ratio
+		}
+	}
+	wasDrifted := e.drifted
+	e.drifted = e.samples >= int64(l.cfg.MinSamples) && e.ratio > 0 &&
+		(e.ratio > l.cfg.DriftBound || e.ratio < 1/l.cfg.DriftBound)
+	return Observation{
+		Ratio:        e.ratio,
+		Drifted:      e.drifted,
+		NewlyDrifted: e.drifted && !wasDrifted,
+	}
+}
+
+// Lookup returns the entry for (kind, name), reporting whether it exists.
+// Safe on a nil ledger (not found).
+func (l *Ledger) Lookup(kind Kind, name string) (Entry, bool) {
+	if l == nil {
+		return Entry{}, false
+	}
+	l.mu.RLock()
+	e, ok := l.entries[entryKey{kind: kind, name: name}]
+	l.mu.RUnlock()
+	if !ok {
+		return Entry{}, false
+	}
+	return e.export(kind, name), true
+}
+
+// DriftedViews lists the names of view entries (recompute or incremental)
+// currently flagged as drifted, sorted and deduplicated. Safe on a nil
+// ledger (empty).
+func (l *Ledger) DriftedViews() []string {
+	if l == nil {
+		return nil
+	}
+	seen := map[string]bool{}
+	l.mu.RLock()
+	for key, e := range l.entries {
+		if key.kind == KindQuery {
+			continue
+		}
+		e.mu.Lock()
+		drifted := e.drifted
+		e.mu.Unlock()
+		if drifted {
+			seen[key.name] = true
+		}
+	}
+	l.mu.RUnlock()
+	if len(seen) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot exports the whole ledger, ordered by (kind, name). Safe on a
+// nil ledger (empty report with non-nil Entries).
+func (l *Ledger) Snapshot() Report {
+	rep := Report{Entries: []Entry{}}
+	if l == nil {
+		return rep
+	}
+	l.mu.RLock()
+	keys := make([]entryKey, 0, len(l.entries))
+	for key := range l.entries {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].kind != keys[j].kind {
+			return keys[i].kind < keys[j].kind
+		}
+		return keys[i].name < keys[j].name
+	})
+	for _, key := range keys {
+		e := l.entries[key]
+		ent := e.export(key.kind, key.name)
+		if ent.Drifted {
+			rep.DriftedEntries++
+		}
+		rep.Entries = append(rep.Entries, ent)
+	}
+	l.mu.RUnlock()
+	return rep
+}
+
+func (e *entry) export(kind Kind, name string) Entry {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := Entry{
+		Kind:             string(kind),
+		Name:             name,
+		PredictedBlocks:  e.predicted,
+		LastActualBlocks: e.lastActual,
+		Ratio:            e.ratio,
+		Samples:          e.samples,
+		Drifted:          e.drifted,
+	}
+	if e.samples > 0 {
+		out.MeanActualBlocks = e.totalActual / float64(e.samples)
+	}
+	return out
+}

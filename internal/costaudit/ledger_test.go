@@ -1,0 +1,172 @@
+package costaudit
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestNilLedgerIsDisabled(t *testing.T) {
+	var l *Ledger
+	l.Predict(KindQuery, "q1", 10)
+	if o := l.Observe(KindQuery, "q1", 12); o != (Observation{}) {
+		t.Fatalf("nil ledger Observe = %+v, want zero", o)
+	}
+	if _, ok := l.Lookup(KindQuery, "q1"); ok {
+		t.Fatal("nil ledger Lookup found an entry")
+	}
+	if v := l.DriftedViews(); v != nil {
+		t.Fatalf("nil ledger DriftedViews = %v", v)
+	}
+	rep := l.Snapshot()
+	if rep.Entries == nil || len(rep.Entries) != 0 {
+		t.Fatalf("nil ledger Snapshot = %+v, want empty non-nil entries", rep)
+	}
+}
+
+func TestEWMAAndMeans(t *testing.T) {
+	l := NewLedger(Config{Alpha: 0.5, DriftBound: 10, MinSamples: 1})
+	l.Predict(KindQuery, "q1", 100)
+
+	o := l.Observe(KindQuery, "q1", 200)
+	if o.Ratio != 2.0 {
+		t.Fatalf("first ratio = %v, want 2.0 (seeded, not smoothed)", o.Ratio)
+	}
+	o = l.Observe(KindQuery, "q1", 100)
+	if o.Ratio != 1.5 { // 0.5·1.0 + 0.5·2.0
+		t.Fatalf("second ratio = %v, want 1.5", o.Ratio)
+	}
+
+	e, ok := l.Lookup(KindQuery, "q1")
+	if !ok {
+		t.Fatal("entry missing")
+	}
+	if e.Samples != 2 || e.LastActualBlocks != 100 || e.MeanActualBlocks != 150 {
+		t.Fatalf("entry = %+v, want samples 2, last 100, mean 150", e)
+	}
+	if e.PredictedBlocks != 100 {
+		t.Fatalf("predicted = %v, want 100", e.PredictedBlocks)
+	}
+}
+
+func TestObserveWithoutPrediction(t *testing.T) {
+	l := NewLedger(Config{})
+	for i := 0; i < 10; i++ {
+		o := l.Observe(KindRecompute, "v", 50)
+		if o.Ratio != 0 || o.Drifted {
+			t.Fatalf("observation without prediction = %+v, want zero ratio, no drift", o)
+		}
+	}
+	e, _ := l.Lookup(KindRecompute, "v")
+	if e.Samples != 10 || e.Drifted {
+		t.Fatalf("entry = %+v, want 10 samples, not drifted", e)
+	}
+}
+
+func TestDriftFlagRequiresMinSamples(t *testing.T) {
+	l := NewLedger(Config{Alpha: 1, DriftBound: 2, MinSamples: 3})
+	l.Predict(KindRecompute, "tmp2", 10)
+
+	// Ratio 5 from the start, but drift may only trip at the third sample.
+	for i := 1; i <= 3; i++ {
+		o := l.Observe(KindRecompute, "tmp2", 50)
+		wantDrift := i >= 3
+		if o.Drifted != wantDrift {
+			t.Fatalf("sample %d: drifted = %v, want %v", i, o.Drifted, wantDrift)
+		}
+		if o.NewlyDrifted != (i == 3) {
+			t.Fatalf("sample %d: newlyDrifted = %v", i, o.NewlyDrifted)
+		}
+	}
+	if got := l.DriftedViews(); len(got) != 1 || got[0] != "tmp2" {
+		t.Fatalf("DriftedViews = %v, want [tmp2]", got)
+	}
+
+	// Query-kind drift never shows up in DriftedViews.
+	l.Predict(KindQuery, "q9", 10)
+	for i := 0; i < 3; i++ {
+		l.Observe(KindQuery, "q9", 100)
+	}
+	if got := l.DriftedViews(); len(got) != 1 {
+		t.Fatalf("DriftedViews after query drift = %v, want only tmp2", got)
+	}
+}
+
+func TestDriftOnLowRatioAndRecovery(t *testing.T) {
+	l := NewLedger(Config{Alpha: 1, DriftBound: 2, MinSamples: 1})
+	l.Predict(KindIncremental, "v", 100)
+	o := l.Observe(KindIncremental, "v", 10) // ratio 0.1 < 1/2
+	if !o.Drifted || !o.NewlyDrifted {
+		t.Fatalf("low ratio not flagged: %+v", o)
+	}
+	o = l.Observe(KindIncremental, "v", 100) // alpha 1 → ratio snaps to 1.0
+	if o.Drifted {
+		t.Fatalf("recovered ratio still drifted: %+v", o)
+	}
+	if got := l.DriftedViews(); got != nil {
+		t.Fatalf("DriftedViews after recovery = %v", got)
+	}
+}
+
+func TestSnapshotOrderingAndDriftCount(t *testing.T) {
+	l := NewLedger(Config{Alpha: 1, DriftBound: 2, MinSamples: 1})
+	l.Predict(KindRecompute, "b", 1)
+	l.Predict(KindRecompute, "a", 1)
+	l.Predict(KindQuery, "q1", 1)
+	l.Observe(KindRecompute, "a", 10)
+
+	rep := l.Snapshot()
+	if len(rep.Entries) != 3 {
+		t.Fatalf("entries = %d, want 3", len(rep.Entries))
+	}
+	order := []string{"incremental", "query", "recompute"} // kinds sort lexically
+	_ = order
+	if rep.Entries[0].Kind != "query" || rep.Entries[1].Name != "a" || rep.Entries[2].Name != "b" {
+		t.Fatalf("unexpected order: %+v", rep.Entries)
+	}
+	if rep.DriftedEntries != 1 {
+		t.Fatalf("drifted = %d, want 1", rep.DriftedEntries)
+	}
+}
+
+func TestRepredictionKeepsHistory(t *testing.T) {
+	l := NewLedger(Config{Alpha: 1, DriftBound: 10, MinSamples: 1})
+	l.Predict(KindQuery, "q1", 100)
+	l.Observe(KindQuery, "q1", 100)
+	l.Predict(KindQuery, "q1", 50)
+	o := l.Observe(KindQuery, "q1", 100)
+	if o.Ratio != 2.0 {
+		t.Fatalf("ratio after re-prediction = %v, want 2.0", o.Ratio)
+	}
+	e, _ := l.Lookup(KindQuery, "q1")
+	if e.Samples != 2 {
+		t.Fatalf("samples reset by Predict: %+v", e)
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	l := NewLedger(Config{})
+	l.Predict(KindQuery, "q1", 10)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l.Observe(KindQuery, "q1", 10)
+				l.Predict(KindRecompute, "v", 5)
+				l.Observe(KindRecompute, "v", 5)
+				l.Snapshot()
+				l.DriftedViews()
+			}
+		}()
+	}
+	wg.Wait()
+	e, _ := l.Lookup(KindQuery, "q1")
+	if e.Samples != 8*200 {
+		t.Fatalf("samples = %d, want %d", e.Samples, 8*200)
+	}
+	if math.Abs(e.Ratio-1.0) > 1e-9 {
+		t.Fatalf("ratio = %v, want 1.0", e.Ratio)
+	}
+}

@@ -237,59 +237,94 @@ const HistogramBuckets = 10
 // to 1.
 func (db *DB) CatalogFor() (*catalog.Catalog, error) {
 	cat := catalog.New()
-	for _, name := range db.Tables() {
-		t, err := db.Table(name)
+	if err := db.addTableStats(cat); err != nil {
+		return nil, err
+	}
+	return cat, nil
+}
+
+// CatalogWithViews derives the same statistics catalog as CatalogFor and
+// additionally covers the materialized views, each described by its current
+// epoch snapshot. Plans rewritten over the views scan them by name, so
+// pricing a rewritten plan — as the cost-accountability ledger does —
+// requires the views to be catalog relations like any base table.
+func (db *DB) CatalogWithViews() (*catalog.Catalog, error) {
+	cat := catalog.New()
+	if err := db.addTableStats(cat); err != nil {
+		return nil, err
+	}
+	for _, name := range db.Views() {
+		v, err := db.View(name)
 		if err != nil {
 			return nil, err
 		}
-		attrs := make(map[string]catalog.AttrStats, t.Schema.Len())
-		for ci, col := range t.Schema.Columns {
-			distinct := make(map[string]bool)
-			var min, max algebra.Value
-			var numericVals []float64
-			numericCol := col.Type == algebra.TypeInt || col.Type == algebra.TypeFloat || col.Type == algebra.TypeDate
-			for _, row := range t.rows {
-				v := row[ci]
-				distinct[v.String()] = true
-				if !min.IsValid() {
-					min, max = v, v
-				} else {
-					if c, err := v.Compare(min); err == nil && c < 0 {
-						min = v
-					}
-					if c, err := v.Compare(max); err == nil && c > 0 {
-						max = v
-					}
-				}
-				if numericCol {
-					switch v.Kind {
-					case algebra.TypeInt, algebra.TypeDate:
-						numericVals = append(numericVals, float64(v.Int))
-					case algebra.TypeFloat:
-						numericVals = append(numericVals, v.Float)
-					}
-				}
-			}
-			attrs[col.Name] = catalog.AttrStats{
-				DistinctValues: float64(len(distinct)),
-				Min:            min,
-				Max:            max,
-				Histogram:      equiDepth(numericVals, HistogramBuckets),
-			}
-		}
-		err = cat.AddRelation(&catalog.Relation{
-			Name:            name,
-			Schema:          t.Schema,
-			Rows:            float64(t.NumRows()),
-			Blocks:          float64(t.NumBlocks()),
-			UpdateFrequency: 1,
-			Attrs:           attrs,
-		})
-		if err != nil {
+		if err := cat.AddRelation(relationStats(name, v.Table())); err != nil {
 			return nil, err
 		}
 	}
 	return cat, nil
+}
+
+func (db *DB) addTableStats(cat *catalog.Catalog) error {
+	for _, name := range db.Tables() {
+		t, err := db.Table(name)
+		if err != nil {
+			return err
+		}
+		if err := cat.AddRelation(relationStats(name, t)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// relationStats computes a catalog entry from stored rows: exact sizes,
+// exact distinct-value counts, min/max, and equi-depth histograms on
+// numeric attributes.
+func relationStats(name string, t *Table) *catalog.Relation {
+	attrs := make(map[string]catalog.AttrStats, t.Schema.Len())
+	for ci, col := range t.Schema.Columns {
+		distinct := make(map[string]bool)
+		var min, max algebra.Value
+		var numericVals []float64
+		numericCol := col.Type == algebra.TypeInt || col.Type == algebra.TypeFloat || col.Type == algebra.TypeDate
+		for _, row := range t.rows {
+			v := row[ci]
+			distinct[v.String()] = true
+			if !min.IsValid() {
+				min, max = v, v
+			} else {
+				if c, err := v.Compare(min); err == nil && c < 0 {
+					min = v
+				}
+				if c, err := v.Compare(max); err == nil && c > 0 {
+					max = v
+				}
+			}
+			if numericCol {
+				switch v.Kind {
+				case algebra.TypeInt, algebra.TypeDate:
+					numericVals = append(numericVals, float64(v.Int))
+				case algebra.TypeFloat:
+					numericVals = append(numericVals, v.Float)
+				}
+			}
+		}
+		attrs[col.Name] = catalog.AttrStats{
+			DistinctValues: float64(len(distinct)),
+			Min:            min,
+			Max:            max,
+			Histogram:      equiDepth(numericVals, HistogramBuckets),
+		}
+	}
+	return &catalog.Relation{
+		Name:            name,
+		Schema:          t.Schema,
+		Rows:            float64(t.NumRows()),
+		Blocks:          float64(t.NumBlocks()),
+		UpdateFrequency: 1,
+		Attrs:           attrs,
+	}
 }
 
 // equiDepth returns the upper bounds of equi-depth buckets over the values

@@ -104,6 +104,14 @@ const (
 	// query and, on reply, outcome detail). Every event of one query carries the same
 	// query_id, so a whole lifecycle greps out of a trace by ID.
 	EvServeQuery EventKind = "serve.query"
+	// EvCostDrift fires when a cost-ledger entry's EWMA calibration ratio
+	// first leaves the calibration band (attrs: kind, name, ratio,
+	// predicted, actual).
+	EvCostDrift EventKind = "costaudit.drift"
+	// EvServeRecalibrated fires when drift triggers the advisor to re-run
+	// view selection with recalibrated weights (attrs: views, applied,
+	// current_total, proposed_total).
+	EvServeRecalibrated EventKind = "serve.recalibrated"
 )
 
 // Canonical counter names. Call sites resolve them once via CounterOf (or
@@ -174,6 +182,12 @@ const (
 	// CtrServeReplayedRows counts delta rows replayed from the journal at
 	// server start.
 	CtrServeReplayedRows = "serve.replayed_rows"
+	// CtrCostObservations counts actuals recorded in the cost ledger.
+	CtrCostObservations = "costaudit.observations"
+	// CtrCostDrifts counts ledger entries newly flagged as drifted.
+	CtrCostDrifts = "costaudit.drifts"
+	// CtrServeRecalibrations counts drift-triggered advisor re-selections.
+	CtrServeRecalibrations = "serve.recalibrations"
 )
 
 // Canonical gauge names for the serving layer.

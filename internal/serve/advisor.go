@@ -59,13 +59,19 @@ func (s *Server) ObservedFrequencies() map[string]float64 {
 // frequencies and reports what should change. It does not touch the
 // running warehouse; pass the advice to ApplyAdvice to act on it.
 func (s *Server) Advise() (*Advice, error) {
+	return s.adviseWith(s.ObservedFrequencies())
+}
+
+// adviseWith is the selection behind Advise and AdviseCalibrated: re-run
+// Figure 9 under the given per-query frequencies and price the current set
+// against the proposal.
+func (s *Server) adviseWith(observed map[string]float64) (*Advice, error) {
 	if s.mvpp == nil || s.model == nil {
 		return nil, errors.New("serve: advisor needs an MVPP and a cost model in the config")
 	}
 	s.advMu.Lock()
 	defer s.advMu.Unlock()
 
-	observed := s.ObservedFrequencies()
 	sel, err := s.mvpp.ReselectFrequencies(s.model, observed, s.selectOpts)
 	if err != nil {
 		return nil, err
@@ -188,5 +194,9 @@ func (s *Server) ApplyAdvice(a *Advice) error {
 		obs.Int("added", int64(len(a.Add))),
 		obs.Int("dropped", int64(len(a.Drop))),
 		obs.Int("epoch", int64(epoch)))
+
+	// The rewritten plans and the stored view set both changed: re-register
+	// every prediction against the new warehouse shape.
+	s.repriceAudit()
 	return nil
 }

@@ -9,6 +9,7 @@ import (
 
 	"github.com/warehousekit/mvpp/internal/algebra"
 	"github.com/warehousekit/mvpp/internal/core"
+	"github.com/warehousekit/mvpp/internal/costaudit"
 	"github.com/warehousekit/mvpp/internal/engine"
 	"github.com/warehousekit/mvpp/internal/fault"
 	"github.com/warehousekit/mvpp/internal/obs"
@@ -380,7 +381,6 @@ func (sc *scheduler) take() (map[string][][]algebra.Value, int, uint64) {
 // with it the whole serving layer — survives.
 func (s *Server) runEpoch() error {
 	s.maintMu.Lock()
-	defer s.maintMu.Unlock()
 	var err error
 	func() {
 		defer func() {
@@ -392,6 +392,11 @@ func (s *Server) runEpoch() error {
 		}()
 		err = s.runEpochLocked()
 	}()
+	s.maintMu.Unlock()
+	// With the maintenance lock released (an auto-applied recalibration
+	// re-takes it), check whether this epoch's refresh observations pushed
+	// any view's calibration ratio out of the band.
+	s.maybeRecalibrate()
 	return err
 }
 
@@ -504,6 +509,9 @@ func (s *Server) runEpochLocked() error {
 	sc.mu.Unlock()
 	sort.Strings(incremental)
 	sort.Strings(skipped)
+	// Price this epoch's delta propagations from the actual pending delta
+	// fractions, before the refreshes spend their measured I/O.
+	s.predictIncremental(incremental)
 
 	// outcome of every attempted refresh; breaker bookkeeping happens in
 	// one registry pass after the epoch's engine work is done.
@@ -536,6 +544,7 @@ func (s *Server) runEpochLocked() error {
 		outcomes[name] = nil
 		reads += res.TotalReads()
 		writes += res.TotalWrites()
+		s.observeAudit(costaudit.KindIncremental, name, res.TotalReads()+res.TotalWrites())
 	}
 	sort.Strings(recompute)
 
@@ -581,6 +590,7 @@ func (s *Server) runEpochLocked() error {
 		outcomes[name] = nil
 		reads += res.TotalReads()
 		writes += res.TotalWrites()
+		s.observeAudit(costaudit.KindRecompute, name, res.TotalReads()+res.TotalWrites())
 	}
 
 	epoch := s.epoch.Add(1)

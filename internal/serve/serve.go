@@ -52,6 +52,7 @@ import (
 	"github.com/warehousekit/mvpp/internal/algebra"
 	"github.com/warehousekit/mvpp/internal/core"
 	"github.com/warehousekit/mvpp/internal/cost"
+	"github.com/warehousekit/mvpp/internal/costaudit"
 	"github.com/warehousekit/mvpp/internal/engine"
 	"github.com/warehousekit/mvpp/internal/fault"
 	"github.com/warehousekit/mvpp/internal/obs"
@@ -159,6 +160,18 @@ type Config struct {
 	// Obs receives serving spans, events, counters and gauges. Nil
 	// disables instrumentation.
 	Obs obs.Observer
+	// Audit, when set, is the cost-accountability ledger: predictions are
+	// registered for every query class and view at construction and after
+	// every advice swap, and every cache-miss execution and view refresh
+	// records its measured block I/O. Nil disables auditing.
+	Audit *costaudit.Ledger
+	// AuditAutoApply lets a drift-triggered recalibration apply its advice
+	// to the running warehouse (otherwise the advice is only recorded; see
+	// LastRecalibration).
+	AuditAutoApply bool
+	// AuditSkew multiplies every registered prediction — a test hook
+	// simulating a miscalibrated cost model. 0 means 1 (no skew).
+	AuditSkew float64
 }
 
 // Result is one answered query.
@@ -185,6 +198,9 @@ type request struct {
 	ctx  context.Context
 	plan algebra.Node
 	key  string
+	// name is the workload query class ("" for ad-hoc plans); the worker
+	// records the execution's measured I/O against it in the cost ledger.
+	name string
 	// qt is the sampled query's live trace (nil when unsampled); the worker
 	// appends the execute/degraded stages to it.
 	qt   *queryTrace
@@ -245,6 +261,17 @@ type Server struct {
 
 	sched *scheduler
 
+	// Cost accountability (audit nil when auditing is off — every call
+	// site no-ops). auditMu guards the pricer, the drift-episode latch,
+	// and the last recalibration advice.
+	audit          *costaudit.Ledger
+	auditAutoApply bool
+	auditSkew      float64
+	auditMu        sync.Mutex
+	auditPricer    *costaudit.Pricer
+	recalHandled   map[string]bool
+	lastRecal      *Advice
+
 	start time.Time
 	stats serverStats
 
@@ -266,6 +293,7 @@ type Server struct {
 	ctrRetries, ctrRefreshFail, ctrFallbacks          *obs.Counter
 	ctrBreakerTrips, ctrDegraded, ctrPanics           *obs.Counter
 	ctrReplayed                                       *obs.Counter
+	ctrCostObs, ctrCostDrift, ctrRecal                *obs.Counter
 	gQueueDepth, gStaleRows, gUnhealthy               *obs.Gauge
 }
 
@@ -275,6 +303,7 @@ type serverStats struct {
 	refreshReads, refreshWrites                    atomic.Int64
 	retries, refreshFailures, fallbacks            atomic.Int64
 	breakerTrips, degraded, panics, replayedRows   atomic.Int64
+	costObservations, costDrifts, recalibrations   atomic.Int64
 	lat                                            latencyHist
 }
 
@@ -327,6 +356,14 @@ func newServer(cfg Config) (*Server, error) {
 		jrng:       rand.New(rand.NewSource(1)),
 		start:      time.Now(),
 		obsv:       cfg.Obs,
+
+		audit:          cfg.Audit,
+		auditAutoApply: cfg.AuditAutoApply,
+		auditSkew:      cfg.AuditSkew,
+		recalHandled:   make(map[string]bool),
+	}
+	if s.auditSkew <= 0 {
+		s.auditSkew = 1
 	}
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
 	if cfg.StatsWindow >= 0 {
@@ -378,6 +415,9 @@ func newServer(cfg Config) (*Server, error) {
 	s.ctrDegraded = obs.CounterOf(cfg.Obs, obs.CtrServeDegraded)
 	s.ctrPanics = obs.CounterOf(cfg.Obs, obs.CtrServePanics)
 	s.ctrReplayed = obs.CounterOf(cfg.Obs, obs.CtrServeReplayedRows)
+	s.ctrCostObs = obs.CounterOf(cfg.Obs, obs.CtrCostObservations)
+	s.ctrCostDrift = obs.CounterOf(cfg.Obs, obs.CtrCostDrifts)
+	s.ctrRecal = obs.CounterOf(cfg.Obs, obs.CtrServeRecalibrations)
 	if reg := obs.RegistryOf(cfg.Obs); reg != nil {
 		s.gQueueDepth = reg.Gauge(obs.GaugeServeQueueDepth)
 		s.gStaleRows = reg.Gauge(obs.GaugeServeStaleRows)
@@ -387,6 +427,7 @@ func newServer(cfg Config) (*Server, error) {
 	if err := s.replayJournal(); err != nil {
 		return nil, err
 	}
+	s.repriceAudit()
 	return s, nil
 }
 
@@ -478,7 +519,7 @@ func (s *Server) submit(ctx context.Context, name string, plan algebra.Node) (*R
 	s.ctrMisses.Inc()
 	s.traceStage(qt, "cache_miss")
 
-	req := &request{ctx: ctx, plan: plan, key: key, qt: qt, done: make(chan response, 1)}
+	req := &request{ctx: ctx, plan: plan, key: key, name: name, qt: qt, done: make(chan response, 1)}
 	select {
 	case s.queue <- req:
 	default:
@@ -591,6 +632,12 @@ func (s *Server) handle(req *request) {
 	}
 	s.traceStage(req.qt, "execute",
 		obs.Int("reads", res.TotalReads()), obs.Int("epoch", int64(epoch)))
+	if !degraded && req.name != "" {
+		// Record the measured I/O against the query class's predicted cost.
+		// Degraded executions ran the base-relation plan, which the
+		// registered prediction does not price — they are skipped.
+		s.observeAudit(costaudit.KindQuery, req.name, res.TotalReads()+res.TotalWrites())
+	}
 	out := &Result{Table: res.Table, Reads: res.TotalReads(), Epoch: epoch, Degraded: degraded}
 	// Cache only results whose execution saw a single epoch end to end (a
 	// mid-flight refresh would make the cached rows of mixed provenance)
@@ -689,6 +736,10 @@ type Stats struct {
 	// PanicsRecovered counts panics caught in workers and refreshes;
 	// ReplayedDeltaRows counts journal rows re-ingested at startup.
 	PanicsRecovered, ReplayedDeltaRows int64
+	// CostObservations counts actuals recorded in the cost ledger;
+	// CostDrifts counts ledger entries newly flagged as drifted;
+	// Recalibrations counts drift-triggered advisor re-selections.
+	CostObservations, CostDrifts, Recalibrations int64
 	// QueueDepth and CacheEntries are current occupancies.
 	QueueDepth, CacheEntries int
 	// Uptime is time since New; QPS is Queries/Uptime.
@@ -740,6 +791,9 @@ func (s *Server) Stats() Stats {
 		DegradedQueries:      s.stats.degraded.Load(),
 		PanicsRecovered:      s.stats.panics.Load(),
 		ReplayedDeltaRows:    s.stats.replayedRows.Load(),
+		CostObservations:     s.stats.costObservations.Load(),
+		CostDrifts:           s.stats.costDrifts.Load(),
+		Recalibrations:       s.stats.recalibrations.Load(),
 		QueueDepth:           len(s.queue),
 		CacheEntries:         s.cache.len(),
 		Uptime:               up,

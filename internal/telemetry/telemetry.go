@@ -14,6 +14,10 @@
 //	/views         per-view JSON: maintenance strategy, refresh epoch,
 //	               staleness (pending and lag rows), breaker state, last
 //	               error.
+//	/costmodel     the cost-accountability ledger as JSON: per query class
+//	               and per view (recompute and incremental separately) the
+//	               §4.1 predicted block cost, last/mean measured actuals,
+//	               EWMA calibration ratio, sample count, and drift flag.
 //	/traces        the sampled-query trace ring: each entry is one query's
 //	               correlated lifecycle (admit → cache/execute → reply)
 //	               under a single query ID.
@@ -34,12 +38,14 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"github.com/warehousekit/mvpp/internal/costaudit"
 	"github.com/warehousekit/mvpp/internal/obs"
 	"github.com/warehousekit/mvpp/internal/serve"
 )
@@ -54,6 +60,7 @@ type Source interface {
 	LatencySnapshot() obs.HistSnapshot
 	WindowLatencySnapshot() obs.HistSnapshot
 	RecentTraces() []serve.QueryTrace
+	CostReport() costaudit.Report
 	IsClosed() bool
 }
 
@@ -95,6 +102,7 @@ func Serve(cfg Config) (*Server, error) {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/views", s.handleViews)
+	mux.HandleFunc("/costmodel", s.handleCostModel)
 	mux.HandleFunc("/traces", s.handleTraces)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -207,6 +215,18 @@ func (s *Server) handleViews(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+func (s *Server) handleCostModel(w http.ResponseWriter, _ *http.Request) {
+	out := struct {
+		Epoch uint64 `json:"epoch"`
+		costaudit.Report
+	}{Report: costaudit.Report{Entries: []costaudit.Entry{}}}
+	if s.src != nil {
+		out.Epoch = s.src.Epoch()
+		out.Report = s.src.CostReport()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
 func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
 	var traces []serve.QueryTrace
 	if s.src != nil {
@@ -256,6 +276,7 @@ func WriteMetrics(w io.Writer, reg *obs.Registry, src Source) {
 			fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", m, m, formatFloat(gauges[name]))
 		}
 	}
+	writeRuntimeMetrics(w)
 	if src == nil {
 		return
 	}
@@ -289,8 +310,57 @@ func WriteMetrics(w io.Writer, reg *obs.Registry, src Source) {
 		return 0
 	})
 
+	writeCostMetrics(w, src.CostReport())
+
 	writeHistogram(w, "mvpp_serve_latency_seconds", src.LatencySnapshot())
 	writeHistogram(w, "mvpp_serve_window_latency_seconds", src.WindowLatencySnapshot())
+}
+
+// writeRuntimeMetrics exposes Go runtime/process pressure alongside the
+// app-level families, so a scrape sees goroutine growth, heap pressure, and
+// GC cost without a sidecar exporter — plus the standard build_info marker.
+func writeRuntimeMetrics(w io.Writer) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	writeGauge(w, "go_goroutines", float64(runtime.NumGoroutine()))
+	writeGauge(w, "go_memstats_heap_alloc_bytes", float64(ms.HeapAlloc))
+	writeGauge(w, "go_memstats_heap_sys_bytes", float64(ms.HeapSys))
+	fmt.Fprintf(w, "# TYPE go_gc_cycles_total counter\ngo_gc_cycles_total %d\n", ms.NumGC)
+	fmt.Fprintf(w, "# TYPE go_gc_pause_seconds_total counter\ngo_gc_pause_seconds_total %s\n",
+		formatFloat(float64(ms.PauseTotalNs)/1e9))
+	fmt.Fprintf(w, "# TYPE mvpp_build_info gauge\nmvpp_build_info{go_version=%q,goos=%q,goarch=%q} 1\n",
+		escapeLabel(runtime.Version()), runtime.GOOS, runtime.GOARCH)
+}
+
+// writeCostMetrics renders the cost-accountability ledger as three gauge
+// families: predicted blocks, last-observed actual blocks, and the EWMA
+// calibration ratio. Query-class entries are labeled {query=...}; view
+// entries {view=...,mode=...} with mode "recompute" or "incremental".
+func writeCostMetrics(w io.Writer, rep costaudit.Report) {
+	if len(rep.Entries) == 0 {
+		return
+	}
+	labelOf := func(e costaudit.Entry) string {
+		if e.Kind == string(costaudit.KindQuery) {
+			return fmt.Sprintf("{query=%q}", escapeLabel(e.Name))
+		}
+		return fmt.Sprintf("{view=%q,mode=%q}", escapeLabel(e.Name), e.Kind)
+	}
+	families := []struct {
+		name string
+		f    func(costaudit.Entry) float64
+	}{
+		{"mv_cost_predicted_blocks", func(e costaudit.Entry) float64 { return e.PredictedBlocks }},
+		{"mv_cost_actual_blocks", func(e costaudit.Entry) float64 { return e.LastActualBlocks }},
+		{"mv_cost_calibration_ratio", func(e costaudit.Entry) float64 { return e.Ratio }},
+	}
+	for _, fam := range families {
+		fmt.Fprintf(w, "# TYPE %s gauge\n", fam.name)
+		for _, e := range rep.Entries {
+			fmt.Fprintf(w, "%s%s %s\n", fam.name, labelOf(e), formatFloat(fam.f(e)))
+		}
+	}
+	writeGauge(w, "mv_cost_drifted_entries", float64(rep.DriftedEntries))
 }
 
 func writeGauge(w io.Writer, name string, v float64) {

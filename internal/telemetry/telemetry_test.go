@@ -257,7 +257,8 @@ func TestMetricName(t *testing.T) {
 }
 
 // TestServeNilSource: a telemetry plane with no source still scrapes (the
-// registry families only) and reports ok health.
+// registry families plus the always-on runtime families) and reports ok
+// health.
 func TestServeNilSource(t *testing.T) {
 	reg := obs.NewRegistry()
 	reg.Counter("demo.count").Add(7)
@@ -270,8 +271,13 @@ func TestServeNilSource(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("/metrics status %d", code)
 	}
-	if n, err := ValidateExposition(body); err != nil || n != 1 {
+	if n, err := ValidateExposition(body); err != nil || n < 2 {
 		t.Errorf("nil-source metrics: n=%d err=%v\n%s", n, err, body)
+	}
+	for _, want := range []string{"mvpp_demo_count_total 7", "go_goroutines ", "mvpp_build_info{"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("nil-source metrics missing %q", want)
+		}
 	}
 	code, _ = get(t, ts.Addr(), "/healthz")
 	if code != http.StatusOK {

@@ -49,53 +49,58 @@ type TraceEvent = obs.TraceEvent
 // The pipeline's event taxonomy (see the internal/obs documentation for
 // each kind's attributes).
 const (
-	EvPlanChosen     = obs.EvPlanChosen
-	EvCandidate      = obs.EvCandidate
-	EvCandidateDedup = obs.EvCandidateDedup
-	EvSelectStep     = obs.EvSelectStep
-	EvSafeguard      = obs.EvSafeguard
-	EvMaintPlan      = obs.EvMaintPlan
-	EvCosts          = obs.EvCosts
-	EvEngineOp       = obs.EvEngineOp
-	EvServeEpoch     = obs.EvServeEpoch
-	EvServeAdvice    = obs.EvServeAdvice
-	EvServeSwap      = obs.EvServeSwap
-	EvFault          = obs.EvFault
-	EvServeRetry     = obs.EvServeRetry
-	EvServeFallback  = obs.EvServeFallback
-	EvServeBreaker   = obs.EvServeBreaker
-	EvServeDegraded  = obs.EvServeDegraded
-	EvServeJournal   = obs.EvServeJournal
-	EvServeQuery     = obs.EvServeQuery
+	EvPlanChosen        = obs.EvPlanChosen
+	EvCandidate         = obs.EvCandidate
+	EvCandidateDedup    = obs.EvCandidateDedup
+	EvSelectStep        = obs.EvSelectStep
+	EvSafeguard         = obs.EvSafeguard
+	EvMaintPlan         = obs.EvMaintPlan
+	EvCosts             = obs.EvCosts
+	EvEngineOp          = obs.EvEngineOp
+	EvServeEpoch        = obs.EvServeEpoch
+	EvServeAdvice       = obs.EvServeAdvice
+	EvServeSwap         = obs.EvServeSwap
+	EvFault             = obs.EvFault
+	EvServeRetry        = obs.EvServeRetry
+	EvServeFallback     = obs.EvServeFallback
+	EvServeBreaker      = obs.EvServeBreaker
+	EvServeDegraded     = obs.EvServeDegraded
+	EvServeJournal      = obs.EvServeJournal
+	EvServeQuery        = obs.EvServeQuery
+	EvCostDrift         = obs.EvCostDrift
+	EvServeRecalibrated = obs.EvServeRecalibrated
 )
 
 // Canonical counter names the pipeline maintains.
 const (
-	CtrPlansEnumerated   = obs.CtrPlansEnumerated
-	CtrEstimatorCalls    = obs.CtrEstimatorCalls
-	CtrMemoHits          = obs.CtrMemoHits
-	CtrMergeAttempts     = obs.CtrMergeAttempts
-	CtrCandidates        = obs.CtrCandidates
-	CtrGreedyIterations  = obs.CtrGreedyIterations
-	CtrSafeguardSubs     = obs.CtrSafeguardSubs
-	CtrIncrementalWins   = obs.CtrIncrementalWins
-	CtrEvaluateCalls     = obs.CtrEvaluateCalls
-	CtrEngineBlockReads  = obs.CtrEngineBlockReads
-	CtrEngineBlockWrites = obs.CtrEngineBlockWrites
-	CtrServeQueries      = obs.CtrServeQueries
-	CtrServeCacheHits    = obs.CtrServeCacheHits
-	CtrServeCacheMisses  = obs.CtrServeCacheMisses
-	CtrServeRejected     = obs.CtrServeRejected
-	CtrServeEpochs       = obs.CtrServeEpochs
-	CtrServeDeltaRows    = obs.CtrServeDeltaRows
-	CtrFaultsInjected    = obs.CtrFaultsInjected
-	CtrServeRetries      = obs.CtrServeRetries
-	CtrServeRefreshFails = obs.CtrServeRefreshFailures
-	CtrServeFallbacks    = obs.CtrServeFallbacks
-	CtrServeBreakerTrips = obs.CtrServeBreakerTrips
-	CtrServeDegraded     = obs.CtrServeDegraded
-	CtrServePanics       = obs.CtrServePanics
-	CtrServeReplayed     = obs.CtrServeReplayedRows
+	CtrPlansEnumerated     = obs.CtrPlansEnumerated
+	CtrEstimatorCalls      = obs.CtrEstimatorCalls
+	CtrMemoHits            = obs.CtrMemoHits
+	CtrMergeAttempts       = obs.CtrMergeAttempts
+	CtrCandidates          = obs.CtrCandidates
+	CtrGreedyIterations    = obs.CtrGreedyIterations
+	CtrSafeguardSubs       = obs.CtrSafeguardSubs
+	CtrIncrementalWins     = obs.CtrIncrementalWins
+	CtrEvaluateCalls       = obs.CtrEvaluateCalls
+	CtrEngineBlockReads    = obs.CtrEngineBlockReads
+	CtrEngineBlockWrites   = obs.CtrEngineBlockWrites
+	CtrServeQueries        = obs.CtrServeQueries
+	CtrServeCacheHits      = obs.CtrServeCacheHits
+	CtrServeCacheMisses    = obs.CtrServeCacheMisses
+	CtrServeRejected       = obs.CtrServeRejected
+	CtrServeEpochs         = obs.CtrServeEpochs
+	CtrServeDeltaRows      = obs.CtrServeDeltaRows
+	CtrFaultsInjected      = obs.CtrFaultsInjected
+	CtrServeRetries        = obs.CtrServeRetries
+	CtrServeRefreshFails   = obs.CtrServeRefreshFailures
+	CtrServeFallbacks      = obs.CtrServeFallbacks
+	CtrServeBreakerTrips   = obs.CtrServeBreakerTrips
+	CtrServeDegraded       = obs.CtrServeDegraded
+	CtrServePanics         = obs.CtrServePanics
+	CtrServeReplayed       = obs.CtrServeReplayedRows
+	CtrCostObservations    = obs.CtrCostObservations
+	CtrCostDrifts          = obs.CtrCostDrifts
+	CtrServeRecalibrations = obs.CtrServeRecalibrations
 )
 
 // NewRegistry creates an empty metrics registry, to be shared across

@@ -16,6 +16,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -149,7 +150,7 @@ func measureEndToEnd(mkObs func() mvpp.Observer) (testing.BenchmarkResult, error
 // measureServe drives the serving layer with parallel clients round-robining
 // the workload (mirrors BenchmarkServeWorkload) and captures its
 // throughput-side metrics for the baseline file.
-func measureServe() (testing.BenchmarkResult, mvpp.ServeStats, error) {
+func measureServe(auditOff bool) (testing.BenchmarkResult, mvpp.ServeStats, error) {
 	d, err := paperDesigner(mvpp.Options{})
 	if err != nil {
 		return testing.BenchmarkResult{}, mvpp.ServeStats{}, err
@@ -161,7 +162,10 @@ func measureServe() (testing.BenchmarkResult, mvpp.ServeStats, error) {
 	var runErr error
 	var stats mvpp.ServeStats
 	res := testing.Benchmark(func(b *testing.B) {
-		srv, err := design.NewServer(mvpp.ServeOptions{Scale: 0.01, Seed: 7})
+		srv, err := design.NewServer(mvpp.ServeOptions{
+			Scale: 0.01, Seed: 7,
+			CostAudit: mvpp.CostAuditOptions{Disable: auditOff},
+		})
 		if err != nil {
 			runErr = err
 			b.FailNow()
@@ -307,21 +311,94 @@ func measureTelemetryScrape() (testing.BenchmarkResult, int, mvpp.ServeStats, er
 			}
 		}
 	})
+	if runErr == nil {
+		runErr = validateCostModel(srv.TelemetryAddr())
+	}
 	return res, samples, srv.Stats(), runErr
 }
 
+// validateCostModel parse-validates one /costmodel scrape the way the
+// /metrics exposition is validated: the endpoint must answer valid JSON
+// with a ledger entry per workload query class.
+func validateCostModel(addr string) error {
+	resp, err := http.Get("http://" + addr + "/costmodel")
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	var out struct {
+		Entries []struct {
+			Kind string `json:"kind"`
+			Name string `json:"name"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return fmt.Errorf("/costmodel did not parse: %w", err)
+	}
+	queries := 0
+	for _, e := range out.Entries {
+		if e.Kind == "query" {
+			queries++
+		}
+	}
+	if queries == 0 {
+		return fmt.Errorf("/costmodel holds no query entries: %s", body)
+	}
+	return nil
+}
+
+// environment captures the machine the baseline was measured on, so a
+// regression diff can tell a code change from a hardware change.
+type environment struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// CPUModel is best-effort (from /proc/cpuinfo); empty where unreadable.
+	CPUModel string `json:"cpu_model,omitempty"`
+}
+
+func captureEnvironment() environment {
+	env := environment{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	if data, err := os.ReadFile("/proc/cpuinfo"); err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			if rest, ok := strings.CutPrefix(line, "model name"); ok {
+				if _, val, found := strings.Cut(rest, ":"); found {
+					env.CPUModel = strings.TrimSpace(val)
+					break
+				}
+			}
+		}
+	}
+	return env
+}
+
 type report struct {
-	Benchmark        string `json:"benchmark"`
-	GoVersion        string `json:"go_version"`
-	GOOS             string `json:"goos"`
-	GOARCH           string `json:"goarch"`
-	Iterations       int    `json:"iterations"`
-	NsPerOp          int64  `json:"ns_per_op"`
-	AllocsPerOp      int64  `json:"allocs_per_op"`
-	BytesPerOp       int64  `json:"bytes_per_op"`
-	EndToEndNsPerOp  int64  `json:"end_to_end_ns_per_op"`
-	ObservedNsPerOp  int64  `json:"observed_end_to_end_ns_per_op"`
-	ObservedOverhead string `json:"observed_overhead"`
+	Benchmark string `json:"benchmark"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// Environment pins the full machine fingerprint of the run, so baseline
+	// diffs can tell code regressions from hardware or toolchain changes.
+	Environment      environment `json:"environment"`
+	Iterations       int         `json:"iterations"`
+	NsPerOp          int64       `json:"ns_per_op"`
+	AllocsPerOp      int64       `json:"allocs_per_op"`
+	BytesPerOp       int64       `json:"bytes_per_op"`
+	EndToEndNsPerOp  int64       `json:"end_to_end_ns_per_op"`
+	ObservedNsPerOp  int64       `json:"observed_end_to_end_ns_per_op"`
+	ObservedOverhead string      `json:"observed_overhead"`
 	// SimulateDelta tracks the engine's delta-propagation maintenance
 	// path (BenchmarkSimulateDelta): runtime of one simulated epoch plus
 	// the measured incremental vs full-recompute refresh I/O.
@@ -335,6 +412,9 @@ type report struct {
 	ServeQPS          float64 `json:"serve_qps"`
 	ServeCacheHitRate float64 `json:"serve_cache_hit_rate"`
 	ServeP99Micros    int64   `json:"serve_p99_us"`
+	// ServeAuditOffQPS is the same serving run with the predicted-vs-actual
+	// cost ledger disabled — the pair that bounds the ledger's overhead.
+	ServeAuditOffQPS float64 `json:"serve_audit_off_qps"`
 	// ChaosServe tracks the same serving path with 10% of refresh attempts
 	// failing and a delta journal armed: what fault tolerance costs, and
 	// how often it engages.
@@ -371,7 +451,9 @@ func main() {
 	fail(err)
 	deltaSim, incIO, fullIO, err := measureSimulateDelta()
 	fail(err)
-	serveRes, serveStats, err := measureServe()
+	serveRes, serveStats, err := measureServe(false)
+	fail(err)
+	_, auditOffStats, err := measureServe(true)
 	fail(err)
 	_, chaosStats, err := measureChaosServe()
 	fail(err)
@@ -383,6 +465,7 @@ func main() {
 		GoVersion:       runtime.Version(),
 		GOOS:            runtime.GOOS,
 		GOARCH:          runtime.GOARCH,
+		Environment:     captureEnvironment(),
 		Iterations:      design.N,
 		NsPerOp:         design.NsPerOp(),
 		AllocsPerOp:     design.AllocsPerOp(),
@@ -398,6 +481,7 @@ func main() {
 		ServeQPS:               serveStats.QPS,
 		ServeCacheHitRate:      serveStats.CacheHitRate(),
 		ServeP99Micros:         serveStats.P99.Microseconds(),
+		ServeAuditOffQPS:       auditOffStats.QPS,
 		ChaosServeQPS:          chaosStats.QPS,
 		ChaosServeP99:          chaosStats.P99.Microseconds(),
 		ChaosDegraded:          chaosStats.DegradedQueries,

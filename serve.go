@@ -9,6 +9,7 @@ import (
 
 	"github.com/warehousekit/mvpp/internal/algebra"
 	"github.com/warehousekit/mvpp/internal/cost"
+	"github.com/warehousekit/mvpp/internal/costaudit"
 	"github.com/warehousekit/mvpp/internal/engine"
 	"github.com/warehousekit/mvpp/internal/obs"
 	"github.com/warehousekit/mvpp/internal/optimizer"
@@ -69,6 +70,37 @@ type ServeOptions struct {
 	// TelemetryAddr is set and stays off otherwise; negative forces
 	// sampling off even with telemetry on.
 	TraceSampleEvery int
+	// CostAudit tunes the cost-accountability ledger. Auditing is on by
+	// default (set CostAudit.Disable to turn it off): every query class and
+	// view carries a §4.1 predicted cost, cache-miss executions and view
+	// refreshes record their measured block I/O against it, and calibration
+	// drift triggers advisor re-selection.
+	CostAudit CostAuditOptions
+}
+
+// CostAuditOptions configures the serving layer's predicted-vs-actual cost
+// ledger (see Server.CostReport, Server.Explain, and the /costmodel
+// telemetry endpoint). The zero value means auditing on with defaults.
+type CostAuditOptions struct {
+	// Disable turns the ledger off entirely: no predictions, no
+	// observations, empty CostReport, no drift-triggered recalibration.
+	Disable bool
+	// Alpha is the EWMA smoothing factor for calibration ratios in (0, 1]
+	// (0 → 0.3).
+	Alpha float64
+	// DriftBound d flags an entry as drifted when its smoothed calibration
+	// ratio leaves [1/d, d] (0 → 2.5).
+	DriftBound float64
+	// MinSamples is how many observations an entry needs before drift can
+	// be flagged (0 → 3).
+	MinSamples int
+	// SkewPredictions multiplies every registered prediction — a test hook
+	// simulating a miscalibrated cost model (0 → 1, no skew).
+	SkewPredictions float64
+	// AutoApply lets a drift-triggered recalibration hot-swap its advised
+	// view set into the running warehouse; off, the advice is only recorded
+	// (see Server.LastRecalibration).
+	AutoApply bool
 }
 
 // defaultTraceSample is the sampling stride when telemetry is on and the
@@ -88,6 +120,13 @@ type Advice = serve.Advice
 // QueryTrace is one sampled query's correlated lifecycle (admission →
 // cache/execute → reply), every stage tagged with the same query ID.
 type QueryTrace = serve.QueryTrace
+
+// CostReport is a point-in-time snapshot of the cost-accountability
+// ledger: predicted vs measured block costs per query class and view.
+type CostReport = costaudit.Report
+
+// CostEntry is one ledger row of a CostReport.
+type CostEntry = costaudit.Entry
 
 // QueryResult is one answered query.
 type QueryResult struct {
@@ -243,6 +282,15 @@ func (d *Design) NewServer(opts ServeOptions) (*Server, error) {
 		sampleEvery = 0
 	}
 
+	var ledger *costaudit.Ledger
+	if !opts.CostAudit.Disable {
+		ledger = costaudit.NewLedger(costaudit.Config{
+			Alpha:      opts.CostAudit.Alpha,
+			DriftBound: opts.CostAudit.DriftBound,
+			MinSamples: opts.CostAudit.MinSamples,
+		})
+	}
+
 	inner, err := serve.New(serve.Config{
 		DB:               db,
 		Queries:          queries,
@@ -260,6 +308,9 @@ func (d *Design) NewServer(opts ServeOptions) (*Server, error) {
 		Journal:          journal,
 		TraceSampleEvery: sampleEvery,
 		Obs:              observer,
+		Audit:            ledger,
+		AuditAutoApply:   opts.CostAudit.AutoApply,
+		AuditSkew:        opts.CostAudit.SkewPredictions,
 	})
 	if err != nil {
 		if ownedJournal != nil {
@@ -400,8 +451,28 @@ func (s *Server) ObservedFrequencies() map[string]float64 {
 // frequencies and reports what should change.
 func (s *Server) Advise() (*Advice, error) { return s.inner.Advise() }
 
+// AdviseCalibrated re-runs the selection with the observed frequencies
+// recalibrated by the cost ledger's per-query calibration ratios, so the
+// Figure 9 weights approximate measured rather than predicted cost.
+func (s *Server) AdviseCalibrated() (*Advice, error) { return s.inner.AdviseCalibrated() }
+
 // ApplyAdvice hot-swaps the advised view set into the running warehouse.
 func (s *Server) ApplyAdvice(a *Advice) error { return s.inner.ApplyAdvice(a) }
+
+// CostReport snapshots the cost-accountability ledger: per query class and
+// per view, the §4.1 predicted block cost, last and mean measured actuals,
+// the EWMA calibration ratio, sample count, and drift flag. Empty when
+// auditing is disabled.
+func (s *Server) CostReport() CostReport { return s.inner.CostReport() }
+
+// Explain renders the named workload query's plan as the server would run
+// it right now — rewritten over the materialized views — priced per
+// operator and annotated with the ledger's observed actuals.
+func (s *Server) Explain(name string) (string, error) { return s.inner.Explain(name) }
+
+// LastRecalibration returns the advice produced by the most recent
+// drift-triggered re-selection, or nil if no drift has fired.
+func (s *Server) LastRecalibration() *Advice { return s.inner.LastRecalibration() }
 
 // Close stops the server. It is idempotent and safe to race with queries
 // and ingestion: in-flight work is answered with ErrServerClosed. Pending
