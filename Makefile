@@ -5,7 +5,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 STATICCHECK := $(shell command -v staticcheck 2>/dev/null)
 
-.PHONY: all fmt vet staticcheck build test race bench check tier1 telemetry-smoke
+.PHONY: all fmt vet staticcheck build test race bench check tier1 telemetry-smoke fuzz-smoke
 
 all: check
 
@@ -55,11 +55,20 @@ telemetry-smoke:
 	done; \
 	echo "telemetry smoke: ok"
 
+# Short fuzzing pass over the batch executor's predicate kernels and the
+# join-key encoding equivalence. A few seconds per target is enough to
+# shake loose encoding mismatches in CI; long sessions run the same
+# targets with a bigger -fuzztime by hand.
+fuzz-smoke:
+	$(GO) test ./internal/engine -run '^$$' -fuzz FuzzBatchSelectPredicate -fuzztime 5s
+	$(GO) test ./internal/engine -run '^$$' -fuzz FuzzJoinKeyEncoding -fuzztime 5s
+
 # The tier-1 verification script (what CI runs on every change), with the
 # race detector included so the concurrent serving layer stays honest,
-# static analysis (vet always, staticcheck when installed) in front, and a
-# live telemetry scrape at the end.
-tier1: build vet staticcheck test race telemetry-smoke
+# static analysis (vet always, staticcheck when installed) in front, a
+# short fuzz pass over the batch executor, and a live telemetry scrape at
+# the end.
+tier1: build vet staticcheck test race fuzz-smoke telemetry-smoke
 
 # Write the Design() benchmark baseline consumed by regression checks.
 bench:

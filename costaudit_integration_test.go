@@ -33,11 +33,22 @@ func auditEpoch(t *testing.T, design *mvpp.Design, srv *mvpp.Server, fraction fl
 	}
 }
 
+// The pinned calibration band for view-refresh predictions on the paper
+// workload. Originally [0.5, 2.0]; re-validated and tightened after the
+// engine moved to vectorized batch execution — block I/O is
+// executor-invariant (the batch-vs-row differential suite asserts the
+// counters bit for bit), so the measured ratios did not move, and three
+// epochs of EWMA smoothing keep them comfortably inside [0.6, 1.75].
+const (
+	calibBandLo = 0.6
+	calibBandHi = 1.75
+)
+
 // TestCostAuditCalibrationBand is the accountability acceptance check: on
 // the paper workload every materialized view's calibration ratio lands in
-// [0.5, 2.0] — the §4.1 predictions agree with the engine's measured block
-// I/O within a factor of two — after one epoch of traffic, and the ledger's
-// sample counts grow monotonically across epochs.
+// the pinned band — the §4.1 predictions agree with the engine's measured
+// block I/O — after one epoch of traffic, and the ledger's sample counts
+// grow monotonically across epochs.
 func TestCostAuditCalibrationBand(t *testing.T) {
 	design, srv := paperServer(t, mvpp.ServeOptions{Scale: 0.05})
 
@@ -62,11 +73,11 @@ func TestCostAuditCalibrationBand(t *testing.T) {
 			continue
 		}
 		views++
-		// The acceptance band: view refresh predictions within 2× of the
-		// measured refresh I/O after the first epoch.
-		if e.Ratio < 0.5 || e.Ratio > 2.0 {
-			t.Errorf("%s %s: calibration ratio %.3f outside [0.5, 2.0] (predicted %.1f, actual %.0f)",
-				e.Kind, e.Name, e.Ratio, e.PredictedBlocks, e.LastActualBlocks)
+		// The acceptance band: view refresh predictions inside the pinned
+		// calibration band after the first epoch.
+		if e.Ratio < calibBandLo || e.Ratio > calibBandHi {
+			t.Errorf("%s %s: calibration ratio %.3f outside [%g, %g] (predicted %.1f, actual %.0f)",
+				e.Kind, e.Name, e.Ratio, calibBandLo, calibBandHi, e.PredictedBlocks, e.LastActualBlocks)
 		}
 	}
 	if views == 0 {
@@ -80,8 +91,8 @@ func TestCostAuditCalibrationBand(t *testing.T) {
 		if before, ok := samples[e.Kind+"/"+e.Name]; ok && e.Samples < before {
 			t.Errorf("%s %s: samples shrank %d -> %d", e.Kind, e.Name, before, e.Samples)
 		}
-		if e.Samples > 0 && e.Kind != "query" && (e.Ratio < 0.5 || e.Ratio > 2.0) {
-			t.Errorf("%s %s: ratio %.3f left [0.5, 2.0] after 3 epochs", e.Kind, e.Name, e.Ratio)
+		if e.Samples > 0 && e.Kind != "query" && (e.Ratio < calibBandLo || e.Ratio > calibBandHi) {
+			t.Errorf("%s %s: ratio %.3f left [%g, %g] after 3 epochs", e.Kind, e.Name, e.Ratio, calibBandLo, calibBandHi)
 		}
 		if e.Drifted {
 			t.Errorf("%s %s: drifted on an un-skewed run (ratio %.3f)", e.Kind, e.Name, e.Ratio)
@@ -121,6 +132,63 @@ func TestCostAuditSkewTripsDriftAndRecalibration(t *testing.T) {
 	}
 	if srv.LastRecalibration() == nil {
 		t.Error("LastRecalibration() = nil after drift-triggered re-selection")
+	}
+}
+
+// TestCostAuditDriftNamesOnlySkewedView is the drift-precision regression
+// check: when the cost constants of exactly one view's refresh
+// predictions move (an 8× per-view skew), the ledger must flag that view
+// and nothing else — no collateral drift on the other views or on the
+// query entries, whose constants did not change.
+func TestCostAuditDriftNamesOnlySkewedView(t *testing.T) {
+	design, err := paperDesigner(t, mvpp.Options{}).Design()
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := design.Views()
+	if len(views) < 2 {
+		t.Skipf("need at least two materialized views to test drift precision, have %d", len(views))
+	}
+	skewed := views[0].Name
+	srv, err := design.NewServer(mvpp.ServeOptions{
+		Scale: 0.05,
+		Seed:  7,
+		CostAudit: mvpp.CostAuditOptions{
+			SkewViews: map[string]float64{skewed: 8},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// MinSamples defaults to 3: four epochs give every refresh entry
+	// enough observations to be eligible for the drift flag.
+	for i := 0; i < 4; i++ {
+		auditEpoch(t, design, srv, 0.02)
+	}
+
+	rep := srv.CostReport()
+	sawSkewedDrift := false
+	for _, e := range rep.Entries {
+		isRefresh := e.Kind != "query"
+		switch {
+		case isRefresh && e.Name == skewed:
+			if e.Samples > 0 && !e.Drifted {
+				t.Errorf("%s %s: 8x-skewed constants never tripped drift (ratio %.3f, samples %d)",
+					e.Kind, e.Name, e.Ratio, e.Samples)
+			}
+			sawSkewedDrift = sawSkewedDrift || e.Drifted
+		case e.Drifted:
+			t.Errorf("%s %s: drifted but its constants never moved (ratio %.3f)",
+				e.Kind, e.Name, e.Ratio)
+		}
+	}
+	if !sawSkewedDrift {
+		t.Fatalf("no refresh entry for the skewed view %s was flagged", skewed)
+	}
+	if got := srv.Stats().CostDrifts; got == 0 {
+		t.Error("Stats().CostDrifts = 0 despite the skewed view drifting")
 	}
 }
 

@@ -79,18 +79,18 @@ func (a *accumulator) result() algebra.Value {
 	}
 }
 
-// execAggregate is a hash aggregation: one pass over the input, one
-// accumulator row per group, groups emitted in first-seen order.
-func (db *DB) execAggregate(agg *algebra.Aggregate, in *Table, res *Result) (*Table, error) {
-	groupIdx := make([]int, len(agg.GroupBy))
+// resolveAggregate resolves an aggregation's group-by and argument
+// columns against the input schema (argIdx -1 marks COUNT(*)).
+func resolveAggregate(agg *algebra.Aggregate, in *Table) (groupIdx, argIdx []int, err error) {
+	groupIdx = make([]int, len(agg.GroupBy))
 	for i, ref := range agg.GroupBy {
 		j, err := in.Schema.Resolve(ref)
 		if err != nil {
-			return nil, fmt.Errorf("engine: GROUP BY: %w", err)
+			return nil, nil, fmt.Errorf("engine: GROUP BY: %w", err)
 		}
 		groupIdx[i] = j
 	}
-	argIdx := make([]int, len(agg.Aggs))
+	argIdx = make([]int, len(agg.Aggs))
 	for i, a := range agg.Aggs {
 		if a.Arg == (algebra.ColumnRef{}) {
 			argIdx[i] = -1 // COUNT(*)
@@ -98,9 +98,20 @@ func (db *DB) execAggregate(agg *algebra.Aggregate, in *Table, res *Result) (*Ta
 		}
 		j, err := in.Schema.Resolve(a.Arg)
 		if err != nil {
-			return nil, fmt.Errorf("engine: aggregate %s: %w", a.Func, err)
+			return nil, nil, fmt.Errorf("engine: aggregate %s: %w", a.Func, err)
 		}
 		argIdx[i] = j
+	}
+	return groupIdx, argIdx, nil
+}
+
+// rowAggregate is the reference hash aggregation: one pass over the
+// input, one accumulator row per group, groups emitted in first-seen
+// order.
+func (db *DB) rowAggregate(agg *algebra.Aggregate, in *Table, res *Result) (*Table, error) {
+	groupIdx, argIdx, err := resolveAggregate(agg, in)
+	if err != nil {
+		return nil, err
 	}
 
 	type group struct {
@@ -109,7 +120,7 @@ func (db *DB) execAggregate(agg *algebra.Aggregate, in *Table, res *Result) (*Ta
 	}
 	byKey := make(map[string]*group)
 	var order []*group
-	for _, row := range in.rows {
+	for _, row := range in.materializeRows() {
 		var key strings.Builder
 		for _, gi := range groupIdx {
 			key.WriteString(row[gi].String())

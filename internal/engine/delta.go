@@ -16,7 +16,8 @@ var ErrNotIncremental = errors.New("engine: plan is not incrementally maintainab
 // InsertDelta records pending inserted rows for a base table. The rows are
 // not yet visible to queries or refreshes: they form the delta that
 // IncrementalRefresh propagates through view plans, and they join the base
-// table when ApplyDeltas runs. Multiple calls accumulate.
+// table when ApplyDeltas runs. Multiple calls accumulate; each call
+// appends its whole batch column-at-a-time.
 func (db *DB) InsertDelta(table string, rows ...[]algebra.Value) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -45,10 +46,11 @@ func (db *DB) PendingDeltaRows(table string) int {
 // ApplyDeltas folds every pending delta into its base table and clears the
 // delta buffers, along with every view's propagation watermark (the rows
 // are base state from now on). The fold is copy-on-write: each affected
-// base table is republished as a fresh table, so concurrent readers keep
-// scanning the snapshot they resolved. Base-table writes are not metered:
-// the warehouse pays them under every maintenance policy, so they cancel
-// out of any recompute-vs-incremental comparison.
+// base table is republished as a fresh table — one columnar payload copy
+// plus the delta appended — so concurrent readers keep scanning the
+// snapshot they resolved. Base-table writes are not metered: the
+// warehouse pays them under every maintenance policy, so they cancel out
+// of any recompute-vs-incremental comparison.
 func (db *DB) ApplyDeltas() error {
 	if err := db.inj.Hit(fault.SiteEngineApplyDeltas); err != nil {
 		return err
@@ -56,10 +58,7 @@ func (db *DB) ApplyDeltas() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	for name, d := range db.deltas {
-		t := db.tables[name]
-		u := NewTable(t.Name, t.Schema, t.BlockRows)
-		u.rows = append(append([][]algebra.Value{}, t.rows...), d.rows...)
-		db.tables[name] = u
+		db.tables[name] = db.tables[name].cloneAppendTable(d)
 	}
 	db.deltas = make(map[string]*Table)
 	db.propagated = make(map[string]map[string]int)
@@ -93,36 +92,34 @@ func incrementable(plan algebra.Node) error {
 // against). seen records the per-table watermark to commit on success.
 type deltaState struct {
 	fresh      map[string]*Table
-	oldExtra   map[string][][]algebra.Value
-	allPending map[string][][]algebra.Value
+	oldExtra   map[string]*Table
+	allPending map[string]*Table
 	seen       map[string]int
 }
 
 // deltaSnapshot freezes the pending deltas and the view's watermarks under
-// the read lock. The row slices are captured by value, so later
+// the read lock. The slices are capacity-capped column views, so later
 // InsertDelta appends never leak into a propagation already underway.
 func (db *DB) deltaSnapshot(view string) *deltaState {
 	ds := &deltaState{
 		fresh:      make(map[string]*Table),
-		oldExtra:   make(map[string][][]algebra.Value),
-		allPending: make(map[string][][]algebra.Value),
+		oldExtra:   make(map[string]*Table),
+		allPending: make(map[string]*Table),
 		seen:       make(map[string]int),
 	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	marks := db.propagated[view]
 	for name, d := range db.deltas {
-		rows := d.rows
+		n := d.NumRows()
 		k := marks[name]
-		if k > len(rows) {
-			k = len(rows)
+		if k > n {
+			k = n
 		}
-		ds.seen[name] = len(rows)
-		ds.allPending[name] = rows
-		ds.oldExtra[name] = rows[:k]
-		f := NewTable(d.Name, d.Schema, d.BlockRows)
-		f.rows = rows[k:]
-		ds.fresh[name] = f
+		ds.seen[name] = n
+		ds.allPending[name] = d.sliceRows(0, n)
+		ds.oldExtra[name] = d.sliceRows(0, k)
+		ds.fresh[name] = d.sliceRows(k, n)
 	}
 	return ds
 }
@@ -177,7 +174,7 @@ func (db *DB) IncrementalRefresh(name string) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		dagg, err := db.execAggregate(agg, din, res)
+		dagg, err := db.opAggregate(agg, din, res)
 		if err != nil {
 			return nil, err
 		}
@@ -196,8 +193,8 @@ func (db *DB) IncrementalRefresh(name string) (*Result, error) {
 		return nil, err
 	}
 	cur := v.Table()
-	next := NewTable(name, cur.Schema, cur.BlockRows)
-	next.rows = append(append([][]algebra.Value{}, cur.rows...), droot.rows...)
+	next := cur.cloneAppendTable(droot)
+	next.Name = name
 	stats := OpStats{
 		Label:     "append " + name,
 		Writes:    int64(droot.NumBlocks()),
@@ -248,7 +245,9 @@ func (db *DB) IncrementalRefreshAll() (map[string]*Result, error) {
 // deltaExec computes the delta table of the relation at n under the
 // snapshot ds. Select/project/join work on the delta stream is metered
 // into res; operand relations (the full sides a delta joins against) are
-// produced unmetered.
+// produced unmetered. Joins on the delta path are always block
+// nested-loop — the delta-propagation cost formulas assume BlockNLJ — in
+// both execution modes.
 func (db *DB) deltaExec(n algebra.Node, ds *deltaState, res *Result) (*Table, error) {
 	switch v := n.(type) {
 	case *algebra.Scan:
@@ -262,13 +261,13 @@ func (db *DB) deltaExec(n algebra.Node, ds *deltaState, res *Result) (*Table, er
 		if err != nil {
 			return nil, err
 		}
-		return db.execSelect(v, din, res)
+		return db.opSelect(v, din, res)
 	case *algebra.Project:
 		din, err := db.deltaExec(v.Input, ds, res)
 		if err != nil {
 			return nil, err
 		}
-		return db.execProject(v, din, res)
+		return db.opProject(v, din, res)
 	case *algebra.Join:
 		dl, err := db.deltaExec(v.Left, ds, res)
 		if err != nil {
@@ -286,17 +285,15 @@ func (db *DB) deltaExec(n algebra.Node, ds *deltaState, res *Result) (*Table, er
 		if err != nil {
 			return nil, err
 		}
-		part1, err := db.execJoin(v, dl, rightNew, res)
+		part1, err := db.opNLJoin(v, dl, rightNew, res)
 		if err != nil {
 			return nil, err
 		}
-		part2, err := db.execJoin(v, leftOld, dr, res)
+		part2, err := db.opNLJoin(v, leftOld, dr, res)
 		if err != nil {
 			return nil, err
 		}
-		if err := part1.Insert(part2.rows...); err != nil {
-			return nil, err
-		}
+		part1.appendTable(part2)
 		return part1, nil
 	default:
 		return nil, fmt.Errorf("engine: cannot propagate deltas through node type %T", n)
@@ -308,18 +305,16 @@ func (db *DB) deltaExec(n algebra.Node, ds *deltaState, res *Result) (*Table, er
 // state; the all-pending extras = the new state). It runs on a shadow
 // database value — the receiver is never mutated, so concurrent readers
 // of the real DB are undisturbed.
-func (db *DB) execUnmetered(n algebra.Node, extra map[string][][]algebra.Value) (*Table, error) {
+func (db *DB) execUnmetered(n algebra.Node, extra map[string]*Table) (*Table, error) {
 	db.mu.RLock()
 	tables := make(map[string]*Table, len(db.tables))
 	for name, t := range db.tables {
-		rows := extra[name]
-		if len(rows) == 0 {
+		x := extra[name]
+		if x == nil || x.NumRows() == 0 {
 			tables[name] = t
 			continue
 		}
-		u := NewTable(t.Name, t.Schema, t.BlockRows)
-		u.rows = append(append([][]algebra.Value{}, t.rows...), rows...)
-		tables[name] = u
+		tables[name] = t.cloneAppendTable(x)
 	}
 	views := db.views
 	db.mu.RUnlock()
@@ -331,6 +326,7 @@ func (db *DB) execUnmetered(n algebra.Node, extra map[string][][]algebra.Value) 
 		deltas:     make(map[string]*Table),
 		propagated: make(map[string]map[string]int),
 		joinAlgo:   db.joinAlgo,
+		execMode:   db.execMode,
 	}
 	var scratch Result
 	return shadow.exec(n, &scratch)
@@ -339,7 +335,9 @@ func (db *DB) execUnmetered(n algebra.Node, extra map[string][][]algebra.Value) 
 // mergeAggregate folds the aggregated delta groups into the stored view:
 // the stored view is read, matching groups combine (COUNT/SUM add, MIN/MAX
 // compare), new groups append, and the merged table is returned for the
-// epoch swap.
+// epoch swap. The merge itself is executor-independent: the stored view
+// and the delta groups are both materialized once, combined row-wise, and
+// re-ingested as one batch.
 func (db *DB) mergeAggregate(v *MaterializedView, agg *algebra.Aggregate, dagg *Table, res *Result) (*Table, error) {
 	nKeys := len(agg.GroupBy)
 	keyOf := func(row []algebra.Value) string {
@@ -350,29 +348,20 @@ func (db *DB) mergeAggregate(v *MaterializedView, agg *algebra.Aggregate, dagg *
 		return key
 	}
 	cur := v.Table()
-	out := NewTable("", cur.Schema, cur.BlockRows)
-	byKey := make(map[string]int, cur.NumRows())
-	for _, row := range cur.rows {
-		cp := make([]algebra.Value, len(row))
-		copy(cp, row)
-		byKey[keyOf(cp)] = out.NumRows()
-		if err := out.Insert(cp); err != nil {
-			return nil, err
-		}
+	rows := cur.materializeRows()
+	byKey := make(map[string]int, len(rows))
+	for i, row := range rows {
+		byKey[keyOf(row)] = i
 	}
-	for _, drow := range dagg.rows {
+	for _, drow := range dagg.materializeRows() {
 		key := keyOf(drow)
 		idx, ok := byKey[key]
 		if !ok {
-			cp := make([]algebra.Value, len(drow))
-			copy(cp, drow)
-			byKey[key] = out.NumRows()
-			if err := out.Insert(cp); err != nil {
-				return nil, err
-			}
+			byKey[key] = len(rows)
+			rows = append(rows, drow)
 			continue
 		}
-		stored := out.rows[idx]
+		stored := rows[idx]
 		for i, a := range agg.Aggs {
 			col := nKeys + i
 			combined, err := combineAgg(a.Func, stored[col], drow[col])
@@ -381,6 +370,10 @@ func (db *DB) mergeAggregate(v *MaterializedView, agg *algebra.Aggregate, dagg *
 			}
 			stored[col] = combined
 		}
+	}
+	out := NewTable("", cur.Schema, cur.BlockRows)
+	if err := out.Insert(rows...); err != nil {
+		return nil, err
 	}
 	stats := OpStats{
 		Label:     "merge " + v.Name,

@@ -23,8 +23,8 @@ type Result struct {
 	Ops   []OpStats
 }
 
-// Rows returns the result rows.
-func (r *Result) Rows() [][]algebra.Value { return r.Table.rows }
+// Rows materializes the result rows.
+func (r *Result) Rows() [][]algebra.Value { return r.Table.materializeRows() }
 
 // TotalReads sums block reads over all operators.
 func (r *Result) TotalReads() int64 {
@@ -61,6 +61,25 @@ const (
 // SetJoinAlgorithm switches the physical join operator for subsequent
 // executions.
 func (db *DB) SetJoinAlgorithm(a JoinAlgorithm) { db.joinAlgo = a }
+
+// ExecMode selects between the vectorized batch executor and the legacy
+// row-at-a-time executor.
+type ExecMode int
+
+// Execution modes.
+const (
+	// ExecBatch runs operators batch-at-a-time over typed column vectors —
+	// the default.
+	ExecBatch ExecMode = iota
+	// ExecRow runs the legacy row-at-a-time operators. Kept as the
+	// reference build: the differential harness asserts the two modes
+	// produce bit-identical results, operator stats, and journal state.
+	ExecRow
+)
+
+// SetExecMode switches the executor for subsequent executions. Like
+// SetJoinAlgorithm, not safe to call concurrently with Execute.
+func (db *DB) SetExecMode(m ExecMode) { db.execMode = m }
 
 // Execute runs a plan operator-at-a-time: every operator reads its stored
 // input block by block and writes its result to a fresh temporary table,
@@ -121,13 +140,13 @@ func (db *DB) exec(n algebra.Node, res *Result) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		return db.execSelect(v, in, res)
+		return db.opSelect(v, in, res)
 	case *algebra.Project:
 		in, err := db.exec(v.Input, res)
 		if err != nil {
 			return nil, err
 		}
-		return db.execProject(v, in, res)
+		return db.opProject(v, in, res)
 	case *algebra.Join:
 		left, err := db.exec(v.Left, res)
 		if err != nil {
@@ -137,89 +156,66 @@ func (db *DB) exec(n algebra.Node, res *Result) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		if db.joinAlgo == JoinHash {
-			return db.execHashJoin(v, left, right, res)
-		}
-		return db.execJoin(v, left, right, res)
+		return db.opJoin(v, left, right, res)
 	case *algebra.Aggregate:
 		in, err := db.exec(v.Input, res)
 		if err != nil {
 			return nil, err
 		}
-		return db.execAggregate(v, in, res)
+		return db.opAggregate(v, in, res)
 	default:
 		return nil, fmt.Errorf("engine: cannot execute node type %T", n)
 	}
 }
 
-// execSelect filters by linear scan: every input block is read once.
-func (db *DB) execSelect(sel *algebra.Select, in *Table, res *Result) (*Table, error) {
-	out := NewTable("", sel.Schema(), db.BlockRows)
-	for i := 0; i < in.NumRows(); i++ {
-		ok, err := sel.Pred.Eval(in.Row(i))
-		if err != nil {
-			return nil, fmt.Errorf("engine: %w", err)
-		}
-		if ok {
-			if err := out.Insert(in.rows[i]); err != nil {
-				return nil, err
-			}
-		}
+// opSelect dispatches a selection to the active executor.
+func (db *DB) opSelect(sel *algebra.Select, in *Table, res *Result) (*Table, error) {
+	if db.execMode == ExecRow {
+		return db.rowSelect(sel, in, res)
 	}
-	stats := OpStats{
-		Label:     sel.Label(),
-		Reads:     int64(in.NumBlocks()),
-		Writes:    int64(out.NumBlocks()),
-		OutRows:   out.NumRows(),
-		OutBlocks: out.NumBlocks(),
-	}
-	db.account(stats)
-	res.Ops = append(res.Ops, stats)
-	return out, nil
+	return db.batchSelect(sel, in, res)
 }
 
-// execProject streams the input once.
-func (db *DB) execProject(p *algebra.Project, in *Table, res *Result) (*Table, error) {
-	outSchema, err := in.Schema.Project(p.Cols)
-	if err != nil {
-		return nil, fmt.Errorf("engine: %w", err)
+// opProject dispatches a projection to the active executor.
+func (db *DB) opProject(p *algebra.Project, in *Table, res *Result) (*Table, error) {
+	if db.execMode == ExecRow {
+		return db.rowProject(p, in, res)
 	}
-	idx := make([]int, len(p.Cols))
-	for i, ref := range p.Cols {
-		j, err := in.Schema.Resolve(ref)
-		if err != nil {
-			return nil, fmt.Errorf("engine: %w", err)
-		}
-		idx[i] = j
-	}
-	out := NewTable("", outSchema, db.BlockRows)
-	for _, row := range in.rows {
-		vals := make([]algebra.Value, len(idx))
-		for i, j := range idx {
-			vals[i] = row[j]
-		}
-		if err := out.Insert(vals); err != nil {
-			return nil, err
-		}
-	}
-	stats := OpStats{
-		Label:     p.Label(),
-		Reads:     int64(in.NumBlocks()),
-		Writes:    int64(out.NumBlocks()),
-		OutRows:   out.NumRows(),
-		OutBlocks: out.NumBlocks(),
-	}
-	db.account(stats)
-	res.Ops = append(res.Ops, stats)
-	return out, nil
+	return db.batchProject(p, in, res)
 }
 
-// execJoin is a block nested-loop join with a one-block buffer: the outer
-// is read once, the inner once per outer block — blocks(outer) +
-// blocks(outer)·blocks(inner) reads, matching the BlockNLJ cost model.
-func (db *DB) execJoin(j *algebra.Join, left, right *Table, res *Result) (*Table, error) {
-	joined := left.Schema.Concat(right.Schema)
-	type condIdx struct{ li, ri int }
+// opJoin dispatches a join to the active executor and join algorithm.
+func (db *DB) opJoin(j *algebra.Join, left, right *Table, res *Result) (*Table, error) {
+	if db.joinAlgo == JoinHash {
+		if db.execMode == ExecRow {
+			return db.rowHashJoin(j, left, right, res)
+		}
+		return db.batchHashJoin(j, left, right, res)
+	}
+	return db.opNLJoin(j, left, right, res)
+}
+
+// opNLJoin dispatches a block nested-loop join regardless of the
+// configured join algorithm; the delta-propagation path always joins
+// nested-loop (its cost formulas assume BlockNLJ).
+func (db *DB) opNLJoin(j *algebra.Join, left, right *Table, res *Result) (*Table, error) {
+	if db.execMode == ExecRow {
+		return db.rowJoin(j, left, right, res)
+	}
+	return db.batchJoin(j, left, right, res)
+}
+
+// opAggregate dispatches an aggregation to the active executor.
+func (db *DB) opAggregate(agg *algebra.Aggregate, in *Table, res *Result) (*Table, error) {
+	if db.execMode == ExecRow {
+		return db.rowAggregate(agg, in, res)
+	}
+	return db.batchAggregate(agg, in, res)
+}
+
+// resolveJoinConds resolves every join condition against the two input
+// schemas once, before any row is touched.
+func resolveJoinConds(j *algebra.Join, left, right *Table) ([]condIdx, error) {
 	conds := make([]condIdx, len(j.On))
 	for i, c := range j.On {
 		li, err := left.Schema.Resolve(c.Left)
@@ -232,46 +228,29 @@ func (db *DB) execJoin(j *algebra.Join, left, right *Table, res *Result) (*Table
 		}
 		conds[i] = condIdx{li, ri}
 	}
-	out := NewTable("", joined, db.BlockRows)
-	outerBlocks := left.NumBlocks()
-	for ob := 0; ob < outerBlocks; ob++ {
-		lo := ob * left.BlockRows
-		hi := lo + left.BlockRows
-		if hi > left.NumRows() {
-			hi = left.NumRows()
-		}
-		for _, rrow := range right.rows {
-			for li := lo; li < hi; li++ {
-				lrow := left.rows[li]
-				match := true
-				for _, ci := range conds {
-					if !lrow[ci.li].Equal(rrow[ci.ri]) {
-						match = false
-						break
-					}
-				}
-				if !match {
-					continue
-				}
-				vals := make([]algebra.Value, 0, len(lrow)+len(rrow))
-				vals = append(vals, lrow...)
-				vals = append(vals, rrow...)
-				if err := out.Insert(vals); err != nil {
-					return nil, err
-				}
-			}
-		}
+	return conds, nil
+}
+
+// condIdx is one resolved equi-join condition: column positions in the
+// left and right schemas.
+type condIdx struct{ li, ri int }
+
+// resolveProjection resolves a projection's output schema and source
+// column positions.
+func resolveProjection(p *algebra.Project, in *Table) (*algebra.Schema, []int, error) {
+	outSchema, err := in.Schema.Project(p.Cols)
+	if err != nil {
+		return nil, nil, fmt.Errorf("engine: %w", err)
 	}
-	stats := OpStats{
-		Label:     j.Label(),
-		Reads:     int64(outerBlocks) + int64(outerBlocks)*int64(right.NumBlocks()),
-		Writes:    int64(out.NumBlocks()),
-		OutRows:   out.NumRows(),
-		OutBlocks: out.NumBlocks(),
+	idx := make([]int, len(p.Cols))
+	for i, ref := range p.Cols {
+		j, err := in.Schema.Resolve(ref)
+		if err != nil {
+			return nil, nil, fmt.Errorf("engine: %w", err)
+		}
+		idx[i] = j
 	}
-	db.account(stats)
-	res.Ops = append(res.Ops, stats)
-	return out, nil
+	return outSchema, idx, nil
 }
 
 func (db *DB) account(s OpStats) {

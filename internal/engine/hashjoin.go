@@ -7,30 +7,24 @@ import (
 	"github.com/warehousekit/mvpp/internal/algebra"
 )
 
-// execHashJoin builds an in-memory hash table on the right (inner) input
-// and probes it with the left: blocks(left) + blocks(right) reads. It is
-// the physical counterpart of the HashJoinModel used by the ablation
-// benchmarks — materialized intermediate results matter far less when
-// joins cost one pass per input.
-func (db *DB) execHashJoin(j *algebra.Join, left, right *Table, res *Result) (*Table, error) {
+// rowHashJoin is the reference hash join: it builds an in-memory hash
+// table on the right (inner) input and probes it with the left —
+// blocks(left) + blocks(right) reads. It is the physical counterpart of
+// the HashJoinModel used by the ablation benchmarks; batchHashJoin is the
+// vectorized default and must agree with this implementation bit for bit.
+func (db *DB) rowHashJoin(j *algebra.Join, left, right *Table, res *Result) (*Table, error) {
 	joined := left.Schema.Concat(right.Schema)
-	type condIdx struct{ li, ri int }
-	conds := make([]condIdx, len(j.On))
-	for i, c := range j.On {
-		li, err := left.Schema.Resolve(c.Left)
-		if err != nil {
-			return nil, fmt.Errorf("engine: join condition %s: %w", c, err)
-		}
-		ri, err := right.Schema.Resolve(c.Right)
-		if err != nil {
-			return nil, fmt.Errorf("engine: join condition %s: %w", c, err)
-		}
-		conds[i] = condIdx{li, ri}
+	conds, err := resolveJoinConds(j, left, right)
+	if err != nil {
+		return nil, err
 	}
+
+	leftRows := left.materializeRows()
+	rightRows := right.materializeRows()
 
 	// Build side: inner rows keyed by their join values.
 	build := make(map[string][]int, right.NumRows())
-	for ri, rrow := range right.rows {
+	for ri, rrow := range rightRows {
 		var key strings.Builder
 		for _, ci := range conds {
 			key.WriteString(hashKey(rrow[ci.ri]))
@@ -40,14 +34,14 @@ func (db *DB) execHashJoin(j *algebra.Join, left, right *Table, res *Result) (*T
 	}
 
 	out := NewTable("", joined, db.BlockRows)
-	for _, lrow := range left.rows {
+	for _, lrow := range leftRows {
 		var key strings.Builder
 		for _, ci := range conds {
 			key.WriteString(hashKey(lrow[ci.li]))
 			key.WriteByte('|')
 		}
 		for _, ri := range build[key.String()] {
-			rrow := right.rows[ri]
+			rrow := rightRows[ri]
 			vals := make([]algebra.Value, 0, len(lrow)+len(rrow))
 			vals = append(vals, lrow...)
 			vals = append(vals, rrow...)

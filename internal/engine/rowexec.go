@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/warehousekit/mvpp/internal/algebra"
+)
+
+// This file is the row-at-a-time reference executor: the operators the
+// engine shipped with before the vectorized batch executor replaced them
+// as the default. They are kept — selected by SetExecMode(ExecRow) — as
+// the semantics oracle for the differential harness
+// (TestBatchVsRowDifferential), which asserts the two executors produce
+// bit-identical result rows, per-operator stats, and journal state. Each
+// operator materializes its columnar input row-major exactly once and then
+// evaluates value-at-a-time with per-row interface dispatch, the
+// evaluation discipline the original implementation had.
+
+// rowSelect filters by linear scan: every input block is read once.
+func (db *DB) rowSelect(sel *algebra.Select, in *Table, res *Result) (*Table, error) {
+	rows := in.materializeRows()
+	out := NewTable("", sel.Schema(), db.BlockRows)
+	for _, row := range rows {
+		ok, err := sel.Pred.Eval(&algebra.Tuple{Schema: in.Schema, Values: row})
+		if err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+		if ok {
+			if err := out.Insert(row); err != nil {
+				return nil, err
+			}
+		}
+	}
+	stats := OpStats{
+		Label:     sel.Label(),
+		Reads:     int64(in.NumBlocks()),
+		Writes:    int64(out.NumBlocks()),
+		OutRows:   out.NumRows(),
+		OutBlocks: out.NumBlocks(),
+	}
+	db.account(stats)
+	res.Ops = append(res.Ops, stats)
+	return out, nil
+}
+
+// rowProject streams the input once.
+func (db *DB) rowProject(p *algebra.Project, in *Table, res *Result) (*Table, error) {
+	outSchema, idx, err := resolveProjection(p, in)
+	if err != nil {
+		return nil, err
+	}
+	rows := in.materializeRows()
+	out := NewTable("", outSchema, db.BlockRows)
+	for _, row := range rows {
+		vals := make([]algebra.Value, len(idx))
+		for i, j := range idx {
+			vals[i] = row[j]
+		}
+		if err := out.Insert(vals); err != nil {
+			return nil, err
+		}
+	}
+	stats := OpStats{
+		Label:     p.Label(),
+		Reads:     int64(in.NumBlocks()),
+		Writes:    int64(out.NumBlocks()),
+		OutRows:   out.NumRows(),
+		OutBlocks: out.NumBlocks(),
+	}
+	db.account(stats)
+	res.Ops = append(res.Ops, stats)
+	return out, nil
+}
+
+// rowJoin is a block nested-loop join with a one-block buffer: the outer
+// is read once, the inner once per outer block — blocks(outer) +
+// blocks(outer)·blocks(inner) reads, matching the BlockNLJ cost model.
+func (db *DB) rowJoin(j *algebra.Join, left, right *Table, res *Result) (*Table, error) {
+	joined := left.Schema.Concat(right.Schema)
+	conds, err := resolveJoinConds(j, left, right)
+	if err != nil {
+		return nil, err
+	}
+	leftRows := left.materializeRows()
+	rightRows := right.materializeRows()
+	out := NewTable("", joined, db.BlockRows)
+	outerBlocks := left.NumBlocks()
+	for ob := 0; ob < outerBlocks; ob++ {
+		lo := ob * left.BlockRows
+		hi := lo + left.BlockRows
+		if hi > left.NumRows() {
+			hi = left.NumRows()
+		}
+		for _, rrow := range rightRows {
+			for li := lo; li < hi; li++ {
+				lrow := leftRows[li]
+				match := true
+				for _, ci := range conds {
+					if !lrow[ci.li].Equal(rrow[ci.ri]) {
+						match = false
+						break
+					}
+				}
+				if !match {
+					continue
+				}
+				vals := make([]algebra.Value, 0, len(lrow)+len(rrow))
+				vals = append(vals, lrow...)
+				vals = append(vals, rrow...)
+				if err := out.Insert(vals); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	stats := OpStats{
+		Label:     j.Label(),
+		Reads:     int64(outerBlocks) + int64(outerBlocks)*int64(right.NumBlocks()),
+		Writes:    int64(out.NumBlocks()),
+		OutRows:   out.NumRows(),
+		OutBlocks: out.NumBlocks(),
+	}
+	db.account(stats)
+	res.Ops = append(res.Ops, stats)
+	return out, nil
+}

@@ -47,12 +47,18 @@ import (
 // DefaultBlockRows is the default blocking factor (rows per block).
 const DefaultBlockRows = 10
 
-// Table is a block-structured stored relation.
+// Table is a block-structured stored relation. Storage is columnar: one
+// typed column vector (with a null bitmap) per schema column — the layout
+// the vectorized batch executor runs over directly. Block accounting is
+// unchanged: a table of n rows occupies ⌈n/BlockRows⌉ blocks regardless of
+// layout, so the §4.1 cost model and every measured I/O count are
+// identical to the row-major representation this replaced.
 type Table struct {
 	Name      string
 	Schema    *algebra.Schema
 	BlockRows int
-	rows      [][]algebra.Value
+	cols      []*colvec
+	nrows     int
 }
 
 // NewTable creates an empty table. blockRows ≤ 0 selects DefaultBlockRows.
@@ -60,32 +66,119 @@ func NewTable(name string, schema *algebra.Schema, blockRows int) *Table {
 	if blockRows <= 0 {
 		blockRows = DefaultBlockRows
 	}
-	return &Table{Name: name, Schema: schema, BlockRows: blockRows}
+	t := &Table{Name: name, Schema: schema, BlockRows: blockRows}
+	t.cols = make([]*colvec, schema.Len())
+	for i := range t.cols {
+		t.cols[i] = &colvec{}
+	}
+	return t
 }
 
-// Insert appends rows; each must match the schema width.
+// Insert appends rows; each must match the schema width. Ingestion is
+// column-at-a-time: every column vector grows by the whole batch before
+// the next column is touched.
 func (t *Table) Insert(rows ...[]algebra.Value) error {
 	for _, r := range rows {
 		if len(r) != t.Schema.Len() {
 			return fmt.Errorf("engine: row width %d does not match schema width %d of %s",
 				len(r), t.Schema.Len(), t.Name)
 		}
-		t.rows = append(t.rows, r)
 	}
+	for ci, c := range t.cols {
+		for _, r := range rows {
+			c.append(r[ci])
+		}
+	}
+	t.nrows += len(rows)
 	return nil
 }
 
 // NumRows returns the row count.
-func (t *Table) NumRows() int { return len(t.rows) }
+func (t *Table) NumRows() int { return t.nrows }
 
 // NumBlocks returns the occupied block count (⌈rows/blockRows⌉).
 func (t *Table) NumBlocks() int {
-	return (len(t.rows) + t.BlockRows - 1) / t.BlockRows
+	return (t.nrows + t.BlockRows - 1) / t.BlockRows
 }
 
-// Row returns row i as a Tuple bound to the table schema.
+// Row materializes row i as a Tuple bound to the table schema.
 func (t *Table) Row(i int) *algebra.Tuple {
-	return &algebra.Tuple{Schema: t.Schema, Values: t.rows[i]}
+	return &algebra.Tuple{Schema: t.Schema, Values: t.rowValues(i)}
+}
+
+// rowValues materializes row i as a fresh value slice.
+func (t *Table) rowValues(i int) []algebra.Value {
+	vals := make([]algebra.Value, len(t.cols))
+	for ci, c := range t.cols {
+		vals[ci] = c.valueAt(i)
+	}
+	return vals
+}
+
+// materializeRows renders the whole table row-major — the representation
+// the legacy row executor works over. One pass, one allocation per row.
+func (t *Table) materializeRows() [][]algebra.Value {
+	out := make([][]algebra.Value, t.nrows)
+	for i := range out {
+		out[i] = t.rowValues(i)
+	}
+	return out
+}
+
+// cloneAppendRows returns a fresh table holding the receiver's rows
+// followed by the given rows. Columns are copied, never shared, so the
+// original stays immutable for concurrent readers.
+func (t *Table) cloneAppendRows(rows [][]algebra.Value) (*Table, error) {
+	u := NewTable(t.Name, t.Schema, t.BlockRows)
+	for ci, c := range t.cols {
+		u.cols[ci] = c.clone()
+	}
+	u.nrows = t.nrows
+	return u, u.Insert(rows...)
+}
+
+// cloneAppendTable returns a fresh table holding the receiver's rows
+// followed by every row of o (schemas must be width-compatible).
+func (t *Table) cloneAppendTable(o *Table) *Table {
+	u := NewTable(t.Name, t.Schema, t.BlockRows)
+	for ci, c := range t.cols {
+		cc := c.clone()
+		cc.appendCol(o.cols[ci])
+		u.cols[ci] = cc
+	}
+	u.nrows = t.nrows + o.nrows
+	return u
+}
+
+// sliceRows returns a table view of rows [lo, hi) — payloads shared
+// (capacity-capped), the same discipline row-slice views had.
+func (t *Table) sliceRows(lo, hi int) *Table {
+	u := &Table{Name: t.Name, Schema: t.Schema, BlockRows: t.BlockRows, nrows: hi - lo}
+	u.cols = make([]*colvec, len(t.cols))
+	for ci, c := range t.cols {
+		u.cols[ci] = c.slice(lo, hi)
+	}
+	return u
+}
+
+// appendTable appends every row of o to the receiver in place. Only for
+// tables the caller owns (operator outputs still under construction) —
+// published tables are immutable.
+func (t *Table) appendTable(o *Table) {
+	for ci, c := range t.cols {
+		c.appendCol(o.cols[ci])
+	}
+	t.nrows += o.nrows
+}
+
+// gatherTable builds a table from the named rows of the receiver.
+func (t *Table) gatherTable(name string, schema *algebra.Schema, idx []int32) *Table {
+	u := &Table{Name: name, Schema: schema, BlockRows: t.BlockRows, nrows: len(idx)}
+	u.cols = make([]*colvec, len(t.cols))
+	for ci, c := range t.cols {
+		u.cols[ci] = c.gather(idx)
+	}
+	return u
 }
 
 // Counter tallies block accesses. Reads and writes are independent atomics
@@ -138,6 +231,7 @@ type DB struct {
 	// of the same name starts from a clean watermark.
 	propagated map[string]map[string]int
 	joinAlgo   JoinAlgorithm
+	execMode   ExecMode
 
 	// obsv receives one EvEngineOp event per executed operator; blockReads
 	// and blockWrites mirror the Counter into the observer's registry. All
@@ -288,8 +382,9 @@ func relationStats(name string, t *Table) *catalog.Relation {
 		var min, max algebra.Value
 		var numericVals []float64
 		numericCol := col.Type == algebra.TypeInt || col.Type == algebra.TypeFloat || col.Type == algebra.TypeDate
-		for _, row := range t.rows {
-			v := row[ci]
+		cv := t.cols[ci]
+		for ri := 0; ri < t.nrows; ri++ {
+			v := cv.valueAt(ri)
 			distinct[v.String()] = true
 			if !min.IsValid() {
 				min, max = v, v

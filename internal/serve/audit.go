@@ -30,6 +30,17 @@ const (
 	maxRecalWeight = 4.0
 )
 
+// viewSkew is the prediction multiplier for one view's refresh entries:
+// the global test skew times any per-view skew — so a drift-precision
+// test can move one operator's cost constants while the rest stay true.
+func (s *Server) viewSkew(name string) float64 {
+	k := s.auditSkew
+	if m, ok := s.auditSkewViews[name]; ok && m > 0 {
+		k *= m
+	}
+	return k
+}
+
 // repriceAudit registers fresh §4.1 predictions for every workload query
 // (priced over its current view-rewritten plan) and every materialized
 // view's recomputation, against statistics of the live warehouse — views
@@ -71,7 +82,7 @@ func (s *Server) repriceAudit() {
 		if err != nil {
 			continue
 		}
-		s.audit.Predict(costaudit.KindRecompute, name, c*s.auditSkew)
+		s.audit.Predict(costaudit.KindRecompute, name, c*s.viewSkew(name))
 	}
 }
 
@@ -112,7 +123,7 @@ func (s *Server) predictIncremental(names []string) {
 		if err != nil || !ok || math.IsInf(c, 0) {
 			continue
 		}
-		s.audit.Predict(costaudit.KindIncremental, name, c*s.auditSkew)
+		s.audit.Predict(costaudit.KindIncremental, name, c*s.viewSkew(name))
 	}
 }
 

@@ -172,6 +172,10 @@ type Config struct {
 	// AuditSkew multiplies every registered prediction — a test hook
 	// simulating a miscalibrated cost model. 0 means 1 (no skew).
 	AuditSkew float64
+	// AuditSkewViews multiplies only the named views' refresh predictions
+	// (recompute and incremental), on top of AuditSkew — a test hook for
+	// per-operator cost-constant drift.
+	AuditSkewViews map[string]float64
 }
 
 // Result is one answered query.
@@ -267,6 +271,7 @@ type Server struct {
 	audit          *costaudit.Ledger
 	auditAutoApply bool
 	auditSkew      float64
+	auditSkewViews map[string]float64
 	auditMu        sync.Mutex
 	auditPricer    *costaudit.Pricer
 	recalHandled   map[string]bool
@@ -360,6 +365,7 @@ func newServer(cfg Config) (*Server, error) {
 		audit:          cfg.Audit,
 		auditAutoApply: cfg.AuditAutoApply,
 		auditSkew:      cfg.AuditSkew,
+		auditSkewViews: cfg.AuditSkewViews,
 		recalHandled:   make(map[string]bool),
 	}
 	if s.auditSkew <= 0 {

@@ -122,6 +122,38 @@ func measureSimulateDelta() (testing.BenchmarkResult, int64, int64, error) {
 	return res, incIO, fullIO, runErr
 }
 
+// measureExecMode times one Simulate pass at a scale where the executor
+// dominates the wall clock (at tiny scales the fixed designer/build work
+// drowns it out), on either the vectorized batch executor or the
+// row-at-a-time reference executor. The batch/row pairs it produces are
+// the ≥5x speedup acceptance numbers: deltaFraction 0 prices the
+// recompute/Simulate path, a non-zero fraction prices the incremental
+// refresh path on top.
+func measureExecMode(rowExec bool, deltaFraction float64) (testing.BenchmarkResult, error) {
+	d, err := paperDesigner(mvpp.Options{})
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	design, err := d.Design()
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	var runErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, err := design.Simulate(mvpp.SimOptions{
+				Scale: 0.02, Seed: 11, DeltaFraction: deltaFraction, RowExec: rowExec,
+			})
+			if err != nil {
+				runErr = err
+				b.FailNow()
+			}
+		}
+	})
+	return res, runErr
+}
+
 // measureEndToEnd rebuilds the designer every iteration (a fresh trace
 // recorder each time when mkObs is non-nil), so the observed run is not
 // skewed by one recorder accumulating every previous iteration's trace.
@@ -405,6 +437,17 @@ type report struct {
 	SimulateDeltaNsPerOp   int64 `json:"simulate_delta_ns_per_op"`
 	IncrementalEpochBlocks int64 `json:"incremental_epoch_blocks"`
 	RecomputeEpochBlocks   int64 `json:"recompute_epoch_blocks"`
+	// Batch-vs-row executor pairs, measured at Scale 0.02 where the
+	// executor dominates the wall clock. The speedups are the vectorized
+	// engine's acceptance numbers: the simulate pair is the recompute
+	// path, the refresh pair runs the same epoch with a 1% delta so the
+	// incremental maintenance path is in the loop too.
+	BatchSimulateNsPerOp  int64   `json:"batch_simulate_ns_per_op"`
+	RowSimulateNsPerOp    int64   `json:"row_simulate_ns_per_op"`
+	RowVsBatchSpeedup     float64 `json:"row_vs_batch_speedup"`
+	BatchRefreshNsPerOp   int64   `json:"batch_refresh_ns_per_op"`
+	RowRefreshNsPerOp     int64   `json:"row_refresh_ns_per_op"`
+	RowVsBatchRefreshGain float64 `json:"row_vs_batch_refresh_speedup"`
 	// Serve tracks the serving layer (BenchmarkServeWorkload): per-query
 	// latency of the router path under parallel clients, sustained
 	// throughput, the result cache's hit rate, and tail latency.
@@ -451,6 +494,14 @@ func main() {
 	fail(err)
 	deltaSim, incIO, fullIO, err := measureSimulateDelta()
 	fail(err)
+	batchSim, err := measureExecMode(false, 0)
+	fail(err)
+	rowSim, err := measureExecMode(true, 0)
+	fail(err)
+	batchRefresh, err := measureExecMode(false, 0.01)
+	fail(err)
+	rowRefresh, err := measureExecMode(true, 0.01)
+	fail(err)
 	serveRes, serveStats, err := measureServe(false)
 	fail(err)
 	_, auditOffStats, err := measureServe(true)
@@ -477,6 +528,12 @@ func main() {
 		SimulateDeltaNsPerOp:   deltaSim.NsPerOp(),
 		IncrementalEpochBlocks: incIO,
 		RecomputeEpochBlocks:   fullIO,
+		BatchSimulateNsPerOp:   batchSim.NsPerOp(),
+		RowSimulateNsPerOp:     rowSim.NsPerOp(),
+		RowVsBatchSpeedup:      float64(rowSim.NsPerOp()) / float64(batchSim.NsPerOp()),
+		BatchRefreshNsPerOp:    batchRefresh.NsPerOp(),
+		RowRefreshNsPerOp:      rowRefresh.NsPerOp(),
+		RowVsBatchRefreshGain:  float64(rowRefresh.NsPerOp()) / float64(batchRefresh.NsPerOp()),
 		ServeNsPerOp:           serveRes.NsPerOp(),
 		ServeQPS:               serveStats.QPS,
 		ServeCacheHitRate:      serveStats.CacheHitRate(),

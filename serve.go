@@ -76,6 +76,11 @@ type ServeOptions struct {
 	// refreshes record their measured block I/O against it, and calibration
 	// drift triggers advisor re-selection.
 	CostAudit CostAuditOptions
+	// RowExec serves queries on the row-at-a-time reference executor
+	// instead of the vectorized batch executor. Block I/O — and with it
+	// every cost-ledger ratio — is identical either way; only wall-clock
+	// differs, so this exists for the row-vs-batch benchmarks.
+	RowExec bool
 }
 
 // CostAuditOptions configures the serving layer's predicted-vs-actual cost
@@ -97,6 +102,12 @@ type CostAuditOptions struct {
 	// SkewPredictions multiplies every registered prediction — a test hook
 	// simulating a miscalibrated cost model (0 → 1, no skew).
 	SkewPredictions float64
+	// SkewViews multiplies only the named views' refresh predictions
+	// (recompute and incremental), on top of SkewPredictions — a test hook
+	// simulating a cost model whose constants drifted for some operators
+	// but not others. Drift precision tests use it to assert that only the
+	// genuinely skewed views get flagged.
+	SkewViews map[string]float64
 	// AutoApply lets a drift-triggered recalibration hot-swap its advised
 	// view set into the running warehouse; off, the advice is only recorded
 	// (see Server.LastRecalibration).
@@ -232,6 +243,9 @@ func (d *Design) NewServer(opts ServeOptions) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.RowExec {
+		db.SetExecMode(engine.ExecRow)
+	}
 	db.SetObserver(observer)
 	if opts.Injector != nil {
 		opts.Injector.SetObserver(observer)
@@ -311,6 +325,7 @@ func (d *Design) NewServer(opts ServeOptions) (*Server, error) {
 		Audit:            ledger,
 		AuditAutoApply:   opts.CostAudit.AutoApply,
 		AuditSkew:        opts.CostAudit.SkewPredictions,
+		AuditSkewViews:   opts.CostAudit.SkewViews,
 	})
 	if err != nil {
 		if ownedJournal != nil {
