@@ -5,7 +5,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 STATICCHECK := $(shell command -v staticcheck 2>/dev/null)
 
-.PHONY: all fmt vet staticcheck build test race bench check tier1 telemetry-smoke fuzz-smoke
+.PHONY: all fmt vet staticcheck build test race bench check tier1 telemetry-smoke fuzz-smoke chaos-restart
 
 all: check
 
@@ -63,12 +63,20 @@ fuzz-smoke:
 	$(GO) test ./internal/engine -run '^$$' -fuzz FuzzBatchSelectPredicate -fuzztime 5s
 	$(GO) test ./internal/engine -run '^$$' -fuzz FuzzJoinKeyEncoding -fuzztime 5s
 
+# Chaos crash-restart-verify: kill a checkpoint at each injected crash
+# point (mid-segment write, either side of the manifest rename, mid-journal
+# compaction), restart over the debris, and require bit-identical query
+# answers with zero lost deltas — under the race detector, since recovery
+# races the snapshot loop.
+chaos-restart:
+	$(GO) test -race -count=1 -run 'TestSnapshotCrashRestartVerify|TestFileJournalTruncateCrashLosesNothing' . ./internal/engine
+
 # The tier-1 verification script (what CI runs on every change), with the
 # race detector included so the concurrent serving layer stays honest,
 # static analysis (vet always, staticcheck when installed) in front, a
-# short fuzz pass over the batch executor, and a live telemetry scrape at
-# the end.
-tier1: build vet staticcheck test race fuzz-smoke telemetry-smoke
+# short fuzz pass over the batch executor, the chaos crash-restart cycle
+# over the snapshot store, and a live telemetry scrape at the end.
+tier1: build vet staticcheck test race fuzz-smoke chaos-restart telemetry-smoke
 
 # Write the Design() benchmark baseline consumed by regression checks.
 bench:

@@ -57,6 +57,9 @@ func run() (status int) {
 		apply         = flag.Bool("apply", false, "apply the advisor's proposal live and re-run the load")
 		chaos         = flag.Float64("chaos", 0, "fault injection probability: refresh errors at this rate, plus slow queries and worker panics at lower rates (0 disables)")
 		journalPath   = flag.String("journal", "", "crash-safe delta journal path; un-applied deltas from a previous run are replayed on startup")
+		snapshotDir   = flag.String("snapshot-dir", "", "durable snapshot directory; boot restores the newest consistent snapshot and checkpoints land there while serving")
+		snapInterval  = flag.Duration("snapshot-interval", 0, "wall-clock checkpoint period (0 keeps only the epoch-count trigger)")
+		snapRetain    = flag.Int("snapshot-retain", 0, "snapshot generations retention GC keeps (0 = default 3)")
 		telemetryAddr = flag.String("telemetry", "", "serve the live telemetry plane on this address (/metrics, /healthz, /views, /traces, /debug/pprof); the run self-scrapes it after the load")
 		logLevel      = flag.String("log-level", "", "log serving spans and events to stderr at this level (debug, info, warn, error)")
 		traceOut      = flag.String("trace-out", "", "write a JSON trace of the serving run to this file")
@@ -124,7 +127,8 @@ func run() (status int) {
 	opts := mvpp.ServeOptions{
 		Scale: *scale, Seed: *seed,
 		Workers: *workers, QueueDepth: *queue, CacheCapacity: *cache, DeltaBatch: *batch,
-		JournalPath:   *journalPath,
+		JournalPath: *journalPath,
+		SnapshotDir: *snapshotDir, SnapshotInterval: *snapInterval, SnapshotRetain: *snapRetain,
 		TelemetryAddr: *telemetryAddr,
 		Observer:      obsy.Observer,
 		CostAudit:     mvpp.CostAuditOptions{Disable: *noAudit, SkewPredictions: *skew},
@@ -154,6 +158,16 @@ func run() (status int) {
 	if replayed := srv.Stats().ReplayedDeltaRows; replayed > 0 {
 		fmt.Printf("journal: replayed %d delta rows from %s\n", replayed, *journalPath)
 	}
+	if ss := srv.SnapshotStats(); ss.Configured && ss.Recovery != nil {
+		if r := ss.Recovery; r.Cold {
+			fmt.Printf("snapshot: cold boot, no usable snapshot in %s (%d views recomputed)\n",
+				*snapshotDir, r.ViewsRecomputed)
+		} else {
+			fmt.Printf("snapshot: restored generation %d from %s (%d base tables, %d/%d views from segments, %d bytes, %v)\n",
+				r.Generation, *snapshotDir, r.BaseRestored, r.ViewsRestored,
+				r.ViewsRestored+r.ViewsRecomputed, r.Bytes, r.Duration.Round(time.Millisecond))
+		}
+	}
 	if *chaos > 0 {
 		fmt.Printf("chaos: injecting faults at probability %g (refresh errors, slow queries, worker panics)\n", *chaos)
 	}
@@ -169,6 +183,14 @@ func run() (status int) {
 	}
 	report(srv)
 	costReport(srv)
+	if ss := srv.SnapshotStats(); ss.Configured {
+		if _, err := srv.Checkpoint(); err != nil {
+			fmt.Fprintln(os.Stderr, "mvserve: final checkpoint:", err)
+		}
+		ss = srv.SnapshotStats()
+		fmt.Printf("snapshot: %d checkpoints this run (%d skipped, %d failed), generation %d, %d bytes, %d generations aged out\n",
+			ss.Checkpoints, ss.Skipped, ss.Failures, ss.Generation, ss.LastBytes, ss.AgedOut)
+	}
 	if *explain != "" {
 		names := queries
 		if *explain != "all" {

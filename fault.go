@@ -41,6 +41,11 @@ const (
 	FaultSiteServeWorker              = fault.SiteServeWorker
 	FaultSiteServeEpoch               = fault.SiteServeEpoch
 	FaultSiteJournalAppend            = fault.SiteJournalAppend
+	FaultSiteJournalTruncate          = fault.SiteJournalTruncate
+	FaultSiteSnapshotSegmentWrite     = fault.SiteSnapshotSegmentWrite
+	FaultSiteSnapshotManifestWrite    = fault.SiteSnapshotManifestWrite
+	FaultSiteSnapshotManifestRename   = fault.SiteSnapshotManifestRename
+	FaultSiteSnapshotReplay           = fault.SiteSnapshotReplay
 )
 
 // ErrFaultInjected is the sentinel wrapped by every injected error;

@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 
 	"github.com/warehousekit/mvpp/internal/algebra"
+	"github.com/warehousekit/mvpp/internal/fault"
 )
 
 // DeltaRecord is one journaled batch of inserted rows for a base table.
@@ -37,6 +39,16 @@ type DeltaJournal interface {
 	Commit(lsn uint64) error
 	// Pending returns the unacknowledged records in LSN order.
 	Pending() ([]DeltaRecord, error)
+	// RecordsSince returns every retained record with LSN > lsn in LSN
+	// order — acknowledged or not. Snapshot recovery replays the suffix
+	// past a snapshot's watermark with it; Truncate bounds how far back
+	// it can reach.
+	RecordsSince(lsn uint64) ([]DeltaRecord, error)
+	// Truncate drops every record with LSN ≤ lsn (they are captured by a
+	// durable snapshot and will never be replayed). LSN assignment
+	// continues from where it was — truncation never reissues sequence
+	// numbers.
+	Truncate(lsn uint64) error
 	// Close releases the journal's resources.
 	Close() error
 }
@@ -66,20 +78,14 @@ func (j *MemJournal) Append(table string, rows [][]algebra.Value) (uint64, error
 	return lsn, nil
 }
 
-// Commit acknowledges records up to lsn and drops them.
+// Commit acknowledges records up to lsn. Acknowledged records are retained
+// (for snapshot recovery's RecordsSince) until Truncate discards them.
 func (j *MemJournal) Commit(lsn uint64) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if lsn > j.committed {
 		j.committed = lsn
 	}
-	keep := j.records[:0]
-	for _, r := range j.records {
-		if r.LSN > j.committed {
-			keep = append(keep, r)
-		}
-	}
-	j.records = keep
 	return nil
 }
 
@@ -87,7 +93,43 @@ func (j *MemJournal) Commit(lsn uint64) error {
 func (j *MemJournal) Pending() ([]DeltaRecord, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return append([]DeltaRecord(nil), j.records...), nil
+	var out []DeltaRecord
+	for _, r := range j.records {
+		if r.LSN > j.committed {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// RecordsSince returns every retained record with LSN > lsn.
+func (j *MemJournal) RecordsSince(lsn uint64) ([]DeltaRecord, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []DeltaRecord
+	for _, r := range j.records {
+		if r.LSN > lsn {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// Truncate drops records with LSN ≤ lsn; sequence numbering continues.
+func (j *MemJournal) Truncate(lsn uint64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	keep := j.records[:0]
+	for _, r := range j.records {
+		if r.LSN > lsn {
+			keep = append(keep, r)
+		}
+	}
+	j.records = keep
+	if lsn > j.committed {
+		j.committed = lsn
+	}
+	return nil
 }
 
 // Close is a no-op for the in-memory journal.
@@ -130,26 +172,31 @@ func decodeRow(row []journaleVal) []algebra.Value {
 
 // FileJournal is the file-backed DeltaJournal: an append-only line-JSON log
 // that is fsynced on every append and commit, and whose open path tolerates
-// a torn final line — the crash-safe write-ahead log proper.
+// a torn final line — the crash-safe write-ahead log proper. Committed
+// records stay in the file (for snapshot recovery's RecordsSince) until
+// Truncate compacts it.
 type FileJournal struct {
 	mu        sync.Mutex
+	path      string
 	f         *os.File
 	nextLSN   uint64
 	committed uint64
 	pending   []DeltaRecord
+	inj       *fault.Injector
 }
 
-// OpenFileJournal opens (or creates) the journal at path and recovers its
-// state: records after the last commit mark are pending and will be
-// returned by Pending; a malformed final line — a torn write from a crash —
-// is discarded.
-func OpenFileJournal(path string) (*FileJournal, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("engine: opening delta journal: %w", err)
-	}
-	j := &FileJournal{f: f, nextLSN: 1}
-	var goodBytes int64
+// journalScan is the result of reading one journal file front to back.
+type journalScan struct {
+	records   []DeltaRecord // every delta record, in file order
+	committed uint64        // highest commit mark
+	maxLSN    uint64        // highest LSN on any line (delta or commit)
+	goodBytes int64         // bytes before the first malformed (torn) line
+}
+
+// scanJournalFile parses a journal file, stopping (without error) at the
+// first malformed line — the torn tail of a crashed append.
+func scanJournalFile(f *os.File) (journalScan, error) {
+	var s journalScan
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<26)
 	for sc.Scan() {
@@ -157,31 +204,60 @@ func OpenFileJournal(path string) (*FileJournal, error) {
 		var line journalLine
 		if err := json.Unmarshal(raw, &line); err != nil {
 			// A torn tail from a crash mid-append: everything before it is
-			// intact; the tail is discarded (truncated below).
+			// intact; the tail is discarded by the caller.
 			break
 		}
-		goodBytes += int64(len(raw)) + 1
+		s.goodBytes += int64(len(raw)) + 1
+		if line.LSN > s.maxLSN {
+			s.maxLSN = line.LSN
+		}
 		switch line.T {
 		case "d":
 			rows := make([][]algebra.Value, len(line.Rows))
 			for i, r := range line.Rows {
 				rows[i] = decodeRow(r)
 			}
-			j.pending = append(j.pending, DeltaRecord{LSN: line.LSN, Table: line.Table, Rows: rows})
-			if line.LSN >= j.nextLSN {
-				j.nextLSN = line.LSN + 1
-			}
+			s.records = append(s.records, DeltaRecord{LSN: line.LSN, Table: line.Table, Rows: rows})
 		case "c":
-			if line.LSN > j.committed {
-				j.committed = line.LSN
+			if line.LSN > s.committed {
+				s.committed = line.LSN
 			}
 		}
 	}
 	if err := sc.Err(); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("engine: reading delta journal: %w", err)
+		return s, fmt.Errorf("engine: reading delta journal: %w", err)
 	}
-	if err := f.Truncate(goodBytes); err != nil {
+	return s, nil
+}
+
+// OpenFileJournal opens (or creates) the journal at path and recovers its
+// state: records after the last commit mark are pending and will be
+// returned by Pending; a malformed final line — a torn write from a crash —
+// is discarded. A stale compaction temp file (crash mid-Truncate) is
+// removed: the original journal is still complete, so the half-written
+// replacement is just debris.
+func OpenFileJournal(path string) (*FileJournal, error) {
+	if err := os.Remove(path + compactSuffix); err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("engine: removing stale journal compaction file: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("engine: opening delta journal: %w", err)
+	}
+	s, err := scanJournalFile(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// nextLSN must clear every LSN the file has ever named — including a
+	// truncation's commit mark, which may be the only surviving line.
+	// Restarting the sequence lower would reissue LSNs below a snapshot
+	// watermark and make RecordsSince silently skip live deltas.
+	j := &FileJournal{path: path, f: f, nextLSN: s.maxLSN + 1, committed: s.committed, pending: s.records}
+	if j.nextLSN < 1 {
+		j.nextLSN = 1
+	}
+	if err := f.Truncate(s.goodBytes); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("engine: truncating torn journal tail: %w", err)
 	}
@@ -191,6 +267,14 @@ func OpenFileJournal(path string) (*FileJournal, error) {
 	}
 	j.dropCommitted()
 	return j, nil
+}
+
+// SetInjector arms fault injection at the journal's sites (currently
+// SiteJournalTruncate); nil disables.
+func (j *FileJournal) SetInjector(in *fault.Injector) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.inj = in
 }
 
 func (j *FileJournal) dropCommitted() {
@@ -255,6 +339,140 @@ func (j *FileJournal) Pending() ([]DeltaRecord, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return append([]DeltaRecord(nil), j.pending...), nil
+}
+
+// RecordsSince re-reads the journal file and returns every record with
+// LSN > lsn, acknowledged or not — the snapshot recovery path's view of
+// the suffix past a watermark.
+func (j *FileJournal) RecordsSince(lsn uint64) ([]DeltaRecord, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	f, err := os.Open(j.path)
+	if err != nil {
+		return nil, fmt.Errorf("engine: reopening delta journal: %w", err)
+	}
+	defer f.Close()
+	s, err := scanJournalFile(f)
+	if err != nil {
+		return nil, err
+	}
+	var out []DeltaRecord
+	for _, r := range s.records {
+		if r.LSN > lsn {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// compactSuffix names the temporary replacement file Truncate stages next
+// to the journal before atomically renaming it into place.
+const compactSuffix = ".compact"
+
+// Truncate rewrites the journal keeping only records with LSN > lsn. The
+// rewrite is torn-tail safe: the survivors are staged to a temp file, led
+// by a commit mark that both preserves the ack floor and pins the LSN
+// sequence (so a reopened journal never reissues numbers ≤ lsn), fsynced,
+// and renamed over the live journal. A crash at any point leaves either
+// the complete old file or the complete new one.
+func (j *FileJournal) Truncate(lsn uint64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	tmpPath := j.path + compactSuffix
+	if err := os.Remove(tmpPath); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("engine: removing stale journal compaction file: %w", err)
+	}
+	rf, err := os.Open(j.path)
+	if err != nil {
+		return fmt.Errorf("engine: reopening delta journal for compaction: %w", err)
+	}
+	s, err := scanJournalFile(rf)
+	rf.Close()
+	if err != nil {
+		return err
+	}
+	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("engine: staging journal compaction: %w", err)
+	}
+	mark := j.committed
+	if lsn > mark {
+		mark = lsn
+	}
+	writeLine := func(line journalLine) error {
+		data, err := json.Marshal(line)
+		if err != nil {
+			return err
+		}
+		_, err = tmp.Write(append(data, '\n'))
+		return err
+	}
+	werr := writeLine(journalLine{T: "c", LSN: mark})
+	for _, r := range s.records {
+		if werr != nil {
+			break
+		}
+		if r.LSN <= lsn {
+			continue
+		}
+		enc := make([][]journaleVal, len(r.Rows))
+		for i, row := range r.Rows {
+			enc[i] = encodeRow(row)
+		}
+		werr = writeLine(journalLine{T: "d", LSN: r.LSN, Table: r.Table, Rows: enc})
+	}
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("engine: writing journal compaction: %w", werr)
+	}
+	// Crash point: the replacement is staged but not yet live. An injected
+	// error here abandons the compaction — the original journal is intact
+	// and the temp file is swept on the next open or Truncate.
+	if err := j.inj.Hit(fault.SiteJournalTruncate); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpPath, j.path); err != nil {
+		return fmt.Errorf("engine: committing journal compaction: %w", err)
+	}
+	if err := syncDir(filepath.Dir(j.path)); err != nil {
+		return err
+	}
+	// Swap the write handle to the new file and drop truncated records
+	// from the in-memory pending set.
+	nf, err := os.OpenFile(j.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("engine: reopening compacted journal: %w", err)
+	}
+	if _, err := nf.Seek(0, 2); err != nil {
+		nf.Close()
+		return err
+	}
+	j.f.Close()
+	j.f = nf
+	j.committed = mark
+	if mark >= j.nextLSN {
+		j.nextLSN = mark + 1
+	}
+	j.dropCommitted()
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("engine: opening dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("engine: syncing dir: %w", err)
+	}
+	return nil
 }
 
 // Close closes the underlying file.

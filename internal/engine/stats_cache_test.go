@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"testing"
+
+	"github.com/warehousekit/mvpp/internal/algebra"
+	"github.com/warehousekit/mvpp/internal/catalog"
+)
+
+func statsScratch(t *testing.T) *Table {
+	t.Helper()
+	schema := algebra.NewSchema(
+		algebra.Column{Relation: "R", Name: "a", Type: algebra.TypeInt},
+		algebra.Column{Relation: "R", Name: "b", Type: algebra.TypeString},
+	)
+	tb := NewTable("R", schema, 4)
+	for i := 0; i < 6; i++ {
+		if err := tb.Insert([]algebra.Value{
+			algebra.IntVal(int64(i % 3)), algebra.StringVal("x"),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+func TestTableStatsCaches(t *testing.T) {
+	tb := statsScratch(t)
+	first := TableStats("R", tb)
+	if first.Attrs["a"].DistinctValues != 3 {
+		t.Fatalf("NDV(a) = %v, want 3", first.Attrs["a"].DistinctValues)
+	}
+	if second := TableStats("R", tb); second != first {
+		t.Error("second TableStats call recomputed instead of returning the cache")
+	}
+	// A different requested name clones the identity but shares the stats.
+	aliased := TableStats("Alias", tb)
+	if aliased == first || aliased.Name != "Alias" {
+		t.Errorf("aliased entry = %+v", aliased)
+	}
+	if aliased.Attrs["a"].DistinctValues != 3 {
+		t.Error("aliased entry lost the attribute stats")
+	}
+	// Setup-phase growth invalidates: the row-count guard must drop the
+	// cache rather than serve stats for six rows against eight.
+	if err := tb.Insert(
+		[]algebra.Value{algebra.IntVal(77), algebra.StringVal("y")},
+		[]algebra.Value{algebra.IntVal(78), algebra.StringVal("y")},
+	); err != nil {
+		t.Fatal(err)
+	}
+	grown := TableStats("R", tb)
+	if grown == first {
+		t.Fatal("stale cache served after Insert")
+	}
+	if grown.Rows != 8 || grown.Attrs["a"].DistinctValues != 5 {
+		t.Errorf("recomputed entry = rows %v, NDV(a) %v; want 8, 5", grown.Rows, grown.Attrs["a"].DistinctValues)
+	}
+}
+
+func TestInstallStatsValidation(t *testing.T) {
+	tb := statsScratch(t)
+	good := func() *catalog.Relation {
+		return &catalog.Relation{
+			Name: "R", Rows: 6, Blocks: 2, UpdateFrequency: 1,
+			Attrs: map[string]catalog.AttrStats{
+				"a": {DistinctValues: 3},
+				"b": {DistinctValues: 1},
+			},
+		}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*catalog.Relation)
+		want   bool
+	}{
+		{"exact match", func(r *catalog.Relation) {}, true},
+		{"wrong name", func(r *catalog.Relation) { r.Name = "S" }, false},
+		{"wrong rows", func(r *catalog.Relation) { r.Rows = 7 }, false},
+		{"wrong blocks", func(r *catalog.Relation) { r.Blocks = 9 }, false},
+		{"missing attr", func(r *catalog.Relation) { delete(r.Attrs, "b") }, false},
+		{"foreign attr", func(r *catalog.Relation) {
+			delete(r.Attrs, "b")
+			r.Attrs["zz"] = catalog.AttrStats{}
+		}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rel := good()
+			tc.mutate(rel)
+			if got := tb.InstallStats(rel); got != tc.want {
+				t.Errorf("InstallStats = %v, want %v", got, tc.want)
+			}
+		})
+	}
+	if tb.InstallStats(nil) {
+		t.Error("nil entry installed")
+	}
+	// An installed entry is what TableStats then serves, schema re-attached.
+	rel := good()
+	rel.Attrs["a"] = catalog.AttrStats{DistinctValues: 42}
+	if !tb.InstallStats(rel) {
+		t.Fatal("valid entry rejected")
+	}
+	got := TableStats("R", tb)
+	if got != rel || got.Schema != tb.Schema {
+		t.Errorf("TableStats after install = %p (schema %p), want the installed entry with the live schema", got, got.Schema)
+	}
+	if got.Attrs["a"].DistinctValues != 42 {
+		t.Error("installed stats not served")
+	}
+}

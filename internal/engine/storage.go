@@ -59,6 +59,12 @@ type Table struct {
 	BlockRows int
 	cols      []*colvec
 	nrows     int
+	// stats caches this table's derived catalog entry. Published tables are
+	// immutable (maintenance swaps whole *Table pointers), so a computed
+	// entry stays valid for the table's lifetime; the only mutable window is
+	// the pre-publication setup phase, which the row-count guard in
+	// relationStats covers.
+	stats atomic.Pointer[catalog.Relation]
 }
 
 // NewTable creates an empty table. blockRows ≤ 0 selects DefaultBlockRows.
@@ -245,6 +251,10 @@ type DB struct {
 	// default — injects nothing, following the same nil-off discipline as
 	// obsv.
 	inj *fault.Injector
+
+	// snapStore, when wired via SetSnapshotStore, lets DropView delete a
+	// dropped view's durable snapshot segments. Nil when snapshots are off.
+	snapStore SnapshotDropper
 }
 
 // SetObserver wires operator-level events and the block-access counters
@@ -372,10 +382,55 @@ func (db *DB) addTableStats(cat *catalog.Catalog) error {
 	return nil
 }
 
-// relationStats computes a catalog entry from stored rows: exact sizes,
-// exact distinct-value counts, min/max, and equi-depth histograms on
-// numeric attributes.
+// TableStats returns the catalog entry describing one stored table — the
+// same statistics CatalogFor derives, computed once per published table
+// and cached (snapshot checkpoints persist the entry so recovery can prime
+// restored tables without rescanning them).
+func TableStats(name string, t *Table) *catalog.Relation {
+	return relationStats(name, t)
+}
+
+// InstallStats primes the table's statistics cache with a precomputed
+// entry — the restore-side half of snapshot stats persistence. The entry
+// is rejected (returning false) unless it matches the table's identity and
+// exact sizes; its schema is overwritten with the live one so downstream
+// consumers never see a deserialized duplicate.
+func (t *Table) InstallStats(rel *catalog.Relation) bool {
+	if rel == nil || rel.Name != t.Name || len(rel.Attrs) != t.Schema.Len() {
+		return false
+	}
+	if rel.Rows != float64(t.nrows) || rel.Blocks != float64(t.NumBlocks()) {
+		return false
+	}
+	for _, col := range t.Schema.Columns {
+		if _, ok := rel.Attrs[col.Name]; !ok {
+			return false
+		}
+	}
+	rel.Schema = t.Schema
+	t.stats.Store(rel)
+	return true
+}
+
+// relationStats returns the table's cached catalog entry, computing it on
+// a miss: exact sizes, exact distinct-value counts, min/max, and
+// equi-depth histograms on numeric attributes. The row-count guard drops a
+// cache primed during the setup phase and then outgrown by Insert.
 func relationStats(name string, t *Table) *catalog.Relation {
+	if rel := t.stats.Load(); rel != nil && rel.Rows == float64(t.nrows) {
+		if rel.Name == name {
+			return rel
+		}
+		clone := *rel
+		clone.Name = name
+		return &clone
+	}
+	rel := computeRelationStats(name, t)
+	t.stats.Store(rel)
+	return rel
+}
+
+func computeRelationStats(name string, t *Table) *catalog.Relation {
 	attrs := make(map[string]catalog.AttrStats, t.Schema.Len())
 	for ci, col := range t.Schema.Columns {
 		distinct := make(map[string]bool)

@@ -137,18 +137,44 @@ func (db *DB) View(name string) (*MaterializedView, error) {
 	return v, nil
 }
 
+// SnapshotDropper is the durable-store hook DropView calls so a dropped
+// view's persisted segments die with it. internal/snapshot's Store
+// implements it; the indirection keeps engine free of a snapshot import.
+type SnapshotDropper interface {
+	// DropViewSnapshot removes every persisted segment and manifest entry
+	// for the named view across all snapshot generations.
+	DropViewSnapshot(name string) error
+}
+
+// SetSnapshotStore wires the durable snapshot store (nil disables). Call
+// during setup, before the DB is shared.
+func (db *DB) SetSnapshotStore(s SnapshotDropper) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.snapStore = s
+}
+
 // DropView removes a materialized view, including its pending-delta
 // watermark — a later view materialized under the same name must start
 // from a clean slate, or it would silently skip deltas the dropped view
-// had already consumed and serve stale rows forever.
+// had already consumed and serve stale rows forever. When a snapshot store
+// is wired, the view's persisted segments are deleted too, so a
+// dropped-then-readded view cannot resurrect stale rows on restart.
 func (db *DB) DropView(name string) error {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if _, ok := db.views[name]; !ok {
+		db.mu.Unlock()
 		return fmt.Errorf("engine: unknown view %q", name)
 	}
 	delete(db.views, name)
 	delete(db.propagated, name)
+	snap := db.snapStore
+	db.mu.Unlock()
+	if snap != nil {
+		if err := snap.DropViewSnapshot(name); err != nil {
+			return fmt.Errorf("engine: dropping snapshot of view %s: %w", name, err)
+		}
+	}
 	return nil
 }
 

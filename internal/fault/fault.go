@@ -51,6 +51,29 @@ const (
 	SiteServeEpoch Site = "serve.epoch"
 	// SiteJournalAppend fires when the delta journal appends a record.
 	SiteJournalAppend Site = "journal.append"
+	// SiteJournalTruncate fires inside FileJournal.Truncate after the
+	// compacted replacement file is written but before it is renamed over
+	// the live journal — an injected error simulates a crash mid-compaction
+	// (the original journal survives intact, a torn .compact file is left
+	// behind).
+	SiteJournalTruncate Site = "journal.truncate"
+	// SiteSnapshotSegmentWrite fires once per columnar segment a snapshot
+	// checkpoint writes — an injected error leaves a genuinely torn segment
+	// file on disk (a half-written payload), simulating a crash mid-write.
+	SiteSnapshotSegmentWrite Site = "snapshot.segment_write"
+	// SiteSnapshotManifestWrite fires after a checkpoint's manifest is
+	// staged to its temporary file but before the atomic rename — an
+	// injected error simulates a crash just before the commit point (the
+	// new generation stays invisible to recovery).
+	SiteSnapshotManifestWrite Site = "snapshot.manifest_write"
+	// SiteSnapshotManifestRename fires immediately after the manifest
+	// rename — an injected error simulates a crash just after the commit
+	// point, before the journal is compacted or old generations aged out.
+	SiteSnapshotManifestRename Site = "snapshot.manifest_rename"
+	// SiteSnapshotReplay fires once per segment decoded during snapshot
+	// recovery — an injected error is treated like a corrupt segment and
+	// exercises the per-view fallback to recomputation.
+	SiteSnapshotReplay Site = "snapshot.replay"
 )
 
 // ErrInjected is the error every injected failure wraps; callers

@@ -112,6 +112,19 @@ const (
 	// view selection with recalibrated weights (attrs: views, applied,
 	// current_total, proposed_total).
 	EvServeRecalibrated EventKind = "serve.recalibrated"
+	// EvSnapshotCheckpoint fires once per durable snapshot checkpoint
+	// (attrs: generation, epoch, watermark, tables, views, bytes,
+	// aged_out).
+	EvSnapshotCheckpoint EventKind = "snapshot.checkpoint"
+	// EvSnapshotRecovery fires once per server boot that consulted the
+	// snapshot store (attrs: generation, cold, restored, recomputed,
+	// corrupt, bytes).
+	EvSnapshotRecovery EventKind = "snapshot.recovery"
+	// EvSnapshotCorrupt fires when a snapshot artifact fails validation —
+	// a torn or bit-flipped segment, a malformed manifest — and recovery
+	// falls back to recomputation instead of failing the boot (attrs:
+	// artifact, error).
+	EvSnapshotCorrupt EventKind = "snapshot.corrupt"
 )
 
 // Canonical counter names. Call sites resolve them once via CounterOf (or
@@ -188,6 +201,14 @@ const (
 	CtrCostDrifts = "costaudit.drifts"
 	// CtrServeRecalibrations counts drift-triggered advisor re-selections.
 	CtrServeRecalibrations = "serve.recalibrations"
+	// CtrSnapshotCheckpoints counts durable snapshot checkpoints taken.
+	CtrSnapshotCheckpoints = "snapshot.checkpoints"
+	// CtrSnapshotCorrupt counts snapshot artifacts (segments, manifests)
+	// that failed validation and were skipped during recovery.
+	CtrSnapshotCorrupt = "snapshot.corrupt_artifacts"
+	// CtrSnapshotRestoredViews counts views restored from snapshot segments
+	// at boot without recomputation.
+	CtrSnapshotRestoredViews = "snapshot.restored_views"
 )
 
 // Canonical gauge names for the serving layer.
@@ -200,6 +221,10 @@ const (
 	// GaugeServeUnhealthyViews is the number of views whose circuit breaker
 	// is currently not closed.
 	GaugeServeUnhealthyViews = "serve.unhealthy_views"
+	// GaugeSnapshotBytes is the byte size of the newest snapshot generation.
+	GaugeSnapshotBytes = "snapshot.bytes"
+	// GaugeSnapshotGeneration is the newest snapshot generation number.
+	GaugeSnapshotGeneration = "snapshot.generation"
 )
 
 // Observer receives spans, events, and hosts the metrics registry. A nil

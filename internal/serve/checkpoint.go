@@ -1,0 +1,256 @@
+package serve
+
+import (
+	"errors"
+	"time"
+
+	"github.com/warehousekit/mvpp/internal/obs"
+	"github.com/warehousekit/mvpp/internal/snapshot"
+)
+
+// Snapshot-trigger defaults (see Config.SnapshotEveryEpochs /
+// Config.SnapshotRetain).
+const (
+	DefaultSnapshotEveryEpochs = 8
+	DefaultSnapshotRetain      = 3
+)
+
+// ErrNoSnapshots reports a Checkpoint call on a server without a store.
+var ErrNoSnapshots = errors.New("serve: no snapshot store configured")
+
+// ViewSnapshotInfo is one view's durable-snapshot status.
+type ViewSnapshotInfo struct {
+	// SnapshotAt is when the view's newest persisted segment was committed.
+	SnapshotAt time.Time
+	// Bytes is that segment's size.
+	Bytes int64
+	// Epoch is the maintenance epoch the segment captured.
+	Epoch uint64
+}
+
+// SnapshotStats reports the server's durable-snapshot state — the last
+// checkpoint, the per-view segment ages the telemetry plane turns into
+// mv_snapshot_age_seconds, and the recovery that booted this server.
+type SnapshotStats struct {
+	// Configured reports whether a snapshot store is wired at all.
+	Configured bool
+	// Generation is the last committed checkpoint's generation (0 before
+	// the first).
+	Generation uint64
+	// LastCheckpointAt/LastBytes/LastDuration describe the last committed
+	// checkpoint.
+	LastCheckpointAt time.Time
+	LastBytes        int64
+	LastDuration     time.Duration
+	// Checkpoints counts committed checkpoints this process; Skipped counts
+	// trigger firings that found unlanded deltas and declined; Failures
+	// counts checkpoint attempts that errored.
+	Checkpoints, Skipped, Failures int64
+	// TruncateFailures counts post-checkpoint journal compactions that
+	// failed (the checkpoint itself stands; the journal just stays longer).
+	TruncateFailures int64
+	// AgedOut counts snapshot generations removed by retention GC.
+	AgedOut int64
+	// Views is the per-view snapshot status, keyed by view name. Only views
+	// captured by the last committed checkpoint appear.
+	Views map[string]ViewSnapshotInfo
+	// Recovery is how this server booted (nil when the server was built
+	// without going through snapshot recovery).
+	Recovery *snapshot.RecoveryStats
+}
+
+// snapState is the server's checkpoint bookkeeping, guarded by snapMu.
+type snapState struct {
+	generation  uint64
+	lastAt      time.Time
+	lastBytes   int64
+	lastDur     time.Duration
+	checkpoints int64
+	skipped     int64
+	failures    int64
+	truncFails  int64
+	agedOut     int64
+	views       map[string]ViewSnapshotInfo
+}
+
+// SnapshotStats reports the server's durable-snapshot state.
+func (s *Server) SnapshotStats() SnapshotStats {
+	out := SnapshotStats{Configured: s.snap != nil, Recovery: s.recovery}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	out.Generation = s.snapState.generation
+	out.LastCheckpointAt = s.snapState.lastAt
+	out.LastBytes = s.snapState.lastBytes
+	out.LastDuration = s.snapState.lastDur
+	out.Checkpoints = s.snapState.checkpoints
+	out.Skipped = s.snapState.skipped
+	out.Failures = s.snapState.failures
+	out.TruncateFailures = s.snapState.truncFails
+	out.AgedOut = s.snapState.agedOut
+	if len(s.snapState.views) > 0 {
+		out.Views = make(map[string]ViewSnapshotInfo, len(s.snapState.views))
+		for k, v := range s.snapState.views {
+			out.Views[k] = v
+		}
+	}
+	return out
+}
+
+// Checkpoint persists a consistent snapshot generation now: every base
+// table plus every healthy, fully-caught-up view, stamped with the journal
+// watermark of the last landed epoch. After the commit it compacts the
+// delta journal up to that watermark and ages out old generations by the
+// retention count. Returns (nil, nil) when the warehouse is mid-epoch
+// (unlanded deltas) — checkpointing then would capture view rows the
+// watermark does not cover.
+func (s *Server) Checkpoint() (*snapshot.CheckpointResult, error) {
+	if s.snap == nil {
+		return nil, ErrNoSnapshots
+	}
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
+	return s.checkpointLocked()
+}
+
+func (s *Server) checkpointLocked() (*snapshot.CheckpointResult, error) {
+	// Unlanded deltas mean incremental refreshes may already have folded
+	// rows into view tables that the acked watermark does not cover —
+	// snapshotting now would double-apply them on recovery. Decline; the
+	// next trigger after the epoch lands will succeed.
+	if s.enginePendingDeltas() {
+		s.snapMu.Lock()
+		s.snapState.skipped++
+		s.snapMu.Unlock()
+		return nil, nil
+	}
+	sc := s.sched
+	sc.mu.Lock()
+	watermark := sc.ackedLSN
+	type viewPick struct {
+		name  string
+		epoch uint64
+	}
+	var picks []viewPick
+	for name, vs := range sc.views {
+		// Only views whose stored rows are exactly the base tables at the
+		// watermark: no refresh debt, breaker closed. An unhealthy view is
+		// simply left out — recovery recomputes it.
+		if vs.lag == 0 && vs.state == BreakerClosed {
+			picks = append(picks, viewPick{name: name, epoch: vs.epoch})
+		}
+	}
+	sc.mu.Unlock()
+
+	in := snapshot.CheckpointInput{Epoch: s.epoch.Load(), Watermark: watermark}
+	for _, name := range s.db.Tables() {
+		t, err := s.db.Table(name)
+		if err != nil {
+			return nil, err
+		}
+		in.Tables = append(in.Tables, t)
+	}
+	for _, p := range picks {
+		v, err := s.db.View(p.name)
+		if err != nil {
+			// Dropped between the registry scan and now (advice swap); skip.
+			continue
+		}
+		in.Views = append(in.Views, snapshot.ViewData{
+			Name: p.name, Plan: v.Plan, Table: v.Table(), Epoch: p.epoch,
+		})
+	}
+
+	res, err := s.snap.Checkpoint(in)
+	if err != nil {
+		s.snapMu.Lock()
+		s.snapState.failures++
+		s.snapMu.Unlock()
+		return nil, err
+	}
+
+	// Post-commit housekeeping, both best-effort: the checkpoint stands
+	// even if compaction or GC fails.
+	truncated := true
+	if sc.journal != nil && watermark > 0 {
+		if err := sc.journal.Truncate(watermark); err != nil {
+			truncated = false
+			s.snapMu.Lock()
+			s.snapState.truncFails++
+			s.snapMu.Unlock()
+			obs.Emit(s.obsv, obs.EvServeJournal,
+				obs.String("action", "truncate"), obs.String("error", err.Error()))
+		}
+	}
+	aged, gcErr := s.snap.GC(s.snapRetain)
+	if gcErr != nil {
+		obs.Emit(s.obsv, obs.EvSnapshotCheckpoint,
+			obs.String("gc_error", gcErr.Error()))
+	}
+
+	now := time.Now()
+	s.snapMu.Lock()
+	s.snapState.generation = res.Generation
+	s.snapState.lastAt = now
+	s.snapState.lastBytes = res.Bytes
+	s.snapState.lastDur = res.Duration
+	s.snapState.checkpoints++
+	s.snapState.agedOut += int64(aged)
+	s.snapState.views = make(map[string]ViewSnapshotInfo, len(in.Views))
+	for _, v := range in.Views {
+		s.snapState.views[v.Name] = ViewSnapshotInfo{
+			SnapshotAt: now, Bytes: res.ViewBytes[v.Name], Epoch: v.Epoch,
+		}
+	}
+	s.snapMu.Unlock()
+	s.gSnapBytes.Set(float64(res.Bytes))
+	s.gSnapGen.Set(float64(res.Generation))
+
+	obs.Emit(s.obsv, obs.EvSnapshotCheckpoint,
+		obs.Int("generation", int64(res.Generation)),
+		obs.Int("epoch", int64(in.Epoch)),
+		obs.Int("watermark", int64(watermark)),
+		obs.Int("tables", int64(len(in.Tables))),
+		obs.Int("views", int64(len(in.Views))),
+		obs.Int("bytes", res.Bytes),
+		obs.Int("aged_out", int64(aged)),
+		obs.Bool("journal_truncated", truncated))
+	return res, nil
+}
+
+// maybeCheckpoint fires the epoch-count trigger: after every
+// SnapshotEveryEpochs landed epochs, take a checkpoint. Called by runEpoch
+// with the maintenance lock released. Idle epochs (nothing staged, nothing
+// landed) never advance the epoch counter and so never trigger.
+func (s *Server) maybeCheckpoint() {
+	if s.snap == nil || s.snapEveryEpochs <= 0 {
+		return
+	}
+	cur := int64(s.epoch.Load())
+	last := s.snapEpochs.Load()
+	if cur-last < int64(s.snapEveryEpochs) {
+		return
+	}
+	if !s.snapEpochs.CompareAndSwap(last, cur) {
+		return // another trigger won the race
+	}
+	if _, err := s.Checkpoint(); err != nil {
+		obs.Emit(s.obsv, obs.EvSnapshotCheckpoint, obs.String("error", err.Error()))
+	}
+}
+
+// snapshotLoop fires the wall-clock trigger.
+func (s *Server) snapshotLoop(interval time.Duration) {
+	defer s.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-t.C:
+			if _, err := s.Checkpoint(); err != nil {
+				obs.Emit(s.obsv, obs.EvSnapshotCheckpoint, obs.String("error", err.Error()))
+			}
+		}
+	}
+}

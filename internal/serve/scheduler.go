@@ -99,6 +99,10 @@ type scheduler struct {
 	// appendLSN is the highest journal LSN whose rows are buffered; take()
 	// captures it as the commit watermark for the epoch that lands them.
 	appendLSN uint64
+	// ackedLSN is the highest journal LSN whose rows have landed in the
+	// base tables (acked after ApplyDeltas) — the watermark a snapshot
+	// checkpoint stamps and the floor journal compaction truncates to.
+	ackedLSN uint64
 }
 
 func newScheduler(s *Server, cfg Config) (*scheduler, error) {
@@ -256,12 +260,25 @@ func (s *Server) ingest(table string, rows [][]algebra.Value, journal bool) erro
 // rows a crashed predecessor accepted but whose epoch never landed. Called
 // by newServer before the workers and the scheduler loop start; the rows
 // land with the first epoch and are acknowledged then.
+//
+// A server booted through snapshot recovery replays from the recovered
+// watermark instead: every journal record with LSN past the snapshot —
+// acknowledged by the dead process or not — is re-ingested, because the
+// restored base tables only contain rows up to the watermark. Without a
+// snapshot (cold recovery), the watermark is 0 and the full retained
+// journal replays over the freshly built base tables.
 func (s *Server) replayJournal() error {
 	sc := s.sched
 	if sc.journal == nil {
 		return nil
 	}
-	pending, err := sc.journal.Pending()
+	var pending []engine.DeltaRecord
+	var err error
+	if s.recovery != nil {
+		pending, err = sc.journal.RecordsSince(s.recovery.Watermark)
+	} else {
+		pending, err = sc.journal.Pending()
+	}
 	if err != nil {
 		return fmt.Errorf("serve: reading journal for replay: %w", err)
 	}
@@ -397,6 +414,10 @@ func (s *Server) runEpoch() error {
 	// re-takes it), check whether this epoch's refresh observations pushed
 	// any view's calibration ratio out of the band.
 	s.maybeRecalibrate()
+	if err == nil {
+		// Epoch-count snapshot trigger (re-takes the maintenance lock).
+		s.maybeCheckpoint()
+	}
 	return err
 }
 
@@ -572,6 +593,13 @@ func (s *Server) runEpochLocked() error {
 			obs.Emit(s.obsv, obs.EvServeJournal,
 				obs.String("action", "commit"), obs.String("error", err.Error()))
 		}
+	}
+	if ackLSN > 0 {
+		sc.mu.Lock()
+		if ackLSN > sc.ackedLSN {
+			sc.ackedLSN = ackLSN
+		}
+		sc.mu.Unlock()
 	}
 
 	recomputed := 0

@@ -56,6 +56,7 @@ import (
 	"github.com/warehousekit/mvpp/internal/engine"
 	"github.com/warehousekit/mvpp/internal/fault"
 	"github.com/warehousekit/mvpp/internal/obs"
+	"github.com/warehousekit/mvpp/internal/snapshot"
 )
 
 // Serving-layer errors.
@@ -176,6 +177,26 @@ type Config struct {
 	// (recompute and incremental), on top of AuditSkew — a test hook for
 	// per-operator cost-constant drift.
 	AuditSkewViews map[string]float64
+	// Snapshots, when set, is the durable snapshot store: the server
+	// checkpoints base tables and healthy views into it (triggered by epoch
+	// count and/or wall-clock interval), compacting the delta journal up to
+	// the acked watermark after each commit. Nil disables checkpointing.
+	Snapshots *snapshot.Store
+	// SnapshotEveryEpochs takes a checkpoint after every N landed
+	// maintenance epochs (default DefaultSnapshotEveryEpochs; negative
+	// disables the epoch-count trigger).
+	SnapshotEveryEpochs int
+	// SnapshotInterval, when positive, also checkpoints on a wall-clock
+	// timer regardless of epoch activity.
+	SnapshotInterval time.Duration
+	// SnapshotRetain is how many committed snapshot generations GC keeps
+	// (default DefaultSnapshotRetain, minimum 1).
+	SnapshotRetain int
+	// Recovery, when the DB was built by snapshot.Recover, carries the
+	// recovery stats: the server resumes the snapshot's maintenance epoch,
+	// seeds per-view staleness from the snapshot commit time, and replays
+	// only journal records past the recovered watermark.
+	Recovery *snapshot.RecoveryStats
 }
 
 // Result is one answered query.
@@ -292,6 +313,17 @@ type Server struct {
 	traceEvery  uint64
 	traces      *traceRing
 
+	// Durable snapshots (snap nil when checkpointing is off). snapEpochs
+	// counts landed epochs toward the epoch-count trigger; snapMu guards
+	// snapState; recovery is how this server booted (nil without recovery).
+	snap            *snapshot.Store
+	snapEveryEpochs int
+	snapRetain      int
+	snapEpochs      atomic.Int64
+	snapMu          sync.Mutex
+	snapState       snapState
+	recovery        *snapshot.RecoveryStats
+
 	obsv                                              obs.Observer
 	ctrQueries, ctrHits, ctrMisses, ctrRejected       *obs.Counter
 	ctrEpochs, ctrDeltaRows, ctrRefreshR, ctrRefreshW *obs.Counter
@@ -300,6 +332,7 @@ type Server struct {
 	ctrReplayed                                       *obs.Counter
 	ctrCostObs, ctrCostDrift, ctrRecal                *obs.Counter
 	gQueueDepth, gStaleRows, gUnhealthy               *obs.Gauge
+	gSnapBytes, gSnapGen                              *obs.Gauge
 }
 
 type serverStats struct {
@@ -323,6 +356,10 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.startWorkers(workersOf(cfg))
 	s.sched.startLoop()
+	if s.snap != nil && cfg.SnapshotInterval > 0 {
+		s.wg.Add(1)
+		go s.snapshotLoop(cfg.SnapshotInterval)
+	}
 	return s, nil
 }
 
@@ -367,9 +404,20 @@ func newServer(cfg Config) (*Server, error) {
 		auditSkew:      cfg.AuditSkew,
 		auditSkewViews: cfg.AuditSkewViews,
 		recalHandled:   make(map[string]bool),
+
+		snap:            cfg.Snapshots,
+		snapEveryEpochs: cfg.SnapshotEveryEpochs,
+		snapRetain:      cfg.SnapshotRetain,
+		recovery:        cfg.Recovery,
 	}
 	if s.auditSkew <= 0 {
 		s.auditSkew = 1
+	}
+	if s.snapEveryEpochs == 0 {
+		s.snapEveryEpochs = DefaultSnapshotEveryEpochs
+	}
+	if s.snapRetain < 1 {
+		s.snapRetain = DefaultSnapshotRetain
 	}
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
 	if cfg.StatsWindow >= 0 {
@@ -428,6 +476,25 @@ func newServer(cfg Config) (*Server, error) {
 		s.gQueueDepth = reg.Gauge(obs.GaugeServeQueueDepth)
 		s.gStaleRows = reg.Gauge(obs.GaugeServeStaleRows)
 		s.gUnhealthy = reg.Gauge(obs.GaugeServeUnhealthyViews)
+		s.gSnapBytes = reg.Gauge(obs.GaugeSnapshotBytes)
+		s.gSnapGen = reg.Gauge(obs.GaugeSnapshotGeneration)
+	}
+
+	// A server booted from a snapshot resumes the snapshot's maintenance
+	// epoch (the cache-epoch tags and per-view staleness stay monotonic
+	// across the restart) and seeds every view's refresh bookkeeping from
+	// the snapshot commit — restored and recomputed views alike are current
+	// as of recovery.
+	if r := cfg.Recovery; r != nil && !r.Cold {
+		s.epoch.Store(r.SnapshotEpoch)
+		s.snapEpochs.Store(int64(r.SnapshotEpoch))
+		sched.mu.Lock()
+		sched.ackedLSN = r.Watermark
+		for _, vs := range sched.views {
+			vs.epoch = r.SnapshotEpoch
+			vs.lastRefresh = r.SnapshotCreatedAt
+		}
+		sched.mu.Unlock()
 	}
 
 	if err := s.replayJournal(); err != nil {

@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"github.com/warehousekit/mvpp/internal/engine"
+	"github.com/warehousekit/mvpp/internal/snapshot"
+)
+
+func testStore(t *testing.T) *snapshot.Store {
+	t.Helper()
+	st, err := snapshot.Open(filepath.Join(t.TempDir(), "snaps"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestCheckpointWithoutStore(t *testing.T) {
+	s, _ := serveFixture(t, Config{DeltaBatch: 1 << 20})
+	if _, err := s.Checkpoint(); !errors.Is(err, ErrNoSnapshots) {
+		t.Fatalf("Checkpoint without a store = %v, want ErrNoSnapshots", err)
+	}
+	if ss := s.SnapshotStats(); ss.Configured {
+		t.Error("SnapshotStats.Configured true without a store")
+	}
+}
+
+func TestCheckpointDeclinesMidEpoch(t *testing.T) {
+	s, db := serveFixture(t, Config{
+		DeltaBatch: 1 << 20,
+		Snapshots:  testStore(t),
+		Journal:    engine.NewMemJournal(),
+	})
+	// Deltas staged directly into the engine (bypassing the serving
+	// layer's buffer) may already be partially folded into view tables by
+	// an interrupted epoch: the checkpoint must decline, not persist a
+	// state the watermark does not cover.
+	div, _ := deltaPair(1)
+	if err := db.InsertDelta("Division", div); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Checkpoint()
+	if err != nil || res != nil {
+		t.Fatalf("mid-epoch checkpoint = (%v, %v), want (nil, nil)", res, err)
+	}
+	if ss := s.SnapshotStats(); ss.Skipped != 1 || ss.Checkpoints != 0 {
+		t.Errorf("stats = skipped %d, checkpoints %d; want 1, 0", ss.Skipped, ss.Checkpoints)
+	}
+	// After the epoch lands it succeeds and stamps the acked watermark.
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	res, err = s.Checkpoint()
+	if err != nil || res == nil {
+		t.Fatalf("post-flush checkpoint = (%v, %v)", res, err)
+	}
+	ss := s.SnapshotStats()
+	if ss.Checkpoints != 1 || ss.Generation != res.Generation {
+		t.Errorf("stats after checkpoint = %+v", ss)
+	}
+	if len(ss.Views) != 2 {
+		t.Errorf("checkpointed views = %d, want both healthy views", len(ss.Views))
+	}
+}
+
+func TestEpochCountTriggerFiresCheckpoints(t *testing.T) {
+	s, _ := serveFixture(t, Config{
+		DeltaBatch:          1 << 20,
+		Snapshots:           testStore(t),
+		Journal:             engine.NewMemJournal(),
+		SnapshotEveryEpochs: 2,
+	})
+	for i := int64(1); i <= 4; i++ {
+		div, prod := deltaPair(i)
+		if err := s.Ingest("Division", div); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Ingest("Product", prod); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ss := s.SnapshotStats()
+	if ss.Checkpoints < 2 {
+		t.Errorf("epoch trigger fired %d checkpoints over 4 epochs with period 2, want >= 2", ss.Checkpoints)
+	}
+	// Idle flushes land no epoch and must not re-trigger.
+	before := ss.Checkpoints
+	for i := 0; i < 3; i++ {
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.SnapshotStats().Checkpoints; got != before {
+		t.Errorf("idle flushes advanced checkpoints %d -> %d", before, got)
+	}
+}
+
+func TestCheckpointTruncatesJournal(t *testing.T) {
+	j := engine.NewMemJournal()
+	s, _ := serveFixture(t, Config{
+		DeltaBatch: 1 << 20,
+		Snapshots:  testStore(t),
+		Journal:    j,
+	})
+	div, prod := deltaPair(1)
+	if err := s.Ingest("Division", div); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Ingest("Product", prod); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if recs, _ := j.RecordsSince(0); len(recs) == 0 {
+		t.Fatal("journal retained nothing before the checkpoint")
+	}
+	if _, err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// The checkpoint's watermark covers both records; compaction drops them.
+	if recs, _ := j.RecordsSince(0); len(recs) != 0 {
+		t.Errorf("journal still retains %d records past the checkpoint", len(recs))
+	}
+}

@@ -1,0 +1,623 @@
+// Package snapshot is the durable columnar snapshot store: it checkpoints
+// base tables and materialized views as CRC-framed segment files (see
+// internal/engine's segment format) under an atomically-committed JSON
+// manifest, and recovers the newest consistent generation on restart.
+//
+// Layout under the store directory:
+//
+//	gen-0000000000000001/
+//	    base_<table>.seg        one columnar segment per base table
+//	    view_<view>.seg         one per materialized view
+//	    MANIFEST.json           commit record — written last, fsync+rename
+//	gen-0000000000000002/
+//	    ...
+//
+// A generation without a manifest never happened: segments are written
+// first, the manifest is staged to a temp file, fsynced, and renamed into
+// place, and the directory is fsynced — so a crash at any point leaves
+// either no manifest (the half-written generation is swept as debris) or a
+// complete one. Recovery walks generations newest-first and uses the first
+// one whose manifest parses; inside a chosen generation, base tables
+// restore all-or-nothing while each view falls back to recomputation
+// independently (definition-hash mismatch, corrupt segment, injected
+// replay fault). Corruption is an event (obs.EvSnapshotCorrupt), never a
+// failed boot.
+package snapshot
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"github.com/warehousekit/mvpp/internal/algebra"
+	"github.com/warehousekit/mvpp/internal/catalog"
+	"github.com/warehousekit/mvpp/internal/engine"
+	"github.com/warehousekit/mvpp/internal/fault"
+	"github.com/warehousekit/mvpp/internal/obs"
+)
+
+const (
+	manifestName    = "MANIFEST.json"
+	genPrefix       = "gen-"
+	tmpSuffix       = ".tmp"
+	manifestVersion = 1
+)
+
+// Segment is one persisted table's manifest entry.
+type Segment struct {
+	// Name is the base table (or view) name.
+	Name string `json:"name"`
+	// File is the segment's file name within the generation directory.
+	File string `json:"file"`
+	// Rows is the persisted row count (informational; the segment header
+	// is authoritative).
+	Rows int `json:"rows"`
+	// Bytes is the segment file's size.
+	Bytes int64 `json:"bytes"`
+	// Stats is the table's derived catalog entry at checkpoint time, so
+	// recovery primes the cost model without rescanning restored rows.
+	// Advisory: a missing or implausible sidecar just means the stats are
+	// recomputed lazily — never a corruption event.
+	Stats *SegmentStats `json:"stats,omitempty"`
+}
+
+// SegmentStats is the statistics sidecar persisted with a segment: the
+// exact engine.TableStats entry for the persisted rows, minus the schema
+// (the restored table's live schema is re-attached on install).
+type SegmentStats struct {
+	Rows            float64                      `json:"rows"`
+	Blocks          float64                      `json:"blocks"`
+	UpdateFrequency float64                      `json:"update_frequency"`
+	Attrs           map[string]catalog.AttrStats `json:"attrs"`
+}
+
+// statsOf captures a table's catalog entry as a manifest sidecar.
+func statsOf(name string, t *engine.Table) *SegmentStats {
+	rel := engine.TableStats(name, t)
+	return &SegmentStats{
+		Rows:            rel.Rows,
+		Blocks:          rel.Blocks,
+		UpdateFrequency: rel.UpdateFrequency,
+		Attrs:           rel.Attrs,
+	}
+}
+
+// install primes a restored table with the sidecar's statistics; the
+// engine rejects entries that do not match the table's identity and sizes.
+func (s *SegmentStats) install(name string, t *engine.Table) {
+	if s == nil {
+		return
+	}
+	t.InstallStats(&catalog.Relation{
+		Name:            name,
+		Rows:            s.Rows,
+		Blocks:          s.Blocks,
+		UpdateFrequency: s.UpdateFrequency,
+		Attrs:           s.Attrs,
+	})
+}
+
+// ViewSegment is a materialized view's manifest entry.
+type ViewSegment struct {
+	Segment
+	// DefHash fingerprints the view's defining plan (structural key). A
+	// restart whose live design hashes differently recomputes the view
+	// instead of restoring rows that answer a different query.
+	DefHash string `json:"def_hash"`
+	// Epoch is the maintenance epoch the view had reached when persisted.
+	Epoch uint64 `json:"epoch"`
+}
+
+// Manifest is a generation's commit record.
+type Manifest struct {
+	Version    int       `json:"version"`
+	Generation uint64    `json:"generation"`
+	CreatedAt  time.Time `json:"created_at"`
+	// Epoch is the serving layer's maintenance epoch at checkpoint time.
+	Epoch uint64 `json:"epoch"`
+	// Watermark is the highest journal LSN whose rows are contained in
+	// this snapshot; recovery replays only records past it.
+	Watermark uint64        `json:"watermark"`
+	Tables    []Segment     `json:"tables"`
+	Views     []ViewSegment `json:"views"`
+
+	dir string // generation directory, set on load
+}
+
+// Dir returns the generation directory the manifest was loaded from
+// (empty for manifests not yet committed).
+func (m *Manifest) Dir() string { return m.dir }
+
+// TotalBytes sums every segment size recorded in the manifest.
+func (m *Manifest) TotalBytes() int64 {
+	var n int64
+	for _, s := range m.Tables {
+		n += s.Bytes
+	}
+	for _, v := range m.Views {
+		n += v.Bytes
+	}
+	return n
+}
+
+// View returns the manifest entry for one view, if present.
+func (m *Manifest) View(name string) (ViewSegment, bool) {
+	for _, v := range m.Views {
+		if v.Name == name {
+			return v, true
+		}
+	}
+	return ViewSegment{}, false
+}
+
+// DefHash fingerprints a view's defining plan: the first 16 bytes of
+// SHA-256 over its structural key, hex-encoded. Two plans share a hash
+// iff they are structurally identical.
+func DefHash(plan algebra.Node) string {
+	sum := sha256.Sum256([]byte(algebra.StructuralKey(plan)))
+	return hex.EncodeToString(sum[:16])
+}
+
+// Store is a snapshot store rooted at one directory. The zero value is not
+// usable; call Open. Methods are not safe for concurrent use with each
+// other — the serving layer serializes checkpoints under its maintenance
+// lock, and recovery runs before the store is shared.
+type Store struct {
+	dir  string
+	inj  *fault.Injector
+	obsv obs.Observer
+
+	ctrCheckpoints *obs.Counter
+	ctrCorrupt     *obs.Counter
+	ctrRestored    *obs.Counter
+}
+
+// Open creates (if needed) the store directory and returns a store over it.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("snapshot: store directory must not be empty")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("snapshot: creating store directory: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (st *Store) Dir() string { return st.dir }
+
+// SetInjector arms fault injection at the store's crash-point sites
+// (segment write, manifest write/rename, replay); nil disables.
+func (st *Store) SetInjector(in *fault.Injector) { st.inj = in }
+
+// SetObserver wires snapshot events and counters; nil disables.
+func (st *Store) SetObserver(o obs.Observer) {
+	st.obsv = o
+	st.ctrCheckpoints = obs.CounterOf(o, obs.CtrSnapshotCheckpoints)
+	st.ctrCorrupt = obs.CounterOf(o, obs.CtrSnapshotCorrupt)
+	st.ctrRestored = obs.CounterOf(o, obs.CtrSnapshotRestoredViews)
+}
+
+func (st *Store) emitCorrupt(artifact string, err error) {
+	st.ctrCorrupt.Inc()
+	obs.Emit(st.obsv, obs.EvSnapshotCorrupt,
+		obs.String("artifact", artifact), obs.String("error", err.Error()))
+}
+
+// ViewData is one materialized view handed to Checkpoint.
+type ViewData struct {
+	Name string
+	Plan algebra.Node
+	// Table is the view's current stored table (a consistent copy or the
+	// live table — Checkpoint only reads it).
+	Table *engine.Table
+	// Epoch is the view's maintenance epoch at capture time.
+	Epoch uint64
+}
+
+// CheckpointInput is everything one checkpoint persists.
+type CheckpointInput struct {
+	// Epoch is the serving layer's maintenance epoch.
+	Epoch uint64
+	// Watermark is the highest journal LSN folded into the tables.
+	Watermark uint64
+	Tables    []*engine.Table
+	Views     []ViewData
+}
+
+// CheckpointResult reports a committed checkpoint.
+type CheckpointResult struct {
+	Generation uint64
+	Bytes      int64
+	Duration   time.Duration
+	// ViewBytes is each persisted view's segment size.
+	ViewBytes map[string]int64
+}
+
+// nextGeneration scans existing generation directories and returns one
+// past the highest (committed or not — debris still claims its number so
+// a new generation never collides with a half-written directory).
+func (st *Store) nextGeneration() (uint64, error) {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return 0, fmt.Errorf("snapshot: listing store: %w", err)
+	}
+	var max uint64
+	for _, e := range entries {
+		var g uint64
+		if _, err := fmt.Sscanf(e.Name(), genPrefix+"%d", &g); err == nil && g > max {
+			max = g
+		}
+	}
+	return max + 1, nil
+}
+
+func genDirName(g uint64) string { return fmt.Sprintf(genPrefix+"%016d", g) }
+
+// writeSegment serializes one table to a file. The table is serialized to
+// memory first so the SiteSnapshotSegmentWrite crash point can leave a
+// *genuinely* torn file — half the real bytes — rather than a synthetic
+// error with an intact file.
+func (st *Store) writeSegment(path string, t *engine.Table) (int64, error) {
+	var buf segBuffer
+	if _, err := engine.WriteTableSegment(&buf, t); err != nil {
+		return 0, err
+	}
+	data := buf.b
+	if err := st.inj.Hit(fault.SiteSnapshotSegmentWrite); err != nil {
+		// Simulated crash mid-write: flush a torn prefix and bail.
+		_ = os.WriteFile(path, data[:len(data)/2], 0o644)
+		return 0, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		return 0, err
+	}
+	return int64(len(data)), nil
+}
+
+type segBuffer struct{ b []byte }
+
+func (s *segBuffer) Write(p []byte) (int, error) {
+	s.b = append(s.b, p...)
+	return len(p), nil
+}
+
+// Checkpoint persists one consistent generation: every segment first, then
+// the manifest via stage-fsync-rename. It returns only after the commit is
+// durable. On any error the half-written generation is left without a
+// manifest — invisible to recovery, swept by the next GC.
+func (st *Store) Checkpoint(in CheckpointInput) (*CheckpointResult, error) {
+	start := time.Now()
+	gen, err := st.nextGeneration()
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Join(st.dir, genDirName(gen))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("snapshot: creating generation: %w", err)
+	}
+	m := &Manifest{
+		Version:    manifestVersion,
+		Generation: gen,
+		CreatedAt:  time.Now().UTC(),
+		Epoch:      in.Epoch,
+		Watermark:  in.Watermark,
+	}
+	for _, t := range in.Tables {
+		file := "base_" + t.Name + ".seg"
+		n, err := st.writeSegment(filepath.Join(dir, file), t)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: writing segment for table %s: %w", t.Name, err)
+		}
+		m.Tables = append(m.Tables, Segment{
+			Name: t.Name, File: file, Rows: t.NumRows(), Bytes: n,
+			Stats: statsOf(t.Name, t),
+		})
+	}
+	for _, v := range in.Views {
+		file := "view_" + v.Name + ".seg"
+		n, err := st.writeSegment(filepath.Join(dir, file), v.Table)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: writing segment for view %s: %w", v.Name, err)
+		}
+		m.Views = append(m.Views, ViewSegment{
+			Segment: Segment{
+				Name: v.Name, File: file, Rows: v.Table.NumRows(), Bytes: n,
+				Stats: statsOf(v.Name, v.Table),
+			},
+			DefHash: DefHash(v.Plan),
+			Epoch:   v.Epoch,
+		})
+	}
+	if err := st.commitManifest(dir, m); err != nil {
+		return nil, err
+	}
+	res := &CheckpointResult{
+		Generation: gen,
+		Bytes:      m.TotalBytes(),
+		Duration:   time.Since(start),
+		ViewBytes:  make(map[string]int64, len(m.Views)),
+	}
+	for _, v := range m.Views {
+		res.ViewBytes[v.Name] = v.Bytes
+	}
+	st.ctrCheckpoints.Inc()
+	return res, nil
+}
+
+// commitManifest stages the manifest JSON next to its final name, fsyncs,
+// renames, and fsyncs the directory — the generation's atomic commit point.
+func (st *Store) commitManifest(dir string, m *Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmpPath := filepath.Join(dir, manifestName+tmpSuffix)
+	f, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("snapshot: staging manifest: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	// Crash point: manifest staged, commit rename not yet performed — the
+	// generation is still invisible to recovery.
+	if err := st.inj.Hit(fault.SiteSnapshotManifestWrite); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpPath, filepath.Join(dir, manifestName)); err != nil {
+		return fmt.Errorf("snapshot: committing manifest: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	if err := syncDir(st.dir); err != nil {
+		return err
+	}
+	// Crash point: the commit landed but post-commit work (journal
+	// truncation, GC) has not run — recovery must tolerate the overlap.
+	if err := st.inj.Hit(fault.SiteSnapshotManifestRename); err != nil {
+		return err
+	}
+	return nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("snapshot: opening dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("snapshot: syncing dir: %w", err)
+	}
+	return nil
+}
+
+// generations lists generation numbers present on disk, ascending.
+func (st *Store) generations() ([]uint64, error) {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: listing store: %w", err)
+	}
+	var gens []uint64
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		var g uint64
+		if _, err := fmt.Sscanf(e.Name(), genPrefix+"%d", &g); err == nil && g > 0 {
+			gens = append(gens, g)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens, nil
+}
+
+// GC removes committed generations beyond the newest `retain` and every
+// uncommitted (manifest-less) generation directory older than the newest
+// committed one — crash debris. Returns how many directories were removed.
+func (st *Store) GC(retain int) (int, error) {
+	if retain < 1 {
+		retain = 1
+	}
+	gens, err := st.generations()
+	if err != nil {
+		return 0, err
+	}
+	// Find committed generations (those with a manifest file).
+	var committed []uint64
+	byGen := make(map[uint64]bool)
+	for _, g := range gens {
+		if _, err := os.Stat(filepath.Join(st.dir, genDirName(g), manifestName)); err == nil {
+			committed = append(committed, g)
+			byGen[g] = true
+		}
+	}
+	removed := 0
+	keepFloor := uint64(0)
+	if len(committed) > retain {
+		keepFloor = committed[len(committed)-retain]
+	}
+	var newestCommitted uint64
+	if len(committed) > 0 {
+		newestCommitted = committed[len(committed)-1]
+	}
+	for _, g := range gens {
+		drop := false
+		if byGen[g] {
+			drop = g < keepFloor
+		} else {
+			// Manifest-less debris: only sweep it once a newer committed
+			// generation exists, so an in-flight checkpoint's directory
+			// (always the newest) is never pulled out from under it.
+			drop = g < newestCommitted
+		}
+		if drop {
+			if err := os.RemoveAll(filepath.Join(st.dir, genDirName(g))); err != nil {
+				return removed, fmt.Errorf("snapshot: removing generation %d: %w", g, err)
+			}
+			removed++
+		}
+	}
+	return removed, nil
+}
+
+// Manifest returns the newest loadable manifest, or nil if no committed
+// generation exists. A manifest that fails to parse is reported as corrupt
+// and skipped in favor of the next-older generation.
+func (st *Store) Manifest() (*Manifest, error) {
+	gens, err := st.generations()
+	if err != nil {
+		return nil, err
+	}
+	for i := len(gens) - 1; i >= 0; i-- {
+		dir := filepath.Join(st.dir, genDirName(gens[i]))
+		path := filepath.Join(dir, manifestName)
+		data, err := os.ReadFile(path)
+		if os.IsNotExist(err) {
+			continue // uncommitted generation
+		}
+		if err != nil {
+			st.emitCorrupt(path, err)
+			continue
+		}
+		var m Manifest
+		if err := json.Unmarshal(data, &m); err != nil {
+			st.emitCorrupt(path, err)
+			continue
+		}
+		m.dir = dir
+		return &m, nil
+	}
+	return nil, nil
+}
+
+// loadSegment decodes one segment file; every failure (including an
+// injected replay fault) wraps engine.ErrSegmentCorrupt semantics for the
+// caller to treat as "recompute instead".
+func (st *Store) loadSegment(path string) (*engine.Table, error) {
+	if err := st.inj.Hit(fault.SiteSnapshotReplay); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return engine.ReadTableSegment(f)
+}
+
+// LoadBase restores every base table in the manifest. All-or-nothing: one
+// corrupt base segment fails the whole call (base tables feed every view;
+// a partial base restore cannot produce a consistent warehouse).
+func (st *Store) LoadBase(m *Manifest) ([]*engine.Table, error) {
+	out := make([]*engine.Table, 0, len(m.Tables))
+	for _, s := range m.Tables {
+		path := filepath.Join(m.dir, s.File)
+		t, err := st.loadSegment(path)
+		if err != nil {
+			st.emitCorrupt(path, err)
+			return nil, fmt.Errorf("snapshot: base table %s: %w", s.Name, err)
+		}
+		s.Stats.install(s.Name, t)
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// LoadView restores one view's table from the manifest's generation.
+func (st *Store) LoadView(m *Manifest, name string) (*engine.Table, error) {
+	vs, ok := m.View(name)
+	if !ok {
+		return nil, fmt.Errorf("snapshot: view %s not in manifest", name)
+	}
+	path := filepath.Join(m.dir, vs.File)
+	t, err := st.loadSegment(path)
+	if err != nil {
+		st.emitCorrupt(path, err)
+		return nil, err
+	}
+	vs.Stats.install(name, t)
+	return t, nil
+}
+
+// DropViewSnapshot removes the named view's segment files and manifest
+// entries from every committed generation, so a dropped view can never be
+// restored. Each touched manifest is rewritten through the same
+// stage-fsync-rename commit as a checkpoint. Implements
+// engine.SnapshotDropper.
+func (st *Store) DropViewSnapshot(name string) error {
+	gens, err := st.generations()
+	if err != nil {
+		return err
+	}
+	for _, g := range gens {
+		dir := filepath.Join(st.dir, genDirName(g))
+		path := filepath.Join(dir, manifestName)
+		data, err := os.ReadFile(path)
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		var m Manifest
+		if err := json.Unmarshal(data, &m); err != nil {
+			// A corrupt manifest can't resurrect anything; leave it to GC.
+			st.emitCorrupt(path, err)
+			continue
+		}
+		var keep []ViewSegment
+		var victims []string
+		for _, v := range m.Views {
+			if v.Name == name {
+				victims = append(victims, v.File)
+			} else {
+				keep = append(keep, v)
+			}
+		}
+		if len(victims) == 0 {
+			continue
+		}
+		m.Views = keep
+		// Rewrite the manifest before deleting segments: if we crash
+		// between the two, the worst case is an orphaned segment file no
+		// manifest references — dead bytes, not resurrected data.
+		if err := st.commitManifest(dir, &m); err != nil {
+			return err
+		}
+		for _, f := range victims {
+			if err := os.Remove(filepath.Join(dir, f)); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+		}
+	}
+	return nil
+}

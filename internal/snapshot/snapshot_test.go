@@ -1,0 +1,573 @@
+package snapshot_test
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/warehousekit/mvpp/internal/algebra"
+	"github.com/warehousekit/mvpp/internal/engine"
+	"github.com/warehousekit/mvpp/internal/obs"
+	"github.com/warehousekit/mvpp/internal/snapshot"
+)
+
+// warehouse builds a tiny two-table warehouse with one selective view.
+func warehouse(t *testing.T) (*engine.DB, algebra.Node) {
+	t.Helper()
+	db := engine.NewDB(4)
+	pSchema := algebra.NewSchema(
+		algebra.Column{Relation: "Product", Name: "Pid", Type: algebra.TypeInt},
+		algebra.Column{Relation: "Product", Name: "name", Type: algebra.TypeString},
+		algebra.Column{Relation: "Product", Name: "price", Type: algebra.TypeFloat},
+	)
+	pt, err := db.CreateTable("Product", pSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		name := algebra.StringVal("widget")
+		if i%3 == 0 {
+			name = algebra.StringVal("gadget")
+		}
+		if err := pt.Insert([]algebra.Value{
+			algebra.IntVal(int64(i)), name, algebra.FloatVal(float64(i) * 1.5),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dSchema := algebra.NewSchema(
+		algebra.Column{Relation: "Division", Name: "Did", Type: algebra.TypeInt},
+		algebra.Column{Relation: "Division", Name: "city", Type: algebra.TypeString},
+	)
+	dt, err := db.CreateTable("Division", dSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := dt.Insert([]algebra.Value{
+			algebra.IntVal(int64(i)), algebra.StringVal("LA"),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plan := algebra.NewSelect(algebra.NewScan("Product", pSchema),
+		algebra.Eq(algebra.Ref("Product", "name"), algebra.StringVal("gadget")))
+	return db, plan
+}
+
+// checkpointDB persists every table plus the named views of db.
+func checkpointDB(t *testing.T, st *snapshot.Store, db *engine.DB, epoch, watermark uint64, views map[string]algebra.Node) *snapshot.CheckpointResult {
+	t.Helper()
+	in := snapshot.CheckpointInput{Epoch: epoch, Watermark: watermark}
+	for _, name := range db.Tables() {
+		tb, err := db.Table(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in.Tables = append(in.Tables, tb)
+	}
+	for name, plan := range views {
+		v, err := db.View(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in.Views = append(in.Views, snapshot.ViewData{Name: name, Plan: plan, Table: v.Table(), Epoch: epoch})
+	}
+	res, err := st.Checkpoint(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// tableRows renders a table's rows as sorted strings for bit-identity
+// comparison.
+func tableRows(t *testing.T, tb *engine.Table) []string {
+	t.Helper()
+	out := make([]string, 0, tb.NumRows())
+	for i := 0; i < tb.NumRows(); i++ {
+		out = append(out, tb.Row(i).String())
+	}
+	return out
+}
+
+func requireViewRows(t *testing.T, db *engine.DB, name string, want []string) {
+	t.Helper()
+	v, err := db.View(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tableRows(t, v.Table())
+	if len(got) != len(want) {
+		t.Fatalf("view %s: %d rows, want %d", name, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("view %s row %d: %s, want %s", name, i, got[i], want[i])
+		}
+	}
+}
+
+func recoverWarehouse(t *testing.T, st *snapshot.Store, plan algebra.Node) (*engine.DB, *snapshot.RecoveryStats) {
+	t.Helper()
+	cold := func() (*engine.DB, error) {
+		db, _ := warehouse(t)
+		return db, nil
+	}
+	db, stats, err := snapshot.Recover(st, cold, nil,
+		[]snapshot.ViewDef{{Name: "V", Plan: plan}},
+		[]string{"Product", "Division"}, engine.DefaultBlockRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, stats
+}
+
+func TestCheckpointRecoverRoundTrip(t *testing.T) {
+	st, err := snapshot.Open(filepath.Join(t.TempDir(), "snaps"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, plan := warehouse(t)
+	if _, err := db.Materialize("V", plan); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := db.View("V")
+	wantRows := tableRows(t, v.Table())
+
+	res := checkpointDB(t, st, db, 3, 17, map[string]algebra.Node{"V": plan})
+	if res.Generation != 1 {
+		t.Errorf("first generation = %d, want 1", res.Generation)
+	}
+	if res.Bytes <= 0 || res.ViewBytes["V"] <= 0 {
+		t.Errorf("checkpoint bytes = %d (view %d), want > 0", res.Bytes, res.ViewBytes["V"])
+	}
+
+	rdb, stats := recoverWarehouse(t, st, plan)
+	if stats.Cold {
+		t.Fatal("recovery went cold despite a committed snapshot")
+	}
+	if stats.Generation != 1 || stats.SnapshotEpoch != 3 || stats.Watermark != 17 {
+		t.Errorf("stats = gen %d epoch %d watermark %d, want 1/3/17",
+			stats.Generation, stats.SnapshotEpoch, stats.Watermark)
+	}
+	if stats.BaseRestored != 2 || stats.ViewsRestored != 1 || stats.ViewsRecomputed != 0 {
+		t.Errorf("restored %d base, %d views, %d recomputed; want 2/1/0",
+			stats.BaseRestored, stats.ViewsRestored, stats.ViewsRecomputed)
+	}
+	requireViewRows(t, rdb, "V", wantRows)
+	for _, name := range []string{"Product", "Division"} {
+		orig, _ := db.Table(name)
+		got, err := rdb.Table(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NumRows() != orig.NumRows() {
+			t.Errorf("%s: restored %d rows, want %d", name, got.NumRows(), orig.NumRows())
+		}
+	}
+}
+
+func TestRecoverColdWithoutSnapshots(t *testing.T) {
+	st, err := snapshot.Open(filepath.Join(t.TempDir(), "snaps"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, plan := warehouse(t)
+	db, stats := recoverWarehouse(t, st, plan)
+	if !stats.Cold {
+		t.Error("empty store must recover cold")
+	}
+	if stats.ViewsRecomputed != 1 {
+		t.Errorf("recomputed = %d, want 1", stats.ViewsRecomputed)
+	}
+	if _, err := db.View("V"); err != nil {
+		t.Errorf("cold boot did not materialize the view: %v", err)
+	}
+}
+
+func TestDefinitionDriftRecomputes(t *testing.T) {
+	st, err := snapshot.Open(filepath.Join(t.TempDir(), "snaps"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, plan := warehouse(t)
+	if _, err := db.Materialize("V", plan); err != nil {
+		t.Fatal(err)
+	}
+	checkpointDB(t, st, db, 1, 1, map[string]algebra.Node{"V": plan})
+
+	// The "new release" defines V differently: same name, different plan.
+	pt, _ := db.Table("Product")
+	drifted := algebra.NewSelect(algebra.NewScan("Product", pt.Schema),
+		algebra.Eq(algebra.Ref("Product", "name"), algebra.StringVal("widget")))
+	if snapshot.DefHash(drifted) == snapshot.DefHash(plan) {
+		t.Fatal("test premise broken: plans hash identically")
+	}
+	rdb, stats := recoverWarehouse(t, st, drifted)
+	if stats.Cold {
+		t.Fatal("base restore should still succeed")
+	}
+	if stats.ViewsRestored != 0 || stats.ViewsRecomputed != 1 {
+		t.Errorf("restored/recomputed = %d/%d, want 0/1", stats.ViewsRestored, stats.ViewsRecomputed)
+	}
+	if stats.CorruptArtifacts != 0 {
+		t.Errorf("definition drift counted as corruption (%d artifacts)", stats.CorruptArtifacts)
+	}
+	// The recomputed view answers the *new* definition.
+	v, err := rdb.View("V")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Table().NumRows() != 8 { // 12 products, 4 gadgets, 8 widgets
+		t.Errorf("drifted view rows = %d, want 8", v.Table().NumRows())
+	}
+}
+
+func TestGenerationSelectionAndGC(t *testing.T) {
+	st, err := snapshot.Open(filepath.Join(t.TempDir(), "snaps"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, plan := warehouse(t)
+	if _, err := db.Materialize("V", plan); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 4; i++ {
+		res := checkpointDB(t, st, db, i, i*10, map[string]algebra.Node{"V": plan})
+		if res.Generation != i {
+			t.Fatalf("generation %d on checkpoint %d", res.Generation, i)
+		}
+	}
+	m, err := st.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil || m.Generation != 4 || m.Watermark != 40 {
+		t.Fatalf("newest manifest = %+v, want generation 4 watermark 40", m)
+	}
+	aged, err := st.GC(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aged != 2 {
+		t.Errorf("GC removed %d generations, want 2", aged)
+	}
+	// The survivors still recover, newest first.
+	_, stats := recoverWarehouse(t, st, plan)
+	if stats.Generation != 4 {
+		t.Errorf("recovered generation %d after GC, want 4", stats.Generation)
+	}
+	// GC with nothing to do is a no-op.
+	if aged, err := st.GC(2); err != nil || aged != 0 {
+		t.Errorf("idle GC = (%d, %v), want (0, nil)", aged, err)
+	}
+}
+
+func TestDropViewSnapshotPreventsResurrection(t *testing.T) {
+	st, err := snapshot.Open(filepath.Join(t.TempDir(), "snaps"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, plan := warehouse(t)
+	if _, err := db.Materialize("V", plan); err != nil {
+		t.Fatal(err)
+	}
+	checkpointDB(t, st, db, 1, 1, map[string]algebra.Node{"V": plan})
+	checkpointDB(t, st, db, 2, 2, map[string]algebra.Node{"V": plan})
+
+	// Engine-integrated drop: DropView must scrub every generation.
+	db.SetSnapshotStore(st)
+	if err := db.DropView("V"); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := st.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.View("V"); ok {
+		t.Fatal("dropped view still in the newest manifest")
+	}
+	// Re-add the view (same name, same plan — the resurrection trap) and
+	// recover: rows must be recomputed, not resurrected from old segments.
+	_, stats := recoverWarehouse(t, st, plan)
+	if stats.ViewsRestored != 0 || stats.ViewsRecomputed != 1 {
+		t.Errorf("restored/recomputed = %d/%d after drop, want 0/1",
+			stats.ViewsRestored, stats.ViewsRecomputed)
+	}
+	// The dead segment files are gone from every generation directory.
+	matches, err := filepath.Glob(filepath.Join(st.Dir(), "gen-*", "view_V.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Errorf("dropped view's segment files survive: %v", matches)
+	}
+}
+
+// corruptFile applies one byte-level mutation to a snapshot artifact.
+func corruptFile(t *testing.T, path string, mutate func([]byte) []byte) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, mutate(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptionFallsBackPerArtifact(t *testing.T) {
+	cases := []struct {
+		name string
+		// mutate damages the store after two committed generations.
+		mutate func(t *testing.T, dir string)
+		// wantCold: base damage in every generation forces a cold boot.
+		wantCold bool
+		// wantRecomputed: the view is rebuilt instead of restored.
+		wantRecomputed bool
+		// wantOlderGen: damage only to the newest generation falls back one.
+		wantOlderGen bool
+	}{
+		{
+			name: "bit-flipped view segment payload",
+			mutate: func(t *testing.T, dir string) {
+				for _, gen := range []string{"gen-0000000000000001", "gen-0000000000000002"} {
+					corruptFile(t, filepath.Join(dir, gen, "view_V.seg"), func(b []byte) []byte {
+						b[len(b)/2] ^= 0x01
+						return b
+					})
+				}
+			},
+			wantRecomputed: true,
+		},
+		{
+			name: "view segment truncated mid-frame",
+			mutate: func(t *testing.T, dir string) {
+				for _, gen := range []string{"gen-0000000000000001", "gen-0000000000000002"} {
+					corruptFile(t, filepath.Join(dir, gen, "view_V.seg"), func(b []byte) []byte {
+						return b[:len(b)*2/3]
+					})
+				}
+			},
+			wantRecomputed: true,
+		},
+		{
+			name: "newest manifest deleted",
+			mutate: func(t *testing.T, dir string) {
+				if err := os.Remove(filepath.Join(dir, "gen-0000000000000002", "MANIFEST.json")); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantOlderGen: true,
+		},
+		{
+			name: "newest manifest malformed",
+			mutate: func(t *testing.T, dir string) {
+				corruptFile(t, filepath.Join(dir, "gen-0000000000000002", "MANIFEST.json"), func(b []byte) []byte {
+					return b[:len(b)/2]
+				})
+			},
+			wantOlderGen: true,
+		},
+		{
+			name: "base segment bit-flipped everywhere",
+			mutate: func(t *testing.T, dir string) {
+				for _, gen := range []string{"gen-0000000000000001", "gen-0000000000000002"} {
+					corruptFile(t, filepath.Join(dir, gen, "base_Product.seg"), func(b []byte) []byte {
+						b[len(b)-5] ^= 0x80
+						return b
+					})
+				}
+			},
+			wantCold: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := filepath.Join(t.TempDir(), "snaps")
+			st, err := snapshot.Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := obs.NewRecorder(nil)
+			st.SetObserver(rec)
+			db, plan := warehouse(t)
+			if _, err := db.Materialize("V", plan); err != nil {
+				t.Fatal(err)
+			}
+			checkpointDB(t, st, db, 1, 10, map[string]algebra.Node{"V": plan})
+			checkpointDB(t, st, db, 2, 20, map[string]algebra.Node{"V": plan})
+			tc.mutate(t, dir)
+
+			// Boot never fails from corruption: the worst case is cold.
+			rdb, stats := recoverWarehouse(t, st, plan)
+			if stats.Cold != tc.wantCold {
+				t.Errorf("cold = %v, want %v (stats %+v)", stats.Cold, tc.wantCold, stats)
+			}
+			if tc.wantRecomputed && (stats.ViewsRestored != 0 || stats.ViewsRecomputed != 1) {
+				t.Errorf("restored/recomputed = %d/%d, want 0/1", stats.ViewsRestored, stats.ViewsRecomputed)
+			}
+			if tc.wantOlderGen && stats.Generation != 1 {
+				t.Errorf("recovered generation %d, want fallback to 1", stats.Generation)
+			}
+			if tc.wantCold || tc.wantRecomputed {
+				if stats.CorruptArtifacts == 0 {
+					t.Error("corruption not counted in recovery stats")
+				}
+				found := false
+				for _, ev := range rec.Trace().Events {
+					if ev.Kind == obs.EvSnapshotCorrupt {
+						found = true
+					}
+				}
+				if !found {
+					t.Error("no EvSnapshotCorrupt event emitted")
+				}
+			}
+			// Whatever the damage, the view answers its definition.
+			v, err := rdb.View("V")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.Table().NumRows() != 4 {
+				t.Errorf("view rows after recovery = %d, want 4", v.Table().NumRows())
+			}
+		})
+	}
+}
+
+func TestManifestOnEmptyStore(t *testing.T) {
+	st, err := snapshot.Open(filepath.Join(t.TempDir(), "fresh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := st.Manifest()
+	if err != nil || m != nil {
+		t.Fatalf("empty store manifest = (%v, %v), want (nil, nil)", m, err)
+	}
+	if err := st.DropViewSnapshot("ghost"); err != nil {
+		t.Errorf("dropping from an empty store: %v", err)
+	}
+}
+
+func TestLoadViewMissing(t *testing.T) {
+	st, err := snapshot.Open(filepath.Join(t.TempDir(), "snaps"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, plan := warehouse(t)
+	if _, err := db.Materialize("V", plan); err != nil {
+		t.Fatal(err)
+	}
+	checkpointDB(t, st, db, 1, 1, nil)
+	m, err := st.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.LoadView(m, "V"); err == nil {
+		t.Error("loading a never-persisted view succeeded")
+	} else if !errors.Is(err, engine.ErrSegmentCorrupt) && !strings.Contains(err.Error(), "no segment") {
+		// Either sentinel is acceptable; the point is a clean error, not a
+		// panic or a zero table.
+		t.Logf("LoadView miss error: %v", err)
+	}
+}
+
+// TestStatsSidecarRoundTrip: checkpoints persist each segment's derived
+// catalog entry (the manifest's "stats" sidecar) and recovery installs it,
+// so the restored warehouse prices queries from the snapshot's statistics
+// instead of rescanning every restored table.
+func TestStatsSidecarRoundTrip(t *testing.T) {
+	st, err := snapshot.Open(filepath.Join(t.TempDir(), "snaps"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, plan := warehouse(t)
+	if _, err := db.Materialize("V", plan); err != nil {
+		t.Fatal(err)
+	}
+	origCat, err := db.CatalogWithViews()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkpointDB(t, st, db, 1, 1, map[string]algebra.Node{"V": plan})
+
+	m, err := st.Manifest()
+	if err != nil || m == nil {
+		t.Fatalf("manifest = (%v, %v)", m, err)
+	}
+	for _, s := range m.Tables {
+		if s.Stats == nil || len(s.Stats.Attrs) == 0 {
+			t.Fatalf("table %s persisted without a stats sidecar", s.Name)
+		}
+	}
+	for _, v := range m.Views {
+		if v.Stats == nil || len(v.Stats.Attrs) == 0 {
+			t.Fatalf("view %s persisted without a stats sidecar", v.Name)
+		}
+	}
+
+	// Doctor one sidecar value in the committed manifest: recovery trusting
+	// the sidecar (rather than silently recomputing) must surface it.
+	const doctored = 7777
+	var product *snapshot.SegmentStats
+	for _, s := range m.Tables {
+		if s.Name == "Product" {
+			product = s.Stats
+		}
+	}
+	as := product.Attrs["Pid"]
+	as.DistinctValues = doctored
+	product.Attrs["Pid"] = as
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(m.Dir(), "MANIFEST.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, rs := recoverWarehouse(t, st, plan)
+	if rs.Cold || rs.ViewsRestored != 1 {
+		t.Fatalf("recovery = %+v, want warm with the view restored", rs)
+	}
+	cat2, err := db2.CatalogWithViews()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := cat2.Relation("Product")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rel.Attrs["Pid"].DistinctValues; got != doctored {
+		t.Errorf("restored NDV(Pid) = %v, want the sidecar's %v (stats were recomputed, not installed)", got, doctored)
+	}
+	// Every other entry round-trips exactly.
+	for _, name := range []string{"Division", "V"} {
+		want, err := origCat.Relation(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cat2.Relation(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Rows != want.Rows || got.Blocks != want.Blocks {
+			t.Errorf("%s sizes = (%v, %v), want (%v, %v)", name, got.Rows, got.Blocks, want.Rows, want.Blocks)
+		}
+		for attr, w := range want.Attrs {
+			g := got.Attrs[attr]
+			if g.DistinctValues != w.DistinctValues || !g.Min.Equal(w.Min) || !g.Max.Equal(w.Max) {
+				t.Errorf("%s.%s stats = %+v, want %+v", name, attr, g, w)
+			}
+			if len(g.Histogram) != len(w.Histogram) {
+				t.Errorf("%s.%s histogram length %d, want %d", name, attr, len(g.Histogram), len(w.Histogram))
+			}
+		}
+	}
+}

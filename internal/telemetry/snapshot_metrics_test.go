@@ -1,0 +1,158 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/warehousekit/mvpp/internal/algebra"
+	"github.com/warehousekit/mvpp/internal/core"
+	"github.com/warehousekit/mvpp/internal/datagen"
+	"github.com/warehousekit/mvpp/internal/engine"
+	"github.com/warehousekit/mvpp/internal/obs"
+	"github.com/warehousekit/mvpp/internal/serve"
+	"github.com/warehousekit/mvpp/internal/snapshot"
+)
+
+// snapshotFixture is fixture() with a durable snapshot store and journal
+// wired in, booted through snapshot recovery so the recovery block is set.
+func snapshotFixture(t *testing.T) (*serve.Server, *Server) {
+	t.Helper()
+	db, err := datagen.PaperDB(10, 0.01, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := db.Table("Product")
+	if err != nil {
+		t.Fatal(err)
+	}
+	div, err := db.Table("Division")
+	if err != nil {
+		t.Fatal(err)
+	}
+	join := algebra.NewJoin(algebra.NewScan("Product", pd.Schema),
+		algebra.NewSelect(algebra.NewScan("Division", div.Schema),
+			algebra.Eq(algebra.Ref("Division", "city"), algebra.StringVal("LA"))),
+		[]algebra.JoinCond{{Left: algebra.Ref("Product", "Did"), Right: algebra.Ref("Division", "Did")}})
+	if _, err := db.Materialize("tmp2", join); err != nil {
+		t.Fatal(err)
+	}
+	st, err := snapshot.Open(filepath.Join(t.TempDir(), "snaps"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	srv, err := serve.New(serve.Config{
+		DB:        db,
+		Queries:   []serve.QuerySpec{{Name: "QLA", Plan: join, Frequency: 10}},
+		Views:     []serve.ViewSpec{{Name: "tmp2", Strategy: core.MaintIncremental}},
+		Snapshots: st,
+		Journal:   engine.NewMemJournal(),
+		Recovery: &snapshot.RecoveryStats{
+			Cold: true, ViewsRecomputed: 1,
+		},
+		DeltaBatch: 1 << 20,
+		Obs:        obs.MetricsOnly(reg),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	ts, err := Serve(Config{Addr: "127.0.0.1:0", Registry: reg, Source: srv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ts.Close() })
+	return srv, ts
+}
+
+// TestSnapshotMetricsExposition: with a snapshot store wired, /metrics
+// stays valid exposition and carries the mv_snapshot_* and mv_recovery_*
+// families, including the per-view segment age.
+func TestSnapshotMetricsExposition(t *testing.T) {
+	srv, ts := snapshotFixture(t)
+	if err := srv.Ingest("Division", []algebra.Value{
+		algebra.IntVal(900001), algebra.StringVal("division-Δ"), algebra.StringVal("LA"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body := get(t, ts.Addr(), "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if _, err := ValidateExposition(body); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, body)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE mv_snapshot_generation gauge",
+		"mv_snapshot_generation 1",
+		"mv_snapshot_bytes ",
+		"mv_snapshot_checkpoints 1",
+		"mv_snapshot_last_checkpoint_age_seconds",
+		"mv_snapshot_age_seconds{view=\"tmp2\"}",
+		"mv_snapshot_view_bytes{view=\"tmp2\"}",
+		"mv_recovery_cold 1",
+		"mv_recovery_views_recomputed 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// /views carries the snapshots block with the same story.
+	code, body = get(t, ts.Addr(), "/views")
+	if code != http.StatusOK {
+		t.Fatalf("/views status %d", code)
+	}
+	var out struct {
+		Snapshots *struct {
+			Generation  uint64 `json:"generation"`
+			Checkpoints int64  `json:"checkpoints"`
+			Views       map[string]struct {
+				Bytes int64 `json:"bytes"`
+			} `json:"views"`
+			Recovery *struct {
+				Cold bool `json:"cold"`
+			} `json:"recovery"`
+		} `json:"snapshots"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Snapshots == nil {
+		t.Fatalf("/views missing snapshots block: %s", body)
+	}
+	if out.Snapshots.Generation != 1 || out.Snapshots.Checkpoints != 1 {
+		t.Errorf("snapshots block = %+v", out.Snapshots)
+	}
+	if v, ok := out.Snapshots.Views["tmp2"]; !ok || v.Bytes <= 0 {
+		t.Errorf("per-view snapshot info = %+v", out.Snapshots.Views)
+	}
+	if out.Snapshots.Recovery == nil || !out.Snapshots.Recovery.Cold {
+		t.Errorf("recovery block = %+v", out.Snapshots.Recovery)
+	}
+}
+
+// TestMetricsWithoutSnapshots: a snapshotless server must not emit the
+// mv_snapshot_* families at all.
+func TestMetricsWithoutSnapshots(t *testing.T) {
+	_, ts, _ := fixture(t)
+	_, body := get(t, ts.Addr(), "/metrics")
+	if strings.Contains(string(body), "mv_snapshot_") {
+		t.Error("/metrics emits mv_snapshot_* without a snapshot store")
+	}
+	_, body = get(t, ts.Addr(), "/views")
+	if strings.Contains(string(body), "\"snapshots\"") {
+		t.Error("/views emits a snapshots block without a snapshot store")
+	}
+}

@@ -64,6 +64,14 @@ type Source interface {
 	IsClosed() bool
 }
 
+// SnapshotSource is the optional extension a Source implements when the
+// serving layer has a durable snapshot store; *serve.Server implements it.
+// The telemetry plane type-asserts for it, so sources without snapshots
+// (tests, fakes, snapshotless servers) need not change.
+type SnapshotSource interface {
+	SnapshotStats() serve.SnapshotStats
+}
+
 // Config assembles a telemetry server.
 type Config struct {
 	// Addr is the listen address (":9090", "127.0.0.1:0", ...).
@@ -187,10 +195,42 @@ type viewStatus struct {
 	LastRefresh         *time.Time `json:"last_refresh,omitempty"`
 }
 
+// snapshotBlock is the /views "snapshots" object: last checkpoint, per-view
+// segment status, and the recovery that booted this server.
+type snapshotBlock struct {
+	Generation       uint64                 `json:"generation"`
+	LastCheckpointAt *time.Time             `json:"last_checkpoint_at,omitempty"`
+	LastBytes        int64                  `json:"last_bytes"`
+	Checkpoints      int64                  `json:"checkpoints"`
+	Skipped          int64                  `json:"skipped"`
+	Failures         int64                  `json:"failures"`
+	AgedOut          int64                  `json:"aged_out"`
+	Recovery         *recoveryBlock         `json:"recovery,omitempty"`
+	Views            map[string]viewSegment `json:"views,omitempty"`
+}
+
+type viewSegment struct {
+	SnapshotAt time.Time `json:"snapshot_at"`
+	AgeSeconds float64   `json:"age_seconds"`
+	Bytes      int64     `json:"bytes"`
+	Epoch      uint64    `json:"epoch"`
+}
+
+type recoveryBlock struct {
+	Cold             bool    `json:"cold"`
+	Generation       uint64  `json:"generation"`
+	ViewsRestored    int     `json:"views_restored"`
+	ViewsRecomputed  int     `json:"views_recomputed"`
+	CorruptArtifacts int     `json:"corrupt_artifacts"`
+	Bytes            int64   `json:"bytes"`
+	DurationSeconds  float64 `json:"duration_seconds"`
+}
+
 func (s *Server) handleViews(w http.ResponseWriter, _ *http.Request) {
 	out := struct {
-		Epoch uint64                `json:"epoch"`
-		Views map[string]viewStatus `json:"views"`
+		Epoch     uint64                `json:"epoch"`
+		Views     map[string]viewStatus `json:"views"`
+		Snapshots *snapshotBlock        `json:"snapshots,omitempty"`
 	}{Views: map[string]viewStatus{}}
 	if s.src != nil {
 		out.Epoch = s.src.Epoch()
@@ -211,8 +251,52 @@ func (s *Server) handleViews(w http.ResponseWriter, _ *http.Request) {
 			}
 			out.Views[name] = vs
 		}
+		if ss, ok := s.src.(SnapshotSource); ok {
+			if snap := ss.SnapshotStats(); snap.Configured {
+				out.Snapshots = snapshotBlockOf(snap)
+			}
+		}
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+func snapshotBlockOf(snap serve.SnapshotStats) *snapshotBlock {
+	blk := &snapshotBlock{
+		Generation:  snap.Generation,
+		LastBytes:   snap.LastBytes,
+		Checkpoints: snap.Checkpoints,
+		Skipped:     snap.Skipped,
+		Failures:    snap.Failures,
+		AgedOut:     snap.AgedOut,
+	}
+	if !snap.LastCheckpointAt.IsZero() {
+		t := snap.LastCheckpointAt
+		blk.LastCheckpointAt = &t
+	}
+	if len(snap.Views) > 0 {
+		now := time.Now()
+		blk.Views = make(map[string]viewSegment, len(snap.Views))
+		for name, v := range snap.Views {
+			blk.Views[name] = viewSegment{
+				SnapshotAt: v.SnapshotAt,
+				AgeSeconds: now.Sub(v.SnapshotAt).Seconds(),
+				Bytes:      v.Bytes,
+				Epoch:      v.Epoch,
+			}
+		}
+	}
+	if r := snap.Recovery; r != nil {
+		blk.Recovery = &recoveryBlock{
+			Cold:             r.Cold,
+			Generation:       r.Generation,
+			ViewsRestored:    r.ViewsRestored,
+			ViewsRecomputed:  r.ViewsRecomputed,
+			CorruptArtifacts: r.CorruptArtifacts,
+			Bytes:            r.Bytes,
+			DurationSeconds:  r.Duration.Seconds(),
+		}
+	}
+	return blk
 }
 
 func (s *Server) handleCostModel(w http.ResponseWriter, _ *http.Request) {
@@ -312,8 +396,63 @@ func WriteMetrics(w io.Writer, reg *obs.Registry, src Source) {
 
 	writeCostMetrics(w, src.CostReport())
 
+	if ss, ok := src.(SnapshotSource); ok {
+		writeSnapshotMetrics(w, ss.SnapshotStats())
+	}
+
 	writeHistogram(w, "mvpp_serve_latency_seconds", src.LatencySnapshot())
 	writeHistogram(w, "mvpp_serve_window_latency_seconds", src.WindowLatencySnapshot())
+}
+
+// writeSnapshotMetrics renders the durable-snapshot families: store-wide
+// gauges (generation, bytes, checkpoint counters, last-recovery stats) and
+// the per-view segment ages as mv_snapshot_age_seconds{view=...}. Emitted
+// only when the source actually has a snapshot store.
+func writeSnapshotMetrics(w io.Writer, ss serve.SnapshotStats) {
+	if !ss.Configured {
+		return
+	}
+	now := time.Now()
+	writeGauge(w, "mv_snapshot_generation", float64(ss.Generation))
+	writeGauge(w, "mv_snapshot_bytes", float64(ss.LastBytes))
+	writeGauge(w, "mv_snapshot_checkpoints", float64(ss.Checkpoints))
+	writeGauge(w, "mv_snapshot_checkpoints_skipped", float64(ss.Skipped))
+	writeGauge(w, "mv_snapshot_checkpoint_failures", float64(ss.Failures))
+	writeGauge(w, "mv_snapshot_truncate_failures", float64(ss.TruncateFailures))
+	writeGauge(w, "mv_snapshot_generations_aged_out", float64(ss.AgedOut))
+	if !ss.LastCheckpointAt.IsZero() {
+		writeGauge(w, "mv_snapshot_last_checkpoint_age_seconds", now.Sub(ss.LastCheckpointAt).Seconds())
+	}
+	if len(ss.Views) > 0 {
+		names := make([]string, 0, len(ss.Views))
+		for name := range ss.Views {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "# TYPE mv_snapshot_age_seconds gauge\n")
+		for _, name := range names {
+			fmt.Fprintf(w, "mv_snapshot_age_seconds{view=%q} %s\n",
+				escapeLabel(name), formatFloat(now.Sub(ss.Views[name].SnapshotAt).Seconds()))
+		}
+		fmt.Fprintf(w, "# TYPE mv_snapshot_view_bytes gauge\n")
+		for _, name := range names {
+			fmt.Fprintf(w, "mv_snapshot_view_bytes{view=%q} %s\n",
+				escapeLabel(name), formatFloat(float64(ss.Views[name].Bytes)))
+		}
+	}
+	if r := ss.Recovery; r != nil {
+		cold := 0.0
+		if r.Cold {
+			cold = 1
+		}
+		writeGauge(w, "mv_recovery_cold", cold)
+		writeGauge(w, "mv_recovery_generation", float64(r.Generation))
+		writeGauge(w, "mv_recovery_views_restored", float64(r.ViewsRestored))
+		writeGauge(w, "mv_recovery_views_recomputed", float64(r.ViewsRecomputed))
+		writeGauge(w, "mv_recovery_corrupt_artifacts", float64(r.CorruptArtifacts))
+		writeGauge(w, "mv_recovery_bytes", float64(r.Bytes))
+		writeGauge(w, "mv_recovery_duration_seconds", r.Duration.Seconds())
+	}
 }
 
 // writeRuntimeMetrics exposes Go runtime/process pressure alongside the

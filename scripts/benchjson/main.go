@@ -383,6 +383,78 @@ func validateCostModel(addr string) error {
 	return nil
 }
 
+// measureColdStart prices a warehouse boot at 10x the serving-bench scale
+// with and without a durable snapshot generation on disk. The snapshot run
+// restores base tables and views from columnar segments and replays an
+// empty journal suffix; the recompute run rebuilds the synthetic warehouse
+// and materializes every view from scratch. Their ratio is the snapshot
+// store's acceptance number.
+func measureColdStart() (snapNs, recomputeNs, snapshotBytes int64, err error) {
+	d, err := paperDesigner(mvpp.Options{})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	design, err := d.Design()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	dir, err := os.MkdirTemp("", "mvpp-coldstart-*")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+	warm := mvpp.ServeOptions{
+		Scale: 0.1, Seed: 7,
+		SnapshotDir: dir + "/snaps",
+		JournalPath: dir + "/deltas.journal",
+	}
+
+	// Seed one committed generation, then verify a boot over it is warm.
+	seed, err := design.NewServer(warm)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	ckpt, err := seed.Checkpoint()
+	if err == nil {
+		err = seed.Close()
+	}
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	snapshotBytes = ckpt.Bytes
+	probe, err := design.NewServer(warm)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	rs := probe.SnapshotStats().Recovery
+	if err := probe.Close(); err != nil {
+		return 0, 0, 0, err
+	}
+	if rs == nil || rs.Cold {
+		return 0, 0, 0, fmt.Errorf("cold-start bench: boot over a committed generation went cold: %+v", rs)
+	}
+
+	var runErr error
+	boot := func(opts mvpp.ServeOptions) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				srv, err := design.NewServer(opts)
+				if err != nil {
+					runErr = err
+					b.FailNow()
+				}
+				if err := srv.Close(); err != nil {
+					runErr = err
+					b.FailNow()
+				}
+			}
+		})
+	}
+	snap := boot(warm)
+	recompute := boot(mvpp.ServeOptions{Scale: 0.1, Seed: 7})
+	return snap.NsPerOp(), recompute.NsPerOp(), snapshotBytes, runErr
+}
+
 // environment captures the machine the baseline was measured on, so a
 // regression diff can tell a code change from a hardware change.
 type environment struct {
@@ -474,6 +546,15 @@ type report struct {
 	TelemetryScrapeSamples int     `json:"telemetry_scrape_samples"`
 	ServeWindowQPS         float64 `json:"serve_window_qps"`
 	ServeWindowHitRate     float64 `json:"serve_window_hit_rate"`
+	// Cold start pairs boot-to-serving time at 10x the serving-bench scale:
+	// restoring from a committed snapshot generation vs recomputing the
+	// warehouse and every view from scratch. The speedup is the snapshot
+	// subsystem's acceptance number; snapshot_bytes sizes the generation
+	// those boots restore from.
+	ColdStartSnapshotNs  int64   `json:"cold_start_snapshot_ns"`
+	ColdStartRecomputeNs int64   `json:"cold_start_recompute_ns"`
+	ColdStartSpeedup     float64 `json:"cold_start_speedup"`
+	SnapshotBytes        int64   `json:"snapshot_bytes"`
 }
 
 func main() {
@@ -509,6 +590,8 @@ func main() {
 	_, chaosStats, err := measureChaosServe()
 	fail(err)
 	scrapeRes, scrapeSamples, scrapeStats, err := measureTelemetryScrape()
+	fail(err)
+	coldSnapNs, coldRecomputeNs, snapBytes, err := measureColdStart()
 	fail(err)
 
 	r := report{
@@ -548,6 +631,10 @@ func main() {
 		TelemetryScrapeSamples: scrapeSamples,
 		ServeWindowQPS:         scrapeStats.WindowQPS,
 		ServeWindowHitRate:     scrapeStats.WindowHitRate,
+		ColdStartSnapshotNs:    coldSnapNs,
+		ColdStartRecomputeNs:   coldRecomputeNs,
+		ColdStartSpeedup:       float64(coldRecomputeNs) / float64(coldSnapNs),
+		SnapshotBytes:          snapBytes,
 	}
 	data, err := json.MarshalIndent(r, "", "  ")
 	fail(err)

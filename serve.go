@@ -14,6 +14,7 @@ import (
 	"github.com/warehousekit/mvpp/internal/obs"
 	"github.com/warehousekit/mvpp/internal/optimizer"
 	"github.com/warehousekit/mvpp/internal/serve"
+	"github.com/warehousekit/mvpp/internal/snapshot"
 	"github.com/warehousekit/mvpp/internal/sqlparse"
 	"github.com/warehousekit/mvpp/internal/telemetry"
 )
@@ -59,6 +60,24 @@ type ServeOptions struct {
 	// file-backed delta journal at that path; the Server owns it and closes
 	// it on Close. Mutually exclusive with Journal.
 	JournalPath string
+	// SnapshotDir, when non-empty, arms the durable snapshot store at that
+	// directory. On boot the newest consistent snapshot generation is
+	// restored — views whose definitions changed or whose segments are
+	// corrupt fall back to recomputation, never a failed boot — and only
+	// the journal suffix past the snapshot watermark is replayed. While
+	// serving, checkpoints fire on epoch count and wall-clock interval,
+	// compact the delta journal up to the acked watermark, and age out old
+	// generations. Empty keeps snapshots off.
+	SnapshotDir string
+	// SnapshotInterval is the wall-clock checkpoint trigger period (0
+	// disables the timer; the epoch-count trigger still fires).
+	SnapshotInterval time.Duration
+	// SnapshotEveryEpochs checkpoints after that many landed maintenance
+	// epochs (0 → 8).
+	SnapshotEveryEpochs int
+	// SnapshotRetain is how many committed snapshot generations retention
+	// GC keeps (0 → 3).
+	SnapshotRetain int
 	// TelemetryAddr, when non-empty, starts the live telemetry plane on
 	// that address (":9090", "127.0.0.1:0", ...): /metrics in Prometheus
 	// text exposition, /healthz and /views JSON, /traces with sampled
@@ -120,6 +139,23 @@ const defaultTraceSample = 16
 
 // ServeStats is a point-in-time snapshot of the serving counters.
 type ServeStats = serve.Stats
+
+// SnapshotStats reports the durable-snapshot plane's state: last
+// checkpoint, per-view segment status, and the recovery that booted this
+// server.
+type SnapshotStats = serve.SnapshotStats
+
+// ViewSnapshotInfo is one view's durable-snapshot status inside
+// SnapshotStats.
+type ViewSnapshotInfo = serve.ViewSnapshotInfo
+
+// RecoveryStats reports how a snapshot-armed server booted: what was
+// restored from segments vs recomputed, and the journal watermark replay
+// resumed from.
+type RecoveryStats = snapshot.RecoveryStats
+
+// CheckpointResult describes one committed snapshot generation.
+type CheckpointResult = snapshot.CheckpointResult
 
 // ViewStaleness reports one maintained view's lag behind ingested deltas.
 type ViewStaleness = serve.Staleness
@@ -239,30 +275,57 @@ func (d *Design) NewServer(opts ServeOptions) (*Server, error) {
 		observer = obs.MetricsOnly(nil)
 	}
 
-	db, err := d.buildSyntheticDB(scale, opts.Seed)
-	if err != nil {
-		return nil, err
-	}
-	if opts.RowExec {
-		db.SetExecMode(engine.ExecRow)
-	}
-	db.SetObserver(observer)
-	if opts.Injector != nil {
-		opts.Injector.SetObserver(observer)
-		db.SetInjector(opts.Injector)
-	}
-
-	// Materialize the design's views; vertex order is topological, so
-	// views over views compose.
+	// Assemble the design's views once for both recovery and the serving
+	// layer; vertex order is topological, so views over views compose.
+	var viewDefs []snapshot.ViewDef
 	var views []serve.ViewSpec
 	for _, v := range d.mvpp.Vertices {
 		if !d.selection.Materialized[v.ID] {
 			continue
 		}
-		if _, err := db.Materialize(v.Name, v.Op); err != nil {
-			return nil, fmt.Errorf("mvpp: materializing %s: %w", v.Name, err)
-		}
+		viewDefs = append(viewDefs, snapshot.ViewDef{Name: v.Name, Plan: v.Op})
 		views = append(views, serve.ViewSpec{Name: v.Name, Strategy: d.selection.Plans[v.Name]})
+	}
+
+	var snapStore *snapshot.Store
+	if opts.SnapshotDir != "" {
+		st, err := snapshot.Open(opts.SnapshotDir)
+		if err != nil {
+			return nil, fmt.Errorf("mvpp: opening snapshot store: %w", err)
+		}
+		st.SetObserver(observer)
+		if opts.Injector != nil {
+			opts.Injector.SetObserver(observer)
+			st.SetInjector(opts.Injector)
+		}
+		snapStore = st
+	}
+
+	// Boot the database: from the newest consistent snapshot when one is
+	// armed and usable, otherwise by generating synthetic data and
+	// recomputing every view (exactly the snapshotless path).
+	cold := func() (*engine.DB, error) { return d.buildSyntheticDB(scale, opts.Seed) }
+	prep := func(db *engine.DB) {
+		if opts.RowExec {
+			db.SetExecMode(engine.ExecRow)
+		}
+		db.SetObserver(observer)
+		if opts.Injector != nil {
+			opts.Injector.SetObserver(observer)
+			db.SetInjector(opts.Injector)
+		}
+		if snapStore != nil {
+			db.SetSnapshotStore(snapStore)
+		}
+	}
+	db, recovery, err := snapshot.Recover(snapStore, cold, prep, viewDefs, d.catalog.inner.Relations(), engine.DefaultBlockRows)
+	if err != nil {
+		return nil, fmt.Errorf("mvpp: %w", err)
+	}
+	if snapStore == nil {
+		// Without a store there is no watermark to resume from; the serving
+		// layer keeps its legacy full-journal replay.
+		recovery = nil
 	}
 
 	queries := make([]serve.QuerySpec, 0, len(d.queries))
@@ -283,6 +346,9 @@ func (d *Design) NewServer(opts ServeOptions) (*Server, error) {
 		fj, err := engine.OpenFileJournal(opts.JournalPath)
 		if err != nil {
 			return nil, fmt.Errorf("mvpp: opening delta journal: %w", err)
+		}
+		if opts.Injector != nil {
+			fj.SetInjector(opts.Injector)
 		}
 		journal = fj
 		ownedJournal = fj
@@ -306,26 +372,31 @@ func (d *Design) NewServer(opts ServeOptions) (*Server, error) {
 	}
 
 	inner, err := serve.New(serve.Config{
-		DB:               db,
-		Queries:          queries,
-		Views:            views,
-		MVPP:             d.mvpp,
-		Model:            d.model,
-		Workers:          opts.Workers,
-		QueueDepth:       opts.QueueDepth,
-		CacheCapacity:    opts.CacheCapacity,
-		DeltaBatch:       opts.DeltaBatch,
-		RefreshInterval:  opts.RefreshInterval,
-		Retry:            opts.Retry,
-		Breaker:          opts.Breaker,
-		Injector:         opts.Injector,
-		Journal:          journal,
-		TraceSampleEvery: sampleEvery,
-		Obs:              observer,
-		Audit:            ledger,
-		AuditAutoApply:   opts.CostAudit.AutoApply,
-		AuditSkew:        opts.CostAudit.SkewPredictions,
-		AuditSkewViews:   opts.CostAudit.SkewViews,
+		DB:                  db,
+		Queries:             queries,
+		Views:               views,
+		MVPP:                d.mvpp,
+		Model:               d.model,
+		Workers:             opts.Workers,
+		QueueDepth:          opts.QueueDepth,
+		CacheCapacity:       opts.CacheCapacity,
+		DeltaBatch:          opts.DeltaBatch,
+		RefreshInterval:     opts.RefreshInterval,
+		Retry:               opts.Retry,
+		Breaker:             opts.Breaker,
+		Injector:            opts.Injector,
+		Journal:             journal,
+		Snapshots:           snapStore,
+		SnapshotEveryEpochs: opts.SnapshotEveryEpochs,
+		SnapshotInterval:    opts.SnapshotInterval,
+		SnapshotRetain:      opts.SnapshotRetain,
+		Recovery:            recovery,
+		TraceSampleEvery:    sampleEvery,
+		Obs:                 observer,
+		Audit:               ledger,
+		AuditAutoApply:      opts.CostAudit.AutoApply,
+		AuditSkew:           opts.CostAudit.SkewPredictions,
+		AuditSkewViews:      opts.CostAudit.SkewViews,
 	})
 	if err != nil {
 		if ownedJournal != nil {
@@ -455,6 +526,19 @@ func (s *Server) Health() map[string]ViewHealth { return s.inner.Health() }
 // Stats snapshots the serving counters (throughput, cache hit rate,
 // latency quantiles, maintenance work).
 func (s *Server) Stats() ServeStats { return s.inner.Stats() }
+
+// Checkpoint persists a consistent snapshot generation now: every base
+// table plus every healthy, fully-caught-up view, stamped with the
+// journal watermark of the last landed epoch, then compacts the delta
+// journal and ages out old generations. Returns (nil, nil) when the
+// warehouse is mid-epoch — the next trigger after the epoch lands will
+// succeed. Errors with serve.ErrNoSnapshots when SnapshotDir was not set.
+func (s *Server) Checkpoint() (*CheckpointResult, error) { return s.inner.Checkpoint() }
+
+// SnapshotStats reports the durable-snapshot plane's state: last
+// checkpoint, per-view segment status, and the recovery that booted this
+// server (nil Recovery when SnapshotDir was not set).
+func (s *Server) SnapshotStats() SnapshotStats { return s.inner.SnapshotStats() }
 
 // ObservedFrequencies returns the per-query frequencies the server has
 // observed, scaled to the design-time workload volume.

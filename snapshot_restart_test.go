@@ -1,0 +1,234 @@
+package mvpp_test
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	mvpp "github.com/warehousekit/mvpp"
+)
+
+// snapshotFingerprint answers every design query and returns its sorted
+// rows — the bit-identity witness for crash-restart verification.
+func snapshotFingerprint(t *testing.T, design *mvpp.Design, srv *mvpp.Server) map[string][]string {
+	t.Helper()
+	ctx := context.Background()
+	out := make(map[string][]string)
+	for _, q := range design.Queries() {
+		res, err := srv.Query(ctx, q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		out[q] = resultRows(res)
+	}
+	return out
+}
+
+func requireSameFingerprint(t *testing.T, got, want map[string][]string) {
+	t.Helper()
+	for q, w := range want {
+		g := got[q]
+		if len(g) != len(w) {
+			t.Fatalf("%s: %d rows, want %d", q, len(g), len(w))
+		}
+		for i := range w {
+			if g[i] != w[i] {
+				t.Fatalf("%s row %d: %q, want %q", q, i, g[i], w[i])
+			}
+		}
+	}
+}
+
+func TestSnapshotColdThenWarmBoot(t *testing.T) {
+	dir := t.TempDir()
+	opts := mvpp.ServeOptions{
+		Seed:        21,
+		SnapshotDir: filepath.Join(dir, "snaps"),
+		JournalPath: filepath.Join(dir, "deltas.journal"),
+	}
+
+	design, first := paperServer(t, opts)
+	ss := first.SnapshotStats()
+	if !ss.Configured || ss.Recovery == nil || !ss.Recovery.Cold {
+		t.Fatalf("first boot should be a cold recovery, got %+v", ss.Recovery)
+	}
+	if _, err := first.InjectDeltas(0.05); err != nil {
+		t.Fatal(err)
+	}
+	if err := first.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := first.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || res.Generation != 1 || res.Bytes <= 0 {
+		t.Fatalf("checkpoint = %+v, want generation 1 with bytes", res)
+	}
+	want := snapshotFingerprint(t, design, first)
+	if err := first.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, second := paperServer(t, opts)
+	ss = second.SnapshotStats()
+	if ss.Recovery == nil || ss.Recovery.Cold {
+		t.Fatalf("second boot should restore the snapshot, got %+v", ss.Recovery)
+	}
+	if ss.Recovery.ViewsRestored == 0 || ss.Recovery.BaseRestored == 0 {
+		t.Fatalf("nothing restored: %+v", ss.Recovery)
+	}
+	if got := second.Stats().ReplayedDeltaRows; got != 0 {
+		t.Errorf("replayed %d rows past a fresh checkpoint, want 0", got)
+	}
+	if err := second.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	requireSameFingerprint(t, snapshotFingerprint(t, design, second), want)
+}
+
+// TestSnapshotCrashRestartVerify is the chaos crash-restart-verify cycle:
+// a checkpoint is killed at each injected crash point, the server
+// restarts, and the recovered warehouse must answer every query
+// bit-identically with zero lost deltas.
+func TestSnapshotCrashRestartVerify(t *testing.T) {
+	cases := []struct {
+		name string
+		site mvpp.FaultSite
+		// checkpointErrs: the injected Checkpoint call surfaces an error.
+		checkpointErrs bool
+		// committed: despite the crash the generation landed (crash after
+		// the manifest rename point of no return), so the restarted server
+		// recovers generation 2 and replays nothing.
+		committed bool
+	}{
+		{name: "mid-segment write", site: mvpp.FaultSiteSnapshotSegmentWrite, checkpointErrs: true},
+		{name: "pre-manifest rename", site: mvpp.FaultSiteSnapshotManifestWrite, checkpointErrs: true},
+		{name: "post-manifest rename", site: mvpp.FaultSiteSnapshotManifestRename, checkpointErrs: true, committed: true},
+		{name: "mid-journal compaction", site: mvpp.FaultSiteJournalTruncate, committed: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			opts := mvpp.ServeOptions{
+				Seed:        21,
+				SnapshotDir: filepath.Join(dir, "snaps"),
+				JournalPath: filepath.Join(dir, "deltas.journal"),
+			}
+
+			// Boot A: lay down one good generation, then die cleanly.
+			design, a := paperServer(t, opts)
+			if _, err := a.InjectDeltas(0.05); err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := a.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Boot B: ingest more deltas, then crash at the injected point
+			// of the next checkpoint. Everything the injector skips after
+			// the error is exactly what a kill -9 would never run.
+			armed := opts
+			armed.Injector = mvpp.NewFaultInjector(1, mvpp.FaultPlan{
+				tc.site: {ErrProb: 1},
+			})
+			_, b := paperServer(t, armed)
+			injected, err := b.InjectDeltas(0.05)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			want := snapshotFingerprint(t, design, b)
+			_, cerr := b.Checkpoint()
+			if tc.checkpointErrs && cerr == nil {
+				t.Fatal("injected crash point did not surface from Checkpoint")
+			}
+			if !tc.checkpointErrs {
+				if cerr != nil {
+					t.Fatal(cerr)
+				}
+				if tc.site == mvpp.FaultSiteJournalTruncate {
+					if got := b.SnapshotStats().TruncateFailures; got == 0 {
+						t.Error("crashed journal compaction not counted")
+					}
+				}
+			}
+			if err := b.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Boot C: clean restart over the crash debris.
+			_, c := paperServer(t, opts)
+			ss := c.SnapshotStats()
+			if ss.Recovery == nil || ss.Recovery.Cold {
+				t.Fatalf("restart after crash went cold: %+v", ss.Recovery)
+			}
+			wantGen := uint64(1)
+			if tc.committed {
+				wantGen = 2
+			}
+			if ss.Recovery.Generation != wantGen {
+				t.Errorf("recovered generation %d, want %d", ss.Recovery.Generation, wantGen)
+			}
+			// Zero lost deltas: everything B ingested past the surviving
+			// watermark is replayed; a committed generation 2 already
+			// contains them and replays nothing.
+			replayed := c.Stats().ReplayedDeltaRows
+			if tc.committed {
+				if replayed != 0 {
+					t.Errorf("replayed %d rows despite a committed checkpoint", replayed)
+				}
+			} else if replayed != int64(injected) {
+				t.Errorf("replayed %d rows, want %d (boot B's uncheckpointed deltas)", replayed, injected)
+			}
+			if err := c.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			requireSameFingerprint(t, snapshotFingerprint(t, design, c), want)
+		})
+	}
+}
+
+// TestSnapshotDropViewDoesNotResurrect exercises the public path: dropping
+// a view through advice application must scrub its segments so a later
+// restart recomputes instead of restoring stale rows.
+func TestSnapshotDropViewColdStartStats(t *testing.T) {
+	dir := t.TempDir()
+	opts := mvpp.ServeOptions{
+		Seed:        21,
+		SnapshotDir: filepath.Join(dir, "snaps"),
+		JournalPath: filepath.Join(dir, "deltas.journal"),
+	}
+	design, srv := paperServer(t, opts)
+	if _, err := srv.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	ss := srv.SnapshotStats()
+	if ss.Checkpoints != 1 || len(ss.Views) == 0 {
+		t.Fatalf("stats after checkpoint = %+v", ss)
+	}
+	for name, info := range ss.Views {
+		if info.Bytes <= 0 || info.SnapshotAt.IsZero() {
+			t.Errorf("view %s snapshot info = %+v", name, info)
+		}
+	}
+	want := snapshotFingerprint(t, design, srv)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, reborn := paperServer(t, opts)
+	requireSameFingerprint(t, snapshotFingerprint(t, design, reborn), want)
+	rs := reborn.SnapshotStats().Recovery
+	if rs == nil || rs.Cold || rs.ViewsRecomputed != 0 {
+		t.Fatalf("warm boot stats = %+v, want all views restored", rs)
+	}
+}
