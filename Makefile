@@ -5,7 +5,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 STATICCHECK := $(shell command -v staticcheck 2>/dev/null)
 
-.PHONY: all fmt vet staticcheck build test race bench check tier1 telemetry-smoke fuzz-smoke chaos-restart
+.PHONY: all fmt vet staticcheck build test race bench check tier1 telemetry-smoke fuzz-smoke chaos-restart chaos-policies
 
 all: check
 
@@ -71,12 +71,20 @@ fuzz-smoke:
 chaos-restart:
 	$(GO) test -race -count=1 -run 'TestSnapshotCrashRestartVerify|TestFileJournalTruncateCrashLosesNothing' . ./internal/engine
 
+# Mixed-policy chaos: the crash-restart-verify cycle with the full refresh
+# policy spectrum live (manual, on-commit, scheduled, streaming), deltas
+# arriving through both the direct and the CDC streaming path, plus the
+# backpressure and drain-on-close contracts of the change feed — all under
+# the race detector.
+chaos-policies:
+	$(GO) test -race -count=1 -run 'TestChaosMixedPolicyRecovery|TestPolicyTelemetryEndToEnd|TestStream' . ./internal/serve
+
 # The tier-1 verification script (what CI runs on every change), with the
 # race detector included so the concurrent serving layer stays honest,
 # static analysis (vet always, staticcheck when installed) in front, a
-# short fuzz pass over the batch executor, the chaos crash-restart cycle
-# over the snapshot store, and a live telemetry scrape at the end.
-tier1: build vet staticcheck test race fuzz-smoke chaos-restart telemetry-smoke
+# short fuzz pass over the batch executor, the chaos crash-restart and
+# mixed-policy cycles, and a live telemetry scrape at the end.
+tier1: build vet staticcheck test race fuzz-smoke chaos-restart chaos-policies telemetry-smoke
 
 # Write the Design() benchmark baseline consumed by regression checks.
 bench:

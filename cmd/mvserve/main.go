@@ -16,12 +16,14 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -50,6 +52,11 @@ func run() (status int) {
 		requests      = flag.Int("requests", 100, "queries per client")
 		delta         = flag.Float64("delta", 0.02, "per-epoch synthetic insert fraction (0 disables maintenance load)")
 		epochs        = flag.Int("epochs", 4, "maintenance epochs to run during the load")
+		policies      = flag.String("policies", "", "per-view refresh policies, \"view=spec,view=spec\" with spec one of manual | on-commit | scheduled:<duration> | streaming")
+		defPolicy     = flag.String("default-policy", "", "refresh policy for views not named in -policies (default on-commit)")
+		sloMaxLag     = flag.Duration("slo-max-lag", 0, "freshness SLO: longest a view may stay stale before its queries degrade (0 = no wall-clock SLO)")
+		sloMaxEpochs  = flag.Int("slo-max-epochs", 0, "freshness SLO: most maintenance epochs a view may stay stale (0 = no epoch SLO)")
+		stream        = flag.Bool("stream", false, "push the delta load through the CDC streaming-ingest path (group commit, backpressure) instead of direct ingestion")
 		drift         = flag.String("drift", "", "after the main load, re-run the load all on this query and consult the advisor")
 		explain       = flag.String("explain", "", "after the load, print this query's plan annotated with predicted and measured block costs (\"all\" = every query)")
 		noAudit       = flag.Bool("no-cost-audit", false, "disable the predicted-vs-actual cost ledger")
@@ -124,6 +131,12 @@ func run() (status int) {
 		return 1
 	}
 
+	policyMap, err := parsePolicies(*policies)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mvserve:", err)
+		return 2
+	}
+
 	opts := mvpp.ServeOptions{
 		Scale: *scale, Seed: *seed,
 		Workers: *workers, QueueDepth: *queue, CacheCapacity: *cache, DeltaBatch: *batch,
@@ -132,6 +145,9 @@ func run() (status int) {
 		TelemetryAddr: *telemetryAddr,
 		Observer:      obsy.Observer,
 		CostAudit:     mvpp.CostAuditOptions{Disable: *noAudit, SkewPredictions: *skew},
+		Policies:      policyMap,
+		DefaultPolicy: *defPolicy,
+		DefaultSLO:    mvpp.FreshnessSLO{MaxLagEpochs: *sloMaxEpochs, MaxLag: *sloMaxLag},
 	}
 	if *chaos > 0 {
 		opts.Injector = mvpp.NewFaultInjector(*seed, mvpp.FaultPlan{
@@ -177,7 +193,7 @@ func run() (status int) {
 
 	tolerant := *chaos > 0
 	pick := func(c, i int) string { return queries[(c+i)%len(queries)] }
-	if err := drive(srv, *clients, *requests, *delta, *epochs, tolerant, pick); err != nil {
+	if err := drive(srv, *clients, *requests, *delta, *epochs, tolerant, *stream, pick); err != nil {
 		fmt.Fprintln(os.Stderr, "mvserve:", err)
 		return 1
 	}
@@ -227,7 +243,7 @@ func run() (status int) {
 			return 2
 		}
 		fmt.Printf("\ndrift: load shifts entirely to %s\n", *drift)
-		if err := drive(srv, *clients, *requests, *delta, 0, tolerant, func(int, int) string { return *drift }); err != nil {
+		if err := drive(srv, *clients, *requests, *delta, 0, tolerant, *stream, func(int, int) string { return *drift }); err != nil {
 			fmt.Fprintln(os.Stderr, "mvserve:", err)
 			return 1
 		}
@@ -256,7 +272,7 @@ func run() (status int) {
 				return 1
 			}
 			fmt.Printf("applied: views now %v\n", srv.Views())
-			if err := drive(srv, *clients, *requests, *delta, *epochs, tolerant, func(int, int) string { return *drift }); err != nil {
+			if err := drive(srv, *clients, *requests, *delta, *epochs, tolerant, *stream, func(int, int) string { return *drift }); err != nil {
 				fmt.Fprintln(os.Stderr, "mvserve:", err)
 				return 1
 			}
@@ -368,12 +384,32 @@ func costReport(srv *mvpp.Server) {
 	}
 }
 
+// parsePolicies parses the -policies flag: "view=spec,view=spec", each
+// spec validated as a refresh policy.
+func parsePolicies(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]string)
+	for _, pair := range strings.Split(s, ",") {
+		view, spec, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || view == "" {
+			return nil, fmt.Errorf("bad -policies entry %q (want view=spec)", pair)
+		}
+		if _, err := mvpp.ParseRefreshPolicy(spec); err != nil {
+			return nil, fmt.Errorf("-policies %s: %v", view, err)
+		}
+		out[view] = spec
+	}
+	return out, nil
+}
+
 // drive runs clients×requests queries through the server with pick
 // choosing each client's next query, while a maintenance goroutine runs
 // the requested number of inject+flush epochs. When tolerant (a chaos
 // run), injected query failures and maintenance failures are counted and
 // reported instead of aborting the load — fault tolerance is the point.
-func drive(srv *mvpp.Server, clients, requests int, delta float64, epochs int, tolerant bool, pick func(c, i int) string) error {
+func drive(srv *mvpp.Server, clients, requests int, delta float64, epochs int, tolerant, stream bool, pick func(c, i int) string) error {
 	ctx := context.Background()
 	errs := make(chan error, clients+1)
 	var failed atomic.Int64
@@ -398,8 +434,18 @@ func drive(srv *mvpp.Server, clients, requests int, delta float64, epochs int, t
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			inject := srv.InjectDeltas
+			if stream {
+				inject = srv.StreamDeltas
+			}
 			for i := 0; i < epochs; i++ {
-				if _, err := srv.InjectDeltas(delta); err != nil {
+				if _, err := inject(delta); err != nil {
+					// A shed streaming batch is backpressure working, not a
+					// failed run: the rows were refused, not lost.
+					if stream && errors.Is(err, mvpp.ErrBackpressure) {
+						fmt.Println("stream: batch shed by backpressure")
+						continue
+					}
 					errs <- fmt.Errorf("maintenance: %w", err)
 					return
 				}
@@ -452,10 +498,26 @@ func report(srv *mvpp.Server) {
 		views = append(views, v)
 	}
 	sort.Strings(views)
+	if s.StreamRows > 0 || s.StreamShed > 0 || s.StreamBlocked > 0 {
+		fmt.Println("  streaming ingest:")
+		fmt.Printf("    rows / group commits:       %d / %d\n", s.StreamRows, s.StreamGroups)
+		fmt.Printf("    blocked / shed:             %d / %d\n", s.StreamBlocked, s.StreamShed)
+		fmt.Printf("    commit lag p50/p95/p99:     %v / %v / %v\n", s.IngestLagP50, s.IngestLagP95, s.IngestLagP99)
+		accepted, committed := srv.IngestWatermarks()
+		fmt.Printf("    watermarks:                 %d accepted, %d committed\n", accepted, committed)
+	}
+	if s.SLOViolations > 0 {
+		fmt.Printf("  freshness SLO violations: %d\n", s.SLOViolations)
+	}
 	fmt.Println("  view staleness:")
 	for _, v := range views {
 		st := stale[v]
-		fmt.Printf("    %-10s epoch %d, %d rows pending (%s)\n", v, st.Epoch, st.PendingRows, st.Strategy)
+		slo := ""
+		if st.SLOViolated {
+			slo = ", SLO VIOLATED"
+		}
+		fmt.Printf("    %-10s %s, policy %s, epoch %d, %d rows pending (%s)%s\n",
+			v, st.Status, st.Policy, st.Epoch, st.PendingRows, st.Strategy, slo)
 	}
 	fmt.Println("  view health:")
 	for _, v := range views {

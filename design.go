@@ -9,6 +9,7 @@ import (
 	"github.com/warehousekit/mvpp/internal/core"
 	"github.com/warehousekit/mvpp/internal/cost"
 	"github.com/warehousekit/mvpp/internal/obs"
+	"github.com/warehousekit/mvpp/internal/serve"
 	"github.com/warehousekit/mvpp/internal/sqlparse"
 	"github.com/warehousekit/mvpp/internal/viz"
 )
@@ -28,6 +29,9 @@ type Design struct {
 	// obsv is the designer's observer, carried over so Simulate can report
 	// engine I/O. Nil when observability is off.
 	obsv obs.Observer
+	// policies maps view name → refresh-policy spec set via
+	// SetRefreshPolicy; views not listed take the serve-time default.
+	policies map[string]string
 }
 
 // View describes one recommended materialized view.
@@ -46,8 +50,41 @@ type View struct {
 	// "recompute" (the paper's policy) or "incremental" when
 	// Options.Delta made delta propagation the cheaper plan.
 	MaintenanceStrategy string
+	// RefreshPolicy is when the view refreshes: "manual", "on-commit",
+	// "scheduled:<interval>", or "streaming". Set with SetRefreshPolicy;
+	// defaults to "on-commit".
+	RefreshPolicy string
 	// UsedBy lists the queries answered (fully or partly) from the view.
 	UsedBy []string
+}
+
+// SetRefreshPolicy tags one of the design's materialized views with a
+// refresh policy ("manual", "on-commit", "scheduled:<duration>",
+// "streaming"). The policy travels with the design into NewServer, where
+// ServeOptions.Policies can still override it per view.
+func (d *Design) SetRefreshPolicy(view, policy string) error {
+	if _, err := serve.ParsePolicy(policy); err != nil {
+		return fmt.Errorf("mvpp: %w", err)
+	}
+	for _, v := range d.mvpp.Vertices {
+		if v.Name == view && d.selection.Materialized[v.ID] {
+			if d.policies == nil {
+				d.policies = make(map[string]string)
+			}
+			d.policies[view] = policy
+			return nil
+		}
+	}
+	return fmt.Errorf("mvpp: %q is not one of the design's materialized views", view)
+}
+
+// RefreshPolicyOf returns the design-time refresh policy of a view —
+// "on-commit" unless SetRefreshPolicy chose otherwise.
+func (d *Design) RefreshPolicyOf(view string) string {
+	if p, ok := d.policies[view]; ok && p != "" {
+		return p
+	}
+	return "on-commit"
 }
 
 // Views returns the recommended materialized views, in MVPP order.
@@ -65,6 +102,7 @@ func (d *Design) Views() []View {
 			Blocks:              v.Est.Blocks,
 			MaintenanceCost:     d.selection.Costs.PerView[v.Name],
 			MaintenanceStrategy: d.selection.Plans[v.Name].String(),
+			RefreshPolicy:       d.RefreshPolicyOf(v.Name),
 			UsedBy:              d.mvpp.QueriesUsing(v),
 		})
 	}
@@ -234,6 +272,9 @@ func (d *Design) Report() string {
 			strategy := ""
 			if v.MaintenanceStrategy == core.MaintIncremental.String() {
 				strategy = "; maintained incrementally"
+			}
+			if v.RefreshPolicy != "on-commit" {
+				strategy += "; refresh " + v.RefreshPolicy
 			}
 			b.WriteString(fmt.Sprintf("  %-10s %-40s ~%s rows, %s blocks; used by %s%s\n",
 				v.Name, v.Operation, viz.FormatCost(v.Rows), viz.FormatCost(v.Blocks),

@@ -1,0 +1,200 @@
+// Mixed refresh policies: one warehouse, a spectrum of refresh
+// disciplines. The paper's pipeline picks the views; this example then
+// tags them with per-view refresh policies — a manual view refreshed only
+// on demand and a nightly-style scheduled summary, with any further views
+// staying on-commit — while deltas arrive both directly and through the
+// CDC streaming-ingest path (bounded buffer, group commit, monotone
+// watermarks). A freshness SLO shows the degrade/recover cycle: once the
+// manual view is stale past the SLO its queries fall back to base
+// relations (always fresh, never wrong), and an explicit refresh brings
+// it back to VALID.
+//
+//	go run ./examples/mixed_policies
+package main
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	mvpp "github.com/warehousekit/mvpp"
+	"github.com/warehousekit/mvpp/internal/cli"
+)
+
+func paperDesigner() (*mvpp.Designer, error) {
+	cat := mvpp.NewCatalog()
+	add := func(name string, cols []mvpp.Column, stats mvpp.TableStats) error {
+		return cat.AddTable(name, cols, stats)
+	}
+	steps := []func() error{
+		func() error {
+			return add("Product", []mvpp.Column{
+				{Name: "Pid", Type: mvpp.Int}, {Name: "name", Type: mvpp.String}, {Name: "Did", Type: mvpp.Int},
+			}, mvpp.TableStats{Rows: 30000, Blocks: 3000, UpdateFrequency: 1,
+				DistinctValues: map[string]float64{"Pid": 30000, "Did": 5000}})
+		},
+		func() error {
+			return add("Division", []mvpp.Column{
+				{Name: "Did", Type: mvpp.Int}, {Name: "name", Type: mvpp.String}, {Name: "city", Type: mvpp.String},
+			}, mvpp.TableStats{Rows: 5000, Blocks: 500, UpdateFrequency: 1,
+				DistinctValues: map[string]float64{"Did": 5000, "city": 50}})
+		},
+		func() error {
+			return add("Order", []mvpp.Column{
+				{Name: "Pid", Type: mvpp.Int}, {Name: "Cid", Type: mvpp.Int},
+				{Name: "quantity", Type: mvpp.Int}, {Name: "date", Type: mvpp.Date},
+			}, mvpp.TableStats{Rows: 50000, Blocks: 6000, UpdateFrequency: 1,
+				DistinctValues: map[string]float64{"Pid": 30000, "Cid": 20000},
+				IntRanges:      map[string][2]int64{"quantity": {1, 200}}})
+		},
+		func() error {
+			return add("Customer", []mvpp.Column{
+				{Name: "Cid", Type: mvpp.Int}, {Name: "name", Type: mvpp.String}, {Name: "city", Type: mvpp.String},
+			}, mvpp.TableStats{Rows: 20000, Blocks: 2000, UpdateFrequency: 1,
+				DistinctValues: map[string]float64{"Cid": 20000, "city": 50}})
+		},
+		func() error { return cat.PinSelectivity(`city = 'LA'`, 0.02, "Division") },
+		func() error { return cat.PinSelectivity(`date > 7/1/96`, 0.5, "Order") },
+		func() error { return cat.PinSelectivity(`quantity > 100`, 0.5, "Order") },
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			return nil, err
+		}
+	}
+
+	d := mvpp.NewDesigner(cat, mvpp.Options{})
+	queries := []struct {
+		name string
+		sql  string
+		freq float64
+	}{
+		{"Q1", `SELECT Product.name FROM Product, Division WHERE Division.city = 'LA' AND Product.Did = Division.Did`, 10},
+		{"Q3", `SELECT Customer.name, Product.name, quantity FROM Product, Division, Order, Customer WHERE Division.city = 'LA' AND Product.Did = Division.Did AND Product.Pid = Order.Pid AND Order.Cid = Customer.Cid AND date > 7/1/96`, 0.8},
+		{"Q4", `SELECT Customer.city, date FROM Order, Customer WHERE quantity > 100 AND Order.Cid = Customer.Cid`, 5},
+	}
+	for _, q := range queries {
+		if err := d.AddQuery(q.name, q.sql, q.freq); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+func printViews(srv *mvpp.Server) {
+	stale := srv.Staleness()
+	names := make([]string, 0, len(stale))
+	for name := range stale {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st := stale[name]
+		slo := ""
+		if st.SLOViolated {
+			slo = "  SLO VIOLATED"
+		}
+		fmt.Printf("  %-10s %-8s policy %-14s lag %3d rows, stale %d epochs%s\n",
+			name, st.Status, st.Policy, st.LagRows, st.StaleEpochs, slo)
+	}
+}
+
+func main() {
+	logger := cli.DefaultLogger()
+	designer, err := paperDesigner()
+	if err != nil {
+		cli.Fatal(logger, "building the paper workload failed", err)
+	}
+	design, err := designer.Design()
+	if err != nil {
+		cli.Fatal(logger, "design failed", err)
+	}
+
+	// Spread the refresh-policy spectrum over the design's views: sorted
+	// names cycle through manual, scheduled, streaming; everything else
+	// stays on-commit (the default).
+	views := design.Views()
+	names := make([]string, 0, len(views))
+	for _, v := range views {
+		names = append(names, v.Name)
+	}
+	sort.Strings(names)
+	policies := map[string]string{}
+	cycle := []string{"manual", "scheduled:200ms", "streaming"}
+	for i, name := range names {
+		if i < len(cycle) {
+			policies[name] = cycle[i]
+			if err := design.SetRefreshPolicy(name, cycle[i]); err != nil {
+				cli.Fatal(logger, "setting refresh policy failed", err)
+			}
+		}
+	}
+
+	srv, err := design.NewServer(mvpp.ServeOptions{
+		Scale: 0.02, Seed: 17, Workers: 4,
+		// Any view stale for more than two landed epochs violates its SLO.
+		DefaultSLO: mvpp.FreshnessSLO{MaxLagEpochs: 2},
+	})
+	if err != nil {
+		cli.Fatal(logger, "starting the server failed", err)
+	}
+	defer srv.Close()
+
+	fmt.Printf("serving from views %v with policies %v\n\n", srv.Views(), policies)
+	fmt.Println("before any deltas (everything VALID):")
+	printViews(srv)
+
+	// Land a few epochs of deltas: on-commit and streaming views refresh
+	// every epoch, the scheduled view refreshes when its interval elapses,
+	// the manual view only accrues lag.
+	ctx := context.Background()
+	for epoch := 0; epoch < 4; epoch++ {
+		if _, err := srv.InjectDeltas(0.02); err != nil {
+			cli.Fatal(logger, "delta injection failed", err)
+		}
+		if _, err := srv.StreamDeltas(0.01); err != nil {
+			cli.Fatal(logger, "streaming ingestion failed", err)
+		}
+		if err := srv.Flush(); err != nil {
+			cli.Fatal(logger, "flush failed", err)
+		}
+	}
+	fmt.Println("\nafter 4 delta epochs (manual lags, scheduled catches up on its interval):")
+	printViews(srv)
+	accepted, committed := srv.IngestWatermarks()
+	st := srv.Stats()
+	fmt.Printf("\nstreaming ingest: %d rows in %d group commits, watermarks %d/%d, commit lag p99 %v\n",
+		st.StreamRows, st.StreamGroups, accepted, committed, st.IngestLagP99)
+
+	// The manual view has now been stale past its SLO: its queries degrade
+	// to base relations — fresh answers at base-table cost.
+	time.Sleep(250 * time.Millisecond) // let the scheduled interval elapse
+	if err := srv.Flush(); err != nil {
+		cli.Fatal(logger, "flush failed", err)
+	}
+	var degradedQuery string
+	for _, q := range design.Queries() {
+		res, err := srv.Query(ctx, q)
+		if err != nil {
+			cli.Fatal(logger, "query failed", err)
+		}
+		if res.Degraded {
+			degradedQuery = q
+		}
+	}
+	fmt.Println("\nthe manual view breaches its SLO (stale > 2 epochs):")
+	printViews(srv)
+	if degradedQuery != "" {
+		fmt.Printf("  %s degraded to base relations while the SLO is violated\n", degradedQuery)
+	}
+
+	// RefreshView is the manual policy's refresh button: the view catches
+	// up, the SLO episode ends, and the status returns to VALID.
+	if err := srv.RefreshAllViews(); err != nil {
+		cli.Fatal(logger, "manual refresh failed", err)
+	}
+	fmt.Println("\nafter RefreshAllViews (the manual view recovers):")
+	printViews(srv)
+	fmt.Printf("\nSLO violations this run: %d\n", srv.Stats().SLOViolations)
+}

@@ -42,6 +42,10 @@ type ExportVertex struct {
 	// MaintenanceStrategy is "recompute" or "incremental" for
 	// materialized vertices; empty otherwise.
 	MaintenanceStrategy string `json:"maintenanceStrategy,omitempty"`
+	// RefreshPolicy is the design-time refresh policy ("manual",
+	// "on-commit", "scheduled:<interval>", "streaming") for materialized
+	// vertices; empty otherwise.
+	RefreshPolicy string `json:"refreshPolicy,omitempty"`
 }
 
 // ExportCosts is the design's §4.1 cost breakdown.
@@ -85,6 +89,7 @@ func (d *Design) Export() *ExportJSON {
 		}
 		if ev.Materialized {
 			ev.MaintenanceStrategy = d.selection.Plans[v.Name].String()
+			ev.RefreshPolicy = d.RefreshPolicyOf(v.Name)
 		}
 		switch {
 		case v.IsLeaf():

@@ -21,6 +21,19 @@ type DeltaRecord struct {
 	Table string
 	// Rows are the inserted rows, schema-width as ingested.
 	Rows [][]algebra.Value
+	// Source labels the ingestion path that journaled the batch ("" for
+	// direct ingestion, "stream" for the CDC change feed). Replay does not
+	// interpret it; it makes a replayed journal attributable.
+	Source string
+}
+
+// SourceAppender is the optional journal extension for source-tagged
+// appends. Both built-in journals implement it; a custom DeltaJournal
+// without it simply journals untagged records.
+type SourceAppender interface {
+	// AppendSource journals one batch tagged with its ingestion source and
+	// returns its LSN.
+	AppendSource(table, source string, rows [][]algebra.Value) (uint64, error)
 }
 
 // DeltaJournal is a write-ahead log for base-table deltas: the serving
@@ -70,11 +83,16 @@ func NewMemJournal() *MemJournal { return &MemJournal{nextLSN: 1} }
 // Append journals one batch. The rows are copied shallowly (row slices are
 // shared; the serving layer never mutates ingested rows).
 func (j *MemJournal) Append(table string, rows [][]algebra.Value) (uint64, error) {
+	return j.AppendSource(table, "", rows)
+}
+
+// AppendSource journals one batch tagged with its ingestion source.
+func (j *MemJournal) AppendSource(table, source string, rows [][]algebra.Value) (uint64, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	lsn := j.nextLSN
 	j.nextLSN++
-	j.records = append(j.records, DeltaRecord{LSN: lsn, Table: table, Rows: append([][]algebra.Value(nil), rows...)})
+	j.records = append(j.records, DeltaRecord{LSN: lsn, Table: table, Rows: append([][]algebra.Value(nil), rows...), Source: source})
 	return lsn, nil
 }
 
@@ -144,6 +162,7 @@ type journalLine struct {
 	T     string          `json:"t"`
 	LSN   uint64          `json:"lsn"`
 	Table string          `json:"table,omitempty"`
+	Src   string          `json:"src,omitempty"`
 	Rows  [][]journaleVal `json:"rows,omitempty"`
 }
 
@@ -217,7 +236,7 @@ func scanJournalFile(f *os.File) (journalScan, error) {
 			for i, r := range line.Rows {
 				rows[i] = decodeRow(r)
 			}
-			s.records = append(s.records, DeltaRecord{LSN: line.LSN, Table: line.Table, Rows: rows})
+			s.records = append(s.records, DeltaRecord{LSN: line.LSN, Table: line.Table, Rows: rows, Source: line.Src})
 		case "c":
 			if line.LSN > s.committed {
 				s.committed = line.LSN
@@ -304,6 +323,11 @@ func (j *FileJournal) appendLine(line journalLine) error {
 
 // Append journals one batch durably (write + fsync) before returning.
 func (j *FileJournal) Append(table string, rows [][]algebra.Value) (uint64, error) {
+	return j.AppendSource(table, "", rows)
+}
+
+// AppendSource journals one batch durably, tagged with its ingestion source.
+func (j *FileJournal) AppendSource(table, source string, rows [][]algebra.Value) (uint64, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	lsn := j.nextLSN
@@ -311,11 +335,11 @@ func (j *FileJournal) Append(table string, rows [][]algebra.Value) (uint64, erro
 	for i, r := range rows {
 		enc[i] = encodeRow(r)
 	}
-	if err := j.appendLine(journalLine{T: "d", LSN: lsn, Table: table, Rows: enc}); err != nil {
+	if err := j.appendLine(journalLine{T: "d", LSN: lsn, Table: table, Src: source, Rows: enc}); err != nil {
 		return 0, err
 	}
 	j.nextLSN++
-	j.pending = append(j.pending, DeltaRecord{LSN: lsn, Table: table, Rows: rows})
+	j.pending = append(j.pending, DeltaRecord{LSN: lsn, Table: table, Rows: rows, Source: source})
 	return lsn, nil
 }
 
@@ -419,7 +443,7 @@ func (j *FileJournal) Truncate(lsn uint64) error {
 		for i, row := range r.Rows {
 			enc[i] = encodeRow(row)
 		}
-		werr = writeLine(journalLine{T: "d", LSN: r.LSN, Table: r.Table, Rows: enc})
+		werr = writeLine(journalLine{T: "d", LSN: r.LSN, Table: r.Table, Src: r.Source, Rows: enc})
 	}
 	if werr == nil {
 		werr = tmp.Sync()

@@ -112,9 +112,17 @@ const (
 	// view selection with recalibrated weights (attrs: views, applied,
 	// current_total, proposed_total).
 	EvServeRecalibrated EventKind = "serve.recalibrated"
+	// EvServeIngest fires on CDC streaming-ingest activity (attrs: action —
+	// "group_commit" with rows/entries/committed_seq, or "shed" with
+	// table/rows when backpressure turned a caller away).
+	EvServeIngest EventKind = "serve.ingest"
+	// EvServeSLO fires when a view's freshness SLO flips state (attrs:
+	// view, action — "violated" or "recovered" — lag_rows, stale_epochs).
+	EvServeSLO EventKind = "serve.slo"
 	// EvSnapshotCheckpoint fires once per durable snapshot checkpoint
 	// (attrs: generation, epoch, watermark, tables, views, bytes,
-	// aged_out).
+	// aged_out) — and, with action "declined", when a trigger found
+	// unlanded deltas and backed off.
 	EvSnapshotCheckpoint EventKind = "snapshot.checkpoint"
 	// EvSnapshotRecovery fires once per server boot that consulted the
 	// snapshot store (attrs: generation, cold, restored, recomputed,
@@ -201,6 +209,23 @@ const (
 	CtrCostDrifts = "costaudit.drifts"
 	// CtrServeRecalibrations counts drift-triggered advisor re-selections.
 	CtrServeRecalibrations = "serve.recalibrations"
+	// CtrServeStreamRows counts rows group-committed through the CDC
+	// streaming ingest path; CtrServeStreamGroups counts the group commits.
+	CtrServeStreamRows   = "serve.stream_rows"
+	CtrServeStreamGroups = "serve.stream_groups"
+	// CtrServeStreamShed counts StreamIngest calls shed with the typed
+	// backpressure error after blocking past the deadline;
+	// CtrServeStreamBlocked counts calls that had to block on the full feed
+	// buffer at all.
+	CtrServeStreamShed    = "serve.stream_shed"
+	CtrServeStreamBlocked = "serve.stream_blocked"
+	// CtrServeSLOViolations counts freshness-SLO violation episodes (one per
+	// view entering the violated state).
+	CtrServeSLOViolations = "serve.slo_violations"
+	// CtrServeCheckpointDeclined counts snapshot checkpoints declined
+	// mid-epoch (unlanded deltas); a climbing value means the warehouse
+	// never reaches a landed state between triggers.
+	CtrServeCheckpointDeclined = "serve.checkpoint_declined"
 	// CtrSnapshotCheckpoints counts durable snapshot checkpoints taken.
 	CtrSnapshotCheckpoints = "snapshot.checkpoints"
 	// CtrSnapshotCorrupt counts snapshot artifacts (segments, manifests)
@@ -221,6 +246,9 @@ const (
 	// GaugeServeUnhealthyViews is the number of views whose circuit breaker
 	// is currently not closed.
 	GaugeServeUnhealthyViews = "serve.unhealthy_views"
+	// GaugeServeIngestBufferRows is the CDC change feed's current occupancy
+	// (accepted rows awaiting their group commit).
+	GaugeServeIngestBufferRows = "serve.ingest_buffer_rows"
 	// GaugeSnapshotBytes is the byte size of the newest snapshot generation.
 	GaugeSnapshotBytes = "snapshot.bytes"
 	// GaugeSnapshotGeneration is the newest snapshot generation number.

@@ -24,6 +24,11 @@ type Advice struct {
 	// observed frequencies (query processing + view maintenance, in block
 	// accesses).
 	CurrentTotal, ProposedTotal float64
+	// SLOViolators lists currently maintained views whose freshness SLO is
+	// breached at advice time (sorted) — chronic violators are re-selection
+	// candidates: a view the scheduler cannot keep fresh under its policy
+	// may not be worth materializing at all.
+	SLOViolators []string
 
 	selection *core.SelectionResult
 }
@@ -111,6 +116,12 @@ func (s *Server) adviseWith(observed map[string]float64) (*Advice, error) {
 			a.Drop = append(a.Drop, name)
 		}
 	}
+	for name, st := range s.Staleness() {
+		if st.SLOViolated {
+			a.SLOViolators = append(a.SLOViolators, name)
+		}
+	}
+	sort.Strings(a.SLOViolators)
 
 	obs.Emit(s.obsv, obs.EvServeAdvice,
 		obs.Int("add", int64(len(a.Add))),
@@ -174,17 +185,28 @@ func (s *Server) ApplyAdvice(a *Advice) error {
 			return err
 		}
 		strategy := a.selection.Plans[name]
-		views[name] = &viewState{name: name, strategy: strategy, rels: rels, epoch: epoch}
+		views[name] = &viewState{
+			name: name, strategy: strategy, rels: rels, epoch: epoch,
+			policy: sc.defaultPolicy.orDefault(RefreshPolicy{}),
+			slo:    sc.defaultSLO,
+		}
 	}
 	sc.mu.Lock()
-	// Carry over pending counts and refresh times for kept views; freshly
-	// materialized views start clean (they were computed from the current
-	// base state).
+	// Carry over pending counts, refresh times, and the refresh-policy
+	// plane's state (policy, SLO, stale episode, violation history) for kept
+	// views; freshly materialized views start clean under the defaults (they
+	// were computed from the current base state).
 	for name, vs := range views {
 		if old, ok := sc.views[name]; ok {
 			vs.pending = old.pending
 			vs.lastRefresh = old.lastRefresh
 			vs.epoch = old.epoch
+			vs.policy = old.policy
+			vs.slo = old.slo
+			vs.staleSince = old.staleSince
+			vs.staleEpochs = old.staleEpochs
+			vs.sloViolated = old.sloViolated
+			vs.sloViolations = old.sloViolations
 		}
 	}
 	sc.views = views

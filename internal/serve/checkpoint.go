@@ -120,7 +120,16 @@ func (s *Server) checkpointLocked() (*snapshot.CheckpointResult, error) {
 	if s.enginePendingDeltas() {
 		s.snapMu.Lock()
 		s.snapState.skipped++
+		declined := s.snapState.skipped
 		s.snapMu.Unlock()
+		// A declined checkpoint must not be silent: repeated declines mean
+		// the warehouse never reaches a landed state between triggers (a
+		// stuck epoch), and /metrics should show it.
+		s.ctrCheckpointDeclined.Inc()
+		obs.Emit(s.obsv, obs.EvSnapshotCheckpoint,
+			obs.String("action", "declined"),
+			obs.String("reason", "unlanded deltas"),
+			obs.Int("declines", declined))
 		return nil, nil
 	}
 	sc := s.sched

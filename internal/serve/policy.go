@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// PolicyKind names one point on the refresh-policy spectrum. The zero value
+// is "unset" and resolves to the server's default policy (on-commit unless
+// configured otherwise), so a zero ViewSpec keeps today's behavior.
+type PolicyKind uint8
+
+const (
+	policyUnset PolicyKind = iota
+	// PolicyOnCommit refreshes the view in every maintenance epoch that
+	// touches its base relations — the legacy behavior and the default.
+	PolicyOnCommit
+	// PolicyManual never refreshes the view automatically: deltas fold into
+	// the base tables and the view accrues lag until RefreshView is called.
+	PolicyManual
+	// PolicyScheduled refreshes the view only when its interval has elapsed
+	// since the last refresh ("nightly summary tables"); between refreshes
+	// the view accrues lag like a manual one.
+	PolicyScheduled
+	// PolicyStreaming refreshes the view in every epoch, like on-commit, but
+	// marks it as fed by the CDC streaming path (StreamIngest): group-committed
+	// delta batches with monotone watermarks and bounded-buffer backpressure.
+	PolicyStreaming
+)
+
+// RefreshPolicy is one view's refresh policy: the kind plus, for scheduled
+// views, the refresh interval.
+type RefreshPolicy struct {
+	Kind PolicyKind
+	// Every is the scheduled refresh interval; ignored for other kinds.
+	Every time.Duration
+}
+
+// Convenience constructors for the four policies.
+func OnCommitPolicy() RefreshPolicy  { return RefreshPolicy{Kind: PolicyOnCommit} }
+func ManualPolicy() RefreshPolicy    { return RefreshPolicy{Kind: PolicyManual} }
+func StreamingPolicy() RefreshPolicy { return RefreshPolicy{Kind: PolicyStreaming} }
+
+// ScheduledPolicy refreshes every d (d <= 0 falls back to on-commit).
+func ScheduledPolicy(d time.Duration) RefreshPolicy {
+	if d <= 0 {
+		return OnCommitPolicy()
+	}
+	return RefreshPolicy{Kind: PolicyScheduled, Every: d}
+}
+
+// String renders the policy in the form ParsePolicy accepts.
+func (p RefreshPolicy) String() string {
+	switch p.Kind {
+	case PolicyManual:
+		return "manual"
+	case PolicyScheduled:
+		return fmt.Sprintf("scheduled:%s", p.Every)
+	case PolicyStreaming:
+		return "streaming"
+	default:
+		return "on-commit"
+	}
+}
+
+// orDefault resolves an unset policy against the configured default (and
+// an unset default against on-commit).
+func (p RefreshPolicy) orDefault(d RefreshPolicy) RefreshPolicy {
+	if p.Kind != policyUnset {
+		return p
+	}
+	if d.Kind != policyUnset {
+		return d
+	}
+	return OnCommitPolicy()
+}
+
+// ParsePolicy parses "manual", "on-commit", "streaming", or
+// "scheduled:<duration>" (e.g. "scheduled:30s", "scheduled:1h") into a
+// RefreshPolicy.
+func ParsePolicy(s string) (RefreshPolicy, error) {
+	switch strings.TrimSpace(s) {
+	case "manual":
+		return ManualPolicy(), nil
+	case "on-commit", "oncommit", "":
+		return OnCommitPolicy(), nil
+	case "streaming":
+		return StreamingPolicy(), nil
+	}
+	if rest, ok := strings.CutPrefix(strings.TrimSpace(s), "scheduled:"); ok {
+		d, err := time.ParseDuration(rest)
+		if err != nil {
+			return RefreshPolicy{}, fmt.Errorf("serve: bad scheduled interval %q: %v", rest, err)
+		}
+		if d <= 0 {
+			return RefreshPolicy{}, fmt.Errorf("serve: scheduled interval must be positive, got %q", rest)
+		}
+		return ScheduledPolicy(d), nil
+	}
+	return RefreshPolicy{}, fmt.Errorf("serve: unknown refresh policy %q (want manual | on-commit | scheduled:<duration> | streaming)", s)
+}
+
+// ViewStatus is one view's lifecycle position, driven by refresh outcomes:
+//
+//	VALID    the stored rows reflect every landed delta
+//	STALE    landed deltas the view does not reflect (deferred policy,
+//	         failed refresh, or a violated freshness SLO)
+//	BUILDING a refresh is running right now
+//	ERROR    the circuit breaker is not closed (refreshes keep failing)
+//
+// STALE and ERROR views with breached SLOs or open breakers degrade their
+// queries to base-relation plans — always correct, flagged Degraded.
+type ViewStatus uint8
+
+const (
+	StatusValid ViewStatus = iota
+	StatusStale
+	StatusBuilding
+	StatusError
+)
+
+// String renders the status in the conventional upper-case form.
+func (s ViewStatus) String() string {
+	switch s {
+	case StatusStale:
+		return "STALE"
+	case StatusBuilding:
+		return "BUILDING"
+	case StatusError:
+		return "ERROR"
+	default:
+		return "VALID"
+	}
+}
+
+// ViewStatuses lists every status, for one-hot metric exposition.
+var ViewStatuses = []ViewStatus{StatusValid, StatusStale, StatusBuilding, StatusError}
+
+// FreshnessSLO bounds how far one view may lag the landed deltas before
+// its queries degrade to base-relation plans. The zero value means no SLO.
+// A violation requires actual unreflected work (lag rows): a view that is
+// caught up never violates, no matter how long ago it refreshed.
+type FreshnessSLO struct {
+	// MaxLagEpochs allows the view to stay behind for at most that many
+	// consecutive maintenance epochs (0 disables the epoch bound).
+	MaxLagEpochs int
+	// MaxLag allows the view to stay behind for at most that wall-clock
+	// duration (0 disables the wall-clock bound).
+	MaxLag time.Duration
+}
+
+// zero reports whether the SLO is unset.
+func (s FreshnessSLO) zero() bool { return s.MaxLagEpochs == 0 && s.MaxLag == 0 }
+
+// orDefault resolves an unset SLO against the configured default.
+func (s FreshnessSLO) orDefault(d FreshnessSLO) FreshnessSLO {
+	if s.zero() {
+		return d
+	}
+	return s
+}

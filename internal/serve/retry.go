@@ -132,6 +132,7 @@ type ViewHealth struct {
 // Health reports the fault-tolerance status of every maintained view.
 func (s *Server) Health() map[string]ViewHealth {
 	sc := s.sched
+	now := time.Now()
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
 	out := make(map[string]ViewHealth, len(sc.views))
@@ -140,7 +141,7 @@ func (s *Server) Health() map[string]ViewHealth {
 			State:               vs.state,
 			ConsecutiveFailures: vs.failures,
 			LagRows:             vs.lag,
-			Degrading:           vs.degrading(sc.breaker),
+			Degrading:           vs.degrading(sc.breaker, now),
 			LastError:           vs.lastErr,
 		}
 	}

@@ -44,6 +44,18 @@ type Staleness struct {
 	// LastRefresh is when the scheduler last refreshed the view (zero if
 	// never).
 	LastRefresh time.Time
+	// Policy is the view's refresh policy in ParsePolicy form ("on-commit",
+	// "manual", "scheduled:<interval>", "streaming").
+	Policy string
+	// Status is the view's lifecycle position: VALID, STALE, BUILDING, or
+	// ERROR (see ViewStatus).
+	Status string
+	// SLOViolated reports whether the view's freshness SLO is breached right
+	// now; SLOViolations counts distinct violation episodes since serving
+	// started; StaleEpochs counts consecutive epochs the view ended lagging.
+	SLOViolated   bool
+	SLOViolations int64
+	StaleEpochs   int
 }
 
 // viewState is the scheduler's registry entry for one maintained view.
@@ -55,12 +67,18 @@ type viewState struct {
 	// gained deltas.
 	rels map[string]bool
 
+	// policy decides *when* the scheduler refreshes the view; slo bounds how
+	// far it may lag before queries degrade to base-relation plans.
+	policy RefreshPolicy
+	slo    FreshnessSLO
+
 	epoch       uint64
 	lastRefresh time.Time
 	pending     int
 
 	// lag counts rows already applied to the view's base relations that
-	// the stored view does not reflect (a refresh failed after the apply);
+	// the stored view does not reflect (a refresh failed after the apply,
+	// or the policy deferred it);
 	// failures/state/openedAt/lastErr are the circuit breaker: failures
 	// counts consecutive persistent refresh failures, state the breaker
 	// position, openedAt when it last opened.
@@ -69,12 +87,76 @@ type viewState struct {
 	state    BreakerState
 	openedAt time.Time
 	lastErr  string
+
+	// building marks an in-flight refresh (set at epoch dispatch, cleared
+	// when the epoch settles); forceRefresh is RefreshView's one-shot
+	// override of policy, schedule, and breaker cooldown.
+	building     bool
+	forceRefresh bool
+
+	// staleSince is when the view first fell behind (zero while caught up);
+	// staleEpochs counts consecutive epochs ending with lag; sloViolated
+	// latches the current SLO breach so each episode is counted once in
+	// sloViolations.
+	staleSince    time.Time
+	staleEpochs   int
+	sloViolated   bool
+	sloViolations int64
+}
+
+// policyDue reports whether the view's policy lets this epoch refresh it.
+// Manual views are never due (only RefreshView forces them); scheduled views
+// are due once the interval since their last refresh elapsed; on-commit and
+// streaming views are always due. Caller holds the scheduler mutex.
+func (vs *viewState) policyDue(now time.Time) bool {
+	switch vs.policy.Kind {
+	case PolicyManual:
+		return false
+	case PolicyScheduled:
+		return vs.lastRefresh.IsZero() || now.Sub(vs.lastRefresh) >= vs.policy.Every
+	default:
+		return true
+	}
+}
+
+// sloBreached reports whether the view's freshness SLO is violated right
+// now. A caught-up view (lag 0) never breaches, no matter how long ago it
+// refreshed. Caller holds the scheduler mutex.
+func (vs *viewState) sloBreached(now time.Time) bool {
+	if vs.slo.zero() || vs.lag == 0 {
+		return false
+	}
+	if vs.slo.MaxLagEpochs > 0 && vs.staleEpochs > vs.slo.MaxLagEpochs {
+		return true
+	}
+	if vs.slo.MaxLag > 0 && !vs.staleSince.IsZero() && now.Sub(vs.staleSince) > vs.slo.MaxLag {
+		return true
+	}
+	return false
+}
+
+// statusLocked derives the view's lifecycle status. Caller holds the
+// scheduler mutex.
+func (vs *viewState) statusLocked(now time.Time) ViewStatus {
+	switch {
+	case vs.building:
+		return StatusBuilding
+	case vs.state != BreakerClosed:
+		return StatusError
+	case vs.lag > 0 || vs.sloBreached(now):
+		return StatusStale
+	default:
+		return StatusValid
+	}
 }
 
 // degrading reports whether queries over the view must be answered from
-// base relations right now. Caller holds the scheduler mutex.
-func (vs *viewState) degrading(p BreakerPolicy) bool {
-	return vs.state != BreakerClosed || (p.StalenessBound > 0 && vs.lag > p.StalenessBound)
+// base relations right now: open breaker, staleness bound exceeded, or a
+// breached freshness SLO. Caller holds the scheduler mutex.
+func (vs *viewState) degrading(p BreakerPolicy, now time.Time) bool {
+	return vs.state != BreakerClosed ||
+		(p.StalenessBound > 0 && vs.lag > p.StalenessBound) ||
+		vs.sloBreached(now)
 }
 
 // scheduler buffers ingested delta rows and turns them into maintenance
@@ -87,6 +169,10 @@ type scheduler struct {
 	kick    chan struct{}
 	breaker BreakerPolicy
 	journal engine.DeltaJournal
+	// defaultPolicy/defaultSLO resolve unset per-view settings, both at
+	// construction and for views added later by advice swaps.
+	defaultPolicy RefreshPolicy
+	defaultSLO    FreshnessSLO
 
 	ticker *time.Ticker
 
@@ -111,13 +197,15 @@ func newScheduler(s *Server, cfg Config) (*scheduler, error) {
 		batch = DefaultDeltaBatch
 	}
 	sc := &scheduler{
-		s:       s,
-		batch:   batch,
-		kick:    make(chan struct{}, 1),
-		breaker: cfg.Breaker.withDefaults(),
-		journal: cfg.Journal,
-		buf:     make(map[string][][]algebra.Value),
-		views:   make(map[string]*viewState, len(cfg.Views)),
+		s:             s,
+		batch:         batch,
+		kick:          make(chan struct{}, 1),
+		breaker:       cfg.Breaker.withDefaults(),
+		journal:       cfg.Journal,
+		buf:           make(map[string][][]algebra.Value),
+		views:         make(map[string]*viewState, len(cfg.Views)),
+		defaultPolicy: cfg.DefaultPolicy,
+		defaultSLO:    cfg.DefaultSLO,
 	}
 	if cfg.RefreshInterval > 0 {
 		sc.ticker = time.NewTicker(cfg.RefreshInterval)
@@ -131,7 +219,13 @@ func newScheduler(s *Server, cfg Config) (*scheduler, error) {
 		if err != nil {
 			return nil, err
 		}
-		sc.views[vs.Name] = &viewState{name: vs.Name, strategy: vs.Strategy, rels: rels}
+		sc.views[vs.Name] = &viewState{
+			name:     vs.Name,
+			strategy: vs.Strategy,
+			rels:     rels,
+			policy:   vs.Policy.orDefault(cfg.DefaultPolicy),
+			slo:      vs.SLO.orDefault(cfg.DefaultSLO),
+		}
 	}
 	return sc, nil
 }
@@ -202,10 +296,13 @@ func (sc *scheduler) stopTicker() {
 // buffered; a journaling failure refuses the ingestion entirely, so every
 // accepted batch is recoverable.
 func (s *Server) Ingest(table string, rows ...[]algebra.Value) error {
-	return s.ingest(table, rows, true)
+	return s.ingest(table, rows, true, "")
 }
 
-func (s *Server) ingest(table string, rows [][]algebra.Value, journal bool) error {
+// ingest journals (when asked) and buffers delta rows. source tags the
+// journal record with the ingestion path ("" for direct Ingest, "stream"
+// for the CDC change feed) so a replayed journal shows where rows entered.
+func (s *Server) ingest(table string, rows [][]algebra.Value, journal bool, source string) error {
 	select {
 	case <-s.closed:
 		return ErrClosed
@@ -226,7 +323,13 @@ func (s *Server) ingest(table string, rows [][]algebra.Value, journal bool) erro
 	if journal && sc.journal != nil {
 		// Write-ahead under the buffer lock, so the commit watermark taken
 		// by an epoch always covers exactly the rows it stages.
-		lsn, err := sc.journal.Append(table, rows)
+		var lsn uint64
+		var err error
+		if sa, ok := sc.journal.(engine.SourceAppender); ok && source != "" {
+			lsn, err = sa.AppendSource(table, source, rows)
+		} else {
+			lsn, err = sc.journal.Append(table, rows)
+		}
 		if err != nil {
 			sc.mu.Unlock()
 			return fmt.Errorf("serve: journaling deltas: %w", err)
@@ -285,7 +388,7 @@ func (s *Server) replayJournal() error {
 	var replayed int64
 	var maxLSN uint64
 	for _, rec := range pending {
-		if err := s.ingest(rec.Table, rec.Rows, false); err != nil {
+		if err := s.ingest(rec.Table, rec.Rows, false, rec.Source); err != nil {
 			return fmt.Errorf("serve: replaying journaled deltas for %s (LSN %d): %w", rec.Table, rec.LSN, err)
 		}
 		replayed += int64(len(rec.Rows))
@@ -325,6 +428,7 @@ func (s *Server) Flush() error {
 // and its fault-tolerance status.
 func (s *Server) Staleness() map[string]Staleness {
 	sc := s.sched
+	now := time.Now()
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
 	out := make(map[string]Staleness, len(sc.views))
@@ -336,12 +440,55 @@ func (s *Server) Staleness() map[string]Staleness {
 			LagRows:             vs.lag,
 			Breaker:             vs.state.String(),
 			ConsecutiveFailures: vs.failures,
-			Degrading:           vs.degrading(sc.breaker),
+			Degrading:           vs.degrading(sc.breaker, now),
 			LastError:           vs.lastErr,
 			LastRefresh:         vs.lastRefresh,
+			Policy:              vs.policy.String(),
+			Status:              vs.statusLocked(now).String(),
+			SLOViolated:         vs.sloBreached(now),
+			SLOViolations:       vs.sloViolations,
+			StaleEpochs:         vs.staleEpochs,
 		}
 	}
 	return out
+}
+
+// RefreshView forces one view to refresh in the next maintenance epoch —
+// overriding its policy (this is how manual views catch up), its schedule,
+// and the breaker cooldown — and runs that epoch synchronously.
+func (s *Server) RefreshView(name string) error {
+	select {
+	case <-s.closed:
+		return ErrClosed
+	default:
+	}
+	sc := s.sched
+	sc.mu.Lock()
+	vs, ok := sc.views[name]
+	if !ok {
+		sc.mu.Unlock()
+		return fmt.Errorf("serve: unknown view %q", name)
+	}
+	vs.forceRefresh = true
+	sc.mu.Unlock()
+	return s.runEpoch()
+}
+
+// RefreshAllViews forces every maintained view to refresh — regardless of
+// policy — in one synchronous maintenance epoch.
+func (s *Server) RefreshAllViews() error {
+	select {
+	case <-s.closed:
+		return ErrClosed
+	default:
+	}
+	sc := s.sched
+	sc.mu.Lock()
+	for _, vs := range sc.views {
+		vs.forceRefresh = true
+	}
+	sc.mu.Unlock()
+	return s.runEpoch()
 }
 
 // Views returns the currently maintained view names, sorted.
@@ -366,16 +513,22 @@ func (sc *scheduler) totalPendingLocked() int {
 }
 
 // hasWork reports whether an epoch has anything to do: buffered rows to
-// land, or a view needing recovery (open/half-open breaker, or lag left by
-// a failed refresh).
+// land, a forced refresh, or a view needing recovery (open/half-open
+// breaker, or lag left by a failed refresh) whose policy lets this epoch
+// act. A manual view's permanent lag is deliberate and does not keep the
+// scheduler spinning; only RefreshView clears it.
 func (sc *scheduler) hasWork() bool {
+	now := time.Now()
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
 	if sc.bufRows > 0 {
 		return true
 	}
 	for _, vs := range sc.views {
-		if vs.lag > 0 || vs.state != BreakerClosed {
+		if vs.forceRefresh {
+			return true
+		}
+		if (vs.lag > 0 || vs.state != BreakerClosed) && vs.policyDue(now) {
 			return true
 		}
 	}
@@ -404,6 +557,7 @@ func (s *Server) runEpoch() error {
 			if r := recover(); r != nil {
 				s.stats.panics.Add(1)
 				s.ctrPanics.Inc()
+				s.sched.clearBuilding()
 				err = fmt.Errorf("serve: maintenance epoch recovered from panic: %v", r)
 			}
 		}()
@@ -427,6 +581,25 @@ type breakerChange struct {
 	view     string
 	from, to BreakerState
 	reason   string
+}
+
+// sloChange is one freshness-SLO episode edge (violated or recovered)
+// recorded during an epoch; events are emitted after the lock is released.
+type sloChange struct {
+	view        string
+	violated    bool
+	lagRows     int
+	staleEpochs int
+}
+
+// clearBuilding drops every in-flight marker; called when an epoch aborts
+// before its bookkeeping pass could settle the dispatched views.
+func (sc *scheduler) clearBuilding() {
+	sc.mu.Lock()
+	for _, vs := range sc.views {
+		vs.building = false
+	}
+	sc.mu.Unlock()
 }
 
 // runEpochLocked is one maintenance epoch: stage the buffered rows as
@@ -491,7 +664,7 @@ func (s *Server) runEpochLocked() error {
 	}
 
 	now := time.Now()
-	var incremental, recompute, skipped []string
+	var incremental, recompute, skipped, deferred []string
 	var changes []breakerChange
 	sc.mu.Lock()
 	for name, vs := range sc.views {
@@ -502,12 +675,29 @@ func (s *Server) runEpochLocked() error {
 				break
 			}
 		}
+		// Consume the one-shot force before dispatching: it overrides the
+		// policy, the schedule, and the breaker cooldown.
+		forced := vs.forceRefresh
+		vs.forceRefresh = false
 		switch {
+		case forced:
+			// RefreshView: an unconditional full recompute, closing the
+			// breaker on success.
+			vs.building = true
+			recompute = append(recompute, name)
 		case vs.state == BreakerOpen && now.Sub(vs.openedAt) < sc.breaker.Cooldown:
 			// Open and still cooling: no refresh attempt; the view's lag
 			// grows by whatever folds into its relations this epoch.
 			if affected {
 				skipped = append(skipped, name)
+			}
+		case !vs.policyDue(now):
+			// The policy defers this view (manual, or scheduled with the
+			// interval not yet elapsed): the deltas fold into the base
+			// tables anyway and the view accrues lag until its schedule
+			// fires or RefreshView forces it.
+			if affected {
+				deferred = append(deferred, name)
 			}
 		case vs.state == BreakerOpen || vs.state == BreakerHalfOpen:
 			// Cooldown elapsed: half-open probe — one full recompute.
@@ -515,21 +705,27 @@ func (s *Server) runEpochLocked() error {
 				changes = append(changes, breakerChange{view: name, from: vs.state, to: BreakerHalfOpen, reason: "cooldown elapsed"})
 				vs.state = BreakerHalfOpen
 			}
+			vs.building = true
 			recompute = append(recompute, name)
 		case vs.lag > 0:
-			// A failed refresh left the view behind the base tables; catch
-			// up by recomputation even if no new delta touches it.
+			// A failed or deferred refresh left the view behind the base
+			// tables; catch up by recomputation even if no new delta
+			// touches it.
+			vs.building = true
 			recompute = append(recompute, name)
 		case !affected:
 		case vs.strategy == core.MaintIncremental:
+			vs.building = true
 			incremental = append(incremental, name)
 		default:
+			vs.building = true
 			recompute = append(recompute, name)
 		}
 	}
 	sc.mu.Unlock()
 	sort.Strings(incremental)
 	sort.Strings(skipped)
+	sort.Strings(deferred)
 	// Price this epoch's delta propagations from the actual pending delta
 	// fractions, before the refreshes spend their measured I/O.
 	s.predictIncremental(incremental)
@@ -580,6 +776,7 @@ func (s *Server) runEpochLocked() error {
 		s.stats.refreshFailures.Add(1)
 		s.ctrRefreshFail.Inc()
 		s.winRefreshFail.Add(time.Now().Unix(), 1)
+		sc.clearBuilding()
 		if incDone > 0 {
 			s.epoch.Add(1)
 			s.cache.invalidate()
@@ -626,17 +823,33 @@ func (s *Server) runEpochLocked() error {
 
 	now = time.Now()
 	var stale, unhealthy int
+	var sloChanges []sloChange
 	sc.mu.Lock()
 	for _, name := range skipped {
 		if vs, ok := sc.views[name]; ok {
 			vs.lag += appliedFor(vs)
 		}
 	}
+	for _, name := range deferred {
+		vs, ok := sc.views[name]
+		if !ok {
+			continue
+		}
+		// The staged rows folded into the base tables without a refresh:
+		// they move from pending (buffered) to lag (applied, unreflected).
+		vs.lag += appliedFor(vs)
+		pending := 0
+		for rel := range vs.rels {
+			pending += len(sc.buf[rel])
+		}
+		vs.pending = pending
+	}
 	for name, refreshErr := range outcomes {
 		vs, ok := sc.views[name]
 		if !ok {
 			continue
 		}
+		vs.building = false
 		if refreshErr == nil {
 			if vs.state != BreakerClosed {
 				changes = append(changes, breakerChange{view: name, from: vs.state, to: BreakerClosed, reason: "refresh succeeded"})
@@ -647,6 +860,8 @@ func (s *Server) runEpochLocked() error {
 			vs.lastErr = ""
 			vs.epoch = epoch
 			vs.lastRefresh = now
+			vs.staleSince = time.Time{}
+			vs.staleEpochs = 0
 			// Rows ingested while this epoch ran are still buffered; they
 			// are the view's remaining pending count.
 			pending := 0
@@ -671,13 +886,53 @@ func (s *Server) runEpochLocked() error {
 			vs.openedAt = now
 		}
 	}
-	for _, vs := range sc.views {
+	for name, vs := range sc.views {
+		// Any view still flagged in-flight was dispatched but never reached
+		// an outcome (incremental fallback that then failed is an outcome;
+		// this is belt-and-braces for aborted paths).
+		vs.building = false
+		// Staleness accrual and the SLO state machine: a view ending the
+		// epoch behind starts (or continues) a stale episode; a breach
+		// flips the latch exactly once per episode.
+		if vs.lag > 0 {
+			if vs.staleSince.IsZero() {
+				vs.staleSince = now
+			}
+			vs.staleEpochs++
+		}
+		breached := vs.sloBreached(now)
+		if breached != vs.sloViolated {
+			vs.sloViolated = breached
+			if breached {
+				vs.sloViolations++
+			}
+			sloChanges = append(sloChanges, sloChange{
+				view:        name,
+				violated:    breached,
+				lagRows:     vs.lag,
+				staleEpochs: vs.staleEpochs,
+			})
+		}
 		stale += vs.pending
-		if vs.degrading(sc.breaker) {
+		if vs.degrading(sc.breaker, now) {
 			unhealthy++
 		}
 	}
 	sc.mu.Unlock()
+
+	for _, ch := range sloChanges {
+		action := "recovered"
+		if ch.violated {
+			action = "violated"
+			s.stats.sloViolations.Add(1)
+			s.ctrSLOViolations.Inc()
+		}
+		obs.Emit(s.obsv, obs.EvServeSLO,
+			obs.String("view", ch.view),
+			obs.String("action", action),
+			obs.Int("lag_rows", int64(ch.lagRows)),
+			obs.Int("stale_epochs", int64(ch.staleEpochs)))
+	}
 
 	trips := 0
 	for _, ch := range changes {

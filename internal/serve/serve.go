@@ -98,6 +98,14 @@ type ViewSpec struct {
 	// Strategy is the design-time maintenance plan: MaintIncremental views
 	// refresh by delta propagation, MaintRecompute views by recomputation.
 	Strategy core.MaintenanceStrategy
+	// Policy decides when the scheduler refreshes the view (manual,
+	// on-commit, scheduled, streaming). The zero value takes
+	// Config.DefaultPolicy, then on-commit — the legacy behavior.
+	Policy RefreshPolicy
+	// SLO bounds how far the view may lag before its queries degrade to
+	// base-relation plans. The zero value takes Config.DefaultSLO (no SLO
+	// when that is zero too).
+	SLO FreshnessSLO
 }
 
 // Config assembles a Server.
@@ -135,6 +143,16 @@ type Config struct {
 	// Breaker configures the per-view circuit breaker; zero values take the
 	// defaults (StalenessBound 0 disables the staleness trigger).
 	Breaker BreakerPolicy
+	// DefaultPolicy is the refresh policy for views whose ViewSpec leaves it
+	// unset (zero: on-commit).
+	DefaultPolicy RefreshPolicy
+	// DefaultSLO is the freshness SLO for views whose ViewSpec leaves it
+	// unset (zero: no SLO).
+	DefaultSLO FreshnessSLO
+	// Ingest tunes the CDC streaming path (StreamIngest): buffer bound,
+	// backpressure deadline, group-commit threshold and linger. Zero values
+	// take the defaults.
+	Ingest IngestConfig
 	// Journal, when set, write-ahead-logs every ingested delta batch: rows
 	// are journaled before they are buffered, acknowledged only after their
 	// maintenance epoch lands them in the base tables, and replayed by New
@@ -285,6 +303,9 @@ type Server struct {
 	advMu sync.Mutex
 
 	sched *scheduler
+	// feed is the CDC streaming front-end (StreamIngest); always present,
+	// sized by Config.Ingest.
+	feed *changeFeed
 
 	// Cost accountability (audit nil when auditing is off — every call
 	// site no-ops). auditMu guards the pricer, the drift-episode latch,
@@ -331,8 +352,11 @@ type Server struct {
 	ctrBreakerTrips, ctrDegraded, ctrPanics           *obs.Counter
 	ctrReplayed                                       *obs.Counter
 	ctrCostObs, ctrCostDrift, ctrRecal                *obs.Counter
+	ctrStreamRows, ctrStreamGroups                    *obs.Counter
+	ctrStreamShed, ctrStreamBlocked                   *obs.Counter
+	ctrSLOViolations, ctrCheckpointDeclined           *obs.Counter
 	gQueueDepth, gStaleRows, gUnhealthy               *obs.Gauge
-	gSnapBytes, gSnapGen                              *obs.Gauge
+	gSnapBytes, gSnapGen, gIngestBuffer               *obs.Gauge
 }
 
 type serverStats struct {
@@ -342,7 +366,12 @@ type serverStats struct {
 	retries, refreshFailures, fallbacks            atomic.Int64
 	breakerTrips, degraded, panics, replayedRows   atomic.Int64
 	costObservations, costDrifts, recalibrations   atomic.Int64
+	streamRows, streamGroups                       atomic.Int64
+	streamShed, streamBlocked                      atomic.Int64
+	sloViolations                                  atomic.Int64
 	lat                                            latencyHist
+	// streamLag is the accepted→group-committed latency of streamed rows.
+	streamLag latencyHist
 }
 
 // New builds and starts a server: the worker pool and the maintenance
@@ -453,6 +482,7 @@ func newServer(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.sched = sched
+	s.feed = newChangeFeed(s, cfg.Ingest, sched.batch)
 
 	s.ctrQueries = obs.CounterOf(cfg.Obs, obs.CtrServeQueries)
 	s.ctrHits = obs.CounterOf(cfg.Obs, obs.CtrServeCacheHits)
@@ -472,12 +502,19 @@ func newServer(cfg Config) (*Server, error) {
 	s.ctrCostObs = obs.CounterOf(cfg.Obs, obs.CtrCostObservations)
 	s.ctrCostDrift = obs.CounterOf(cfg.Obs, obs.CtrCostDrifts)
 	s.ctrRecal = obs.CounterOf(cfg.Obs, obs.CtrServeRecalibrations)
+	s.ctrStreamRows = obs.CounterOf(cfg.Obs, obs.CtrServeStreamRows)
+	s.ctrStreamGroups = obs.CounterOf(cfg.Obs, obs.CtrServeStreamGroups)
+	s.ctrStreamShed = obs.CounterOf(cfg.Obs, obs.CtrServeStreamShed)
+	s.ctrStreamBlocked = obs.CounterOf(cfg.Obs, obs.CtrServeStreamBlocked)
+	s.ctrSLOViolations = obs.CounterOf(cfg.Obs, obs.CtrServeSLOViolations)
+	s.ctrCheckpointDeclined = obs.CounterOf(cfg.Obs, obs.CtrServeCheckpointDeclined)
 	if reg := obs.RegistryOf(cfg.Obs); reg != nil {
 		s.gQueueDepth = reg.Gauge(obs.GaugeServeQueueDepth)
 		s.gStaleRows = reg.Gauge(obs.GaugeServeStaleRows)
 		s.gUnhealthy = reg.Gauge(obs.GaugeServeUnhealthyViews)
 		s.gSnapBytes = reg.Gauge(obs.GaugeSnapshotBytes)
 		s.gSnapGen = reg.Gauge(obs.GaugeSnapshotGeneration)
+		s.gIngestBuffer = reg.Gauge(obs.GaugeServeIngestBufferRows)
 	}
 
 	// A server booted from a snapshot resumes the snapshot's maintenance
@@ -728,13 +765,14 @@ func (s *Server) handle(req *request) {
 func (s *Server) unhealthyViewsIn(plan algebra.Node) []string {
 	sc := s.sched
 	seen := map[string]bool{}
+	now := time.Now()
 	sc.mu.Lock()
 	algebra.Walk(plan, func(n algebra.Node) {
 		scan, ok := n.(*algebra.Scan)
 		if !ok {
 			return
 		}
-		if vs, ok := sc.views[scan.Relation]; ok && vs.degrading(sc.breaker) {
+		if vs, ok := sc.views[scan.Relation]; ok && vs.degrading(sc.breaker, now) {
 			seen[scan.Relation] = true
 		}
 	})
@@ -762,6 +800,11 @@ func (s *Server) Epoch() uint64 { return s.epoch.Load() }
 // deltas are replayed by the next server instead).
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
+		// Drain the CDC change feed first, while ingestion is still open: the
+		// final partial group is journaled and staged, every parked
+		// StreamIngest caller gets its outcome, and blocked callers wake with
+		// ErrClosed. Nothing accepted by the feed is ever dropped.
+		s.feed.shutdown()
 		close(s.closed)
 		s.sched.stopTicker()
 		s.cancel()
@@ -813,6 +856,20 @@ type Stats struct {
 	// CostDrifts counts ledger entries newly flagged as drifted;
 	// Recalibrations counts drift-triggered advisor re-selections.
 	CostObservations, CostDrifts, Recalibrations int64
+	// StreamRows counts rows group-committed through the CDC streaming path
+	// (StreamIngest); StreamGroups counts the group commits that carried
+	// them; StreamShed counts calls shed with ErrBackpressure after the
+	// block deadline; StreamBlocked counts calls that had to block on the
+	// full feed buffer (shed or not).
+	StreamRows, StreamGroups, StreamShed, StreamBlocked int64
+	// SLOViolations counts freshness-SLO violation episodes (a view
+	// entering the violated state; recovery and re-violation count again).
+	SLOViolations int64
+	// IngestLagP50/P95/P99 are accepted→group-committed latency quantiles
+	// of streamed rows.
+	IngestLagP50, IngestLagP95, IngestLagP99 time.Duration
+	// IngestBufferedRows is the change feed's current occupancy.
+	IngestBufferedRows int
 	// QueueDepth and CacheEntries are current occupancies.
 	QueueDepth, CacheEntries int
 	// Uptime is time since New; QPS is Queries/Uptime.
@@ -867,8 +924,17 @@ func (s *Server) Stats() Stats {
 		CostObservations:     s.stats.costObservations.Load(),
 		CostDrifts:           s.stats.costDrifts.Load(),
 		Recalibrations:       s.stats.recalibrations.Load(),
+		StreamRows:           s.stats.streamRows.Load(),
+		StreamGroups:         s.stats.streamGroups.Load(),
+		StreamShed:           s.stats.streamShed.Load(),
+		StreamBlocked:        s.stats.streamBlocked.Load(),
+		SLOViolations:        s.stats.sloViolations.Load(),
+		IngestLagP50:         s.stats.streamLag.quantile(0.50),
+		IngestLagP95:         s.stats.streamLag.quantile(0.95),
+		IngestLagP99:         s.stats.streamLag.quantile(0.99),
 		QueueDepth:           len(s.queue),
 		CacheEntries:         s.cache.len(),
+		IngestBufferedRows:   s.feed.buffered(),
 		Uptime:               up,
 		P50:                  s.stats.lat.quantile(0.50),
 		P95:                  s.stats.lat.quantile(0.95),

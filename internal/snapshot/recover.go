@@ -19,6 +19,10 @@ type ViewDef struct {
 	// Strategy is an opaque label carried through to the serving layer
 	// (recompute/incremental); recovery does not interpret it.
 	Strategy string
+	// Policy is the view's refresh policy, another opaque label carried
+	// through to the serving layer ("manual", "on-commit",
+	// "scheduled:<interval>", "streaming"); recovery does not interpret it.
+	Policy string
 }
 
 // RecoveryStats reports what one Recover call did — surfaced on /metrics

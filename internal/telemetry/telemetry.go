@@ -185,12 +185,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // viewStatus is one maintained view in the /views body.
 type viewStatus struct {
 	Strategy            string     `json:"strategy"`
+	Policy              string     `json:"policy"`
+	Status              string     `json:"status"`
 	Epoch               uint64     `json:"epoch"`
 	PendingRows         int        `json:"pending_rows"`
 	LagRows             int        `json:"lag_rows"`
 	Breaker             string     `json:"breaker"`
 	ConsecutiveFailures int        `json:"consecutive_failures"`
 	Degrading           bool       `json:"degrading"`
+	SLOViolated         bool       `json:"slo_violated"`
+	SLOViolations       int64      `json:"slo_violations,omitempty"`
+	StaleEpochs         int        `json:"stale_epochs,omitempty"`
 	LastError           string     `json:"last_error,omitempty"`
 	LastRefresh         *time.Time `json:"last_refresh,omitempty"`
 }
@@ -237,12 +242,17 @@ func (s *Server) handleViews(w http.ResponseWriter, _ *http.Request) {
 		for name, v := range s.src.Staleness() {
 			vs := viewStatus{
 				Strategy:            v.Strategy,
+				Policy:              v.Policy,
+				Status:              v.Status,
 				Epoch:               v.Epoch,
 				PendingRows:         v.PendingRows,
 				LagRows:             v.LagRows,
 				Breaker:             v.Breaker,
 				ConsecutiveFailures: v.ConsecutiveFailures,
 				Degrading:           v.Degrading,
+				SLOViolated:         v.SLOViolated,
+				SLOViolations:       v.SLOViolations,
+				StaleEpochs:         v.StaleEpochs,
 				LastError:           v.LastError,
 			}
 			if !v.LastRefresh.IsZero() {
@@ -393,6 +403,43 @@ func WriteMetrics(w io.Writer, reg *obs.Registry, src Source) {
 		}
 		return 0
 	})
+	writeViewGauge(w, "mvpp_view_slo_violated", views, names, func(v serve.Staleness) float64 {
+		if v.SLOViolated {
+			return 1
+		}
+		return 0
+	})
+	writeViewGauge(w, "mvpp_view_slo_violations", views, names, func(v serve.Staleness) float64 { return float64(v.SLOViolations) })
+	writeViewGauge(w, "mvpp_view_stale_epochs", views, names, func(v serve.Staleness) float64 { return float64(v.StaleEpochs) })
+
+	// mv_view_status is the lifecycle state machine one-hot encoded: for
+	// each view exactly one {view,status} sample is 1. Dashboards can sum
+	// by status or alert on a specific view leaving VALID.
+	if len(names) > 0 {
+		fmt.Fprintf(w, "# TYPE mv_view_status gauge\n")
+		for _, name := range names {
+			for _, status := range serve.ViewStatuses {
+				hot := 0
+				if views[name].Status == status.String() {
+					hot = 1
+				}
+				fmt.Fprintf(w, "mv_view_status{view=%q,status=%q} %d\n",
+					escapeLabel(name), status.String(), hot)
+			}
+		}
+	}
+
+	// CDC streaming-ingest families: accepted→committed lag quantiles,
+	// backpressure counters, and the feed's current occupancy.
+	writeGauge(w, "mv_ingest_lag_p50_seconds", st.IngestLagP50.Seconds())
+	writeGauge(w, "mv_ingest_lag_p95_seconds", st.IngestLagP95.Seconds())
+	writeGauge(w, "mv_ingest_lag_p99_seconds", st.IngestLagP99.Seconds())
+	writeGauge(w, "mv_ingest_buffer_rows", float64(st.IngestBufferedRows))
+	fmt.Fprintf(w, "# TYPE mv_ingest_stream_rows_total counter\nmv_ingest_stream_rows_total %d\n", st.StreamRows)
+	fmt.Fprintf(w, "# TYPE mv_ingest_group_commits_total counter\nmv_ingest_group_commits_total %d\n", st.StreamGroups)
+	fmt.Fprintf(w, "# TYPE mv_ingest_backpressure_blocked_total counter\nmv_ingest_backpressure_blocked_total %d\n", st.StreamBlocked)
+	fmt.Fprintf(w, "# TYPE mv_ingest_backpressure_shed_total counter\nmv_ingest_backpressure_shed_total %d\n", st.StreamShed)
+	fmt.Fprintf(w, "# TYPE mv_slo_violations_total counter\nmv_slo_violations_total %d\n", st.SLOViolations)
 
 	writeCostMetrics(w, src.CostReport())
 

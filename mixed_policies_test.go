@@ -1,0 +1,280 @@
+package mvpp_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	mvpp "github.com/warehousekit/mvpp"
+)
+
+// policyCycle spreads the full refresh-policy spectrum over the design's
+// views: sorted names cycle through all four policies.
+func policyCycle(views []string) map[string]string {
+	cycle := []string{"on-commit", "manual", "scheduled:50ms", "streaming"}
+	out := make(map[string]string, len(views))
+	for i, name := range views {
+		out[name] = cycle[i%len(cycle)]
+	}
+	return out
+}
+
+// TestChaosMixedPolicyRecovery is the crash-restart-verify cycle with the
+// policy spectrum live: views on all four refresh policies, deltas arriving
+// both directly and through the CDC streaming path, a checkpoint killed at
+// each injected crash point — and the restarted warehouse must converge to
+// bit-identical answers with zero lost deltas, streamed ones included.
+func TestChaosMixedPolicyRecovery(t *testing.T) {
+	cases := []struct {
+		name           string
+		site           mvpp.FaultSite
+		checkpointErrs bool
+		// committed: the crash landed after the manifest rename point of no
+		// return, so the restart recovers generation 2 and replays nothing.
+		committed bool
+	}{
+		{name: "mid-segment write", site: mvpp.FaultSiteSnapshotSegmentWrite, checkpointErrs: true},
+		{name: "pre-manifest rename", site: mvpp.FaultSiteSnapshotManifestWrite, checkpointErrs: true},
+		{name: "post-manifest rename", site: mvpp.FaultSiteSnapshotManifestRename, checkpointErrs: true, committed: true},
+		{name: "mid-journal compaction", site: mvpp.FaultSiteJournalTruncate, committed: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			opts := mvpp.ServeOptions{
+				Seed:        21,
+				SnapshotDir: filepath.Join(dir, "snaps"),
+				JournalPath: filepath.Join(dir, "deltas.journal"),
+			}
+
+			// Boot A: discover the view set, spread the policy spectrum over
+			// it, lay down one good generation, die cleanly.
+			design, a := paperServer(t, opts)
+			opts.Policies = policyCycle(a.Views())
+			if err := a.Close(); err != nil {
+				t.Fatal(err)
+			}
+			_, a = paperServer(t, opts)
+			if _, err := a.InjectDeltas(0.05); err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if err := a.RefreshAllViews(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := a.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Boot B: more deltas through both ingestion paths, refresh the
+			// whole spectrum to a converged state, then crash at the injected
+			// point of the next checkpoint.
+			armed := opts
+			armed.Injector = mvpp.NewFaultInjector(1, mvpp.FaultPlan{
+				tc.site: {ErrProb: 1},
+			})
+			_, b := paperServer(t, armed)
+			injected, err := b.InjectDeltas(0.05)
+			if err != nil {
+				t.Fatal(err)
+			}
+			streamed, err := b.StreamDeltas(0.02)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if streamed == 0 {
+				t.Fatal("the streaming path accepted no rows")
+			}
+			if acc, com := b.IngestWatermarks(); acc != com {
+				t.Fatalf("watermarks diverge after StreamDeltas returned: %d/%d", acc, com)
+			}
+			if err := b.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.RefreshAllViews(); err != nil {
+				t.Fatal(err)
+			}
+			want := snapshotFingerprint(t, design, b)
+			_, cerr := b.Checkpoint()
+			if tc.checkpointErrs && cerr == nil {
+				t.Fatal("injected crash point did not surface from Checkpoint")
+			}
+			if !tc.checkpointErrs && cerr != nil {
+				t.Fatal(cerr)
+			}
+			if err := b.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Boot C: clean restart over the crash debris, policies intact.
+			_, c := paperServer(t, opts)
+			ss := c.SnapshotStats()
+			if ss.Recovery == nil || ss.Recovery.Cold {
+				t.Fatalf("restart after crash went cold: %+v", ss.Recovery)
+			}
+			wantGen := uint64(1)
+			if tc.committed {
+				wantGen = 2
+			}
+			if ss.Recovery.Generation != wantGen {
+				t.Errorf("recovered generation %d, want %d", ss.Recovery.Generation, wantGen)
+			}
+			// Zero lost deltas, streamed included: everything B ingested past
+			// the surviving watermark replays; a committed generation 2
+			// already contains it all and replays nothing.
+			replayed := c.Stats().ReplayedDeltaRows
+			if tc.committed {
+				if replayed != 0 {
+					t.Errorf("replayed %d rows despite a committed checkpoint", replayed)
+				}
+			} else if replayed != int64(injected+streamed) {
+				t.Errorf("replayed %d rows, want %d (%d injected + %d streamed)",
+					replayed, injected+streamed, injected, streamed)
+			}
+			// Converge the spectrum (manual and scheduled views catch up) and
+			// verify bit-identity with the pre-crash warehouse.
+			if err := c.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.RefreshAllViews(); err != nil {
+				t.Fatal(err)
+			}
+			requireSameFingerprint(t, snapshotFingerprint(t, design, c), want)
+		})
+	}
+}
+
+// TestPolicyTelemetryEndToEnd drives an SLO violation end to end and
+// asserts the admin plane shows it: /views carries policy, status, and the
+// violation; /metrics carries the view-status one-hot and the streaming
+// ingest families.
+func TestPolicyTelemetryEndToEnd(t *testing.T) {
+	design, probe := paperServer(t, mvpp.ServeOptions{})
+	views := probe.Views()
+	if err := probe.Close(); err != nil {
+		t.Fatal(err)
+	}
+	policies := make(map[string]string, len(views))
+	for _, v := range views {
+		policies[v] = "manual"
+	}
+	_, srv := paperServer(t, mvpp.ServeOptions{
+		TelemetryAddr: "127.0.0.1:0",
+		Policies:      policies,
+		DefaultSLO:    mvpp.FreshnessSLO{MaxLagEpochs: 1},
+		DeltaBatch:    1 << 20,
+	})
+	addr := srv.TelemetryAddr()
+	if addr == "" {
+		t.Fatal("telemetry enabled but no address bound")
+	}
+
+	// Two landed epochs with every view manual: stale past the one-epoch
+	// budget — SLO violated, queries degraded.
+	for i := 0; i < 2; i++ {
+		if _, err := srv.InjectDeltas(0.02); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := srv.StreamDeltas(0.01); err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var degraded bool
+	for _, q := range design.Queries() {
+		res, err := srv.Query(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		degraded = degraded || res.Degraded
+	}
+	if !degraded {
+		t.Fatal("no query degraded while every view violates its SLO")
+	}
+
+	code, body := telemetryGet(t, addr, "/views")
+	if code != http.StatusOK {
+		t.Fatalf("/views status %d", code)
+	}
+	var reply struct {
+		Views map[string]struct {
+			Policy        string `json:"policy"`
+			Status        string `json:"status"`
+			SLOViolated   bool   `json:"slo_violated"`
+			SLOViolations int64  `json:"slo_violations"`
+			StaleEpochs   int    `json:"stale_epochs"`
+		} `json:"views"`
+	}
+	if err := json.Unmarshal(body, &reply); err != nil {
+		t.Fatalf("parsing /views: %v\n%s", err, body)
+	}
+	if len(reply.Views) != len(views) {
+		t.Fatalf("/views lists %d views, want %d", len(reply.Views), len(views))
+	}
+	for name, v := range reply.Views {
+		if v.Policy != "manual" {
+			t.Errorf("%s policy = %q, want manual", name, v.Policy)
+		}
+		if v.Status != "STALE" || !v.SLOViolated || v.SLOViolations == 0 || v.StaleEpochs < 2 {
+			t.Errorf("%s = %+v, want a stale, SLO-violating view", name, v)
+		}
+	}
+
+	code, mbody := telemetryGet(t, addr, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	exposition := string(mbody)
+	for _, want := range []string{
+		`mv_view_status{view=`,
+		`status="STALE"} 1`,
+		"mv_ingest_stream_rows_total",
+		"mv_ingest_group_commits_total",
+		"mv_ingest_backpressure_blocked_total",
+		"mv_ingest_backpressure_shed_total",
+		"mv_slo_violations_total",
+		"mvpp_view_slo_violated",
+		"mvpp_view_stale_epochs",
+		"mv_ingest_lag_p99_seconds",
+	} {
+		if !strings.Contains(exposition, want) {
+			t.Errorf("/metrics is missing %q", want)
+		}
+	}
+
+	// RefreshAllViews ends the episode: the plane flips back to VALID.
+	if err := srv.RefreshAllViews(); err != nil {
+		t.Fatal(err)
+	}
+	_, body = telemetryGet(t, addr, "/views")
+	if err := json.Unmarshal(body, &reply); err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range reply.Views {
+		if v.Status != "VALID" || v.SLOViolated {
+			t.Errorf("%s after RefreshAllViews = %+v, want VALID", name, v)
+		}
+	}
+
+	// The spectrum is also part of the design export.
+	for _, name := range views {
+		if err := design.SetRefreshPolicy(name, "scheduled:1h"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range design.Export().Vertices {
+		if v.Materialized && v.RefreshPolicy != "scheduled:1h" {
+			t.Errorf("exported %s policy = %q, want scheduled:1h", v.Name, v.RefreshPolicy)
+		}
+	}
+}

@@ -349,6 +349,55 @@ func measureTelemetryScrape() (testing.BenchmarkResult, int, mvpp.ServeStats, er
 	return res, samples, srv.Stats(), runErr
 }
 
+// measureStreamingIngest prices the CDC streaming-ingest path end to end:
+// synthetic delta batches pushed through StreamDeltas — bounded change
+// feed, group commit, write-ahead journal append — against a live server.
+// Each benchmark op is one StreamDeltas call; the sustained row throughput
+// and the accepted→group-committed lag p99 go into the baseline.
+func measureStreamingIngest() (rowsPerSec float64, lagP99 time.Duration, err error) {
+	d, err := paperDesigner(mvpp.Options{})
+	if err != nil {
+		return 0, 0, err
+	}
+	design, err := d.Design()
+	if err != nil {
+		return 0, 0, err
+	}
+	var runErr error
+	var stats mvpp.ServeStats
+	res := testing.Benchmark(func(b *testing.B) {
+		srv, err := design.NewServer(mvpp.ServeOptions{
+			Scale: 0.01, Seed: 7,
+			Journal: mvpp.NewMemJournal(),
+		})
+		if err != nil {
+			runErr = err
+			b.FailNow()
+		}
+		defer srv.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := srv.StreamDeltas(0.01); err != nil {
+				runErr = err
+				b.FailNow()
+			}
+		}
+		b.StopTimer()
+		if err := srv.Flush(); err != nil {
+			runErr = err
+			b.FailNow()
+		}
+		stats = srv.Stats()
+	})
+	if runErr != nil {
+		return 0, 0, runErr
+	}
+	if secs := res.T.Seconds(); secs > 0 {
+		rowsPerSec = float64(stats.StreamRows) / secs
+	}
+	return rowsPerSec, stats.IngestLagP99, nil
+}
+
 // validateCostModel parse-validates one /costmodel scrape the way the
 // /metrics exposition is validated: the endpoint must answer valid JSON
 // with a ledger entry per workload query class.
@@ -555,6 +604,11 @@ type report struct {
 	ColdStartRecomputeNs int64   `json:"cold_start_recompute_ns"`
 	ColdStartSpeedup     float64 `json:"cold_start_speedup"`
 	SnapshotBytes        int64   `json:"snapshot_bytes"`
+	// StreamingIngest prices the CDC streaming path end to end: sustained
+	// rows/sec through StreamDeltas (bounded change feed → group commit →
+	// journal append) and the accepted→group-committed lag p99.
+	StreamingIngestRowsPerSec float64 `json:"streaming_ingest_rows_per_sec"`
+	IngestLagP99Ms            float64 `json:"ingest_lag_p99_ms"`
 }
 
 func main() {
@@ -592,6 +646,8 @@ func main() {
 	scrapeRes, scrapeSamples, scrapeStats, err := measureTelemetryScrape()
 	fail(err)
 	coldSnapNs, coldRecomputeNs, snapBytes, err := measureColdStart()
+	fail(err)
+	streamRows, streamLagP99, err := measureStreamingIngest()
 	fail(err)
 
 	r := report{
@@ -635,6 +691,9 @@ func main() {
 		ColdStartRecomputeNs:   coldRecomputeNs,
 		ColdStartSpeedup:       float64(coldRecomputeNs) / float64(coldSnapNs),
 		SnapshotBytes:          snapBytes,
+
+		StreamingIngestRowsPerSec: streamRows,
+		IngestLagP99Ms:            float64(streamLagP99.Microseconds()) / 1000,
 	}
 	data, err := json.MarshalIndent(r, "", "  ")
 	fail(err)

@@ -49,6 +49,25 @@ type ServeOptions struct {
 	// to base relations while a view cannot be kept fresh. Zero values take
 	// defaults (StalenessBound 0 disables the bound).
 	Breaker BreakerPolicy
+	// Policies maps view name → refresh-policy spec ("manual", "on-commit",
+	// "scheduled:<duration>", "streaming"), overriding any policy the
+	// design set with SetRefreshPolicy. Views listed nowhere take
+	// DefaultPolicy.
+	Policies map[string]string
+	// DefaultPolicy is the refresh-policy spec for views with no explicit
+	// policy ("" → on-commit, the legacy behavior).
+	DefaultPolicy string
+	// SLOs maps view name → freshness SLO; views not listed take
+	// DefaultSLO. A breached SLO marks the view STALE, degrades its queries
+	// to base relations, and counts a violation.
+	SLOs map[string]FreshnessSLO
+	// DefaultSLO is the freshness SLO for views not in SLOs (zero → no
+	// SLO).
+	DefaultSLO FreshnessSLO
+	// Ingest tunes the CDC streaming-ingest path behind StreamDeltas
+	// (bounded buffer, block deadline, group commit). Zero values take
+	// defaults.
+	Ingest IngestConfig
 	// Injector, when set, arms deterministic fault injection at the engine
 	// and serving-layer sites (chaos testing). Nil injects nothing.
 	Injector *FaultInjector
@@ -275,16 +294,39 @@ func (d *Design) NewServer(opts ServeOptions) (*Server, error) {
 		observer = obs.MetricsOnly(nil)
 	}
 
+	defaultPolicy, err := serve.ParsePolicy(opts.DefaultPolicy)
+	if err != nil {
+		return nil, fmt.Errorf("mvpp: default policy: %w", err)
+	}
+
 	// Assemble the design's views once for both recovery and the serving
 	// layer; vertex order is topological, so views over views compose.
+	// Per-view refresh policies resolve ServeOptions.Policies over the
+	// design's SetRefreshPolicy tags over DefaultPolicy.
 	var viewDefs []snapshot.ViewDef
 	var views []serve.ViewSpec
 	for _, v := range d.mvpp.Vertices {
 		if !d.selection.Materialized[v.ID] {
 			continue
 		}
-		viewDefs = append(viewDefs, snapshot.ViewDef{Name: v.Name, Plan: v.Op})
-		views = append(views, serve.ViewSpec{Name: v.Name, Strategy: d.selection.Plans[v.Name]})
+		spec := opts.Policies[v.Name]
+		if spec == "" {
+			spec = d.policies[v.Name]
+		}
+		policy, err := serve.ParsePolicy(spec)
+		if err != nil {
+			return nil, fmt.Errorf("mvpp: policy of %s: %w", v.Name, err)
+		}
+		if spec == "" {
+			policy = RefreshPolicy{} // zero → serve's DefaultPolicy
+		}
+		viewDefs = append(viewDefs, snapshot.ViewDef{Name: v.Name, Plan: v.Op, Policy: spec})
+		views = append(views, serve.ViewSpec{
+			Name:     v.Name,
+			Strategy: d.selection.Plans[v.Name],
+			Policy:   policy,
+			SLO:      opts.SLOs[v.Name],
+		})
 	}
 
 	var snapStore *snapshot.Store
@@ -384,6 +426,9 @@ func (d *Design) NewServer(opts ServeOptions) (*Server, error) {
 		RefreshInterval:     opts.RefreshInterval,
 		Retry:               opts.Retry,
 		Breaker:             opts.Breaker,
+		DefaultPolicy:       defaultPolicy,
+		DefaultSLO:          opts.DefaultSLO,
+		Ingest:              opts.Ingest,
 		Injector:            opts.Injector,
 		Journal:             journal,
 		Snapshots:           snapStore,
@@ -503,6 +548,51 @@ func (s *Server) InjectDeltas(fraction float64) (int, error) {
 		}
 	}
 	return total, nil
+}
+
+// StreamDeltas generates one epoch's worth of synthetic base-table inserts
+// (like InjectDeltas) but pushes them through the CDC streaming-ingest
+// path: each table's rows enter the bounded change feed, group-commit into
+// the journal, and return only once durable. Returns how many rows were
+// accepted; under sustained overload the feed sheds with ErrBackpressure
+// (check errors.Is) and reports the rows accepted before the shed.
+func (s *Server) StreamDeltas(fraction float64) (int, error) {
+	if fraction <= 0 {
+		return 0, fmt.Errorf("mvpp: delta fraction must be positive")
+	}
+	seed := s.seed.Add(1)
+	rows, _, err := s.d.syntheticDeltaRows(s.db, s.scale, fraction, seed)
+	if err != nil {
+		return 0, err
+	}
+	accepted := 0
+	for _, name := range s.d.catalog.inner.Relations() {
+		if len(rows[name]) == 0 {
+			continue
+		}
+		if err := s.inner.StreamIngest(name, rows[name]...); err != nil {
+			return accepted, err
+		}
+		accepted += len(rows[name])
+	}
+	return accepted, nil
+}
+
+// RefreshView forces one maintenance refresh of the named view now,
+// regardless of its refresh policy — the way manual-policy views are
+// brought up to date.
+func (s *Server) RefreshView(name string) error { return s.inner.RefreshView(name) }
+
+// RefreshAllViews forces a full refresh of every maintained view now,
+// regardless of policy.
+func (s *Server) RefreshAllViews() error { return s.inner.RefreshAllViews() }
+
+// IngestWatermarks reports the CDC change feed's monotone watermarks: the
+// last batch sequence accepted into the feed and the last one
+// group-committed (journaled and staged). Equal watermarks mean nothing is
+// in flight.
+func (s *Server) IngestWatermarks() (accepted, committed uint64) {
+	return s.inner.IngestWatermarks()
 }
 
 // Flush synchronously runs one maintenance epoch over everything ingested
