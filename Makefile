@@ -5,7 +5,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 STATICCHECK := $(shell command -v staticcheck 2>/dev/null)
 
-.PHONY: all fmt vet staticcheck build test race bench check tier1 telemetry-smoke fuzz-smoke chaos-restart chaos-policies
+.PHONY: all fmt vet staticcheck build test race bench check tier1 telemetry-smoke fuzz-smoke chaos-restart chaos-policies obscheck
 
 all: check
 
@@ -38,6 +38,12 @@ race:
 
 # The full pre-commit gate.
 check: fmt vet build test race
+
+# Observability-taxonomy lint: every Ev*/Ctr*/Gauge* constant in
+# internal/obs must be documented (by its wire value) in DESIGN.md's event
+# and metric tables. New instrumentation without docs fails tier-1.
+obscheck:
+	$(GO) run ./scripts/obscheck
 
 # Telemetry smoke: start mvserve with the admin plane on a loopback port,
 # let it self-scrape /metrics, /healthz, and /traces (mvserve validates the
@@ -84,7 +90,7 @@ chaos-policies:
 # static analysis (vet always, staticcheck when installed) in front, a
 # short fuzz pass over the batch executor, the chaos crash-restart and
 # mixed-policy cycles, and a live telemetry scrape at the end.
-tier1: build vet staticcheck test race fuzz-smoke chaos-restart chaos-policies telemetry-smoke
+tier1: build vet staticcheck obscheck test race fuzz-smoke chaos-restart chaos-policies telemetry-smoke
 
 # Write the Design() benchmark baseline consumed by regression checks.
 bench:

@@ -67,7 +67,8 @@ func run() (status int) {
 		snapshotDir   = flag.String("snapshot-dir", "", "durable snapshot directory; boot restores the newest consistent snapshot and checkpoints land there while serving")
 		snapInterval  = flag.Duration("snapshot-interval", 0, "wall-clock checkpoint period (0 keeps only the epoch-count trigger)")
 		snapRetain    = flag.Int("snapshot-retain", 0, "snapshot generations retention GC keeps (0 = default 3)")
-		telemetryAddr = flag.String("telemetry", "", "serve the live telemetry plane on this address (/metrics, /healthz, /views, /traces, /debug/pprof); the run self-scrapes it after the load")
+		telemetryAddr = flag.String("telemetry", "", "serve the live telemetry plane on this address (/metrics, /healthz, /views, /traces, /lineage, /flight, /debug/pprof); the run self-scrapes it after the load")
+		flightDir     = flag.String("flight-dir", "", "write flight-recorder dumps to this directory when an SLO breach, breaker trip, checkpoint error, or recovery corruption latches (default $MVPP_FLIGHT_DIR)")
 		logLevel      = flag.String("log-level", "", "log serving spans and events to stderr at this level (debug, info, warn, error)")
 		traceOut      = flag.String("trace-out", "", "write a JSON trace of the serving run to this file")
 		pprofAddr     = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
@@ -143,6 +144,7 @@ func run() (status int) {
 		JournalPath: *journalPath,
 		SnapshotDir: *snapshotDir, SnapshotInterval: *snapInterval, SnapshotRetain: *snapRetain,
 		TelemetryAddr: *telemetryAddr,
+		FlightDir:     *flightDir,
 		Observer:      obsy.Observer,
 		CostAudit:     mvpp.CostAuditOptions{Disable: *noAudit, SkewPredictions: *skew},
 		Policies:      policyMap,
@@ -188,7 +190,7 @@ func run() (status int) {
 		fmt.Printf("chaos: injecting faults at probability %g (refresh errors, slow queries, worker panics)\n", *chaos)
 	}
 	if addr := srv.TelemetryAddr(); addr != "" {
-		fmt.Printf("telemetry: listening on %s (/metrics /healthz /views /traces /debug/pprof)\n", addr)
+		fmt.Printf("telemetry: listening on %s (/metrics /healthz /views /traces /lineage /flight /debug/pprof)\n", addr)
 	}
 
 	tolerant := *chaos > 0
@@ -333,6 +335,28 @@ func scrapeReport(addr string) error {
 		return fmt.Errorf("telemetry: /traces: %w", err)
 	}
 	fmt.Printf("telemetry: /traces holds %d sampled query lifecycles\n", traces.Sampled)
+
+	if _, body, err = get("/lineage"); err != nil {
+		return err
+	}
+	var lineage struct {
+		Views map[string]json.RawMessage `json:"views"`
+	}
+	if err := json.Unmarshal(body, &lineage); err != nil {
+		return fmt.Errorf("telemetry: /lineage: %w", err)
+	}
+	fmt.Printf("telemetry: /lineage tracks %d views\n", len(lineage.Views))
+
+	if _, body, err = get("/flight"); err != nil {
+		return err
+	}
+	var flight struct {
+		Dumps int `json:"dumps"`
+	}
+	if err := json.Unmarshal(body, &flight); err != nil {
+		return fmt.Errorf("telemetry: /flight: %w", err)
+	}
+	fmt.Printf("telemetry: /flight holds %d episode dumps\n", flight.Dumps)
 
 	code, body, err = get("/costmodel")
 	if err != nil {

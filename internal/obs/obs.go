@@ -133,6 +133,11 @@ const (
 	// falls back to recomputation instead of failing the boot (attrs:
 	// artifact, error).
 	EvSnapshotCorrupt EventKind = "snapshot.corrupt"
+	// EvFlightDump fires when an episode (SLO breach, breaker open,
+	// checkpoint error, recovery corruption) latches and the flight
+	// recorder dumps its ring for post-hoc forensics (attrs: reason,
+	// records, path).
+	EvFlightDump EventKind = "obs.flight_dump"
 )
 
 // Canonical counter names. Call sites resolve them once via CounterOf (or
@@ -226,6 +231,10 @@ const (
 	// mid-epoch (unlanded deltas); a climbing value means the warehouse
 	// never reaches a landed state between triggers.
 	CtrServeCheckpointDeclined = "serve.checkpoint_declined"
+	// CtrServeFlightDumps counts flight-recorder dumps taken (one per
+	// latched episode: SLO breach, breaker open, checkpoint error,
+	// recovery corruption).
+	CtrServeFlightDumps = "serve.flight_dumps"
 	// CtrSnapshotCheckpoints counts durable snapshot checkpoints taken.
 	CtrSnapshotCheckpoints = "snapshot.checkpoints"
 	// CtrSnapshotCorrupt counts snapshot artifacts (segments, manifests)

@@ -51,6 +51,12 @@ type feedEntry struct {
 	rows     [][]algebra.Value
 	seq      uint64
 	accepted time.Time
+	// ctx is the batch's root span context and trace its ring entry — both
+	// zero/nil when the batch was unsampled. They ride the feed through
+	// group commit into the scheduler, so the epoch that lands the batch
+	// can adopt (or link) its trace.
+	ctx   obs.SpanContext
+	trace *queryTrace
 	// done receives the entry's group-commit outcome exactly once.
 	done chan error
 }
@@ -133,6 +139,24 @@ func (s *Server) StreamIngest(table string, rows ...[]algebra.Value) error {
 	if len(rows) == 0 {
 		return nil
 	}
+	// Write-path trace sampling: every Nth StreamIngest call (the query
+	// sampling stride; every call when only the flight recorder is armed)
+	// mints a root span context that rides the feed into the epoch that
+	// lands it. Unsampled calls pay one atomic increment.
+	start := time.Now()
+	var ictx obs.SpanContext
+	var itr *queryTrace
+	if s.tracingArmed() {
+		id := s.nextIngestID.Add(1)
+		every := s.traceEvery
+		if every == 0 {
+			every = 1
+		}
+		if (id-1)%every == 0 {
+			ictx = obs.NewTraceContext()
+			itr = s.pipelineTrace("ingest", id, ictx)
+		}
+	}
 	f := s.feed
 	f.mu.Lock()
 	if len(rows) > f.capRows {
@@ -157,6 +181,12 @@ func (s *Server) StreamIngest(table string, rows ...[]algebra.Value) error {
 				obs.String("action", "shed"),
 				obs.String("table", table),
 				obs.Int("rows", int64(len(rows))))
+			if ictx.Valid() {
+				s.traceSpan(itr, ictx, "ingest.stream", start, time.Since(start),
+					obs.String("table", table), obs.Int("rows", int64(len(rows))),
+					obs.String("outcome", "shed"))
+				itr.finish()
+			}
 			return ErrBackpressure
 		}
 	}
@@ -170,6 +200,8 @@ func (s *Server) StreamIngest(table string, rows ...[]algebra.Value) error {
 		rows:     rows,
 		seq:      f.acceptedSeq,
 		accepted: time.Now(),
+		ctx:      ictx,
+		trace:    itr,
 		done:     make(chan error, 1),
 	}
 	f.entries = append(f.entries, e)
@@ -177,6 +209,12 @@ func (s *Server) StreamIngest(table string, rows ...[]algebra.Value) error {
 	full := f.rows >= f.groupRows
 	s.gIngestBuffer.Set(float64(f.rows))
 	f.mu.Unlock()
+	if ictx.Valid() {
+		// Admission (including any backpressure wait) is its own span.
+		s.traceSpan(itr, ictx.NewChild(), "ingest.accept", start, time.Since(start),
+			obs.String("table", table), obs.Int("rows", int64(len(rows))),
+			obs.Int("seq", int64(e.seq)))
+	}
 
 	if full {
 		// This caller filled the group: it leads the commit inline.
@@ -187,13 +225,24 @@ func (s *Server) StreamIngest(table string, rows ...[]algebra.Value) error {
 	// is needed and an idle feed costs nothing.
 	timer := time.NewTimer(f.linger)
 	select {
-	case err := <-e.done:
+	case err = <-e.done:
 		timer.Stop()
-		return err
 	case <-timer.C:
 		f.flush()
-		return <-e.done
+		err = <-e.done
 	}
+	if ictx.Valid() {
+		attrs := []obs.Attr{
+			obs.String("table", table), obs.Int("rows", int64(len(rows))),
+			obs.Int("seq", int64(e.seq)),
+		}
+		if err != nil {
+			attrs = append(attrs, obs.String("error", err.Error()))
+		}
+		s.traceSpan(itr, ictx, "ingest.stream", start, time.Since(start), attrs...)
+		itr.finish()
+	}
+	return err
 }
 
 // waitUntil parks the caller on the not-full condition until a wakeup or
@@ -250,7 +299,34 @@ func (f *changeFeed) deliver(entries []*feedEntry) {
 	}
 	errs := make(map[string]error, len(order))
 	for _, table := range order {
-		errs[table] = s.ingest(table, byTable[table], true, "stream")
+		// Sampled entries' span contexts ride into the scheduler with the
+		// batch, so the epoch that lands it can adopt/link their traces.
+		var refs []ingestTraceRef
+		for _, e := range entries {
+			if e.table == table && e.ctx.Valid() {
+				refs = append(refs, ingestTraceRef{ctx: e.ctx, trace: e.trace})
+			}
+		}
+		gstart := time.Now()
+		lsn, err := s.ingest(table, byTable[table], true, "stream", refs...)
+		errs[table] = err
+		gdur := time.Since(gstart)
+		for _, ref := range refs {
+			gctx := ref.ctx.NewChild()
+			gattrs := []obs.Attr{
+				obs.String("table", table),
+				obs.Int("rows", int64(len(byTable[table]))),
+				obs.Int("entries", int64(len(entries))),
+			}
+			if err != nil {
+				gattrs = append(gattrs, obs.String("error", err.Error()))
+			}
+			s.traceSpan(ref.trace, gctx, "ingest.group_commit", gstart, gdur, gattrs...)
+			if lsn > 0 {
+				s.traceSpan(ref.trace, gctx.NewChild(), "journal.append", gstart, gdur,
+					obs.Int("lsn", int64(lsn)))
+			}
+		}
 	}
 
 	now := time.Now()

@@ -113,6 +113,16 @@ func (s *Server) Checkpoint() (*snapshot.CheckpointResult, error) {
 }
 
 func (s *Server) checkpointLocked() (*snapshot.CheckpointResult, error) {
+	// Checkpoints are part of the pipeline's causal story: each attempt
+	// gets its own trace-ring entry (kind "checkpoint") when tracing is
+	// armed, with declines, segment writes, compaction, and GC as spans.
+	ckStart := time.Now()
+	var cctx obs.SpanContext
+	var ctr *queryTrace
+	if s.tracingArmed() {
+		cctx = obs.NewTraceContext()
+		ctr = s.pipelineTrace("checkpoint", uint64(s.stats.epochs.Load()), cctx)
+	}
 	// Unlanded deltas mean incremental refreshes may already have folded
 	// rows into view tables that the acked watermark does not cover —
 	// snapshotting now would double-apply them on recovery. Decline; the
@@ -130,6 +140,11 @@ func (s *Server) checkpointLocked() (*snapshot.CheckpointResult, error) {
 			obs.String("action", "declined"),
 			obs.String("reason", "unlanded deltas"),
 			obs.Int("declines", declined))
+		if cctx.Valid() {
+			s.traceSpan(ctr, cctx, "snapshot.checkpoint", ckStart, time.Since(ckStart),
+				obs.String("outcome", "declined"), obs.String("reason", "unlanded deltas"))
+			ctr.finish()
+		}
 		return nil, nil
 	}
 	sc := s.sched
@@ -164,8 +179,19 @@ func (s *Server) checkpointLocked() (*snapshot.CheckpointResult, error) {
 			// Dropped between the registry scan and now (advice swap); skip.
 			continue
 		}
+		// Stamp the segment with the view's lineage watermark: the epoch it
+		// reached, the acked LSN its rows cover, and the fingerprint of the
+		// exact contents being persisted. Recovery seeds the restored view's
+		// lineage from this mark, and the chaos suite verifies the restored
+		// rows hash back to it.
+		table := v.Table()
 		in.Views = append(in.Views, snapshot.ViewData{
-			Name: p.name, Plan: v.Plan, Table: v.Table(), Epoch: p.epoch,
+			Name: p.name, Plan: v.Plan, Table: table, Epoch: p.epoch,
+			Lineage: snapshot.LineageMark{
+				Epoch:       p.epoch,
+				LSN:         watermark,
+				Fingerprint: tableFingerprint(table),
+			},
 		})
 	}
 
@@ -174,6 +200,15 @@ func (s *Server) checkpointLocked() (*snapshot.CheckpointResult, error) {
 		s.snapMu.Lock()
 		s.snapState.failures++
 		s.snapMu.Unlock()
+		if cctx.Valid() {
+			s.traceSpan(ctr, cctx, "snapshot.checkpoint", ckStart, time.Since(ckStart),
+				obs.String("outcome", "failed"), obs.String("error", err.Error()))
+			ctr.finish()
+		}
+		// A failed checkpoint is a forensic episode: dump the recent past.
+		s.dumpFlight("checkpoint_error",
+			obs.Int("epoch", int64(in.Epoch)),
+			obs.String("error", err.Error()))
 		return nil, err
 	}
 
@@ -181,16 +216,33 @@ func (s *Server) checkpointLocked() (*snapshot.CheckpointResult, error) {
 	// even if compaction or GC fails.
 	truncated := true
 	if sc.journal != nil && watermark > 0 {
-		if err := sc.journal.Truncate(watermark); err != nil {
+		tstart := time.Now()
+		terr := sc.journal.Truncate(watermark)
+		if cctx.Valid() {
+			tattrs := []obs.Attr{obs.Int("watermark", int64(watermark))}
+			if terr != nil {
+				tattrs = append(tattrs, obs.String("error", terr.Error()))
+			}
+			s.traceSpan(ctr, cctx.NewChild(), "journal.truncate", tstart, time.Since(tstart), tattrs...)
+		}
+		if terr != nil {
 			truncated = false
 			s.snapMu.Lock()
 			s.snapState.truncFails++
 			s.snapMu.Unlock()
 			obs.Emit(s.obsv, obs.EvServeJournal,
-				obs.String("action", "truncate"), obs.String("error", err.Error()))
+				obs.String("action", "truncate"), obs.String("error", terr.Error()))
 		}
 	}
+	gcStart := time.Now()
 	aged, gcErr := s.snap.GC(s.snapRetain)
+	if cctx.Valid() {
+		gattrs := []obs.Attr{obs.Int("aged_out", int64(aged))}
+		if gcErr != nil {
+			gattrs = append(gattrs, obs.String("error", gcErr.Error()))
+		}
+		s.traceSpan(ctr, cctx.NewChild(), "snapshot.gc", gcStart, time.Since(gcStart), gattrs...)
+	}
 	if gcErr != nil {
 		obs.Emit(s.obsv, obs.EvSnapshotCheckpoint,
 			obs.String("gc_error", gcErr.Error()))
@@ -213,6 +265,17 @@ func (s *Server) checkpointLocked() (*snapshot.CheckpointResult, error) {
 	s.snapMu.Unlock()
 	s.gSnapBytes.Set(float64(res.Bytes))
 	s.gSnapGen.Set(float64(res.Generation))
+
+	if cctx.Valid() {
+		s.traceSpan(ctr, cctx, "snapshot.checkpoint", ckStart, time.Since(ckStart),
+			obs.String("outcome", "ok"),
+			obs.Int("generation", int64(res.Generation)),
+			obs.Int("epoch", int64(in.Epoch)),
+			obs.Int("watermark", int64(watermark)),
+			obs.Int("views", int64(len(in.Views))),
+			obs.Int("bytes", res.Bytes))
+		ctr.finish()
+	}
 
 	obs.Emit(s.obsv, obs.EvSnapshotCheckpoint,
 		obs.Int("generation", int64(res.Generation)),

@@ -153,7 +153,10 @@ func (s *Server) Health() map[string]ViewHealth {
 // exponentially with jitter, and engine.ErrNotIncremental returns
 // immediately — it is a design-time fallback signal, not a fault. The
 // server's base context aborts backoff sleeps when the server closes.
-func (s *Server) retryRefresh(ctx context.Context, label string, f func() (*engine.Result, error)) (*engine.Result, error) {
+// sctx is the step's span context (zero when the epoch is untraced); every
+// retry is stamped onto the flight recorder under it, so a dump shows which
+// attempts a struggling view burned. Returns how many attempts ran.
+func (s *Server) retryRefresh(ctx context.Context, sctx obs.SpanContext, label string, f func() (*engine.Result, error)) (*engine.Result, int, error) {
 	p := s.retry
 	guarded := func() (res *engine.Result, err error) {
 		defer func() {
@@ -169,10 +172,10 @@ func (s *Server) retryRefresh(ctx context.Context, label string, f func() (*engi
 	for attempt := 1; ; attempt++ {
 		res, err := guarded()
 		if err == nil || errors.Is(err, engine.ErrNotIncremental) {
-			return res, err
+			return res, attempt, err
 		}
 		if attempt >= p.MaxAttempts {
-			return nil, err
+			return nil, attempt, err
 		}
 		s.stats.retries.Add(1)
 		s.ctrRetries.Inc()
@@ -180,10 +183,16 @@ func (s *Server) retryRefresh(ctx context.Context, label string, f func() (*engi
 			obs.String("target", label),
 			obs.Int("attempt", int64(attempt)),
 			obs.String("error", err.Error()))
+		if sctx.Valid() {
+			s.flight.RecordEvent(sctx, obs.EvServeRetry,
+				obs.String("target", label),
+				obs.Int("attempt", int64(attempt)),
+				obs.String("error", err.Error()))
+		}
 		select {
 		case <-time.After(s.jittered(delay)):
 		case <-ctx.Done():
-			return nil, fmt.Errorf("serve: retry of %s aborted: %w (last error: %v)", label, ctx.Err(), err)
+			return nil, attempt, fmt.Errorf("serve: retry of %s aborted: %w (last error: %v)", label, ctx.Err(), err)
 		}
 		delay = time.Duration(float64(delay) * p.Multiplier)
 		if delay > p.MaxDelay {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -102,6 +103,10 @@ type viewState struct {
 	staleEpochs   int
 	sloViolated   bool
 	sloViolations int64
+
+	// lineage is the bounded history of epochs that produced this view's
+	// contents (see lineage.go), newest last.
+	lineage []LineageEntry
 }
 
 // policyDue reports whether the view's policy lets this epoch refresh it.
@@ -189,6 +194,26 @@ type scheduler struct {
 	// base tables (acked after ApplyDeltas) — the watermark a snapshot
 	// checkpoint stamps and the floor journal compaction truncates to.
 	ackedLSN uint64
+	// lastTakeLSN is the appendLSN the previous take() observed — the low
+	// bound of the next epoch's lineage LSN range, so consecutive epochs'
+	// (lo, hi] ranges partition the journal.
+	lastTakeLSN uint64
+	// bufBatches counts the ingest calls staged since the last take();
+	// pendingTraces carries the sampled ingest batches' span contexts into
+	// the epoch that lands them (both drained by take, both guarded by mu —
+	// the same lock that orders journaling, so a batch and its trace always
+	// land in the same epoch).
+	bufBatches    int
+	pendingTraces []ingestTraceRef
+}
+
+// ingestTraceRef ties one sampled ingest batch to the maintenance epoch
+// that lands it: ctx is the batch's span context (the epoch adopts the
+// first contributor's trace and links the rest), trace its ring entry (may
+// be nil when only the flight recorder is armed).
+type ingestTraceRef struct {
+	ctx   obs.SpanContext
+	trace *queryTrace
 }
 
 func newScheduler(s *Server, cfg Config) (*scheduler, error) {
@@ -296,34 +321,38 @@ func (sc *scheduler) stopTicker() {
 // buffered; a journaling failure refuses the ingestion entirely, so every
 // accepted batch is recoverable.
 func (s *Server) Ingest(table string, rows ...[]algebra.Value) error {
-	return s.ingest(table, rows, true, "")
+	_, err := s.ingest(table, rows, true, "")
+	return err
 }
 
-// ingest journals (when asked) and buffers delta rows. source tags the
+// ingest journals (when asked) and buffers delta rows, returning the
+// journal LSN the batch landed at (0 when unjournaled). source tags the
 // journal record with the ingestion path ("" for direct Ingest, "stream"
 // for the CDC change feed) so a replayed journal shows where rows entered.
-func (s *Server) ingest(table string, rows [][]algebra.Value, journal bool, source string) error {
+// refs carries the sampled span contexts of the batch; they ride the
+// buffer into the epoch that lands it.
+func (s *Server) ingest(table string, rows [][]algebra.Value, journal bool, source string, refs ...ingestTraceRef) (uint64, error) {
 	select {
 	case <-s.closed:
-		return ErrClosed
+		return 0, ErrClosed
 	default:
 	}
 	t, err := s.db.Table(table)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	for _, r := range rows {
 		if len(r) != t.Schema.Len() {
-			return fmt.Errorf("serve: row width %d does not match schema width %d of %s",
+			return 0, fmt.Errorf("serve: row width %d does not match schema width %d of %s",
 				len(r), t.Schema.Len(), table)
 		}
 	}
 	sc := s.sched
 	sc.mu.Lock()
+	var lsn uint64
 	if journal && sc.journal != nil {
 		// Write-ahead under the buffer lock, so the commit watermark taken
 		// by an epoch always covers exactly the rows it stages.
-		var lsn uint64
 		var err error
 		if sa, ok := sc.journal.(engine.SourceAppender); ok && source != "" {
 			lsn, err = sa.AppendSource(table, source, rows)
@@ -332,12 +361,18 @@ func (s *Server) ingest(table string, rows [][]algebra.Value, journal bool, sour
 		}
 		if err != nil {
 			sc.mu.Unlock()
-			return fmt.Errorf("serve: journaling deltas: %w", err)
+			return 0, fmt.Errorf("serve: journaling deltas: %w", err)
 		}
 		sc.appendLSN = lsn
 	}
 	sc.buf[table] = append(sc.buf[table], rows...)
 	sc.bufRows += len(rows)
+	sc.bufBatches++
+	for _, ref := range refs {
+		if ref.ctx.Valid() {
+			sc.pendingTraces = append(sc.pendingTraces, ref)
+		}
+	}
 	for _, vs := range sc.views {
 		if vs.rels[table] {
 			vs.pending += len(rows)
@@ -356,7 +391,7 @@ func (s *Server) ingest(table string, rows [][]algebra.Value, journal bool, sour
 		default:
 		}
 	}
-	return nil
+	return lsn, nil
 }
 
 // replayJournal re-ingests the journal's unacknowledged delta batches — the
@@ -388,7 +423,7 @@ func (s *Server) replayJournal() error {
 	var replayed int64
 	var maxLSN uint64
 	for _, rec := range pending {
-		if err := s.ingest(rec.Table, rec.Rows, false, rec.Source); err != nil {
+		if _, err := s.ingest(rec.Table, rec.Rows, false, rec.Source); err != nil {
 			return fmt.Errorf("serve: replaying journaled deltas for %s (LSN %d): %w", rec.Table, rec.LSN, err)
 		}
 		replayed += int64(len(rec.Rows))
@@ -536,14 +571,23 @@ func (sc *scheduler) hasWork() bool {
 }
 
 // take removes and returns the staged buffer plus the journal commit
-// watermark covering it.
-func (sc *scheduler) take() (map[string][][]algebra.Value, int, uint64) {
+// watermark covering it (ackLSN), the previous take's watermark (floorLSN —
+// together they bound the epoch's lineage range (floorLSN, ackLSN]), the
+// number of ingest batches staged, and the sampled span contexts that rode
+// in with them.
+func (sc *scheduler) take() (staged map[string][][]algebra.Value, n int, ackLSN, floorLSN uint64, batches int, refs []ingestTraceRef) {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
-	staged, n := sc.buf, sc.bufRows
+	staged, n = sc.buf, sc.bufRows
+	ackLSN, floorLSN = sc.appendLSN, sc.lastTakeLSN
+	batches = sc.bufBatches
+	refs = sc.pendingTraces
 	sc.buf = make(map[string][][]algebra.Value)
 	sc.bufRows = 0
-	return staged, n, sc.appendLSN
+	sc.bufBatches = 0
+	sc.pendingTraces = nil
+	sc.lastTakeLSN = sc.appendLSN
+	return staged, n, ackLSN, floorLSN, batches, refs
 }
 
 // runEpoch is one maintenance epoch, panic-guarded: a panicking refresh
@@ -629,9 +673,37 @@ func (s *Server) runEpochLocked() error {
 		// the next epoch.
 		return err
 	}
-	staged, n, ackLSN := sc.take()
+	staged, n, ackLSN, floorLSN, batches, traceRefs := sc.take()
 	sp := obs.Start(s.obsv, "serve.epoch", obs.Int("delta_rows", int64(n)))
 	defer obs.End(sp)
+
+	// Causal epoch trace: the epoch adopts the first sampled contributor's
+	// trace ID — so one trace ID follows a delta from StreamIngest through
+	// group commit, journal, and the refreshes that land it — and links the
+	// remaining contributors. With tracing and the flight recorder both off,
+	// every context below stays zero and every recording site no-ops.
+	epochStart := time.Now()
+	var ectx obs.SpanContext
+	var etr *queryTrace
+	if s.tracingArmed() {
+		if len(traceRefs) > 0 {
+			ectx = traceRefs[0].ctx.NewChild()
+		} else {
+			ectx = obs.NewTraceContext()
+		}
+		etr = s.pipelineTrace("epoch", s.epoch.Load()+1, ectx)
+		for _, ref := range traceRefs {
+			etr.link(ref.ctx.TraceID)
+		}
+	}
+	// child mints a span under the epoch span; zero when the epoch is
+	// untraced, so call sites stay nil-off.
+	child := func() obs.SpanContext {
+		if !ectx.Valid() {
+			return obs.SpanContext{}
+		}
+		return ectx.NewChild()
+	}
 
 	tables := make([]string, 0, len(staged))
 	for table := range staged {
@@ -726,24 +798,51 @@ func (s *Server) runEpochLocked() error {
 	sort.Strings(incremental)
 	sort.Strings(skipped)
 	sort.Strings(deferred)
+	// Record the views this epoch consciously did NOT refresh as
+	// zero-duration spans: a later forensic dump (SLO breach on a deferred
+	// manual view, breaker episode on a cooling one) must show the decision
+	// that let the view fall behind, not just the refreshes that ran.
+	if ectx.Valid() {
+		decided := time.Now()
+		for _, name := range skipped {
+			s.traceSpan(etr, child(), "refresh.skipped", decided, 0,
+				obs.String("view", name), obs.String("reason", "breaker-cooldown"))
+		}
+		for _, name := range deferred {
+			s.traceSpan(etr, child(), "refresh.deferred", decided, 0,
+				obs.String("view", name), obs.String("reason", "policy"))
+		}
+	}
 	// Price this epoch's delta propagations from the actual pending delta
 	// fractions, before the refreshes spend their measured I/O.
 	s.predictIncremental(incremental)
 
 	// outcome of every attempted refresh; breaker bookkeeping happens in
-	// one registry pass after the epoch's engine work is done.
+	// one registry pass after the epoch's engine work is done. modeByView
+	// records how each view's contents changed, for its lineage entry.
 	outcomes := make(map[string]error)
+	modeByView := make(map[string]string, len(incremental)+len(recompute))
+	for _, name := range recompute {
+		modeByView[name] = "recompute"
+	}
 
 	var reads, writes int64
 	incDone := 0
 	for _, name := range incremental {
-		res, err := s.retryRefresh(s.baseCtx, "incremental refresh of "+name, func() (*engine.Result, error) {
+		rctx, rstart := child(), time.Now()
+		res, attempts, err := s.retryRefresh(s.baseCtx, rctx, "incremental refresh of "+name, func() (*engine.Result, error) {
 			return s.db.IncrementalRefresh(name)
 		})
 		if errors.Is(err, engine.ErrNotIncremental) {
 			// The design promised delta propagation but the plan cannot be
 			// maintained that way — fall back to recomputation (not a
 			// fault, not retried).
+			if rctx.Valid() {
+				s.traceSpan(etr, rctx, "refresh.incremental", rstart, time.Since(rstart),
+					obs.String("view", name), obs.Int("attempts", int64(attempts)),
+					obs.String("outcome", "not-incremental"))
+			}
+			modeByView[name] = "recompute"
 			recompute = append(recompute, name)
 			continue
 		}
@@ -754,9 +853,22 @@ func (s *Server) runEpochLocked() error {
 			s.ctrFallbacks.Inc()
 			obs.Emit(s.obsv, obs.EvServeFallback,
 				obs.String("view", name), obs.String("error", err.Error()))
+			if rctx.Valid() {
+				s.traceSpan(etr, rctx, "refresh.incremental", rstart, time.Since(rstart),
+					obs.String("view", name), obs.Int("attempts", int64(attempts)),
+					obs.String("outcome", "fallback"), obs.String("error", err.Error()))
+			}
+			modeByView[name] = "fallback-recompute"
 			recompute = append(recompute, name)
 			continue
 		}
+		if rctx.Valid() {
+			s.traceSpan(etr, rctx, "refresh.incremental", rstart, time.Since(rstart),
+				obs.String("view", name), obs.Int("attempts", int64(attempts)),
+				obs.String("outcome", "ok"),
+				obs.Int("reads", res.TotalReads()), obs.Int("writes", res.TotalWrites()))
+		}
+		modeByView[name] = "incremental"
 		incDone++
 		outcomes[name] = nil
 		reads += res.TotalReads()
@@ -765,7 +877,8 @@ func (s *Server) runEpochLocked() error {
 	}
 	sort.Strings(recompute)
 
-	if _, err := s.retryRefresh(s.baseCtx, "delta application", func() (*engine.Result, error) {
+	actx, astart := child(), time.Now()
+	if _, _, err := s.retryRefresh(s.baseCtx, actx, "delta application", func() (*engine.Result, error) {
 		return nil, s.db.ApplyDeltas()
 	}); err != nil {
 		// Aborting here keeps the deltas pending in the engine — nothing is
@@ -783,12 +896,25 @@ func (s *Server) runEpochLocked() error {
 		}
 		return fmt.Errorf("serve: applying deltas: %w", err)
 	}
+	if actx.Valid() {
+		s.traceSpan(etr, actx, "epoch.apply", astart, time.Since(astart),
+			obs.Int("delta_rows", int64(n)))
+	}
 	if sc.journal != nil && ackLSN > 0 {
-		if err := sc.journal.Commit(ackLSN); err != nil {
+		cstart := time.Now()
+		commitErr := sc.journal.Commit(ackLSN)
+		if cctx := child(); cctx.Valid() {
+			cattrs := []obs.Attr{obs.Int("lsn", int64(ackLSN))}
+			if commitErr != nil {
+				cattrs = append(cattrs, obs.String("error", commitErr.Error()))
+			}
+			s.traceSpan(etr, cctx, "journal.commit", cstart, time.Since(cstart), cattrs...)
+		}
+		if commitErr != nil {
 			// The rows are applied; a commit failure only risks a duplicate
 			// replay after a crash. Surface it and carry on.
 			obs.Emit(s.obsv, obs.EvServeJournal,
-				obs.String("action", "commit"), obs.String("error", err.Error()))
+				obs.String("action", "commit"), obs.String("error", commitErr.Error()))
 		}
 	}
 	if ackLSN > 0 {
@@ -801,7 +927,8 @@ func (s *Server) runEpochLocked() error {
 
 	recomputed := 0
 	for _, name := range recompute {
-		res, err := s.retryRefresh(s.baseCtx, "refresh of "+name, func() (*engine.Result, error) {
+		rctx, rstart := child(), time.Now()
+		res, attempts, err := s.retryRefresh(s.baseCtx, rctx, "refresh of "+name, func() (*engine.Result, error) {
 			return s.db.Refresh(name)
 		})
 		if err != nil {
@@ -809,7 +936,18 @@ func (s *Server) runEpochLocked() error {
 			s.ctrRefreshFail.Inc()
 			s.winRefreshFail.Add(time.Now().Unix(), 1)
 			outcomes[name] = err
+			if rctx.Valid() {
+				s.traceSpan(etr, rctx, "refresh.recompute", rstart, time.Since(rstart),
+					obs.String("view", name), obs.Int("attempts", int64(attempts)),
+					obs.String("outcome", "failed"), obs.String("error", err.Error()))
+			}
 			continue
+		}
+		if rctx.Valid() {
+			s.traceSpan(etr, rctx, "refresh.recompute", rstart, time.Since(rstart),
+				obs.String("view", name), obs.Int("attempts", int64(attempts)),
+				obs.String("outcome", "ok"),
+				obs.Int("reads", res.TotalReads()), obs.Int("writes", res.TotalWrites()))
 		}
 		recomputed++
 		outcomes[name] = nil
@@ -869,6 +1007,19 @@ func (s *Server) runEpochLocked() error {
 				pending += len(sc.buf[rel])
 			}
 			vs.pending = pending
+			// The refresh succeeded: this epoch's journal range now backs
+			// the view's contents. Fingerprints are stamped lazily (at
+			// checkpoint time and on /lineage reads), never here.
+			vs.addLineage(LineageEntry{
+				Epoch:        epoch,
+				LSNLo:        floorLSN,
+				LSNHi:        ackLSN,
+				DeltaRows:    n,
+				DeltaBatches: batches,
+				Mode:         modeByView[name],
+				TraceID:      ectx.TraceID,
+				At:           now,
+			})
 			continue
 		}
 		vs.failures++
@@ -920,10 +1071,12 @@ func (s *Server) runEpochLocked() error {
 	}
 	sc.mu.Unlock()
 
+	var breachedViews []string
 	for _, ch := range sloChanges {
 		action := "recovered"
 		if ch.violated {
 			action = "violated"
+			breachedViews = append(breachedViews, ch.view)
 			s.stats.sloViolations.Add(1)
 			s.ctrSLOViolations.Inc()
 		}
@@ -935,9 +1088,11 @@ func (s *Server) runEpochLocked() error {
 	}
 
 	trips := 0
+	var tripped []string
 	for _, ch := range changes {
 		if ch.to == BreakerOpen {
 			trips++
+			tripped = append(tripped, ch.view)
 		}
 		obs.Emit(s.obsv, obs.EvServeBreaker,
 			obs.String("view", ch.view),
@@ -950,6 +1105,22 @@ func (s *Server) runEpochLocked() error {
 		s.ctrBreakerTrips.Add(int64(trips))
 	}
 
+	// Forensic flight dumps: one per epoch per episode kind, taken after the
+	// epoch's refresh (and deliberately-not-refreshed) spans landed in the
+	// recorder, so the dump shows the recent past that led to the episode.
+	if len(breachedViews) > 0 {
+		sort.Strings(breachedViews)
+		s.dumpFlight("slo_breach",
+			obs.Int("epoch", int64(epoch)),
+			obs.String("views", strings.Join(breachedViews, ",")))
+	}
+	if len(tripped) > 0 {
+		sort.Strings(tripped)
+		s.dumpFlight("breaker_open",
+			obs.Int("epoch", int64(epoch)),
+			obs.String("views", strings.Join(tripped, ",")))
+	}
+
 	s.stats.epochs.Add(1)
 	s.stats.incRefreshes.Add(int64(incDone))
 	s.stats.recomputes.Add(int64(recomputed))
@@ -960,6 +1131,28 @@ func (s *Server) runEpochLocked() error {
 	s.ctrRefreshW.Add(writes)
 	s.gStaleRows.Set(float64(stale))
 	s.gUnhealthy.Set(float64(unhealthy))
+
+	if ectx.Valid() {
+		// Stamp each contributor's ingest trace with the epoch that landed
+		// it, close the epoch's own span tree, and publish the join point
+		// that lets the next sampled query complete the causal chain.
+		landed := time.Now()
+		for _, ref := range traceRefs {
+			s.traceSpan(ref.trace, ref.ctx.NewChild(), "epoch.landed", landed, 0,
+				obs.Int("epoch", int64(epoch)),
+				obs.Int("epoch_trace_id", int64(ectx.TraceID)))
+		}
+		s.traceSpan(etr, ectx, "serve.epoch", epochStart, time.Since(epochStart),
+			obs.Int("epoch", int64(epoch)),
+			obs.Int("delta_rows", int64(n)),
+			obs.Int("delta_batches", int64(batches)),
+			obs.Int("lsn_lo", int64(floorLSN)),
+			obs.Int("lsn_hi", int64(ackLSN)),
+			obs.Int("incremental", int64(incDone)),
+			obs.Int("recomputed", int64(recomputed)))
+		etr.finish()
+		s.epochLink.Store(&epochTraceLink{epoch: epoch, traceID: ectx.TraceID, ctx: ectx, trace: etr})
+	}
 
 	obs.Emit(s.obsv, obs.EvServeEpoch,
 		obs.Int("epoch", int64(epoch)),

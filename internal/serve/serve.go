@@ -176,6 +176,15 @@ type Config struct {
 	TraceSampleEvery int
 	// TraceRingSize bounds the sampled-trace ring (default DefaultTraceRing).
 	TraceRingSize int
+	// FlightDir is where flight-recorder dumps are written when an SLO
+	// breach, breaker-open, or checkpoint-failure episode latches. Empty
+	// keeps dumps in memory only (served by FlightDumps and /flight).
+	FlightDir string
+	// FlightRecorderSize bounds the flight recorder's span/event ring
+	// (default 1024). The recorder is armed whenever trace sampling is on or
+	// FlightDir is set; with both off it is nil and the write path records
+	// nothing.
+	FlightRecorderSize int
 	// Obs receives serving spans, events, counters and gauges. Nil
 	// disables instrumentation.
 	Obs obs.Observer
@@ -333,6 +342,16 @@ type Server struct {
 	nextQueryID atomic.Uint64
 	traceEvery  uint64
 	traces      *traceRing
+	// nextIngestID numbers StreamIngest calls for write-path sampling
+	// (same stride as query sampling).
+	nextIngestID atomic.Uint64
+	// flight is the always-on forensic ring (nil when tracing is off and no
+	// FlightDir is set); epochLink joins sampled queries to the pipeline
+	// trace of the epoch they read; exemplars links latency buckets to
+	// sampled trace IDs (nil when sampling is off).
+	flight    *obs.FlightRecorder
+	epochLink atomic.Pointer[epochTraceLink]
+	exemplars *exemplarSet
 
 	// Durable snapshots (snap nil when checkpointing is off). snapEpochs
 	// counts landed epochs toward the epoch-count trigger; snapMu guards
@@ -355,6 +374,7 @@ type Server struct {
 	ctrStreamRows, ctrStreamGroups                    *obs.Counter
 	ctrStreamShed, ctrStreamBlocked                   *obs.Counter
 	ctrSLOViolations, ctrCheckpointDeclined           *obs.Counter
+	ctrFlightDumps                                    *obs.Counter
 	gQueueDepth, gStaleRows, gUnhealthy               *obs.Gauge
 	gSnapBytes, gSnapGen, gIngestBuffer               *obs.Gauge
 }
@@ -369,6 +389,7 @@ type serverStats struct {
 	streamRows, streamGroups                       atomic.Int64
 	streamShed, streamBlocked                      atomic.Int64
 	sloViolations                                  atomic.Int64
+	flightDumps                                    atomic.Int64
 	lat                                            latencyHist
 	// streamLag is the accepted→group-committed latency of streamed rows.
 	streamLag latencyHist
@@ -466,6 +487,10 @@ func newServer(cfg Config) (*Server, error) {
 			ring = DefaultTraceRing
 		}
 		s.traces = newTraceRing(ring)
+		s.exemplars = &exemplarSet{}
+	}
+	if cfg.TraceSampleEvery > 0 || cfg.FlightDir != "" {
+		s.flight = obs.NewFlightRecorder(cfg.FlightRecorderSize, cfg.FlightDir)
 	}
 	for _, q := range cfg.Queries {
 		if q.Name == "" || q.Plan == nil {
@@ -508,6 +533,7 @@ func newServer(cfg Config) (*Server, error) {
 	s.ctrStreamBlocked = obs.CounterOf(cfg.Obs, obs.CtrServeStreamBlocked)
 	s.ctrSLOViolations = obs.CounterOf(cfg.Obs, obs.CtrServeSLOViolations)
 	s.ctrCheckpointDeclined = obs.CounterOf(cfg.Obs, obs.CtrServeCheckpointDeclined)
+	s.ctrFlightDumps = obs.CounterOf(cfg.Obs, obs.CtrServeFlightDumps)
 	if reg := obs.RegistryOf(cfg.Obs); reg != nil {
 		s.gQueueDepth = reg.Gauge(obs.GaugeServeQueueDepth)
 		s.gStaleRows = reg.Gauge(obs.GaugeServeStaleRows)
@@ -527,11 +553,36 @@ func newServer(cfg Config) (*Server, error) {
 		s.snapEpochs.Store(int64(r.SnapshotEpoch))
 		sched.mu.Lock()
 		sched.ackedLSN = r.Watermark
-		for _, vs := range sched.views {
+		// The first post-recovery epoch's lineage covers the journal suffix
+		// past the snapshot watermark — not LSN 0.
+		sched.lastTakeLSN = r.Watermark
+		for name, vs := range sched.views {
 			vs.epoch = r.SnapshotEpoch
 			vs.lastRefresh = r.SnapshotCreatedAt
+			// Restored views seed their lineage from the manifest's lineage
+			// watermark; recomputed views start a fresh lineage with the
+			// recovery itself as the first entry.
+			if mark, ok := r.ViewLineage[name]; ok {
+				vs.lineage = append(vs.lineage, LineageEntry{
+					Epoch: mark.Epoch, LSNLo: mark.LSN, LSNHi: mark.LSN,
+					Mode: "restored", Fingerprint: mark.Fingerprint,
+					At: r.SnapshotCreatedAt,
+				})
+			} else {
+				vs.lineage = append(vs.lineage, LineageEntry{
+					Epoch: r.SnapshotEpoch, LSNLo: r.Watermark, LSNHi: r.Watermark,
+					Mode: "recovered-recompute", At: r.SnapshotCreatedAt,
+				})
+			}
 		}
 		sched.mu.Unlock()
+	}
+	if r := cfg.Recovery; r != nil && r.CorruptArtifacts > 0 {
+		// Checkpoint-corruption episode: recovery had to fall back past
+		// corrupt artifacts. Latch one forensic dump for the postmortem.
+		s.dumpFlight("recovery_corruption",
+			obs.Int("corrupt_artifacts", int64(r.CorruptArtifacts)),
+			obs.Int("generation", int64(r.Generation)))
 	}
 
 	if err := s.replayJournal(); err != nil {
@@ -606,7 +657,7 @@ func (s *Server) submit(ctx context.Context, name string, plan algebra.Node) (*R
 	if s.traces != nil {
 		id := s.nextQueryID.Add(1)
 		if (id-1)%s.traceEvery == 0 {
-			qt = &queryTrace{id: id, query: name, start: start}
+			qt = &queryTrace{id: id, kind: "query", traceID: obs.NewTraceContext().TraceID, query: name, start: start}
 			s.traces.add(qt)
 			s.traceStage(qt, "admit", obs.String("query", name))
 		}
@@ -620,6 +671,10 @@ func (s *Server) submit(ctx context.Context, name string, plan algebra.Node) (*R
 		lat := time.Since(start)
 		s.stats.lat.record(lat)
 		s.winLat.Record(nowSec, lat)
+		if qt != nil {
+			s.joinEpochTrace(qt, epoch, true, 0)
+			s.exemplars.record(lat, qt.traceID, qt.id)
+		}
 		s.traceStage(qt, "cache_hit", obs.Int("epoch", int64(epoch)))
 		s.traceStage(qt, "reply",
 			obs.Bool("cached", true), obs.Int("latency_us", lat.Microseconds()))
@@ -657,6 +712,9 @@ func (s *Server) submit(ctx context.Context, name string, plan algebra.Node) (*R
 		resp.res.Latency = time.Since(start)
 		s.stats.lat.record(resp.res.Latency)
 		s.winLat.Record(time.Now().Unix(), resp.res.Latency)
+		if qt != nil {
+			s.exemplars.record(resp.res.Latency, qt.traceID, qt.id)
+		}
 		s.traceStage(qt, "reply",
 			obs.Bool("cached", false),
 			obs.Bool("degraded", resp.res.Degraded),
@@ -740,8 +798,15 @@ func (s *Server) handle(req *request) {
 		req.done <- response{err: err}
 		return
 	}
-	s.traceStage(req.qt, "execute",
-		obs.Int("reads", res.TotalReads()), obs.Int("epoch", int64(epoch)))
+	executeAttrs := []obs.Attr{
+		obs.Int("reads", res.TotalReads()), obs.Int("epoch", int64(epoch)),
+	}
+	if req.qt != nil {
+		if ptid := s.joinEpochTrace(req.qt, epoch, false, res.TotalReads()); ptid != 0 {
+			executeAttrs = append(executeAttrs, obs.Int("pipeline_trace_id", int64(ptid)))
+		}
+	}
+	s.traceStage(req.qt, "execute", executeAttrs...)
 	if !degraded && req.name != "" {
 		// Record the measured I/O against the query class's predicted cost.
 		// Degraded executions ran the base-relation plan, which the
@@ -865,6 +930,9 @@ type Stats struct {
 	// SLOViolations counts freshness-SLO violation episodes (a view
 	// entering the violated state; recovery and re-violation count again).
 	SLOViolations int64
+	// FlightDumps counts flight-recorder dumps latched by episodes (SLO
+	// breach, breaker open, checkpoint failure, recovery corruption).
+	FlightDumps int64
 	// IngestLagP50/P95/P99 are accepted→group-committed latency quantiles
 	// of streamed rows.
 	IngestLagP50, IngestLagP95, IngestLagP99 time.Duration
@@ -929,6 +997,7 @@ func (s *Server) Stats() Stats {
 		StreamShed:           s.stats.streamShed.Load(),
 		StreamBlocked:        s.stats.streamBlocked.Load(),
 		SLOViolations:        s.stats.sloViolations.Load(),
+		FlightDumps:          s.stats.flightDumps.Load(),
 		IngestLagP50:         s.stats.streamLag.quantile(0.50),
 		IngestLagP95:         s.stats.streamLag.quantile(0.95),
 		IngestLagP99:         s.stats.streamLag.quantile(0.99),
@@ -984,3 +1053,72 @@ func (s *Server) IsClosed() bool {
 		return false
 	}
 }
+
+// tracingArmed reports whether the write path should mint span contexts:
+// either the trace ring or the flight recorder is live. With both off,
+// every propagation site skips context minting entirely.
+func (s *Server) tracingArmed() bool { return s.traces != nil || s.flight != nil }
+
+// epochTraceLink joins sampled queries to the pipeline trace of the epoch
+// whose contents they read. The scheduler publishes one per traced epoch;
+// the first sampled query that reads the epoch records a query.read span
+// into the epoch's span tree, completing the delta's causal chain (ingest →
+// group commit → journal → epoch → refresh → query hit).
+type epochTraceLink struct {
+	epoch   uint64
+	traceID uint64
+	ctx     obs.SpanContext
+	trace   *queryTrace
+	// queryRecorded bounds the epoch entry's growth: only the first sampled
+	// reader appends a span; later readers only link.
+	queryRecorded atomic.Bool
+}
+
+// joinEpochTrace connects a sampled query to the pipeline trace of the
+// epoch it read (if that epoch was traced): the query links the pipeline
+// trace ID, and the first sampled reader per epoch hangs a query.read span
+// under the epoch's root span. Returns the pipeline trace ID (0 when the
+// epoch was not traced).
+func (s *Server) joinEpochTrace(qt *queryTrace, epoch uint64, cached bool, reads int64) uint64 {
+	link := s.epochLink.Load()
+	if link == nil || link.epoch != epoch {
+		return 0
+	}
+	qt.link(link.traceID)
+	if link.queryRecorded.CompareAndSwap(false, true) {
+		now := time.Now()
+		s.traceSpan(link.trace, link.ctx.NewChild(), "query.read", now, 0,
+			obs.Int("query_id", int64(qt.id)),
+			obs.Int("query_trace_id", int64(qt.traceID)),
+			obs.Bool("cached", cached),
+			obs.Int("reads", reads),
+			obs.Int("epoch", int64(epoch)))
+	}
+	return link.traceID
+}
+
+// dumpFlight latches one flight-recorder dump for a forensic episode.
+// No-op when the recorder is off.
+func (s *Server) dumpFlight(reason string, attrs ...obs.Attr) {
+	if s.flight == nil {
+		return
+	}
+	d := s.flight.Dump(reason, attrs...)
+	s.stats.flightDumps.Add(1)
+	s.ctrFlightDumps.Inc()
+	evAttrs := append([]obs.Attr{
+		obs.String("reason", reason),
+		obs.Int("records", int64(len(d.Records))),
+		obs.String("path", d.Path),
+	}, attrs...)
+	obs.Emit(s.obsv, obs.EvFlightDump, evAttrs...)
+}
+
+// FlightDumps returns the retained flight-recorder dumps, oldest first
+// (nil when the recorder is off).
+func (s *Server) FlightDumps() []obs.FlightDump { return s.flight.Dumps() }
+
+// LatencyExemplars returns the per-bucket latency exemplars — the most
+// recent sampled query latency in each histogram bucket with its trace ID.
+// Nil when trace sampling is off.
+func (s *Server) LatencyExemplars() []LatencyExemplar { return s.exemplars.snapshot() }

@@ -15,6 +15,16 @@ import (
 // event tagged with the same query_id, so one query's full path greps out
 // of a JSON trace by ID. Unsampled queries pay one atomic increment;
 // with sampling off the hot path pays nothing at all.
+//
+// The same ring also carries the write path. Sampled StreamIngest batches
+// mint an obs.SpanContext that rides the change feed through group commit
+// and journal append; the maintenance epoch that lands the batch inherits
+// the first contributor's trace ID (and links the rest), and hangs its
+// per-view refresh spans under the epoch span. Checkpoints get their own
+// entries. So /traces renders full causal span trees — ingest → group
+// commit → journal LSN → epoch → refresh — instead of flat stage lists,
+// and one trace ID follows a delta from StreamIngest to the query that
+// read it.
 
 // TraceStage is one recorded step of a sampled query's lifecycle.
 type TraceStage struct {
@@ -27,11 +37,37 @@ type TraceStage struct {
 	Detail map[string]any `json:"detail,omitempty"`
 }
 
-// QueryTrace is the exported lifecycle of one sampled query.
+// PipelineSpan is one completed span of a pipeline trace: a timed region
+// of the write path (ingest accept, group commit, journal append, epoch,
+// per-view refresh, checkpoint phase) with its causal identity. Parent
+// points at another span of the same trace (0 for roots), so a trace's
+// spans reassemble into a tree.
+type PipelineSpan struct {
+	SpanID     uint64         `json:"span_id"`
+	Parent     uint64         `json:"parent_span_id,omitempty"`
+	Name       string         `json:"name"`
+	AtUS       int64          `json:"at_us"`
+	DurationUS int64          `json:"duration_us"`
+	Detail     map[string]any `json:"detail,omitempty"`
+}
+
+// QueryTrace is the exported form of one sampled trace-ring entry. The
+// original query-only fields keep their exact meaning; write-path entries
+// (kind "ingest", "epoch", "checkpoint") additionally carry the causal
+// trace ID, their span tree, and links to contributing trace IDs.
 type QueryTrace struct {
 	// ID is the query ID minted at router admission; every stage of this
 	// query — and every EvServeQuery observer event it emitted — carries it.
+	// Write-path entries reuse the field for their own sequence number.
 	ID uint64 `json:"query_id"`
+	// Kind distinguishes ring entries: "" or "query" for sampled queries,
+	// "ingest" for StreamIngest batches, "epoch" for maintenance epochs,
+	// "checkpoint" for snapshot checkpoints.
+	Kind string `json:"kind,omitempty"`
+	// TraceID is the causal trace this entry belongs to (0 when the entry
+	// predates span propagation — plain sampled queries not joined to a
+	// pipeline trace).
+	TraceID uint64 `json:"trace_id,omitempty"`
 	// Query is the workload query name ("" for ad-hoc Submit calls).
 	Query string `json:"query,omitempty"`
 	// StartedAt is the wall-clock admission time.
@@ -39,34 +75,58 @@ type QueryTrace struct {
 	// Done reports whether the reply stage has been recorded.
 	Done bool `json:"done"`
 	// Stages is the lifecycle in recording order.
-	Stages []TraceStage `json:"stages"`
+	Stages []TraceStage `json:"stages,omitempty"`
+	// Spans is the entry's span tree (write-path entries), parent-linked
+	// via PipelineSpan.Parent.
+	Spans []PipelineSpan `json:"spans,omitempty"`
+	// Links names other trace IDs that causally contributed to this entry
+	// (e.g. the sampled ingest batches an epoch landed beyond the first,
+	// whose trace ID the epoch adopts).
+	Links []uint64 `json:"links,omitempty"`
 }
 
-// queryTrace is the live, still-mutating form of a sampled query's trace.
+// queryTrace is the live, still-mutating form of one trace-ring entry.
 // The submitter and the worker both append stages; the lock is uncontended
 // in practice (stages alternate across the request's channel handoff) and
-// only sampled queries ever take it.
+// only sampled entries ever take it. Stages and spans keep their raw attr
+// slices — the Detail maps are materialized at export time, so the serving
+// hot path never builds a map.
 type queryTrace struct {
-	id    uint64
-	query string
-	start time.Time
+	id      uint64
+	kind    string
+	traceID uint64
+	query   string
+	start   time.Time
 
 	mu     sync.Mutex
 	done   bool
-	stages []TraceStage
+	stages []stageRec
+	spans  []spanRec
+	links  []uint64
+}
+
+// stageRec and spanRec are the record-time forms of TraceStage and
+// PipelineSpan: identical timing and identity, attrs still a slice.
+type stageRec struct {
+	name  string
+	atUS  int64
+	attrs []obs.Attr
+}
+
+type spanRec struct {
+	spanID uint64
+	parent uint64
+	name   string
+	atUS   int64
+	durUS  int64
+	attrs  []obs.Attr
 }
 
 func (t *queryTrace) stage(name string, attrs []obs.Attr) {
 	if t == nil {
 		return
 	}
-	st := TraceStage{Stage: name, AtUS: time.Since(t.start).Microseconds()}
-	if len(attrs) > 0 {
-		st.Detail = make(map[string]any, len(attrs))
-		for _, a := range attrs {
-			st.Detail[a.Key] = a.Value
-		}
-	}
+	st := stageRec{name: name, atUS: time.Since(t.start).Microseconds(), attrs: attrs}
 	t.mu.Lock()
 	t.stages = append(t.stages, st)
 	if name == "reply" {
@@ -75,14 +135,82 @@ func (t *queryTrace) stage(name string, attrs []obs.Attr) {
 	t.mu.Unlock()
 }
 
+// span records one completed span on the entry's tree. started is the
+// span's wall-clock start; offsets are relative to the entry's start (and
+// may be negative when a contributor span began before the entry existed).
+func (t *queryTrace) span(ctx obs.SpanContext, name string, started time.Time, dur time.Duration, attrs []obs.Attr) {
+	if t == nil {
+		return
+	}
+	sp := spanRec{
+		spanID: ctx.SpanID,
+		parent: ctx.Parent,
+		name:   name,
+		atUS:   started.Sub(t.start).Microseconds(),
+		durUS:  dur.Microseconds(),
+		attrs:  attrs,
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, sp)
+	t.mu.Unlock()
+}
+
+// link records a contributing trace ID (deduplicated, self-links dropped).
+func (t *queryTrace) link(traceID uint64) {
+	if t == nil || traceID == 0 || traceID == t.traceID {
+		return
+	}
+	t.mu.Lock()
+	for _, l := range t.links {
+		if l == traceID {
+			t.mu.Unlock()
+			return
+		}
+	}
+	t.links = append(t.links, traceID)
+	t.mu.Unlock()
+}
+
+// finish marks a write-path entry complete (queries finish via the
+// "reply" stage instead).
+func (t *queryTrace) finish() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.done = true
+	t.mu.Unlock()
+}
+
 func (t *queryTrace) export() QueryTrace {
 	t.mu.Lock()
 	out := QueryTrace{
 		ID:        t.id,
+		Kind:      t.kind,
+		TraceID:   t.traceID,
 		Query:     t.query,
 		StartedAt: t.start,
 		Done:      t.done,
-		Stages:    append([]TraceStage(nil), t.stages...),
+		Links:     append([]uint64(nil), t.links...),
+	}
+	if len(t.stages) > 0 {
+		out.Stages = make([]TraceStage, len(t.stages))
+		for i, st := range t.stages {
+			out.Stages[i] = TraceStage{Stage: st.name, AtUS: st.atUS, Detail: obs.AttrMap(st.attrs)}
+		}
+	}
+	if len(t.spans) > 0 {
+		out.Spans = make([]PipelineSpan, len(t.spans))
+		for i, sp := range t.spans {
+			out.Spans[i] = PipelineSpan{
+				SpanID:     sp.spanID,
+				Parent:     sp.parent,
+				Name:       sp.name,
+				AtUS:       sp.atUS,
+				DurationUS: sp.durUS,
+				Detail:     obs.AttrMap(sp.attrs),
+			}
+		}
 	}
 	t.mu.Unlock()
 	return out
@@ -126,6 +254,26 @@ func (r *traceRing) snapshot() []QueryTrace {
 	return out
 }
 
+// pipelineTrace publishes a new write-path entry into the trace ring.
+// Returns nil when trace sampling is off, so every recording site stays
+// nil-off. The entry's ID is a per-kind sequence number minted by the
+// caller (epoch number, checkpoint generation, ingest sequence).
+func (s *Server) pipelineTrace(kind string, id uint64, ctx obs.SpanContext) *queryTrace {
+	if s.traces == nil {
+		return nil
+	}
+	t := &queryTrace{id: id, kind: kind, traceID: ctx.TraceID, start: time.Now()}
+	s.traces.add(t)
+	return t
+}
+
+// traceSpan records one completed write-path span on a ring entry and
+// mirrors it into the flight recorder. Either sink may be nil.
+func (s *Server) traceSpan(t *queryTrace, ctx obs.SpanContext, name string, started time.Time, dur time.Duration, attrs ...obs.Attr) {
+	t.span(ctx, name, started, dur, attrs)
+	s.flight.RecordSpan(ctx, name, started, dur, attrs...)
+}
+
 // traceStage records one lifecycle stage on a sampled query's trace and
 // mirrors it to the observer as an EvServeQuery event carrying the same
 // query_id. No-op when qt is nil (query unsampled or sampling off).
@@ -134,14 +282,17 @@ func (s *Server) traceStage(qt *queryTrace, stage string, attrs ...obs.Attr) {
 		return
 	}
 	qt.stage(stage, attrs)
+	if s.obsv == nil {
+		return
+	}
 	tagged := make([]obs.Attr, 0, len(attrs)+2)
 	tagged = append(tagged, obs.Int("query_id", int64(qt.id)), obs.String("stage", stage))
 	tagged = append(tagged, attrs...)
 	obs.Emit(s.obsv, obs.EvServeQuery, tagged...)
 }
 
-// RecentTraces returns the sampled query traces currently in the ring,
-// oldest first. Nil when trace sampling is off.
+// RecentTraces returns the sampled traces currently in the ring, oldest
+// first. Nil when trace sampling is off.
 func (s *Server) RecentTraces() []QueryTrace {
 	if s.traces == nil {
 		return nil

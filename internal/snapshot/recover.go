@@ -53,6 +53,11 @@ type RecoveryStats struct {
 	Duration time.Duration
 	// SnapshotCreatedAt is the used snapshot's commit time (zero when Cold).
 	SnapshotCreatedAt time.Time
+	// ViewLineage carries each restored view's lineage watermark from the
+	// manifest, keyed by view name — the epoch, LSN, and fingerprint its
+	// restored contents correspond to. Views recomputed during recovery
+	// (and manifests predating lineage) have no entry.
+	ViewLineage map[string]LineageMark
 }
 
 // Recover builds the warehouse from the newest consistent snapshot, falling
@@ -195,6 +200,16 @@ func (st *Store) tryRestoreView(db *engine.DB, m *Manifest, v ViewDef, stats *Re
 	st.ctrRestored.Inc()
 	stats.ViewsRestored++
 	stats.Bytes += vs.Bytes
+	if vs.LineageEpoch > 0 || vs.LineageLSN > 0 || vs.LineageFingerprint != "" {
+		if stats.ViewLineage == nil {
+			stats.ViewLineage = make(map[string]LineageMark)
+		}
+		stats.ViewLineage[v.Name] = LineageMark{
+			Epoch:       vs.LineageEpoch,
+			LSN:         vs.LineageLSN,
+			Fingerprint: vs.LineageFingerprint,
+		}
+	}
 	return true
 }
 

@@ -103,6 +103,18 @@ func (s *SegmentStats) install(name string, t *engine.Table) {
 	})
 }
 
+// LineageMark is the lineage watermark a checkpoint stamps on a view
+// segment: which epoch and journal LSN the persisted contents correspond
+// to, and the order-insensitive fingerprint of those contents. Recovery
+// hands the mark back to the serving layer, which seeds the restored
+// view's lineage with it — so lineage survives a crash-restart and the
+// restored rows can be verified against the recorded fingerprint.
+type LineageMark struct {
+	Epoch       uint64 `json:"epoch"`
+	LSN         uint64 `json:"lsn"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+}
+
 // ViewSegment is a materialized view's manifest entry.
 type ViewSegment struct {
 	Segment
@@ -112,6 +124,11 @@ type ViewSegment struct {
 	DefHash string `json:"def_hash"`
 	// Epoch is the maintenance epoch the view had reached when persisted.
 	Epoch uint64 `json:"epoch"`
+	// Lineage fields: the epoch/LSN/fingerprint watermark of the persisted
+	// contents (zero values on manifests written before lineage existed).
+	LineageEpoch       uint64 `json:"lineage_epoch,omitempty"`
+	LineageLSN         uint64 `json:"lineage_lsn,omitempty"`
+	LineageFingerprint string `json:"lineage_fingerprint,omitempty"`
 }
 
 // Manifest is a generation's commit record.
@@ -219,6 +236,9 @@ type ViewData struct {
 	Table *engine.Table
 	// Epoch is the view's maintenance epoch at capture time.
 	Epoch uint64
+	// Lineage is the view's lineage watermark at capture time (zero when
+	// the caller does not track lineage).
+	Lineage LineageMark
 }
 
 // CheckpointInput is everything one checkpoint persists.
@@ -343,8 +363,11 @@ func (st *Store) Checkpoint(in CheckpointInput) (*CheckpointResult, error) {
 				Name: v.Name, File: file, Rows: v.Table.NumRows(), Bytes: n,
 				Stats: statsOf(v.Name, v.Table),
 			},
-			DefHash: DefHash(v.Plan),
-			Epoch:   v.Epoch,
+			DefHash:            DefHash(v.Plan),
+			Epoch:              v.Epoch,
+			LineageEpoch:       v.Lineage.Epoch,
+			LineageLSN:         v.Lineage.LSN,
+			LineageFingerprint: v.Lineage.Fingerprint,
 		})
 	}
 	if err := st.commitManifest(dir, m); err != nil {

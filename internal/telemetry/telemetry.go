@@ -18,9 +18,17 @@
 //	               and per view (recompute and incremental separately) the
 //	               §4.1 predicted block cost, last/mean measured actuals,
 //	               EWMA calibration ratio, sample count, and drift flag.
-//	/traces        the sampled-query trace ring: each entry is one query's
+//	/traces        the sampled trace ring: query entries are one query's
 //	               correlated lifecycle (admit → cache/execute → reply)
-//	               under a single query ID.
+//	               under a single query ID; write-path entries (ingest,
+//	               epoch, checkpoint) carry full causal span trees under a
+//	               single trace ID.
+//	/lineage       per-view refresh lineage JSON: which epochs, journal LSN
+//	               ranges, and delta batches produced each view's current
+//	               contents, plus the live contents' fingerprint.
+//	/flight        the flight recorder's retained forensic dumps (one per
+//	               latched episode: SLO breach, breaker open, checkpoint
+//	               error, recovery corruption).
 //	/debug/pprof/  the standard runtime profiles.
 //
 // The plane is strictly pull-based and opt-in: nothing here runs unless a
@@ -72,6 +80,25 @@ type SnapshotSource interface {
 	SnapshotStats() serve.SnapshotStats
 }
 
+// LineageSource is the optional extension for /lineage and the lineage
+// block on /views; *serve.Server implements it.
+type LineageSource interface {
+	Lineage() map[string]serve.ViewLineage
+}
+
+// FlightSource is the optional extension for /flight; *serve.Server
+// implements it.
+type FlightSource interface {
+	FlightDumps() []obs.FlightDump
+}
+
+// ExemplarSource is the optional extension that attaches OpenMetrics
+// exemplars — concrete sampled trace IDs — to the latency histogram's
+// bucket lines; *serve.Server implements it.
+type ExemplarSource interface {
+	LatencyExemplars() []serve.LatencyExemplar
+}
+
 // Config assembles a telemetry server.
 type Config struct {
 	// Addr is the listen address (":9090", "127.0.0.1:0", ...).
@@ -112,6 +139,8 @@ func Serve(cfg Config) (*Server, error) {
 	mux.HandleFunc("/views", s.handleViews)
 	mux.HandleFunc("/costmodel", s.handleCostModel)
 	mux.HandleFunc("/traces", s.handleTraces)
+	mux.HandleFunc("/lineage", s.handleLineage)
+	mux.HandleFunc("/flight", s.handleFlight)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -231,11 +260,21 @@ type recoveryBlock struct {
 	DurationSeconds  float64 `json:"duration_seconds"`
 }
 
+// lineageSummary is the compact per-view lineage block on /views; the full
+// entry history lives on /lineage.
+type lineageSummary struct {
+	CurrentEpoch uint64 `json:"current_epoch"`
+	LSNHi        uint64 `json:"lsn_hi"`
+	Fingerprint  string `json:"fingerprint,omitempty"`
+	Entries      int    `json:"entries"`
+}
+
 func (s *Server) handleViews(w http.ResponseWriter, _ *http.Request) {
 	out := struct {
-		Epoch     uint64                `json:"epoch"`
-		Views     map[string]viewStatus `json:"views"`
-		Snapshots *snapshotBlock        `json:"snapshots,omitempty"`
+		Epoch     uint64                    `json:"epoch"`
+		Views     map[string]viewStatus     `json:"views"`
+		Snapshots *snapshotBlock            `json:"snapshots,omitempty"`
+		Lineage   map[string]lineageSummary `json:"lineage,omitempty"`
 	}{Views: map[string]viewStatus{}}
 	if s.src != nil {
 		out.Epoch = s.src.Epoch()
@@ -264,6 +303,19 @@ func (s *Server) handleViews(w http.ResponseWriter, _ *http.Request) {
 		if ss, ok := s.src.(SnapshotSource); ok {
 			if snap := ss.SnapshotStats(); snap.Configured {
 				out.Snapshots = snapshotBlockOf(snap)
+			}
+		}
+		if ls, ok := s.src.(LineageSource); ok {
+			if lin := ls.Lineage(); len(lin) > 0 {
+				out.Lineage = make(map[string]lineageSummary, len(lin))
+				for name, vl := range lin {
+					out.Lineage[name] = lineageSummary{
+						CurrentEpoch: vl.CurrentEpoch,
+						LSNHi:        vl.LSNHi,
+						Fingerprint:  vl.Fingerprint,
+						Entries:      len(vl.Entries),
+					}
+				}
 			}
 		}
 	}
@@ -333,6 +385,35 @@ func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
 		Sampled int                `json:"sampled"`
 		Traces  []serve.QueryTrace `json:"traces"`
 	}{Sampled: len(traces), Traces: traces}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleLineage(w http.ResponseWriter, _ *http.Request) {
+	out := struct {
+		Epoch uint64                       `json:"epoch"`
+		Views map[string]serve.ViewLineage `json:"views"`
+	}{Views: map[string]serve.ViewLineage{}}
+	if s.src != nil {
+		out.Epoch = s.src.Epoch()
+		if ls, ok := s.src.(LineageSource); ok {
+			out.Views = ls.Lineage()
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleFlight(w http.ResponseWriter, _ *http.Request) {
+	var dumps []obs.FlightDump
+	if fs, ok := s.src.(FlightSource); ok {
+		dumps = fs.FlightDumps()
+	}
+	if dumps == nil {
+		dumps = []obs.FlightDump{}
+	}
+	out := struct {
+		Dumps int              `json:"dumps"`
+		List  []obs.FlightDump `json:"list"`
+	}{Dumps: len(dumps), List: dumps}
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -447,7 +528,11 @@ func WriteMetrics(w io.Writer, reg *obs.Registry, src Source) {
 		writeSnapshotMetrics(w, ss.SnapshotStats())
 	}
 
-	writeHistogram(w, "mvpp_serve_latency_seconds", src.LatencySnapshot())
+	var exemplars []serve.LatencyExemplar
+	if es, ok := src.(ExemplarSource); ok {
+		exemplars = es.LatencyExemplars()
+	}
+	writeHistogramExemplars(w, "mvpp_serve_latency_seconds", src.LatencySnapshot(), exemplars)
 	writeHistogram(w, "mvpp_serve_window_latency_seconds", src.WindowLatencySnapshot())
 }
 
@@ -568,6 +653,18 @@ func writeViewGauge(w io.Writer, name string, views map[string]serve.Staleness, 
 // counts durations in [2^(i-1), 2^i) ns, so its cumulative upper bound is
 // (2^i - 1) ns. Empty trailing buckets collapse into +Inf.
 func writeHistogram(w io.Writer, name string, snap obs.HistSnapshot) {
+	writeHistogramExemplars(w, name, snap, nil)
+}
+
+// writeHistogramExemplars is writeHistogram plus OpenMetrics-style
+// exemplars: a bucket line whose bucket has a sampled exemplar gains a
+// "# {trace_id=...,query_id=...} value" suffix, linking the latency bucket
+// to a concrete trace retrievable from /traces.
+func writeHistogramExemplars(w io.Writer, name string, snap obs.HistSnapshot, exemplars []serve.LatencyExemplar) {
+	byBucket := make(map[int]serve.LatencyExemplar, len(exemplars))
+	for _, e := range exemplars {
+		byBucket[e.Bucket] = e
+	}
 	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
 	hi := -1
 	for i, n := range snap.Buckets {
@@ -579,7 +676,12 @@ func writeHistogram(w io.Writer, name string, snap obs.HistSnapshot) {
 	for i := 0; i <= hi; i++ {
 		cum += snap.Buckets[i]
 		le := (math.Ldexp(1, i) - 1) / 1e9
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(le), cum)
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d", name, formatFloat(le), cum)
+		if e, ok := byBucket[i]; ok {
+			fmt.Fprintf(w, " # {trace_id=\"%d\",query_id=\"%d\"} %s",
+				e.TraceID, e.QueryID, formatFloat(e.Seconds))
+		}
+		fmt.Fprintf(w, "\n")
 	}
 	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, snap.Count)
 	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(float64(snap.Sum)/1e9))
@@ -615,15 +717,18 @@ func escapeLabel(v string) string {
 }
 
 var (
-	metricLineRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [^ ]+$`)
+	// metricLineRe accepts a sample line with an optional OpenMetrics-style
+	// exemplar suffix (" # {labels} value") as emitted on histogram bucket
+	// lines by writeHistogramExemplars.
+	metricLineRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [^ ]+( # \{[^{}]*\} [^ ]+)?$`)
 	typeLineRe   = regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram|summary|untyped)$`)
 )
 
 // ValidateExposition checks that data is well-formed Prometheus text
 // exposition: every line is a # TYPE/# HELP comment or a sample whose
-// metric name is legal and whose value parses as a float. It returns the
-// number of samples. The bench harness and the mvserve self-scrape both
-// gate on it.
+// metric name is legal and whose value parses as a float (exemplar
+// suffixes on bucket lines are validated too). It returns the number of
+// samples. The bench harness and the mvserve self-scrape both gate on it.
 func ValidateExposition(data []byte) (samples int, err error) {
 	for lineNo, line := range strings.Split(string(data), "\n") {
 		if line == "" {

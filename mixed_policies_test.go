@@ -202,6 +202,37 @@ func TestPolicyTelemetryEndToEnd(t *testing.T) {
 		t.Fatal("no query degraded while every view violates its SLO")
 	}
 
+	// The SLO breach latches exactly one flight-recorder dump, and its ring
+	// must contain the refresh decisions (here: policy deferrals) that let
+	// every breaching view fall behind.
+	var sloDumps []mvpp.FlightDump
+	for _, d := range srv.FlightDumps() {
+		if d.Reason == "slo_breach" {
+			sloDumps = append(sloDumps, d)
+		}
+	}
+	if len(sloDumps) != 1 {
+		t.Fatalf("SLO breach produced %d flight dumps, want exactly 1", len(sloDumps))
+	}
+	dump := sloDumps[0]
+	named, _ := dump.Attrs["views"].(string)
+	refreshed := make(map[string]bool)
+	for _, r := range dump.Records {
+		if strings.HasPrefix(r.Name, "refresh.") {
+			if v, ok := r.Attrs["view"].(string); ok {
+				refreshed[v] = true
+			}
+		}
+	}
+	for _, v := range views {
+		if !strings.Contains(named, v) {
+			t.Errorf("flight dump does not name breaching view %s (views=%q)", v, named)
+		}
+		if !refreshed[v] {
+			t.Errorf("flight dump holds no refresh span for breaching view %s", v)
+		}
+	}
+
 	code, body := telemetryGet(t, addr, "/views")
 	if code != http.StatusOK {
 		t.Fatalf("/views status %d", code)

@@ -16,11 +16,14 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	mvpp "github.com/warehousekit/mvpp"
+	"github.com/warehousekit/mvpp/internal/obs"
 	"github.com/warehousekit/mvpp/internal/telemetry"
 )
 
@@ -398,6 +401,179 @@ func measureStreamingIngest() (rowsPerSec float64, lagP99 time.Duration, err err
 	return rowsPerSec, stats.IngestLagP99, nil
 }
 
+// measureTraceOverhead prices the causal tracing plane on the serving hot
+// path: the same parallel-client load as measureServe once with pipeline
+// tracing armed at the default production stride (TraceSampleEvery 16,
+// what setting TelemetryAddr arms) and once with tracing forced off. The
+// QPS gap between the pair is the tracing budget — acceptance is within
+// 10%. Unsampled queries pay one counter increment and a modulo; sampled
+// ones allocate the trace entry, spans, and exemplar.
+func measureTraceOverhead() (onQPS, offQPS float64, err error) {
+	d, err := paperDesigner(mvpp.Options{})
+	if err != nil {
+		return 0, 0, err
+	}
+	design, err := d.Design()
+	if err != nil {
+		return 0, 0, err
+	}
+	run := func(sampleEvery int) (float64, error) {
+		var runErr error
+		var stats mvpp.ServeStats
+		testing.Benchmark(func(b *testing.B) {
+			srv, err := design.NewServer(mvpp.ServeOptions{
+				Scale: 0.01, Seed: 7,
+				TraceSampleEvery: sampleEvery,
+			})
+			if err != nil {
+				runErr = err
+				b.FailNow()
+			}
+			defer srv.Close()
+			queries := design.Queries()
+			ctx := context.Background()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if _, err := srv.Query(ctx, queries[i%len(queries)]); err != nil {
+						runErr = err
+						b.FailNow()
+					}
+					i++
+				}
+			})
+			b.StopTimer()
+			stats = srv.Stats()
+		})
+		return stats.QPS, runErr
+	}
+	// Three interleaved rounds, each running the off and on arms
+	// back-to-back, reporting the round with the median gap: the gap
+	// should price tracing, not the slow drift of a shared box, and
+	// pairing the arms inside one round cancels that drift.
+	type round struct{ off, on float64 }
+	rounds := make([]round, 0, 3)
+	for i := 0; i < 3; i++ {
+		off, err := run(-1)
+		if err != nil {
+			return 0, 0, err
+		}
+		on, err := run(16)
+		if err != nil {
+			return 0, 0, err
+		}
+		rounds = append(rounds, round{off: off, on: on})
+	}
+	sort.Slice(rounds, func(i, j int) bool {
+		return rounds[i].off-rounds[i].on < rounds[j].off-rounds[j].on
+	})
+	mid := rounds[len(rounds)/2]
+	return mid.on, mid.off, nil
+}
+
+// measureMultiProducerIngest prices the CDC streaming path under
+// contention: four concurrent producers push StreamDeltas batches at the
+// same bounded change feed for a fixed window. The sustained aggregate
+// row throughput and the min/max per-producer fairness ratio (1.0 =
+// perfectly fair group commit, small = one producer starved) go into the
+// baseline.
+func measureMultiProducerIngest() (rowsPerSec, fairness float64, err error) {
+	const producers = 4
+	d, err := paperDesigner(mvpp.Options{})
+	if err != nil {
+		return 0, 0, err
+	}
+	design, err := d.Design()
+	if err != nil {
+		return 0, 0, err
+	}
+	srv, err := design.NewServer(mvpp.ServeOptions{
+		Scale: 0.01, Seed: 7,
+		Journal: mvpp.NewMemJournal(),
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer srv.Close()
+
+	var perProducer [producers]int64
+	var firstErr error
+	var errMu sync.Mutex
+	deadline := time.Now().Add(500 * time.Millisecond)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				rows, err := srv.StreamDeltas(0.002)
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+				perProducer[p] += int64(rows)
+			}
+		}(p)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return 0, 0, firstErr
+	}
+	if err := srv.Flush(); err != nil {
+		return 0, 0, err
+	}
+	var total, minRows, maxRows int64
+	for p, rows := range perProducer {
+		total += rows
+		if p == 0 || rows < minRows {
+			minRows = rows
+		}
+		if rows > maxRows {
+			maxRows = rows
+		}
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		rowsPerSec = float64(total) / secs
+	}
+	if maxRows > 0 {
+		fairness = float64(minRows) / float64(maxRows)
+	}
+	return rowsPerSec, fairness, nil
+}
+
+// measureFlightDump prices one flight-recorder episode dump: a full
+// 1024-record ring snapshotted, sorted, and written to disk — the cost the
+// serving layer pays at the moment an SLO breach or breaker trip latches.
+func measureFlightDump() (int64, error) {
+	dir, err := os.MkdirTemp("", "mvpp-flight-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	rec := obs.NewFlightRecorder(1024, dir)
+	ctx := obs.NewTraceContext()
+	base := time.Now()
+	for i := 0; i < 1024; i++ {
+		rec.RecordSpan(ctx.NewChild(), "bench.fill", base, time.Millisecond,
+			obs.Int("i", int64(i)))
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if rec.Dump("bench", obs.Int("i", int64(i))) == nil {
+				b.FailNow()
+			}
+		}
+	})
+	return res.NsPerOp(), nil
+}
+
 // validateCostModel parse-validates one /costmodel scrape the way the
 // /metrics exposition is validated: the endpoint must answer valid JSON
 // with a ledger entry per workload query class.
@@ -609,6 +785,18 @@ type report struct {
 	// journal append) and the accepted→group-committed lag p99.
 	StreamingIngestRowsPerSec float64 `json:"streaming_ingest_rows_per_sec"`
 	IngestLagP99Ms            float64 `json:"ingest_lag_p99_ms"`
+	// MultiProducer prices the streaming path under contention: four
+	// concurrent producers at the same change feed. Fairness is the
+	// min/max per-producer row ratio (1.0 = perfectly fair group commit).
+	MultiProducerRowsPerSec float64 `json:"streaming_ingest_multiproducer_rows_per_sec"`
+	MultiProducerFairness   float64 `json:"streaming_ingest_producer_fairness"`
+	// TraceOverheadPct is the serving-QPS cost of the causal tracing
+	// plane: ((off - on) / off) × 100 with TraceSampleEvery 1 vs tracing
+	// forced off. Acceptance keeps it under 10%.
+	TraceOverheadPct float64 `json:"trace_overhead_pct"`
+	// FlightDumpNs prices one flight-recorder episode dump: a full
+	// 1024-record ring snapshotted, sorted, and written to disk.
+	FlightDumpNs int64 `json:"flight_dump_ns"`
 }
 
 func main() {
@@ -648,6 +836,12 @@ func main() {
 	coldSnapNs, coldRecomputeNs, snapBytes, err := measureColdStart()
 	fail(err)
 	streamRows, streamLagP99, err := measureStreamingIngest()
+	fail(err)
+	multiRows, multiFairness, err := measureMultiProducerIngest()
+	fail(err)
+	traceOnQPS, traceOffQPS, err := measureTraceOverhead()
+	fail(err)
+	flightDumpNs, err := measureFlightDump()
 	fail(err)
 
 	r := report{
@@ -694,6 +888,10 @@ func main() {
 
 		StreamingIngestRowsPerSec: streamRows,
 		IngestLagP99Ms:            float64(streamLagP99.Microseconds()) / 1000,
+		MultiProducerRowsPerSec:   multiRows,
+		MultiProducerFairness:     multiFairness,
+		TraceOverheadPct:          100 * (traceOffQPS - traceOnQPS) / traceOffQPS,
+		FlightDumpNs:              flightDumpNs,
 	}
 	data, err := json.MarshalIndent(r, "", "  ")
 	fail(err)

@@ -1,0 +1,123 @@
+// Command obscheck keeps the observability taxonomy and its documentation
+// in lock step: every Ev*, Ctr*, and Gauge* constant declared in
+// internal/obs/obs.go must appear (by its string value, e.g. `serve.epoch`)
+// in DESIGN.md's event/metric tables. New instrumentation without
+// documentation — or documentation for names that no longer exist — fails
+// the build, so the tables in DESIGN §15 can be trusted.
+//
+//	go run ./scripts/obscheck
+//
+// Exit status 0 when the taxonomy and the docs agree, 1 on drift, 2 on
+// usage or parse errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		obsPath = flag.String("obs", "internal/obs/obs.go", "path to the obs taxonomy source")
+		docPath = flag.String("doc", "DESIGN.md", "path to the design document the taxonomy must be listed in")
+	)
+	flag.Parse()
+
+	consts, err := taxonomy(*obsPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obscheck:", err)
+		return 2
+	}
+	if len(consts) == 0 {
+		fmt.Fprintf(os.Stderr, "obscheck: no Ev*/Ctr*/Gauge* constants found in %s\n", *obsPath)
+		return 2
+	}
+	doc, err := os.ReadFile(*docPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obscheck:", err)
+		return 2
+	}
+	text := string(doc)
+
+	var missing []string
+	for _, c := range consts {
+		// The doc must name the wire value (the stable identifier users see
+		// on /metrics and in traces), not the Go constant.
+		if !strings.Contains(text, "`"+c.value+"`") {
+			missing = append(missing, fmt.Sprintf("%s = %q", c.name, c.value))
+		}
+	}
+	if len(missing) > 0 {
+		fmt.Fprintf(os.Stderr, "obscheck: %d taxonomy entries missing from %s (document them in the DESIGN event/metric tables):\n", len(missing), *docPath)
+		for _, m := range missing {
+			fmt.Fprintln(os.Stderr, "  "+m)
+		}
+		return 1
+	}
+	fmt.Printf("obscheck: %d taxonomy entries (events, counters, gauges) all documented in %s\n", len(consts), *docPath)
+	return 0
+}
+
+type entry struct{ name, value string }
+
+// taxonomy parses the obs source file and returns every top-level constant
+// whose name starts with Ev, Ctr, or Gauge together with its string value.
+func taxonomy(path string) ([]entry, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	var out []entry
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if !taxonomyName(name.Name) {
+					continue
+				}
+				if i >= len(vs.Values) {
+					continue
+				}
+				lit, ok := vs.Values[i].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					continue
+				}
+				val, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					return nil, fmt.Errorf("%s: unquoting %s: %w", path, name.Name, err)
+				}
+				out = append(out, entry{name: name.Name, value: val})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out, nil
+}
+
+func taxonomyName(s string) bool {
+	for _, prefix := range []string{"Ev", "Ctr", "Gauge"} {
+		if strings.HasPrefix(s, prefix) && len(s) > len(prefix) {
+			return true
+		}
+	}
+	return false
+}

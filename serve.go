@@ -3,6 +3,7 @@ package mvpp
 import (
 	"context"
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -106,8 +107,22 @@ type ServeOptions struct {
 	// TraceSampleEvery samples every Nth query's lifecycle into the trace
 	// ring behind /traces (1 = every query). 0 defaults to 16 when
 	// TelemetryAddr is set and stays off otherwise; negative forces
-	// sampling off even with telemetry on.
+	// sampling off even with telemetry on. Sampling also arms causal
+	// pipeline tracing: sampled StreamDeltas batches mint a trace ID that
+	// follows the delta through group commit, journal append, the
+	// maintenance epoch, and per-view refresh into the same /traces ring.
 	TraceSampleEvery int
+	// FlightDir, when non-empty, is where the SLO flight recorder writes
+	// its dump files (flight-<seq>-<reason>.json) when an episode latches:
+	// an SLO breach, a circuit breaker opening, a checkpoint error, or
+	// recovery-time corruption. Setting it arms the flight recorder even
+	// with trace sampling off. Empty with sampling on keeps dumps
+	// in-memory only (see Server.FlightDumps). Defaults from the
+	// MVPP_FLIGHT_DIR environment variable when unset.
+	FlightDir string
+	// FlightRecorderSize bounds the flight recorder's span/event ring (0
+	// → 1024).
+	FlightRecorderSize int
 	// CostAudit tunes the cost-accountability ledger. Auditing is on by
 	// default (set CostAudit.Disable to turn it off): every query class and
 	// view carries a §4.1 predicted cost, cache-miss executions and view
@@ -183,9 +198,36 @@ type ViewStaleness = serve.Staleness
 // would materialize for the observed workload.
 type Advice = serve.Advice
 
-// QueryTrace is one sampled query's correlated lifecycle (admission →
-// cache/execute → reply), every stage tagged with the same query ID.
+// QueryTrace is one sampled pipeline lifecycle in the /traces ring: a
+// query's admission → cache/execute → reply stages, or (Kind "ingest",
+// "epoch", "checkpoint") a write-path operation's causal span tree.
 type QueryTrace = serve.QueryTrace
+
+// PipelineSpan is one causal span of a QueryTrace: a timed region of the
+// write path (ingest.stream, journal.append, serve.epoch,
+// refresh.incremental, ...) linked to its parent span by ID.
+type PipelineSpan = serve.PipelineSpan
+
+// ViewLineage is one view's refresh lineage: which epochs over which
+// journal LSN ranges produced its current contents, plus the live
+// fingerprint of those contents.
+type ViewLineage = serve.ViewLineage
+
+// LineageEntry is one epoch's contribution to a view's lineage.
+type LineageEntry = serve.LineageEntry
+
+// LatencyExemplar links one serve-latency histogram bucket to a sampled
+// trace that landed in it — rendered as OpenMetrics exemplars on
+// /metrics.
+type LatencyExemplar = serve.LatencyExemplar
+
+// FlightDump is one flight-recorder episode dump: the recent span/event
+// ring captured when an SLO breach, breaker trip, checkpoint error, or
+// recovery corruption latched.
+type FlightDump = obs.FlightDump
+
+// FlightRecord is one span or event inside a FlightDump.
+type FlightRecord = obs.FlightRecord
 
 // CostReport is a point-in-time snapshot of the cost-accountability
 // ledger: predicted vs measured block costs per query class and view.
@@ -403,6 +445,10 @@ func (d *Design) NewServer(opts ServeOptions) (*Server, error) {
 	if sampleEvery < 0 {
 		sampleEvery = 0
 	}
+	flightDir := opts.FlightDir
+	if flightDir == "" {
+		flightDir = os.Getenv("MVPP_FLIGHT_DIR")
+	}
 
 	var ledger *costaudit.Ledger
 	if !opts.CostAudit.Disable {
@@ -437,6 +483,8 @@ func (d *Design) NewServer(opts ServeOptions) (*Server, error) {
 		SnapshotRetain:      opts.SnapshotRetain,
 		Recovery:            recovery,
 		TraceSampleEvery:    sampleEvery,
+		FlightDir:           flightDir,
+		FlightRecorderSize:  opts.FlightRecorderSize,
 		Obs:                 observer,
 		Audit:               ledger,
 		AuditAutoApply:      opts.CostAudit.AutoApply,
@@ -702,3 +750,20 @@ func (s *Server) TelemetryAddr() string {
 // RecentTraces returns the sampled query traces currently in the /traces
 // ring, oldest first — nil when trace sampling is off.
 func (s *Server) RecentTraces() []QueryTrace { return s.inner.RecentTraces() }
+
+// Lineage returns every maintained view's refresh lineage: the recent
+// epochs, journal LSN ranges, and refresh modes that produced its current
+// contents, plus a live fingerprint of those contents. Also served as
+// JSON on the telemetry plane's /lineage endpoint.
+func (s *Server) Lineage() map[string]ViewLineage { return s.inner.Lineage() }
+
+// FlightDumps returns the retained flight-recorder dumps, oldest first —
+// nil when the flight recorder is off (neither trace sampling nor
+// FlightDir armed it). Also served on the telemetry plane's /flight
+// endpoint.
+func (s *Server) FlightDumps() []FlightDump { return s.inner.FlightDumps() }
+
+// LatencyExemplars returns the current latency-histogram exemplars: for
+// each serve-latency bucket, a recent sampled trace whose latency landed
+// in it. Rendered as OpenMetrics exemplars on /metrics.
+func (s *Server) LatencyExemplars() []LatencyExemplar { return s.inner.LatencyExemplars() }
